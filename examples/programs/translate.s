@@ -1,0 +1,44 @@
+; Fig. 1 of the paper, as a standalone assembly file for `mitos-cli asm`.
+;
+; The harness provides: connection 1 (tainted pseudo-random bytes),
+; file 1 ("calibration" content), process 1 at 0x10000.
+;
+; Read 64 tainted bytes, build a lookup table, translate through it,
+; send the result back out.
+
+        ; build table[i] = i xor 0x20 at 0x51000
+        li   r12, 0
+        li   r13, 256
+fill:
+        bgeu r12, r13, @read
+        xori r14, r12, 32
+        addi r15, r12, 331776      ; 0x51000
+        stb  r14, 0(r15)
+        addi r12, r12, 1
+        jmp  @fill
+
+read:
+        li   r1, 1                 ; connection 1
+        li   r2, 327680            ; dst 0x50000
+        li   r3, 64
+        syscall 1                  ; net_read
+
+        li   r4, 327680            ; src
+        li   r5, 335872            ; dst 0x52000
+        li   r6, 327744            ; src end
+loop:
+        bgeu r4, r6, @send
+        ldb  r8, 0(r4)
+        addi r9, r8, 331776
+        ldb  r10, 0(r9)            ; the address dependency
+        stb  r10, 0(r5)
+        addi r4, r4, 1
+        addi r5, r5, 1
+        jmp  @loop
+
+send:
+        li   r1, 1
+        li   r2, 335872
+        li   r3, 64
+        syscall 2                  ; net_send
+        syscall 8                  ; exit
