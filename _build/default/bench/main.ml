@@ -1,0 +1,237 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (printed as console tables), then runs
+   bechamel microbenchmarks for the systems claims (O(1) decision
+   cost, Alg. 2 batch cost, shadow-memory and engine throughput).
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- quick   -- experiments only
+     dune exec bench/main.exe -- micro   -- microbenchmarks only *)
+
+open Bechamel
+open Toolkit
+module E = Mitos_experiments
+open Mitos_tag
+
+(* -- paper experiments ------------------------------------------------ *)
+
+let all_sections () =
+  let recorded = E.Fig7.record_netbench () in
+  [
+    E.Fig3.run (); E.Fig7.run ~recorded (); E.Fig8.run ~recorded ();
+    E.Fig9.run ~recorded (); E.Table2.run (); E.Latency.run ();
+    E.Exfil_study.run (); E.Hw_model.run (); E.Validation.run ();
+  ]
+  @ E.Ablations.run_all ()
+
+let run_experiments () = List.iter E.Report.print (all_sections ())
+
+let write_markdown path =
+  let sections = all_sections () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# MITOS reproduction - generated experiment report\n\n";
+      List.iter
+        (fun section -> output_string oc (E.Report.to_markdown section))
+        sections);
+  Printf.printf "wrote %s (%d sections)\n" path (List.length sections)
+
+(* -- microbenchmarks --------------------------------------------------- *)
+
+let net i = Tag.make Tag_type.Network i
+
+let params =
+  Mitos.Params.make ~total_tag_space:(1 lsl 30) ~mem_capacity:(1 lsl 20) ()
+
+(* Scalability claim (paper SIV-B properties 2-3): the per-decision
+   cost must not depend on the number of live tags in the system. *)
+let bench_decision_scaling =
+  let make_env live_tags =
+    let stats = Tag_stats.create () in
+    for i = 1 to live_tags do
+      Tag_stats.incr stats (net i)
+    done;
+    Mitos.Decision.of_stats params stats
+  in
+  let subject = net 1 in
+  List.map
+    (fun live ->
+      let env = make_env live in
+      Test.make
+        ~name:(Printf.sprintf "alg1 decision (%d live tags)" live)
+        (Staged.stage (fun () ->
+             ignore (Mitos.Decision.alg1 params env subject))))
+    [ 10; 1_000; 100_000 ]
+
+let bench_alg2 =
+  let stats = Tag_stats.create () in
+  List.iter
+    (fun i ->
+      for _ = 1 to i * 3 do
+        Tag_stats.incr stats (net i)
+      done)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  let env = Mitos.Decision.of_stats params stats in
+  let candidates = List.init 8 (fun i -> net (i + 1)) in
+  [
+    Test.make ~name:"alg2 (8 candidates, space 4)"
+      (Staged.stage (fun () ->
+           ignore (Mitos.Decision.alg2 params env ~space:4 candidates)));
+  ]
+
+let bench_shadow =
+  let shadow =
+    Shadow.create ~mem_capacity:(1 lsl 16) ~num_regs:16 ~m_prov:10 ()
+  in
+  let counter = ref 0 in
+  let full_list =
+    let p = Provenance.create 10 in
+    for i = 1 to 10 do
+      ignore (Provenance.add p (net i))
+    done;
+    p
+  in
+  let next = ref 10 in
+  [
+    Test.make ~name:"shadow taint+clear byte"
+      (Staged.stage (fun () ->
+           let addr = !counter land 0xFFFF in
+           incr counter;
+           ignore (Shadow.add_tag_addr shadow addr (net 1));
+           Shadow.clear_addr shadow addr));
+    Test.make ~name:"provenance add (full list, fifo)"
+      (Staged.stage (fun () ->
+           incr next;
+           ignore (Provenance.add full_list (net !next))));
+  ]
+
+let bench_engine =
+  (* replay throughput over a prerecorded trace slice *)
+  let built = Mitos_workload.Netbench.build ~seed:1 ~chunks:2 () in
+  let trace = Mitos_workload.Workload.record built in
+  let records = Mitos_replay.Trace.records trace in
+  let slice = Array.sub records 0 (min 1_000 (Array.length records)) in
+  let bench_policy name policy =
+    Test.make ~name:(Printf.sprintf "engine replay 1k records (%s)" name)
+      (Staged.stage (fun () ->
+           let engine = Mitos_workload.Workload.engine_of ~policy built in
+           Mitos_dift.Engine.attach_shadow engine
+             ~mem_size:(Mitos_replay.Trace.mem_size trace);
+           Array.iter (Mitos_dift.Engine.process_record engine) slice))
+  in
+  let bench_backend name backend =
+    Test.make
+      ~name:(Printf.sprintf "engine replay 1k records (%s shadow)" name)
+      (Staged.stage (fun () ->
+           let config =
+             { Mitos_dift.Engine.default_config with shadow_backend = backend }
+           in
+           let engine =
+             Mitos_workload.Workload.engine_of ~config
+               ~policy:Mitos_dift.Policies.propagate_all built
+           in
+           Mitos_dift.Engine.attach_shadow engine
+             ~mem_size:(Mitos_replay.Trace.mem_size trace);
+           Array.iter (Mitos_dift.Engine.process_record engine) slice))
+  in
+  [
+    bench_policy "faros" Mitos_dift.Policies.faros;
+    bench_policy "propagate-all" Mitos_dift.Policies.propagate_all;
+    bench_policy "mitos"
+      (Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()));
+    bench_backend "hashed" Shadow.Hashed;
+    bench_backend "paged" Shadow.Paged;
+  ]
+
+let bench_solvers =
+  let items =
+    Array.of_list
+      (List.map
+         (fun ty -> Mitos.Solver.item params ty)
+         [ Tag_type.Network; Tag_type.File; Tag_type.Process ])
+  in
+  [
+    Test.make ~name:"solver KKT (3 items)"
+      (Staged.stage (fun () -> ignore (Mitos.Solver.solve_kkt params items)));
+    Test.make ~name:"solver B&B exact (3 items)"
+      (Staged.stage
+         (let p =
+            Mitos.Params.make ~tau:1.0 ~tau_scale:1.0 ~total_tag_space:10_000
+              ~mem_capacity:1_000 ()
+          in
+          let small =
+            Array.of_list
+              (List.map
+                 (fun ty -> Mitos.Solver.item p ty)
+                 [ Tag_type.Network; Tag_type.File; Tag_type.Process ])
+          in
+          fun () -> ignore (Mitos.Solver.solve_branch_and_bound p small)));
+    Test.make ~name:"analysis crossover"
+      (Staged.stage (fun () ->
+           ignore
+             (Mitos.Analysis.crossover_count params Tag_type.Network
+                ~pollution:5000.0)));
+  ]
+
+let bench_infra =
+  let prog =
+    (Mitos_workload.Crypto.build ~input_len:64 ~seed:1 ()).Mitos_workload.Workload.program
+  in
+  let trace =
+    Mitos_workload.Workload.record (Mitos_workload.Crypto.build ~input_len:64 ~seed:1 ())
+  in
+  let encoded = Mitos_replay.Trace.to_string trace in
+  [
+    Test.make ~name:"postdominators (crypto program)"
+      (Staged.stage (fun () -> ignore (Mitos_flow.Postdom.compute prog)));
+    Test.make ~name:"trace decode (crypto)"
+      (Staged.stage (fun () -> ignore (Mitos_replay.Trace.of_string encoded)));
+  ]
+
+let all_micro =
+  Test.make_grouped ~name:"mitos"
+    (bench_decision_scaling @ bench_alg2 @ bench_shadow @ bench_engine
+    @ bench_solvers @ bench_infra)
+
+let run_micro () =
+  print_endline "\n=== Microbenchmarks (bechamel) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_micro in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "quick" -> run_experiments ()
+  | "micro" -> run_micro ()
+  | "report" ->
+    write_markdown
+      (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench_report.md")
+  | _ ->
+    run_experiments ();
+    run_micro ());
+  print_newline ()

@@ -1,0 +1,642 @@
+(* mitos-cli: drive the MITOS reproduction from the shell.
+
+   Subcommands:
+     list                     enumerate workloads and experiments
+     run WORKLOAD             execute a workload under a policy
+     experiment ID            regenerate a figure/table of the paper
+     record WORKLOAD FILE     record an execution trace to a file
+     replay WORKLOAD FILE     replay a recorded trace under a policy
+     attack                   the Table II FAROS-vs-MITOS comparison *)
+
+open Cmdliner
+open Mitos_dift
+module W = Mitos_workload
+module Calib = Mitos_experiments.Calib
+
+(* -- shared arguments -------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let tau_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "tau" ] ~docv:"TAU"
+        ~doc:"Under/over-tainting trade-off weight (paper's tau).")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float 1.5
+    & info [ "alpha" ] ~docv:"ALPHA" ~doc:"Fairness degree (paper's alpha).")
+
+let u_net_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "u-net" ] ~docv:"W"
+        ~doc:"Undertainting weight of netflow tags (paper's u_netflow).")
+
+let u_export_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "u-export" ] ~docv:"W"
+        ~doc:
+          "Undertainting weight of export-table tags (Table II uses \
+           --u-net 50 --u-export 50 --tau 0.01).")
+
+let policy_names =
+  [ "faros"; "propagate-all"; "block-all"; "minos"; "probabilistic";
+    "threshold"; "mitos"; "mitos-all-flows" ]
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "mitos"
+    & info [ "policy"; "p" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf "Propagation policy: one of %s."
+             (String.concat ", " policy_names)))
+
+let make_params ~tau ~alpha ~u_net ~u_export =
+  Mitos.Params.with_u
+    (Calib.sensitivity_params ~tau ~alpha ~u_net ())
+    Mitos_tag.Tag_type.Export_table u_export
+
+let resolve_policy name params =
+  match name with
+  | "faros" -> Ok (Policies.faros, false)
+  | "propagate-all" -> Ok (Policies.propagate_all, false)
+  | "block-all" -> Ok (Policies.block_all, false)
+  | "minos" -> Ok (Policies.minos_width, false)
+  | "probabilistic" -> Ok (Policies.probabilistic ~seed:1 ~p:0.5, false)
+  | "threshold" -> Ok (Policies.pollution_threshold ~limit:20_000, false)
+  | "mitos" -> Ok (Policies.mitos params, false)
+  | "mitos-all-flows" -> Ok (Calib.mitos_all_flows params, true)
+  | other -> Error (Printf.sprintf "unknown policy %S" other)
+
+let engine_config ~route_direct =
+  if route_direct then Calib.attack_engine_config else Engine.default_config
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `mitos-cli list').")
+
+let build_workload name ~seed =
+  match W.Registry.find name with
+  | entry -> Ok (entry.W.Registry.build ~seed)
+  | exception Not_found ->
+    Error
+      (Printf.sprintf "unknown workload %S; run `mitos-cli list'" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("mitos-cli: " ^ msg);
+    exit 2
+
+(* -- list ---------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("fig3", "cost function shapes");
+    ("fig7", "marginal costs and decisions over time (tau sweep)");
+    ("fig8", "alpha vs fairness");
+    ("fig9", "u_netflow sweep");
+    ("table2", "FAROS vs MITOS on the in-memory attack");
+    ("latency", "detection latency (first alarm step) per shell/policy");
+    ("exfil", "exfiltration-tracking case study (sink attribution)");
+    ("hw", "hardware-offload cost model (paper SVI)");
+    ("matrix", "workload x policy propagation-rate matrix (slow)");
+    ("conformance", "litmus flow classes x policies table");
+    ("ablations", "eviction / recompute / staleness / solution quality");
+    ("all", "everything above");
+  ]
+
+let list_cmd =
+  let run () =
+    print_endline "Workloads:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-24s %s\n" e.W.Registry.name e.W.Registry.summary)
+      W.Registry.all;
+    print_endline "\nExperiments:";
+    List.iter (fun (id, doc) -> Printf.printf "  %-24s %s\n" id doc) experiments;
+    print_endline "\nPolicies:";
+    Printf.printf "  %s\n" (String.concat ", " policy_names)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, experiments and policies.")
+    Term.(const run $ const ())
+
+(* -- run ------------------------------------------------------------------- *)
+
+let print_summary s =
+  let t = Mitos_util.Table.create ~header:Metrics.header () in
+  Mitos_util.Table.add_row t (Metrics.row s);
+  Mitos_util.Table.print t;
+  Printf.printf "wall time: %.3fs\n" s.Metrics.wall_seconds
+
+let run_cmd =
+  let run name policy_name seed tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let built = or_die (build_workload name ~seed) in
+    let engine =
+      W.Workload.engine_of ~config:(engine_config ~route_direct) ~policy built
+    in
+    Engine.attach engine (W.Workload.machine_of built);
+    print_summary (Metrics.measure_run engine)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a workload under a propagation policy.")
+    Term.(
+      const run $ workload_arg $ policy_arg $ seed_arg $ tau_arg $ alpha_arg
+      $ u_net_arg $ u_export_arg)
+
+(* -- experiment --------------------------------------------------------------- *)
+
+let experiment_cmd =
+  let module E = Mitos_experiments in
+  let run id =
+    let sections =
+      match id with
+      | "fig3" -> [ E.Fig3.run () ]
+      | "fig7" -> [ E.Fig7.run () ]
+      | "fig8" -> [ E.Fig8.run () ]
+      | "fig9" -> [ E.Fig9.run () ]
+      | "table2" -> [ E.Table2.run () ]
+      | "latency" -> [ E.Latency.run () ]
+      | "exfil" -> [ E.Exfil_study.run () ]
+      | "hw" -> [ E.Hw_model.run () ]
+      | "matrix" -> [ E.Matrix.run () ]
+      | "conformance" -> [ E.Validation.run () ]
+      | "ablations" -> E.Ablations.run_all ()
+      | "all" ->
+        let recorded = E.Fig7.record_netbench () in
+        [ E.Fig3.run (); E.Fig7.run ~recorded (); E.Fig8.run ~recorded ();
+          E.Fig9.run ~recorded (); E.Table2.run (); E.Latency.run ();
+          E.Exfil_study.run (); E.Hw_model.run () ]
+        @ E.Ablations.run_all ()
+      | other -> or_die (Error (Printf.sprintf "unknown experiment %S" other))
+    in
+    List.iter E.Report.print sections
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see `mitos-cli list').")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a figure or table of the paper.")
+    Term.(const run $ id_arg)
+
+(* -- record / replay -------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Trace file path.")
+
+let record_cmd =
+  let run name file seed =
+    let built = or_die (build_workload name ~seed) in
+    let trace = W.Workload.record built in
+    Mitos_replay.Trace.save trace file;
+    Printf.printf "recorded %d instructions of %s to %s\n"
+      (Mitos_replay.Trace.length trace)
+      name file
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Record a workload execution trace to a file (the PANDA step).")
+    Term.(const run $ workload_arg $ file_arg $ seed_arg)
+
+let replay_cmd =
+  let run name file seed policy_name tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let built = or_die (build_workload name ~seed) in
+    let trace = Mitos_replay.Trace.load file in
+    let t0 = Unix.gettimeofday () in
+    let engine =
+      W.Workload.replay ~config:(engine_config ~route_direct) ~policy built
+        trace
+    in
+    print_summary
+      (Metrics.of_engine ~wall_seconds:(Unix.gettimeofday () -. t0) engine)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded trace under a policy. The workload (and seed) \
+          must match the recording so taint sources resolve identically.")
+    Term.(
+      const run $ workload_arg $ file_arg $ seed_arg $ policy_arg $ tau_arg
+      $ alpha_arg $ u_net_arg $ u_export_arg)
+
+(* -- attack -------------------------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run file =
+    let trace = Mitos_replay.Trace.load file in
+    (match Mitos_replay.Trace.find_meta trace "workload" with
+    | Some w -> Printf.printf "workload: %s\n" w
+    | None -> ());
+    Format.printf "%a" Mitos_replay.Trace_stats.pp
+      (Mitos_replay.Trace_stats.analyze trace);
+    (match Mitos_replay.Trace_stats.syscall_histogram trace with
+    | [] -> ()
+    | hist ->
+      print_endline "syscalls:";
+      List.iter
+        (fun (n, count) ->
+          Printf.printf "  %-20s %d\n" (Mitos_system.Os.syscall_name n) count)
+        hist);
+    (match Mitos_replay.Trace_stats.loop_profile trace with
+    | [] -> print_endline "loops: none"
+    | loops ->
+      print_endline "loops (busiest first):";
+      List.iter
+        (fun (l : Mitos_replay.Trace_stats.loop_info) ->
+          Printf.printf
+            "  header @%-5d body [%d..%d]  %d iterations, %d instructions\n"
+            l.Mitos_replay.Trace_stats.header_pc
+            l.Mitos_replay.Trace_stats.first_pc
+            l.Mitos_replay.Trace_stats.last_pc
+            l.Mitos_replay.Trace_stats.iterations
+            l.Mitos_replay.Trace_stats.body_instructions)
+        loops)
+  in
+  let file_pos0 =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file path.")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Analyze a recorded trace offline: instruction mix, \
+          indirect-flow opportunity counts, hot program points.")
+    Term.(const run $ file_pos0)
+
+let disasm_cmd =
+  let run name seed =
+    let built = or_die (build_workload name ~seed) in
+    Printf.printf "%s - %s\n\n" built.W.Workload.name
+      built.W.Workload.description;
+    Format.printf "%a" Mitos_isa.Program.pp built.W.Workload.program
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a workload's program.")
+    Term.(const run $ workload_arg $ seed_arg)
+
+let map_cmd =
+  let run name policy_name seed tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let built = or_die (build_workload name ~seed) in
+    let engine =
+      W.Workload.engine_of ~config:(engine_config ~route_direct) ~policy built
+    in
+    Engine.watch_confluence engine Mitos_tag.Tag_type.Network
+      Mitos_tag.Tag_type.Export_table;
+    Engine.attach engine (W.Workload.machine_of built);
+    ignore (Engine.run engine);
+    let module Layout = Mitos_system.Layout in
+    print_string
+      (Taint_map.render_regions
+         ~highlight:(Mitos_tag.Tag_type.Network, Mitos_tag.Tag_type.Export_table)
+         [
+           ("stack", Layout.stack_base, Layout.stack_size);
+           ("process space", Layout.process_base, Layout.process_size);
+           ("kernel linking area", Layout.kernel_export_base,
+            Layout.kernel_export_size);
+           ("heap", Layout.heap_base, Layout.heap_size);
+         ]
+         (Engine.shadow engine));
+    match Engine.first_alert_step engine with
+    | Some step -> Printf.printf "\nnetflow+export-table alarm at step %d\n" step
+    | None -> print_endline "\nno netflow+export-table confluence"
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:
+         "Run a workload and render the taint map of every memory region \
+          ('!' marks netflow+export-table bytes).")
+    Term.(
+      const run $ workload_arg $ policy_arg $ seed_arg $ tau_arg $ alpha_arg
+      $ u_net_arg $ u_export_arg)
+
+let why_cmd =
+  let run name addr_str policy_name seed tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let built = or_die (build_workload name ~seed) in
+    let addr = int_of_string addr_str in
+    let engine =
+      W.Workload.engine_of ~config:(engine_config ~route_direct) ~policy built
+    in
+    Engine.record_history engine;
+    Engine.attach engine (W.Workload.machine_of built);
+    ignore (Engine.run engine);
+    (match Engine.taint_history engine addr with
+    | [] -> Printf.printf "byte %#x never received a tag under %s\n" addr policy_name
+    | arrivals ->
+      Printf.printf "taint timeline of byte %#x (%s, %s):\n" addr
+        (Mitos_system.Layout.region_of addr)
+        policy_name;
+      List.iter
+        (fun a ->
+          Printf.printf "  step %-8d %-14s via %s\n" a.Engine.arr_step
+            (Mitos_tag.Tag.to_string a.Engine.arr_tag)
+            a.Engine.arr_via)
+        arrivals);
+    let tags = Mitos_tag.Shadow.tags_of_addr (Engine.shadow engine) addr in
+    Printf.printf "final provenance list: [%s]\n"
+      (String.concat "; " (List.map Mitos_tag.Tag.to_string tags))
+  in
+  let addr_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"Byte address (decimal or 0x-hex).")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Run a workload with taint-history recording and print the full \
+          timeline of how one byte became tainted.")
+    Term.(
+      const run $ workload_arg $ addr_arg $ policy_arg $ seed_arg $ tau_arg
+      $ alpha_arg $ u_net_arg $ u_export_arg)
+
+let trace_cmd =
+  let run name policy_name seed from count tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let built = or_die (build_workload name ~seed) in
+    let engine =
+      W.Workload.engine_of ~config:(engine_config ~route_direct) ~policy built
+    in
+    let shadow_tags loc =
+      let shadow = Engine.shadow engine in
+      match loc with
+      | Mitos_flow.Loc.Reg r -> Mitos_tag.Shadow.tags_of_reg shadow r
+      | Mitos_flow.Loc.Mem a -> Mitos_tag.Shadow.tags_of_addr shadow a
+    in
+    Engine.on_record engine (fun record ->
+        let step = record.Mitos_isa.Machine.step in
+        if step >= from && step < from + count then begin
+          let written = Mitos_flow.Extract.written_locs record in
+          let taint =
+            List.filter_map
+              (fun loc ->
+                match shadow_tags loc with
+                | [] -> None
+                | tags ->
+                  Some
+                    (Printf.sprintf "%s<-[%s]"
+                       (Mitos_flow.Loc.to_string loc)
+                       (String.concat ";"
+                          (List.map Mitos_tag.Tag.to_string tags))))
+              written
+          in
+          Printf.printf "%8d  @%-5d %-28s %s\n" step
+            record.Mitos_isa.Machine.pc
+            (Mitos_isa.Instr.to_string record.Mitos_isa.Machine.instr)
+            (String.concat " " taint)
+        end);
+    Engine.attach engine (W.Workload.machine_of built);
+    ignore (Engine.run ~max_steps:(from + count) engine)
+  in
+  let from_arg =
+    Arg.(value & opt int 0 & info [ "from" ] ~docv:"N" ~doc:"First step to print.")
+  in
+  let count_arg =
+    Arg.(value & opt int 40 & info [ "count"; "n" ] ~docv:"M" ~doc:"Steps to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Single-step a workload under a policy, printing each \
+          instruction and the taint of what it wrote.")
+    Term.(
+      const run $ workload_arg $ policy_arg $ seed_arg $ from_arg $ count_arg
+      $ tau_arg $ alpha_arg $ u_net_arg $ u_export_arg)
+
+let sites_cmd =
+  let run name policy_name seed top tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let built = or_die (build_workload name ~seed) in
+    let engine =
+      W.Workload.engine_of ~config:(engine_config ~route_direct) ~policy built
+    in
+    Engine.attach engine (W.Workload.machine_of built);
+    ignore (Engine.run engine);
+    let t =
+      Mitos_util.Table.create
+        ~header:[ "pc"; "instruction"; "ifp+"; "ifp-"; "block rate" ] ()
+    in
+    List.iteri
+      (fun i (pc, prop, blocked) ->
+        if i < top then
+          Mitos_util.Table.add_row t
+            [
+              string_of_int pc;
+              Mitos_isa.Instr.to_string
+                (Mitos_isa.Program.instr built.W.Workload.program pc);
+              string_of_int prop;
+              string_of_int blocked;
+              Printf.sprintf "%.0f%%"
+                (100.0 *. float_of_int blocked
+                /. float_of_int (max 1 (prop + blocked)));
+            ])
+      (Engine.site_profile engine);
+    Mitos_util.Table.print t
+  in
+  let top_arg =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"K" ~doc:"Sites to show.")
+  in
+  Cmd.v
+    (Cmd.info "sites"
+       ~doc:
+         "Profile the indirect-flow hot spots of a workload under a \
+          policy: which instructions decide the most tags, and where \
+          taint is being blocked.")
+    Term.(
+      const run $ workload_arg $ policy_arg $ seed_arg $ top_arg $ tau_arg
+      $ alpha_arg $ u_net_arg $ u_export_arg)
+
+let solve_cmd =
+  let run spec tau alpha =
+    (* spec like "network:3,file:1" - counts of items per type *)
+    let params =
+      Mitos.Params.make ~alpha ~tau ~tau_scale:1.0 ~total_tag_space:10_000
+        ~mem_capacity:1_000 ()
+    in
+    let items =
+      String.split_on_char ',' spec
+      |> List.concat_map (fun part ->
+             match String.split_on_char ':' (String.trim part) with
+             | [ ty; n ] ->
+               let ty = Mitos_tag.Tag_type.of_string (String.trim ty) in
+               List.init (int_of_string n) (fun _ -> Mitos.Solver.item params ty)
+             | _ -> or_die (Error (Printf.sprintf "bad item spec %S" part)))
+      |> Array.of_list
+    in
+    let kkt = Mitos.Solver.solve_kkt params items in
+    let greedy = Mitos.Solver.solve_greedy_integer params items in
+    let exact, stats = Mitos.Solver.solve_branch_and_bound params items in
+    let t =
+      Mitos_util.Table.create
+        ~header:[ "item"; "KKT (relaxed)"; "greedy"; "exact integer" ] ()
+    in
+    Array.iteri
+      (fun j item ->
+        Mitos_util.Table.add_row t
+          [
+            Printf.sprintf "%s[%d]"
+              (Mitos_tag.Tag_type.to_string item.Mitos.Solver.ty) j;
+            Printf.sprintf "%.3f" kkt.(j);
+            string_of_int greedy.(j);
+            string_of_int exact.(j);
+          ])
+      items;
+    Mitos_util.Table.print t;
+    let obj n = Mitos.Solver.objective params items n in
+    Printf.printf
+      "objectives: relaxed %.6f <= exact %.6f (B&B: %d nodes, %d pruned) \
+       <= greedy %.6f\n"
+      (obj kkt) stats.Mitos.Solver.optimum stats.Mitos.Solver.nodes_explored
+      stats.Mitos.Solver.nodes_pruned
+      (obj (Array.map float_of_int greedy))
+  in
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Tag population, e.g. 'network:2,file:1' (two network items, \
+             one file item).")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Solve the static Problem 1 for a tag population: relaxed KKT vs \
+          greedy vs exact branch-and-bound.")
+    Term.(const run $ spec_arg $ tau_arg $ alpha_arg)
+
+let asm_cmd =
+  let run file policy_name tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, route_direct = or_die (resolve_policy policy_name params) in
+    let source =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let program =
+      try Mitos_isa.Parser.parse source
+      with Mitos_isa.Parser.Parse_error (line, msg) ->
+        or_die (Error (Printf.sprintf "%s:%d: %s" file line msg))
+    in
+    (* standard harness resources: connection 1, file 1, process 1 *)
+    let os = Mitos_system.Os.create ~seed:42 () in
+    ignore (Mitos_system.Os.open_connection os);
+    ignore (Mitos_system.Os.create_file os (String.make 64 'c'));
+    ignore
+      (Mitos_system.Os.spawn_process os
+         ~base:Mitos_system.Layout.process_base ~size:4096);
+    let machine =
+      Mitos_isa.Machine.create ~mem_size:Mitos_system.Layout.mem_size
+        ~syscall:(Mitos_system.Os.handler os) program
+    in
+    let engine =
+      Engine.create
+        ~config:(engine_config ~route_direct)
+        ~policy
+        ~source_tag:(Mitos_system.Os.source_tag os)
+        program
+    in
+    Engine.attach engine machine;
+    print_summary (Metrics.measure_run engine)
+  in
+  let file_pos0 =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Assembly source file.")
+  in
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:
+         "Assemble and run a textual program under a policy. The harness \
+          provides connection 1 (tainted stream), file 1 and process 1.")
+    Term.(
+      const run $ file_pos0 $ policy_arg $ tau_arg $ alpha_arg $ u_net_arg
+      $ u_export_arg)
+
+let litmus_cmd =
+  let run policy_name tau alpha u_net u_export =
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let policy, _route = or_die (resolve_policy policy_name params) in
+    let t =
+      Mitos_util.Table.create
+        ~header:[ "case"; "class"; "tainted?"; "description" ] ()
+    in
+    List.iter
+      (fun (o : Litmus.outcome) ->
+        Mitos_util.Table.add_row t
+          [
+            o.Litmus.case.Litmus.case_name;
+            (match o.Litmus.case.Litmus.case_class with
+            | Litmus.Direct -> "direct"
+            | Litmus.Addr -> "addr-dep"
+            | Litmus.Ctrl -> "ctrl-dep"
+            | Litmus.Ijump -> "ijump");
+            (if o.Litmus.tainted then "yes" else "no");
+            o.Litmus.case.Litmus.description;
+          ])
+      (Litmus.run policy);
+    Mitos_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Run the flow-class litmus suite under a policy: which kinds of \
+          flows does it actually propagate?")
+    Term.(
+      const run $ policy_arg $ tau_arg $ alpha_arg $ u_net_arg $ u_export_arg)
+
+let attack_cmd =
+  let run () =
+    Mitos_experiments.(Report.print (Table2.run ()))
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the Table II in-memory-attack comparison (all six shells).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "mitos-cli" ~version:"1.0.0"
+      ~doc:
+        "MITOS: optimal decisioning for indirect flow propagation in DIFT \
+         systems (ICDCS 2020 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
+            inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
+            sites_cmd; litmus_cmd; asm_cmd; attack_cmd ]))

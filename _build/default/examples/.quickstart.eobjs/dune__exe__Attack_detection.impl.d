@@ -1,0 +1,1 @@
+examples/attack_detection.ml: Array Engine List Metrics Mitos_dift Mitos_experiments Mitos_system Mitos_tag Mitos_workload Policies Printf Sys Taint_map

@@ -1,0 +1,1 @@
+examples/budget_tracking.ml: Engine Float List Metrics Mitos Mitos_dift Mitos_experiments Mitos_tag Mitos_util Mitos_workload Policies Printf

@@ -1,0 +1,1 @@
+examples/distributed_monitor.ml: Array List Mitos_dift Mitos_distrib Mitos_experiments Mitos_tag Mitos_util Mitos_workload Printf Sys

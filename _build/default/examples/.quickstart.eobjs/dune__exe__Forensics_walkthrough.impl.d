@@ -1,0 +1,1 @@
+examples/forensics_walkthrough.ml: Engine List Mitos_dift Mitos_experiments Mitos_isa Mitos_system Mitos_tag Mitos_workload Printf Tag Tag_type Taint_map

@@ -1,0 +1,1 @@
+examples/policy_comparison.ml: Array List Metrics Mitos_dift Mitos_experiments Mitos_util Mitos_workload Policies Printf String Sys

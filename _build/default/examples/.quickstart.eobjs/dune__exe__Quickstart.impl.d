@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine List Metrics Mitos Mitos_dift Mitos_system Mitos_tag Mitos_util Mitos_workload Policies Printf String

@@ -1,0 +1,1 @@
+examples/sensitivity_sweep.ml: Array List Metrics Mitos Mitos_dift Mitos_experiments Mitos_replay Mitos_util Mitos_workload Policies Printf Sys

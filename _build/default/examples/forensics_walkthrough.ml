@@ -1,0 +1,92 @@
+(* A guided forensics session.
+
+   The reverse_tcp_rc4 shell is invisible to a direct-flow-only DIFT;
+   under MITOS the incident is not only detected but fully
+   reconstructible. This example walks the investigation the way an
+   analyst would:
+
+     1. the alarm (when did netflow and export-table taint first meet?)
+     2. the scene (taint map of the victim and the kernel linking area)
+     3. the history (how did the first flagged byte become tainted?)
+     4. the blast radius (what left the machine, attributed by source)
+     5. the instrument (which program points carried the flows)
+
+   Run with: dune exec examples/forensics_walkthrough.exe *)
+
+open Mitos_dift
+open Mitos_tag
+module W = Mitos_workload
+module Calib = Mitos_experiments.Calib
+
+let () =
+  let variant = W.Attack.Reverse_tcp_rc4 in
+  Printf.printf "Incident replay: %s shell, MITOS tracking all flows.\n\n"
+    (W.Attack.variant_name variant);
+  let built = W.Attack.build variant ~seed:Calib.attack_seed () in
+  let engine =
+    W.Workload.engine_of ~config:Calib.attack_engine_config
+      ~policy:(Calib.mitos_all_flows Calib.attack_params)
+      built
+  in
+  Engine.watch_confluence engine Tag_type.Network Tag_type.Export_table;
+  Engine.record_history engine;
+  Engine.attach engine (W.Workload.machine_of built);
+  ignore (Engine.run engine);
+
+  (* 1. the alarm *)
+  (match Engine.alerts engine with
+  | [] -> print_endline "no alarm - nothing to investigate."
+  | first :: _ as alerts ->
+    Printf.printf
+      "1. ALARM at step %d: byte %#x (%s region) acquired both netflow \
+       and export-table taint; %d bytes flagged in total.\n\n"
+      first.Engine.alert_step first.Engine.alert_addr
+      (Mitos_system.Layout.region_of first.Engine.alert_addr)
+      (List.length alerts);
+
+    (* 2. the scene *)
+    print_endline "2. THE SCENE ('!' marks flagged bytes):";
+    print_string
+      (Taint_map.render_regions
+         ~highlight:(Tag_type.Network, Tag_type.Export_table)
+         [
+           ("victim process", W.Mem.victim_base, W.Mem.victim_size);
+           ("kernel linking area", Mitos_system.Layout.kernel_export_base, 0x800);
+         ]
+         (Engine.shadow engine));
+    print_newline ();
+
+    (* 3. the history of the first flagged byte *)
+    Printf.printf "3. HISTORY of byte %#x:\n" first.Engine.alert_addr;
+    List.iter
+      (fun a ->
+        Printf.printf "   step %-8d %-16s arrived via %s\n"
+          a.Engine.arr_step
+          (Tag.to_string a.Engine.arr_tag)
+          a.Engine.arr_via)
+      (Engine.taint_history engine first.Engine.alert_addr);
+    print_newline ();
+
+    (* 4. exfiltration *)
+    print_endline "4. EXFILTRATION (tainted bytes per sink, attributed):";
+    List.iter
+      (fun (sink, attribution) ->
+        Printf.printf "   sink %d:\n" sink;
+        List.iter
+          (fun (tag, n) ->
+            Printf.printf "     %-16s %d bytes\n" (Tag.to_string tag) n)
+          attribution)
+      (Engine.sink_profile engine);
+    print_newline ();
+
+    (* 5. the flows' hot spots *)
+    print_endline
+      "5. HOT SPOTS (program points by indirect-flow decisions):";
+    List.iteri
+      (fun i (pc, prop, blocked) ->
+        if i < 5 then
+          Printf.printf "   @%-5d %-24s  +%d propagated, -%d blocked\n" pc
+            (Mitos_isa.Instr.to_string
+               (Mitos_isa.Program.instr built.W.Workload.program pc))
+            prop blocked)
+      (Engine.site_profile engine))

@@ -1,0 +1,63 @@
+(* Quickstart: the paper's Fig. 1 scenario end to end.
+
+   A tainted string arrives from the network and is converted through a
+   lookup table. Every converted byte is produced by a load whose
+   *address* is tainted — an indirect flow. We run the same execution
+   under three propagation policies and watch what each one knows about
+   the output buffer.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Mitos_dift
+module W = Mitos_workload
+
+let input = "This string is tainted"
+
+let run_with policy =
+  (* Build the workload fresh per run: the OS streams are consumed. *)
+  let built = W.Lookup_table.build ~input ~seed:1 () in
+  let engine = W.Workload.run_live ~policy built in
+  let shadow = Engine.shadow engine in
+  let tainted_out = ref 0 in
+  for a = W.Mem.buf_out to W.Mem.buf_out + String.length input - 1 do
+    if Mitos_tag.Shadow.is_tainted_addr shadow a then incr tainted_out
+  done;
+  (Metrics.of_engine engine, !tainted_out)
+
+let () =
+  Printf.printf "Input (tainted, from the network): %S\n\n" input;
+  (* The MITOS policy needs the model inputs of the paper's Table I:
+     alpha (fairness), beta (overtainting steepness), tau (the
+     under/over trade-off), and the tag-space size N_R. *)
+  let params =
+    Mitos.Params.make ~alpha:1.5 ~beta:2.0 ~tau:0.1 ~tau_scale:5e4
+      ~total_tag_space:(4 * 1024 * 1024 * 1024 * 10)
+      ~mem_capacity:Mitos_system.Layout.mem_size ()
+  in
+  let table =
+    Mitos_util.Table.create
+      ~header:[ "policy"; "tainted output bytes"; "copies"; "ifp+"; "ifp-" ]
+      ()
+  in
+  List.iter
+    (fun policy ->
+      let summary, tainted_out = run_with policy in
+      Mitos_util.Table.add_row table
+        [
+          summary.Metrics.policy;
+          Printf.sprintf "%d / %d" tainted_out (String.length input);
+          string_of_int summary.Metrics.total_copies;
+          string_of_int summary.Metrics.ifp_propagated;
+          string_of_int summary.Metrics.ifp_blocked;
+        ])
+    [ Policies.faros; Policies.propagate_all; Policies.mitos params ];
+  Mitos_util.Table.print table;
+  print_newline ();
+  print_endline
+    "faros (no indirect flows) loses ALL taint across the table lookup -\n\
+     the translated string looks clean even though it is a pure function\n\
+     of tainted input. propagate-all keeps everything (and in a big\n\
+     system, overtaints). MITOS decides per flow with the Eq. (8)\n\
+     marginal: here the tag is young (few copies), so its undertainting\n\
+     cost dominates and the flows propagate - while the same policy\n\
+     would start blocking once the tag became overpropagated."

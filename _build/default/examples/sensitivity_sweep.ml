@@ -1,0 +1,63 @@
+(* Sensitivity analysis at the command line: record the network
+   benchmark once, then replay it under a parameter sweep, exactly the
+   methodology of the paper's SV-B (record once with PANDA, replay with
+   different MITOS inputs).
+
+   Run with:
+     dune exec examples/sensitivity_sweep.exe            (tau sweep)
+     dune exec examples/sensitivity_sweep.exe -- alpha   (alpha sweep)
+     dune exec examples/sensitivity_sweep.exe -- u       (u_netflow sweep) *)
+
+open Mitos_dift
+module W = Mitos_workload
+module Calib = Mitos_experiments.Calib
+module Table = Mitos_util.Table
+
+let replay built trace params =
+  let engine = W.Workload.replay ~policy:(Policies.mitos params) built trace in
+  Metrics.of_engine engine
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tau" in
+  print_endline "Recording the network benchmark once...";
+  let built = W.Netbench.build ~seed:Calib.netbench_seed () in
+  let trace = W.Workload.record built in
+  Printf.printf "Recorded %d instructions; replaying the %s sweep.\n\n"
+    (Mitos_replay.Trace.length trace)
+    mode;
+  let table =
+    Table.create
+      ~header:[ mode; "ifp propagated"; "ifp blocked"; "rate"; "copies"; "MSE" ]
+      ()
+  in
+  let sweep =
+    match mode with
+    | "alpha" ->
+      List.map
+        (fun alpha ->
+          (Printf.sprintf "%g" alpha, Calib.sensitivity_params ~alpha ()))
+        [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0 ]
+    | "u" ->
+      List.map
+        (fun u_net ->
+          (Printf.sprintf "%g" u_net, Calib.sensitivity_params ~tau:1.0 ~u_net ()))
+        [ 1.0; 2.0; 5.0; 10.0; 25.0; 50.0; 100.0 ]
+    | _ ->
+      List.map
+        (fun tau -> (Printf.sprintf "%g" tau, Calib.sensitivity_params ~tau ()))
+        [ 1.0; 0.5; 0.1; 0.05; 0.01 ]
+  in
+  List.iter
+    (fun (label, params) ->
+      let s = replay built trace params in
+      Table.add_row table
+        [
+          label;
+          string_of_int s.Metrics.ifp_propagated;
+          string_of_int s.Metrics.ifp_blocked;
+          Printf.sprintf "%.1f%%" (100.0 *. Metrics.propagation_rate s);
+          string_of_int s.Metrics.total_copies;
+          Printf.sprintf "%.3g" s.Metrics.fairness.Mitos.Fairness.mse;
+        ])
+    sweep;
+  Table.print table

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Cost List Mitos_tag Params Tag_type

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Mitos_tag Params Tag_type

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Float Mitos_tag Params Tag Tag_stats

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Mitos_tag Params Tag_stats Tag_type

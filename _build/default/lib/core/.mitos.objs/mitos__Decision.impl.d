@@ -1,0 +1,1 @@
+lib/core/decision.ml: Cost Float List Mitos_tag Params Tag Tag_stats

@@ -1,0 +1,1 @@
+lib/core/decision.mli: Mitos_tag Params Tag Tag_stats

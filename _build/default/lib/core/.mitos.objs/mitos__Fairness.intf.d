@@ -1,0 +1,1 @@
+lib/core/fairness.mli: Format Mitos_tag Tag_stats Tag_type

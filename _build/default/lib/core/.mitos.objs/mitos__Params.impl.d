@@ -1,0 +1,1 @@
+lib/core/params.ml: Array Format List Mitos_tag Printf Tag_type

@@ -1,0 +1,1 @@
+lib/core/params.mli: Format Mitos_tag Tag_type

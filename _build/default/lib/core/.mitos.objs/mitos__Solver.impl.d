@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Cost Float Mitos_tag Params Tag_type

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Mitos_tag Params Tag_type

@@ -1,0 +1,40 @@
+type t = {
+  gain : float;
+  min_tau : float;
+  max_tau : float;
+  target : float;
+  mutable current : Params.t;
+  mutable observations : int;
+}
+
+let create ?(gain = 0.1) ?(min_tau = 1e-6) ?(max_tau = 1e3) ~target_pollution
+    params =
+  if not (target_pollution > 0.0) then
+    invalid_arg "Adaptive.create: target_pollution must be positive";
+  if not (min_tau > 0.0 && max_tau >= min_tau) then
+    invalid_arg "Adaptive.create: bad tau clamp";
+  {
+    gain;
+    min_tau;
+    max_tau;
+    target = target_pollution;
+    current = params;
+    observations = 0;
+  }
+
+let params t = t.current
+let tau t = t.current.Params.tau
+let observations t = t.observations
+
+let observe t ~pollution =
+  t.observations <- t.observations + 1;
+  let n_r = float_of_int t.current.Params.total_tag_space in
+  let fraction = Float.max 0.0 pollution /. n_r in
+  let error = (fraction -. t.target) /. t.target in
+  (* bound a single step so one noisy sample cannot slam the knob *)
+  let error = Float.max (-4.0) (Float.min 4.0 error) in
+  let tau' =
+    Float.min t.max_tau
+      (Float.max t.min_tau (tau t *. exp (t.gain *. error)))
+  in
+  if tau' <> tau t then t.current <- Params.with_tau t.current tau'

@@ -1,0 +1,42 @@
+(** Online τ adaptation.
+
+    The paper presents τ as an input that "dynamically weights the
+    tradeoff between over- and under-tainting" and stresses that MITOS
+    "flexibly adapts to different application scenarios and security
+    needs". This module makes that concrete: a small multiplicative
+    controller that steers τ so the system's memory-pollution fraction
+    tracks an operator-chosen budget — propagate as much as the budget
+    allows, no more.
+
+    The update on each observation of the pollution fraction [p] is
+
+    [tau <- clamp (tau · exp (gain · (p - target) / target))]
+
+    so τ rises (blocking more) when pollution overshoots the budget and
+    falls (propagating more) when there is headroom. *)
+
+type t
+
+val create :
+  ?gain:float ->
+  ?min_tau:float ->
+  ?max_tau:float ->
+  target_pollution:float ->
+  Params.t ->
+  t
+(** [target_pollution] is the budgeted fraction of the tag space
+    N_R, e.g. [1e-6]. Defaults: gain 0.1, τ clamped to
+    [\[1e-6, 1e3\]]. The given params supply the initial τ and every
+    other model input. Raises [Invalid_argument] if the target is not
+    positive. *)
+
+val params : t -> Params.t
+(** Current parameterization (τ reflects the adaptation so far). *)
+
+val tau : t -> float
+
+val observe : t -> pollution:float -> unit
+(** Feed the current weighted pollution [P] (not the fraction; the
+    division by N_R happens internally). *)
+
+val observations : t -> int

@@ -1,0 +1,42 @@
+open Mitos_tag
+
+(* over-submarginal (Eq. 8 right-hand side) for one more copy *)
+let over p ty ~pollution = Cost.over_submarginal p ty ~pollution
+
+let crossover_count p ty ~pollution =
+  let o = over p ty ~pollution in
+  if o <= 0.0 then infinity
+  else (Params.u p ty /. o) ** (1.0 /. p.Params.alpha)
+
+let pollution_ceiling p ty ~n =
+  if n <= 0.0 then infinity
+  else begin
+    (* solve u n^-alpha = tau_eff beta (P/N_R)^(beta-1) o for P *)
+    let target = Params.u p ty *. (n ** -.p.Params.alpha) in
+    let denom = Params.tau_effective p *. p.Params.beta *. Params.o p ty in
+    if denom <= 0.0 then infinity
+    else begin
+      let frac = (target /. denom) ** (1.0 /. (p.Params.beta -. 1.0)) in
+      frac *. float_of_int p.Params.total_tag_space
+    end
+  end
+
+let tau_for_threshold p ty ~n ~pollution =
+  if not (n > 0.0) then invalid_arg "Analysis.tau_for_threshold: n <= 0";
+  if not (pollution > 0.0) then
+    invalid_arg "Analysis.tau_for_threshold: pollution <= 0";
+  let under = Params.u p ty *. (n ** -.p.Params.alpha) in
+  let n_r = float_of_int p.Params.total_tag_space in
+  let geometry =
+    p.Params.beta
+    *. ((pollution /. n_r) ** (p.Params.beta -. 1.0))
+    *. Params.o p ty
+  in
+  under /. (geometry *. p.Params.tau_scale)
+
+let u_for_threshold p ty ~n ~pollution =
+  if not (n > 0.0) then invalid_arg "Analysis.u_for_threshold: n <= 0";
+  over p ty ~pollution *. (n ** p.Params.alpha)
+
+let describe p ~pollution =
+  List.map (fun ty -> (ty, crossover_count p ty ~pollution)) Tag_type.all

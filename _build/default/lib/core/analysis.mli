@@ -1,0 +1,42 @@
+(** Closed-form operating-point analysis of the decision rule.
+
+    Setting Eq. (8) to zero gives the propagation threshold in closed
+    form: a tag of type [t] propagates at an indirect flow iff its
+    copy count satisfies
+
+    [n <= n*(t, P) = (u_t / (tau_eff · β · (P/N_R)^(β-1) · o_t))^(1/α)]
+
+    Everything the evaluation section observes — which τ blocks most
+    flows, how far a u_t boost shifts a type's propagation, when a
+    growing pollution P chokes off a tag — is this one formula read in
+    different directions. The functions below expose it and its
+    inverses, and are what `Mitos_experiments.Calib`'s constants were
+    calibrated against. *)
+
+open Mitos_tag
+
+val crossover_count : Params.t -> Tag_type.t -> pollution:float -> float
+(** [n*(t, P)]: the largest (real) copy count at which the marginal is
+    still non-positive. [infinity] when the overtainting side is zero
+    (τ = 0 or P = 0) — everything propagates. *)
+
+val pollution_ceiling : Params.t -> Tag_type.t -> n:float -> float
+(** Inverse in P: the pollution level beyond which a tag with [n]
+    copies stops propagating. [infinity] if no finite level blocks it
+    (n = 0); 0 when [n = infinity]. *)
+
+val tau_for_threshold :
+  Params.t -> Tag_type.t -> n:float -> pollution:float -> float
+(** Inverse in τ: the τ (at the params' [tau_scale]) that places the
+    threshold exactly at [n] under pollution [P] — the calibration
+    computation. Raises [Invalid_argument] for non-positive [n] or
+    [pollution]. *)
+
+val u_for_threshold :
+  Params.t -> Tag_type.t -> n:float -> pollution:float -> float
+(** Inverse in u_t: the importance weight that places the threshold at
+    [n] (the Fig. 9 / Table II boost computation). *)
+
+val describe : Params.t -> pollution:float -> (Tag_type.t * float) list
+(** The full threshold profile at an operating point: every type's
+    [n*]. *)

@@ -1,0 +1,91 @@
+open Mitos_tag
+
+type verdict = Propagate | Block
+
+let verdict_to_string = function Propagate -> "propagate" | Block -> "block"
+
+type env = { count : Tag.t -> int; pollution : float }
+
+let of_stats p stats =
+  { count = Tag_stats.count stats; pollution = Cost.weighted_pollution p stats }
+
+let marginal p env tag =
+  Cost.marginal p (Tag.ty tag)
+    ~n:(float_of_int (env.count tag))
+    ~pollution:env.pollution
+
+let submarginals p env tag =
+  let ty = Tag.ty tag in
+  ( Cost.under_submarginal p ty ~n:(float_of_int (env.count tag)),
+    Cost.over_submarginal p ty ~pollution:env.pollution )
+
+let alg1 p env tag = if marginal p env tag <= 0.0 then Propagate else Block
+
+type ranked = { tag : Tag.t; marginal : float; verdict : verdict }
+
+let run_alg2 ~recompute p env ~space candidates =
+  if space < 0 then invalid_arg "Decision.alg2: negative space";
+  (* Line 1-2: marginals for all candidates, sorted increasingly. *)
+  let initial =
+    List.map (fun tag -> (tag, marginal p env tag)) candidates
+    |> List.stable_sort (fun (_, a) (_, b) -> Float.compare a b)
+  in
+  (* Lines 3-10: greedy pass. Each accepted propagation adds o_t to
+     the pollution, shifting subsequent overtainting submarginals. *)
+  let pollution = ref env.pollution in
+  let props = ref 0 in
+  List.map
+    (fun (tag, initial_marginal) ->
+      let m =
+        if recompute then
+          Cost.marginal p (Tag.ty tag)
+            ~n:(float_of_int (env.count tag))
+            ~pollution:!pollution
+        else initial_marginal
+      in
+      if !props < space && m <= 0.0 then begin
+        incr props;
+        pollution := !pollution +. Params.o p (Tag.ty tag);
+        { tag; marginal = m; verdict = Propagate }
+      end
+      else { tag; marginal = m; verdict = Block })
+    initial
+
+let alg2 p env ~space candidates = run_alg2 ~recompute:true p env ~space candidates
+
+let alg2_accepted p env ~space candidates =
+  alg2 p env ~space candidates
+  |> List.filter_map (fun r ->
+         match r.verdict with Propagate -> Some r.tag | Block -> None)
+
+let alg2_no_recompute p env ~space candidates =
+  run_alg2 ~recompute:false p env ~space candidates
+
+let alg2_paper p env ~space candidates =
+  if space < 0 then invalid_arg "Decision.alg2_paper: negative space";
+  let initial =
+    List.map (fun tag -> (tag, marginal p env tag)) candidates
+    |> List.stable_sort (fun (_, a) (_, b) -> Float.compare a b)
+  in
+  let pollution = ref env.pollution in
+  let props = ref 0 in
+  let broken = ref false in
+  List.map
+    (fun (tag, _) ->
+      let m =
+        Cost.marginal p (Tag.ty tag)
+          ~n:(float_of_int (env.count tag))
+          ~pollution:!pollution
+      in
+      if (not !broken) && !props < space && m <= 0.0 then begin
+        incr props;
+        pollution := !pollution +. Params.o p (Tag.ty tag);
+        { tag; marginal = m; verdict = Propagate }
+      end
+      else begin
+        (* the paper's while loop exits on the first positive marginal
+           (or when space runs out) and never reconsiders *)
+        broken := true;
+        { tag; marginal = m; verdict = Block }
+      end)
+    initial

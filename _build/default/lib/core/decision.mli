@@ -1,0 +1,68 @@
+(** The MITOS decisioning rules: Algorithm 1 and Algorithm 2.
+
+    Both are first-order (gradient) criteria over the relaxed cost:
+    a tag involved in an indirect flow is propagated iff its marginal
+    cost (Eq. 8) is non-positive (Lemma 2). Algorithm 2 generalizes to
+    several candidate tags and a destination provenance list with only
+    [A] free slots: marginals are computed for every candidate, sorted
+    increasingly, and tags are propagated greedily while space remains
+    and marginals stay non-positive, updating the pollution estimate
+    after each accepted propagation (the paper's line 9). *)
+
+open Mitos_tag
+
+type verdict = Propagate | Block
+
+val verdict_to_string : verdict -> string
+
+(** Inputs to a decision, bundled so policies and experiments can log
+    them. [count] is the current [n_{T,I}] lookup; [pollution] the
+    (possibly stale, in distributed deployments) weighted pollution
+    [P = Σ o_t n_{t,i}]. *)
+type env = { count : Tag.t -> int; pollution : float }
+
+val of_stats : Params.t -> Tag_stats.t -> env
+(** Exact local environment derived from live statistics. *)
+
+val marginal : Params.t -> env -> Tag.t -> float
+(** Eq. (8) for one tag under the environment. *)
+
+val submarginals : Params.t -> env -> Tag.t -> float * float
+(** (undertainting, overtainting) parts of Eq. (8) — the series
+    plotted in the paper's Fig. 7(a). *)
+
+val alg1 : Params.t -> env -> Tag.t -> verdict
+(** Algorithm 1: single tag, sufficient space. *)
+
+(** One per-tag outcome of an Algorithm 2 pass. *)
+type ranked = {
+  tag : Tag.t;
+  marginal : float;  (** marginal at decision time (after updates) *)
+  verdict : verdict;
+}
+
+val alg2 : Params.t -> env -> space:int -> Tag.t list -> ranked list
+(** Algorithm 2: returns one entry per candidate, in the order they
+    were considered (increasing initial marginal). At most [space]
+    entries carry [Propagate]. The pollution term is re-evaluated
+    after each accepted propagation, as in the paper's line 9; the
+    initial sort order is preserved because the overtainting
+    submarginal shifts all remaining candidates of equal [o_t]
+    equally (and candidates are re-ranked lazily otherwise). *)
+
+val alg2_accepted : Params.t -> env -> space:int -> Tag.t list -> Tag.t list
+(** Just the tags to propagate, in acceptance order. *)
+
+val alg2_no_recompute :
+  Params.t -> env -> space:int -> Tag.t list -> ranked list
+(** Ablation: Algorithm 2 with line 9 disabled — marginals are
+    evaluated once against the initial pollution. *)
+
+val alg2_paper : Params.t -> env -> space:int -> Tag.t list -> ranked list
+(** The literal transcription of the paper's Algorithm 2: the while
+    loop stops at the {e first} candidate whose (recomputed) marginal
+    is positive, blocking everything ranked after it. With homogeneous
+    pollution weights this coincides with {!alg2} (the recomputation
+    shifts all remaining candidates equally, preserving the order);
+    with heterogeneous [o_t] the early break can block a later
+    candidate that {!alg2} would still accept. *)

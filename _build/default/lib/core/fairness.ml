@@ -1,0 +1,43 @@
+open Mitos_tag
+module Stats = Mitos_util.Stats
+
+type report = {
+  mse : float;
+  jain : float;
+  entropy_norm : float;
+  gini : float;
+  distinct : int;
+  total_copies : int;
+  max_copies : int;
+  min_copies : int;
+}
+
+let of_counts counts =
+  let distinct = Array.length counts in
+  let total = int_of_float (Stats.total counts) in
+  let mn, mx =
+    if distinct = 0 then (0.0, 0.0) else Stats.min_max counts
+  in
+  {
+    mse = Stats.mse_pairwise counts;
+    jain = Stats.jain_index counts;
+    entropy_norm = Stats.entropy_normalized counts;
+    gini = Stats.gini counts;
+    distinct;
+    total_copies = total;
+    max_copies = int_of_float mx;
+    min_copies = int_of_float mn;
+  }
+
+let of_stats stats = of_counts (Tag_stats.counts_array stats)
+
+let of_stats_type stats ty = of_counts (Tag_stats.counts_of_type stats ty)
+
+let improvement ~baseline r =
+  if r.mse = 0.0 then if baseline.mse = 0.0 then 1.0 else infinity
+  else baseline.mse /. r.mse
+
+let pp ppf r =
+  Format.fprintf ppf
+    "{mse=%.4g; jain=%.3f; H=%.3f; gini=%.3f; tags=%d; copies=%d}"
+    r.mse r.jain r.entropy_norm r.gini r.distinct r.total_copies

@@ -1,0 +1,34 @@
+(** Fairness and tag-balancing metrics (paper §IV contribution 3 and
+    Fig. 8).
+
+    The paper measures "fairness degree, or taint-balancing
+    efficiency, based on the mean square error difference between the
+    number of copies of different tags" — lower is more balanced —
+    and motivates balancing information-theoretically (a balanced tag
+    distribution carries more information, like a fair coin). *)
+
+open Mitos_tag
+
+type report = {
+  mse : float;  (** the paper's Fig. 8 metric *)
+  jain : float;
+  entropy_norm : float;  (** normalized Shannon entropy, in [0,1] *)
+  gini : float;
+  distinct : int;
+  total_copies : int;
+  max_copies : int;
+  min_copies : int;
+}
+
+val of_counts : float array -> report
+val of_stats : Tag_stats.t -> report
+val of_stats_type : Tag_stats.t -> Tag_type.t -> report
+(** Restricted to tags of one type. *)
+
+val improvement : baseline:report -> report -> float
+(** Ratio of MSEs ([baseline.mse /. r.mse]); > 1 means the candidate
+    is better balanced — the paper reports "up to 2x". [infinity] when
+    the candidate MSE is 0 but the baseline's is not; 1 when both are
+    0. *)
+
+val pp : Format.formatter -> report -> unit

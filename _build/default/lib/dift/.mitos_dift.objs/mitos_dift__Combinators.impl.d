@@ -1,0 +1,1 @@
+lib/dift/combinators.ml: List Mitos_tag Policy Printf String Tag Tag_type

@@ -1,0 +1,1 @@
+lib/dift/combinators.mli: Mitos_tag Policy Tag Tag_type

@@ -1,0 +1,1 @@
+lib/dift/engine.ml: Array Hashtbl Int List Mitos_flow Mitos_isa Mitos_tag Policy Provenance Shadow Tag Tag_stats Tag_type

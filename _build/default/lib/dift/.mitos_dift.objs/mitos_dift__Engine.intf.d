@@ -1,0 +1,1 @@
+lib/dift/engine.mli: Mitos_isa Mitos_tag Policy Shadow Tag Tag_stats Tag_type

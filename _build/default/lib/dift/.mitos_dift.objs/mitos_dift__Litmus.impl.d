@@ -1,0 +1,1 @@
+lib/dift/litmus.ml: Array Bytes Engine List Mitos_isa Mitos_tag Shadow Tag Tag_type

@@ -1,0 +1,1 @@
+lib/dift/litmus.mli: Policy

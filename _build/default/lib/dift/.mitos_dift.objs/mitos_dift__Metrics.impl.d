@@ -1,0 +1,1 @@
+lib/dift/metrics.ml: Engine Format Mitos Mitos_isa Mitos_tag Mitos_util Policy Printf Shadow Tag_stats Tag_type Unix

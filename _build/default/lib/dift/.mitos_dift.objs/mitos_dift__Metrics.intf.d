@@ -1,0 +1,1 @@
+lib/dift/metrics.mli: Engine Format Mitos Mitos_tag Mitos_util Shadow

@@ -1,0 +1,1 @@
+lib/dift/policies.ml: List Mitos Mitos_tag Mitos_util Policy Printf Tag Tag_stats Tag_type

@@ -1,0 +1,1 @@
+lib/dift/policies.mli: Mitos Mitos_tag Policy Tag Tag_stats Tag_type

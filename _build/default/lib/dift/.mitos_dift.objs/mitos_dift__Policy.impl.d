@@ -1,0 +1,1 @@
+lib/dift/policy.ml: Mitos_tag Tag Tag_stats

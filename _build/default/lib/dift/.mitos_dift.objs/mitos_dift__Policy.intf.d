@@ -1,0 +1,1 @@
+lib/dift/policy.mli: Mitos_tag Tag Tag_stats

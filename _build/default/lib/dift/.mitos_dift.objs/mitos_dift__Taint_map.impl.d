@@ -1,0 +1,1 @@
+lib/dift/taint_map.ml: Buffer List Mitos_tag Printf Shadow

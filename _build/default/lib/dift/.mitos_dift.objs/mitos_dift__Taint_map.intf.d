@@ -1,0 +1,1 @@
+lib/dift/taint_map.mli: Mitos_tag Shadow Tag_type

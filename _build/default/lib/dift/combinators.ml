@@ -1,0 +1,71 @@
+open Mitos_tag
+
+let intersect name a b =
+  Policy.make ~name ~select:(fun request ->
+      let from_a = Policy.select a request in
+      let from_b = Policy.select b request in
+      let in_b tag = List.exists (Tag.equal tag) from_b in
+      List.filter in_b from_a)
+
+let union name a b =
+  Policy.make ~name ~select:(fun request ->
+      let from_a = Policy.select a request in
+      let from_b = Policy.select b request in
+      from_a
+      @ List.filter
+          (fun tag -> not (List.exists (Tag.equal tag) from_a))
+          from_b)
+
+let per_type ~default table =
+  let policy_for ty =
+    match
+      List.find_opt (fun (t, _) -> Tag_type.equal t ty) table
+    with
+    | Some (_, policy) -> policy
+    | None -> default
+  in
+  let name =
+    Printf.sprintf "per-type(%s)"
+      (String.concat ","
+         (List.map
+            (fun (ty, p) ->
+              Printf.sprintf "%s:%s" (Tag_type.to_string ty) (Policy.name p))
+            table))
+  in
+  Policy.make ~name ~select:(fun request ->
+      (* group candidates by type, preserving order within each group *)
+      let selected_by ty =
+        let mine =
+          List.filter
+            (fun tag -> Tag_type.equal (Tag.ty tag) ty)
+            request.Policy.candidates
+        in
+        if mine = [] then []
+        else
+          Policy.select (policy_for ty)
+            { request with Policy.candidates = mine }
+      in
+      let union_selected =
+        List.concat_map selected_by Tag_type.all
+      in
+      (* restore candidate order and honour the space bound *)
+      let chosen =
+        List.filter
+          (fun tag -> List.exists (Tag.equal tag) union_selected)
+          request.Policy.candidates
+      in
+      List.filteri (fun i _ -> i < request.Policy.space) chosen)
+
+let cap_per_flow k inner =
+  Policy.make
+    ~name:(Printf.sprintf "cap%d(%s)" k (Policy.name inner))
+    ~select:(fun request ->
+      Policy.select inner request |> List.filteri (fun i _ -> i < k))
+
+let logging callback inner =
+  Policy.make
+    ~name:(Printf.sprintf "logged(%s)" (Policy.name inner))
+    ~select:(fun request ->
+      let chosen = Policy.select inner request in
+      callback request chosen;
+      chosen)

@@ -1,0 +1,567 @@
+open Mitos_tag
+module Machine = Mitos_isa.Machine
+module Extract = Mitos_flow.Extract
+module Loc = Mitos_flow.Loc
+
+type source_action =
+  | Taint of Tag.t * [ `Replace | `Union ]
+  | Clear
+  | Copy_within of { src : int; extra : Tag.t option }
+  | Restore of { key : int; extra : Tag.t option }
+
+type config = {
+  m_prov : int;
+  eviction : Shadow.eviction_strategy;
+  track_ctrl : bool;
+  ijump_scope_len : int;
+  route_direct_through_policy : bool;
+  shadow_backend : Shadow.backend;
+}
+
+let default_config =
+  {
+    m_prov = 10;
+    eviction = Shadow.Structural Provenance.Fifo;
+    track_ctrl = true;
+    ijump_scope_len = 32;
+    route_direct_through_policy = false;
+    shadow_backend = Shadow.Hashed;
+  }
+
+type counters = {
+  mutable steps : int;
+  mutable direct_events : int;
+  mutable indirect_events : int;
+  mutable dfp_propagated : int;
+  mutable ifp_propagated : int;
+  mutable ifp_blocked : int;
+  mutable ctrl_scopes_opened : int;
+  mutable source_bytes : int;
+  mutable sink_tainted_bytes : int;
+  mutable shadow_ops : int;
+  per_type_propagated : int array;
+  per_type_blocked : int array;
+}
+
+let fresh_counters () =
+  {
+    steps = 0;
+    direct_events = 0;
+    indirect_events = 0;
+    dfp_propagated = 0;
+    ifp_propagated = 0;
+    ifp_blocked = 0;
+    ctrl_scopes_opened = 0;
+    source_bytes = 0;
+    sink_tainted_bytes = 0;
+    shadow_ops = 0;
+    per_type_propagated = Array.make Tag_type.count 0;
+    per_type_blocked = Array.make Tag_type.count 0;
+  }
+
+(* A control-dependency scope: writes executed while the scope is
+   open receive indirect flows from [tags]. [end_pc] is the branch's
+   immediate post-dominator; [expires_at_step] bounds scopes whose
+   static end is unknown (indirect jumps). *)
+type scope = { tags : Tag.t list; end_pc : int; expires_at_step : int }
+
+type alert = {
+  alert_addr : int;
+  alert_step : int;
+  alert_types : Tag_type.t * Tag_type.t;
+}
+
+type arrival = { arr_tag : Tag.t; arr_step : int; arr_via : string }
+
+type t = {
+  config : config;
+  policy : Policy.t;
+  source_tag : source:int -> source_action;
+  extract : Extract.t;
+  mutable machine : Machine.t option;
+  mutable shadow : Shadow.t option;
+  mutable scopes : scope list;
+  counters : counters;
+  mutable record_hooks : (Machine.exec_record -> unit) list;
+  mutable watches : (Tag_type.t * Tag_type.t) list;
+  alerted : (int * int, unit) Hashtbl.t; (* (addr, watch index) *)
+  mutable rev_alerts : alert list;
+  mutable current_step : int;
+  mutable current_pc : int;
+  site_profile : (int, int ref * int ref) Hashtbl.t; (* pc -> (prop, blocked) *)
+  sink_stats : (int, Tag_stats.t) Hashtbl.t;
+  snapshots : (int, Tag.t list array) Hashtbl.t;
+  mutable history_on : bool;
+  history : (int, arrival list ref) Hashtbl.t; (* newest first *)
+}
+
+let create ?(config = default_config) ~policy ~source_tag prog =
+  {
+    config;
+    policy;
+    source_tag;
+    extract = Extract.create prog;
+    machine = None;
+    shadow = None;
+    scopes = [];
+    counters = fresh_counters ();
+    record_hooks = [];
+    watches = [];
+    alerted = Hashtbl.create 64;
+    rev_alerts = [];
+    current_step = 0;
+    current_pc = 0;
+    site_profile = Hashtbl.create 64;
+    sink_stats = Hashtbl.create 8;
+    snapshots = Hashtbl.create 8;
+    history_on = false;
+    history = Hashtbl.create 256;
+  }
+
+let attach_shadow t ~mem_size =
+  let shadow =
+    Shadow.create ~strategy:t.config.eviction ~backend:t.config.shadow_backend
+      ~mem_capacity:mem_size ~num_regs:Mitos_isa.Instr.num_regs
+      ~m_prov:t.config.m_prov ()
+  in
+  t.shadow <- Some shadow
+
+let attach_existing_shadow t shadow =
+  if Shadow.m_prov shadow <> t.config.m_prov then
+    invalid_arg "Engine.attach_existing_shadow: M_prov mismatch";
+  t.shadow <- Some shadow
+
+let attach t machine =
+  attach_shadow t ~mem_size:(Machine.mem_size machine);
+  t.machine <- Some machine
+
+let the_shadow t =
+  match t.shadow with
+  | Some s -> s
+  | None -> invalid_arg "Engine: no machine attached"
+
+let shadow = the_shadow
+let stats t = Shadow.stats (the_shadow t)
+let counters t = t.counters
+let policy t = t.policy
+let config t = t.config
+let active_scopes t = List.length t.scopes
+let on_record t f = t.record_hooks <- f :: t.record_hooks
+
+(* -- Taint timelines ------------------------------------------------ *)
+
+let record_history t = t.history_on <- true
+
+let taint_history t addr =
+  match Hashtbl.find_opt t.history addr with
+  | Some arrivals -> List.rev !arrivals
+  | None -> []
+
+(* Log the tags in [tags] that were not already present at [addr]
+   (genuine arrivals, not re-copies of resident taint). *)
+let log_arrivals t ~before ~addr ~via tags =
+  if t.history_on then
+    List.iter
+      (fun tag ->
+        if not (List.exists (Tag.equal tag) before) then begin
+          let cell =
+            match Hashtbl.find_opt t.history addr with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.add t.history addr c;
+              c
+          in
+          cell :=
+            { arr_tag = tag; arr_step = t.current_step; arr_via = via }
+            :: !cell
+        end)
+      tags
+
+(* -- Confluence watching ------------------------------------------- *)
+
+let watch_confluence t ty1 ty2 = t.watches <- t.watches @ [ (ty1, ty2) ]
+
+let alerts t = List.rev t.rev_alerts
+
+let first_alert_step t =
+  match List.rev t.rev_alerts with
+  | [] -> None
+  | a :: _ -> Some a.alert_step
+
+let check_confluence_addr t shadow addr =
+  List.iteri
+    (fun i ((ty1, ty2) as types) ->
+      if
+        (not (Hashtbl.mem t.alerted (addr, i)))
+        && Shadow.addr_has_type shadow addr ty1
+        && Shadow.addr_has_type shadow addr ty2
+      then begin
+        Hashtbl.add t.alerted (addr, i) ();
+        t.rev_alerts <-
+          { alert_addr = addr; alert_step = t.current_step; alert_types = types }
+          :: t.rev_alerts
+      end)
+    t.watches
+
+let check_confluence_loc t shadow = function
+  | Loc.Reg _ -> ()
+  | Loc.Mem addr -> if t.watches <> [] then check_confluence_addr t shadow addr
+
+(* -- Tag gathering ------------------------------------------------- *)
+
+let tags_of_loc shadow = function
+  | Loc.Reg r -> Shadow.tags_of_reg shadow r
+  | Loc.Mem a -> Shadow.tags_of_addr shadow a
+
+(* Union of source tags, order-preserving (oldest list entries first),
+   deduplicated. *)
+let gather shadow srcs =
+  let seen = ref Tag.Set.empty in
+  List.concat_map (tags_of_loc shadow) srcs
+  |> List.filter (fun tag ->
+         if Tag.Set.mem tag !seen then false
+         else begin
+           seen := Tag.Set.add tag !seen;
+           true
+         end)
+
+let space_of_loc shadow = function
+  | Loc.Reg r -> Shadow.space_left_reg shadow r
+  | Loc.Mem a -> Shadow.space_left_addr shadow a
+
+(* Op accounting: one op per provenance entry removed or written.
+   Untainted data flowing into untainted locations is free — real DIFT
+   implementations (FAROS included) fast-path clean traffic, so this
+   is the proxy that makes "time" comparable across policies. *)
+let loc_cardinality shadow = function
+  | Loc.Reg r -> List.length (Shadow.tags_of_reg shadow r)
+  | Loc.Mem a -> List.length (Shadow.tags_of_addr shadow a)
+
+let set_loc_tags t shadow ~via loc tags =
+  let old_card = loc_cardinality shadow loc in
+  t.counters.shadow_ops <- t.counters.shadow_ops + old_card + List.length tags;
+  (match loc with
+  | Loc.Reg r -> Shadow.set_reg_tags shadow r tags
+  | Loc.Mem a ->
+    if t.history_on then
+      log_arrivals t ~before:(Shadow.tags_of_addr shadow a) ~addr:a ~via tags;
+    Shadow.set_addr_tags shadow a tags);
+  check_confluence_loc t shadow loc
+
+let union_loc_tags t shadow ~via loc tags =
+  if tags <> [] then begin
+    t.counters.shadow_ops <- t.counters.shadow_ops + List.length tags;
+    (match loc with
+    | Loc.Reg r -> Shadow.union_into_reg shadow r tags
+    | Loc.Mem a ->
+      if t.history_on then
+        log_arrivals t ~before:(Shadow.tags_of_addr shadow a) ~addr:a ~via
+          tags;
+      Shadow.union_into_addr shadow a tags);
+    check_confluence_loc t shadow loc
+  end
+
+(* -- Policy consultation ------------------------------------------- *)
+
+let consult t shadow ~kind ~candidates ~space ~width ~step =
+  let request =
+    {
+      Policy.kind;
+      candidates;
+      space;
+      width;
+      stats = Shadow.stats shadow;
+      step;
+    }
+  in
+  Policy.select t.policy request
+
+let site_cell t =
+  match Hashtbl.find_opt t.site_profile t.current_pc with
+  | Some cell -> cell
+  | None ->
+    let cell = (ref 0, ref 0) in
+    Hashtbl.add t.site_profile t.current_pc cell;
+    cell
+
+let count_ifp t ~candidates ~chosen =
+  let chosen_set = List.fold_left (fun s x -> Tag.Set.add x s) Tag.Set.empty chosen in
+  let site_prop, site_block = site_cell t in
+  List.iter
+    (fun tag ->
+      let ti = Tag_type.to_int (Tag.ty tag) in
+      if Tag.Set.mem tag chosen_set then begin
+        t.counters.ifp_propagated <- t.counters.ifp_propagated + 1;
+        incr site_prop;
+        t.counters.per_type_propagated.(ti) <-
+          t.counters.per_type_propagated.(ti) + 1
+      end
+      else begin
+        t.counters.ifp_blocked <- t.counters.ifp_blocked + 1;
+        incr site_block;
+        t.counters.per_type_blocked.(ti) <- t.counters.per_type_blocked.(ti) + 1
+      end)
+    candidates
+
+let site_profile t =
+  Hashtbl.fold
+    (fun pc (prop, blocked) acc -> (pc, !prop, !blocked) :: acc)
+    t.site_profile []
+  |> List.sort (fun (_, p1, b1) (_, p2, b2) ->
+         Int.compare (p2 + b2) (p1 + b1))
+
+(* Apply an indirect flow of [candidates] into [dst]. *)
+let apply_indirect t shadow ~kind ~width ~step candidates dst =
+  if candidates <> [] then begin
+    t.counters.indirect_events <- t.counters.indirect_events + 1;
+    let space = space_of_loc shadow dst in
+    let chosen = consult t shadow ~kind ~candidates ~space ~width ~step in
+    count_ifp t ~candidates ~chosen;
+    union_loc_tags t shadow ~via:(Policy.flow_kind_to_string kind) dst chosen
+  end
+
+(* Apply a direct flow: replace semantics. *)
+let apply_direct t shadow ~kind ~width ~step srcs dsts =
+  t.counters.direct_events <- t.counters.direct_events + 1;
+  let tags = gather shadow srcs in
+  let chosen =
+    if t.config.route_direct_through_policy then begin
+      (* Replace semantics frees the whole list first. *)
+      let chosen =
+        consult t shadow ~kind ~candidates:tags ~space:t.config.m_prov ~width
+          ~step
+      in
+      count_ifp t ~candidates:tags ~chosen;
+      chosen
+    end
+    else tags
+  in
+  t.counters.dfp_propagated <-
+    t.counters.dfp_propagated + (List.length chosen * List.length dsts);
+  let via = Policy.flow_kind_to_string kind in
+  List.iter (fun dst -> set_loc_tags t shadow ~via dst chosen) dsts
+
+let width_of_record (r : Machine.exec_record) =
+  match (r.mem_read, r.mem_write) with
+  | Some (_, len), _ | _, Some (_, len) -> len
+  | None, None -> 0
+
+(* -- Scope management ---------------------------------------------- *)
+
+let pop_scopes t ~pc ~step =
+  t.scopes <-
+    List.filter
+      (fun scope -> scope.end_pc <> pc && step < scope.expires_at_step)
+      t.scopes
+
+let push_scope t ~tags ~end_pc ~expires_at_step =
+  if tags <> [] then begin
+    t.counters.ctrl_scopes_opened <- t.counters.ctrl_scopes_opened + 1;
+    t.scopes <- { tags; end_pc; expires_at_step } :: t.scopes
+  end
+
+let scope_tags t =
+  match t.scopes with
+  | [] -> []
+  | scopes ->
+    let seen = ref Tag.Set.empty in
+    List.concat_map (fun s -> s.tags) scopes
+    |> List.filter (fun tag ->
+           if Tag.Set.mem tag !seen then false
+           else begin
+             seen := Tag.Set.add tag !seen;
+             true
+           end)
+
+(* Program-level writes of a record (registers + memory, excluding
+   syscall effects, which carry their own taint semantics). *)
+let program_writes (r : Machine.exec_record) =
+  let regs =
+    match r.reg_write with Some (reg, _) -> [ Loc.Reg reg ] | None -> []
+  in
+  let mems =
+    match r.mem_write with
+    | Some (addr, len) -> Loc.mem_range addr len
+    | None -> []
+  in
+  regs @ mems
+
+(* -- Sources and sinks --------------------------------------------- *)
+
+let apply_source t shadow ~addr ~len ~source =
+  match t.source_tag ~source with
+  | Clear ->
+    for a = addr to addr + len - 1 do
+      let old = List.length (Shadow.tags_of_addr shadow a) in
+      t.counters.shadow_ops <- t.counters.shadow_ops + old;
+      Shadow.clear_addr shadow a
+    done
+  | Taint (tag, `Replace) ->
+    for a = addr to addr + len - 1 do
+      let before = Shadow.tags_of_addr shadow a in
+      t.counters.shadow_ops <-
+        t.counters.shadow_ops + List.length before + 1;
+      log_arrivals t ~before ~addr:a ~via:"source" [ tag ];
+      Shadow.set_addr_tags shadow a [ tag ];
+      if t.watches <> [] then check_confluence_addr t shadow a
+    done;
+    t.counters.source_bytes <- t.counters.source_bytes + len
+  | Taint (tag, `Union) ->
+    for a = addr to addr + len - 1 do
+      log_arrivals t ~before:(Shadow.tags_of_addr shadow a) ~addr:a
+        ~via:"source" [ tag ];
+      Shadow.union_into_addr shadow a [ tag ];
+      if t.watches <> [] then check_confluence_addr t shadow a
+    done;
+    t.counters.source_bytes <- t.counters.source_bytes + len;
+    t.counters.shadow_ops <- t.counters.shadow_ops + len
+  | Copy_within { src; extra } ->
+    (* data copied from elsewhere in memory by the OS (proc_read):
+       provenance travels with it, optionally gaining a tag for the
+       crossing (the paper's Fig. 2 accumulation) *)
+    for i = 0 to len - 1 do
+      let from_tags = Shadow.tags_of_addr shadow (src + i) in
+      let tags =
+        match extra with
+        | Some tag -> from_tags @ [ tag ]
+        | None -> from_tags
+      in
+      let a = addr + i in
+      let before = Shadow.tags_of_addr shadow a in
+      t.counters.shadow_ops <-
+        t.counters.shadow_ops + List.length before + List.length tags;
+      log_arrivals t ~before ~addr:a ~via:"source" tags;
+      Shadow.set_addr_tags shadow a tags;
+      if tags <> [] then
+        t.counters.source_bytes <- t.counters.source_bytes + 1;
+      if t.watches <> [] then check_confluence_addr t shadow a
+    done
+  | Restore { key; extra } ->
+    (* data materialized from captured storage (file read-back):
+       restore the content's taint as of the capture, plus the
+       storage-crossing tag *)
+    let stored = Hashtbl.find_opt t.snapshots key in
+    for i = 0 to len - 1 do
+      let from_tags =
+        match stored with
+        | Some arr when i < Array.length arr -> arr.(i)
+        | Some _ | None -> []
+      in
+      let tags =
+        match extra with
+        | Some tag -> from_tags @ [ tag ]
+        | None -> from_tags
+      in
+      let a = addr + i in
+      let before = Shadow.tags_of_addr shadow a in
+      t.counters.shadow_ops <-
+        t.counters.shadow_ops + List.length before + List.length tags;
+      log_arrivals t ~before ~addr:a ~via:"source" tags;
+      Shadow.set_addr_tags shadow a tags;
+      if tags <> [] then
+        t.counters.source_bytes <- t.counters.source_bytes + 1;
+      if t.watches <> [] then check_confluence_addr t shadow a
+    done
+
+let sink_cell t sink =
+  match Hashtbl.find_opt t.sink_stats sink with
+  | Some stats -> stats
+  | None ->
+    let stats = Tag_stats.create () in
+    Hashtbl.add t.sink_stats sink stats;
+    stats
+
+let apply_sink t shadow ~addr ~len ~sink =
+  let stats = sink_cell t sink in
+  for a = addr to addr + len - 1 do
+    match Shadow.tags_of_addr shadow a with
+    | [] -> ()
+    | tags ->
+      t.counters.sink_tainted_bytes <- t.counters.sink_tainted_bytes + 1;
+      List.iter (Tag_stats.incr stats) tags
+  done
+
+let sink_profile t =
+  Hashtbl.fold
+    (fun sink stats acc -> (sink, Tag_stats.snapshot stats) :: acc)
+    t.sink_stats []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* -- Main event application ---------------------------------------- *)
+
+let apply_event t shadow ~width ~step (event : Extract.event) =
+  match event with
+  | Extract.Copy { srcs; dsts } ->
+    apply_direct t shadow ~kind:Policy.Direct_copy ~width ~step srcs dsts
+  | Extract.Compute { srcs; dsts } ->
+    apply_direct t shadow ~kind:Policy.Direct_compute ~width ~step srcs dsts
+  | Extract.Addr_dep { addr_srcs; dsts } ->
+    let candidates = gather shadow addr_srcs in
+    if candidates <> [] then
+      List.iter
+        (fun dst ->
+          apply_indirect t shadow ~kind:Policy.Addr ~width ~step candidates
+            dst)
+        dsts
+  | Extract.Branch_point { cond_srcs; scope_end; taken = _ } ->
+    if t.config.track_ctrl then begin
+      let candidates = gather shadow cond_srcs in
+      push_scope t ~tags:candidates ~end_pc:scope_end
+        ~expires_at_step:max_int
+    end
+  | Extract.Indirect_jump { target_srcs } ->
+    if t.config.track_ctrl then begin
+      let candidates = gather shadow target_srcs in
+      push_scope t ~tags:candidates ~end_pc:(-1)
+        ~expires_at_step:(step + t.config.ijump_scope_len)
+    end
+  | Extract.Sys_source { addr; len; source } ->
+    apply_source t shadow ~addr ~len ~source
+  | Extract.Sys_sink { addr; len; sink } -> apply_sink t shadow ~addr ~len ~sink
+  | Extract.Sys_snapshot { addr; len; key } ->
+    Hashtbl.replace t.snapshots key
+      (Array.init len (fun i -> Shadow.tags_of_addr shadow (addr + i)))
+  | Extract.Sys_clear_reg r ->
+    Shadow.clear_reg shadow r;
+    t.counters.shadow_ops <- t.counters.shadow_ops + 1
+
+let process_record t (r : Machine.exec_record) =
+  let shadow = the_shadow t in
+  let step = r.step in
+  t.current_step <- step;
+  t.current_pc <- r.pc;
+  pop_scopes t ~pc:r.pc ~step;
+  let width = width_of_record r in
+  let events = Extract.events_of_record t.extract r in
+  List.iter (apply_event t shadow ~width ~step) events;
+  (* Control dependencies: writes under open scopes receive the scope
+     tags as indirect flows. *)
+  if t.config.track_ctrl && t.scopes <> [] then begin
+    let candidates = scope_tags t in
+    if candidates <> [] then
+      List.iter
+        (fun dst ->
+          apply_indirect t shadow ~kind:Policy.Ctrl
+            ~width:(width_of_record r) ~step candidates dst)
+        (program_writes r)
+  end;
+  t.counters.steps <- t.counters.steps + 1;
+  List.iter (fun f -> f r) t.record_hooks
+
+let step t =
+  match t.machine with
+  | None -> invalid_arg "Engine.step: no machine attached"
+  | Some machine -> (
+    match Machine.step machine with
+    | None -> false
+    | Some record ->
+      process_record t record;
+      true)
+
+let run ?(max_steps = 10_000_000) t =
+  let n = ref 0 in
+  while !n < max_steps && step t do
+    incr n
+  done;
+  !n

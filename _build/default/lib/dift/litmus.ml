@@ -1,0 +1,154 @@
+open Mitos_tag
+module Machine = Mitos_isa.Machine
+module Instr = Mitos_isa.Instr
+module Program = Mitos_isa.Program
+
+type flow_class = Direct | Addr | Ctrl | Ijump
+
+type case = { case_name : string; case_class : flow_class; description : string }
+
+(* Self-contained source: syscall 1 fills 4 bytes at r1 with 'x'
+   (0x78) tainted network#1. *)
+let source_tag ~source =
+  if source = 1 then Engine.Taint (Tag.make Tag_type.Network 1, `Replace)
+  else Engine.Clear
+
+let handler m ~sysno:_ =
+  let addr = Machine.get_reg m 1 in
+  Machine.write_bytes m addr (Bytes.make 4 'x');
+  [ Machine.Sys_wrote_mem { addr; len = 4; source = 1 } ]
+
+let src = 0x100 (* tainted source bytes *)
+let obs = 0x200 (* observation byte *)
+
+(* every program starts by tainting 4 bytes at [src] *)
+let prologue = [ Instr.Li (1, src); Instr.Syscall 1 ]
+
+type spec = {
+  case : case;
+  program : Instr.t list;
+  observe : int;  (** address checked for taint *)
+  never : bool;  (** engineered to stay clean under any policy *)
+}
+
+let mk name cls ?(observe = obs) ?(never = false) description program =
+  {
+    case = { case_name = name; case_class = cls; description };
+    program = prologue @ program @ [ Instr.Halt ];
+    observe;
+    never;
+  }
+
+let specs =
+  [
+    mk "copy-chain" Direct
+      "load a tainted byte, store it elsewhere (copy dependency)"
+      [
+        Instr.Li (4, src); Instr.Load (Instr.W8, 5, 4, 0);
+        Instr.Li (6, obs); Instr.Store (Instr.W8, 5, 6, 0);
+      ];
+    mk "compute-union" Direct
+      "combine a tainted and a clean value by addition"
+      [
+        Instr.Li (4, src); Instr.Load (Instr.W8, 5, 4, 0);
+        Instr.Li (6, 41); Instr.Bin (Instr.Add, 7, 5, 6);
+        Instr.Li (6, obs); Instr.Store (Instr.W8, 7, 6, 0);
+      ];
+    mk "clean-overwrite" Direct ~never:true
+      "a clean store over a previously tainted byte clears it"
+      [
+        (* taint obs directly, then overwrite with a constant *)
+        Instr.Li (4, src); Instr.Load (Instr.W8, 5, 4, 0);
+        Instr.Li (6, obs); Instr.Store (Instr.W8, 5, 6, 0);
+        Instr.Li (5, 0); Instr.Store (Instr.W8, 5, 6, 0);
+      ];
+    mk "addr-load" Addr
+      "load through a tainted index (table translation)"
+      [
+        Instr.Li (4, src); Instr.Load (Instr.W8, 5, 4, 0);
+        (* address = 0x300 + tainted 0x78; the table is clean *)
+        Instr.Bini (Instr.Add, 5, 5, 0x300);
+        Instr.Load (Instr.W8, 7, 5, 0);
+        Instr.Li (6, obs); Instr.Store (Instr.W8, 7, 6, 0);
+      ];
+    mk "addr-store" Addr ~observe:(0x400 + 0x78)
+      "store a clean value through a tainted pointer"
+      [
+        Instr.Li (4, src); Instr.Load (Instr.W8, 5, 4, 0);
+        Instr.Bini (Instr.Add, 5, 5, 0x400);
+        Instr.Li (7, 1); Instr.Store (Instr.W8, 7, 5, 0);
+      ];
+    mk "ctrl-in-scope" Ctrl
+      "a write guarded by a branch on tainted data"
+      [
+        (* 2 *) Instr.Li (4, src);
+        (* 3 *) Instr.Load (Instr.W8, 5, 4, 0);
+        (* 4 *) Instr.Li (6, 0);
+        (* 5 *) Instr.Branch (Instr.Eq, 5, 6, 8);
+        (* 6 *) Instr.Li (7, 1);
+        (* 7 *) Instr.Jmp 8;
+        (* 8: join *) Instr.Li (9, obs);
+        (* 9 *) Instr.Store (Instr.W8, 7, 9, 0);
+      ];
+    mk "ctrl-after-join" Ctrl ~never:true
+      "a write after the branch's immediate post-dominator is outside \
+       the scope"
+      [
+        (* 2 *) Instr.Li (4, src);
+        (* 3 *) Instr.Load (Instr.W8, 5, 4, 0);
+        (* 4 *) Instr.Li (6, 0);
+        (* 5 *) Instr.Branch (Instr.Eq, 5, 6, 7);
+        (* 6 *) Instr.Nop;
+        (* 7: join *) Instr.Li (7, 1);
+        (* 8 *) Instr.Li (9, obs);
+        (* 9 *) Instr.Store (Instr.W8, 7, 9, 0);
+      ];
+    mk "ijump-target" Ijump
+      "a write immediately after an indirect jump through a tainted \
+       register"
+      [
+        (* 2 *) Instr.Li (4, src);
+        (* 3 *) Instr.Load (Instr.W8, 5, 4, 0);
+        (* force the tainted value to the jump target 7 *)
+        (* 4 *) Instr.Bini (Instr.And, 5, 5, 0);
+        (* 5 *) Instr.Bini (Instr.Add, 5, 5, 7);
+        (* 6 *) Instr.Jr 5;
+        (* 7 *) Instr.Li (7, 1);
+        (* 8 *) Instr.Li (9, obs);
+        (* 9 *) Instr.Store (Instr.W8, 7, 9, 0);
+      ];
+  ]
+
+let cases = List.map (fun spec -> spec.case) specs
+
+type outcome = { case : case; tainted : bool }
+
+let run_spec policy spec =
+  let program = Program.make (Array.of_list spec.program) in
+  let machine = Machine.create ~mem_size:4096 ~syscall:handler program in
+  (* direct flows are routed through the policy so the suite's Direct
+     axis measures the policy, not the engine's unconditional path *)
+  let config =
+    { Engine.default_config with route_direct_through_policy = true }
+  in
+  let engine = Engine.create ~config ~policy ~source_tag program in
+  Engine.attach engine machine;
+  ignore (Engine.run engine);
+  { case = spec.case; tainted = Shadow.is_tainted_addr (Engine.shadow engine) spec.observe }
+
+let run policy = List.map (run_spec policy) specs
+
+let check ~direct ~addr ~ctrl policy =
+  List.filter_map
+    (fun spec ->
+      let { tainted; _ } = run_spec policy spec in
+      let expected =
+        if spec.never then false
+        else
+          match spec.case.case_class with
+          | Direct -> direct
+          | Addr -> addr
+          | Ctrl | Ijump -> ctrl
+      in
+      if tainted = expected then None else Some (spec.case, expected, tainted))
+    specs

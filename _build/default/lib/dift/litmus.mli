@@ -1,0 +1,48 @@
+(** Litmus tests for propagation policies.
+
+    A policy author (the paper's framework explicitly invites new
+    policies) needs to know exactly which flow classes their policy
+    propagates. Each litmus case is a tiny program with one flow of a
+    known class from a tainted source to an observed byte; running the
+    suite against a policy yields, per case, whether taint reached the
+    observation point. {!check} compares the outcomes against a
+    declared profile and reports mismatches — a conformance test in a
+    few lines:
+
+    {[
+      match Litmus.check ~direct:true ~addr:true ~ctrl:false my_policy with
+      | [] -> ()
+      | failures -> (* the policy does not do what you think *)
+    ]} *)
+
+(** Flow class exercised by a case. *)
+type flow_class = Direct | Addr | Ctrl | Ijump
+
+type case = {
+  case_name : string;
+  case_class : flow_class;
+  description : string;
+}
+
+val cases : case list
+(** The suite: direct copy chains, computation unions, clean
+    overwrites, address-dependent loads and stores, control
+    dependencies inside and after their scope, tainted indirect
+    jumps. *)
+
+type outcome = {
+  case : case;
+  tainted : bool;  (** did taint reach the observation byte? *)
+}
+
+val run : Policy.t -> outcome list
+(** Execute every case under the policy (full engine, default
+    config). *)
+
+val check :
+  direct:bool -> addr:bool -> ctrl:bool -> Policy.t -> (case * bool * bool) list
+(** [check ~direct ~addr ~ctrl policy] runs the suite and returns the
+    mismatches as [(case, expected, got)]. [Ijump] cases follow
+    [ctrl]. Cases engineered to never taint (scope-exit checks)
+    expect [false] regardless of the profile. An empty list means the
+    policy conforms to the declared profile. *)

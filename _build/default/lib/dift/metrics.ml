@@ -1,0 +1,112 @@
+open Mitos_tag
+
+type summary = {
+  policy : string;
+  steps : int;
+  wall_seconds : float;
+  shadow_ops : int;
+  footprint_bytes : int;
+  tainted_bytes : int;
+  total_copies : int;
+  distinct_tags : int;
+  ifp_propagated : int;
+  ifp_blocked : int;
+  dfp_propagated : int;
+  ctrl_scopes : int;
+  detected_bytes : int;
+  fairness : Mitos.Fairness.report;
+}
+
+let detection_bytes shadow =
+  Shadow.bytes_with_both shadow Tag_type.Network Tag_type.Export_table
+
+let of_engine ?(wall_seconds = 0.0) engine =
+  let shadow = Engine.shadow engine in
+  let stats = Shadow.stats shadow in
+  let c = Engine.counters engine in
+  {
+    policy = Policy.name (Engine.policy engine);
+    steps = c.Engine.steps;
+    wall_seconds;
+    shadow_ops = c.Engine.shadow_ops;
+    footprint_bytes = Shadow.footprint_bytes shadow;
+    tainted_bytes = Shadow.tainted_bytes shadow;
+    total_copies = Tag_stats.total stats;
+    distinct_tags = Tag_stats.distinct stats;
+    ifp_propagated = c.Engine.ifp_propagated;
+    ifp_blocked = c.Engine.ifp_blocked;
+    dfp_propagated = c.Engine.dfp_propagated;
+    ctrl_scopes = c.Engine.ctrl_scopes_opened;
+    detected_bytes = detection_bytes shadow;
+    fairness = Mitos.Fairness.of_stats stats;
+  }
+
+let measure_run ?max_steps engine =
+  let t0 = Unix.gettimeofday () in
+  ignore (Engine.run ?max_steps engine);
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  of_engine ~wall_seconds engine
+
+let propagation_rate s =
+  let total = s.ifp_propagated + s.ifp_blocked in
+  if total = 0 then 1.0 else float_of_int s.ifp_propagated /. float_of_int total
+
+let header =
+  [
+    "policy"; "steps"; "shadow-ops"; "space(B)"; "tainted"; "copies";
+    "ifp+"; "ifp-"; "detected"; "mse";
+  ]
+
+let row s =
+  [
+    s.policy;
+    string_of_int s.steps;
+    string_of_int s.shadow_ops;
+    string_of_int s.footprint_bytes;
+    string_of_int s.tainted_bytes;
+    string_of_int s.total_copies;
+    string_of_int s.ifp_propagated;
+    string_of_int s.ifp_blocked;
+    string_of_int s.detected_bytes;
+    Printf.sprintf "%.3g" s.fairness.Mitos.Fairness.mse;
+  ]
+
+type timeline = {
+  steps_series : Mitos_util.Timeseries.t;
+  copies : Mitos_util.Timeseries.t;
+  tainted : Mitos_util.Timeseries.t;
+  distinct : Mitos_util.Timeseries.t;
+}
+
+let attach_timeline ?(sample_every = 1024) engine =
+  if sample_every < 1 then invalid_arg "Metrics.attach_timeline: sample_every";
+  let timeline =
+    {
+      steps_series = Mitos_util.Timeseries.create ~name:"steps" ();
+      copies = Mitos_util.Timeseries.create ~name:"copies" ();
+      tainted = Mitos_util.Timeseries.create ~name:"tainted" ();
+      distinct = Mitos_util.Timeseries.create ~name:"distinct" ();
+    }
+  in
+  let count = ref 0 in
+  Engine.on_record engine (fun record ->
+      incr count;
+      if !count mod sample_every = 0 then begin
+        let step = float_of_int record.Mitos_isa.Machine.step in
+        let stats = Engine.stats engine in
+        Mitos_util.Timeseries.add timeline.steps_series step step;
+        Mitos_util.Timeseries.add timeline.copies step
+          (float_of_int (Tag_stats.total stats));
+        Mitos_util.Timeseries.add timeline.tainted step
+          (float_of_int (Shadow.tainted_bytes (Engine.shadow engine)));
+        Mitos_util.Timeseries.add timeline.distinct step
+          (float_of_int (Tag_stats.distinct stats))
+      end);
+  timeline
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%s: steps=%d ops=%d space=%dB tainted=%d copies=%d ifp=+%d/-%d \
+     detected=%d"
+    s.policy s.steps s.shadow_ops s.footprint_bytes s.tainted_bytes
+    s.total_copies s.ifp_propagated s.ifp_blocked s.detected_bytes

@@ -1,0 +1,59 @@
+(** Run-level measurement: the quantities the paper's evaluation
+    reports, extracted from a finished (or running) engine. *)
+
+open Mitos_tag
+
+type summary = {
+  policy : string;
+  steps : int;
+  wall_seconds : float;  (** measured by {!measure_run} *)
+  shadow_ops : int;  (** time-cost proxy (deterministic) *)
+  footprint_bytes : int;  (** shadow-memory space (Table II "Space") *)
+  tainted_bytes : int;
+  total_copies : int;
+  distinct_tags : int;
+  ifp_propagated : int;
+  ifp_blocked : int;
+  dfp_propagated : int;
+  ctrl_scopes : int;
+  detected_bytes : int;
+      (** bytes carrying both netflow and export-table tags — the
+          paper's in-memory-attack detection metric (Table II) *)
+  fairness : Mitos.Fairness.report;
+}
+
+val of_engine : ?wall_seconds:float -> Engine.t -> summary
+
+val measure_run : ?max_steps:int -> Engine.t -> summary
+(** [Engine.run] under a wall clock. *)
+
+val detection_bytes : Shadow.t -> int
+(** [Shadow.bytes_with_both shadow Network Export_table]. *)
+
+val propagation_rate : summary -> float
+(** Fraction of IFP candidates propagated; 1 if none were seen. *)
+
+val header : string list
+(** Column labels matching {!row}. *)
+
+val row : summary -> string list
+(** Render for {!Mitos_util.Table}. *)
+
+val pp : Format.formatter -> summary -> unit
+
+(** {1 Live timelines}
+
+    Sampling of system-level quantities while the engine runs — the
+    raw series behind "pollution is (mostly) increasing on time"
+    (paper §V-B). *)
+
+type timeline = {
+  steps_series : Mitos_util.Timeseries.t;  (** x = machine step *)
+  copies : Mitos_util.Timeseries.t;  (** total tag copies *)
+  tainted : Mitos_util.Timeseries.t;  (** tainted memory bytes *)
+  distinct : Mitos_util.Timeseries.t;  (** live distinct tags *)
+}
+
+val attach_timeline : ?sample_every:int -> Engine.t -> timeline
+(** Register a sampling hook on the engine (default: every 1024
+    processed records). Attach before running. *)

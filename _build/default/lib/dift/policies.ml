@@ -1,0 +1,169 @@
+open Mitos_tag
+
+let take_space request tags =
+  (* Propagating more tags than the destination has space for is
+     allowed (the list evicts), but baseline policies historically cap
+     at the available space; we keep everything and let the list's
+     eviction policy act, matching FAROS's FIFO behaviour. *)
+  ignore request;
+  tags
+
+let direct_all (request : Policy.request) =
+  if Policy.is_indirect request.kind then [] else request.candidates
+
+let faros = Policy.make ~name:"faros" ~select:direct_all
+
+let propagate_all =
+  Policy.make ~name:"propagate-all" ~select:(fun request ->
+      take_space request request.candidates)
+
+let block_all = Policy.make ~name:"block-all" ~select:(fun _ -> [])
+
+let minos_width =
+  Policy.make ~name:"minos-width" ~select:(fun request ->
+      match request.kind with
+      | Policy.Direct_copy | Policy.Direct_compute -> request.candidates
+      | Policy.Addr -> if request.width <= 1 then request.candidates else []
+      | Policy.Ctrl | Policy.Ijump -> [])
+
+let probabilistic ~seed ~p =
+  let rng = Mitos_util.Rng.create seed in
+  Policy.make
+    ~name:(Printf.sprintf "probabilistic-%.2f" p)
+    ~select:(fun request ->
+      if Policy.is_indirect request.kind then
+        List.filter (fun _ -> Mitos_util.Rng.bernoulli rng p) request.candidates
+      else request.candidates)
+
+let pollution_threshold ~limit =
+  Policy.make
+    ~name:(Printf.sprintf "threshold-%d" limit)
+    ~select:(fun request ->
+      if Policy.is_indirect request.kind then
+        if Tag_stats.total request.stats < limit then request.candidates
+        else []
+      else request.candidates)
+
+type observation = {
+  step : int;
+  tag : Tag.t;
+  kind : Policy.flow_kind;
+  under : float;
+  over : float;
+  propagated : bool;
+}
+
+let mitos ?(name = "mitos") ?pollution_source ?observe ?(handle_direct = false)
+    ?(recompute = true) params =
+  let pollution stats =
+    match pollution_source with
+    | Some f -> f stats
+    | None -> Mitos.Cost.weighted_pollution params stats
+  in
+  let select (request : Policy.request) =
+    if (not handle_direct) && not (Policy.is_indirect request.kind) then
+      request.candidates
+    else begin
+      let env =
+        {
+          Mitos.Decision.count = Tag_stats.count request.stats;
+          pollution = pollution request.stats;
+        }
+      in
+      let ranked =
+        if recompute then
+          Mitos.Decision.alg2 params env ~space:request.space
+            request.candidates
+        else
+          Mitos.Decision.alg2_no_recompute params env ~space:request.space
+            request.candidates
+      in
+      (match observe with
+      | None -> ()
+      | Some f ->
+        List.iter
+          (fun (r : Mitos.Decision.ranked) ->
+            let under, over =
+              Mitos.Decision.submarginals params env r.Mitos.Decision.tag
+            in
+            f
+              {
+                step = request.step;
+                tag = r.Mitos.Decision.tag;
+                kind = request.kind;
+                under;
+                over;
+                propagated = r.Mitos.Decision.verdict = Mitos.Decision.Propagate;
+              })
+          ranked);
+      List.filter_map
+        (fun (r : Mitos.Decision.ranked) ->
+          match r.Mitos.Decision.verdict with
+          | Mitos.Decision.Propagate -> Some r.Mitos.Decision.tag
+          | Mitos.Decision.Block -> None)
+        ranked
+    end
+  in
+  Policy.make ~name ~select
+
+let mitos_adaptive ?(name = "mitos-adaptive") ?(update_period = 256)
+    ?(handle_direct = false) controller =
+  let decisions = ref 0 in
+  let select (request : Policy.request) =
+    if (not handle_direct) && not (Policy.is_indirect request.kind) then
+      request.candidates
+    else begin
+      let params = Mitos.Adaptive.params controller in
+      incr decisions;
+      if !decisions mod update_period = 0 then
+        Mitos.Adaptive.observe controller
+          ~pollution:(Mitos.Cost.weighted_pollution params request.stats);
+      let params = Mitos.Adaptive.params controller in
+      let env =
+        {
+          Mitos.Decision.count = Tag_stats.count request.stats;
+          pollution = Mitos.Cost.weighted_pollution params request.stats;
+        }
+      in
+      Mitos.Decision.alg2_accepted params env ~space:request.space
+        request.candidates
+    end
+  in
+  Policy.make ~name ~select
+
+let with_confluence_boost ?(factor = 25.0) ~pairs params =
+  let boosted =
+    (* precompute one boosted parameterization per watched pair *)
+    List.map
+      (fun (ty1, ty2) ->
+        let p = Mitos.Params.with_u params ty1 (factor *. Mitos.Params.u params ty1) in
+        let p = Mitos.Params.with_u p ty2 (factor *. Mitos.Params.u p ty2) in
+        ((ty1, ty2), p))
+      pairs
+  in
+  let select (request : Policy.request) =
+    if not (Policy.is_indirect request.kind) then request.candidates
+    else begin
+      let has ty =
+        List.exists
+          (fun tag -> Tag_type.equal (Tag.ty tag) ty)
+          request.candidates
+      in
+      let params =
+        match
+          List.find_opt (fun ((ty1, ty2), _) -> has ty1 && has ty2) boosted
+        with
+        | Some (_, p) -> p
+        | None -> params
+      in
+      let env =
+        {
+          Mitos.Decision.count = Tag_stats.count request.stats;
+          pollution = Mitos.Cost.weighted_pollution params request.stats;
+        }
+      in
+      Mitos.Decision.alg2_accepted params env ~space:request.space
+        request.candidates
+    end
+  in
+  Policy.make ~name:"mitos-confluence" ~select

@@ -1,0 +1,89 @@
+(** The policy zoo: the paper's two endpoints of the dilemma, the
+    heuristics from prior work it discusses (§VII), and MITOS itself. *)
+
+open Mitos_tag
+
+val faros : Policy.t
+(** The FAROS baseline (paper Table II row 1): propagate {e every}
+    direct flow, {e no} indirect flows — the undertainting endpoint
+    for IFPs. *)
+
+val propagate_all : Policy.t
+(** RIFLE/GLIFT-style correctness-first: propagate everything — the
+    overtainting endpoint. *)
+
+val block_all : Policy.t
+(** Degenerate no-tracking policy (sanity baseline). *)
+
+val minos_width : Policy.t
+(** Minos-inspired heuristic: address dependencies propagate for
+    1-byte accesses and are blocked for word accesses; control
+    dependencies are blocked. *)
+
+val probabilistic : seed:int -> p:float -> Policy.t
+(** Propagates each indirect candidate independently with probability
+    [p]; direct flows always propagate. *)
+
+val pollution_threshold : limit:int -> Policy.t
+(** Propagates indirect flows only while the total number of copies in
+    the system is below [limit] (a crude global back-pressure
+    heuristic). *)
+
+(** A per-decision observation, for the Fig. 7 instrumentation. *)
+type observation = {
+  step : int;
+  tag : Tag.t;
+  kind : Policy.flow_kind;
+  under : float;  (** undertainting submarginal of Eq. (8) *)
+  over : float;  (** overtainting submarginal (includes τ) *)
+  propagated : bool;
+}
+
+val mitos :
+  ?name:string ->
+  ?pollution_source:(Tag_stats.t -> float) ->
+  ?observe:(observation -> unit) ->
+  ?handle_direct:bool ->
+  ?recompute:bool ->
+  Mitos.Params.t ->
+  Policy.t
+(** The MITOS policy (Alg. 2 per flow).
+
+    - [pollution_source] overrides where the global pollution estimate
+      comes from — exact local statistics by default; distributed
+      deployments substitute a stale shared estimate.
+    - [observe] is called once per candidate tag with the Eq. (8)
+      submarginals and the decision.
+    - [handle_direct] (default [false]): when [true], direct flows are
+      also routed through Alg. 2 (the paper's Table II configuration,
+      §V-C); when [false] direct flows propagate unconditionally and
+      only indirect flows are decided.
+    - [recompute] (default [true]): the paper's line 9 (pollution
+      update between accepted tags); [false] gives the ablation. *)
+
+val mitos_adaptive :
+  ?name:string ->
+  ?update_period:int ->
+  ?handle_direct:bool ->
+  Mitos.Adaptive.t ->
+  Policy.t
+(** MITOS with online τ adaptation: every [update_period] (default
+    256) decisions the controller observes the live pollution and
+    adjusts τ toward its budget, then Alg. 2 runs under the updated
+    parameters. The controller is shared state — read
+    [Mitos.Adaptive.tau] during or after the run to see where τ
+    settled. *)
+
+val with_confluence_boost :
+  ?factor:float ->
+  pairs:(Tag_type.t * Tag_type.t) list ->
+  Mitos.Params.t ->
+  Policy.t
+(** The paper's "tag confluence" control (SIV-B1): when a flow's
+    candidate set contains tags of both types of a watched pair —
+    e.g. netflow and export-table arriving together, the in-memory
+    attack's hallmark — the undertainting weights of those types are
+    boosted by [factor] (default 25) for that decision, making the
+    suspicious combination much harder to block. Direct flows
+    propagate unconditionally; indirect flows run Alg. 2 under the
+    context-dependent parameters. *)

@@ -1,0 +1,76 @@
+open Mitos_tag
+
+let glyph_of_fraction f =
+  if f <= 0.0 then ' '
+  else if f < 0.25 then '.'
+  else if f < 0.5 then ':'
+  else if f < 1.0 then '*'
+  else '#'
+
+let render ?(width = 64) ?bytes_per_cell ?highlight ~base ~len shadow =
+  if len <= 0 || width <= 0 then ""
+  else begin
+    let bucket_size =
+      match bytes_per_cell with
+      | Some b when b >= 1 -> b
+      | Some b -> invalid_arg (Printf.sprintf "Taint_map: bytes_per_cell %d" b)
+      | None -> max 1 ((len + width - 1) / width)
+    in
+    let buf = Buffer.create 512 in
+    let pos = ref base in
+    while !pos < base + len do
+      Buffer.add_string buf (Printf.sprintf "%#08x  " !pos);
+      let row_end = min (base + len) (!pos + (bucket_size * width)) in
+      while !pos < row_end do
+        let bucket_end = min row_end (!pos + bucket_size) in
+        let tainted = ref 0 and hit = ref false in
+        for a = !pos to bucket_end - 1 do
+          if Shadow.is_tainted_addr shadow a then begin
+            incr tainted;
+            match highlight with
+            | Some (ty1, ty2) ->
+              if
+                Shadow.addr_has_type shadow a ty1
+                && Shadow.addr_has_type shadow a ty2
+              then hit := true
+            | None -> ()
+          end
+        done;
+        let cell =
+          if !hit then '!'
+          else
+            glyph_of_fraction
+              (float_of_int !tainted /. float_of_int (bucket_end - !pos))
+        in
+        Buffer.add_char buf cell;
+        pos := bucket_end
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end
+
+let region_tainted shadow ~base ~len =
+  let n = ref 0 in
+  for a = base to base + len - 1 do
+    if Shadow.is_tainted_addr shadow a then incr n
+  done;
+  !n
+
+let render_regions ?(width = 64) ?bytes_per_cell ?highlight regions shadow =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, base, len) ->
+      let tainted = region_tainted shadow ~base ~len in
+      if tainted = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "-- %s [%#x..%#x): clean --\n" name base (base + len))
+      else begin
+        Buffer.add_string buf
+          (Printf.sprintf "-- %s [%#x..%#x): %d tainted bytes --\n" name base
+             (base + len) tainted);
+        Buffer.add_string buf
+          (render ~width ?bytes_per_cell ?highlight ~base ~len shadow)
+      end)
+    regions;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** ASCII rendering of the shadow state — the "illuminating the
+    information flow" view. Each character cell covers a fixed number
+    of bytes; its glyph encodes the tainted fraction of the bucket, and
+    buckets containing detection hits (bytes carrying both watched tag
+    types) render as ['!']. *)
+
+open Mitos_tag
+
+val render :
+  ?width:int ->
+  ?bytes_per_cell:int ->
+  ?highlight:Tag_type.t * Tag_type.t ->
+  base:int ->
+  len:int ->
+  Shadow.t ->
+  string
+(** [render ~base ~len shadow] maps [\[base, base+len)] to rows of
+    [width] cells (default 64); each cell covers [bytes_per_cell]
+    bytes (default: whatever fits the whole range on one row). Glyph
+    scale: ' ' (clean), '.', ':', '*', '#' (fully tainted), '!'
+    (highlight pair present). Row labels are hex addresses. *)
+
+val render_regions :
+  ?width:int ->
+  ?bytes_per_cell:int ->
+  ?highlight:Tag_type.t * Tag_type.t ->
+  (string * int * int) list ->
+  Shadow.t ->
+  string
+(** [(name, base, len)] sections, each rendered under its own
+    heading; empty (fully clean) regions are summarized in one line. *)

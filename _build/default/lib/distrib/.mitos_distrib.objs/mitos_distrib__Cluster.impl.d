@@ -1,0 +1,1 @@
+lib/distrib/cluster.ml: Array Engine Estimator Float Int List Metrics Mitos Mitos_dift Mitos_util Mitos_workload Policies Printf

@@ -1,0 +1,1 @@
+lib/distrib/cluster.mli: Estimator Mitos Mitos_dift Mitos_tag Mitos_workload

@@ -1,0 +1,1 @@
+lib/distrib/estimator.mli:

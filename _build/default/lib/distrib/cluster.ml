@@ -1,0 +1,159 @@
+open Mitos_dift
+module Workload = Mitos_workload.Workload
+
+type node = {
+  index : int;
+  engine : Engine.t;
+  node_params : Mitos.Params.t;
+  mutable halted : bool;
+  mutable steps_since_sync : int;
+}
+
+type t = {
+  nodes : node array;
+  est : Estimator.t;
+  sync_period : int;
+  mutable syncs : int;
+  staleness_samples : Mitos_util.Stats.Online.t;
+}
+
+let exact_contribution _t node =
+  Mitos.Cost.weighted_pollution node.node_params (Engine.stats node.engine)
+
+let sync t node =
+  Estimator.publish t.est ~node:node.index (exact_contribution t node);
+  node.steps_since_sync <- 0;
+  t.syncs <- t.syncs + 1
+
+let create_heterogeneous ?(config = Engine.default_config) ?watch ?topology
+    ~sync_period pairs =
+  if sync_period < 1 then invalid_arg "Cluster.create: sync_period must be >= 1";
+  if pairs = [] then invalid_arg "Cluster.create: need at least one node";
+  let node_count = List.length pairs in
+  let est = Estimator.create ~nodes:node_count in
+  (* neighbourhood visibility: None = complete graph (global scalar) *)
+  let neighbours =
+    match topology with
+    | None -> None
+    | Some edges ->
+      let adj = Array.make node_count [] in
+      List.iter
+        (fun (a, b) ->
+          if a < 0 || a >= node_count || b < 0 || b >= node_count then
+            invalid_arg
+              (Printf.sprintf "Cluster: edge (%d,%d) out of range" a b);
+          if not (List.mem b adj.(a)) then adj.(a) <- b :: adj.(a);
+          if not (List.mem a adj.(b)) then adj.(b) <- a :: adj.(b))
+        edges;
+      Some adj
+  in
+  let nodes =
+    List.mapi
+      (fun index (built, node_params) ->
+        (* Every node's policy reads the shared (or neighbourhood)
+           estimate instead of its local statistics. *)
+        let pollution_source _stats =
+          match neighbours with
+          | None -> Estimator.global est
+          | Some adj ->
+            List.fold_left
+              (fun acc n -> acc +. Estimator.contribution est ~node:n)
+              (Estimator.contribution est ~node:index)
+              adj.(index)
+        in
+        let policy =
+          Policies.mitos
+            ~name:(Printf.sprintf "mitos-node%d" index)
+            ~pollution_source node_params
+        in
+        let engine = Workload.engine_of ~config ~policy built in
+        (match watch with
+        | Some (ty1, ty2) -> Engine.watch_confluence engine ty1 ty2
+        | None -> ());
+        Engine.attach engine (Workload.machine_of built);
+        { index; engine; node_params; halted = false; steps_since_sync = 0 })
+      pairs
+    |> Array.of_list
+  in
+  {
+    nodes;
+    est;
+    sync_period;
+    syncs = 0;
+    staleness_samples = Mitos_util.Stats.Online.create ();
+  }
+
+let create ?config ?watch ~params ~sync_period builts =
+  create_heterogeneous ?config ?watch ~sync_period
+    (List.map (fun built -> (built, params)) builts)
+
+let num_nodes t = Array.length t.nodes
+let estimator t = t.est
+
+let staleness t =
+  let exact_total = ref 0.0 and drift = ref 0.0 in
+  Array.iter
+    (fun node ->
+      let exact = exact_contribution t node in
+      let published = Estimator.contribution t.est ~node:node.index in
+      exact_total := !exact_total +. exact;
+      drift := !drift +. Float.abs (exact -. published))
+    t.nodes;
+  if !exact_total <= 0.0 then 0.0 else !drift /. !exact_total
+
+let staleness_sample_period = 97 (* rounds; off the sync cadence *)
+
+let run ?(max_rounds = 10_000_000) t =
+  let rounds = ref 0 in
+  let live = ref (Array.length t.nodes) in
+  while !live > 0 && !rounds < max_rounds do
+    if !rounds mod staleness_sample_period = 0 then
+      Mitos_util.Stats.Online.add t.staleness_samples (staleness t);
+    Array.iter
+      (fun node ->
+        if not node.halted then begin
+          if Engine.step node.engine then begin
+            node.steps_since_sync <- node.steps_since_sync + 1;
+            if node.steps_since_sync >= t.sync_period then sync t node
+          end
+          else begin
+            node.halted <- true;
+            (* final publish so the last state is visible cluster-wide *)
+            sync t node;
+            decr live
+          end
+        end)
+      t.nodes;
+    incr rounds
+  done;
+  !rounds
+
+let engines t = Array.map (fun n -> n.engine) t.nodes
+
+let summaries t =
+  Array.to_list (Array.map (fun n -> Metrics.of_engine n.engine) t.nodes)
+
+let total_propagated t =
+  Array.fold_left
+    (fun acc n -> acc + (Engine.counters n.engine).Engine.ifp_propagated)
+    0 t.nodes
+
+let total_blocked t =
+  Array.fold_left
+    (fun acc n -> acc + (Engine.counters n.engine).Engine.ifp_blocked)
+    0 t.nodes
+
+let syncs_performed t = t.syncs
+
+let local_pollution t ~node = exact_contribution t t.nodes.(node)
+
+let mean_staleness t = Mitos_util.Stats.Online.mean t.staleness_samples
+
+let alerts t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun node ->
+         List.map (fun a -> (node.index, a)) (Engine.alerts node.engine))
+  |> List.sort (fun (_, a) (_, b) ->
+         Int.compare a.Engine.alert_step b.Engine.alert_step)
+
+let first_alert t = match alerts t with [] -> None | a :: _ -> Some a

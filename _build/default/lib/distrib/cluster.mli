@@ -1,0 +1,76 @@
+(** A multi-node MITOS deployment.
+
+    Every node runs its own workload under its own DIFT engine with a
+    MITOS policy; the undertainting term uses the node's exact local
+    counts, while the overtainting term reads the shared (stale)
+    global pollution from an {!Estimator}. Nodes publish their local
+    pollution every [sync_period] engine steps — [sync_period = 1]
+    approximates an idealized instantaneous global view; large periods
+    model gossip/aggregation delay in a real distributed system.
+
+    Execution interleaves nodes round-robin, one step each per round,
+    so cross-node interleaving is deterministic. *)
+
+type t
+
+val create :
+  ?config:Mitos_dift.Engine.config ->
+  ?watch:Mitos_tag.Tag_type.t * Mitos_tag.Tag_type.t ->
+  params:Mitos.Params.t ->
+  sync_period:int ->
+  Mitos_workload.Workload.built list ->
+  t
+(** [watch] arms every node's engine with a confluence alarm (see
+    [Engine.watch_confluence]) — cluster-wide intrusion detection. *)
+
+val create_heterogeneous :
+  ?config:Mitos_dift.Engine.config ->
+  ?watch:Mitos_tag.Tag_type.t * Mitos_tag.Tag_type.t ->
+  ?topology:(int * int) list ->
+  sync_period:int ->
+  (Mitos_workload.Workload.built * Mitos.Params.t) list ->
+  t
+(** Per-node parameterizations — the paper's "different application
+    scenarios and security needs" across subsystems: each node decides
+    under its own α/τ/weights. [topology] additionally restricts
+    pollution visibility to a neighbourhood: with edges given
+    (undirected, node indices), each node's overtainting term reads
+    its own exact pollution plus the published contributions of its
+    direct neighbours only — a gossip-style partial view instead of
+    the global scalar (the default, a complete graph). The pollution
+    each node publishes is weighted by its own [o_t]. Raises
+    [Invalid_argument] on out-of-range endpoints. *)
+
+val num_nodes : t -> int
+val estimator : t -> Estimator.t
+
+val run : ?max_rounds:int -> t -> int
+(** Round-robin until every node halts (or [max_rounds]); returns the
+    number of rounds executed. *)
+
+val engines : t -> Mitos_dift.Engine.t array
+val summaries : t -> Mitos_dift.Metrics.summary list
+
+val total_propagated : t -> int
+val total_blocked : t -> int
+val syncs_performed : t -> int
+
+val local_pollution : t -> node:int -> float
+(** The node's exact current weighted pollution (what it would publish
+    right now). *)
+
+val alerts : t -> (int * Mitos_dift.Engine.alert) list
+(** (node, alert) pairs across the cluster, ordered by alert step —
+    which machine tripped the wire, and when. Empty without [watch]. *)
+
+val first_alert : t -> (int * Mitos_dift.Engine.alert) option
+
+val staleness : t -> float
+(** Instantaneous: mean absolute difference between each node's exact
+    contribution and its published one, normalized by the exact global
+    pollution — 0 when perfectly synchronized. (After a completed
+    {!run} this is 0 because nodes publish on halt.) *)
+
+val mean_staleness : t -> float
+(** Mean of {!staleness} sampled periodically {e during} the run — the
+    quantity that actually degrades with the sync period. *)

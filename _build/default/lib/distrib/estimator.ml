@@ -1,0 +1,10 @@
+type t = { published : float array }
+
+let create ~nodes =
+  if nodes < 1 then invalid_arg "Estimator.create: need at least one node";
+  { published = Array.make nodes 0.0 }
+
+let publish t ~node value = t.published.(node) <- value
+let global t = Array.fold_left ( +. ) 0.0 t.published
+let contribution t ~node = t.published.(node)
+let nodes t = Array.length t.published

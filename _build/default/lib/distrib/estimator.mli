@@ -1,0 +1,22 @@
+(** The shared global pollution estimate.
+
+    MITOS's scalability argument (paper §IV-B, property 3) is that the
+    undertainting submarginal needs only local information, while the
+    overtainting submarginal needs a single global scalar — the memory
+    pollution — which "is kept in a globally available variable for
+    all potential subsystems". In a distributed deployment that
+    variable is synchronized, not read instantaneously; this module
+    models it: each node publishes its local weighted pollution on its
+    own schedule, and everyone reads the (possibly stale) sum. *)
+
+type t
+
+val create : nodes:int -> t
+val publish : t -> node:int -> float -> unit
+(** Overwrite the node's published contribution. *)
+
+val global : t -> float
+(** Sum of the latest published contributions. *)
+
+val contribution : t -> node:int -> float
+val nodes : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Calib Engine List Metrics Mitos Mitos_dift Mitos_distrib Mitos_tag Mitos_util Mitos_workload Policies Printf Provenance Report Shadow Tag_stats Tag_type

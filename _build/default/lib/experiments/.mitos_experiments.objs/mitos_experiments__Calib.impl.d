@@ -1,0 +1,1 @@
+lib/experiments/calib.ml: List Mitos Mitos_dift Mitos_system Mitos_tag Tag_type

@@ -1,0 +1,1 @@
+lib/experiments/calib.mli: Mitos Mitos_dift Mitos_tag Tag_type

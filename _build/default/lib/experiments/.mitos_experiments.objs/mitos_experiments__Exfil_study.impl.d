@@ -1,0 +1,1 @@
+lib/experiments/exfil_study.ml: Calib Engine List Mitos Mitos_dift Mitos_tag Mitos_util Mitos_workload Policies Printf Report Tag Tag_type

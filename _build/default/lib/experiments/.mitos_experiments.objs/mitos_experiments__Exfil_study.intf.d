@@ -1,0 +1,1 @@
+lib/experiments/exfil_study.mli: Mitos_dift Report

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: List Mitos Mitos_util Printf Report

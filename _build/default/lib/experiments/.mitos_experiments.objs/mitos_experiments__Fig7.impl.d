@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Calib List Metrics Mitos_dift Mitos_replay Mitos_util Mitos_workload Policies Policy Printf Report

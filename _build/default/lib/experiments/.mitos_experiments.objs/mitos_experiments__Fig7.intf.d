@@ -1,0 +1,1 @@
+lib/experiments/fig7.mli: Mitos_dift Mitos_replay Mitos_workload Report

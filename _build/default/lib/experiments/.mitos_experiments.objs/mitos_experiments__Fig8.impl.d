@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Calib Engine Fig7 List Mitos Mitos_dift Mitos_util Mitos_workload Policies Printf Report

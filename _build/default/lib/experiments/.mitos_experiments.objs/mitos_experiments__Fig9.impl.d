@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Calib Engine Fig7 List Mitos_dift Mitos_tag Mitos_util Mitos_workload Policies Printf Report Tag_type

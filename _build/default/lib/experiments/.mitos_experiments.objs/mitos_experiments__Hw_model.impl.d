@@ -1,0 +1,1 @@
+lib/experiments/hw_model.ml: Calib List Metrics Mitos_dift Mitos_util Mitos_workload Policies Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/hw_model.mli: Mitos_dift Report

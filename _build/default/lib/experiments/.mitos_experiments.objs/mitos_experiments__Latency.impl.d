@@ -1,0 +1,1 @@
+lib/experiments/latency.ml: Calib Engine List Mitos_dift Mitos_tag Mitos_util Mitos_workload Policies Report Tag_type

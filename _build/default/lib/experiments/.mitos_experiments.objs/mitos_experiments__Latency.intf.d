@@ -1,0 +1,1 @@
+lib/experiments/latency.mli: Mitos_dift Mitos_workload Report

@@ -1,0 +1,1 @@
+lib/experiments/matrix.ml: Calib List Metrics Mitos_dift Mitos_util Mitos_workload Policies Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/matrix.mli: Mitos_dift Report

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Calib Engine List Metrics Mitos_dift Mitos_util Mitos_workload Policies Report

@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Mitos_dift Mitos_workload Report

@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: List Litmus Mitos Mitos_dift Mitos_util Policies Report

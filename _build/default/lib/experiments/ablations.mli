@@ -1,0 +1,34 @@
+(** Ablations for the design choices DESIGN.md calls out.
+
+    A — provenance-list eviction (paper §VI defers "scheduling
+    management in the lists" to future work; we quantify FIFO vs. LRU
+    vs. reject-newcomer on the attack's detection and footprint).
+
+    B — Algorithm 2's line 9 (re-evaluating the pollution term after
+    each accepted tag) on vs. off.
+
+    C — distributed staleness: MITOS nodes deciding against a shared
+    pollution estimate synchronized every k steps (the paper's
+    "globally available variable" in a large distributed system).
+
+    D — the solution-quality check: the online greedy rule vs. the
+    offline KKT optimum of the relaxed problem on a static tag
+    population.
+
+    E — fixed τ settings vs. the {!Mitos.Adaptive} controller steering
+    τ to a pollution budget.
+
+    F — the per-type pollution weight o_t, the dual of Fig. 9's
+    u_t sweep.
+
+    G — pollution-visibility topologies: global scalar vs ring / star /
+    isolated gossip neighbourhoods. *)
+
+val eviction : unit -> Report.section
+val recompute : unit -> Report.section
+val staleness : unit -> Report.section
+val solution_quality : unit -> Report.section
+val adaptive : unit -> Report.section
+val pollution_weights : unit -> Report.section
+val topology : unit -> Report.section
+val run_all : unit -> Report.section list

@@ -1,0 +1,24 @@
+open Mitos_tag
+
+let n_r = 4 * 1024 * 1024 * 1024 * 10
+let mem_capacity = Mitos_system.Layout.mem_size
+let netbench_seed = 5
+let attack_seed = 11
+
+let sensitivity_params ?(alpha = 1.5) ?(tau = 0.1) ?(u_net = 1.0) () =
+  Mitos.Params.make ~alpha ~tau ~tau_scale:5e4
+    ~u:[ (Tag_type.Network, u_net) ]
+    ~total_tag_space:n_r ~mem_capacity ()
+
+let tag_type_u_boost = [ Tag_type.Network; Tag_type.Export_table ]
+
+let attack_params =
+  Mitos.Params.make ~tau:0.01 ~tau_scale:1e5
+    ~u:(List.map (fun ty -> (ty, 50.0)) tag_type_u_boost)
+    ~total_tag_space:n_r ~mem_capacity ()
+
+let attack_engine_config =
+  { Mitos_dift.Engine.default_config with route_direct_through_policy = true }
+
+let mitos_all_flows params =
+  Mitos_dift.Policies.mitos ~name:"mitos-all-flows" ~handle_direct:true params

@@ -1,0 +1,42 @@
+(** Calibrated experiment configuration.
+
+    The paper evaluates on a 4 GB guest with provenance lists of 10
+    entries, so the tag space is N_R = 4·10¹⁰ — we keep that N_R even
+    though the simulated machine only materializes 1 MiB, because N_R
+    only enters the model as a normalizer. The paper also scales τ
+    ("normalized up to the power of 10⁶"); our pollution numerators
+    are larger relative to N_R than theirs, so the equivalent scaling
+    constants below were calibrated once (see DESIGN.md) so that the
+    paper's τ ∈ {1, 0.1, 0.01} sweep lands in the same qualitative
+    regimes: τ = 1 mostly blocking, τ = 0.01 mostly propagating. *)
+
+open Mitos_tag
+
+val n_r : int
+(** 4 GiB × M_prov 10. *)
+
+val mem_capacity : int
+val netbench_seed : int
+val attack_seed : int
+
+val sensitivity_params :
+  ?alpha:float -> ?tau:float -> ?u_net:float -> unit -> Mitos.Params.t
+(** Defaults: α = 1.5, β = 2, τ = 0.1, u = o = 1, tau_scale = 5·10⁴ —
+    used by the Fig. 7/8/9 reproductions on the netbench workload. *)
+
+val attack_params : Mitos.Params.t
+(** Table II configuration: τ = 0.01, tau_scale = 10⁵, and the
+    security application's semantics weights
+    u(netflow) = u(export-table) = 50 (the attack-relevant tag types
+    are prioritized, §IV-B "flexibly weight the involved
+    tradeoffs"). *)
+
+val attack_engine_config : Mitos_dift.Engine.config
+(** Table II routes {e all} flows (direct and indirect) through the
+    policy, as in the paper's §V-C generalization. *)
+
+val mitos_all_flows : Mitos.Params.t -> Mitos_dift.Policy.t
+(** The Table II MITOS policy: Alg. 2 on every flow. *)
+
+val tag_type_u_boost : Tag_type.t list
+(** The types boosted in {!attack_params}. *)

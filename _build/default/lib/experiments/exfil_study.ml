@@ -1,0 +1,88 @@
+open Mitos_dift
+open Mitos_tag
+module W = Mitos_workload
+module Table = Mitos_util.Table
+
+type row = {
+  policy : string;
+  sink_tainted : int;
+  file_attributed : int;
+  shadow_ops : int;
+}
+
+let run_policy name policy =
+  let built = W.Exfil.build ~seed:19 () in
+  let engine = W.Workload.run_live ~policy built in
+  let sink = W.Exfil.exfil_sink built in
+  let attribution =
+    match List.assoc_opt sink (Engine.sink_profile engine) with
+    | Some a -> a
+    | None -> []
+  in
+  let total = ref 0 and file = ref 0 in
+  List.iter
+    (fun (tag, n) ->
+      (* a byte with k tags contributes k attribution entries; count
+         distinct bytes via the engine counter and file-derived bytes
+         via the File rows *)
+      if Tag_type.equal (Tag.ty tag) Tag_type.File then file := !file + n;
+      total := !total + n)
+    attribution;
+  {
+    policy = name;
+    sink_tainted = (Engine.counters engine).Engine.sink_tainted_bytes;
+    file_attributed = !file;
+    shadow_ops = (Engine.counters engine).Engine.shadow_ops;
+  }
+
+let run () =
+  let r =
+    Report.create
+      ~title:"Case study 2: exfiltration tracking (sink attribution)"
+  in
+  Report.textf r
+    "Ground truth: %d of the %d exfiltrated bytes derive from the secret \
+     file (table-encoded); %d are benign cover traffic."
+    W.Exfil.secret_len
+    (W.Exfil.secret_len + W.Exfil.benign_len)
+    W.Exfil.benign_len;
+  let t =
+    Table.create
+      ~header:
+        [ "policy"; "tainted @ sink"; "file-attributed"; "recall"; "ops" ]
+      ()
+  in
+  List.iter
+    (fun (name, policy) ->
+      let row = run_policy name policy in
+      Table.add_row t
+        [
+          row.policy;
+          string_of_int row.sink_tainted;
+          string_of_int row.file_attributed;
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. float_of_int row.file_attributed
+            /. float_of_int W.Exfil.secret_len);
+          string_of_int row.shadow_ops;
+        ])
+    [
+      ("faros", Policies.faros);
+      ("minos-width", Policies.minos_width);
+      ("mitos (default)", Policies.mitos (Calib.sensitivity_params ()));
+      ( "mitos (u_file=50)",
+        Policies.mitos
+          (Mitos.Params.with_u
+             (Calib.sensitivity_params ())
+             Tag_type.File 50.0) );
+      ("propagate-all", Policies.propagate_all);
+    ];
+  Report.table r t;
+  Report.text r
+    "Without indirect flows the leak is invisible (0% recall): the \
+     encoded bytes carry no file tag at the sink. MITOS under default \
+     weights recovers partial attribution (the file tag crosses its \
+     propagation threshold midway through the encode); prioritizing the \
+     file semantics (u_file=50, the paper's per-type weighting) recovers \
+     it fully while still deciding per flow.";
+  Report.finish r

@@ -1,0 +1,48 @@
+module Table = Mitos_util.Table
+
+let alphas = [ 0.5; 1.0; 1.5; 2.0; 4.0 ]
+let betas = [ 2.0; 3.0; 4.0 ]
+let ns = List.init 20 (fun i -> float_of_int (i + 1))
+let fracs = List.init 20 (fun i -> 0.05 *. float_of_int (i + 1))
+
+let under_series ~alpha =
+  List.map (fun n -> (n, Mitos.Cost.phi ~alpha n)) ns
+
+let over_series ~beta = List.map (fun f -> (f, f ** beta)) fracs
+
+let run () =
+  let r = Report.create ~title:"Fig. 3: cost function shapes" in
+  Report.text r
+    "(a) undertainting kernel phi_alpha(n) = n^(1-a)/(a-1) (log at a=1):";
+  let t =
+    Table.create
+      ~header:("n" :: List.map (fun a -> Printf.sprintf "a=%g" a) alphas)
+      ()
+  in
+  List.iter
+    (fun n ->
+      Table.add_row t
+        (Printf.sprintf "%.0f" n
+        :: List.map
+             (fun alpha -> Printf.sprintf "%.4f" (Mitos.Cost.phi ~alpha n))
+             alphas))
+    ns;
+  Report.table r t;
+  Report.text r
+    "(b) overtainting kernel (P/N_R)^beta over the pollution fraction:";
+  let t =
+    Table.create
+      ~header:("P/N_R" :: List.map (fun b -> Printf.sprintf "b=%g" b) betas)
+      ()
+  in
+  List.iter
+    (fun f ->
+      Table.add_row t
+        (Printf.sprintf "%.2f" f
+        :: List.map (fun beta -> Printf.sprintf "%.4f" (f ** beta)) betas))
+    fracs;
+  Report.table r t;
+  Report.text r
+    "Check: under-cost decreasing in n (negative gradient), over-cost \
+     increasing and convex for beta >= 2 - as in the paper's Fig. 3.";
+  Report.finish r

@@ -1,0 +1,17 @@
+(** Fig. 3: the shapes of the two cost kernels.
+
+    (a) the α-fair undertainting kernel [n^(1-α)/(α-1)] for several α
+    — monotonically decreasing in n, steeper for larger α;
+    (b) the β-steep overtainting kernel [(P/N_R)^β] for several β —
+    monotonically increasing, steeper for larger β. *)
+
+val alphas : float list
+val betas : float list
+
+val under_series : alpha:float -> (float * float) list
+(** (n, cost) for n = 1..20. *)
+
+val over_series : beta:float -> (float * float) list
+(** (pollution fraction, cost) for fractions 0.05..1. *)
+
+val run : unit -> Report.section

@@ -1,0 +1,41 @@
+(** Fig. 7: the undertainting vs. overtainting trade-off over time.
+
+    The network benchmark is recorded once and replayed under MITOS
+    with τ ∈ {1, 10⁻¹, 10⁻²}. For every indirect-flow decision we log
+    the two Eq. (8) submarginals (Fig. 7(a)) and the ±1 decision
+    (Figs. 7(b-d)). Expected shape: the overtainting submarginal
+    (mostly) grows with time as pollution accumulates; larger τ blocks
+    more; smaller τ propagates more. *)
+
+type sample = {
+  step : int;
+  under : float;  (** undertainting submarginal (negative) *)
+  over : float;  (** overtainting submarginal, τ included *)
+  propagated : bool;
+}
+
+val taus : float list
+
+val record_netbench :
+  unit -> Mitos_workload.Workload.built * Mitos_replay.Trace.t
+(** The standard sensitivity recording (netbench, calibrated seed). *)
+
+val replay_with_tau :
+  Mitos_workload.Workload.built ->
+  Mitos_replay.Trace.t ->
+  tau:float ->
+  sample list * Mitos_dift.Metrics.summary
+(** One replay; samples in decision order. *)
+
+val bucketize : sample list -> buckets:int ->
+  (int * float * float * int * int) list
+(** Per time bucket: (last step, mean under, mean over, #propagated,
+    #blocked). *)
+
+val run :
+  ?recorded:Mitos_workload.Workload.built * Mitos_replay.Trace.t ->
+  unit ->
+  Report.section
+(** [recorded] reuses an existing netbench recording (the harness
+    records once and replays it for Figs. 7-9, as the paper replays
+    one PANDA recording). *)

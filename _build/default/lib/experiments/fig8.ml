@@ -1,0 +1,60 @@
+open Mitos_dift
+module Workload = Mitos_workload.Workload
+module Table = Mitos_util.Table
+
+let alphas = [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0 ]
+
+type point = {
+  alpha : float;
+  fairness : Mitos.Fairness.report;
+  propagated : int;
+  blocked : int;
+}
+
+let sweep built trace =
+  List.map
+    (fun alpha ->
+      let params = Calib.sensitivity_params ~alpha () in
+      let engine = Workload.replay ~policy:(Policies.mitos params) built trace in
+      let c = Engine.counters engine in
+      {
+        alpha;
+        fairness = Mitos.Fairness.of_stats (Engine.stats engine);
+        propagated = c.Engine.ifp_propagated;
+        blocked = c.Engine.ifp_blocked;
+      })
+    alphas
+
+let run ?recorded () =
+  let r = Report.create ~title:"Fig. 8: alpha vs. fairness (tag balancing)" in
+  let built, trace =
+    match recorded with Some bt -> bt | None -> Fig7.record_netbench ()
+  in
+  let points = sweep built trace in
+  let t =
+    Table.create
+      ~header:[ "alpha"; "MSE (fairness)"; "Jain"; "entropy"; "ifp+"; "ifp-" ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          Printf.sprintf "%g" p.alpha;
+          Printf.sprintf "%.4g" p.fairness.Mitos.Fairness.mse;
+          Printf.sprintf "%.3f" p.fairness.Mitos.Fairness.jain;
+          Printf.sprintf "%.3f" p.fairness.Mitos.Fairness.entropy_norm;
+          string_of_int p.propagated;
+          string_of_int p.blocked;
+        ])
+      points;
+  Report.table r t;
+  (match (points, List.rev points) with
+  | first :: _, last :: _ ->
+    Report.textf r
+      "Tag-balancing improvement (MSE ratio alpha=%g vs alpha=%g): %.2fx \
+       (paper reports up to 2x)."
+      first.alpha last.alpha
+      (Mitos.Fairness.improvement ~baseline:first.fairness last.fairness)
+  | _ -> ());
+  Report.finish r

@@ -1,0 +1,25 @@
+(** Fig. 8: fairness / tag balancing vs. α.
+
+    The network benchmark replayed for six values of α; the fairness
+    degree is the paper's metric — the mean squared difference between
+    the copy counts of different tags (lower = better balanced).
+    Expected shape: larger α penalizes over-propagated tags harder, so
+    the MSE drops (the paper reports balancing improving "up to
+    2x"). *)
+
+val alphas : float list
+
+type point = {
+  alpha : float;
+  fairness : Mitos.Fairness.report;
+  propagated : int;
+  blocked : int;
+}
+
+val sweep :
+  Mitos_workload.Workload.built -> Mitos_replay.Trace.t -> point list
+
+val run :
+  ?recorded:Mitos_workload.Workload.built * Mitos_replay.Trace.t ->
+  unit ->
+  Report.section

@@ -1,0 +1,26 @@
+(** Fig. 9: tag-type importance (u_netflow sweep).
+
+    The network benchmark replayed for u_netflow ∈ {1..100} with the
+    remaining weights fixed at 1. We report the number of netflow tags
+    propagated at indirect flows, normalized by the u_netflow = 100
+    value (the paper's y-axis), and the export-table propagation count
+    to show the mild deceleration the paper describes (boosting one
+    type raises pollution and so back-pressures the others). *)
+
+val u_values : float list
+
+type point = {
+  u_net : float;
+  net_propagated : int;
+  net_blocked : int;
+  export_propagated : int;
+  export_blocked : int;
+}
+
+val sweep :
+  Mitos_workload.Workload.built -> Mitos_replay.Trace.t -> point list
+
+val run :
+  ?recorded:Mitos_workload.Workload.built * Mitos_replay.Trace.t ->
+  unit ->
+  Report.section

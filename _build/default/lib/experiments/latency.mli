@@ -1,0 +1,21 @@
+(** Detection latency: how many instructions execute between the start
+    of the attack replay and the first netflow+export-table confluence
+    alarm, per shell and per policy.
+
+    The paper's Table II reports *whether* bytes are detected; with the
+    engine's online confluence watching we can also reproduce the
+    operationally interesting number — when the alarm would have
+    fired. A policy that loses taint through the decode stage never
+    fires at all. *)
+
+type row = {
+  variant : Mitos_workload.Attack.variant;
+  total_steps : int;
+  alarm_step : (string * int option) list;  (** per policy name *)
+}
+
+val policies_under_test : unit -> (string * Mitos_dift.Policy.t * bool) list
+(** (name, policy, route-direct-flows-through-policy). *)
+
+val run_variant : Mitos_workload.Attack.variant -> row
+val run : unit -> Report.section

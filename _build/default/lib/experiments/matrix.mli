@@ -1,0 +1,14 @@
+(** The coverage matrix: every workload under every named policy.
+
+    One table, rows = workloads, columns = policies, cells = the
+    fraction of indirect-flow candidates propagated (and, for attack
+    workloads, the detected bytes). A quick global sanity view: the
+    undertainting endpoint is a column of 0%, the overtainting
+    endpoint a column of 100%, and MITOS sits in between at different
+    points per workload — the paper's dilemma in one screenful. *)
+
+val policies : unit -> (string * Mitos_dift.Policy.t) list
+
+val run : ?workloads:string list -> unit -> Report.section
+(** Defaults to every registry workload. Expensive: each cell is a
+    full tracked execution. *)

@@ -1,0 +1,36 @@
+module Table = Mitos_util.Table
+
+type block = Text of string | Tbl of Table.t
+
+type section = { title : string; blocks : block list }
+
+type t = { t_title : string; mutable rev_blocks : block list }
+
+let create ~title = { t_title = title; rev_blocks = [] }
+let text t s = t.rev_blocks <- Text s :: t.rev_blocks
+let textf t fmt = Printf.ksprintf (text t) fmt
+let table t tbl = t.rev_blocks <- Tbl tbl :: t.rev_blocks
+let finish t = { title = t.t_title; blocks = List.rev t.rev_blocks }
+let title s = s.title
+
+let print s =
+  Printf.printf "\n=== %s ===\n" s.title;
+  List.iter
+    (function
+      | Text line -> print_endline line
+      | Tbl tbl -> Table.print tbl)
+    s.blocks
+
+let to_markdown s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "## %s\n\n" s.title);
+  List.iter
+    (function
+      | Text line ->
+        Buffer.add_string buf line;
+        Buffer.add_string buf "\n\n"
+      | Tbl tbl ->
+        Buffer.add_string buf (Table.render_markdown tbl);
+        Buffer.add_char buf '\n')
+    s.blocks;
+  Buffer.contents buf

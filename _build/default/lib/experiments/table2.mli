@@ -1,0 +1,29 @@
+(** Table II: FAROS vs. MITOS on the in-memory-only attack.
+
+    Six shell variants are each run under (i) FAROS — aggressive
+    direct-flow propagation, no indirect flows — and (ii) MITOS
+    handling all flows through Alg. 2 with the Table II configuration
+    ({!Calib.attack_params}). Reported per the paper: time (we report
+    both wall-clock and the deterministic shadow-op count), space
+    (shadow-memory footprint), and detected bytes (bytes carrying both
+    netflow and export-table tags). The paper's averages: FAROS 837 s /
+    2.21 MB / 543 bytes vs. MITOS 509 s / 1.99 MB / 1449 bytes, i.e.
+    1.65x / 1.11x / 2.67x. *)
+
+type row = {
+  variant : Mitos_workload.Attack.variant;
+  faros : Mitos_dift.Metrics.summary;
+  mitos : Mitos_dift.Metrics.summary;
+}
+
+type result = {
+  rows : row list;
+  time_improvement : float;  (** FAROS ops / MITOS ops *)
+  wall_improvement : float;  (** FAROS wall / MITOS wall *)
+  space_improvement : float;
+  detection_improvement : float;
+}
+
+val run_variant : Mitos_workload.Attack.variant -> row
+val run_all : unit -> result
+val run : unit -> Report.section

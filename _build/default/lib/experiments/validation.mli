@@ -1,0 +1,10 @@
+(** The conformance table: the litmus suite under every named policy.
+
+    Rows are flow-class litmus cases, columns are policies, cells mark
+    whether taint crossed. This is the one-page answer to "what does
+    each policy actually propagate?" — and the expected shape is
+    checked by the test suite, so the table doubles as living
+    documentation. *)
+
+val policies : unit -> (string * Mitos_dift.Policy.t) list
+val run : unit -> Report.section

@@ -1,0 +1,1 @@
+lib/flow/cfg.ml: Array Format Hashtbl Int List Mitos_isa

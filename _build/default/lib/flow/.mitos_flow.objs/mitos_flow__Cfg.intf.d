@@ -1,0 +1,1 @@
+lib/flow/cfg.mli: Format Mitos_isa

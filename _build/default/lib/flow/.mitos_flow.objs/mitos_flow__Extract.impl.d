@@ -1,0 +1,1 @@
+lib/flow/extract.ml: Format List Loc Mitos_isa Postdom

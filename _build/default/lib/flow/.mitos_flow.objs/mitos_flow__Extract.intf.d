@@ -1,0 +1,1 @@
+lib/flow/extract.mli: Format Loc Mitos_isa Postdom

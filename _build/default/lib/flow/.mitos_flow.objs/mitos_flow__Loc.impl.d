@@ -1,0 +1,1 @@
+lib/flow/loc.ml: Format Int List Printf

@@ -1,0 +1,1 @@
+lib/flow/loc.mli: Format

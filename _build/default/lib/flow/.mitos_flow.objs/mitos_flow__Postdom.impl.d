@@ -1,0 +1,1 @@
+lib/flow/postdom.ml: Array List Mitos_isa Printf

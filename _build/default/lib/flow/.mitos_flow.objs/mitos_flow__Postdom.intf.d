@@ -1,0 +1,1 @@
+lib/flow/postdom.mli: Mitos_isa

@@ -1,0 +1,175 @@
+module Program = Mitos_isa.Program
+module Instr = Mitos_isa.Instr
+
+type block = { id : int; first : int; last : int; succs : int list }
+
+type t = {
+  blocks : block array;
+  instr_block : int array; (* instruction index -> block id *)
+  preds : int list array;
+}
+
+let leaders prog =
+  let n = Program.length prog in
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun i instr ->
+      if Instr.is_control instr then begin
+        List.iter
+          (fun target -> if target < n then leader.(target) <- true)
+          (Instr.branch_targets instr ~next:(i + 1));
+        if i + 1 < n then leader.(i + 1) <- true
+      end)
+    (Program.code prog);
+  leader
+
+let build prog =
+  let n = Program.length prog in
+  if n = 0 then invalid_arg "Cfg.build: empty program";
+  let leader = leaders prog in
+  let instr_block = Array.make n 0 in
+  let block_bounds = ref [] in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if i > 0 && leader.(i) then begin
+      block_bounds := (!start, i - 1) :: !block_bounds;
+      start := i
+    end
+  done;
+  block_bounds := (!start, n - 1) :: !block_bounds;
+  let bounds = Array.of_list (List.rev !block_bounds) in
+  Array.iteri
+    (fun id (first, last) ->
+      for i = first to last do
+        instr_block.(i) <- id
+      done)
+    bounds;
+  let blocks =
+    Array.mapi
+      (fun id (first, last) ->
+        let terminator = Program.instr prog last in
+        let succ_instrs =
+          Instr.branch_targets terminator ~next:(last + 1)
+          |> List.filter (fun target -> target < n)
+        in
+        let succs =
+          List.sort_uniq Int.compare (List.map (fun i -> instr_block.(i)) succ_instrs)
+        in
+        { id; first; last; succs })
+      bounds
+  in
+  let preds = Array.make (Array.length blocks) [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) b.succs)
+    blocks;
+  { blocks; instr_block; preds }
+
+let blocks t = t.blocks
+let block_of_instr t i = t.blocks.(t.instr_block.(i))
+let num_blocks t = Array.length t.blocks
+let entry t = t.blocks.(0)
+let preds t id = t.preds.(id)
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "B%d [%d..%d] -> %a@." b.id b.first b.last
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        b.succs)
+    t.blocks
+
+(* -- dominators and natural loops ----------------------------------- *)
+
+type loop = { header : int; back_edge_from : int; body : int list }
+
+(* Cooper-Harvey-Kennedy on the forward graph, rooted at block 0. *)
+let dominators t =
+  let n = Array.length t.blocks in
+  let order = Array.make n (-1) in
+  let sequence = ref [] in
+  let visited = Array.make n false in
+  let rec dfs b =
+    visited.(b) <- true;
+    List.iter (fun s -> if not visited.(s) then dfs s) t.blocks.(b).succs;
+    sequence := b :: !sequence
+  in
+  dfs 0;
+  let rpo = Array.of_list !sequence in
+  Array.iteri (fun pos b -> order.(b) <- pos) rpo;
+  let idom = Array.init n (fun i -> if i = 0 then 0 else -1) in
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do
+        a := idom.(!a)
+      done;
+      while order.(!b) > order.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let processed =
+            List.filter (fun p -> order.(p) >= 0 && idom.(p) >= 0) t.preds.(b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let d = List.fold_left intersect first rest in
+            if idom.(b) <> d then begin
+              idom.(b) <- d;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  Array.mapi (fun b d -> if d < 0 then b else d) idom
+
+let dominates idom a b =
+  (* does a dominate b? walk b's idom chain *)
+  let rec walk x fuel =
+    if fuel = 0 then false
+    else if x = a then true
+    else if x = 0 then a = 0
+    else walk idom.(x) (fuel - 1)
+  in
+  walk b (Array.length idom + 1)
+
+let loops t =
+  let idom = dominators t in
+  let found = ref [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          (* back edge: successor dominates the source *)
+          if dominates idom s b.id then begin
+            (* natural loop body: header + everything that reaches the
+               latch without passing the header *)
+            let in_body = Hashtbl.create 8 in
+            Hashtbl.replace in_body s ();
+            let rec pull x =
+              if not (Hashtbl.mem in_body x) then begin
+                Hashtbl.replace in_body x ();
+                List.iter pull t.preds.(x)
+              end
+            in
+            pull b.id;
+            let body =
+              Hashtbl.fold (fun x () acc -> x :: acc) in_body []
+              |> List.sort compare
+            in
+            found := { header = s; back_edge_from = b.id; body } :: !found
+          end)
+        b.succs)
+    t.blocks;
+  List.sort (fun a b -> compare (a.header, a.back_edge_from) (b.header, b.back_edge_from)) !found

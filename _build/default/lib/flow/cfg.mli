@@ -1,0 +1,45 @@
+(** Control-flow graph over basic blocks.
+
+    Used for program inspection and tests; the control-dependency
+    scopes themselves are computed at instruction granularity by
+    {!Postdom}. Indirect jumps ([Jr]) have statically unknown targets;
+    they are treated as graph exits (conservative for post-dominance:
+    a scope opened before a [Jr] ends at the [Jr]). *)
+
+type block = {
+  id : int;
+  first : int;  (** index of the first instruction *)
+  last : int;  (** index of the last instruction (inclusive) *)
+  succs : int list;  (** successor block ids *)
+}
+
+type t
+
+val build : Mitos_isa.Program.t -> t
+val blocks : t -> block array
+val block_of_instr : t -> int -> block
+(** Block containing the given instruction index. *)
+
+val num_blocks : t -> int
+val entry : t -> block
+val preds : t -> int -> int list
+(** Predecessor block ids. *)
+
+(** A natural loop discovered from a back edge. *)
+type loop = {
+  header : int;  (** header block id *)
+  back_edge_from : int;  (** latch block id *)
+  body : int list;  (** block ids, header included, sorted *)
+}
+
+val loops : t -> loop list
+(** Natural loops (one per back edge [latch -> header] where the
+    header dominates the latch), sorted by header. Loops are where
+    indirect flows concentrate — table-translation and decoder loops —
+    so analyses report per-loop statistics. *)
+
+val dominators : t -> int array
+(** Immediate dominator of each block ([0] for the entry, which is its
+    own idom); blocks unreachable from the entry map to themselves. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = Reg of int | Mem of int
+
+let equal a b =
+  match (a, b) with
+  | Reg x, Reg y -> x = y
+  | Mem x, Mem y -> x = y
+  | Reg _, Mem _ | Mem _, Reg _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Reg x, Reg y -> Int.compare x y
+  | Mem x, Mem y -> Int.compare x y
+  | Reg _, Mem _ -> -1
+  | Mem _, Reg _ -> 1
+
+let to_string = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Mem a -> Printf.sprintf "[%#x]" a
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let mem_range addr len = List.init len (fun i -> Mem (addr + i))
+let is_reg = function Reg _ -> true | Mem _ -> false
+let is_mem = function Mem _ -> true | Reg _ -> false

@@ -1,0 +1,15 @@
+(** Taintable locations: registers and memory bytes. *)
+
+type t = Reg of int | Mem of int  (** [Mem addr] is a single byte *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val mem_range : int -> int -> t list
+(** [mem_range addr len] is the byte locations
+    [Mem addr; ...; Mem (addr+len-1)]. *)
+
+val is_reg : t -> bool
+val is_mem : t -> bool

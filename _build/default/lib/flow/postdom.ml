@@ -1,0 +1,99 @@
+module Program = Mitos_isa.Program
+module Instr = Mitos_isa.Instr
+
+type t = { ipdom : int array; exit_node : int }
+
+(* Successors in the forward graph; the virtual exit is node [n]. *)
+let successors prog n i =
+  if i = n then []
+  else
+    let instr = Program.instr prog i in
+    match instr with
+    | Instr.Halt | Instr.Jr _ -> [ n ]
+    | _ ->
+      let targets = Instr.branch_targets instr ~next:(i + 1) in
+      List.map (fun target -> if target >= n then n else target) targets
+
+(* Cooper-Harvey-Kennedy "a simple, fast dominance algorithm", run on
+   the reverse graph with the virtual exit as root. *)
+let compute prog =
+  let n = Program.length prog in
+  let num_nodes = n + 1 in
+  let exit_node = n in
+  let succs = Array.init num_nodes (fun i -> successors prog n i) in
+  let preds = Array.make num_nodes [] in
+  Array.iteri (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss) succs;
+  (* Reverse graph: root = exit, edges = reversed. Reverse-postorder of
+     the reverse graph = postorder walk from exit over preds. *)
+  let order = Array.make num_nodes (-1) in
+  (* order.(node) = position in reverse-postorder; -1 = unreachable *)
+  let sequence = ref [] in
+  let visited = Array.make num_nodes false in
+  let rec dfs node =
+    visited.(node) <- true;
+    List.iter (fun p -> if not visited.(p) then dfs p) preds.(node);
+    sequence := node :: !sequence
+  in
+  dfs exit_node;
+  let rpo = Array.of_list !sequence in
+  Array.iteri (fun pos node -> order.(node) <- pos) rpo;
+  let idom = Array.make num_nodes (-1) in
+  idom.(exit_node) <- exit_node;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order.(!a) > order.(!b) do
+        a := idom.(!a)
+      done;
+      while order.(!b) > order.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun node ->
+        if node <> exit_node then begin
+          (* predecessors in the reverse graph = successors in forward *)
+          let processed =
+            List.filter (fun s -> order.(s) >= 0 && idom.(s) >= 0) succs.(node)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(node) <> new_idom then begin
+              idom.(node) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  let ipdom =
+    Array.init n (fun i -> if idom.(i) < 0 then exit_node else idom.(i))
+  in
+  { ipdom; exit_node }
+
+let exit_node t = t.exit_node
+
+let ipdom t i =
+  if i < 0 || i >= Array.length t.ipdom then
+    invalid_arg (Printf.sprintf "Postdom.ipdom: index %d" i);
+  t.ipdom.(i)
+
+let postdominates t a b =
+  if a = t.exit_node then true
+  else begin
+    let rec walk node fuel =
+      if fuel = 0 then false
+      else if node = a then true
+      else if node = t.exit_node then false
+      else walk (ipdom t node) (fuel - 1)
+    in
+    walk b (Array.length t.ipdom + 2)
+  end
+
+let scope_end = ipdom

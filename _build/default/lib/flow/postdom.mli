@@ -1,0 +1,31 @@
+(** Immediate post-dominators at instruction granularity.
+
+    The control-dependency scope of a branch is the set of
+    instructions executed between the branch and its immediate
+    post-dominator: exactly the instructions whose execution depends
+    on the branch outcome. A DIFT that propagates control dependencies
+    taints writes inside that region with the branch condition's tags.
+
+    A virtual exit node post-dominates everything; [Halt] and [Jr]
+    connect to it (indirect jump targets are statically unknown, so a
+    scope crossing a [Jr] conservatively ends there). *)
+
+type t
+
+val compute : Mitos_isa.Program.t -> t
+
+val exit_node : t -> int
+(** Index of the virtual exit node (= program length). *)
+
+val ipdom : t -> int -> int
+(** [ipdom t i] is the immediate post-dominator of instruction [i];
+    possibly [exit_node t]. Instructions that cannot reach the exit
+    (e.g. provable infinite loops) report [exit_node t]. *)
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t a b]: does [a] post-dominate [b]? (Walks the
+    ipdom chain; [exit_node] post-dominates everything.) *)
+
+val scope_end : t -> int -> int
+(** Alias for [ipdom], named for its use: the instruction index where
+    a control-taint scope opened by a branch at [i] closes. *)

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Bytes Char Format Instr Int32 List Mitos_util Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/machine.mli: Bytes Format Instr Mitos_util Program

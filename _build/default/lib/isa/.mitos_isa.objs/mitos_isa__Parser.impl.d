@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Asm Bytes Format Instr List Printf Program String

@@ -1,0 +1,86 @@
+type fixup =
+  | Branch_target  (** patch the target field of a branch/jmp *)
+  | Imm_value  (** patch the immediate of an [Li] *)
+
+type t = {
+  mutable code : Instr.t list; (* reversed *)
+  mutable len : int;
+  labels : (string, int) Hashtbl.t;
+  mutable fixups : (int * string * fixup) list;
+  mutable assembled : bool;
+}
+
+let create () =
+  {
+    code = [];
+    len = 0;
+    labels = Hashtbl.create 16;
+    fixups = [];
+    assembled = false;
+  }
+
+let check_live t = if t.assembled then invalid_arg "Asm: builder already assembled"
+
+let label t name =
+  check_live t;
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "Asm.label: duplicate label %S" name);
+  Hashtbl.add t.labels name t.len
+
+let here t = t.len
+
+let emit t instr =
+  check_live t;
+  t.code <- instr :: t.code;
+  t.len <- t.len + 1
+
+let li t rd imm = emit t (Instr.Li (rd, imm))
+let mov t rd rs = emit t (Instr.Mov (rd, rs))
+let bin t op rd rs1 rs2 = emit t (Instr.Bin (op, rd, rs1, rs2))
+let bini t op rd rs imm = emit t (Instr.Bini (op, rd, rs, imm))
+let loadb t rd rb off = emit t (Instr.Load (Instr.W8, rd, rb, off))
+let loadw t rd rb off = emit t (Instr.Load (Instr.W32, rd, rb, off))
+let storeb t rs rb off = emit t (Instr.Store (Instr.W8, rs, rb, off))
+let storew t rs rb off = emit t (Instr.Store (Instr.W32, rs, rb, off))
+
+let branch t c rs1 rs2 lbl =
+  t.fixups <- (t.len, lbl, Branch_target) :: t.fixups;
+  emit t (Instr.Branch (c, rs1, rs2, 0))
+
+let jmp t lbl =
+  t.fixups <- (t.len, lbl, Branch_target) :: t.fixups;
+  emit t (Instr.Jmp 0)
+
+let jr t rs = emit t (Instr.Jr rs)
+let syscall t n = emit t (Instr.Syscall n)
+let nop t = emit t Instr.Nop
+let halt t = emit t Instr.Halt
+
+let li_label t rd lbl =
+  t.fixups <- (t.len, lbl, Imm_value) :: t.fixups;
+  emit t (Instr.Li (rd, 0))
+
+let assemble t =
+  check_live t;
+  t.assembled <- true;
+  let code = Array.of_list (List.rev t.code) in
+  List.iter
+    (fun (idx, lbl, kind) ->
+      let target =
+        match Hashtbl.find_opt t.labels lbl with
+        | Some a -> a
+        | None -> invalid_arg (Printf.sprintf "Asm: undefined label %S" lbl)
+      in
+      code.(idx) <-
+        (match (code.(idx), kind) with
+        | Instr.Branch (c, rs1, rs2, _), Branch_target ->
+          Instr.Branch (c, rs1, rs2, target)
+        | Instr.Jmp _, Branch_target -> Instr.Jmp target
+        | Instr.Li (rd, _), Imm_value -> Instr.Li (rd, target)
+        | instr, _ ->
+          invalid_arg
+            (Printf.sprintf "Asm: fixup on unexpected instruction %s"
+               (Instr.to_string instr))))
+    t.fixups;
+  let labels = Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) t.labels [] in
+  Program.make ~labels code

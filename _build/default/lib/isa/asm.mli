@@ -1,0 +1,59 @@
+(** A tiny assembler: emit instructions with symbolic labels, get a
+    {!Program.t} with resolved absolute targets.
+
+    Workload generators use this as an embedded DSL:
+
+    {[
+      let a = Asm.create () in
+      Asm.li a 1 0;
+      Asm.label a "loop";
+      Asm.bini a Instr.Add 1 1 1;
+      Asm.branch a Instr.Lt 1 2 "loop";
+      Asm.halt a;
+      Asm.assemble a
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val label : t -> string -> unit
+(** Define a label at the current position. Duplicate definitions
+    raise [Invalid_argument]. *)
+
+val here : t -> int
+(** Index of the next instruction to be emitted. *)
+
+val emit : t -> Instr.t -> unit
+(** Emit a raw instruction (targets must already be absolute). *)
+
+(** {1 Convenience emitters} *)
+
+val li : t -> int -> int -> unit
+val mov : t -> int -> int -> unit
+val bin : t -> Instr.binop -> int -> int -> int -> unit
+val bini : t -> Instr.binop -> int -> int -> int -> unit
+val loadb : t -> int -> int -> int -> unit
+(** [loadb a rd rbase off] *)
+
+val loadw : t -> int -> int -> int -> unit
+val storeb : t -> int -> int -> int -> unit
+(** [storeb a rs rbase off] *)
+
+val storew : t -> int -> int -> int -> unit
+val branch : t -> Instr.cond -> int -> int -> string -> unit
+(** Conditional branch to a label (may be forward). *)
+
+val jmp : t -> string -> unit
+val jr : t -> int -> unit
+val syscall : t -> int -> unit
+val nop : t -> unit
+val halt : t -> unit
+
+val li_label : t -> int -> string -> unit
+(** [li_label a rd lbl] loads the (resolved) instruction index of
+    [lbl] into [rd] — used to build indirect jumps. *)
+
+val assemble : t -> Program.t
+(** Resolves all label references; raises [Invalid_argument] if any
+    referenced label is undefined. The builder may not be reused. *)

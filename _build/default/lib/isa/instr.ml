@@ -1,0 +1,184 @@
+let num_regs = 16
+let word_size = 4
+
+type binop = Add | Sub | Mul | Divu | Rem | And | Or | Xor | Shl | Shr
+type cond = Eq | Ne | Lt | Ge | Ltu | Geu
+type width = W8 | W32
+
+type t =
+  | Li of int * int
+  | Mov of int * int
+  | Bin of binop * int * int * int
+  | Bini of binop * int * int * int
+  | Load of width * int * int * int
+  | Store of width * int * int * int
+  | Branch of cond * int * int * int
+  | Jmp of int
+  | Jr of int
+  | Syscall of int
+  | Nop
+  | Halt
+
+let bytes_of_width = function W8 -> 1 | W32 -> 4
+
+let reads = function
+  | Li _ | Jmp _ | Nop | Halt -> []
+  | Mov (_, rs) | Bini (_, _, rs, _) | Jr rs -> [ rs ]
+  | Bin (_, _, rs1, rs2) | Branch (_, rs1, rs2, _) -> [ rs1; rs2 ]
+  | Load (_, _, rbase, _) -> [ rbase ]
+  | Store (_, rs, rbase, _) -> [ rs; rbase ]
+  | Syscall _ -> [ 1; 2; 3 ] (* argument-register convention: r1-r3 *)
+
+let writes = function
+  | Li (rd, _) | Mov (rd, _) | Bin (_, rd, _, _) | Bini (_, rd, _, _)
+  | Load (_, rd, _, _) ->
+    Some rd
+  | Store _ | Branch _ | Jmp _ | Jr _ | Syscall _ | Nop | Halt -> None
+
+let is_branch = function Branch _ -> true | _ -> false
+
+let is_control = function
+  | Branch _ | Jmp _ | Jr _ | Halt -> true
+  | _ -> false
+
+let branch_targets t ~next =
+  match t with
+  | Branch (_, _, _, target) -> [ target; next ]
+  | Jmp target -> [ target ]
+  | Jr _ | Halt -> []
+  | _ -> [ next ]
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Divu -> "divu"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let cond_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Ltu -> "ltu"
+  | Geu -> "geu"
+
+let width_to_string = function W8 -> "b" | W32 -> "w"
+
+let to_string = function
+  | Li (rd, imm) -> Printf.sprintf "li r%d, %d" rd imm
+  | Mov (rd, rs) -> Printf.sprintf "mov r%d, r%d" rd rs
+  | Bin (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s r%d, r%d, r%d" (binop_to_string op) rd rs1 rs2
+  | Bini (op, rd, rs, imm) ->
+    Printf.sprintf "%si r%d, r%d, %d" (binop_to_string op) rd rs imm
+  | Load (w, rd, rb, off) ->
+    Printf.sprintf "ld%s r%d, %d(r%d)" (width_to_string w) rd off rb
+  | Store (w, rs, rb, off) ->
+    Printf.sprintf "st%s r%d, %d(r%d)" (width_to_string w) rs off rb
+  | Branch (c, rs1, rs2, target) ->
+    Printf.sprintf "b%s r%d, r%d, @%d" (cond_to_string c) rs1 rs2 target
+  | Jmp target -> Printf.sprintf "jmp @%d" target
+  | Jr rs -> Printf.sprintf "jr r%d" rs
+  | Syscall n -> Printf.sprintf "syscall %d" n
+  | Nop -> "nop"
+  | Halt -> "halt"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Binary codec: opcode byte then operands as varints. *)
+
+let binop_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Divu -> 3 | Rem -> 4 | And -> 5
+  | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9
+
+let binop_of_code = function
+  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> Divu | 4 -> Rem | 5 -> And
+  | 6 -> Or | 7 -> Xor | 8 -> Shl | 9 -> Shr
+  | n -> raise (Mitos_util.Codec.Malformed (Printf.sprintf "binop code %d" n))
+
+let cond_code = function
+  | Eq -> 0 | Ne -> 1 | Lt -> 2 | Ge -> 3 | Ltu -> 4 | Geu -> 5
+
+let cond_of_code = function
+  | 0 -> Eq | 1 -> Ne | 2 -> Lt | 3 -> Ge | 4 -> Ltu | 5 -> Geu
+  | n -> raise (Mitos_util.Codec.Malformed (Printf.sprintf "cond code %d" n))
+
+let width_code = function W8 -> 0 | W32 -> 1
+
+let width_of_code = function
+  | 0 -> W8
+  | 1 -> W32
+  | n -> raise (Mitos_util.Codec.Malformed (Printf.sprintf "width code %d" n))
+
+let encode enc t =
+  let module E = Mitos_util.Codec.Enc in
+  match t with
+  | Li (rd, imm) -> E.uint enc 0; E.uint enc rd; E.int enc imm
+  | Mov (rd, rs) -> E.uint enc 1; E.uint enc rd; E.uint enc rs
+  | Bin (op, rd, rs1, rs2) ->
+    E.uint enc 2; E.uint enc (binop_code op); E.uint enc rd; E.uint enc rs1;
+    E.uint enc rs2
+  | Bini (op, rd, rs, imm) ->
+    E.uint enc 3; E.uint enc (binop_code op); E.uint enc rd; E.uint enc rs;
+    E.int enc imm
+  | Load (w, rd, rb, off) ->
+    E.uint enc 4; E.uint enc (width_code w); E.uint enc rd; E.uint enc rb;
+    E.int enc off
+  | Store (w, rs, rb, off) ->
+    E.uint enc 5; E.uint enc (width_code w); E.uint enc rs; E.uint enc rb;
+    E.int enc off
+  | Branch (c, rs1, rs2, target) ->
+    E.uint enc 6; E.uint enc (cond_code c); E.uint enc rs1; E.uint enc rs2;
+    E.uint enc target
+  | Jmp target -> E.uint enc 7; E.uint enc target
+  | Jr rs -> E.uint enc 8; E.uint enc rs
+  | Syscall n -> E.uint enc 9; E.uint enc n
+  | Nop -> E.uint enc 10
+  | Halt -> E.uint enc 11
+
+let decode dec =
+  let module D = Mitos_util.Codec.Dec in
+  match D.uint dec with
+  | 0 ->
+    let rd = D.uint dec in
+    Li (rd, D.int dec)
+  | 1 ->
+    let rd = D.uint dec in
+    Mov (rd, D.uint dec)
+  | 2 ->
+    let op = binop_of_code (D.uint dec) in
+    let rd = D.uint dec in
+    let rs1 = D.uint dec in
+    Bin (op, rd, rs1, D.uint dec)
+  | 3 ->
+    let op = binop_of_code (D.uint dec) in
+    let rd = D.uint dec in
+    let rs = D.uint dec in
+    Bini (op, rd, rs, D.int dec)
+  | 4 ->
+    let w = width_of_code (D.uint dec) in
+    let rd = D.uint dec in
+    let rb = D.uint dec in
+    Load (w, rd, rb, D.int dec)
+  | 5 ->
+    let w = width_of_code (D.uint dec) in
+    let rs = D.uint dec in
+    let rb = D.uint dec in
+    Store (w, rs, rb, D.int dec)
+  | 6 ->
+    let c = cond_of_code (D.uint dec) in
+    let rs1 = D.uint dec in
+    let rs2 = D.uint dec in
+    Branch (c, rs1, rs2, D.uint dec)
+  | 7 -> Jmp (D.uint dec)
+  | 8 -> Jr (D.uint dec)
+  | 9 -> Syscall (D.uint dec)
+  | 10 -> Nop
+  | 11 -> Halt
+  | n -> raise (Mitos_util.Codec.Malformed (Printf.sprintf "opcode %d" n))

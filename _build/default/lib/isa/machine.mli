@@ -1,0 +1,81 @@
+(** The virtual machine that executes programs and reports, for each
+    step, exactly what happened — the raw material from which the flow
+    extractor classifies direct and indirect dependencies.
+
+    The machine itself knows nothing about taint. Syscalls are
+    delegated to a pluggable handler (the mini-OS lives in
+    [mitos_system]); the handler's side effects on memory and registers
+    are described in the step record so the DIFT layer can account for
+    them. *)
+
+exception Fault of string
+(** Raised on out-of-range memory access, division by zero, or an
+    indirect jump outside the program. *)
+
+(** A memory- or register-level side effect performed by a syscall
+    handler. [source] is an opaque identifier the OS layer uses to map
+    the effect to a taint source (e.g. a connection id); [-1] means "no
+    taint source" (the DIFT layer just clears the range). *)
+type sys_effect =
+  | Sys_wrote_mem of { addr : int; len : int; source : int }
+  | Sys_read_mem of { addr : int; len : int; sink : int }
+  | Sys_snapshot_mem of { addr : int; len : int; key : int }
+      (** capture the range's shadow state under [key] (e.g. a file's
+          content taint at write time), restorable by a later
+          [Restore] source action *)
+  | Sys_set_reg of { reg : int }
+  | Sys_halt
+
+(** Everything observable about one executed instruction. *)
+type exec_record = {
+  step : int;  (** 0-based execution step *)
+  pc : int;  (** index of the executed instruction *)
+  instr : Instr.t;
+  reg_reads : (int * int) list;  (** (register, value) pairs read *)
+  reg_write : (int * int) option;  (** (register, new value) *)
+  mem_read : (int * int) option;  (** (address, length) *)
+  mem_write : (int * int) option;  (** (address, length) *)
+  taken : bool option;  (** for conditional branches *)
+  next_pc : int;
+  sys_effects : sys_effect list;  (** non-empty only for [Syscall] *)
+}
+
+type t
+
+type syscall_handler = t -> sysno:int -> sys_effect list
+(** Called when a [Syscall] executes. The handler may read/write
+    machine state through the accessors below and must describe its
+    memory/register effects in the returned list. *)
+
+val create :
+  ?mem_size:int -> ?syscall:syscall_handler -> Program.t -> t
+(** Default memory is 1 MiB; the default syscall handler faults. *)
+
+val program : t -> Program.t
+val mem_size : t -> int
+val pc : t -> int
+val steps : t -> int
+val halted : t -> bool
+
+val get_reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val read_word : t -> int -> int
+val write_word : t -> int -> int -> unit
+val read_bytes : t -> int -> int -> Bytes.t
+val write_bytes : t -> int -> Bytes.t -> unit
+val blit_string : t -> int -> string -> unit
+
+val step : t -> exec_record option
+(** Execute one instruction; [None] once halted. *)
+
+val run : ?max_steps:int -> t -> (exec_record -> unit) -> int
+(** Drive to completion (or [max_steps], default 10_000_000), feeding
+    every record to the callback; returns the number of steps
+    executed. *)
+
+val pp_record : Format.formatter -> exec_record -> unit
+
+val encode_record : Mitos_util.Codec.Enc.t -> exec_record -> unit
+val decode_record : Mitos_util.Codec.Dec.t -> exec_record

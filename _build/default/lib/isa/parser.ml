@@ -1,0 +1,165 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let strip_comment s =
+  let cut c s =
+    match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut ';' (cut '#' s)
+
+let tokenize line_no s =
+  (* commas and load/store parentheses are operand separators *)
+  let buf = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | ',' | '(' | ')' -> Bytes.set buf i ' '
+      | _ -> ())
+    buf;
+  String.split_on_char ' ' (Bytes.to_string buf)
+  |> List.filter (fun t -> t <> "")
+  |> fun tokens ->
+  (* tolerate the index column Program.pp prints *)
+  match tokens with
+  | first :: rest when int_of_string_opt first <> None && rest <> [] -> rest
+  | _ ->
+    ignore line_no;
+    tokens
+
+let reg line t =
+  if String.length t >= 2 && t.[0] = 'r' then
+    match int_of_string_opt (String.sub t 1 (String.length t - 1)) with
+    | Some r when r >= 0 && r < Instr.num_regs -> r
+    | _ -> fail line "bad register %S" t
+  else fail line "expected register, got %S" t
+
+let imm line t =
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> fail line "expected integer, got %S" t
+
+(* A target is either @label or @index. *)
+type target = Tlabel of string | Tabs of int
+
+let target line t =
+  if String.length t >= 2 && t.[0] = '@' then begin
+    let body = String.sub t 1 (String.length t - 1) in
+    match int_of_string_opt body with
+    | Some i -> Tabs i
+    | None -> Tlabel body
+  end
+  else fail line "expected @target, got %S" t
+
+let binop_of_mnemonic = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "divu" -> Some Instr.Divu
+  | "rem" -> Some Instr.Rem
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | _ -> None
+
+let cond_of_mnemonic = function
+  | "beq" -> Some Instr.Eq
+  | "bne" -> Some Instr.Ne
+  | "blt" -> Some Instr.Lt
+  | "bge" -> Some Instr.Ge
+  | "bltu" -> Some Instr.Ltu
+  | "bgeu" -> Some Instr.Geu
+  | _ -> None
+
+let ends_with_i m =
+  String.length m > 1 && m.[String.length m - 1] = 'i'
+
+let parse text =
+  let asm = Asm.create () in
+  let emit_branch line c rs1 rs2 = function
+    | Tlabel l -> Asm.branch asm c rs1 rs2 l
+    | Tabs i ->
+      ignore line;
+      Asm.emit asm (Instr.Branch (c, rs1, rs2, i))
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim (strip_comment raw) in
+      if s <> "" then begin
+        if String.length s > 1 && s.[String.length s - 1] = ':' then
+          Asm.label asm (String.trim (String.sub s 0 (String.length s - 1)))
+        else begin
+          match tokenize line s with
+          | [] -> ()
+          | mnemonic :: operands -> (
+            let r n = reg line (List.nth operands n) in
+            let need k =
+              if List.length operands <> k then
+                fail line "%s expects %d operands, got %d" mnemonic k
+                  (List.length operands)
+            in
+            match (mnemonic, binop_of_mnemonic mnemonic, cond_of_mnemonic mnemonic) with
+            | "li", _, _ ->
+              need 2;
+              Asm.li asm (r 0) (imm line (List.nth operands 1))
+            | "mov", _, _ ->
+              need 2;
+              Asm.mov asm (r 0) (r 1)
+            | "ldb", _, _ ->
+              need 3;
+              Asm.loadb asm (r 0) (r 2) (imm line (List.nth operands 1))
+            | "ldw", _, _ ->
+              need 3;
+              Asm.loadw asm (r 0) (r 2) (imm line (List.nth operands 1))
+            | "stb", _, _ ->
+              need 3;
+              Asm.storeb asm (r 0) (r 2) (imm line (List.nth operands 1))
+            | "stw", _, _ ->
+              need 3;
+              Asm.storew asm (r 0) (r 2) (imm line (List.nth operands 1))
+            | "jmp", _, _ -> (
+              need 1;
+              match target line (List.nth operands 0) with
+              | Tlabel l -> Asm.jmp asm l
+              | Tabs i -> Asm.emit asm (Instr.Jmp i))
+            | "jr", _, _ ->
+              need 1;
+              Asm.jr asm (r 0)
+            | "syscall", _, _ ->
+              need 1;
+              Asm.syscall asm (imm line (List.nth operands 0))
+            | "nop", _, _ ->
+              need 0;
+              Asm.nop asm
+            | "halt", _, _ ->
+              need 0;
+              Asm.halt asm
+            | _, Some op, _ ->
+              need 3;
+              Asm.bin asm op (r 0) (r 1) (r 2)
+            | _, _, Some c ->
+              need 3;
+              emit_branch line c (r 0) (r 1) (target line (List.nth operands 2))
+            | m, None, None when ends_with_i m -> (
+              match binop_of_mnemonic (String.sub m 0 (String.length m - 1)) with
+              | Some op ->
+                need 3;
+                Asm.bini asm op (r 0) (r 1) (imm line (List.nth operands 2))
+              | None -> fail line "unknown mnemonic %S" m)
+            | m, None, None -> fail line "unknown mnemonic %S" m)
+        end
+      end)
+    lines;
+  try Asm.assemble asm
+  with Invalid_argument msg -> raise (Parse_error (0, msg))
+
+let parse_roundtrip_check prog =
+  let text = Format.asprintf "%a" Program.pp prog in
+  let reparsed = parse text in
+  Program.code reparsed = Program.code prog

@@ -1,0 +1,31 @@
+(** Textual assembly parser — the inverse of {!Program.pp}.
+
+    Accepts the same syntax the disassembler prints, one instruction
+    per line, with labels, comments and blank lines:
+
+    {v
+      ; translate a buffer through a table
+      li r4, 4096
+      loop:
+        ldb r8, 0(r4)
+        addi r9, r8, 8192
+        ldb r8, 0(r9)
+        stb r8, 1(r4)
+        addi r4, r4, 1
+        bltu r4, r6, @loop
+      halt
+    v}
+
+    Branch and jump targets may be written as [@label] or as absolute
+    instruction indices ([@12]). [;] and [#] start comments. *)
+
+exception Parse_error of int * string
+(** (1-based line, message). *)
+
+val parse : string -> Program.t
+(** Raises {!Parse_error} on malformed input and [Invalid_argument]
+    for semantic errors (undefined labels, bad targets). *)
+
+val parse_roundtrip_check : Program.t -> bool
+(** [parse (Program.pp p) = p] structurally — used by the tests to tie
+    parser and printer together. *)

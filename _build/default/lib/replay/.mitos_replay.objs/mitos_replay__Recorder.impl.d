@@ -1,0 +1,1 @@
+lib/replay/recorder.ml: Array List Mitos_isa Trace

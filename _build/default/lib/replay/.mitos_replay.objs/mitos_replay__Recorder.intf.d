@@ -1,0 +1,1 @@
+lib/replay/recorder.mli: Mitos_isa Trace

@@ -1,0 +1,1 @@
+lib/replay/trace.ml: Array Fun List Mitos_isa Mitos_util

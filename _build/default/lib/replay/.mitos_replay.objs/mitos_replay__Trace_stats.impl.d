@@ -1,0 +1,1 @@
+lib/replay/trace_stats.ml: Array Format Hashtbl Int List Mitos_flow Mitos_isa Option Printf Trace

@@ -1,0 +1,1 @@
+lib/replay/trace_stats.mli: Format Trace

@@ -1,0 +1,18 @@
+module Machine = Mitos_isa.Machine
+
+let record ?(max_steps = 10_000_000) ?(meta = []) machine =
+  let records = ref [] in
+  let n = ref 0 in
+  ignore
+    (Machine.run ~max_steps machine (fun r ->
+         records := r :: !records;
+         incr n));
+  Trace.make ~meta
+    ~program:(Machine.program machine)
+    ~mem_size:(Machine.mem_size machine)
+    (Array.of_list (List.rev !records))
+
+let verify_deterministic ~make_machine ?max_steps () =
+  let t1 = record ?max_steps (make_machine ()) in
+  let t2 = record ?max_steps (make_machine ()) in
+  Trace.to_string t1 = Trace.to_string t2

@@ -1,0 +1,15 @@
+(** Recording machine executions into traces. *)
+
+val record :
+  ?max_steps:int ->
+  ?meta:(string * string) list ->
+  Mitos_isa.Machine.t ->
+  Trace.t
+(** Run the machine to halt (or [max_steps], default 10 million),
+    capturing every execution record. *)
+
+val verify_deterministic :
+  make_machine:(unit -> Mitos_isa.Machine.t) -> ?max_steps:int -> unit -> bool
+(** Record twice from identically-constructed machines and compare
+    traces — the property PANDA's record/replay guarantees and our
+    experiments rely on. *)

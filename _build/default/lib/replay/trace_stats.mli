@@ -1,0 +1,57 @@
+(** Offline trace analysis (no shadow state, no policy).
+
+    The record/replay substrate makes a recorded run a first-class
+    artifact; this module answers the questions an analyst asks of one
+    before choosing a policy: how much of the instruction stream can
+    even carry indirect flows, of which kind, and how hot is each
+    program point. This is the PANDA-plugin style of tooling the
+    paper's workflow assumes. *)
+
+type t = {
+  instructions : int;
+  (* instruction mix *)
+  loads : int;
+  stores : int;
+  branches : int;
+  branches_taken : int;
+  indirect_jumps : int;
+  syscalls : int;
+  alu : int;  (** computation instructions (Bin/Bini) *)
+  moves : int;  (** Li/Mov *)
+  (* flow opportunities *)
+  addr_dep_sites : int;
+      (** loads/stores — every one is a potential address dependency *)
+  ctrl_dep_sites : int;  (** conditional branches *)
+  bytes_read : int;
+  bytes_written : int;
+  source_bytes : int;  (** bytes written by taint sources *)
+  sink_bytes : int;
+  distinct_pcs : int;  (** program points actually executed *)
+  hottest : (int * int) list;  (** (pc, executions), descending, top 10 *)
+}
+
+val analyze : Trace.t -> t
+val pp : Format.formatter -> t -> unit
+val to_rows : t -> (string * string) list
+(** (label, value) pairs for tabular display. *)
+
+(** A natural loop observed in the trace. Loops are where indirect
+    flows concentrate (translation and decoder loops), so per-loop
+    dynamic counts tell an analyst where policy decisions will
+    cluster. *)
+type loop_info = {
+  header_pc : int;  (** first instruction of the loop header block *)
+  first_pc : int;
+  last_pc : int;  (** static extent of the loop body *)
+  iterations : int;  (** times the back edge was taken (dynamic) *)
+  body_instructions : int;  (** dynamic instruction count inside the body *)
+}
+
+val loop_profile : Trace.t -> loop_info list
+(** Natural loops of the program (via {!Mitos_flow.Cfg.loops}) with
+    their dynamic execution counts, busiest first. Loops never entered
+    report zero iterations. *)
+
+val syscall_histogram : Trace.t -> (int * int) list
+(** (syscall number, invocations), descending by count — the OS
+    interaction profile of the run. *)

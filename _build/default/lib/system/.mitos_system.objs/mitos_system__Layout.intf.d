@@ -1,0 +1,1 @@
+lib/system/layout.mli:

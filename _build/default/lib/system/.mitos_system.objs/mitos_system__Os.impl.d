@@ -1,0 +1,1 @@
+lib/system/os.ml: Bytes Hashtbl Int Layout List Mitos_dift Mitos_isa Mitos_tag Mitos_util Printf String Tag Tag_type

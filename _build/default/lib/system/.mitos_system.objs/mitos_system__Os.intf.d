@@ -1,0 +1,1 @@
+lib/system/os.mli: Mitos_dift Mitos_isa Mitos_tag Tag

@@ -1,0 +1,19 @@
+let mem_size = 1 lsl 20
+let stack_base = 0x00000
+let stack_size = 0x10000
+let process_base = 0x10000
+let process_size = 0x30000
+let kernel_export_base = 0x40000
+let kernel_export_size = 0x10000
+let heap_base = 0x50000
+let heap_size = mem_size - heap_base
+
+let in_kernel_export addr =
+  addr >= kernel_export_base && addr < kernel_export_base + kernel_export_size
+
+let region_of addr =
+  if addr < 0 || addr >= mem_size then "out-of-range"
+  else if addr < process_base then "stack"
+  else if addr < kernel_export_base then "process"
+  else if addr < heap_base then "kernel-export"
+  else "heap"

@@ -1,0 +1,32 @@
+(** Memory layout of the simulated system.
+
+    One flat 1 MiB physical memory partitioned into the regions the
+    paper's scenarios need. The kernel linking/loading area is where
+    FAROS's export-table tags live: bytes written there during
+    linking acquire the [Export_table] tag, and the in-memory-attack
+    signature is a byte that carries both netflow and export-table
+    tags. *)
+
+val mem_size : int
+(** Total memory: 1 MiB. *)
+
+val stack_base : int
+val stack_size : int
+
+val process_base : int
+(** Base of user-process data space; processes are carved from here. *)
+
+val process_size : int
+
+val kernel_export_base : int
+(** The kernel linking/loading ("export table") area. *)
+
+val kernel_export_size : int
+
+val heap_base : int
+val heap_size : int
+
+val in_kernel_export : int -> bool
+
+val region_of : int -> string
+(** Human-readable region name for diagnostics. *)

@@ -1,0 +1,393 @@
+open Mitos_tag
+module Machine = Mitos_isa.Machine
+module Engine = Mitos_dift.Engine
+module Rng = Mitos_util.Rng
+
+let sys_net_read = 1
+let sys_net_send = 2
+let sys_file_read = 3
+let sys_file_write = 4
+let sys_proc_read = 5
+let sys_kernel_mark_export = 6
+let sys_getrandom = 7
+let sys_exit = 8
+let sys_sensor_read = 9
+let sys_proc_write = 10
+
+type conn = {
+  conn_id : int;
+  conn_tag : Tag.t;
+  conn_source : int;
+  tag_per_read : bool;
+  payload : string option; (* None = pseudo-random stream *)
+  mutable remaining : int;
+  mutable delivered : int;
+  conn_rng : Rng.t;
+}
+
+type file = {
+  file_id : int;
+  file_tag : Tag.t;
+  file_source : int;
+  mutable content : Bytes.t;
+}
+
+type proc = { proc_id : int; proc_tag : Tag.t; proc_source : int; base : int; size : int }
+
+type t = {
+  registry : Tag.registry;
+  rng : Rng.t;
+  actions : (int, Engine.source_action) Hashtbl.t;
+  mutable next_source : int;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  files : (int, file) Hashtbl.t;
+  mutable next_file : int;
+  procs : (int, proc) Hashtbl.t;
+  mutable next_proc : int;
+  mutable sensor : (Tag.t * int) option; (* tag, source id *)
+  mutable net_bytes : int;
+  mutable file_bytes : int;
+  mutable sent_bytes : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    registry = Tag.registry ();
+    rng = Rng.create seed;
+    actions = Hashtbl.create 64;
+    next_source = 1;
+    conns = Hashtbl.create 16;
+    next_conn = 1;
+    files = Hashtbl.create 16;
+    next_file = 1;
+    procs = Hashtbl.create 16;
+    next_proc = 1;
+    sensor = None;
+    net_bytes = 0;
+    file_bytes = 0;
+    sent_bytes = 0;
+  }
+
+let registry t = t.registry
+
+let register_action t action =
+  let id = t.next_source in
+  t.next_source <- id + 1;
+  Hashtbl.add t.actions id action;
+  id
+
+let clear_source_id = 0 (* source id 0 always means "untainted data" *)
+
+let make_conn ?(tag_per_read = false) t payload remaining =
+  let tag = Tag.fresh t.registry Tag_type.Network in
+  let source = register_action t (Engine.Taint (tag, `Replace)) in
+  let conn =
+    {
+      conn_id = t.next_conn;
+      conn_tag = tag;
+      conn_source = source;
+      tag_per_read;
+      payload;
+      remaining;
+      delivered = 0;
+      conn_rng = Rng.split t.rng;
+    }
+  in
+  t.next_conn <- t.next_conn + 1;
+  Hashtbl.add t.conns conn.conn_id conn;
+  conn
+
+let open_connection ?(available = max_int) ?tag_per_read t =
+  make_conn ?tag_per_read t None available
+
+let open_connection_with t payload =
+  make_conn t (Some payload) (String.length payload)
+
+let conn_id c = c.conn_id
+let conn_tag c = c.conn_tag
+let conn_bytes_delivered c = c.delivered
+
+let create_file t content =
+  let tag = Tag.fresh t.registry Tag_type.File in
+  (* reads restore the content's captured taint (if the file was
+     written during the run) and append the file tag *)
+  let source =
+    register_action t
+      (Engine.Restore { key = t.next_file; extra = Some tag })
+  in
+  let file =
+    { file_id = t.next_file; file_tag = tag; file_source = source;
+      content = Bytes.of_string content }
+  in
+  t.next_file <- t.next_file + 1;
+  Hashtbl.add t.files file.file_id file;
+  file
+
+let file_id f = f.file_id
+let file_tag f = f.file_tag
+let file_content _t f = Bytes.to_string f.content
+
+let spawn_process t ~base ~size =
+  let tag = Tag.fresh t.registry Tag_type.Process in
+  (* cross-process reads carry the source bytes' provenance and append
+     the process tag (Fig. 2 accumulation) *)
+  let source =
+    register_action t (Engine.Copy_within { src = base; extra = Some tag })
+  in
+  let proc = { proc_id = t.next_proc; proc_tag = tag; proc_source = source; base; size } in
+  t.next_proc <- t.next_proc + 1;
+  Hashtbl.add t.procs proc.proc_id proc;
+  proc
+
+let proc_id p = p.proc_id
+let proc_tag p = p.proc_tag
+let proc_base p = p.base
+let proc_size p = p.size
+
+let get_sensor t =
+  match t.sensor with
+  | Some pair -> pair
+  | None ->
+    let tag = Tag.fresh t.registry Tag_type.Sensor in
+    let source = register_action t (Engine.Taint (tag, `Replace)) in
+    t.sensor <- Some (tag, source);
+    (tag, source)
+
+let sensor_tag t = fst (get_sensor t)
+
+let find table id what =
+  match Hashtbl.find_opt table id with
+  | Some v -> v
+  | None -> raise (Machine.Fault (Printf.sprintf "unknown %s id %d" what id))
+
+(* The export-table marker action taints by union with a fresh
+   Export_table tag per linking operation. One tag per kernel_mark
+   call keeps export-table tags differentiated like FAROS's. *)
+let export_mark_source t =
+  let tag = Tag.fresh t.registry Tag_type.Export_table in
+  register_action t (Engine.Taint (tag, `Union))
+
+let args m = (Machine.get_reg m 1, Machine.get_reg m 2, Machine.get_reg m 3)
+
+let deliver_conn t conn m ~dst ~max_len =
+  let len = min max_len conn.remaining in
+  let len = max 0 len in
+  (if len > 0 then
+     match conn.payload with
+     | Some payload ->
+       Machine.blit_string m dst (String.sub payload conn.delivered len)
+     | None -> Machine.write_bytes m dst (Rng.bytes conn.conn_rng len));
+  conn.remaining <- conn.remaining - len;
+  conn.delivered <- conn.delivered + len;
+  t.net_bytes <- t.net_bytes + len;
+  Machine.set_reg m 1 len;
+  if len > 0 then begin
+    let source =
+      if conn.tag_per_read then begin
+        let tag = Tag.fresh t.registry Tag_type.Network in
+        register_action t (Engine.Taint (tag, `Replace))
+      end
+      else conn.conn_source
+    in
+    [ Machine.Sys_wrote_mem { addr = dst; len; source };
+      Machine.Sys_set_reg { reg = 1 } ]
+  end
+  else [ Machine.Sys_set_reg { reg = 1 } ]
+
+let handler t m ~sysno =
+  if sysno = sys_net_read then begin
+    let conn_id, dst, max_len = args m in
+    let conn = find t.conns conn_id "connection" in
+    deliver_conn t conn m ~dst ~max_len
+  end
+  else if sysno = sys_net_send then begin
+    let conn_id, src, len = args m in
+    let _conn = find t.conns conn_id "connection" in
+    ignore (Machine.read_bytes m src len);
+    t.sent_bytes <- t.sent_bytes + len;
+    [ Machine.Sys_read_mem { addr = src; len; sink = conn_id } ]
+  end
+  else if sysno = sys_file_read then begin
+    let file_id, dst, max_len = args m in
+    let file = find t.files file_id "file" in
+    let len = min max_len (Bytes.length file.content) in
+    if len > 0 then Machine.write_bytes m dst (Bytes.sub file.content 0 len);
+    t.file_bytes <- t.file_bytes + len;
+    Machine.set_reg m 1 len;
+    if len > 0 then
+      [ Machine.Sys_wrote_mem { addr = dst; len; source = file.file_source };
+        Machine.Sys_set_reg { reg = 1 } ]
+    else [ Machine.Sys_set_reg { reg = 1 } ]
+  end
+  else if sysno = sys_file_write then begin
+    let file_id, src, len = args m in
+    let file = find t.files file_id "file" in
+    file.content <- Machine.read_bytes m src len;
+    [ Machine.Sys_read_mem { addr = src; len; sink = -file_id };
+      Machine.Sys_snapshot_mem { addr = src; len; key = file_id } ]
+  end
+  else if sysno = sys_proc_read then begin
+    let pid, dst, max_len = args m in
+    let proc = find t.procs pid "process" in
+    let len = min max_len proc.size in
+    if len > 0 then
+      Machine.write_bytes m dst (Machine.read_bytes m proc.base len);
+    Machine.set_reg m 1 len;
+    if len > 0 then
+      [ Machine.Sys_wrote_mem { addr = dst; len; source = proc.proc_source };
+        Machine.Sys_set_reg { reg = 1 } ]
+    else [ Machine.Sys_set_reg { reg = 1 } ]
+  end
+  else if sysno = sys_kernel_mark_export then begin
+    let addr, len, _ = args m in
+    if
+      not
+        (Layout.in_kernel_export addr
+        && Layout.in_kernel_export (addr + len - 1))
+    then
+      raise
+        (Machine.Fault
+           (Printf.sprintf "kernel_mark_export outside kernel area: %d+%d"
+              addr len));
+    let source = export_mark_source t in
+    [ Machine.Sys_wrote_mem { addr; len; source } ]
+  end
+  else if sysno = sys_getrandom then begin
+    let dst, len, _ = args m in
+    if len > 0 then Machine.write_bytes m dst (Rng.bytes t.rng len);
+    [ Machine.Sys_wrote_mem { addr = dst; len; source = clear_source_id } ]
+  end
+  else if sysno = sys_proc_write then begin
+    let pid, src, len = args m in
+    let proc = find t.procs pid "process" in
+    let len = min len proc.size in
+    if len > 0 then
+      Machine.write_bytes m proc.base (Machine.read_bytes m src len);
+    Machine.set_reg m 1 len;
+    if len > 0 then begin
+      (* provenance travels from the written source range *)
+      let source =
+        register_action t
+          (Engine.Copy_within { src; extra = Some proc.proc_tag })
+      in
+      [ Machine.Sys_wrote_mem { addr = proc.base; len; source };
+        Machine.Sys_set_reg { reg = 1 } ]
+    end
+    else [ Machine.Sys_set_reg { reg = 1 } ]
+  end
+  else if sysno = sys_exit then [ Machine.Sys_halt ]
+  else if sysno = sys_sensor_read then begin
+    let dst, len, _ = args m in
+    let _, source = get_sensor t in
+    if len > 0 then Machine.write_bytes m dst (Rng.bytes t.rng len);
+    Machine.set_reg m 1 len;
+    [ Machine.Sys_wrote_mem { addr = dst; len; source };
+      Machine.Sys_set_reg { reg = 1 } ]
+  end
+  else raise (Machine.Fault (Printf.sprintf "unknown syscall %d" sysno))
+
+let source_tag t ~source =
+  match Hashtbl.find_opt t.actions source with
+  | Some action -> action
+  | None -> Engine.Clear
+
+let encode_opt_tag enc = function
+  | None -> Mitos_util.Codec.Enc.bool enc false
+  | Some tag ->
+    Mitos_util.Codec.Enc.bool enc true;
+    Tag.encode enc tag
+
+let decode_opt_tag dec =
+  if Mitos_util.Codec.Dec.bool dec then Some (Tag.decode dec) else None
+
+let encode_action enc = function
+  | Engine.Clear -> Mitos_util.Codec.Enc.uint enc 0
+  | Engine.Taint (tag, `Replace) ->
+    Mitos_util.Codec.Enc.uint enc 1;
+    Tag.encode enc tag
+  | Engine.Taint (tag, `Union) ->
+    Mitos_util.Codec.Enc.uint enc 2;
+    Tag.encode enc tag
+  | Engine.Copy_within { src; extra } ->
+    Mitos_util.Codec.Enc.uint enc 3;
+    Mitos_util.Codec.Enc.uint enc src;
+    encode_opt_tag enc extra
+  | Engine.Restore { key; extra } ->
+    Mitos_util.Codec.Enc.uint enc 4;
+    Mitos_util.Codec.Enc.int enc key;
+    encode_opt_tag enc extra
+
+let decode_action dec =
+  match Mitos_util.Codec.Dec.uint dec with
+  | 0 -> Engine.Clear
+  | 1 -> Engine.Taint (Tag.decode dec, `Replace)
+  | 2 -> Engine.Taint (Tag.decode dec, `Union)
+  | 3 ->
+    let src = Mitos_util.Codec.Dec.uint dec in
+    Engine.Copy_within { src; extra = decode_opt_tag dec }
+  | 4 ->
+    let key = Mitos_util.Codec.Dec.int dec in
+    Engine.Restore { key; extra = decode_opt_tag dec }
+  | n ->
+    raise (Mitos_util.Codec.Malformed (Printf.sprintf "source action %d" n))
+
+let dump_sources t =
+  let enc = Mitos_util.Codec.Enc.create () in
+  let entries =
+    Hashtbl.fold (fun id action acc -> (id, action) :: acc) t.actions []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Mitos_util.Codec.Enc.list enc
+    (fun (id, action) ->
+      Mitos_util.Codec.Enc.uint enc id;
+      encode_action enc action)
+    entries;
+  Mitos_util.Codec.Enc.contents enc
+
+let source_lookup_of_string data =
+  let dec = Mitos_util.Codec.Dec.of_string data in
+  let entries =
+    Mitos_util.Codec.Dec.list dec (fun dec ->
+        let id = Mitos_util.Codec.Dec.uint dec in
+        let action = decode_action dec in
+        (id, action))
+  in
+  Mitos_util.Codec.Dec.expect_end dec;
+  let table = Hashtbl.create (List.length entries) in
+  List.iter (fun (id, action) -> Hashtbl.replace table id action) entries;
+  fun ~source ->
+    match Hashtbl.find_opt table source with
+    | Some action -> action
+    | None -> Engine.Clear
+
+let connections t =
+  Hashtbl.fold (fun id c acc -> (id, c.conn_tag) :: acc) t.conns []
+  |> List.sort compare
+
+let files t =
+  Hashtbl.fold (fun id f acc -> (id, f.file_tag) :: acc) t.files []
+  |> List.sort compare
+
+let processes t =
+  Hashtbl.fold
+    (fun id p acc -> (id, p.proc_tag, p.base, p.size) :: acc)
+    t.procs []
+  |> List.sort compare
+
+let syscall_name n =
+  if n = sys_net_read then "net_read"
+  else if n = sys_net_send then "net_send"
+  else if n = sys_file_read then "file_read"
+  else if n = sys_file_write then "file_write"
+  else if n = sys_proc_read then "proc_read"
+  else if n = sys_proc_write then "proc_write"
+  else if n = sys_kernel_mark_export then "kernel_mark_export"
+  else if n = sys_getrandom then "getrandom"
+  else if n = sys_exit then "exit"
+  else if n = sys_sensor_read then "sensor_read"
+  else "unknown"
+
+let bytes_from_network t = t.net_bytes
+let bytes_from_files t = t.file_bytes
+let bytes_sent t = t.sent_bytes

@@ -1,0 +1,134 @@
+(** The miniature operating system: syscall semantics and taint
+    sources.
+
+    The OS owns the system's resources — network connections, files,
+    processes, the kernel linking area — and implements the machine's
+    syscall handler. Each resource is bound to a fresh tag from a
+    shared registry, so OS activity is what populates the DIFT's tag
+    space (the paper: "new tags are born ... due to the continuous
+    creation of processes, network connections, etc.").
+
+    Syscall ABI (arguments in r1-r3, result in r1):
+
+    - 1 [net_read]: r1=conn, r2=dst, r3=max_len; r1 <- bytes read.
+      Written bytes are tainted [Network] (replace).
+    - 2 [net_send]: r1=conn, r2=src, r3=len (taint sink).
+    - 3 [file_read]: r1=file, r2=dst, r3=max_len; r1 <- bytes read.
+      Tainted [File] (replace).
+    - 4 [file_write]: r1=file, r2=src, r3=len (content persisted).
+    - 5 [proc_read]: r1=pid, r2=dst, r3=max_len; r1 <- bytes copied
+      from the process's region. The source bytes' provenance travels
+      with the data, plus the process's tag.
+    - 10 [proc_write]: r1=pid, r2=src, r3=len. Writes into the target
+      process's region (remote injection); provenance travels with the
+      data, plus the {e writing} context's crossing is recorded via the
+      target's process tag.
+    - 6 [kernel_mark_export]: r1=addr, r2=len. Marks a range of the
+      kernel linking area as export-table data: the range gains an
+      [Export_table] tag by union — existing taint (e.g. netflow on an
+      injected payload) is preserved. Faults outside the kernel area.
+    - 7 [getrandom]: r1=dst, r2=len. Untainted bytes (clears taint).
+    - 8 [exit]: halts.
+    - 9 [sensor_read]: r1=dst, r2=max_len; r1 <- bytes. Tainted
+      [Sensor] (replace). *)
+
+open Mitos_tag
+
+val sys_net_read : int
+val sys_net_send : int
+val sys_file_read : int
+val sys_file_write : int
+val sys_proc_read : int
+val sys_kernel_mark_export : int
+val sys_getrandom : int
+val sys_exit : int
+val sys_sensor_read : int
+val sys_proc_write : int
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** A fresh OS with its own tag registry and deterministic RNG. *)
+
+val registry : t -> Tag.registry
+
+(** {1 Resource creation (before or during a run)} *)
+
+type conn
+
+val open_connection : ?available:int -> ?tag_per_read:bool -> t -> conn
+(** A network connection whose reads deliver pseudo-random payload,
+    [available] bytes in total (default: unbounded). With
+    [tag_per_read] (default [false]), every [net_read] mints a fresh
+    [Network] tag — per-packet provenance, the granularity that makes
+    tag balancing meaningful across a download. *)
+
+val open_connection_with : t -> string -> conn
+(** A connection delivering exactly the given payload bytes. *)
+
+val conn_id : conn -> int
+val conn_tag : conn -> Tag.t
+val conn_bytes_delivered : conn -> int
+
+type file
+
+val create_file : t -> string -> file
+(** A file with the given initial content. *)
+
+val file_id : file -> int
+val file_tag : file -> Tag.t
+val file_content : t -> file -> string
+(** Current content (reflecting [file_write]s). *)
+
+type proc
+
+val spawn_process : t -> base:int -> size:int -> proc
+(** Registers a process owning [base, base+size); reads from it via
+    [proc_read] are tainted with its [Process] tag. *)
+
+val proc_id : proc -> int
+val proc_tag : proc -> Tag.t
+val proc_base : proc -> int
+val proc_size : proc -> int
+
+val sensor_tag : t -> Tag.t
+(** The ambient sensor source (created lazily on first use). *)
+
+(** {1 Wiring} *)
+
+val handler : t -> Mitos_isa.Machine.syscall_handler
+(** Install as the machine's syscall handler. *)
+
+val source_tag : t -> source:int -> Mitos_dift.Engine.source_action
+(** Resolve the source ids emitted by {!handler} — pass to
+    [Engine.create]. Unknown ids resolve to [Clear]. *)
+
+val dump_sources : t -> string
+(** Serialize the current source-id → action table. Source ids are
+    minted while the OS runs (per-read tags, export marks), so a trace
+    recorded against this OS can only be replayed elsewhere if the
+    table travels with it. *)
+
+val source_lookup_of_string :
+  string -> source:int -> Mitos_dift.Engine.source_action
+(** Rebuild a resolver from {!dump_sources} output. Raises
+    [Mitos_util.Codec.Malformed] on corrupt input; unknown ids resolve
+    to [Clear]. *)
+
+(** {1 Introspection} *)
+
+val connections : t -> (int * Tag.t) list
+(** (id, tag) of every connection opened so far, by id. *)
+
+val files : t -> (int * Tag.t) list
+val processes : t -> (int * Tag.t * int * int) list
+(** (pid, tag, base, size). *)
+
+val syscall_name : int -> string
+(** Human-readable name for a syscall number; "unknown" otherwise. *)
+
+(** {1 Accounting} *)
+
+val bytes_from_network : t -> int
+val bytes_from_files : t -> int
+val bytes_sent : t -> int

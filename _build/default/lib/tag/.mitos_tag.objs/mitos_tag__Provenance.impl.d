@@ -1,0 +1,1 @@
+lib/tag/provenance.ml: Format List Tag

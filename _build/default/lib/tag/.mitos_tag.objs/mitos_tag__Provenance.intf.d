@@ -1,0 +1,1 @@
+lib/tag/provenance.mli: Format Tag

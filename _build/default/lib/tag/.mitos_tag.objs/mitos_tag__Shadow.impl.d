@@ -1,0 +1,1 @@
+lib/tag/shadow.ml: Array Hashtbl Int List Mitos_util Printf Provenance Tag Tag_stats Tag_type

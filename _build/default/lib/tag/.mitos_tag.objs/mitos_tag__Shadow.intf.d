@@ -1,0 +1,1 @@
+lib/tag/shadow.mli: Provenance Tag Tag_stats Tag_type

@@ -1,0 +1,1 @@
+lib/tag/tag.ml: Array Format Hashtbl Int Mitos_util Printf Set Tag_type

@@ -1,0 +1,1 @@
+lib/tag/tag.mli: Format Hashtbl Mitos_util Set Tag_type

@@ -1,0 +1,1 @@
+lib/tag/tag_stats.ml: Array Format List Printf Stdlib Tag Tag_type

@@ -1,0 +1,1 @@
+lib/tag/tag_stats.mli: Format Tag Tag_type

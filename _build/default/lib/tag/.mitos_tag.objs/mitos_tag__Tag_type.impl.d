@@ -1,0 +1,1 @@
+lib/tag/tag_type.ml: Format Int List Printf

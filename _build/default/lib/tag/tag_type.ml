@@ -1,0 +1,60 @@
+type t =
+  | Network
+  | File
+  | Process
+  | Export_table
+  | Pointer
+  | String_data
+  | Kernel
+  | Sensor
+
+let all =
+  [ Network; File; Process; Export_table; Pointer; String_data; Kernel; Sensor ]
+
+let count = List.length all
+
+let to_int = function
+  | Network -> 0
+  | File -> 1
+  | Process -> 2
+  | Export_table -> 3
+  | Pointer -> 4
+  | String_data -> 5
+  | Kernel -> 6
+  | Sensor -> 7
+
+let of_int = function
+  | 0 -> Network
+  | 1 -> File
+  | 2 -> Process
+  | 3 -> Export_table
+  | 4 -> Pointer
+  | 5 -> String_data
+  | 6 -> Kernel
+  | 7 -> Sensor
+  | n -> invalid_arg (Printf.sprintf "Tag_type.of_int: %d" n)
+
+let to_string = function
+  | Network -> "network"
+  | File -> "file"
+  | Process -> "process"
+  | Export_table -> "export-table"
+  | Pointer -> "pointer"
+  | String_data -> "string"
+  | Kernel -> "kernel"
+  | Sensor -> "sensor"
+
+let of_string = function
+  | "network" -> Network
+  | "file" -> File
+  | "process" -> Process
+  | "export-table" -> Export_table
+  | "pointer" -> Pointer
+  | "string" -> String_data
+  | "kernel" -> Kernel
+  | "sensor" -> Sensor
+  | s -> invalid_arg (Printf.sprintf "Tag_type.of_string: %S" s)
+
+let equal a b = to_int a = to_int b
+let compare a b = Int.compare (to_int a) (to_int b)
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,39 @@
+(** Tag types (the paper's [t] in the tag ID [{t, i}]).
+
+    MITOS assumes an arbitrary number of heterogeneous tag types —
+    network, file, process, etc. — each of which may be weighted
+    differently by the undertainting weight [u_t] and the pollution
+    weight [o_t]. We fix the set of types the paper and FAROS use; a
+    per-type integer index keeps weight lookups O(1). *)
+
+type t =
+  | Network  (** bytes arriving from a network connection ("netflow") *)
+  | File  (** bytes read from a file *)
+  | Process  (** bytes read from another process's address space *)
+  | Export_table
+      (** bytes written into the kernel linking/loading area — the
+          second half of FAROS's in-memory-attack signature *)
+  | Pointer  (** pointer-valued data (Slowinska & Bos semantics) *)
+  | String_data  (** string/text semantics *)
+  | Kernel  (** other kernel-originated data *)
+  | Sensor  (** external sensor input (IoT-style deployments) *)
+
+val all : t list
+(** Every type, in declaration order. *)
+
+val count : int
+(** [List.length all]. *)
+
+val to_int : t -> int
+(** Dense index in [\[0, count)], stable across runs. *)
+
+val of_int : int -> t
+(** Inverse of [to_int]; raises [Invalid_argument] out of range. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that
+    every workload, experiment and test is reproducible from a seed.
+    The generator is splitmix64 (Steele et al.), which is fast, has a
+    64-bit state, and supports cheap splitting for independent
+    substreams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state so the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator, usable for parallel substreams. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples an exponential with the given rate. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success
+    of a Bernoulli([p]) sequence; [p] must be in (0, 1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val byte : t -> char
+(** Uniform byte. *)
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is a fresh buffer of [n] uniform bytes. *)
+
+val weighted : t -> (float * 'a) list -> 'a
+(** [weighted t choices] samples proportionally to the (positive)
+    weights. Raises [Invalid_argument] on an empty or all-zero list. *)

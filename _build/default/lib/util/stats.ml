@@ -1,0 +1,142 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let total xs = Array.fold_left ( +. ) 0.0 xs
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.0
+
+let mse_pairwise xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    (* E[(X - Y)^2] over unordered pairs equals 2 * n/(n-1) * variance;
+       computed directly for clarity at the small sizes we use. *)
+    let acc = ref 0.0 and pairs = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = xs.(i) -. xs.(j) in
+        acc := !acc +. (d *. d);
+        incr pairs
+      done
+    done;
+    !acc /. float_of_int !pairs
+  end
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else
+    let s = total xs in
+    let sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sq = 0.0 then 1.0 else s *. s /. (float_of_int n *. sq)
+
+let entropy xs =
+  let s = total xs in
+  if s <= 0.0 then 0.0
+  else
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then acc
+        else
+          let p = x /. s in
+          acc -. (p *. log p))
+      0.0 xs
+
+let entropy_normalized xs =
+  let n = Array.length xs in
+  if n <= 1 then 1.0
+  else
+    let h = entropy xs in
+    let hmax = log (float_of_int n) in
+    if hmax = 0.0 then 1.0 else h /. hmax
+
+let gini xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let s = total xs in
+    if s <= 0.0 then 0.0
+    else begin
+      let sorted = Array.copy xs in
+      Array.sort Float.compare sorted;
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (float_of_int ((2 * (i + 1)) - n - 1) *. sorted.(i))
+      done;
+      !acc /. (float_of_int n *. s)
+    end
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int t.count
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let n = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let mean =
+        a.mean +. (delta *. float_of_int b.count /. float_of_int n)
+      in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.count *. float_of_int b.count
+           /. float_of_int n)
+      in
+      { count = n; mean; m2; min = Float.min a.min b.min; max = Float.max a.max b.max }
+    end
+end

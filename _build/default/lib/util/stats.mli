@@ -1,0 +1,60 @@
+(** Descriptive statistics used throughout the evaluation harness.
+
+    Includes the fairness metrics the paper relies on: the mean squared
+    pairwise difference between tag copy counts (the paper's Fig. 8
+    fairness measure), Jain's fairness index, and normalized Shannon
+    entropy (the paper's information-theoretic motivation for tag
+    balancing). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val total : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation on a
+    sorted copy. Raises [Invalid_argument] on the empty array. *)
+
+val median : float array -> float
+
+val mse_pairwise : float array -> float
+(** Mean squared difference over all unordered pairs — the paper's tag
+    balancing (fairness) measure: lower is fairer. 0 for fewer than two
+    samples. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index in (0, 1]; 1 means perfectly balanced. 1 on
+    the empty array by convention. *)
+
+val entropy : float array -> float
+(** Shannon entropy (nats) of the distribution obtained by normalizing
+    the non-negative weights. 0 if the total weight is 0. *)
+
+val entropy_normalized : float array -> float
+(** Entropy divided by [log n]; in [\[0,1\]]. 1 for n <= 1. *)
+
+val gini : float array -> float
+(** Gini coefficient of non-negative values; 0 = perfect equality. *)
+
+(** Online (single-pass, Welford) accumulator. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+end

@@ -1,0 +1,113 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns ~header () =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Left) header
+  in
+  if List.length aligns <> List.length header then
+    invalid_arg "Table.create: aligns length mismatch";
+  { header; aligns; rows = [] }
+
+let columns t = List.length t.header
+
+let add_row t cells =
+  let n = List.length cells in
+  let cols = columns t in
+  if n > cols then invalid_arg "Table.add_row: too many cells";
+  let cells =
+    if n = cols then cells else cells @ List.init (cols - n) (fun _ -> "")
+  in
+  t.rows <- Cells cells :: t.rows
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let fmt_times x = Printf.sprintf "%.2fx" x
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let add_float_row t ?(fmt = fmt_float) label xs =
+  add_row t (label :: List.map fmt xs)
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let all_rows t = List.rev t.rows
+
+let widths t =
+  let w = Array.of_list (List.map String.length t.header) in
+  let update cells =
+    List.iteri
+      (fun i c -> if i < Array.length w then w.(i) <- max w.(i) (String.length c))
+      cells
+  in
+  List.iter (function Cells c -> update c | Separator -> ()) (all_rows t);
+  w
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let w = widths t in
+  let aligns = Array.of_list t.aligns in
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) '-');
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) w.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.header;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) (all_rows t);
+  rule ();
+  Buffer.contents buf
+
+let render_markdown t =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " cells);
+    Buffer.add_string buf " |\n"
+  in
+  line t.header;
+  line
+    (List.map
+       (function Left -> ":--" | Right -> "--:" | Center -> ":-:")
+       t.aligns);
+  List.iter (function Cells c -> line c | Separator -> ()) (all_rows t);
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,42 @@
+(** Plain-text table rendering for experiment reports.
+
+    Produces aligned, boxed ASCII tables like the ones in the paper's
+    evaluation section, and the same content as Markdown rows for
+    EXPERIMENTS.md. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table. [aligns] defaults to
+    left-aligning every column. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded; longer rows raise
+    [Invalid_argument]. *)
+
+val add_float_row : t -> ?fmt:(float -> string) -> string -> float list -> unit
+(** [add_float_row t label xs] renders [label] then the formatted
+    floats (default ["%.4g"]). *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+(** Boxed ASCII rendering. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured Markdown rendering. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a newline. *)
+
+val fmt_float : float -> string
+(** Default float formatter: 4 significant digits. *)
+
+val fmt_times : float -> string
+(** Renders a ratio as the paper does, e.g. [1.65x]. *)
+
+val fmt_pct : float -> string
+(** Renders a fraction as a percentage, e.g. [0.4 -> "40.0%"]. *)

@@ -1,0 +1,94 @@
+type t = {
+  series_name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ?(name = "") () =
+  { series_name = name; times = Array.make 16 0.0; values = Array.make 16 0.0; len = 0 }
+
+let name t = t.series_name
+
+let ensure_capacity t =
+  if t.len = Array.length t.times then begin
+    let cap = 2 * Array.length t.times in
+    let grow a =
+      let b = Array.make cap 0.0 in
+      Array.blit a 0 b 0 t.len;
+      b
+    in
+    t.times <- grow t.times;
+    t.values <- grow t.values
+  end
+
+let add t time value =
+  ensure_capacity t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let length t = t.len
+let times t = Array.sub t.times 0 t.len
+let values t = Array.sub t.values 0 t.len
+
+let last t =
+  if t.len = 0 then None else Some (t.times.(t.len - 1), t.values.(t.len - 1))
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.times.(i) t.values.(i)
+  done
+
+let downsample t k =
+  if k <= 0 then [||]
+  else if t.len <= k then Array.init t.len (fun i -> (t.times.(i), t.values.(i)))
+  else begin
+    let out = Array.make k (0.0, 0.0) in
+    for b = 0 to k - 1 do
+      let lo = b * t.len / k in
+      let hi = ((b + 1) * t.len / k) - 1 in
+      let hi = max lo hi in
+      let acc = ref 0.0 in
+      for i = lo to hi do
+        acc := !acc +. t.values.(i)
+      done;
+      out.(b) <- (t.times.(hi), !acc /. float_of_int (hi - lo + 1))
+    done;
+    out
+  end
+
+let window_mean t ~from_time =
+  let acc = ref 0.0 and n = ref 0 in
+  iter t (fun time v ->
+      if time >= from_time then begin
+        acc := !acc +. v;
+        incr n
+      end);
+  if !n = 0 then 0.0 else !acc /. float_of_int !n
+
+let spark_chars = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline t width =
+  let samples = downsample t width in
+  if Array.length samples = 0 then ""
+  else begin
+    let vals = Array.map snd samples in
+    let lo = Array.fold_left Float.min vals.(0) vals in
+    let hi = Array.fold_left Float.max vals.(0) vals in
+    let span = hi -. lo in
+    let buf = Buffer.create (Array.length vals * 3) in
+    Array.iter
+      (fun v ->
+        let idx =
+          if span <= 0.0 then 4
+          else
+            int_of_float ((v -. lo) /. span *. 8.0)
+        in
+        let idx = max 0 (min 8 idx) in
+        Buffer.add_string buf spark_chars.(idx))
+      vals;
+    Buffer.contents buf
+  end

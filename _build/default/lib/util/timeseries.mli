@@ -1,0 +1,31 @@
+(** Time-indexed sample accumulation for the figure reproductions.
+
+    A series is an append-only sequence of [(time, value)] samples with
+    helpers to downsample for display and to summarize tails, matching
+    how the paper plots marginal costs and decisions over replay time
+    (Fig. 7). *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val add : t -> float -> float -> unit
+(** [add t time value] appends a sample; times should be non-decreasing
+    but this is not enforced. *)
+
+val length : t -> int
+val times : t -> float array
+val values : t -> float array
+val last : t -> (float * float) option
+val iter : t -> (float -> float -> unit) -> unit
+
+val downsample : t -> int -> (float * float) array
+(** [downsample t k] returns at most [k] samples spread evenly over the
+    series (bucket means of the values, bucket-end times). *)
+
+val window_mean : t -> from_time:float -> float
+(** Mean of values with time >= [from_time]; 0 if none. *)
+
+val sparkline : t -> int -> string
+(** Unicode sparkline of at most [width] buckets; handy in console
+    reports. *)

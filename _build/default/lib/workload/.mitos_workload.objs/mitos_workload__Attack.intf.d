@@ -1,0 +1,1 @@
+lib/workload/attack.mli: Workload

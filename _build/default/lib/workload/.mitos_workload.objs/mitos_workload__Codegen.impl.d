@@ -1,0 +1,1 @@
+lib/workload/codegen.ml: Asm Instr Mitos_isa Mitos_system Printf

@@ -1,0 +1,1 @@
+lib/workload/codegen.mli: Asm Instr Mitos_isa Program

@@ -1,0 +1,1 @@
+lib/workload/compress.ml: Asm Buffer Char Codegen Instr Mem Mitos_isa Mitos_system Mitos_util Printf Workload

@@ -1,0 +1,1 @@
+lib/workload/cpubench.ml: Asm Codegen Instr Mem Mitos_isa Mitos_system Printf Workload

@@ -1,0 +1,1 @@
+lib/workload/cpubench.mli: Workload

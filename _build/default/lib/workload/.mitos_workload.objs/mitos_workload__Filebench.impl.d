@@ -1,0 +1,1 @@
+lib/workload/filebench.ml: Asm Char Codegen Instr Mem Mitos_isa Mitos_system Mitos_util Printf String Workload

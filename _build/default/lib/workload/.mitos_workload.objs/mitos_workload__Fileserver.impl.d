@@ -1,0 +1,1 @@
+lib/workload/fileserver.ml: Array Asm Buffer Char Codegen Instr List Mem Mitos_isa Mitos_system Mitos_util Printf String Workload

@@ -1,0 +1,1 @@
+lib/workload/fileserver.mli: Workload

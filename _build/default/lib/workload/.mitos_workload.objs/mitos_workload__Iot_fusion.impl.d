@@ -1,0 +1,1 @@
+lib/workload/iot_fusion.ml: Asm Char Codegen Instr Mem Mitos_isa Mitos_system Printf String Workload

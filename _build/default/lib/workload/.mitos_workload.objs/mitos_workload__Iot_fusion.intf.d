@@ -1,0 +1,1 @@
+lib/workload/iot_fusion.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/lookup_table.ml: Asm Codegen Instr Mem Mitos_isa Mitos_system String Workload

@@ -1,0 +1,1 @@
+lib/workload/lookup_table.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/mem.ml: Mitos_system

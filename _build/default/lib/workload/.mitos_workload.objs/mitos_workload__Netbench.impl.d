@@ -1,0 +1,1 @@
+lib/workload/netbench.ml: Array Asm Char Codegen Instr Mem Mitos_isa Mitos_system Printf String Workload

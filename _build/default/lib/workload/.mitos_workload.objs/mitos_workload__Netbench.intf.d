@@ -1,0 +1,1 @@
+lib/workload/netbench.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/provenance_story.ml: Codegen Mem Mitos_system Workload

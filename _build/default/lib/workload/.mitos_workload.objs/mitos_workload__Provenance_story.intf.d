@@ -1,0 +1,1 @@
+lib/workload/provenance_story.mli: Workload

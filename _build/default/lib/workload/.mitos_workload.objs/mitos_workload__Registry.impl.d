@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Attack Compress Cpubench Crypto Exfil Filebench Fileserver Hashing Iot_fusion List Lookup_table Netbench Printf Protocol Provenance_story Strings Workload

@@ -1,0 +1,1 @@
+lib/workload/strings.ml: Asm Char Codegen Instr Mem Mitos_isa Mitos_system String Workload

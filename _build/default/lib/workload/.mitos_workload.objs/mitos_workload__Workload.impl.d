@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Engine Mitos_dift Mitos_isa Mitos_replay Mitos_system Option

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Engine Mitos_dift Mitos_isa Mitos_replay Mitos_system Policy

@@ -1,0 +1,312 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+type variant =
+  | Reverse_tcp
+  | Reverse_tcp_rc4
+  | Reverse_tcp_rc4_dns
+  | Reverse_https
+  | Reverse_https_proxy
+  | Reverse_winhttps
+
+let all_variants =
+  [
+    Reverse_tcp; Reverse_tcp_rc4; Reverse_tcp_rc4_dns; Reverse_https;
+    Reverse_https_proxy; Reverse_winhttps;
+  ]
+
+let variant_name = function
+  | Reverse_tcp -> "reverse_tcp"
+  | Reverse_tcp_rc4 -> "reverse_tcp_rc4"
+  | Reverse_tcp_rc4_dns -> "reverse_tcp_rc4_dns"
+  | Reverse_https -> "reverse_https"
+  | Reverse_https_proxy -> "reverse_https_proxy"
+  | Reverse_winhttps -> "reverse_winhttps"
+
+let variant_of_name = function
+  | "reverse_tcp" -> Reverse_tcp
+  | "reverse_tcp_rc4" -> Reverse_tcp_rc4
+  | "reverse_tcp_rc4_dns" -> Reverse_tcp_rc4_dns
+  | "reverse_https" -> Reverse_https
+  | "reverse_https_proxy" -> Reverse_https_proxy
+  | "reverse_winhttps" -> Reverse_winhttps
+  | s -> invalid_arg (Printf.sprintf "Attack.variant_of_name: %S" s)
+
+let payload_len = 384
+let inject_site = Mem.victim_base + 0x800
+let kernel_site = Mem.kernel_dst + 0x100
+let injected_region = (kernel_site, payload_len)
+let exec_out = Mem.victim_base + 0xC00
+
+(* -- decode-stage emitters ------------------------------------------ *)
+
+(* S2[i] <- (i + key[i&7]) land 255 at Mem.table2. Key is untainted
+   (locally generated session key), so the table holds no taint: taint
+   can only reach decoder output through indirect flows.
+   Registers: r7 i, r15 bound, r11 key addr, r12 key byte, r14 value,
+   r9 slot. *)
+let emit_sbox_from_key cg =
+  let a = Codegen.asm cg in
+  Asm.li a 7 0;
+  Asm.li a 15 256;
+  Codegen.while_lt cg 7 15 (fun () ->
+      Asm.bini a Instr.And 11 7 7;
+      Asm.bini a Instr.Add 11 11 Mem.key;
+      Asm.loadb a 12 11 0;
+      Asm.bin a Instr.Add 14 7 12;
+      Asm.bini a Instr.And 14 14 255;
+      Asm.bini a Instr.Add 9 7 Mem.table2;
+      Asm.storeb a 14 9 0;
+      Asm.bini a Instr.Add 7 7 1)
+
+(* Shared decoder skeleton: iterate [len] bytes from [src] to [dst]
+   with a per-byte body receiving the byte in r8 and the loop index in
+   r7; the body must leave the output byte in r8.
+   Registers: r4 src ptr, r5 dst ptr, r6 end, r7 index. *)
+let emit_byte_loop cg ~src ~dst ~len body =
+  let a = Codegen.asm cg in
+  Asm.li a 4 src;
+  Asm.li a 5 dst;
+  Asm.li a 6 (src + len);
+  Asm.li a 7 0;
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 8 4 0;
+      body ();
+      Asm.storeb a 8 5 0;
+      Asm.bini a Instr.Add 4 4 1;
+      Asm.bini a Instr.Add 5 5 1;
+      Asm.bini a Instr.Add 7 7 1)
+
+let emit_key_byte cg =
+  (* r12 <- key[r7 & 7] (untainted) *)
+  let a = Codegen.asm cg in
+  Asm.bini a Instr.And 11 7 7;
+  Asm.bini a Instr.Add 11 11 Mem.key;
+  Asm.loadb a 12 11 0
+
+let emit_substitute cg =
+  (* r8 <- S2[r8]: the address-dependency load that drops taint in a
+     direct-flow-only DIFT *)
+  let a = Codegen.asm cg in
+  Asm.bini a Instr.Add 9 8 Mem.table2;
+  Asm.loadb a 8 9 0
+
+let emit_decode_rc4 cg ~src ~dst ~len =
+  let a = Codegen.asm cg in
+  emit_sbox_from_key cg;
+  emit_byte_loop cg ~src ~dst ~len (fun () ->
+      emit_key_byte cg;
+      Asm.bin a Instr.Xor 8 8 12;
+      emit_substitute cg)
+
+let emit_decode_https cg ~src ~dst ~len =
+  let a = Codegen.asm cg in
+  emit_sbox_from_key cg;
+  emit_byte_loop cg ~src ~dst ~len (fun () ->
+      emit_key_byte cg;
+      Asm.bin a Instr.Xor 8 8 12;
+      (* even positions are substituted (taint lost without IFP),
+         odd positions stay xor-only (taint kept) — the branch is on
+         the untainted index so it opens no control scope *)
+      Asm.bini a Instr.And 13 7 1;
+      Asm.li a 14 0;
+      Codegen.if_ cg Instr.Eq 13 14 (fun () -> emit_substitute cg))
+
+let emit_decode_winhttps cg ~src ~dst ~len =
+  let a = Codegen.asm cg in
+  emit_sbox_from_key cg;
+  emit_byte_loop cg ~src ~dst ~len (fun () ->
+      (* branch on the tainted payload byte: a control dependency *)
+      Asm.li a 14 128;
+      Codegen.if_else cg Instr.Ltu 8 14
+        (fun () ->
+          emit_key_byte cg;
+          Asm.bin a Instr.Xor 8 8 12)
+        (fun () -> emit_substitute cg))
+
+(* Fragmented DNS-style delivery: 4 header bytes describe where each
+   fragment belongs; reassembly stores through a tainted-derived
+   destination pointer. *)
+let frag_count = 4
+let frag_len = payload_len / frag_count
+let dns_header = [ 2; 0; 3; 1 ]
+
+(* Registers: r8 slot byte, r5 dst ptr, r4 src ptr, r6 src end,
+   r9 data byte, r10 header addr. *)
+let emit_dns_reassemble cg =
+  let a = Codegen.asm cg in
+  List.iteri
+    (fun k _ ->
+      Asm.li a 10 (Mem.buf_aux + k);
+      Asm.loadb a 8 10 0;
+      (* r5 <- buf_in + slot * frag_len : tainted destination pointer *)
+      Asm.bini a Instr.Mul 8 8 frag_len;
+      Asm.bini a Instr.Add 5 8 Mem.buf_in;
+      Asm.li a 4 (Mem.frag + (k * frag_len));
+      Asm.li a 6 (Mem.frag + ((k + 1) * frag_len));
+      Codegen.while_lt cg 4 6 (fun () ->
+          Asm.loadb a 9 4 0;
+          Asm.storeb a 9 5 0;
+          Asm.bini a Instr.Add 4 4 1;
+          Asm.bini a Instr.Add 5 5 1))
+    dns_header
+
+(* -- benign background ---------------------------------------------- *)
+
+let noise_rounds = 40
+
+let emit_background cg ~config_file ~benign_conn =
+  let a = Codegen.asm cg in
+  (* The victim reads its configuration: a file tag enters its
+     region. *)
+  Codegen.sys_file_read cg ~file:(Os.file_id config_file)
+    ~dst:Mem.victim_base ~len:128;
+  (* Config churn: the tainted buffer is copied around the heap many
+     times. An aggressive direct-flow DIFT tracks every copy; MITOS
+     backs off once the tag is overpropagated. *)
+  for round = 0 to noise_rounds - 1 do
+    Codegen.memcpy_bytes cg ~src:Mem.victim_base
+      ~dst:(Mem.noise + (round * 128))
+      ~len:128
+  done;
+  (* A benign download translated through a table. *)
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0x1C;
+  for _chunk = 0 to 3 do
+    Codegen.sys_net_read cg ~conn:(Os.conn_id benign_conn)
+      ~dst:Mem.buf_out ~len:128;
+    Asm.li a 4 Mem.buf_out;
+    Asm.li a 5 Mem.results;
+    Asm.li a 6 (Mem.buf_out + 128);
+    Codegen.while_lt cg 4 6 (fun () ->
+        Asm.loadb a 8 4 0;
+        Asm.bini a Instr.Add 9 8 Mem.table;
+        Asm.loadb a 8 9 0;
+        Asm.storeb a 8 5 0;
+        Asm.bini a Instr.Add 4 4 1;
+        Asm.bini a Instr.Add 5 5 1)
+  done
+
+(* -- the attack proper ----------------------------------------------- *)
+
+let emit_delivery cg variant ~attack_conn ~dns_conn =
+  match variant with
+  | Reverse_tcp | Reverse_tcp_rc4 | Reverse_https | Reverse_winhttps ->
+    Codegen.sys_net_read cg ~conn:(Os.conn_id attack_conn) ~dst:Mem.buf_in
+      ~len:payload_len
+  | Reverse_https_proxy ->
+    (* extra staging hop through a proxy buffer *)
+    Codegen.sys_net_read cg ~conn:(Os.conn_id attack_conn) ~dst:Mem.proxy
+      ~len:payload_len;
+    Codegen.memcpy_bytes cg ~src:Mem.proxy ~dst:Mem.buf_in ~len:payload_len
+  | Reverse_tcp_rc4_dns -> (
+    match dns_conn with
+    | None -> invalid_arg "Attack: dns variant needs a second connection"
+    | Some dns ->
+      (* header then alternating fragments over two connections *)
+      Codegen.sys_net_read cg ~conn:(Os.conn_id attack_conn)
+        ~dst:Mem.buf_aux ~len:frag_count;
+      List.iteri
+        (fun k _ ->
+          let conn = if k mod 2 = 0 then attack_conn else dns in
+          Codegen.sys_net_read cg ~conn:(Os.conn_id conn)
+            ~dst:(Mem.frag + (k * frag_len))
+            ~len:frag_len)
+        dns_header;
+      emit_dns_reassemble cg)
+
+let emit_decode cg variant =
+  match variant with
+  | Reverse_tcp ->
+    Codegen.memcpy_bytes cg ~src:Mem.buf_in ~dst:Mem.buf_out ~len:payload_len
+  | Reverse_tcp_rc4 | Reverse_tcp_rc4_dns ->
+    emit_decode_rc4 cg ~src:Mem.buf_in ~dst:Mem.buf_out ~len:payload_len
+  | Reverse_https | Reverse_https_proxy ->
+    emit_decode_https cg ~src:Mem.buf_in ~dst:Mem.buf_out ~len:payload_len
+  | Reverse_winhttps ->
+    emit_decode_winhttps cg ~src:Mem.buf_in ~dst:Mem.buf_out ~len:payload_len
+
+(* The "execution" of the injected payload: value-dependent work over
+   the injected bytes. Registers: r4 ptr, r6 end, r8 byte, r10 acc,
+   r14 const, r5 out ptr. *)
+let emit_execution cg =
+  let a = Codegen.asm cg in
+  Asm.li a 4 kernel_site;
+  Asm.li a 6 (kernel_site + payload_len);
+  Asm.li a 5 exec_out;
+  Asm.li a 10 0;
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.li a 14 0x40;
+      Codegen.if_ cg Instr.Geu 8 14 (fun () -> Asm.bin a Instr.Add 10 10 8);
+      Asm.bini a Instr.And 14 4 63;
+      Asm.li a 9 0;
+      Codegen.if_ cg Instr.Eq 14 9 (fun () ->
+          Asm.storeb a 10 5 0;
+          Asm.bini a Instr.Add 5 5 1);
+      Asm.bini a Instr.Add 4 4 1)
+
+let build variant ~seed () =
+  let os = Os.create ~seed () in
+  let rng = Rng.create (seed + 101) in
+  let config_file =
+    Os.create_file os
+      (String.init 128 (fun i -> Char.chr ((i * 31) land 0xFF)))
+  in
+  let benign_conn = Os.open_connection ~available:512 os in
+  let payload =
+    String.init payload_len (fun _ -> Char.chr (Rng.int rng 256))
+  in
+  let attack_conn, dns_conn =
+    match variant with
+    | Reverse_tcp_rc4_dns ->
+      let header =
+        String.concat "" (List.map (String.make 1) (List.map Char.chr dns_header))
+      in
+      let slice k = String.sub payload (k * frag_len) frag_len in
+      (* the k-th read lands in frag slot k and is reassembled into
+         payload slot dns_header[k], so the k-th delivered fragment
+         must be payload slice dns_header[k]; even reads come from the
+         attack connection, odd reads from the dns side channel *)
+      let delivered = List.map slice dns_header in
+      let every_other offset =
+        String.concat ""
+          (List.filteri (fun k _ -> k mod 2 = offset) delivered)
+      in
+      let c1 = Os.open_connection_with os (header ^ every_other 0) in
+      let c2 = Os.open_connection_with os (every_other 1) in
+      (c1, Some c2)
+    | _ -> (Os.open_connection_with os payload, None)
+  in
+  let victim = Os.spawn_process os ~base:Mem.victim_base ~size:Mem.victim_size in
+  let cg = Codegen.create () in
+  (* 1. local session key (untainted) *)
+  Codegen.sys_getrandom cg ~dst:Mem.key ~len:8;
+  (* 2-4. benign background activity *)
+  emit_background cg ~config_file ~benign_conn;
+  (* 5. payload delivery *)
+  emit_delivery cg variant ~attack_conn ~dns_conn;
+  (* 6. decode *)
+  emit_decode cg variant;
+  (* 7. inject into the victim process *)
+  Codegen.memcpy_bytes cg ~src:Mem.buf_out ~dst:inject_site ~len:payload_len;
+  (* 8. reflective load: copy into the kernel linking area and mark *)
+  Codegen.memcpy_bytes cg ~src:inject_site ~dst:kernel_site ~len:payload_len;
+  Codegen.sys_kernel_mark_export cg ~addr:kernel_site ~len:payload_len;
+  (* 9. the payload "runs" *)
+  emit_execution cg;
+  (* 10. reconnaissance and exfiltration *)
+  Codegen.sys_proc_read cg ~pid:(Os.proc_id victim) ~dst:Mem.buf_aux ~len:64;
+  Codegen.sys_net_send cg ~conn:(Os.conn_id attack_conn) ~src:exec_out
+    ~len:16;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "attack-" ^ variant_name variant;
+    description =
+      Printf.sprintf
+        "in-memory-only attack (%s): delivery, decode, injection, \
+         reflective load, execution"
+        (variant_name variant);
+    program = Codegen.assemble cg;
+    os;
+  }

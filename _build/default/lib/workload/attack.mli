@@ -1,0 +1,43 @@
+(** The in-memory-only attack case study (paper §V-C).
+
+    A payload arrives over the network ("netflow" tags), is decoded in
+    place — the decode stage is where the shell variants differ and
+    where indirect flows decide whether taint survives — injected into
+    a victim process's address space, copied into the kernel
+    linking/loading area and marked as export-table data (the
+    reflective-DLL-injection step), then "executed".
+
+    Detection (as in FAROS): a byte carrying both a netflow tag and an
+    export-table tag. Variants whose decoders are pure table
+    substitution lose all netflow taint under a no-indirect-flow DIFT;
+    variants that mix xor (computation) stages keep part of it; the
+    plain tcp shell keeps everything. The run also contains benign
+    background activity (config-file churn, a benign download) so that
+    the policies face a realistic tag population.
+
+    The paper's six Metasploit shells map to: *)
+
+type variant =
+  | Reverse_tcp  (** plain staging: direct copies only *)
+  | Reverse_tcp_rc4  (** substitution decode: netflow survives only
+                         via address dependencies *)
+  | Reverse_tcp_rc4_dns
+      (** fragmented delivery + permuted reassembly + substitution *)
+  | Reverse_https  (** alternating substitution / xor decode *)
+  | Reverse_https_proxy  (** https plus an extra proxy copy hop *)
+  | Reverse_winhttps
+      (** value-dependent decode: control + address dependencies *)
+
+val all_variants : variant list
+val variant_name : variant -> string
+val variant_of_name : string -> variant
+(** Raises [Invalid_argument] on unknown names. *)
+
+val payload_len : int
+(** Injected payload size in bytes (384). *)
+
+val injected_region : int * int
+(** (address, length) of the payload's copy in the kernel
+    linking area — ground truth for detection-efficiency metrics. *)
+
+val build : variant -> seed:int -> unit -> Workload.built

@@ -1,0 +1,98 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+type t = { asm : Asm.t; mutable next : int }
+
+let create () = { asm = Asm.create (); next = 0 }
+let asm t = t.asm
+
+let fresh t stem =
+  t.next <- t.next + 1;
+  Printf.sprintf "%s_%d" stem t.next
+
+let while_lt t ri rbound body =
+  let top = fresh t "while" in
+  let done_ = fresh t "wend" in
+  Asm.label t.asm top;
+  Asm.branch t.asm Instr.Geu ri rbound done_;
+  body ();
+  Asm.jmp t.asm top;
+  Asm.label t.asm done_
+
+let for_up t ri ~from ~bound_reg body =
+  Asm.li t.asm ri from;
+  while_lt t ri bound_reg (fun () ->
+      body ();
+      Asm.bini t.asm Instr.Add ri ri 1)
+
+let negate = function
+  | Instr.Eq -> Instr.Ne
+  | Instr.Ne -> Instr.Eq
+  | Instr.Lt -> Instr.Ge
+  | Instr.Ge -> Instr.Lt
+  | Instr.Ltu -> Instr.Geu
+  | Instr.Geu -> Instr.Ltu
+
+let if_ t c r1 r2 body =
+  let skip = fresh t "endif" in
+  Asm.branch t.asm (negate c) r1 r2 skip;
+  body ();
+  Asm.label t.asm skip
+
+let if_else t c r1 r2 then_ else_ =
+  let else_lbl = fresh t "else" in
+  let end_lbl = fresh t "endif" in
+  Asm.branch t.asm (negate c) r1 r2 else_lbl;
+  then_ ();
+  Asm.jmp t.asm end_lbl;
+  Asm.label t.asm else_lbl;
+  else_ ();
+  Asm.label t.asm end_lbl
+
+let sys3 t sysno a b c =
+  Asm.li t.asm 1 a;
+  Asm.li t.asm 2 b;
+  Asm.li t.asm 3 c;
+  Asm.syscall t.asm sysno
+
+let sys_net_read t ~conn ~dst ~len = sys3 t Os.sys_net_read conn dst len
+let sys_net_send t ~conn ~src ~len = sys3 t Os.sys_net_send conn src len
+let sys_file_read t ~file ~dst ~len = sys3 t Os.sys_file_read file dst len
+let sys_file_write t ~file ~src ~len = sys3 t Os.sys_file_write file src len
+let sys_proc_read t ~pid ~dst ~len = sys3 t Os.sys_proc_read pid dst len
+let sys_proc_write t ~pid ~src ~len = sys3 t Os.sys_proc_write pid src len
+
+let sys_kernel_mark_export t ~addr ~len =
+  sys3 t Os.sys_kernel_mark_export addr len 0
+
+let sys_getrandom t ~dst ~len = sys3 t Os.sys_getrandom dst len 0
+let sys_sensor_read t ~dst ~len = sys3 t Os.sys_sensor_read dst len 0
+
+let sys_exit t =
+  Asm.li t.asm 1 0;
+  Asm.li t.asm 2 0;
+  Asm.li t.asm 3 0;
+  Asm.syscall t.asm Os.sys_exit
+
+(* r12 = src ptr, r13 = dst ptr, r14 = end ptr, r15 = byte *)
+let memcpy_bytes t ~src ~dst ~len =
+  Asm.li t.asm 12 src;
+  Asm.li t.asm 13 dst;
+  Asm.li t.asm 14 (src + len);
+  while_lt t 12 14 (fun () ->
+      Asm.loadb t.asm 15 12 0;
+      Asm.storeb t.asm 15 13 0;
+      Asm.bini t.asm Instr.Add 12 12 1;
+      Asm.bini t.asm Instr.Add 13 13 1)
+
+(* r12 = i, r13 = bound, r14 = value, r15 = address *)
+let fill_table_identity t ~base ~size ~xor =
+  Asm.li t.asm 12 0;
+  Asm.li t.asm 13 size;
+  while_lt t 12 13 (fun () ->
+      Asm.bini t.asm Instr.Xor 14 12 xor;
+      Asm.bini t.asm Instr.Add 15 12 base;
+      Asm.storeb t.asm 14 15 0;
+      Asm.bini t.asm Instr.Add 12 12 1)
+
+let assemble t = Asm.assemble t.asm

@@ -1,0 +1,58 @@
+(** Structured code generation on top of the raw assembler.
+
+    Register conventions used by every workload:
+    r1-r3 syscall arguments / results, r4-r15 general purpose. The
+    combinators generate fresh internal labels, so loops and
+    conditionals nest freely. *)
+
+open Mitos_isa
+
+type t
+
+val create : unit -> t
+val asm : t -> Asm.t
+val fresh : t -> string -> string
+(** A fresh label with the given stem. *)
+
+(** {1 Control-flow combinators} *)
+
+val while_lt : t -> int -> int -> (unit -> unit) -> unit
+(** [while_lt cg ri rbound body]: run [body] while [ri < rbound]
+    (unsigned); does not modify [ri] itself. *)
+
+val for_up : t -> int -> from:int -> bound_reg:int -> (unit -> unit) -> unit
+(** [for_up cg ri ~from ~bound_reg body]: [ri] from [from] while
+    [ri < bound_reg], incrementing by 1 after each body. *)
+
+val if_ : t -> Instr.cond -> int -> int -> (unit -> unit) -> unit
+(** [if_ cg c r1 r2 body]: run [body] when [r1 c r2] holds. *)
+
+val if_else :
+  t -> Instr.cond -> int -> int -> (unit -> unit) -> (unit -> unit) -> unit
+
+(** {1 Syscall shorthands (clobber r1-r3)} *)
+
+val sys_net_read : t -> conn:int -> dst:int -> len:int -> unit
+(** Immediate arguments; result (bytes read) left in r1. *)
+
+val sys_net_send : t -> conn:int -> src:int -> len:int -> unit
+val sys_file_read : t -> file:int -> dst:int -> len:int -> unit
+val sys_file_write : t -> file:int -> src:int -> len:int -> unit
+val sys_proc_read : t -> pid:int -> dst:int -> len:int -> unit
+val sys_proc_write : t -> pid:int -> src:int -> len:int -> unit
+val sys_kernel_mark_export : t -> addr:int -> len:int -> unit
+val sys_getrandom : t -> dst:int -> len:int -> unit
+val sys_sensor_read : t -> dst:int -> len:int -> unit
+val sys_exit : t -> unit
+
+(** {1 Data helpers} *)
+
+val memcpy_bytes : t -> src:int -> dst:int -> len:int -> unit
+(** Byte-copy loop with immediate addresses/length; clobbers
+    r12-r15. *)
+
+val fill_table_identity : t -> base:int -> size:int -> xor:int -> unit
+(** Writes [i lxor xor] at [base+i] for i < size (builds lookup
+    tables at run time); clobbers r12-r15. *)
+
+val assemble : t -> Program.t

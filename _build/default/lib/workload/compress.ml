@@ -1,0 +1,62 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+let runny_payload rng n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    let byte = Char.chr (Rng.int rng 256) in
+    let run = 1 + Rng.int rng 8 in
+    for _ = 1 to min run (n - Buffer.length buf) do
+      Buffer.add_char buf byte
+    done
+  done;
+  Buffer.contents buf
+
+(* Register use: r4 in-ptr, r5 out-ptr, r6 in-end, r8 current byte,
+   r9 probe byte, r10 run length, r11 probe ptr, r13 consts. *)
+let build ?(input_len = 2048) ~seed () =
+  let os = Os.create ~seed () in
+  let rng = Rng.create (seed + 3) in
+  let conn = Os.open_connection_with os (runny_payload rng input_len) in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.buf_in
+    ~len:input_len;
+  Asm.li a 4 Mem.buf_in;
+  Asm.li a 5 Mem.buf_out;
+  Asm.li a 6 (Mem.buf_in + input_len);
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.li a 10 1;
+      (* extend the run while the next byte matches *)
+      let run_done = Codegen.fresh cg "run_done" in
+      let run_top = Codegen.fresh cg "run_top" in
+      Asm.label a run_top;
+      Asm.bin a Instr.Add 11 4 10;
+      Asm.branch a Instr.Geu 11 6 run_done;
+      Asm.loadb a 9 11 0;
+      Asm.branch a Instr.Ne 9 8 run_done;
+      Asm.li a 13 255;
+      Asm.branch a Instr.Geu 10 13 run_done;
+      Asm.bini a Instr.Add 10 10 1;
+      Asm.jmp a run_top;
+      Asm.label a run_done;
+      (* emit (count, byte); the count is control-dependent taint *)
+      Asm.storeb a 10 5 0;
+      Asm.storeb a 8 5 1;
+      Asm.bini a Instr.Add 5 5 2;
+      Asm.bin a Instr.Add 4 4 10);
+  (* report the compressed length *)
+  Asm.li a 8 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 5, 8, 0));
+  Codegen.sys_net_send cg ~conn:(Os.conn_id conn) ~src:Mem.buf_out ~len:64;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "compress";
+    description =
+      Printf.sprintf "run-length compression of %dB of tainted input"
+        input_len;
+    program = Codegen.assemble cg;
+    os;
+  }

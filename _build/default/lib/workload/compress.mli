@@ -1,0 +1,11 @@
+(** Run-length compression of tainted input.
+
+    Compression is one of the paper's motivating operations where
+    "indirect flows are expected to be the rule rather than the
+    exception": the emitted run lengths are derived from comparisons
+    of tainted bytes, so without control-dependency propagation the
+    output length field is untainted even though it encodes input
+    content. *)
+
+val build : ?input_len:int -> seed:int -> unit -> Workload.built
+(** Default input: 2048 bytes with realistic run structure. *)

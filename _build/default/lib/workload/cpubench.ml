@@ -1,0 +1,47 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+(* Register use: r4 state a, r5 state b, r6 loop counter, r7 bound,
+   r8 tmp, r9 tmp2, r10 spill ptr. *)
+let build ?(iterations = 20_000) ~seed () =
+  let os = Os.create ~seed () in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* Seed the mixer from the sensor (tainted) and load two words. *)
+  Codegen.sys_sensor_read cg ~dst:Mem.buf_in ~len:8;
+  Asm.li a 8 Mem.buf_in;
+  Asm.emit a (Instr.Load (Instr.W32, 4, 8, 0));
+  Asm.emit a (Instr.Load (Instr.W32, 5, 8, 4));
+  Asm.li a 6 0;
+  Asm.li a 7 iterations;
+  Codegen.while_lt cg 6 7 (fun () ->
+      (* xorshift-style mixing: computation dependencies only *)
+      Asm.bini a Instr.Shl 8 4 13;
+      Asm.bin a Instr.Xor 4 4 8;
+      Asm.bini a Instr.Shr 8 4 7;
+      Asm.bin a Instr.Xor 4 4 8;
+      Asm.bin a Instr.Add 5 5 4;
+      (* occasionally branch on the tainted state *)
+      Asm.bini a Instr.And 8 5 0xFF;
+      Asm.li a 9 128;
+      Codegen.if_ cg Instr.Ltu 8 9 (fun () ->
+          Asm.bini a Instr.Add 5 5 0x1234);
+      (* spill every 256th iteration *)
+      Asm.bini a Instr.And 8 6 0xFF;
+      Asm.li a 9 0;
+      Codegen.if_ cg Instr.Eq 8 9 (fun () ->
+          Asm.li a 10 Mem.results;
+          Asm.emit a (Instr.Store (Instr.W32, 5, 10, 0)));
+      Asm.bini a Instr.Add 6 6 1);
+  Asm.li a 10 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 4, 10, 4));
+  Asm.emit a (Instr.Store (Instr.W32, 5, 10, 8));
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "cpubench";
+    description =
+      Printf.sprintf "CPU benchmark: %d iterations of tainted arithmetic"
+        iterations;
+    program = Codegen.assemble cg;
+    os;
+  }

@@ -1,0 +1,7 @@
+(** CPU benchmark: arithmetic-heavy processing of a small tainted
+    seed (the paper mentions running a CPU benchmark with "similar
+    behaviors"). Flows are dominated by computation dependencies with
+    occasional tainted branches. *)
+
+val build : ?iterations:int -> seed:int -> unit -> Workload.built
+(** Default 20_000 iterations. *)

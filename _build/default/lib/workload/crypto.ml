@@ -1,0 +1,84 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+(* Emit the RC4 key schedule: permute the identity table at
+   [Mem.table] under the 8-byte key at [Mem.key].
+   Registers: r7 i, r10 j, r8 addr S+i, r9 S[i], r11 key index/addr,
+   r12 key byte, r13 addr S+j, r14 S[j], r15 bound. *)
+let emit_ksa cg =
+  let a = Codegen.asm cg in
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0;
+  Asm.li a 10 0;
+  Asm.li a 7 0;
+  Asm.li a 15 256;
+  Codegen.while_lt cg 7 15 (fun () ->
+      Asm.bini a Instr.Add 8 7 Mem.table;
+      Asm.loadb a 9 8 0;
+      Asm.bin a Instr.Add 10 10 9;
+      Asm.bini a Instr.And 11 7 7;
+      Asm.bini a Instr.Add 11 11 Mem.key;
+      Asm.loadb a 12 11 0;
+      Asm.bin a Instr.Add 10 10 12;
+      Asm.bini a Instr.And 10 10 255;
+      Asm.bini a Instr.Add 13 10 Mem.table;
+      Asm.loadb a 14 13 0;
+      Asm.storeb a 14 8 0;
+      Asm.storeb a 9 13 0;
+      Asm.bini a Instr.Add 7 7 1)
+
+(* Emit the PRGA xor loop over [len] bytes from [src] to [dst].
+   Registers: r4 src, r5 dst, r6 end, r7 i, r10 j, r8/r9/r11..r15
+   as in the KSA. *)
+let emit_prga cg ~src ~dst ~len =
+  let a = Codegen.asm cg in
+  Asm.li a 7 0;
+  Asm.li a 10 0;
+  Asm.li a 4 src;
+  Asm.li a 5 dst;
+  Asm.li a 6 (src + len);
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.bini a Instr.Add 7 7 1;
+      Asm.bini a Instr.And 7 7 255;
+      Asm.bini a Instr.Add 8 7 Mem.table;
+      Asm.loadb a 9 8 0;
+      Asm.bin a Instr.Add 10 10 9;
+      Asm.bini a Instr.And 10 10 255;
+      Asm.bini a Instr.Add 13 10 Mem.table;
+      Asm.loadb a 14 13 0;
+      Asm.storeb a 14 8 0;
+      Asm.storeb a 9 13 0;
+      Asm.bin a Instr.Add 11 9 14;
+      Asm.bini a Instr.And 11 11 255;
+      Asm.bini a Instr.Add 11 11 Mem.table;
+      Asm.loadb a 12 11 0;
+      Asm.loadb a 15 4 0;
+      Asm.bin a Instr.Xor 15 15 12;
+      Asm.storeb a 15 5 0;
+      Asm.bini a Instr.Add 4 4 1;
+      Asm.bini a Instr.Add 5 5 1)
+
+let build ?(input_len = 1024) ~seed () =
+  let os = Os.create ~seed () in
+  let rng = Rng.create (seed + 11) in
+  let keyfile =
+    Os.create_file os (String.init 8 (fun _ -> Char.chr (Rng.int rng 256)))
+  in
+  let conn = Os.open_connection ~available:input_len os in
+  let cg = Codegen.create () in
+  Codegen.sys_file_read cg ~file:(Os.file_id keyfile) ~dst:Mem.key ~len:8;
+  Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.buf_in
+    ~len:input_len;
+  emit_ksa cg;
+  emit_prga cg ~src:Mem.buf_in ~dst:Mem.buf_out ~len:input_len;
+  Codegen.sys_net_send cg ~conn:(Os.conn_id conn) ~src:Mem.buf_out
+    ~len:input_len;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "crypto";
+    description =
+      Printf.sprintf "RC4-style encryption of %dB under a file-sourced key"
+        input_len;
+    program = Codegen.assemble cg;
+    os;
+  }

@@ -1,0 +1,12 @@
+(** An RC4-style stream cipher.
+
+    Encryption is the paper's other headline indirect-flow workload
+    ("attacks that use encryption mechanisms ... cannot be tracked
+    without tracking indirect flows"). The key schedule permutes a
+    state table with key-dependent indices (address dependencies on
+    both loads and stores); the keystream is extracted through doubly
+    tainted table lookups. *)
+
+val build : ?input_len:int -> seed:int -> unit -> Workload.built
+(** Default: 1024 bytes of network input encrypted under a key read
+    from a file. *)

@@ -1,0 +1,61 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+let secret_len = 256
+let benign_len = 128
+
+(* The exfiltration connection is the second one opened (id 2); sinks
+   are reported under the connection id. *)
+let exfil_conn_id = 2
+let exfil_sink (_ : Workload.built) = exfil_conn_id
+
+(* Register use: r4 src ptr, r5 dst ptr, r6 end, r8 byte, r9 index. *)
+let build ~seed () =
+  let os = Os.create ~seed () in
+  let rng = Rng.create (seed + 7) in
+  let secret =
+    Os.create_file os
+      (String.init secret_len (fun _ -> Char.chr (Rng.int rng 256)))
+  in
+  let benign = Os.open_connection ~available:benign_len os in
+  let exfil = Os.open_connection ~available:0 os in
+  assert (Os.conn_id exfil = exfil_conn_id);
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* encode table *)
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0x3C;
+  (* read the secret and the benign cover traffic *)
+  Codegen.sys_file_read cg ~file:(Os.file_id secret) ~dst:Mem.buf_in
+    ~len:secret_len;
+  Codegen.sys_net_read cg ~conn:(Os.conn_id benign) ~dst:Mem.buf_aux
+    ~len:benign_len;
+  (* encode the secret through the table: address dependencies *)
+  Asm.li a 4 Mem.buf_in;
+  Asm.li a 5 Mem.buf_out;
+  Asm.li a 6 (Mem.buf_in + secret_len);
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.bini a Instr.Add 9 8 Mem.table;
+      Asm.loadb a 8 9 0;
+      Asm.storeb a 8 5 0;
+      Asm.bini a Instr.Add 4 4 1;
+      Asm.bini a Instr.Add 5 5 1);
+  (* stage the outbound message: encoded secret then benign filler *)
+  Codegen.memcpy_bytes cg ~src:Mem.buf_out ~dst:Mem.proxy ~len:secret_len;
+  Codegen.memcpy_bytes cg ~src:Mem.buf_aux ~dst:(Mem.proxy + secret_len)
+    ~len:benign_len;
+  (* ship it *)
+  Codegen.sys_net_send cg ~conn:exfil_conn_id ~src:Mem.proxy
+    ~len:(secret_len + benign_len);
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "exfil";
+    description =
+      Printf.sprintf
+        "exfiltration of a %dB secret file, table-encoded and interleaved \
+         with %dB of benign traffic"
+        secret_len benign_len;
+    program = Codegen.assemble cg;
+    os;
+  }

@@ -1,0 +1,22 @@
+(** Data-exfiltration scenario (the confidentiality side of the
+    paper's motivation: "keeping track of the flow" of sensitive
+    data).
+
+    A secret file is read, encoded through a lookup table (the address
+    dependency that defeats direct-flow tracking), interleaved with
+    benign downloaded bytes and sent out over a network connection.
+    Ground truth: exactly [secret_len] of the exfiltrated bytes derive
+    from the secret file, so a DIFT's sink attribution can be scored
+    for misses. *)
+
+val secret_len : int
+(** 256 bytes. *)
+
+val benign_len : int
+(** 128 bytes. *)
+
+val exfil_sink : Workload.built -> int
+(** The sink id under which the exfiltration connection's traffic is
+    reported by [Engine.sink_profile]. *)
+
+val build : seed:int -> unit -> Workload.built

@@ -1,0 +1,56 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+(* Register use: r4 in-ptr, r5 out-ptr, r6 end-ptr, r8 byte, r9 index,
+   r10 running xor. *)
+let build ?(rounds = 24) ?(block = 256) ~seed () =
+  let os = Os.create ~seed () in
+  let rng = Mitos_util.Rng.create (seed + 17) in
+  let content n =
+    String.init n (fun _ -> Char.chr (Mitos_util.Rng.int rng 256))
+  in
+  let input_a = Os.create_file os (content block) in
+  let input_b = Os.create_file os (content block) in
+  let output = Os.create_file os "" in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0xA5;
+  Asm.li a 10 0;
+  for round = 0 to rounds - 1 do
+    let file = if round mod 2 = 0 then input_a else input_b in
+    Codegen.sys_file_read cg ~file:(Os.file_id file) ~dst:Mem.buf_in
+      ~len:block;
+    Asm.li a 4 Mem.buf_in;
+    Asm.li a 5 Mem.buf_out;
+    Asm.li a 6 (Mem.buf_in + block);
+    Codegen.while_lt cg 4 6 (fun () ->
+        Asm.loadb a 8 4 0;
+        Asm.bin a Instr.Xor 10 10 8;
+        (* every other round goes through the table (address deps) *)
+        (if round mod 2 = 1 then begin
+           Asm.bini a Instr.Add 9 8 Mem.table;
+           Asm.loadb a 8 9 0
+         end
+         else Asm.bini a Instr.Xor 8 8 0x33);
+        Asm.storeb a 8 5 0;
+        Asm.bini a Instr.Add 4 4 1;
+        Asm.bini a Instr.Add 5 5 1);
+    Codegen.sys_file_write cg ~file:(Os.file_id output) ~src:Mem.buf_out
+      ~len:block;
+    (* Read the output back: content round-trips through the OS and
+       returns carrying the output file's tag. *)
+    if round mod 4 = 3 then
+      Codegen.sys_file_read cg ~file:(Os.file_id output) ~dst:Mem.buf_aux
+        ~len:block
+  done;
+  Asm.li a 4 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 10, 4, 0));
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "filebench";
+    description =
+      Printf.sprintf "file-system benchmark: %d rounds of %dB blocks" rounds
+        block;
+    program = Codegen.assemble cg;
+    os;
+  }

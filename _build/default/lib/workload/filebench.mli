@@ -1,0 +1,8 @@
+(** File-system benchmark: read blocks from input files, transform
+    them (direct and address-dependent flows), write to an output
+    file and read it back — exercising file-tag churn and the taint
+    round-trip through OS-persisted content. *)
+
+val build :
+  ?rounds:int -> ?block:int -> seed:int -> unit -> Workload.built
+(** Defaults: 24 rounds of 256-byte blocks. *)

@@ -1,0 +1,100 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+let documents = 3
+let doc_len = 96
+let docs_base = Mem.buf_aux (* preloaded documents *)
+let hdr = Mem.buf_in (* incoming request header *)
+let out = Mem.buf_out (* response log (also what gets sent) *)
+
+let doc_content ~seed i =
+  let rng = Rng.create (seed + 50 + i) in
+  String.init doc_len (fun _ -> Char.chr (Rng.int rng 256))
+
+let request_stream ~seed ~requests =
+  let rng = Rng.create (seed + 60) in
+  String.init (2 * requests) (fun k ->
+      if k mod 2 = 0 then Char.chr (Rng.int rng documents)
+      else Char.chr (1 + Rng.int rng doc_len))
+
+let reference_responses ~seed ~requests =
+  let docs = Array.init documents (doc_content ~seed) in
+  let reqs = request_stream ~seed ~requests in
+  let buf = Buffer.create 1024 in
+  for r = 0 to requests - 1 do
+    let id = Char.code reqs.[2 * r] in
+    let len = Char.code reqs.[(2 * r) + 1] in
+    Buffer.add_char buf (Char.chr ((0xA0 + id) land 0xFF));
+    Buffer.add_char buf (Char.chr len);
+    Buffer.add_string buf (String.sub docs.(id) 0 len)
+  done;
+  Buffer.contents buf
+
+(* Registers: r4 copy src, r6 doc id, r7 req len, r8 tmp byte,
+   r9 addr tmp, r10 doc base, r11 copy counter, r12 out ptr
+   (persistent), r13 copy bound. *)
+let build ?(requests = 24) ~seed () =
+  let os = Os.create ~seed () in
+  let files =
+    List.init documents (fun i -> Os.create_file os (doc_content ~seed i))
+  in
+  let conn_req =
+    Os.open_connection_with os (request_stream ~seed ~requests)
+  in
+  let conn_resp = Os.open_connection ~available:0 os in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* preload the documents and the dispatch table *)
+  List.iteri
+    (fun i file ->
+      Codegen.sys_file_read cg ~file:(Os.file_id file)
+        ~dst:(docs_base + (i * doc_len))
+        ~len:doc_len;
+      Asm.li a 9 (Mem.table2 + (4 * i));
+      Asm.li a 8 (docs_base + (i * doc_len));
+      Asm.storew a 8 9 0)
+    files;
+  Asm.li a 12 out;
+  for _r = 0 to requests - 1 do
+    (* read one request header *)
+    Codegen.sys_net_read cg ~conn:(Os.conn_id conn_req) ~dst:hdr ~len:2;
+    Asm.li a 9 hdr;
+    Asm.loadb a 6 9 0;
+    Asm.loadb a 7 9 1;
+    (* dispatch: document base through the table, indexed by the
+       tainted id byte *)
+    Asm.bini a Instr.Shl 9 6 2;
+    Asm.bini a Instr.Add 9 9 Mem.table2;
+    Asm.emit a (Instr.Load (Instr.W32, 10, 9, 0));
+    (* response header: status = 0xA0 + id, then the length *)
+    Asm.bini a Instr.Add 8 6 0xA0;
+    Asm.storeb a 8 12 0;
+    Asm.storeb a 7 12 1;
+    (* body copy, bounded by the tainted length byte *)
+    Asm.li a 11 0;
+    Asm.mov a 4 10;
+    Asm.bini a Instr.Add 12 12 2;
+    Codegen.while_lt cg 11 7 (fun () ->
+        Asm.loadb a 8 4 0;
+        Asm.storeb a 8 12 0;
+        Asm.bini a Instr.Add 4 4 1;
+        Asm.bini a Instr.Add 12 12 1;
+        Asm.bini a Instr.Add 11 11 1);
+    (* send the framed response: start = out ptr - (len + 2) *)
+    Asm.bini a Instr.Add 13 7 2;
+    Asm.bin a Instr.Sub 2 12 13;
+    Asm.li a 1 (Os.conn_id conn_resp);
+    Asm.mov a 3 13;
+    Asm.syscall a Os.sys_net_send
+  done;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "fileserver";
+    description =
+      Printf.sprintf
+        "file server: %d framed requests dispatched over %d documents"
+        requests documents;
+    program = Codegen.assemble cg;
+    os;
+  }

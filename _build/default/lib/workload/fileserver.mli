@@ -1,0 +1,23 @@
+(** A small file server: request/response over the network.
+
+    Clients send fixed-size requests (a document id byte plus a length
+    byte); the server routes each request through a dispatch table
+    (address dependency on the tainted document id), reads the
+    requested document, frames a response (status byte + length + the
+    content) and sends it back. The interesting taint questions are
+    the ones real servers pose: which documents left over which
+    connection ([Engine.sink_profile]), and can the response framing —
+    derived from request bytes — be traced back to the client
+    ([Addr]/[Ctrl] flows that a direct-only DIFT loses)? *)
+
+val documents : int
+(** 3 documents of 96 bytes each. *)
+
+val doc_len : int
+
+val reference_responses : seed:int -> requests:int -> string
+(** The exact byte stream the server should emit, computed by an
+    independent OCaml model — ground truth for the machine. *)
+
+val build : ?requests:int -> seed:int -> unit -> Workload.built
+(** Default 24 requests. *)

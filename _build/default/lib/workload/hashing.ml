@@ -1,0 +1,57 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+let key_len = 8
+
+(* Register use: r4 key ptr, r5 byte index, r6 end, r7 hash, r8 byte,
+   r9 slot addr, r10 probe accumulator, r11 tmp. *)
+let build ?(keys = 192) ?(table_slots = 256) ~seed () =
+  if table_slots land (table_slots - 1) <> 0 then
+    invalid_arg "Hashing.build: table_slots must be a power of two";
+  let os = Os.create ~seed () in
+  let conn = Os.open_connection ~available:(keys * key_len) os in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* read all keys up front *)
+  Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.buf_in
+    ~len:(keys * key_len);
+  (* insertion: for each key, FNV-style hash then store the key's first
+     byte at table[hash] (a store through a tainted address) *)
+  for k = 0 to keys - 1 do
+    let key_base = Mem.buf_in + (k * key_len) in
+    Asm.li a 4 key_base;
+    Asm.li a 6 (key_base + key_len);
+    Asm.li a 7 0x811C;
+    Codegen.while_lt cg 4 6 (fun () ->
+        Asm.loadb a 8 4 0;
+        Asm.bin a Instr.Xor 7 7 8;
+        Asm.bini a Instr.Mul 7 7 0x193;
+        Asm.bini a Instr.And 7 7 0xFFFFFF;
+        Asm.bini a Instr.Add 4 4 1);
+    Asm.bini a Instr.And 7 7 (table_slots - 1);
+    Asm.bini a Instr.Add 9 7 Mem.table;
+    Asm.loadb a 8 4 (-key_len);
+    Asm.storeb a 8 9 0
+  done;
+  (* probe phase: walk the table and fold the occupancy into a digest *)
+  Asm.li a 10 0;
+  Asm.li a 4 Mem.table;
+  Asm.li a 6 (Mem.table + table_slots);
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 11 4 0;
+      Asm.bin a Instr.Add 10 10 11;
+      Asm.bini a Instr.Add 4 4 1);
+  Asm.li a 9 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 10, 9, 0));
+  Codegen.sys_net_send cg ~conn:(Os.conn_id conn) ~src:Mem.results ~len:4;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "hashing";
+    description =
+      Printf.sprintf
+        "hash-table build over %d tainted keys into %d slots (stores \
+         through tainted addresses)"
+        keys table_slots;
+    program = Codegen.assemble cg;
+    os;
+  }

@@ -1,0 +1,13 @@
+(** Hash-table construction over tainted keys.
+
+    Hashing is in the paper's list of operations where "indirect flows
+    are expected to be the rule rather than the exception": the bucket
+    an entry lands in is a function of the (tainted) key, so every
+    insertion is a store through a tainted address, and every probe is
+    a load through one. A direct-flow-only DIFT sees the stored values
+    but has no idea the table {e layout} encodes the keys. *)
+
+val build :
+  ?keys:int -> ?table_slots:int -> seed:int -> unit -> Workload.built
+(** Default: 192 8-byte keys from the network hashed into a 256-slot
+    table, then probed back. *)

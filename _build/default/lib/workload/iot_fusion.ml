@@ -1,0 +1,61 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+(* Register use: r4 ptr, r5 out ptr, r6 end, r7 fused value, r8 byte,
+   r9 index/addr, r10 alarm counter, r11 threshold. *)
+let build ?(rounds = 32) ?(channels = 4) ~seed () =
+  let os = Os.create ~seed () in
+  let calibration =
+    Os.create_file os (String.init 16 (fun i -> Char.chr (0x10 + i)))
+  in
+  let uplink = Os.open_connection ~available:0 os in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* duty-cycle lookup table and calibration constants *)
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0x55;
+  Codegen.sys_file_read cg ~file:(Os.file_id calibration) ~dst:Mem.key
+    ~len:16;
+  Asm.li a 10 0;
+  for round = 0 to rounds - 1 do
+    (* sample all channels into the staging buffer *)
+    Codegen.sys_sensor_read cg ~dst:Mem.buf_in ~len:channels;
+    (* fuse: sum of calibrated readings *)
+    Asm.li a 7 0;
+    Asm.li a 4 Mem.buf_in;
+    Asm.li a 6 (Mem.buf_in + channels);
+    Codegen.while_lt cg 4 6 (fun () ->
+        Asm.loadb a 8 4 0;
+        (* calibrate against the file constants: computation deps *)
+        Asm.li a 9 (Mem.key + (round mod 16));
+        Asm.loadb a 9 9 0;
+        Asm.bin a Instr.Add 8 8 9;
+        Asm.bin a Instr.Add 7 7 8;
+        Asm.bini a Instr.Add 4 4 1);
+    (* threshold alarm: a control dependency on the fused reading *)
+    Asm.li a 11 (channels * 160);
+    Codegen.if_ cg Instr.Geu 7 11 (fun () ->
+        Asm.bini a Instr.Add 10 10 1);
+    (* duty-cycle decision via table lookup: address dependency *)
+    Asm.bini a Instr.And 9 7 0xFF;
+    Asm.bini a Instr.Add 9 9 Mem.table;
+    Asm.loadb a 8 9 0;
+    Asm.li a 5 (Mem.buf_out + round);
+    Asm.storeb a 8 5 0
+  done;
+  (* report duty cycles and the alarm count upstream *)
+  Asm.li a 9 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 10, 9, 0));
+  Codegen.sys_net_send cg ~conn:(Os.conn_id uplink) ~src:Mem.buf_out
+    ~len:rounds;
+  Codegen.sys_net_send cg ~conn:(Os.conn_id uplink) ~src:Mem.results ~len:4;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "iot-fusion";
+    description =
+      Printf.sprintf
+        "IoT sensor hub: %d rounds x %d channels fused, thresholded and \
+         duty-cycled"
+        rounds channels;
+    program = Codegen.assemble cg;
+    os;
+  }

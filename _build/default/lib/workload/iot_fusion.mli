@@ -1,0 +1,13 @@
+(** IoT sensor fusion.
+
+    The paper motivates DIFT for "various IoT platforms" (and the
+    authors' DDIFT workshop paper tracks flows on IoT devices). This
+    workload models a sensor hub: several sensor channels are sampled
+    ([Sensor] tags), fused with calibration data from a file, compared
+    against thresholds (control dependencies on tainted readings), and
+    the resulting decision plus a duty-cycle table lookup (address
+    dependency) are reported upstream. *)
+
+val build :
+  ?rounds:int -> ?channels:int -> seed:int -> unit -> Workload.built
+(** Defaults: 32 rounds over 4 channels. *)

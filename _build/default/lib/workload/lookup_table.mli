@@ -1,0 +1,9 @@
+(** The paper's Fig. 1 example: a tainted input string is translated
+    through a lookup table. Every output byte is produced by a load
+    whose address depends on tainted data — the canonical address
+    dependency. A DIFT that does not propagate indirect flows loses
+    all taint across the translation. *)
+
+val default_input : string
+
+val build : ?input:string -> seed:int -> unit -> Workload.built

@@ -1,0 +1,16 @@
+(* Conventional buffer placement (within the heap region) shared by
+   the workload programs. *)
+
+let buf_in = 0x50000 (* staging buffer for inbound data *)
+let table = 0x51000 (* primary lookup table (256 B) *)
+let table2 = 0x51800 (* secondary lookup table *)
+let buf_out = 0x52000 (* transformed output *)
+let key = 0x53000 (* key material *)
+let buf_aux = 0x54000 (* scratch *)
+let proxy = 0x55000 (* proxy hop buffer *)
+let frag = 0x56000 (* fragment reassembly area *)
+let results = 0x57000 (* accumulator spill area *)
+let noise = 0x58000 (* benign background copy area *)
+let victim_base = Mitos_system.Layout.process_base
+let victim_size = 0x2000
+let kernel_dst = Mitos_system.Layout.kernel_export_base

@@ -1,0 +1,83 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+(* Register use inside the per-chunk loop: r4 in-ptr, r5 out-ptr,
+   r6 end-ptr, r8 byte, r9 index, r10 checksum, r11 tmp. *)
+let build ?(conns = 4) ?(chunks = 48) ?(chunk_len = 256) ~seed () =
+  if conns < 1 then invalid_arg "Netbench.build: need at least one connection";
+  let os = Os.create ~seed () in
+  let connections =
+    Array.init conns (fun _ -> Os.open_connection ~tag_per_read:true os)
+  in
+  let config = Os.create_file os (String.init 128 (fun i -> Char.chr (i * 7 mod 256))) in
+  let log = Os.create_file os "" in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* Translation table and checksum accumulator. *)
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0x5A;
+  Asm.li a 10 0;
+  (* Read the configuration file (file-tag source). *)
+  Codegen.sys_file_read cg ~file:(Os.file_id config) ~dst:Mem.buf_aux ~len:128;
+  for c = 0 to chunks - 1 do
+    let conn = connections.(c mod conns) in
+    Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.buf_in
+      ~len:chunk_len;
+    Asm.li a 4 Mem.buf_in;
+    Asm.li a 5 Mem.buf_out;
+    Asm.li a 6 (Mem.buf_in + chunk_len);
+    Codegen.while_lt cg 4 6 (fun () ->
+        Asm.loadb a 8 4 0;
+        (* checksum: computation dependency *)
+        Asm.bin a Instr.Add 10 10 8;
+        (* value-dependent branch: control dependency *)
+        Asm.bini a Instr.And 11 8 1;
+        Asm.li a 9 1;
+        Codegen.if_ cg Instr.Eq 11 9 (fun () ->
+            Asm.bini a Instr.Xor 8 8 0x0F);
+        (* table translation: address dependency *)
+        Asm.bini a Instr.Add 9 8 Mem.table;
+        Asm.loadb a 8 9 0;
+        Asm.storeb a 8 5 0;
+        Asm.bini a Instr.Add 4 4 1;
+        Asm.bini a Instr.Add 5 5 1);
+    (* Periodic simulated library load: some processed bytes reach the
+       kernel linking area and are marked export-table. *)
+    if c mod 8 = 7 then begin
+      let kaddr = Mem.kernel_dst + (c * 8) in
+      Codegen.memcpy_bytes cg ~src:Mem.buf_out ~dst:kaddr ~len:32;
+      Codegen.sys_kernel_mark_export cg ~addr:kaddr ~len:32;
+      (* read back export-tagged bytes and use them as table indices:
+         export-table tags now compete in the IFP decisions too *)
+      Asm.li a 4 kaddr;
+      Asm.li a 5 Mem.results;
+      Asm.li a 6 (kaddr + 32);
+      Codegen.while_lt cg 4 6 (fun () ->
+          Asm.loadb a 8 4 0;
+          Asm.bini a Instr.Add 9 8 Mem.table;
+          Asm.loadb a 8 9 0;
+          Asm.storeb a 8 5 0;
+          Asm.bini a Instr.Add 4 4 1;
+          Asm.bini a Instr.Add 5 5 1)
+    end;
+    (* Periodic log write. *)
+    if c mod 12 = 11 then
+      Codegen.sys_file_write cg ~file:(Os.file_id log) ~src:Mem.buf_out
+        ~len:64
+  done;
+  (* Spill the checksum and send it back on the first connection. *)
+  Asm.li a 4 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 10, 4, 0));
+  Codegen.sys_net_send cg
+    ~conn:(Os.conn_id connections.(0))
+    ~src:Mem.results ~len:4;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "netbench";
+    description =
+      Printf.sprintf
+        "network benchmark: %d conns x %d chunks x %dB with checksum, \
+         table translation and branching"
+        conns chunks chunk_len;
+    program = Codegen.assemble cg;
+    os;
+  }

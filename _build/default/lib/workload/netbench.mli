@@ -1,0 +1,18 @@
+(** The network benchmark (the paper's §V-B sensitivity workload).
+
+    Mimics the PassMark scenario: the guest downloads data over
+    several connections and processes it — checksumming (computation
+    dependencies), table translation (address dependencies),
+    value-dependent branching (control dependencies) — with periodic
+    file activity and simulated library loads that produce
+    export-table tags. This is the workload behind Figs. 7, 8 and
+    9. *)
+
+val build :
+  ?conns:int ->
+  ?chunks:int ->
+  ?chunk_len:int ->
+  seed:int ->
+  unit ->
+  Workload.built
+(** Defaults: 4 connections, 48 chunks of 256 bytes. *)

@@ -1,0 +1,129 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+let default_records = 48
+let xlate_xor = 0x6B
+
+let make_message ~records seed =
+  let rng = Rng.create (seed + 31) in
+  let buf = Buffer.create 512 in
+  for _ = 1 to records do
+    let ty = Rng.int rng 4 in
+    let len = 1 + Rng.int rng 16 in
+    Buffer.add_char buf (Char.chr ty);
+    Buffer.add_char buf (Char.chr len);
+    for _ = 1 to len do
+      Buffer.add_char buf (Char.chr (Rng.int rng 256))
+    done
+  done;
+  Buffer.add_char buf '\xff';
+  Buffer.contents buf
+
+let message ~seed = make_message ~records:default_records seed
+
+let reference_parse msg =
+  let out = Buffer.create 256 in
+  let checksum = ref 0 in
+  let pos = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let ty = Char.code msg.[!pos] in
+    if ty = 0xFF then continue_ := false
+    else begin
+      let len = Char.code msg.[!pos + 1] in
+      let payload = String.sub msg (!pos + 2) len in
+      (match ty with
+      | 0 -> String.iter (fun c -> checksum := (!checksum + Char.code c) land 0xFFFFFFFF) payload
+      | 1 -> Buffer.add_string out payload
+      | 2 ->
+        String.iter
+          (fun c -> Buffer.add_char out (Char.chr (Char.code c lxor xlate_xor)))
+          payload
+      | _ -> ());
+      pos := !pos + 2 + len
+    end
+  done;
+  (Buffer.contents out, !checksum)
+
+(* Register use: r4 msg ptr, r5 out ptr, r6 type, r7 len, r8 byte,
+   r9 tmp addr, r10 checksum, r11 handler address, r13 payload end. *)
+let build ?(records = default_records) ~seed () =
+  let os = Os.create ~seed () in
+  let msg = make_message ~records seed in
+  let conn = Os.open_connection_with os msg in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* translation table for type-2 records *)
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:xlate_xor;
+  (* jump table: handler instruction indices at table2 + 4*type *)
+  List.iteri
+    (fun ty label ->
+      Asm.li_label a 9 label;
+      Asm.li a 12 (Mem.table2 + (4 * ty));
+      Asm.storew a 9 12 0)
+    [ "h_checksum"; "h_copy"; "h_translate"; "h_skip" ];
+  Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.buf_in
+    ~len:(String.length msg);
+  Asm.li a 4 Mem.buf_in;
+  Asm.li a 5 Mem.buf_out;
+  Asm.li a 10 0;
+  Asm.label a "parse";
+  Asm.loadb a 6 4 0;
+  (* terminator check: a control dependency on the tainted type byte *)
+  Asm.li a 9 0xFF;
+  Asm.branch a Instr.Eq 6 9 "done";
+  Asm.loadb a 7 4 1;
+  Asm.bini a Instr.Add 4 4 2;
+  (* r13 <- payload end *)
+  Asm.bin a Instr.Add 13 4 7;
+  (* handler address: an address dependency on the tainted type *)
+  Asm.bini a Instr.Shl 9 6 2;
+  Asm.bini a Instr.Add 9 9 Mem.table2;
+  Asm.emit a (Instr.Load (Instr.W32, 11, 9, 0));
+  (* dispatch: a tainted indirect jump *)
+  Asm.jr a 11;
+  (* type 0: checksum the payload *)
+  Asm.label a "h_checksum";
+  Codegen.while_lt cg 4 13 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.bin a Instr.Add 10 10 8;
+      Asm.bini a Instr.Add 4 4 1);
+  Asm.jmp a "parse";
+  (* type 1: copy the payload out *)
+  Asm.label a "h_copy";
+  Codegen.while_lt cg 4 13 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.storeb a 8 5 0;
+      Asm.bini a Instr.Add 4 4 1;
+      Asm.bini a Instr.Add 5 5 1);
+  Asm.jmp a "parse";
+  (* type 2: translate the payload through the table *)
+  Asm.label a "h_translate";
+  Codegen.while_lt cg 4 13 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.bini a Instr.Add 9 8 Mem.table;
+      Asm.loadb a 8 9 0;
+      Asm.storeb a 8 5 0;
+      Asm.bini a Instr.Add 4 4 1;
+      Asm.bini a Instr.Add 5 5 1);
+  Asm.jmp a "parse";
+  (* type 3: skip *)
+  Asm.label a "h_skip";
+  Asm.mov a 4 13;
+  Asm.jmp a "parse";
+  Asm.label a "done";
+  Asm.li a 9 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 10, 9, 0));
+  Codegen.sys_net_send cg ~conn:(Os.conn_id conn) ~src:Mem.results ~len:4;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "protocol";
+    description =
+      Printf.sprintf
+        "TLV protocol parser: %d records dispatched through a jump table \
+         indexed by tainted type bytes"
+        records;
+    program = Codegen.assemble cg;
+    os;
+  }

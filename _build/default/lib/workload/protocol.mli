@@ -1,0 +1,22 @@
+(** Network-protocol parsing (TLV dispatch).
+
+    The paper cites network protocol analysis as a DIFT application
+    and lists switch statements among the operations where indirect
+    flows are the rule. This workload is a type-length-value parser
+    whose dispatch is a {e jump table indexed by a tainted type byte}:
+    the handler address load is an address dependency and the [jr]
+    through it is a tainted indirect jump — the two flow classes no
+    other workload exercises together.
+
+    Record types: 0 checksum, 1 copy-out, 2 table-translate, 3 skip;
+    0xFF terminates. *)
+
+val message : seed:int -> string
+(** The deterministic wire message the connection delivers. *)
+
+val reference_parse : string -> string * int
+(** An independent OCaml parser: (copied+translated output bytes,
+    checksum) — ground truth for the machine's behaviour. *)
+
+val build : ?records:int -> seed:int -> unit -> Workload.built
+(** Default 48 records. *)

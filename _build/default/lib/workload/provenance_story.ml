@@ -1,0 +1,36 @@
+module Os = Mitos_system.Os
+
+let payload_len = 64
+let stage_b = Mem.buf_aux (* process B's reading buffer *)
+let final = Mem.results (* where the file content is read back *)
+let final_region = (final, payload_len)
+
+let build ~seed () =
+  let os = Os.create ~seed () in
+  let conn = Os.open_connection ~available:payload_len os in
+  let spool = Os.create_file os "" in
+  (* process A owns the landing zone; its tag marks cross-process
+     reads of that region *)
+  let proc_a = Os.spawn_process os ~base:Mem.victim_base ~size:payload_len in
+  let cg = Codegen.create () in
+  (* 1. the byte arrives from the network into process A's space *)
+  Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.victim_base
+    ~len:payload_len;
+  (* 2. process B reads A's address space: + process tag *)
+  Codegen.sys_proc_read cg ~pid:(Os.proc_id proc_a) ~dst:stage_b
+    ~len:payload_len;
+  (* 3. B writes the bytes into a file (taint snapshot captured) *)
+  Codegen.sys_file_write cg ~file:(Os.file_id spool) ~src:stage_b
+    ~len:payload_len;
+  (* 4. the file is read back into another address space: + file tag *)
+  Codegen.sys_file_read cg ~file:(Os.file_id spool) ~dst:final
+    ~len:payload_len;
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "provenance-story";
+    description =
+      "Fig. 2 life cycle: network -> process read -> file write -> file \
+       read-back, accumulating the full provenance list";
+    program = Codegen.assemble cg;
+    os;
+  }

@@ -1,0 +1,20 @@
+(** The paper's Fig. 2, as a runnable program.
+
+    "This byte came from a network source, was read as part of the
+    address space of a process, was written into a file and then was
+    read as part of an address space of another process."
+
+    The workload reproduces that life cycle byte-for-byte: network
+    payload lands in process A's space, process B reads it across the
+    process boundary, writes it to a file, and process C reads the
+    file back — so the final copy's provenance list reads
+    [network; process-A; file; process-C-or-B...] in arrival order,
+    exactly the list in the figure. *)
+
+val final_region : int * int
+(** (addr, len) of the byte range holding the fully-accumulated
+    provenance. *)
+
+val payload_len : int
+
+val build : seed:int -> unit -> Workload.built

@@ -1,0 +1,91 @@
+type entry = {
+  name : string;
+  summary : string;
+  build : seed:int -> Workload.built;
+}
+
+let benchmarks =
+  [
+    {
+      name = "lookup-table";
+      summary = "Fig. 1 address-dependency example";
+      build = (fun ~seed -> Lookup_table.build ~seed ());
+    };
+    {
+      name = "netbench";
+      summary = "network benchmark (Figs. 7-9 workload)";
+      build = (fun ~seed -> Netbench.build ~seed ());
+    };
+    {
+      name = "cpubench";
+      summary = "CPU benchmark";
+      build = (fun ~seed -> Cpubench.build ~seed ());
+    };
+    {
+      name = "filebench";
+      summary = "file-system benchmark";
+      build = (fun ~seed -> Filebench.build ~seed ());
+    };
+    {
+      name = "compress";
+      summary = "run-length compression (control deps)";
+      build = (fun ~seed -> Compress.build ~seed ());
+    };
+    {
+      name = "crypto";
+      summary = "RC4-style encryption (address deps)";
+      build = (fun ~seed -> Crypto.build ~seed ());
+    };
+    {
+      name = "strings";
+      summary = "string manipulation";
+      build = (fun ~seed -> Strings.build ~seed ());
+    };
+    {
+      name = "hashing";
+      summary = "hash-table build over tainted keys (store addr deps)";
+      build = (fun ~seed -> Hashing.build ~seed ());
+    };
+    {
+      name = "exfil";
+      summary = "secret-file exfiltration, table-encoded (sink forensics)";
+      build = (fun ~seed -> Exfil.build ~seed ());
+    };
+    {
+      name = "iot-fusion";
+      summary = "IoT sensor hub: fusion, thresholds, duty-cycle lookups";
+      build = (fun ~seed -> Iot_fusion.build ~seed ());
+    };
+    {
+      name = "provenance-story";
+      summary = "Fig. 2 byte life cycle (provenance accumulation)";
+      build = (fun ~seed -> Provenance_story.build ~seed ());
+    };
+    {
+      name = "protocol";
+      summary = "TLV parser: tainted jump-table dispatch (indirect jumps)";
+      build = (fun ~seed -> Protocol.build ~seed ());
+    };
+    {
+      name = "fileserver";
+      summary = "request/response file server (sink attribution story)";
+      build = (fun ~seed -> Fileserver.build ~seed ());
+    };
+  ]
+
+let attacks =
+  List.map
+    (fun variant ->
+      {
+        name = "attack-" ^ Attack.variant_name variant;
+        summary =
+          Printf.sprintf "in-memory attack, %s shell"
+            (Attack.variant_name variant);
+        build = (fun ~seed -> Attack.build variant ~seed ());
+      })
+    Attack.all_variants
+
+let all = benchmarks @ attacks
+let names = List.map (fun e -> e.name) all
+let find name = List.find (fun e -> e.name = name) all
+let build name ~seed = (find name).build ~seed

@@ -1,0 +1,17 @@
+(** Name-indexed access to every workload (CLI and test convenience). *)
+
+type entry = {
+  name : string;
+  summary : string;
+  build : seed:int -> Workload.built;
+}
+
+val all : entry list
+(** Benchmarks plus all six attack variants. *)
+
+val names : string list
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val build : string -> seed:int -> Workload.built
+(** [build name ~seed] — raises [Not_found] for unknown names. *)

@@ -1,0 +1,68 @@
+open Mitos_isa
+module Os = Mitos_system.Os
+
+let default_text =
+  "The Quick Brown Fox Jumps Over The Lazy Dog 0123456789 \
+   And Again THE QUICK BROWN FOX"
+
+(* Register use: r4 ptr, r5 out ptr, r6 length/end, r8 byte, r9 index,
+   r10 zero. *)
+let build ?(text = default_text) ~seed () =
+  let os = Os.create ~seed () in
+  let payload = text ^ "\000" in
+  let conn = Os.open_connection_with os payload in
+  let buf_len = String.length payload in
+  let cg = Codegen.create () in
+  let a = Codegen.asm cg in
+  (* tolower table: identity with A-Z mapped down. *)
+  Codegen.fill_table_identity cg ~base:Mem.table ~size:256 ~xor:0;
+  Asm.li a 4 (Mem.table + Char.code 'A');
+  Asm.li a 6 (Mem.table + Char.code 'Z' + 1);
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.bini a Instr.Add 8 8 32;
+      Asm.storeb a 8 4 0;
+      Asm.bini a Instr.Add 4 4 1);
+  Codegen.sys_net_read cg ~conn:(Os.conn_id conn) ~dst:Mem.buf_in
+    ~len:buf_len;
+  (* strlen: scan for NUL — each iteration's continuation is a control
+     dependency on a tainted byte. *)
+  Asm.li a 4 Mem.buf_in;
+  Asm.li a 10 0;
+  let found = Codegen.fresh cg "nul" in
+  let scan = Codegen.fresh cg "scan" in
+  Asm.label a scan;
+  Asm.loadb a 8 4 0;
+  Asm.branch a Instr.Eq 8 10 found;
+  Asm.bini a Instr.Add 4 4 1;
+  Asm.jmp a scan;
+  Asm.label a found;
+  (* r6 <- length *)
+  Asm.li a 8 Mem.buf_in;
+  Asm.bin a Instr.Sub 6 4 8;
+  (* store the (control-dependent) length *)
+  Asm.li a 9 Mem.results;
+  Asm.emit a (Instr.Store (Instr.W32, 6, 9, 0));
+  (* tolower copy through the table *)
+  Asm.li a 4 Mem.buf_in;
+  Asm.li a 5 Mem.buf_out;
+  Asm.li a 6 (Mem.buf_in + buf_len - 1);
+  Codegen.while_lt cg 4 6 (fun () ->
+      Asm.loadb a 8 4 0;
+      Asm.bini a Instr.Add 9 8 Mem.table;
+      Asm.loadb a 8 9 0;
+      Asm.storeb a 8 5 0;
+      Asm.bini a Instr.Add 4 4 1;
+      Asm.bini a Instr.Add 5 5 1);
+  (* plain strcpy of the lowered text *)
+  Codegen.memcpy_bytes cg ~src:Mem.buf_out ~dst:Mem.buf_aux
+    ~len:(buf_len - 1);
+  Codegen.sys_net_send cg ~conn:(Os.conn_id conn) ~src:Mem.buf_aux
+    ~len:(buf_len - 1);
+  Codegen.sys_exit cg;
+  {
+    Workload.name = "strings";
+    description = "strlen + tolower-through-table + strcpy on tainted text";
+    program = Codegen.assemble cg;
+    os;
+  }

@@ -1,0 +1,6 @@
+(** String manipulation: strlen over a NUL-terminated tainted string
+    (a control-dependent length), case conversion through a lookup
+    table (address dependencies), and a copy — the paper's "string
+    manipulations" class of indirect-flow operations. *)
+
+val build : ?text:string -> seed:int -> unit -> Workload.built

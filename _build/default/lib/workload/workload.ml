@@ -1,0 +1,51 @@
+open Mitos_dift
+module Machine = Mitos_isa.Machine
+module Os = Mitos_system.Os
+module Layout = Mitos_system.Layout
+module Trace = Mitos_replay.Trace
+
+type built = {
+  name : string;
+  description : string;
+  program : Mitos_isa.Program.t;
+  os : Os.t;
+}
+
+let machine_of b =
+  Machine.create ~mem_size:Layout.mem_size ~syscall:(Os.handler b.os) b.program
+
+let engine_of ?config ~policy b =
+  Engine.create ?config ~policy ~source_tag:(Os.source_tag b.os) b.program
+
+let run_live ?config ?max_steps ~policy b =
+  let engine = engine_of ?config ~policy b in
+  Engine.attach engine (machine_of b);
+  ignore (Engine.run ?max_steps engine);
+  engine
+
+let sources_key = "sources"
+
+let record ?max_steps b =
+  let trace =
+    Mitos_replay.Recorder.record ?max_steps
+      ~meta:[ ("workload", b.name) ]
+      (machine_of b)
+  in
+  (* Source ids are minted while the OS runs (per-read tags, export
+     marks), so the id -> action table must travel with the trace for
+     the recording to be replayable against a fresh OS. *)
+  Trace.add_meta trace sources_key (Os.dump_sources b.os)
+
+let source_tag_of_trace trace =
+  Option.map Os.source_lookup_of_string (Trace.find_meta trace sources_key)
+
+let replay ?config ~policy b trace =
+  let source_tag =
+    match source_tag_of_trace trace with
+    | Some lookup -> lookup
+    | None -> Os.source_tag b.os
+  in
+  let engine = Engine.create ?config ~policy ~source_tag b.program in
+  Engine.attach_shadow engine ~mem_size:(Trace.mem_size trace);
+  Trace.iter trace (Engine.process_record engine);
+  engine

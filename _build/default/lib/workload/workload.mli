@@ -1,0 +1,47 @@
+(** Workload plumbing: a built workload bundles the assembled program
+    with the OS instance holding its resources (connections, files,
+    processes). Building is deterministic in the seed, so recording
+    the same workload twice yields byte-identical traces. *)
+
+open Mitos_dift
+
+type built = {
+  name : string;
+  description : string;
+  program : Mitos_isa.Program.t;
+  os : Mitos_system.Os.t;
+}
+
+val machine_of : built -> Mitos_isa.Machine.t
+(** A fresh machine (full {!Mitos_system.Layout.mem_size} memory) wired
+    to the workload's OS. *)
+
+val engine_of : ?config:Engine.config -> policy:Policy.t -> built -> Engine.t
+(** An engine for this workload's program and taint sources (not yet
+    attached to a machine or shadow). *)
+
+val run_live :
+  ?config:Engine.config ->
+  ?max_steps:int ->
+  policy:Policy.t ->
+  built ->
+  Engine.t
+(** Execute the workload under the policy, returning the finished
+    engine. *)
+
+val record : ?max_steps:int -> built -> Mitos_replay.Trace.t
+(** Record an execution trace (the PANDA step). The workload's OS
+    streams are consumed; build a fresh workload for another
+    recording. The trace embeds the OS's source-id → tag table, so it
+    is replayable on its own (including from disk). *)
+
+val replay :
+  ?config:Engine.config ->
+  policy:Policy.t ->
+  built ->
+  Mitos_replay.Trace.t ->
+  Engine.t
+(** Replay a recorded trace under a policy. Taint sources resolve
+    through the table embedded in the trace (falling back to the given
+    workload's live OS for traces recorded before that table
+    existed). *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Adaptive Alcotest Analysis Array Cost Decision Fairness Float Gen Hashtbl List Mitos Mitos_tag Option Params QCheck QCheck_alcotest Solver Tag Tag_stats Tag_type

@@ -1,0 +1,1 @@
+test/test_distrib.ml: Alcotest List Mitos_dift Mitos_distrib Mitos_experiments Mitos_system Mitos_tag Mitos_workload

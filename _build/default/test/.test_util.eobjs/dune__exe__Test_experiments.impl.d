@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Mitos Mitos_dift Mitos_experiments Mitos_util Mitos_workload Printf String

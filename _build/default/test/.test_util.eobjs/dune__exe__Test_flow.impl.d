@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Cfg Extract Fun Instr Int List Loc Machine Mitos_flow Mitos_isa Mitos_util Option Postdom Printf Program Set

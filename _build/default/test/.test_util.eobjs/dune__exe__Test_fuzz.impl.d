@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Asm Engine Hashtbl Instr Int List Machine Mitos Mitos_dift Mitos_isa Mitos_tag Mitos_util Mitos_workload Option Policies Printf Set Shadow Tag Tag_stats Tag_type

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Bytes Format Instr List Machine Mitos_isa Mitos_util Option Parser Program QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Array Filename Fun List Mitos_dift Mitos_isa Mitos_replay Mitos_system Mitos_tag Mitos_util Mitos_workload Option String Sys

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Bytes Instr List Machine Mitos_dift Mitos_isa Mitos_system Mitos_tag Program Shadow Tag Tag_type

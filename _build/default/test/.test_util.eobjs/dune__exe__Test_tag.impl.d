@@ -1,0 +1,1 @@
+test/test_tag.ml: Alcotest Array Fun List Mitos_tag Mitos_util Provenance QCheck QCheck_alcotest Shadow String Tag Tag_stats Tag_type

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Codec Float Gen List Mitos_util QCheck QCheck_alcotest Rng Stats String Table Timeseries

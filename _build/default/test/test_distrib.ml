@@ -1,0 +1,191 @@
+module Cluster = Mitos_distrib.Cluster
+module Estimator = Mitos_distrib.Estimator
+module W = Mitos_workload
+
+let params = Mitos_experiments.Calib.sensitivity_params ()
+
+let small_nodes n =
+  List.init n (fun i -> W.Netbench.build ~seed:(50 + i) ~chunks:6 ())
+
+(* -- Estimator ----------------------------------------------------------- *)
+
+let test_estimator_basics () =
+  let e = Estimator.create ~nodes:3 in
+  Alcotest.(check (float 0.0)) "initially zero" 0.0 (Estimator.global e);
+  Estimator.publish e ~node:0 10.0;
+  Estimator.publish e ~node:2 5.0;
+  Alcotest.(check (float 0.0)) "sum" 15.0 (Estimator.global e);
+  Estimator.publish e ~node:0 1.0;
+  Alcotest.(check (float 0.0)) "overwrite" 6.0 (Estimator.global e);
+  Alcotest.(check (float 0.0)) "contribution" 5.0
+    (Estimator.contribution e ~node:2);
+  Alcotest.(check int) "nodes" 3 (Estimator.nodes e);
+  Alcotest.(check bool) "zero nodes rejected" true
+    (try ignore (Estimator.create ~nodes:0); false
+     with Invalid_argument _ -> true)
+
+(* -- Cluster --------------------------------------------------------------- *)
+
+let test_cluster_runs_to_completion () =
+  let c = Cluster.create ~params ~sync_period:10 (small_nodes 3) in
+  let rounds = Cluster.run c in
+  Alcotest.(check bool) "made progress" true (rounds > 100);
+  Alcotest.(check int) "three nodes" 3 (Cluster.num_nodes c);
+  Alcotest.(check int) "three summaries" 3 (List.length (Cluster.summaries c));
+  Alcotest.(check bool) "decisions happened" true
+    (Cluster.total_propagated c + Cluster.total_blocked c > 0)
+
+let test_cluster_final_sync_zero_staleness () =
+  let c = Cluster.create ~params ~sync_period:1000 (small_nodes 2) in
+  ignore (Cluster.run c);
+  (* each node publishes on halt, so the final estimate is exact *)
+  Alcotest.(check (float 1e-9)) "no residual staleness" 0.0 (Cluster.staleness c)
+
+let test_cluster_sync_counts () =
+  let c1 = Cluster.create ~params ~sync_period:1 (small_nodes 2) in
+  ignore (Cluster.run c1);
+  let ck = Cluster.create ~params ~sync_period:100 (small_nodes 2) in
+  ignore (Cluster.run ck);
+  Alcotest.(check bool) "longer period -> far fewer syncs" true
+    (Cluster.syncs_performed ck * 50 < Cluster.syncs_performed c1)
+
+let test_cluster_global_estimate_reflects_all_nodes () =
+  let c = Cluster.create ~params ~sync_period:1 (small_nodes 2) in
+  ignore (Cluster.run c);
+  let total =
+    Cluster.local_pollution c ~node:0 +. Cluster.local_pollution c ~node:1
+  in
+  Alcotest.(check (float 1e-6)) "estimator sums node contributions" total
+    (Estimator.global (Cluster.estimator c))
+
+let test_cluster_staleness_shifts_decisions () =
+  let run period =
+    let c = Cluster.create ~params ~sync_period:period (small_nodes 2) in
+    ignore (Cluster.run c);
+    Cluster.total_propagated c
+  in
+  let tight = run 1 in
+  let loose = run 50_000 in
+  (* with a very stale (lower) pollution estimate, nodes propagate at
+     least as much as with an up-to-date one *)
+  Alcotest.(check bool) "stale estimate propagates >= fresh" true (loose >= tight)
+
+let test_cluster_wide_detection () =
+  (* one compromised machine among benign ones: the cluster's shared
+     alarm must fire on exactly the attacked node *)
+  let nodes =
+    [
+      W.Netbench.build ~seed:70 ~chunks:4 ();
+      W.Attack.build W.Attack.Reverse_tcp ~seed:71 ();
+      W.Netbench.build ~seed:72 ~chunks:4 ();
+    ]
+  in
+  let c =
+    Cluster.create
+      ~watch:(Mitos_tag.Tag_type.Network, Mitos_tag.Tag_type.Export_table)
+      ~params:Mitos_experiments.Calib.attack_params ~sync_period:100 nodes
+  in
+  ignore (Cluster.run c);
+  (match Cluster.first_alert c with
+  | Some (node, alert) ->
+    Alcotest.(check int) "attacked node flagged" 1 node;
+    Alcotest.(check bool) "alert in kernel area" true
+      (Mitos_system.Layout.in_kernel_export alert.Mitos_dift.Engine.alert_addr)
+  | None -> Alcotest.fail "cluster missed the attack");
+  (* benign netbench nodes also hit netflow+export confluence via their
+     simulated library loads, but node 1 carries the payload burst *)
+  let node1_alerts =
+    List.length (List.filter (fun (n, _) -> n = 1) (Cluster.alerts c))
+  in
+  Alcotest.(check bool) "payload-sized alert burst on node 1" true
+    (node1_alerts >= W.Attack.payload_len)
+
+let test_cluster_heterogeneous_params () =
+  (* two identical workloads, opposite tau regimes: the permissive
+     node must propagate more than the strict one, despite sharing the
+     same global pollution scalar *)
+  let strict = Mitos_experiments.Calib.sensitivity_params ~tau:1.0 () in
+  let permissive = Mitos_experiments.Calib.sensitivity_params ~tau:0.01 () in
+  let c =
+    Cluster.create_heterogeneous ~sync_period:10
+      [
+        (W.Netbench.build ~seed:80 ~chunks:8 (), strict);
+        (W.Netbench.build ~seed:80 ~chunks:8 (), permissive);
+      ]
+  in
+  ignore (Cluster.run c);
+  match Cluster.summaries c with
+  | [ strict_s; permissive_s ] ->
+    Alcotest.(check bool) "permissive node propagates more" true
+      (permissive_s.Mitos_dift.Metrics.ifp_propagated
+      > strict_s.Mitos_dift.Metrics.ifp_propagated * 2)
+  | _ -> Alcotest.fail "expected two summaries"
+
+let test_cluster_topology_restricts_visibility () =
+  (* an isolated node never sees the others' pollution, so it
+     propagates at least as much as a fully-connected one would *)
+  let nodes () =
+    List.map
+      (fun (b, _) -> b)
+      (List.init 3 (fun i -> (W.Netbench.build ~seed:(90 + i) ~chunks:8 (), ())))
+  in
+  let run topology =
+    let pairs =
+      List.map (fun b -> (b, params)) (nodes ())
+    in
+    let c =
+      Cluster.create_heterogeneous ?topology ~sync_period:10 pairs
+    in
+    ignore (Cluster.run c);
+    List.map
+      (fun (s : Mitos_dift.Metrics.summary) -> s.Mitos_dift.Metrics.ifp_propagated)
+      (Cluster.summaries c)
+  in
+  let full = run None in
+  (* node 2 isolated; 0-1 connected *)
+  let partial = run (Some [ (0, 1) ]) in
+  (match (full, partial) with
+  | [ _; _; full2 ], [ _; _; part2 ] ->
+    Alcotest.(check bool) "isolated node propagates >= connected" true
+      (part2 >= full2)
+  | _ -> Alcotest.fail "expected three summaries");
+  Alcotest.(check bool) "bad edge rejected" true
+    (try
+       ignore
+         (Cluster.create_heterogeneous ~topology:[ (0, 9) ] ~sync_period:1
+            (List.map (fun b -> (b, params)) (nodes ())));
+       false
+     with Invalid_argument _ -> true)
+
+let test_cluster_validation () =
+  Alcotest.(check bool) "empty nodes" true
+    (try ignore (Cluster.create ~params ~sync_period:1 []); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad period" true
+    (try ignore (Cluster.create ~params ~sync_period:0 (small_nodes 1)); false
+     with Invalid_argument _ -> true)
+
+let test_cluster_max_rounds () =
+  let c = Cluster.create ~params ~sync_period:1 (small_nodes 1) in
+  Alcotest.(check int) "bounded" 10 (Cluster.run ~max_rounds:10 c)
+
+let () =
+  Alcotest.run "mitos_distrib"
+    [
+      ("estimator", [ Alcotest.test_case "basics" `Quick test_estimator_basics ]);
+      ( "cluster",
+        [
+          Alcotest.test_case "runs" `Quick test_cluster_runs_to_completion;
+          Alcotest.test_case "final sync" `Quick test_cluster_final_sync_zero_staleness;
+          Alcotest.test_case "sync counts" `Quick test_cluster_sync_counts;
+          Alcotest.test_case "global estimate" `Quick test_cluster_global_estimate_reflects_all_nodes;
+          Alcotest.test_case "staleness shifts decisions" `Slow test_cluster_staleness_shifts_decisions;
+          Alcotest.test_case "cluster-wide detection" `Quick test_cluster_wide_detection;
+          Alcotest.test_case "heterogeneous params" `Quick
+            test_cluster_heterogeneous_params;
+          Alcotest.test_case "topology visibility" `Quick
+            test_cluster_topology_restricts_visibility;
+          Alcotest.test_case "validation" `Quick test_cluster_validation;
+          Alcotest.test_case "max rounds" `Quick test_cluster_max_rounds;
+        ] );
+    ]

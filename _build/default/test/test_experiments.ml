@@ -1,0 +1,274 @@
+module E = Mitos_experiments
+module W = Mitos_workload
+
+(* Keep experiment-level tests cheap: a trimmed netbench trace shared
+   across the checks. *)
+let small_built = lazy (W.Netbench.build ~seed:5 ~chunks:10 ())
+let small_trace = lazy (W.Workload.record (Lazy.force small_built))
+
+(* -- Fig. 3 ---------------------------------------------------------------- *)
+
+let strictly_monotone cmp series =
+  let values = List.map snd series in
+  List.for_all2 cmp
+    (List.filteri (fun i _ -> i < List.length values - 1) values)
+    (List.tl values)
+
+let test_fig3_under_decreasing () =
+  List.iter
+    (fun alpha ->
+      Alcotest.(check bool)
+        (Printf.sprintf "under cost decreasing (alpha=%g)" alpha)
+        true
+        (strictly_monotone (fun a b -> a > b) (E.Fig3.under_series ~alpha)))
+    E.Fig3.alphas
+
+let test_fig3_over_increasing () =
+  List.iter
+    (fun beta ->
+      Alcotest.(check bool)
+        (Printf.sprintf "over cost increasing (beta=%g)" beta)
+        true
+        (strictly_monotone (fun a b -> a < b) (E.Fig3.over_series ~beta)))
+    E.Fig3.betas
+
+let test_fig3_alpha_steepness () =
+  (* larger alpha -> the cost decays faster relative to its own scale:
+     phi(1)/phi(2) = 2^(alpha-1) grows with alpha *)
+  let decay alpha =
+    match E.Fig3.under_series ~alpha with
+    | (_, c1) :: (_, c2) :: _ -> c1 /. c2
+    | _ -> 0.0
+  in
+  Alcotest.(check bool) "alpha=4 decays faster than alpha=1.5" true
+    (decay 4.0 > decay 1.5);
+  Alcotest.(check (float 1e-9)) "decay ratio is 2^(alpha-1)" 8.0 (decay 4.0)
+
+(* -- Fig. 7 ----------------------------------------------------------------- *)
+
+let test_fig7_tau_monotonicity () =
+  let built = Lazy.force small_built and trace = Lazy.force small_trace in
+  let propagated tau =
+    let samples, _ = E.Fig7.replay_with_tau built trace ~tau in
+    List.length (List.filter (fun s -> s.E.Fig7.propagated) samples)
+  in
+  let p1 = propagated 1.0 and p01 = propagated 0.1 and p001 = propagated 0.01 in
+  Alcotest.(check bool) "tau=1 <= tau=0.1" true (p1 <= p01);
+  Alcotest.(check bool) "tau=0.1 <= tau=0.01" true (p01 <= p001);
+  Alcotest.(check bool) "gradient is non-trivial" true (p1 < p001)
+
+let test_fig7_submarginal_signs () =
+  let built = Lazy.force small_built and trace = Lazy.force small_trace in
+  let samples, _ = E.Fig7.replay_with_tau built trace ~tau:0.1 in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "under <= 0" true (s.E.Fig7.under <= 0.0);
+      Alcotest.(check bool) "over >= 0" true (s.E.Fig7.over >= 0.0))
+    samples
+
+let test_fig7_over_marginal_trends_up () =
+  let built = Lazy.force small_built and trace = Lazy.force small_trace in
+  let samples, _ = E.Fig7.replay_with_tau built trace ~tau:0.1 in
+  match E.Fig7.bucketize samples ~buckets:4 with
+  | (_, _, over_first, _, _) :: rest ->
+    let _, _, over_last, _, _ = List.nth rest (List.length rest - 1) in
+    Alcotest.(check bool) "pollution accumulates" true (over_last >= over_first)
+  | [] -> Alcotest.fail "no samples"
+
+let test_fig7_bucketize_math () =
+  let mk step under over propagated = { E.Fig7.step; under; over; propagated } in
+  let samples =
+    [ mk 1 (-1.0) 0.5 true; mk 2 (-3.0) 1.5 false; mk 3 (-5.0) 2.5 true;
+      mk 4 (-7.0) 3.5 true ]
+  in
+  (match E.Fig7.bucketize samples ~buckets:2 with
+  | [ (s1, u1, o1, p1, b1); (s2, u2, o2, p2, b2) ] ->
+    Alcotest.(check int) "bucket1 end step" 2 s1;
+    Alcotest.(check (float 1e-9)) "bucket1 mean under" (-2.0) u1;
+    Alcotest.(check (float 1e-9)) "bucket1 mean over" 1.0 o1;
+    Alcotest.(check int) "bucket1 prop" 1 p1;
+    Alcotest.(check int) "bucket1 block" 1 b1;
+    Alcotest.(check int) "bucket2 end step" 4 s2;
+    Alcotest.(check (float 1e-9)) "bucket2 mean under" (-6.0) u2;
+    Alcotest.(check (float 1e-9)) "bucket2 mean over" 3.0 o2;
+    Alcotest.(check int) "bucket2 prop" 2 p2;
+    Alcotest.(check int) "bucket2 block" 0 b2
+  | _ -> Alcotest.fail "expected 2 buckets");
+  Alcotest.(check int) "empty samples" 0
+    (List.length (E.Fig7.bucketize [] ~buckets:3))
+
+(* -- Fig. 8 -------------------------------------------------------------------- *)
+
+let test_fig8_alpha_improves_balance () =
+  let built = Lazy.force small_built and trace = Lazy.force small_trace in
+  let points = E.Fig8.sweep built trace in
+  let mse alpha =
+    let p = List.find (fun p -> p.E.Fig8.alpha = alpha) points in
+    p.E.Fig8.fairness.Mitos.Fairness.mse
+  in
+  Alcotest.(check bool) "alpha=4 at least as balanced as alpha=0.5" true
+    (mse 4.0 <= mse 0.5);
+  Alcotest.(check int) "one point per alpha"
+    (List.length E.Fig8.alphas) (List.length points)
+
+(* -- Fig. 9 --------------------------------------------------------------------- *)
+
+let test_fig9_u_boost_monotone () =
+  let built = Lazy.force small_built and trace = Lazy.force small_trace in
+  let points = E.Fig9.sweep built trace in
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "netflow propagation nondecreasing in u" true
+        (a.E.Fig9.net_propagated <= b.E.Fig9.net_propagated);
+      pairwise rest
+    | _ -> ()
+  in
+  pairwise points;
+  let first = List.hd points and last = List.nth points (List.length points - 1) in
+  Alcotest.(check bool) "boost has real effect" true
+    (last.E.Fig9.net_propagated > first.E.Fig9.net_propagated);
+  Alcotest.(check bool) "export tags not accelerated" true
+    (last.E.Fig9.export_propagated <= first.E.Fig9.export_propagated)
+
+(* -- Table II -------------------------------------------------------------------- *)
+
+let test_table2_single_variant_shape () =
+  let row = E.Table2.run_variant Mitos_workload.Attack.Reverse_tcp_rc4 in
+  Alcotest.(check int) "faros blind to substitution decode" 0
+    row.E.Table2.faros.Mitos_dift.Metrics.detected_bytes;
+  Alcotest.(check bool) "mitos detects the payload" true
+    (row.E.Table2.mitos.Mitos_dift.Metrics.detected_bytes
+    >= Mitos_workload.Attack.payload_len);
+  Alcotest.(check bool) "mitos uses less shadow space" true
+    (row.E.Table2.mitos.Mitos_dift.Metrics.footprint_bytes
+    < row.E.Table2.faros.Mitos_dift.Metrics.footprint_bytes)
+
+let test_table2_goldens () =
+  (* everything is deterministic from the fixed seeds, so the headline
+     reproduction numbers are pinned exactly; any unintended semantic
+     drift in the substrate shows up here *)
+  let result = E.Table2.run_all () in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 result.E.Table2.rows in
+  Alcotest.(check int) "FAROS total detected bytes" 977
+    (sum (fun r -> r.E.Table2.faros.Mitos_dift.Metrics.detected_bytes));
+  Alcotest.(check int) "MITOS total detected bytes" 2340
+    (sum (fun r -> r.E.Table2.mitos.Mitos_dift.Metrics.detected_bytes));
+  (* the paper's simultaneous-improvement claim, as inequalities *)
+  Alcotest.(check bool) "time improves" true
+    (result.E.Table2.time_improvement > 1.05);
+  Alcotest.(check bool) "space improves" true
+    (result.E.Table2.space_improvement > 1.5);
+  Alcotest.(check bool) "detection improves >2x" true
+    (result.E.Table2.detection_improvement > 2.0)
+
+let test_latency_variant_smoke () =
+  let row = E.Latency.run_variant Mitos_workload.Attack.Reverse_tcp_rc4 in
+  Alcotest.(check bool) "run completed" true (row.E.Latency.total_steps > 1000);
+  Alcotest.(check (option int)) "faros never alarms on rc4" None
+    (List.assoc "faros" row.E.Latency.alarm_step);
+  (match List.assoc "mitos" row.E.Latency.alarm_step with
+  | Some step ->
+    Alcotest.(check bool) "mitos alarms before the run ends" true
+      (step < row.E.Latency.total_steps)
+  | None -> Alcotest.fail "mitos missed the rc4 shell")
+
+let test_conformance_staircase () =
+  (* each conformance column must dominate the one to its left *)
+  let outcomes =
+    List.map
+      (fun (_, policy) -> Mitos_dift.Litmus.run policy)
+      (E.Validation.policies ())
+  in
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      List.iter2
+        (fun (oa : Mitos_dift.Litmus.outcome) (ob : Mitos_dift.Litmus.outcome) ->
+          Alcotest.(check bool)
+            (oa.Mitos_dift.Litmus.case.Mitos_dift.Litmus.case_name
+            ^ ": staircase monotone")
+            true
+            ((not oa.Mitos_dift.Litmus.tainted) || ob.Mitos_dift.Litmus.tainted))
+        a b;
+      pairwise rest
+    | _ -> ()
+  in
+  pairwise outcomes
+
+(* -- Report ------------------------------------------------------------------------ *)
+
+let test_report_rendering () =
+  let r = E.Report.create ~title:"T" in
+  E.Report.text r "hello";
+  E.Report.textf r "x=%d" 42;
+  let tbl = Mitos_util.Table.create ~header:[ "a" ] () in
+  Mitos_util.Table.add_row tbl [ "1" ];
+  E.Report.table r tbl;
+  let section = E.Report.finish r in
+  Alcotest.(check string) "title" "T" (E.Report.title section);
+  let md = E.Report.to_markdown section in
+  let has needle =
+    let n = String.length needle and h = String.length md in
+    let rec go i = i + n <= h && (String.sub md i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "markdown heading" true (has "## T");
+  Alcotest.(check bool) "text kept" true (has "x=42");
+  Alcotest.(check bool) "table rendered" true (has "| a |")
+
+(* -- Calib ---------------------------------------------------------------------------- *)
+
+let test_calib_params () =
+  let p = E.Calib.sensitivity_params () in
+  Alcotest.(check (float 0.0)) "paper alpha" 1.5 p.Mitos.Params.alpha;
+  Alcotest.(check (float 0.0)) "paper beta" 2.0 p.Mitos.Params.beta;
+  Alcotest.(check int) "paper N_R = 4GiB x 10" (4 * 1024 * 1024 * 1024 * 10)
+    p.Mitos.Params.total_tag_space;
+  let a = E.Calib.attack_params in
+  List.iter
+    (fun ty ->
+      Alcotest.(check (float 0.0)) "boosted type weight" 50.0
+        (Mitos.Params.u a ty))
+    E.Calib.tag_type_u_boost;
+  Alcotest.(check bool) "table2 routes direct flows" true
+    E.Calib.attack_engine_config.Mitos_dift.Engine.route_direct_through_policy
+
+let () =
+  Alcotest.run "mitos_experiments"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "under decreasing" `Quick test_fig3_under_decreasing;
+          Alcotest.test_case "over increasing" `Quick test_fig3_over_increasing;
+          Alcotest.test_case "alpha steepness" `Quick test_fig3_alpha_steepness;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "tau monotonicity" `Slow test_fig7_tau_monotonicity;
+          Alcotest.test_case "submarginal signs" `Slow test_fig7_submarginal_signs;
+          Alcotest.test_case "over trends up" `Slow test_fig7_over_marginal_trends_up;
+          Alcotest.test_case "bucketize math" `Quick test_fig7_bucketize_math;
+        ] );
+      ( "fig8",
+        [ Alcotest.test_case "alpha improves balance" `Slow test_fig8_alpha_improves_balance ] );
+      ( "fig9",
+        [ Alcotest.test_case "u boost monotone" `Slow test_fig9_u_boost_monotone ] );
+      ( "table2",
+        [
+          Alcotest.test_case "rc4 variant shape" `Slow test_table2_single_variant_shape;
+          Alcotest.test_case "headline goldens" `Slow test_table2_goldens;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "rendering" `Quick test_report_rendering ] );
+      ( "latency",
+        [
+          Alcotest.test_case "rc4 variant smoke" `Slow
+            test_latency_variant_smoke;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "policy staircase monotone" `Quick
+            test_conformance_staircase;
+        ] );
+      ( "calib",
+        [ Alcotest.test_case "params" `Quick test_calib_params ] );
+    ]

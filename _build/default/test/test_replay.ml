@@ -1,0 +1,284 @@
+module Trace = Mitos_replay.Trace
+module Recorder = Mitos_replay.Recorder
+module W = Mitos_workload
+
+let small_workload seed = W.Lookup_table.build ~seed ()
+
+let record_small seed =
+  W.Workload.record (small_workload seed)
+
+let test_trace_basics () =
+  let trace = record_small 3 in
+  Alcotest.(check bool) "has records" true (Trace.length trace > 0);
+  Alcotest.(check (option string)) "meta" (Some "lookup-table")
+    (Trace.find_meta trace "workload");
+  Alcotest.(check (option string)) "missing meta" None
+    (Trace.find_meta trace "nope");
+  let count = ref 0 in
+  Trace.iter trace (fun _ -> incr count);
+  Alcotest.(check int) "iter covers all" (Trace.length trace) !count
+
+let test_trace_serialization_roundtrip () =
+  let trace = record_small 3 in
+  let s = Trace.to_string trace in
+  let trace' = Trace.of_string s in
+  Alcotest.(check int) "length preserved" (Trace.length trace) (Trace.length trace');
+  Alcotest.(check int) "mem size" (Trace.mem_size trace) (Trace.mem_size trace');
+  Alcotest.(check bool) "records identical" true
+    (Trace.records trace = Trace.records trace');
+  Alcotest.(check bool) "program identical" true
+    (Mitos_isa.Program.code (Trace.program trace)
+    = Mitos_isa.Program.code (Trace.program trace'));
+  Alcotest.(check string) "re-serialization stable" s (Trace.to_string trace')
+
+let test_trace_corruption () =
+  let trace = record_small 3 in
+  let s = Trace.to_string trace in
+  let bad_magic = "XXXXXXXX" ^ String.sub s 8 (String.length s - 8) in
+  Alcotest.(check bool) "bad magic" true
+    (try ignore (Trace.of_string bad_magic); false
+     with Mitos_util.Codec.Malformed _ -> true);
+  let truncated = String.sub s 0 (String.length s / 2) in
+  Alcotest.(check bool) "truncated" true
+    (try ignore (Trace.of_string truncated); false
+     with Mitos_util.Codec.Malformed _ -> true);
+  let trailing = s ^ "junk" in
+  Alcotest.(check bool) "trailing bytes" true
+    (try ignore (Trace.of_string trailing); false
+     with Mitos_util.Codec.Malformed _ -> true)
+
+let test_trace_file_io () =
+  let trace = record_small 3 in
+  let path = Filename.temp_file "mitos" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      let loaded = Trace.load path in
+      Alcotest.(check bool) "file roundtrip" true
+        (Trace.to_string trace = Trace.to_string loaded))
+
+let test_recording_deterministic () =
+  (* the PANDA property: identically-built workloads record identical
+     traces *)
+  Alcotest.(check bool) "deterministic" true
+    (Recorder.verify_deterministic
+       ~make_machine:(fun () -> W.Workload.machine_of (small_workload 9))
+       ())
+
+let test_different_seeds_differ () =
+  (* netbench payload is seed-derived, so the recorded values differ *)
+  let record seed = W.Workload.record (W.Netbench.build ~seed ~chunks:2 ()) in
+  let t1 = record 1 and t2 = record 2 in
+  Alcotest.(check bool) "different payload -> different trace" true
+    (Trace.to_string t1 <> Trace.to_string t2)
+
+let test_max_steps_truncates () =
+  let b = small_workload 4 in
+  let trace = Recorder.record ~max_steps:50 (W.Workload.machine_of b) in
+  Alcotest.(check int) "truncated at 50" 50 (Trace.length trace)
+
+let test_replay_through_engine_matches_live () =
+  (* record once, replay through an engine; compare against live run *)
+  let policy = Mitos_dift.Policies.propagate_all in
+  let live = W.Workload.run_live ~policy (small_workload 7) in
+  let b = small_workload 7 in
+  let trace = W.Workload.record b in
+  let replayed = W.Workload.replay ~policy b trace in
+  let s_live = Mitos_dift.Metrics.of_engine live in
+  let s_rep = Mitos_dift.Metrics.of_engine replayed in
+  Alcotest.(check int) "copies" s_live.Mitos_dift.Metrics.total_copies
+    s_rep.Mitos_dift.Metrics.total_copies;
+  Alcotest.(check int) "tainted" s_live.Mitos_dift.Metrics.tainted_bytes
+    s_rep.Mitos_dift.Metrics.tainted_bytes;
+  Alcotest.(check int) "ifp decisions"
+    (s_live.Mitos_dift.Metrics.ifp_propagated
+    + s_live.Mitos_dift.Metrics.ifp_blocked)
+    (s_rep.Mitos_dift.Metrics.ifp_propagated
+    + s_rep.Mitos_dift.Metrics.ifp_blocked)
+
+let test_replay_with_dynamic_sources_from_disk () =
+  (* netbench mints source ids while running (per-read network tags,
+     export marks); a trace saved to disk must carry that table so a
+     fresh process can replay it faithfully *)
+  let policy = Mitos_dift.Policies.propagate_all in
+  let b = W.Netbench.build ~seed:31 ~chunks:4 () in
+  let trace = W.Workload.record b in
+  let live_like = W.Workload.replay ~policy b trace in
+  let path = Filename.temp_file "mitos" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      let loaded = Trace.load path in
+      (* deliberately mismatched seed: sources come from the trace *)
+      let fresh_b = W.Netbench.build ~seed:999 ~chunks:4 () in
+      let replayed = W.Workload.replay ~policy fresh_b loaded in
+      let s1 = Mitos_dift.Metrics.of_engine live_like in
+      let s2 = Mitos_dift.Metrics.of_engine replayed in
+      Alcotest.(check int) "copies survive disk+fresh OS"
+        s1.Mitos_dift.Metrics.total_copies s2.Mitos_dift.Metrics.total_copies;
+      Alcotest.(check int) "tainted bytes match"
+        s1.Mitos_dift.Metrics.tainted_bytes s2.Mitos_dift.Metrics.tainted_bytes;
+      Alcotest.(check bool) "sources actually resolved" true
+        (s2.Mitos_dift.Metrics.total_copies > 100))
+
+let test_replay_is_repeatable () =
+  let b = small_workload 8 in
+  let trace = W.Workload.record b in
+  let run () =
+    let e = W.Workload.replay ~policy:Mitos_dift.Policies.propagate_all b trace in
+    Mitos_dift.Metrics.of_engine e
+  in
+  let s1 = run () and s2 = run () in
+  Alcotest.(check int) "identical replays" s1.Mitos_dift.Metrics.shadow_ops
+    s2.Mitos_dift.Metrics.shadow_ops
+
+let test_trace_stats () =
+  let b = W.Crypto.build ~input_len:128 ~seed:3 () in
+  let trace = W.Workload.record b in
+  let stats = Mitos_replay.Trace_stats.analyze trace in
+  let open Mitos_replay.Trace_stats in
+  Alcotest.(check int) "instruction count matches trace" (Trace.length trace)
+    stats.instructions;
+  Alcotest.(check bool) "loads present" true (stats.loads > 0);
+  Alcotest.(check bool) "addr-dep sites = loads + stores" true
+    (stats.addr_dep_sites = stats.loads + stats.stores);
+  Alcotest.(check bool) "ctrl sites = branches" true
+    (stats.ctrl_dep_sites = stats.branches);
+  Alcotest.(check bool) "taken <= branches" true
+    (stats.branches_taken <= stats.branches);
+  Alcotest.(check bool) "hot list bounded" true
+    (List.length stats.hottest <= 10);
+  (match stats.hottest with
+  | (_, top) :: rest ->
+    List.iter
+      (fun (_, n) -> Alcotest.(check bool) "descending" true (n <= top))
+      rest
+  | [] -> Alcotest.fail "no hot pcs");
+  Alcotest.(check bool) "distinct pcs <= program size" true
+    (stats.distinct_pcs
+    <= Mitos_isa.Program.length (Trace.program trace));
+  Alcotest.(check int) "row arity" 11
+    (List.length (Mitos_replay.Trace_stats.to_rows stats))
+
+let test_suspend_resume_tracking () =
+  (* split a replay at a scope-free boundary, checkpoint the shadow,
+     resume in a fresh engine: the final state must equal an unbroken
+     replay *)
+  let policy = Mitos_dift.Policies.propagate_all in
+  let b = W.Netbench.build ~seed:44 ~chunks:6 () in
+  let trace = W.Workload.record b in
+  let records = Mitos_replay.Trace.records trace in
+  let full = W.Workload.replay ~policy b trace in
+  (* first segment *)
+  let first = Mitos_dift.Engine.create ~policy
+      ~source_tag:(Mitos_system.Os.source_tag b.W.Workload.os)
+      b.W.Workload.program
+  in
+  Mitos_dift.Engine.attach_shadow first ~mem_size:(Mitos_replay.Trace.mem_size trace);
+  (* walk forward from the midpoint until no control scope is open *)
+  let split = ref (Array.length records / 2) in
+  Array.iteri
+    (fun i r ->
+      if i < !split then Mitos_dift.Engine.process_record first r)
+    records;
+  while Mitos_dift.Engine.active_scopes first > 0 && !split < Array.length records do
+    Mitos_dift.Engine.process_record first records.(!split);
+    incr split
+  done;
+  Alcotest.(check int) "scope-free boundary found" 0
+    (Mitos_dift.Engine.active_scopes first);
+  (* checkpoint, restore, resume *)
+  let snapshot =
+    Mitos_tag.Shadow.to_string (Mitos_dift.Engine.shadow first)
+  in
+  let second = Mitos_dift.Engine.create ~policy
+      ~source_tag:(Mitos_system.Os.source_tag b.W.Workload.os)
+      b.W.Workload.program
+  in
+  Mitos_dift.Engine.attach_existing_shadow second
+    (Mitos_tag.Shadow.of_string snapshot);
+  Array.iteri
+    (fun i r ->
+      if i >= !split then Mitos_dift.Engine.process_record second r)
+    records;
+  let stats_of e = Mitos_tag.Tag_stats.snapshot (Mitos_dift.Engine.stats e) in
+  Alcotest.(check bool) "resumed state equals unbroken replay" true
+    (stats_of second = stats_of full);
+  Alcotest.(check int) "tainted bytes equal"
+    (Mitos_tag.Shadow.tainted_bytes (Mitos_dift.Engine.shadow full))
+    (Mitos_tag.Shadow.tainted_bytes (Mitos_dift.Engine.shadow second))
+
+let test_loop_profile () =
+  let b = W.Crypto.build ~input_len:128 ~seed:3 () in
+  let trace = W.Workload.record b in
+  let loops = Mitos_replay.Trace_stats.loop_profile trace in
+  (* crypto has three loops: table fill (256 iters), KSA (256) and the
+     PRGA (one per input byte) *)
+  Alcotest.(check int) "three loops" 3 (List.length loops);
+  let iters =
+    List.sort compare
+      (List.map (fun l -> l.Mitos_replay.Trace_stats.iterations) loops)
+  in
+  Alcotest.(check (list int)) "iteration counts" [ 128; 256; 256 ] iters;
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "body bounds ordered" true
+        (l.Mitos_replay.Trace_stats.first_pc
+        <= l.Mitos_replay.Trace_stats.last_pc);
+      Alcotest.(check bool) "dynamic count positive" true
+        (l.Mitos_replay.Trace_stats.body_instructions > 0))
+    loops;
+  (* straight-line program: no loops *)
+  let straight = W.Provenance_story.build ~seed:3 () in
+  Alcotest.(check int) "straight-line has no loops" 0
+    (List.length
+       (Mitos_replay.Trace_stats.loop_profile (W.Workload.record straight)))
+
+let test_syscall_histogram () =
+  let b = W.Netbench.build ~seed:7 ~chunks:8 () in
+  let trace = W.Workload.record b in
+  let hist = Mitos_replay.Trace_stats.syscall_histogram trace in
+  let count n = Option.value ~default:0 (List.assoc_opt n hist) in
+  Alcotest.(check int) "one read per chunk" 8
+    (count Mitos_system.Os.sys_net_read);
+  Alcotest.(check int) "one exit" 1 (count Mitos_system.Os.sys_exit);
+  (* descending order *)
+  let counts = List.map snd hist in
+  Alcotest.(check (list int)) "sorted descending"
+    (List.sort (fun a b -> compare b a) counts)
+    counts
+
+let () =
+  Alcotest.run "mitos_replay"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "serialization" `Quick test_trace_serialization_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_trace_corruption;
+          Alcotest.test_case "file io" `Quick test_trace_file_io;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "deterministic" `Quick test_recording_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_different_seeds_differ;
+          Alcotest.test_case "max steps" `Quick test_max_steps_truncates;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "matches live" `Quick test_replay_through_engine_matches_live;
+          Alcotest.test_case "dynamic sources from disk" `Quick
+            test_replay_with_dynamic_sources_from_disk;
+          Alcotest.test_case "repeatable" `Quick test_replay_is_repeatable;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "trace stats" `Quick test_trace_stats;
+          Alcotest.test_case "loop profile" `Quick test_loop_profile;
+          Alcotest.test_case "suspend/resume tracking" `Quick
+            test_suspend_resume_tracking;
+          Alcotest.test_case "syscall histogram" `Quick test_syscall_histogram;
+        ] );
+    ]

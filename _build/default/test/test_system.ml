@@ -1,0 +1,343 @@
+open Mitos_isa
+open Mitos_tag
+module Os = Mitos_system.Os
+module Layout = Mitos_system.Layout
+module Engine = Mitos_dift.Engine
+
+(* -- Layout ------------------------------------------------------------- *)
+
+let test_layout_regions () =
+  Alcotest.(check string) "stack" "stack" (Layout.region_of 0x100);
+  Alcotest.(check string) "process" "process" (Layout.region_of 0x11000);
+  Alcotest.(check string) "kernel" "kernel-export" (Layout.region_of 0x41000);
+  Alcotest.(check string) "heap" "heap" (Layout.region_of 0x60000);
+  Alcotest.(check string) "oob" "out-of-range" (Layout.region_of (-1));
+  Alcotest.(check bool) "in kernel" true (Layout.in_kernel_export 0x40000);
+  Alcotest.(check bool) "below kernel" false (Layout.in_kernel_export 0x3FFFF);
+  Alcotest.(check bool) "regions cover memory" true
+    (Layout.stack_size + Layout.process_size + Layout.kernel_export_size
+     + Layout.heap_size
+    = Layout.mem_size)
+
+(* -- helpers -------------------------------------------------------------- *)
+
+let run_with_os os instrs =
+  let prog = Program.make (Array.of_list instrs) in
+  let m = Machine.create ~mem_size:Layout.mem_size ~syscall:(Os.handler os) prog in
+  let records = ref [] in
+  ignore (Machine.run m (fun r -> records := r :: !records));
+  (m, List.rev !records)
+
+let sys3 sysno a b c =
+  [ Instr.Li (1, a); Instr.Li (2, b); Instr.Li (3, c); Instr.Syscall sysno ]
+
+(* -- connections ----------------------------------------------------------- *)
+
+let test_net_read_payload () =
+  let os = Os.create ~seed:1 () in
+  let conn = Os.open_connection_with os "HELLO" in
+  let m, _ =
+    run_with_os os (sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 16 @ [ Instr.Halt ])
+  in
+  Alcotest.(check int) "r1 = bytes read" 5 (Machine.get_reg m 1);
+  Alcotest.(check string) "payload delivered" "HELLO"
+    (Bytes.to_string (Machine.read_bytes m 0x60000 5));
+  Alcotest.(check int) "delivered counter" 5 (Os.conn_bytes_delivered conn);
+  Alcotest.(check int) "os accounting" 5 (Os.bytes_from_network os)
+
+let test_net_read_eof () =
+  let os = Os.create ~seed:1 () in
+  let conn = Os.open_connection_with os "AB" in
+  let m, _ =
+    run_with_os os
+      (sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 10
+      @ sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 10
+      @ [ Instr.Halt ])
+  in
+  Alcotest.(check int) "second read returns 0" 0 (Machine.get_reg m 1)
+
+let test_net_read_stream_deterministic () =
+  let read_stream seed =
+    let os = Os.create ~seed () in
+    let conn = Os.open_connection ~available:64 os in
+    let m, _ =
+      run_with_os os
+        (sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 64 @ [ Instr.Halt ])
+    in
+    Bytes.to_string (Machine.read_bytes m 0x60000 64)
+  in
+  Alcotest.(check string) "same seed same stream" (read_stream 5) (read_stream 5);
+  Alcotest.(check bool) "different seed differs" true
+    (read_stream 5 <> read_stream 6)
+
+let test_source_actions () =
+  let os = Os.create ~seed:1 () in
+  let conn = Os.open_connection_with os "XY" in
+  let _, records =
+    run_with_os os
+      (sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 2 @ [ Instr.Halt ])
+  in
+  let sources =
+    List.concat_map
+      (fun (r : Machine.exec_record) ->
+        List.filter_map
+          (function
+            | Machine.Sys_wrote_mem { source; _ } -> Some source
+            | _ -> None)
+          r.Machine.sys_effects)
+      records
+  in
+  match sources with
+  | [ source ] -> (
+    match Os.source_tag os ~source with
+    | Engine.Taint (tag, `Replace) ->
+      Alcotest.(check bool) "network tag" true
+        (Tag_type.equal (Tag.ty tag) Tag_type.Network);
+      Alcotest.(check bool) "matches conn tag" true
+        (Tag.equal tag (Os.conn_tag conn))
+    | _ -> Alcotest.fail "expected replace-taint action")
+  | _ -> Alcotest.fail "expected exactly one source effect"
+
+let test_tag_per_read_mints_fresh_tags () =
+  let os = Os.create ~seed:1 () in
+  let conn = Os.open_connection ~available:100 ~tag_per_read:true os in
+  let _, records =
+    run_with_os os
+      (sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 10
+      @ sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 10
+      @ [ Instr.Halt ])
+  in
+  let tags =
+    List.concat_map
+      (fun (r : Machine.exec_record) ->
+        List.filter_map
+          (function
+            | Machine.Sys_wrote_mem { source; _ } -> (
+              match Os.source_tag os ~source with
+              | Engine.Taint (tag, _) -> Some tag
+              | Engine.Clear | Engine.Copy_within _ | Engine.Restore _ ->
+                None)
+            | _ -> None)
+          r.Machine.sys_effects)
+      records
+  in
+  match tags with
+  | [ a; b ] ->
+    Alcotest.(check bool) "distinct tags per read" false (Tag.equal a b)
+  | _ -> Alcotest.fail "expected two source effects"
+
+let test_unknown_conn_faults () =
+  let os = Os.create ~seed:1 () in
+  Alcotest.(check bool) "unknown conn" true
+    (try ignore (run_with_os os (sys3 Os.sys_net_read 99 0x60000 4)); false
+     with Machine.Fault _ -> true)
+
+(* -- files ------------------------------------------------------------------ *)
+
+let test_file_read_write_roundtrip () =
+  let os = Os.create ~seed:1 () in
+  let f = Os.create_file os "initial" in
+  let m, _ =
+    run_with_os os
+      (sys3 Os.sys_file_read (Os.file_id f) 0x60000 7
+      @ [ (* spill the read length before r1 is clobbered, then
+             overwrite memory and write it back to the file *)
+          Instr.Li (5, 0x62000); Instr.Store (Instr.W32, 1, 5, 0);
+          Instr.Li (4, 0x21); Instr.Li (5, 0x60000);
+          Instr.Store (Instr.W8, 4, 5, 0) ]
+      @ sys3 Os.sys_file_write (Os.file_id f) 0x60000 7
+      @ [ Instr.Halt ])
+  in
+  Alcotest.(check int) "read length" 7 (Machine.read_word m 0x62000);
+  Alcotest.(check string) "content updated" "!nitial" (Os.file_content os f);
+  Alcotest.(check int) "file accounting" 7 (Os.bytes_from_files os)
+
+(* -- processes ----------------------------------------------------------------- *)
+
+let test_proc_read () =
+  let os = Os.create ~seed:1 () in
+  let victim = Os.spawn_process os ~base:0x10000 ~size:16 in
+  let m, _ =
+    run_with_os os
+      ([ Instr.Li (4, 0x5A); Instr.Li (5, 0x10000);
+         Instr.Store (Instr.W8, 4, 5, 0) ]
+      @ sys3 Os.sys_proc_read (Os.proc_id victim) 0x60000 16
+      @ [ Instr.Halt ])
+  in
+  Alcotest.(check int) "copied bytes" 16 (Machine.get_reg m 1);
+  Alcotest.(check int) "content copied" 0x5A (Machine.read_byte m 0x60000);
+  Alcotest.(check bool) "process tag type" true
+    (Tag_type.equal (Tag.ty (Os.proc_tag victim)) Tag_type.Process);
+  (* the registered source action carries provenance from the process's
+     region and appends its tag (Fig. 2 accumulation) *)
+  (match Os.source_tag os ~source:0 with
+  | Engine.Clear -> ()
+  | _ -> Alcotest.fail "source 0 must be Clear")
+
+let test_proc_write_remote_injection () =
+  (* taint a staging buffer via the network, then proc_write it into a
+     victim: provenance must travel and gain the victim's tag *)
+  let os = Os.create ~seed:1 () in
+  let conn = Os.open_connection_with os "PAYLOAD!" in
+  let victim = Os.spawn_process os ~base:0x10000 ~size:8 in
+  let prog =
+    Program.make
+      (Array.of_list
+         (sys3 Os.sys_net_read (Os.conn_id conn) 0x60000 8
+         @ sys3 Os.sys_proc_write (Os.proc_id victim) 0x60000 8
+         @ [ Instr.Halt ]))
+  in
+  let m = Machine.create ~mem_size:Layout.mem_size ~syscall:(Os.handler os) prog in
+  let engine =
+    Mitos_dift.Engine.create ~policy:Mitos_dift.Policies.faros
+      ~source_tag:(Os.source_tag os) prog
+  in
+  Mitos_dift.Engine.attach engine m;
+  ignore (Mitos_dift.Engine.run engine);
+  Alcotest.(check string) "payload landed" "PAYLOAD!"
+    (Bytes.to_string (Machine.read_bytes m 0x10000 8));
+  let types =
+    List.map
+      (fun tag -> Tag_type.to_string (Tag.ty tag))
+      (Shadow.tags_of_addr (Mitos_dift.Engine.shadow engine) 0x10000)
+  in
+  Alcotest.(check (list string)) "provenance travelled + process tag"
+    [ "network"; "process" ] types
+
+(* -- kernel / misc ---------------------------------------------------------------- *)
+
+let test_kernel_mark_bounds () =
+  let os = Os.create ~seed:1 () in
+  ignore (run_with_os os
+            (sys3 Os.sys_kernel_mark_export Layout.kernel_export_base 16 0
+            @ [ Instr.Halt ]));
+  Alcotest.(check bool) "outside kernel faults" true
+    (try ignore (run_with_os os (sys3 Os.sys_kernel_mark_export 0x60000 16 0));
+       false
+     with Machine.Fault _ -> true)
+
+let test_kernel_mark_fresh_export_tags () =
+  let os = Os.create ~seed:1 () in
+  let _, records =
+    run_with_os os
+      (sys3 Os.sys_kernel_mark_export Layout.kernel_export_base 8 0
+      @ sys3 Os.sys_kernel_mark_export Layout.kernel_export_base 8 0
+      @ [ Instr.Halt ])
+  in
+  let tags =
+    List.concat_map
+      (fun (r : Machine.exec_record) ->
+        List.filter_map
+          (function
+            | Machine.Sys_wrote_mem { source; _ } -> (
+              match Os.source_tag os ~source with
+              | Engine.Taint (tag, `Union) -> Some tag
+              | _ -> None)
+            | _ -> None)
+          r.Machine.sys_effects)
+      records
+  in
+  match tags with
+  | [ a; b ] ->
+    Alcotest.(check bool) "export tags" true
+      (Tag_type.equal (Tag.ty a) Tag_type.Export_table);
+    Alcotest.(check bool) "differentiated per mark" false (Tag.equal a b)
+  | _ -> Alcotest.fail "expected two union-taint effects"
+
+let test_getrandom_and_sensor () =
+  let os = Os.create ~seed:1 () in
+  let m, records =
+    run_with_os os
+      (sys3 Os.sys_getrandom 0x60000 8 0
+      @ sys3 Os.sys_sensor_read 0x61000 8 0
+      @ [ Instr.Halt ])
+  in
+  Alcotest.(check int) "sensor r1" 8 (Machine.get_reg m 1);
+  let actions =
+    List.concat_map
+      (fun (r : Machine.exec_record) ->
+        List.filter_map
+          (function
+            | Machine.Sys_wrote_mem { source; _ } ->
+              Some (Os.source_tag os ~source)
+            | _ -> None)
+          r.Machine.sys_effects)
+      records
+  in
+  (match actions with
+  | [ Engine.Clear; Engine.Taint (tag, `Replace) ] ->
+    Alcotest.(check bool) "sensor tag" true
+      (Tag_type.equal (Tag.ty tag) Tag_type.Sensor);
+    Alcotest.(check bool) "matches os sensor tag" true
+      (Tag.equal tag (Os.sensor_tag os))
+  | _ -> Alcotest.fail "expected clear then sensor taint");
+  Alcotest.(check bool) "unknown source resolves to Clear" true
+    (Os.source_tag os ~source:424242 = Engine.Clear)
+
+let test_os_introspection () =
+  let os = Os.create ~seed:1 () in
+  let c1 = Os.open_connection os in
+  let _c2 = Os.open_connection os in
+  let f = Os.create_file os "x" in
+  let p = Os.spawn_process os ~base:0x10000 ~size:64 in
+  Alcotest.(check int) "two connections" 2 (List.length (Os.connections os));
+  (match Os.connections os with
+  | (1, tag) :: _ ->
+    Alcotest.(check bool) "tag matches" true (Tag.equal tag (Os.conn_tag c1))
+  | _ -> Alcotest.fail "connection 1 missing");
+  Alcotest.(check int) "one file" 1 (List.length (Os.files os));
+  (match Os.processes os with
+  | [ (pid, tag, base, size) ] ->
+    Alcotest.(check int) "pid" (Os.proc_id p) pid;
+    Alcotest.(check bool) "proc tag" true (Tag.equal tag (Os.proc_tag p));
+    Alcotest.(check int) "base" 0x10000 base;
+    Alcotest.(check int) "size" 64 size
+  | _ -> Alcotest.fail "expected one process");
+  ignore f;
+  Alcotest.(check string) "syscall name" "net_read"
+    (Os.syscall_name Os.sys_net_read);
+  Alcotest.(check string) "unknown syscall name" "unknown"
+    (Os.syscall_name 999)
+
+let test_exit_halts () =
+  let os = Os.create ~seed:1 () in
+  let m, _ =
+    run_with_os os
+      (sys3 Os.sys_exit 0 0 0 @ [ Instr.Li (4, 9); Instr.Halt ])
+  in
+  Alcotest.(check bool) "halted" true (Machine.halted m);
+  Alcotest.(check int) "li never ran" 0 (Machine.get_reg m 4)
+
+let () =
+  Alcotest.run "mitos_system"
+    [
+      ("layout", [ Alcotest.test_case "regions" `Quick test_layout_regions ]);
+      ( "network",
+        [
+          Alcotest.test_case "payload read" `Quick test_net_read_payload;
+          Alcotest.test_case "eof" `Quick test_net_read_eof;
+          Alcotest.test_case "deterministic stream" `Quick test_net_read_stream_deterministic;
+          Alcotest.test_case "source actions" `Quick test_source_actions;
+          Alcotest.test_case "tag per read" `Quick test_tag_per_read_mints_fresh_tags;
+          Alcotest.test_case "unknown conn" `Quick test_unknown_conn_faults;
+        ] );
+      ( "files",
+        [ Alcotest.test_case "read/write roundtrip" `Quick test_file_read_write_roundtrip ] );
+      ( "processes",
+        [
+          Alcotest.test_case "proc_read" `Quick test_proc_read;
+          Alcotest.test_case "proc_write remote injection" `Quick
+            test_proc_write_remote_injection;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "mark bounds" `Quick test_kernel_mark_bounds;
+          Alcotest.test_case "fresh export tags" `Quick test_kernel_mark_fresh_export_tags;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "getrandom/sensor" `Quick test_getrandom_and_sensor;
+          Alcotest.test_case "introspection" `Quick test_os_introspection;
+          Alcotest.test_case "exit" `Quick test_exit_halts;
+        ] );
+    ]

@@ -1,0 +1,427 @@
+open Mitos_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish msg = Alcotest.(check (float 1e-6)) msg
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* -- Rng ------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "0 <= x < 10" true (x >= 0 && x < 10)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 9 in
+  for _ = 1 to 500 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli r 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Rng.bernoulli r 0.0)
+  done
+
+let test_rng_geometric () =
+  let r = Rng.create 5 in
+  Alcotest.(check int) "p=1 -> 0" 0 (Rng.geometric r 1.0);
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "non-negative" true (Rng.geometric r 0.3 >= 0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams diverge" true (xa <> xb)
+
+let test_rng_pick () =
+  let r = Rng.create 11 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "picked member" true (Array.mem (Rng.pick r arr) arr)
+  done;
+  Alcotest.(check int) "pick_list singleton" 9 (Rng.pick_list r [ 9 ])
+
+let test_rng_bytes () =
+  let r = Rng.create 13 in
+  Alcotest.(check int) "length" 32 (Bytes.length (Rng.bytes r 32))
+
+let test_rng_weighted () =
+  let r = Rng.create 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check string) "all weight on b" "b"
+      (Rng.weighted r [ (0.0, "a"); (5.0, "b") ])
+  done;
+  Alcotest.check_raises "no positive weight"
+    (Invalid_argument "Rng.weighted: no positive weight") (fun () ->
+      ignore (Rng.weighted r [ (0.0, "a") ]))
+
+let qcheck_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, l) ->
+      let r = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle r arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+(* -- Stats ----------------------------------------------------------- *)
+
+let test_stats_mean_variance () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "variance" (2.0 /. 3.0) (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  check_float "mean empty" 0.0 (Stats.mean [||]);
+  check_float "variance single" 0.0 (Stats.variance [| 5.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 40.0 (Stats.percentile xs 100.0);
+  check_float "median interpolated" 25.0 (Stats.median xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 50.0))
+
+let test_stats_mse_pairwise () =
+  check_float "equal values" 0.0 (Stats.mse_pairwise [| 4.0; 4.0; 4.0 |]);
+  check_float "two values" 4.0 (Stats.mse_pairwise [| 1.0; 3.0 |]);
+  check_float "short" 0.0 (Stats.mse_pairwise [| 1.0 |])
+
+let test_stats_jain () =
+  check_float "balanced" 1.0 (Stats.jain_index [| 2.0; 2.0; 2.0 |]);
+  check_float "single flow dominates" 0.25
+    (Stats.jain_index [| 1.0; 0.0; 0.0; 0.0 |]);
+  check_float "empty convention" 1.0 (Stats.jain_index [||])
+
+let test_stats_entropy () =
+  check_floatish "uniform = log n" (log 4.0)
+    (Stats.entropy [| 1.0; 1.0; 1.0; 1.0 |]);
+  check_float "degenerate" 0.0 (Stats.entropy [| 5.0; 0.0 |]);
+  check_float "normalized uniform" 1.0
+    (Stats.entropy_normalized [| 3.0; 3.0; 3.0 |])
+
+let test_stats_gini () =
+  check_float "equal" 0.0 (Stats.gini [| 1.0; 1.0; 1.0 |]);
+  Alcotest.(check bool) "concentrated > 0.5" true
+    (Stats.gini [| 0.0; 0.0; 0.0; 10.0 |] > 0.5)
+
+let test_stats_online_matches_batch () =
+  let xs = [| 1.5; -2.0; 7.25; 0.0; 3.5 |] in
+  let o = Stats.Online.create () in
+  Array.iter (Stats.Online.add o) xs;
+  check_floatish "mean" (Stats.mean xs) (Stats.Online.mean o);
+  check_floatish "variance" (Stats.variance xs) (Stats.Online.variance o);
+  check_float "min" (-2.0) (Stats.Online.min o);
+  check_float "max" 7.25 (Stats.Online.max o);
+  Alcotest.(check int) "count" 5 (Stats.Online.count o)
+
+let test_stats_online_merge () =
+  let xs = [| 1.0; 2.0; 3.0 |] and ys = [| 10.0; 20.0 |] in
+  let a = Stats.Online.create () and b = Stats.Online.create () in
+  Array.iter (Stats.Online.add a) xs;
+  Array.iter (Stats.Online.add b) ys;
+  let m = Stats.Online.merge a b in
+  let all = Array.append xs ys in
+  check_floatish "merged mean" (Stats.mean all) (Stats.Online.mean m);
+  check_floatish "merged variance" (Stats.variance all)
+    (Stats.Online.variance m)
+
+let qcheck_jain_bounds =
+  QCheck.Test.make ~name:"jain index in (0,1]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.0))
+    (fun l ->
+      let j = Stats.jain_index (Array.of_list l) in
+      j > 0.0 && j <= 1.0 +. 1e-9)
+
+let qcheck_entropy_normalized_bounds =
+  QCheck.Test.make ~name:"normalized entropy in [0,1]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.0))
+    (fun l ->
+      let h = Stats.entropy_normalized (Array.of_list l) in
+      h >= -1e-9 && h <= 1.0 +. 1e-9)
+
+(* -- Codec ----------------------------------------------------------- *)
+
+let roundtrip encode decode v =
+  let enc = Codec.Enc.create () in
+  encode enc v;
+  let dec = Codec.Dec.of_string (Codec.Enc.contents enc) in
+  let v' = decode dec in
+  Codec.Dec.expect_end dec;
+  v'
+
+let test_codec_uint () =
+  List.iter
+    (fun n -> Alcotest.(check int) "uint roundtrip" n
+        (roundtrip Codec.Enc.uint Codec.Dec.uint n))
+    [ 0; 1; 127; 128; 300; 65535; 1 lsl 40 ];
+  Alcotest.check_raises "negative" (Invalid_argument "Codec.Enc.uint: negative")
+    (fun () -> Codec.Enc.uint (Codec.Enc.create ()) (-1))
+
+let test_codec_int_zigzag () =
+  List.iter
+    (fun n -> Alcotest.(check int) "int roundtrip" n
+        (roundtrip Codec.Enc.int Codec.Dec.int n))
+    [ 0; -1; 1; -64; 64; -100000; 100000 ];
+  (* zigzag keeps small negatives short *)
+  let enc = Codec.Enc.create () in
+  Codec.Enc.int enc (-1);
+  Alcotest.(check int) "-1 is one byte" 1 (Codec.Enc.length enc)
+
+let test_codec_float_string_bool () =
+  check_float "float" 3.14159 (roundtrip Codec.Enc.float Codec.Dec.float 3.14159);
+  Alcotest.(check bool) "nan" true
+    (Float.is_nan (roundtrip Codec.Enc.float Codec.Dec.float Float.nan));
+  Alcotest.(check string) "string" "hello\000world"
+    (roundtrip Codec.Enc.string Codec.Dec.string "hello\000world");
+  Alcotest.(check bool) "bool" true (roundtrip Codec.Enc.bool Codec.Dec.bool true)
+
+let test_codec_containers () =
+  let enc = Codec.Enc.create () in
+  Codec.Enc.list enc (Codec.Enc.uint enc) [ 1; 2; 3 ];
+  Codec.Enc.option enc (Codec.Enc.uint enc) (Some 9);
+  Codec.Enc.option enc (Codec.Enc.uint enc) None;
+  Codec.Enc.array enc (Codec.Enc.uint enc) [| 4; 5 |];
+  let dec = Codec.Dec.of_string (Codec.Enc.contents enc) in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.Dec.list dec Codec.Dec.uint);
+  Alcotest.(check (option int)) "some" (Some 9) (Codec.Dec.option dec Codec.Dec.uint);
+  Alcotest.(check (option int)) "none" None (Codec.Dec.option dec Codec.Dec.uint);
+  Alcotest.(check (array int)) "array" [| 4; 5 |] (Codec.Dec.array dec Codec.Dec.uint);
+  Codec.Dec.expect_end dec
+
+let test_codec_malformed () =
+  let truncated = Codec.Dec.of_string "\x80" in
+  Alcotest.(check bool) "truncated varint raises" true
+    (try ignore (Codec.Dec.uint truncated); false with Codec.Malformed _ -> true);
+  let enc = Codec.Enc.create () in
+  Codec.Enc.uint enc 1;
+  Codec.Enc.uint enc 2;
+  let dec = Codec.Dec.of_string (Codec.Enc.contents enc) in
+  ignore (Codec.Dec.uint dec);
+  Alcotest.(check bool) "trailing bytes raise" true
+    (try Codec.Dec.expect_end dec; false with Codec.Malformed _ -> true)
+
+let qcheck_codec_int_roundtrip =
+  QCheck.Test.make ~name:"codec int roundtrip" ~count:500 QCheck.int (fun n ->
+      (* zigzag uses one bit; stay within representable range *)
+      let n = n asr 1 in
+      roundtrip Codec.Enc.int Codec.Dec.int n = n)
+
+let qcheck_codec_string_roundtrip =
+  QCheck.Test.make ~name:"codec string roundtrip" ~count:200
+    QCheck.printable_string (fun s ->
+      roundtrip Codec.Enc.string Codec.Dec.string s = s)
+
+(* -- Table ----------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "name"; "value" ] () in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer-name" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (string_contains s "name");
+  Alcotest.(check bool) "contains cell" true
+    (string_contains s "longer-name")
+
+and test_table_too_many_cells () =
+  let t = Table.create ~header:[ "a" ] () in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_markdown () =
+  let t = Table.create ~header:[ "a"; "b" ] () in
+  Table.add_row t [ "1"; "2" ];
+  let md = Table.render_markdown t in
+  Alcotest.(check bool) "has separator" true
+    (string_contains md ":--");
+  Alcotest.(check int) "three lines" 3
+    (List.length (String.split_on_char '\n' (String.trim md)))
+
+let test_table_alignment_and_separator () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Center ]
+      ~header:[ "l"; "rrr"; "ccc" ] ()
+  in
+  Table.add_row t [ "a"; "1"; "x" ];
+  Table.add_separator t;
+  Table.add_float_row t "f" [ 2.5 ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' (String.trim rendered) in
+  (* box rules: top, header, post-header, separator, bottom *)
+  let rules =
+    List.length (List.filter (fun l -> String.length l > 0 && l.[0] = '+') lines)
+  in
+  Alcotest.(check int) "four rules with separator" 4 rules;
+  Alcotest.(check bool) "right-aligned cell padded left" true
+    (string_contains rendered "|   1 |");
+  Alcotest.(check bool) "centered cell" true (string_contains rendered "|  x  |");
+  Alcotest.(check bool) "float row formatted" true (string_contains rendered "2.5")
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* now they diverge in position *)
+  Alcotest.(check bool) "independent evolution" true
+    (Rng.bits64 a <> Rng.bits64 b || true)
+
+let test_rng_exponential () =
+  let r = Rng.create 9 in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "exponential non-negative" true
+      (Rng.exponential r 2.0 >= 0.0)
+  done;
+  Alcotest.(check bool) "bad rate" true
+    (try ignore (Rng.exponential r 0.0); false with Invalid_argument _ -> true)
+
+let test_timeseries_iter () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts 1.0 10.0;
+  Timeseries.add ts 2.0 20.0;
+  let acc = ref [] in
+  Timeseries.iter ts (fun t v -> acc := (t, v) :: !acc);
+  Alcotest.(check int) "visited all" 2 (List.length !acc)
+
+let test_table_formats () =
+  Alcotest.(check string) "times" "1.65x" (Table.fmt_times 1.65);
+  Alcotest.(check string) "pct" "40.0%" (Table.fmt_pct 0.4);
+  Alcotest.(check string) "int float" "12" (Table.fmt_float 12.0)
+
+(* -- Timeseries ------------------------------------------------------ *)
+
+let test_timeseries_basics () =
+  let ts = Timeseries.create ~name:"s" () in
+  Alcotest.(check int) "empty" 0 (Timeseries.length ts);
+  for i = 1 to 100 do
+    Timeseries.add ts (float_of_int i) (float_of_int (i * i))
+  done;
+  Alcotest.(check int) "length" 100 (Timeseries.length ts);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "last"
+    (Some (100.0, 10000.0)) (Timeseries.last ts);
+  Alcotest.(check string) "name" "s" (Timeseries.name ts)
+
+let test_timeseries_downsample () =
+  let ts = Timeseries.create () in
+  for i = 0 to 99 do
+    Timeseries.add ts (float_of_int i) 1.0
+  done;
+  Alcotest.(check int) "10 buckets" 10 (Array.length (Timeseries.downsample ts 10));
+  Alcotest.(check int) "more buckets than samples" 100
+    (Array.length (Timeseries.downsample ts 500));
+  Array.iter
+    (fun (_, v) -> check_float "bucket mean of ones" 1.0 v)
+    (Timeseries.downsample ts 7)
+
+let test_timeseries_window_mean () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts 0.0 10.0;
+  Timeseries.add ts 5.0 20.0;
+  Timeseries.add ts 10.0 30.0;
+  check_float "from 5" 25.0 (Timeseries.window_mean ts ~from_time:5.0);
+  check_float "empty window" 0.0 (Timeseries.window_mean ts ~from_time:99.0)
+
+let test_timeseries_sparkline () =
+  let ts = Timeseries.create () in
+  for i = 0 to 20 do
+    Timeseries.add ts (float_of_int i) (float_of_int i)
+  done;
+  Alcotest.(check bool) "non-empty" true
+    (String.length (Timeseries.sparkline ts 8) > 0);
+  Alcotest.(check string) "empty series" ""
+    (Timeseries.sparkline (Timeseries.create ()) 8)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mitos_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "bytes" `Quick test_rng_bytes;
+          Alcotest.test_case "weighted" `Quick test_rng_weighted;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          q qcheck_shuffle_is_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "mse pairwise" `Quick test_stats_mse_pairwise;
+          Alcotest.test_case "jain" `Quick test_stats_jain;
+          Alcotest.test_case "entropy" `Quick test_stats_entropy;
+          Alcotest.test_case "gini" `Quick test_stats_gini;
+          Alcotest.test_case "online batch" `Quick test_stats_online_matches_batch;
+          Alcotest.test_case "online merge" `Quick test_stats_online_merge;
+          q qcheck_jain_bounds;
+          q qcheck_entropy_normalized_bounds;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "uint" `Quick test_codec_uint;
+          Alcotest.test_case "int zigzag" `Quick test_codec_int_zigzag;
+          Alcotest.test_case "float/string/bool" `Quick test_codec_float_string_bool;
+          Alcotest.test_case "containers" `Quick test_codec_containers;
+          Alcotest.test_case "malformed" `Quick test_codec_malformed;
+          q qcheck_codec_int_roundtrip;
+          q qcheck_codec_string_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "markdown" `Quick test_table_markdown;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+          Alcotest.test_case "alignment/separator" `Quick
+            test_table_alignment_and_separator;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "basics" `Quick test_timeseries_basics;
+          Alcotest.test_case "downsample" `Quick test_timeseries_downsample;
+          Alcotest.test_case "window mean" `Quick test_timeseries_window_mean;
+          Alcotest.test_case "sparkline" `Quick test_timeseries_sparkline;
+          Alcotest.test_case "iter" `Quick test_timeseries_iter;
+        ] );
+    ]

@@ -1,0 +1,813 @@
+open Mitos_isa
+open Mitos_tag
+open Mitos_dift
+module W = Mitos_workload
+module Os = Mitos_system.Os
+module Rng = Mitos_util.Rng
+
+let run_machine b =
+  let m = W.Workload.machine_of b in
+  let steps = Machine.run m (fun _ -> ()) in
+  (m, steps)
+
+(* -- registry ------------------------------------------------------------ *)
+
+let test_registry_names_unique () =
+  let names = W.Registry.names in
+  Alcotest.(check int) "no duplicates"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "6 attack variants included" true
+    (List.length (List.filter (fun n -> String.length n > 7
+                                        && String.sub n 0 7 = "attack-") names)
+    = 6)
+
+let test_registry_find () =
+  let entry = W.Registry.find "netbench" in
+  Alcotest.(check string) "name" "netbench" entry.W.Registry.name;
+  Alcotest.(check bool) "unknown raises" true
+    (try ignore (W.Registry.find "nope"); false with Not_found -> true)
+
+let test_all_workloads_run_to_halt () =
+  List.iter
+    (fun name ->
+      let b = W.Registry.build name ~seed:21 in
+      let m = W.Workload.machine_of b in
+      let steps = Machine.run ~max_steps:2_000_000 m (fun _ -> ()) in
+      Alcotest.(check bool) (name ^ " halts") true (Machine.halted m);
+      Alcotest.(check bool) (name ^ " does work") true (steps > 5))
+    W.Registry.names
+
+(* -- lookup table (Fig. 1) ------------------------------------------------- *)
+
+let test_lookup_table_translation_correct () =
+  let input = "Taint Me" in
+  let b = W.Lookup_table.build ~input ~seed:4 () in
+  let m, _ = run_machine b in
+  let out = Bytes.to_string (Machine.read_bytes m W.Mem.buf_out (String.length input)) in
+  let expected = String.map (fun c -> Char.chr (Char.code c lxor 0x20)) input in
+  Alcotest.(check string) "table translation" expected out
+
+let test_lookup_table_taint_contrast () =
+  let count_out policy =
+    let b = W.Lookup_table.build ~seed:4 () in
+    let e = W.Workload.run_live ~policy b in
+    let shadow = Engine.shadow e in
+    let n = ref 0 in
+    for a = W.Mem.buf_out to W.Mem.buf_out + String.length W.Lookup_table.default_input - 1 do
+      if Shadow.is_tainted_addr shadow a then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "faros loses all output taint" 0
+    (count_out Policies.faros);
+  Alcotest.(check int) "propagate-all keeps all"
+    (String.length W.Lookup_table.default_input)
+    (count_out Policies.propagate_all)
+
+(* -- strings ----------------------------------------------------------------- *)
+
+let test_strings_strlen_and_tolower () =
+  let text = "Hello WORLD" in
+  let b = W.Strings.build ~text ~seed:4 () in
+  let m, _ = run_machine b in
+  Alcotest.(check int) "strlen" (String.length text)
+    (Machine.read_word m W.Mem.results);
+  let out = Bytes.to_string (Machine.read_bytes m W.Mem.buf_out (String.length text)) in
+  Alcotest.(check string) "tolower" (String.lowercase_ascii text) out;
+  let copied = Bytes.to_string (Machine.read_bytes m W.Mem.buf_aux (String.length text)) in
+  Alcotest.(check string) "strcpy" (String.lowercase_ascii text) copied
+
+(* -- compress ------------------------------------------------------------------ *)
+
+let test_compress_roundtrip () =
+  let input_len = 512 in
+  let b = W.Compress.build ~input_len ~seed:4 () in
+  let m, _ = run_machine b in
+  let original = Bytes.to_string (Machine.read_bytes m W.Mem.buf_in input_len) in
+  let out_end = Machine.read_word m W.Mem.results in
+  let compressed_len = out_end - W.Mem.buf_out in
+  Alcotest.(check bool) "even pair encoding" true (compressed_len mod 2 = 0);
+  (* decode the RLE stream and compare *)
+  let buf = Buffer.create input_len in
+  let pos = ref W.Mem.buf_out in
+  while !pos < out_end do
+    let count = Machine.read_byte m !pos in
+    let byte = Machine.read_byte m (!pos + 1) in
+    for _ = 1 to count do
+      Buffer.add_char buf (Char.chr byte)
+    done;
+    pos := !pos + 2
+  done;
+  Alcotest.(check string) "RLE roundtrip" original (Buffer.contents buf);
+  Alcotest.(check bool) "actually compresses runs" true
+    (compressed_len < input_len)
+
+(* -- crypto: independent RC4 model vs the machine -------------------------------- *)
+
+let rc4_reference key input =
+  let s = Array.init 256 Fun.id in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    j := (!j + s.(i) + Char.code key.[i land 7]) land 255;
+    let tmp = s.(i) in
+    s.(i) <- s.(!j);
+    s.(!j) <- tmp
+  done;
+  let i = ref 0 and j = ref 0 in
+  String.map
+    (fun c ->
+      i := (!i + 1) land 255;
+      j := (!j + s.(!i)) land 255;
+      let tmp = s.(!i) in
+      s.(!i) <- s.(!j);
+      s.(!j) <- tmp;
+      let k = s.((s.(!i) + s.(!j)) land 255) in
+      Char.chr (Char.code c lxor k))
+    input
+
+let test_crypto_matches_reference () =
+  let input_len = 256 in
+  let b = W.Crypto.build ~input_len ~seed:4 () in
+  let m, _ = run_machine b in
+  let key = Bytes.to_string (Machine.read_bytes m W.Mem.key 8) in
+  let input = Bytes.to_string (Machine.read_bytes m W.Mem.buf_in input_len) in
+  let out = Bytes.to_string (Machine.read_bytes m W.Mem.buf_out input_len) in
+  Alcotest.(check string) "machine RC4 = reference RC4"
+    (rc4_reference key input) out;
+  Alcotest.(check bool) "ciphertext differs from plaintext" true (out <> input)
+
+(* -- netbench --------------------------------------------------------------------- *)
+
+let test_netbench_tag_population () =
+  let b = W.Netbench.build ~seed:5 ~chunks:16 () in
+  let e = W.Workload.run_live ~policy:Policies.propagate_all b in
+  let stats = Engine.stats e in
+  Alcotest.(check bool) "many per-read network tags" true
+    (Tag_stats.distinct_of_type stats Tag_type.Network > 4);
+  Alcotest.(check bool) "export tags exist" true
+    (Tag_stats.distinct_of_type stats Tag_type.Export_table > 0);
+  Alcotest.(check bool) "file tags exist" true
+    (Tag_stats.distinct_of_type stats Tag_type.File > 0)
+
+(* -- attack ------------------------------------------------------------------------ *)
+
+let attack_payload seed =
+  (* replicate Attack.build's payload construction *)
+  let rng = Rng.create (seed + 101) in
+  String.init W.Attack.payload_len (fun _ -> Char.chr (Rng.int rng 256))
+
+let test_attack_dns_reassembly () =
+  let seed = 23 in
+  let b = W.Attack.build W.Attack.Reverse_tcp_rc4_dns ~seed () in
+  let m, _ = run_machine b in
+  let staged =
+    Bytes.to_string (Machine.read_bytes m W.Mem.buf_in W.Attack.payload_len)
+  in
+  Alcotest.(check string) "fragments reassembled in order"
+    (attack_payload seed) staged
+
+let test_attack_tcp_payload_reaches_kernel () =
+  let seed = 23 in
+  let b = W.Attack.build W.Attack.Reverse_tcp ~seed () in
+  let m, _ = run_machine b in
+  let addr, len = W.Attack.injected_region in
+  let injected = Bytes.to_string (Machine.read_bytes m addr len) in
+  Alcotest.(check string) "payload injected verbatim (tcp shell)"
+    (attack_payload seed) injected
+
+let test_attack_decode_changes_payload () =
+  let seed = 23 in
+  List.iter
+    (fun variant ->
+      let b = W.Attack.build variant ~seed () in
+      let m, _ = run_machine b in
+      let addr, len = W.Attack.injected_region in
+      let injected = Bytes.to_string (Machine.read_bytes m addr len) in
+      Alcotest.(check bool)
+        (W.Attack.variant_name variant ^ " decoder transforms payload")
+        true
+        (injected <> attack_payload seed))
+    [ W.Attack.Reverse_tcp_rc4; W.Attack.Reverse_https; W.Attack.Reverse_winhttps ]
+
+let detection ~policy ?config variant =
+  let b = W.Attack.build variant ~seed:23 () in
+  let e = W.Workload.run_live ?config ~policy b in
+  (Metrics.of_engine e).Metrics.detected_bytes
+
+let mitos_attack_policy () =
+  Mitos_experiments.Calib.mitos_all_flows Mitos_experiments.Calib.attack_params
+
+let test_attack_detection_ordering () =
+  List.iter
+    (fun variant ->
+      let faros = detection ~policy:Policies.faros variant in
+      let mitos =
+        detection ~policy:(mitos_attack_policy ())
+          ~config:Mitos_experiments.Calib.attack_engine_config variant
+      in
+      let all = detection ~policy:Policies.propagate_all variant in
+      Alcotest.(check bool)
+        (W.Attack.variant_name variant ^ ": faros <= mitos")
+        true (faros <= mitos);
+      Alcotest.(check bool)
+        (W.Attack.variant_name variant ^ ": mitos <= all (within noise)")
+        true
+        (mitos <= all + 8))
+    W.Attack.all_variants
+
+let test_attack_substitution_blinds_faros () =
+  Alcotest.(check int) "rc4 shell invisible to direct-only DIFT" 0
+    (detection ~policy:Policies.faros W.Attack.Reverse_tcp_rc4);
+  Alcotest.(check bool) "tcp shell fully visible" true
+    (detection ~policy:Policies.faros W.Attack.Reverse_tcp
+    >= W.Attack.payload_len);
+  let https = detection ~policy:Policies.faros W.Attack.Reverse_https in
+  Alcotest.(check bool) "https shell partially visible" true
+    (https > 0 && https < W.Attack.payload_len)
+
+let test_attack_variant_names () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "name roundtrip" true
+        (W.Attack.variant_of_name (W.Attack.variant_name v) = v))
+    W.Attack.all_variants;
+  Alcotest.(check bool) "unknown raises" true
+    (try ignore (W.Attack.variant_of_name "zzz"); false
+     with Invalid_argument _ -> true)
+
+(* -- codegen combinators --------------------------------------------------------------- *)
+
+let run_raw program =
+  let m = Machine.create ~mem_size:65536 program in
+  ignore (Machine.run m (fun _ -> ()));
+  m
+
+let test_codegen_while_lt () =
+  let cg = W.Codegen.create () in
+  let a = W.Codegen.asm cg in
+  Asm.li a 4 0;
+  Asm.li a 5 7;
+  Asm.li a 10 0;
+  W.Codegen.while_lt cg 4 5 (fun () ->
+      Asm.bini a Instr.Add 10 10 3;
+      Asm.bini a Instr.Add 4 4 1);
+  Asm.halt a;
+  let m = run_raw (W.Codegen.assemble cg) in
+  Alcotest.(check int) "7 iterations of +3" 21 (Machine.get_reg m 10);
+  Alcotest.(check int) "counter at bound" 7 (Machine.get_reg m 4)
+
+let test_codegen_while_lt_zero_iterations () =
+  let cg = W.Codegen.create () in
+  let a = W.Codegen.asm cg in
+  Asm.li a 4 5;
+  Asm.li a 5 5;
+  Asm.li a 10 0;
+  W.Codegen.while_lt cg 4 5 (fun () -> Asm.bini a Instr.Add 10 10 1);
+  Asm.halt a;
+  Alcotest.(check int) "bound not less: zero iterations" 0
+    (Machine.get_reg (run_raw (W.Codegen.assemble cg)) 10)
+
+let test_codegen_for_up () =
+  let cg = W.Codegen.create () in
+  let a = W.Codegen.asm cg in
+  Asm.li a 5 5;
+  Asm.li a 10 0;
+  W.Codegen.for_up cg 4 ~from:1 ~bound_reg:5 (fun () ->
+      Asm.bin a Instr.Add 10 10 4);
+  Asm.halt a;
+  (* 1 + 2 + 3 + 4 *)
+  Alcotest.(check int) "sum 1..4" 10 (Machine.get_reg (run_raw (W.Codegen.assemble cg)) 10)
+
+let test_codegen_if_else () =
+  let build cond_val =
+    let cg = W.Codegen.create () in
+    let a = W.Codegen.asm cg in
+    Asm.li a 4 cond_val;
+    Asm.li a 5 10;
+    W.Codegen.if_else cg Instr.Ltu 4 5
+      (fun () -> Asm.li a 10 111)
+      (fun () -> Asm.li a 10 222);
+    Asm.halt a;
+    Machine.get_reg (run_raw (W.Codegen.assemble cg)) 10
+  in
+  Alcotest.(check int) "then branch" 111 (build 3);
+  Alcotest.(check int) "else branch" 222 (build 50)
+
+let test_codegen_if_no_else () =
+  let build cond_val =
+    let cg = W.Codegen.create () in
+    let a = W.Codegen.asm cg in
+    Asm.li a 4 cond_val;
+    Asm.li a 5 10;
+    Asm.li a 10 7;
+    W.Codegen.if_ cg Instr.Eq 4 5 (fun () -> Asm.li a 10 99);
+    Asm.halt a;
+    Machine.get_reg (run_raw (W.Codegen.assemble cg)) 10
+  in
+  Alcotest.(check int) "taken" 99 (build 10);
+  Alcotest.(check int) "skipped" 7 (build 11)
+
+let test_codegen_memcpy_and_fill () =
+  let cg = W.Codegen.create () in
+  W.Codegen.fill_table_identity cg ~base:0x100 ~size:256 ~xor:0xA5;
+  W.Codegen.memcpy_bytes cg ~src:0x100 ~dst:0x900 ~len:256;
+  Asm.halt (W.Codegen.asm cg);
+  let m = run_raw (W.Codegen.assemble cg) in
+  for i = 0 to 255 do
+    Alcotest.(check int)
+      (Printf.sprintf "table[%d]" i)
+      (i lxor 0xA5)
+      (Machine.read_byte m (0x100 + i));
+    Alcotest.(check int)
+      (Printf.sprintf "copy[%d]" i)
+      (i lxor 0xA5)
+      (Machine.read_byte m (0x900 + i))
+  done
+
+(* -- metrics timeline ------------------------------------------------------------------- *)
+
+let test_metrics_timeline () =
+  let b = W.Netbench.build ~seed:25 ~chunks:8 () in
+  let engine = W.Workload.engine_of ~policy:Policies.propagate_all b in
+  let timeline = Metrics.attach_timeline ~sample_every:500 engine in
+  Engine.attach engine (W.Workload.machine_of b);
+  ignore (Engine.run engine);
+  let module TS = Mitos_util.Timeseries in
+  Alcotest.(check bool) "samples collected" true (TS.length timeline.Metrics.copies > 10);
+  (* copies grow (mostly) over time: last sample >= first *)
+  let v = TS.values timeline.Metrics.copies in
+  Alcotest.(check bool) "copies accumulate" true (v.(Array.length v - 1) >= v.(0));
+  Alcotest.(check int) "aligned series" (TS.length timeline.Metrics.copies)
+    (TS.length timeline.Metrics.tainted)
+
+(* -- protocol parser ------------------------------------------------------------------ *)
+
+let test_protocol_parses_correctly () =
+  let seed = 14 in
+  let b = W.Protocol.build ~seed () in
+  let m, _ = run_machine b in
+  let expected_out, expected_sum = W.Protocol.reference_parse (W.Protocol.message ~seed) in
+  let out =
+    Bytes.to_string (Machine.read_bytes m W.Mem.buf_out (String.length expected_out))
+  in
+  Alcotest.(check string) "machine output = reference parser" expected_out out;
+  Alcotest.(check int) "checksum" expected_sum (Machine.read_word m W.Mem.results)
+
+let test_protocol_ijump_flows () =
+  let b = W.Protocol.build ~seed:14 () in
+  let e = W.Workload.run_live ~policy:Policies.propagate_all b in
+  let c = Engine.counters e in
+  (* every record dispatch is a tainted indirect jump: scopes open *)
+  Alcotest.(check bool) "ijump scopes opened" true (c.Engine.ctrl_scopes_opened > 40);
+  (* the output derives from tainted dispatch: faros sees strictly less *)
+  let b2 = W.Protocol.build ~seed:14 () in
+  let e2 = W.Workload.run_live ~policy:Policies.faros b2 in
+  Alcotest.(check bool) "faros taints fewer bytes" true
+    ((Metrics.of_engine e2).Metrics.tainted_bytes
+    < (Metrics.of_engine e).Metrics.tainted_bytes)
+
+let test_protocol_history_timeline () =
+  let b = W.Protocol.build ~seed:14 () in
+  let engine = W.Workload.engine_of ~policy:Policies.propagate_all b in
+  Engine.record_history engine;
+  Engine.attach engine (W.Workload.machine_of b);
+  ignore (Engine.run engine);
+  (* the first output byte's history: taint arrived via a direct copy
+     (or translate addr-dep), traceable to a step *)
+  match Engine.taint_history engine W.Mem.buf_out with
+  | [] -> Alcotest.fail "expected a taint timeline on the output"
+  | first :: _ as arrivals ->
+    Alcotest.(check bool) "arrival has a step" true (first.Engine.arr_step > 0);
+    Alcotest.(check bool) "network provenance in the timeline" true
+      (List.exists
+         (fun a -> Tag_type.equal (Tag.ty a.Engine.arr_tag) Tag_type.Network)
+         arrivals);
+    List.iter
+      (fun a ->
+        Alcotest.(check bool) "via is labelled" true
+          (List.mem a.Engine.arr_via
+             [ "source"; "copy"; "compute"; "addr-dep"; "ctrl-dep"; "ijump" ]))
+      arrivals
+
+(* -- file server ----------------------------------------------------------------------- *)
+
+let test_fileserver_responses_match_reference () =
+  let seed = 33 and requests = 12 in
+  let b = W.Fileserver.build ~requests ~seed () in
+  let m, _ = run_machine b in
+  let expected = W.Fileserver.reference_responses ~seed ~requests in
+  let got =
+    Bytes.to_string
+      (Machine.read_bytes m W.Mem.buf_out (String.length expected))
+  in
+  Alcotest.(check string) "framed responses byte-exact" expected got
+
+let test_fileserver_sink_attribution () =
+  let b = W.Fileserver.build ~requests:12 ~seed:33 () in
+  let e = W.Workload.run_live ~policy:Policies.faros b in
+  (* the response connection is opened after the request one: id 2 *)
+  match Engine.sink_profile e with
+  | [ (2, attribution) ] ->
+    let file_rows =
+      List.filter
+        (fun (tag, _) -> Tag_type.equal (Tag.ty tag) Tag_type.File)
+        attribution
+    in
+    Alcotest.(check bool) "several documents attributed" true
+      (List.length file_rows >= 2);
+    List.iter
+      (fun (_, n) ->
+        Alcotest.(check bool) "each attributed document moved bytes" true
+          (n > 0))
+      file_rows
+  | other -> Alcotest.failf "expected 1 sink, got %d" (List.length other)
+
+(* -- provenance story (Fig. 2) ------------------------------------------------------- *)
+
+let test_provenance_accumulates_like_fig2 () =
+  let b = W.Provenance_story.build ~seed:2 () in
+  let e = W.Workload.run_live ~policy:Policies.faros b in
+  let shadow = Engine.shadow e in
+  let addr, len = W.Provenance_story.final_region in
+  for a = addr to addr + len - 1 do
+    let types =
+      List.map (fun tag -> Tag.ty tag) (Mitos_tag.Shadow.tags_of_addr shadow a)
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "byte %#x carries the Fig. 2 history in order" a)
+      [ "network"; "process"; "file" ]
+      (List.map Tag_type.to_string types)
+  done
+
+let test_provenance_snapshot_respects_write_time () =
+  (* taint captured at file-write time, not read time: content written
+     while clean must read back carrying only the file tag *)
+  let os = Mitos_system.Os.create ~seed:3 () in
+  let f = Mitos_system.Os.create_file os "" in
+  let cg = W.Codegen.create () in
+  W.Codegen.sys_getrandom cg ~dst:0x60000 ~len:8;
+  W.Codegen.sys_file_write cg ~file:(Mitos_system.Os.file_id f) ~src:0x60000
+    ~len:8;
+  W.Codegen.sys_file_read cg ~file:(Mitos_system.Os.file_id f) ~dst:0x61000
+    ~len:8;
+  W.Codegen.sys_exit cg;
+  let built =
+    {
+      W.Workload.name = "snapshot-test";
+      description = "";
+      program = W.Codegen.assemble cg;
+      os;
+    }
+  in
+  let e = W.Workload.run_live ~policy:Policies.faros built in
+  let shadow = Engine.shadow e in
+  let types =
+    List.map (fun t -> Tag_type.to_string (Tag.ty t))
+      (Mitos_tag.Shadow.tags_of_addr shadow 0x61000)
+  in
+  Alcotest.(check (list string)) "clean content gains only the file tag"
+    [ "file" ] types
+
+(* -- iot fusion ---------------------------------------------------------------------- *)
+
+let test_iot_fusion_sensor_taint () =
+  let b = W.Iot_fusion.build ~rounds:16 ~seed:9 () in
+  let e = W.Workload.run_live ~policy:Policies.propagate_all b in
+  let stats = Engine.stats e in
+  Alcotest.(check bool) "sensor tag live" true
+    (Tag_stats.per_type stats Tag_type.Sensor > 0);
+  (* the duty-cycle outputs come from table lookups indexed by fused
+     sensor data: sensor taint must reach buf_out under full IFP *)
+  let shadow = Engine.shadow e in
+  let out_with_sensor = ref 0 in
+  for a = W.Mem.buf_out to W.Mem.buf_out + 15 do
+    if Mitos_tag.Shadow.addr_has_type shadow a Tag_type.Sensor then
+      incr out_with_sensor
+  done;
+  Alcotest.(check int) "all duty cycles sensor-derived" 16 !out_with_sensor;
+  (* and is invisible there to a direct-flow-only DIFT *)
+  let b = W.Iot_fusion.build ~rounds:16 ~seed:9 () in
+  let e = W.Workload.run_live ~policy:Policies.faros b in
+  let shadow = Engine.shadow e in
+  let visible = ref 0 in
+  for a = W.Mem.buf_out to W.Mem.buf_out + 15 do
+    if Mitos_tag.Shadow.addr_has_type shadow a Tag_type.Sensor then
+      incr visible
+  done;
+  Alcotest.(check int) "faros sees none of it" 0 !visible
+
+(* -- exfil -------------------------------------------------------------------------- *)
+
+let test_exfil_attribution_ground_truth () =
+  let b = W.Exfil.build ~seed:19 () in
+  let e = W.Workload.run_live ~policy:Policies.propagate_all b in
+  let sink = W.Exfil.exfil_sink b in
+  let attribution = List.assoc sink (Engine.sink_profile e) in
+  let file_bytes =
+    List.fold_left
+      (fun acc (tag, n) ->
+        if Tag_type.equal (Tag.ty tag) Tag_type.File then acc + n else acc)
+      0 attribution
+  in
+  Alcotest.(check int) "all secret bytes attributed" W.Exfil.secret_len
+    file_bytes;
+  Alcotest.(check int) "everything outbound tainted"
+    (W.Exfil.secret_len + W.Exfil.benign_len)
+    (Engine.counters e).Engine.sink_tainted_bytes
+
+let test_exfil_invisible_to_faros () =
+  let b = W.Exfil.build ~seed:19 () in
+  let e = W.Workload.run_live ~policy:Policies.faros b in
+  let attribution =
+    Option.value ~default:[]
+      (List.assoc_opt (W.Exfil.exfil_sink b) (Engine.sink_profile e))
+  in
+  Alcotest.(check bool) "no file tag at sink" true
+    (List.for_all
+       (fun (tag, _) -> not (Tag_type.equal (Tag.ty tag) Tag_type.File))
+       attribution)
+
+(* -- adaptive policy ----------------------------------------------------------------- *)
+
+let test_adaptive_policy_steers_tau () =
+  let params = Mitos_experiments.Calib.sensitivity_params ~tau:1.0 () in
+  (* a generous budget: adaptation should lower tau from the blocking
+     regime and propagate more than the fixed-tau run *)
+  let controller =
+    Mitos.Adaptive.create ~gain:0.5 ~target_pollution:1e-5 params
+  in
+  let fixed =
+    W.Workload.run_live ~policy:(Policies.mitos params)
+      (W.Netbench.build ~seed:5 ~chunks:16 ())
+  in
+  let adaptive =
+    W.Workload.run_live
+      ~policy:(Policies.mitos_adaptive ~update_period:64 controller)
+      (W.Netbench.build ~seed:5 ~chunks:16 ())
+  in
+  Alcotest.(check bool) "controller actually adapted" true
+    (Mitos.Adaptive.observations controller > 0);
+  Alcotest.(check bool) "tau moved down" true (Mitos.Adaptive.tau controller < 1.0);
+  Alcotest.(check bool) "more propagation under budget headroom" true
+    ((Engine.counters adaptive).Engine.ifp_propagated
+    > (Engine.counters fixed).Engine.ifp_propagated)
+
+(* -- cross-policy and accounting invariants ---------------------------------------- *)
+
+module ISet = Set.Make (Int)
+
+let tainted_set engine =
+  let acc = ref ISet.empty in
+  Mitos_tag.Shadow.iter_tainted (Engine.shadow engine) (fun addr _ ->
+      acc := ISet.add addr !acc);
+  !acc
+
+let test_taint_set_monotonicity () =
+  (* an undertainting policy's tainted byte set is contained in the
+     overtainting endpoint's, for every workload *)
+  List.iter
+    (fun name ->
+      let run policy =
+        tainted_set
+          (W.Workload.run_live ~policy (W.Registry.build name ~seed:77))
+      in
+      let faros = run Policies.faros in
+      let minos = run Policies.minos_width in
+      let all = run Policies.propagate_all in
+      Alcotest.(check bool) (name ^ ": faros subset of all") true
+        (ISet.subset faros all);
+      Alcotest.(check bool) (name ^ ": minos subset of all") true
+        (ISet.subset minos all);
+      Alcotest.(check bool) (name ^ ": faros subset of minos") true
+        (ISet.subset faros minos))
+    [ "lookup-table"; "crypto"; "compress"; "hashing"; "strings" ]
+
+let recount_matches engine =
+  let shadow = Engine.shadow engine in
+  let recount = Mitos_tag.Tag_stats.create () in
+  Mitos_tag.Shadow.iter_tainted shadow (fun _ tags ->
+      List.iter (Mitos_tag.Tag_stats.incr recount) tags);
+  for r = 0 to Mitos_tag.Shadow.num_regs shadow - 1 do
+    List.iter
+      (Mitos_tag.Tag_stats.incr recount)
+      (Mitos_tag.Shadow.tags_of_reg shadow r)
+  done;
+  let stats = Engine.stats engine in
+  Mitos_tag.Tag_stats.total recount = Mitos_tag.Tag_stats.total stats
+  && Mitos_tag.Tag_stats.fold stats ~init:true ~f:(fun acc tag n ->
+         acc && Mitos_tag.Tag_stats.count recount tag = n)
+
+let test_invariants_hold_mid_run () =
+  (* fault injection: stop the engine at arbitrary points - the count
+     invariant must hold at every prefix, not just at halt *)
+  let b = W.Crypto.build ~input_len:256 ~seed:17 () in
+  let engine = W.Workload.engine_of ~policy:Policies.propagate_all b in
+  Engine.attach engine (W.Workload.machine_of b);
+  let rng = Rng.create 99 in
+  let continue_ = ref true in
+  while !continue_ do
+    let burst = 1 + Rng.int rng 2000 in
+    let executed = Engine.run ~max_steps:burst engine in
+    Alcotest.(check bool) "counts exact at interruption point" true
+      (recount_matches engine);
+    if executed < burst then continue_ := false
+  done
+
+let test_invariants_hold_on_partial_replay () =
+  (* a truncated trace (crash during replay) leaves consistent state *)
+  let b = W.Netbench.build ~seed:18 ~chunks:4 () in
+  let trace = W.Workload.record b in
+  let records = Mitos_replay.Trace.records trace in
+  let engine = W.Workload.engine_of ~policy:Policies.propagate_all b in
+  Engine.attach_shadow engine ~mem_size:(Mitos_replay.Trace.mem_size trace);
+  let half = Array.length records / 2 in
+  Array.iteri
+    (fun i r -> if i < half then Engine.process_record engine r)
+    records;
+  Alcotest.(check bool) "counts exact after partial replay" true
+    (recount_matches engine);
+  Alcotest.(check int) "exactly half processed" half
+    (Engine.counters engine).Engine.steps
+
+let test_shadow_backends_equivalent_on_workload () =
+  let run backend =
+    let config = { Engine.default_config with shadow_backend = backend } in
+    let e =
+      W.Workload.run_live ~config ~policy:Policies.propagate_all
+        (W.Crypto.build ~input_len:256 ~seed:41 ())
+    in
+    let s = Metrics.of_engine e in
+    (s.Metrics.total_copies, s.Metrics.tainted_bytes, s.Metrics.shadow_ops,
+     s.Metrics.footprint_bytes)
+  in
+  Alcotest.(check bool) "hashed = paged on a full run" true
+    (run Mitos_tag.Shadow.Hashed = run Mitos_tag.Shadow.Paged)
+
+let test_engine_counts_exact_after_workloads () =
+  (* the control vector n must exactly equal a ground-truth recount of
+     list memberships after a full tracked execution *)
+  List.iter
+    (fun name ->
+      let engine =
+        W.Workload.run_live ~policy:Policies.propagate_all
+          (W.Registry.build name ~seed:13)
+      in
+      let shadow = Engine.shadow engine in
+      let recount = Mitos_tag.Tag_stats.create () in
+      Mitos_tag.Shadow.iter_tainted shadow (fun _ tags ->
+          List.iter (Mitos_tag.Tag_stats.incr recount) tags);
+      (* registers hold taint too *)
+      for r = 0 to Mitos_tag.Shadow.num_regs shadow - 1 do
+        List.iter
+          (Mitos_tag.Tag_stats.incr recount)
+          (Mitos_tag.Shadow.tags_of_reg shadow r)
+      done;
+      let stats = Engine.stats engine in
+      Alcotest.(check int) (name ^ ": total copies exact")
+        (Mitos_tag.Tag_stats.total recount)
+        (Mitos_tag.Tag_stats.total stats);
+      Mitos_tag.Tag_stats.fold stats ~init:() ~f:(fun () tag n ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: count of %s" name (Tag.to_string tag))
+            (Mitos_tag.Tag_stats.count recount tag)
+            n))
+    [ "netbench"; "crypto"; "attack-reverse_https" ]
+
+(* -- cpubench / filebench --------------------------------------------------------- *)
+
+let test_cpubench_taints_results () =
+  let b = W.Cpubench.build ~iterations:2000 ~seed:6 () in
+  let e = W.Workload.run_live ~policy:Policies.faros b in
+  let shadow = Engine.shadow e in
+  (* the spilled state derives from the sensor seed by computation
+     only, so even a direct-flow DIFT keeps it tainted *)
+  Alcotest.(check bool) "spilled state tainted" true
+    (Shadow.is_tainted_addr shadow (W.Mem.results + 4))
+
+let test_hashing_layout_encodes_keys () =
+  let b = W.Hashing.build ~keys:64 ~seed:6 () in
+  (* under propagate-all the table region is tainted through the
+     store-address dependencies; under faros only the stored values
+     (direct) carry taint - both taint bytes, but the probe digest's
+     taint differs in *why*. Check the table got populated and that
+     addr-dep IFPs dominate. *)
+  let e = W.Workload.run_live ~policy:Policies.propagate_all b in
+  let c = Engine.counters e in
+  (* one address-dependency decision per inserted key *)
+  Alcotest.(check bool) "store addr-dep per key" true
+    (c.Engine.ifp_propagated >= 64);
+  let shadow = Engine.shadow e in
+  let tainted_slots = ref 0 in
+  for a = W.Mem.table to W.Mem.table + 255 do
+    if Mitos_tag.Shadow.is_tainted_addr shadow a then incr tainted_slots
+  done;
+  Alcotest.(check bool) "table slots tainted" true (!tainted_slots > 32)
+
+let test_filebench_roundtrip_through_files () =
+  let b = W.Filebench.build ~rounds:8 ~seed:6 () in
+  let e = W.Workload.run_live ~policy:Policies.faros b in
+  let stats = Engine.stats e in
+  Alcotest.(check bool) "multiple file tags live" true
+    (Tag_stats.distinct_of_type stats Tag_type.File >= 2)
+
+let () =
+  Alcotest.run "mitos_workload"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "unique names" `Quick test_registry_names_unique;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "all run to halt" `Slow test_all_workloads_run_to_halt;
+        ] );
+      ( "lookup-table",
+        [
+          Alcotest.test_case "translation" `Quick test_lookup_table_translation_correct;
+          Alcotest.test_case "taint contrast" `Quick test_lookup_table_taint_contrast;
+        ] );
+      ( "strings",
+        [ Alcotest.test_case "strlen/tolower/strcpy" `Quick test_strings_strlen_and_tolower ] );
+      ( "compress",
+        [ Alcotest.test_case "RLE roundtrip" `Quick test_compress_roundtrip ] );
+      ( "crypto",
+        [ Alcotest.test_case "RC4 reference" `Quick test_crypto_matches_reference ] );
+      ( "netbench",
+        [ Alcotest.test_case "tag population" `Quick test_netbench_tag_population ] );
+      ( "attack",
+        [
+          Alcotest.test_case "dns reassembly" `Quick test_attack_dns_reassembly;
+          Alcotest.test_case "tcp injection" `Quick test_attack_tcp_payload_reaches_kernel;
+          Alcotest.test_case "decoders transform" `Quick test_attack_decode_changes_payload;
+          Alcotest.test_case "detection ordering" `Slow test_attack_detection_ordering;
+          Alcotest.test_case "substitution blinds faros" `Quick test_attack_substitution_blinds_faros;
+          Alcotest.test_case "variant names" `Quick test_attack_variant_names;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "while_lt" `Quick test_codegen_while_lt;
+          Alcotest.test_case "while_lt zero iterations" `Quick
+            test_codegen_while_lt_zero_iterations;
+          Alcotest.test_case "for_up" `Quick test_codegen_for_up;
+          Alcotest.test_case "if_else" `Quick test_codegen_if_else;
+          Alcotest.test_case "if_" `Quick test_codegen_if_no_else;
+          Alcotest.test_case "memcpy/fill" `Quick test_codegen_memcpy_and_fill;
+        ] );
+      ( "metrics timeline",
+        [ Alcotest.test_case "sampling" `Quick test_metrics_timeline ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parses correctly" `Quick test_protocol_parses_correctly;
+          Alcotest.test_case "ijump flows" `Quick test_protocol_ijump_flows;
+          Alcotest.test_case "history timeline" `Quick test_protocol_history_timeline;
+        ] );
+      ( "fileserver",
+        [
+          Alcotest.test_case "responses match reference" `Quick
+            test_fileserver_responses_match_reference;
+          Alcotest.test_case "sink attribution" `Quick
+            test_fileserver_sink_attribution;
+        ] );
+      ( "provenance (Fig. 2)",
+        [
+          Alcotest.test_case "accumulation order" `Quick
+            test_provenance_accumulates_like_fig2;
+          Alcotest.test_case "snapshot at write time" `Quick
+            test_provenance_snapshot_respects_write_time;
+        ] );
+      ( "iot",
+        [
+          Alcotest.test_case "sensor taint flow" `Quick
+            test_iot_fusion_sensor_taint;
+        ] );
+      ( "exfil",
+        [
+          Alcotest.test_case "attribution ground truth" `Quick
+            test_exfil_attribution_ground_truth;
+          Alcotest.test_case "invisible to faros" `Quick
+            test_exfil_invisible_to_faros;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "policy steers tau" `Quick
+            test_adaptive_policy_steers_tau;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "taint-set monotonicity across policies" `Slow
+            test_taint_set_monotonicity;
+          Alcotest.test_case "copy counts exact after full runs" `Slow
+            test_engine_counts_exact_after_workloads;
+          Alcotest.test_case "shadow backends equivalent" `Quick
+            test_shadow_backends_equivalent_on_workload;
+          Alcotest.test_case "invariants hold mid-run" `Quick
+            test_invariants_hold_mid_run;
+          Alcotest.test_case "invariants hold on partial replay" `Quick
+            test_invariants_hold_on_partial_replay;
+        ] );
+      ( "other benches",
+        [
+          Alcotest.test_case "cpubench taint" `Quick test_cpubench_taints_results;
+          Alcotest.test_case "hashing layout" `Quick test_hashing_layout_encodes_keys;
+          Alcotest.test_case "filebench files" `Quick test_filebench_roundtrip_through_files;
+        ] );
+    ]
