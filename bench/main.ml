@@ -6,7 +6,8 @@
    Usage:
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- quick   -- experiments only
-     dune exec bench/main.exe -- micro   -- microbenchmarks only *)
+     dune exec bench/main.exe -- micro   -- microbenchmarks only
+     dune exec bench/main.exe -- obs     -- observability overhead only *)
 
 open Bechamel
 open Toolkit
@@ -21,6 +22,7 @@ let all_sections () =
     E.Fig3.run (); E.Fig7.run ~recorded (); E.Fig8.run ~recorded ();
     E.Fig9.run ~recorded (); E.Table2.run (); E.Latency.run ();
     E.Exfil_study.run (); E.Hw_model.run (); E.Validation.run ();
+    E.Obs_overhead.run ();
   ]
   @ E.Ablations.run_all ()
 
@@ -136,6 +138,18 @@ let bench_engine =
              ~mem_size:(Mitos_replay.Trace.mem_size trace);
            Array.iter (Mitos_dift.Engine.process_record engine) slice))
   in
+  let bench_instrumented name make_obs =
+    Test.make ~name:(Printf.sprintf "engine replay 1k records (%s)" name)
+      (Staged.stage (fun () ->
+           let engine =
+             Mitos_workload.Workload.engine_of
+               ~policy:Mitos_dift.Policies.propagate_all built
+           in
+           Mitos_dift.Engine.instrument engine (make_obs ());
+           Mitos_dift.Engine.attach_shadow engine
+             ~mem_size:(Mitos_replay.Trace.mem_size trace);
+           Array.iter (Mitos_dift.Engine.process_record engine) slice))
+  in
   [
     bench_policy "faros" Mitos_dift.Policies.faros;
     bench_policy "propagate-all" Mitos_dift.Policies.propagate_all;
@@ -143,6 +157,9 @@ let bench_engine =
       (Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()));
     bench_backend "hashed" Shadow.Hashed;
     bench_backend "paged" Shadow.Paged;
+    bench_instrumented "obs no-op sink" (fun () -> Mitos_obs.Obs.disabled);
+    bench_instrumented "obs enabled" (fun () ->
+        Mitos_obs.Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) ());
   ]
 
 let bench_solvers =
@@ -228,6 +245,7 @@ let () =
   (match mode with
   | "quick" -> run_experiments ()
   | "micro" -> run_micro ()
+  | "obs" -> E.Report.print (E.Obs_overhead.run ())
   | "report" ->
     write_markdown
       (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench_report.md")

@@ -99,6 +99,109 @@ let or_die = function
     prerr_endline ("mitos-cli: " ^ msg);
     exit 2
 
+(* -- observability ------------------------------------------------------ *)
+
+module Obs = Mitos_obs.Obs
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to $(docv) (load it \
+           in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write Prometheus text metrics of the run to $(docv).")
+
+let sample_every_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "sample-every" ] ~docv:"N"
+        ~doc:"Observability sampling period, in processed records.")
+
+let obs_clock_arg =
+  Arg.(
+    value
+    & opt string "logical"
+    & info [ "obs-clock" ] ~docv:"CLOCK"
+        ~doc:
+          "Observability clock: 'logical' (deterministic ticks; exports \
+           are byte-identical across runs with the same seed) or 'real' \
+           (wall-clock microseconds).")
+
+type obs_opts = {
+  trace_out : string option;
+  metrics_out : string option;
+  sample_every : int;
+  obs : Obs.t option;
+}
+
+(* An Obs context is created only when an export was asked for; it is
+   also routed into the core decision/solver probes for the duration
+   of the command. *)
+let setup_obs trace_out metrics_out sample_every clock_name =
+  if sample_every < 1 then
+    or_die (Error "--sample-every must be at least 1");
+  let obs =
+    if trace_out = None && metrics_out = None then None
+    else begin
+      let clock =
+        match clock_name with
+        | "logical" -> Mitos_obs.Obs_clock.logical ()
+        | "real" -> Mitos_obs.Obs_clock.real ()
+        | other ->
+          or_die
+            (Error
+               (Printf.sprintf "unknown --obs-clock %S (logical or real)"
+                  other))
+      in
+      let obs = Obs.create ~clock () in
+      Mitos.Decision.set_obs (Some obs);
+      Mitos.Solver.set_obs (Some obs);
+      Some obs
+    end
+  in
+  { trace_out; metrics_out; sample_every; obs }
+
+let obs_term =
+  Term.(
+    const setup_obs $ trace_out_arg $ metrics_out_arg $ sample_every_arg
+    $ obs_clock_arg)
+
+let instrument_engine opts engine =
+  match opts.obs with
+  | None -> ()
+  | Some obs ->
+    Engine.instrument ~sample_every:opts.sample_every engine obs;
+    Metrics.attach_sampler ~sample_every:opts.sample_every
+      ~registry:(Obs.registry obs) engine
+
+let finish_obs opts =
+  match opts.obs with
+  | None -> ()
+  | Some obs ->
+    Mitos.Decision.set_obs None;
+    Mitos.Solver.set_obs None;
+    let write what path contents =
+      try
+        Obs.write_file path contents;
+        Printf.printf "wrote %s to %s\n" what path
+      with Sys_error msg -> or_die (Error msg)
+    in
+    Option.iter
+      (fun path -> write "Chrome trace" path (Obs.chrome_trace_json obs))
+      opts.trace_out;
+    Option.iter
+      (fun path -> write "Prometheus metrics" path (Obs.prometheus obs))
+      opts.metrics_out
+
 (* -- list ---------------------------------------------------------------- *)
 
 let experiments =
@@ -141,21 +244,23 @@ let print_summary s =
   Printf.printf "wall time: %.3fs\n" s.Metrics.wall_seconds
 
 let run_cmd =
-  let run name policy_name seed tau alpha u_net u_export =
+  let run name policy_name seed tau alpha u_net u_export obs_opts =
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let policy, route_direct = or_die (resolve_policy policy_name params) in
     let built = or_die (build_workload name ~seed) in
     let engine =
       W.Workload.engine_of ~config:(engine_config ~route_direct) ~policy built
     in
+    instrument_engine obs_opts engine;
     Engine.attach engine (W.Workload.machine_of built);
-    print_summary (Metrics.measure_run engine)
+    print_summary (Metrics.measure_run engine);
+    finish_obs obs_opts
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a workload under a propagation policy.")
     Term.(
       const run $ workload_arg $ policy_arg $ seed_arg $ tau_arg $ alpha_arg
-      $ u_net_arg $ u_export_arg)
+      $ u_net_arg $ u_export_arg $ obs_term)
 
 (* -- experiment --------------------------------------------------------------- *)
 
@@ -218,18 +323,21 @@ let record_cmd =
     Term.(const run $ workload_arg $ file_arg $ seed_arg)
 
 let replay_cmd =
-  let run name file seed policy_name tau alpha u_net u_export =
+  let run name file seed policy_name tau alpha u_net u_export obs_opts =
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let policy, route_direct = or_die (resolve_policy policy_name params) in
     let built = or_die (build_workload name ~seed) in
     let trace = Mitos_replay.Trace.load file in
     let t0 = Unix.gettimeofday () in
     let engine =
-      W.Workload.replay ~config:(engine_config ~route_direct) ~policy built
+      W.Workload.replay
+        ~config:(engine_config ~route_direct)
+        ?obs:obs_opts.obs ~sample_every:obs_opts.sample_every ~policy built
         trace
     in
     print_summary
-      (Metrics.of_engine ~wall_seconds:(Unix.gettimeofday () -. t0) engine)
+      (Metrics.of_engine ~wall_seconds:(Unix.gettimeofday () -. t0) engine);
+    finish_obs obs_opts
   in
   Cmd.v
     (Cmd.info "replay"
@@ -238,7 +346,7 @@ let replay_cmd =
           must match the recording so taint sources resolve identically.")
     Term.(
       const run $ workload_arg $ file_arg $ seed_arg $ policy_arg $ tau_arg
-      $ alpha_arg $ u_net_arg $ u_export_arg)
+      $ alpha_arg $ u_net_arg $ u_export_arg $ obs_term)
 
 (* -- attack -------------------------------------------------------------------------- *)
 
@@ -627,6 +735,34 @@ let attack_cmd =
        ~doc:"Run the Table II in-memory-attack comparison (all six shells).")
     Term.(const run $ const ())
 
+let obs_bench_cmd =
+  let run records repetitions =
+    if records < 1 then or_die (Error "--records must be at least 1");
+    if repetitions < 1 then or_die (Error "--repetitions must be at least 1");
+    Mitos_experiments.(
+      Report.print (Obs_overhead.run ~records ~repetitions ()))
+  in
+  let records_arg =
+    Arg.(
+      value
+      & opt int 5_000
+      & info [ "records" ] ~docv:"N" ~doc:"Replayed records per repetition.")
+  in
+  let repetitions_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "repetitions" ] ~docv:"K"
+          ~doc:"Repetitions per mode (best wall time is reported).")
+  in
+  Cmd.v
+    (Cmd.info "obs-bench"
+       ~doc:
+         "Measure observability overhead on the engine-replay benchmark: \
+          un-instrumented baseline vs. the no-op sink vs. fully enabled \
+          tracing+metrics.")
+    Term.(const run $ records_arg $ repetitions_arg)
+
 let () =
   let info =
     Cmd.info "mitos-cli" ~version:"1.0.0"
@@ -639,4 +775,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
-            sites_cmd; litmus_cmd; asm_cmd; attack_cmd ]))
+            sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd ]))

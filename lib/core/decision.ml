@@ -6,6 +6,50 @@ let verdict_to_string = function Propagate -> "propagate" | Block -> "block"
 
 type env = { count : Tag.t -> int; pollution : float }
 
+(* -- observability probe -------------------------------------------- *)
+
+(* Resolved once in [set_obs]; the disabled path is one ref read and a
+   pointer compare per decision. *)
+type probe = {
+  obs : Mitos_obs.Obs.t;
+  alg1_latency : Mitos_obs.Histogram.t;
+  alg2_latency : Mitos_obs.Histogram.t;
+  alg2_candidates : Mitos_obs.Histogram.t;
+}
+
+let probe : probe option ref = ref None
+
+let set_obs = function
+  | None -> probe := None
+  | Some obs ->
+    if not (Mitos_obs.Obs.enabled obs) then probe := None
+    else begin
+      let module R = Mitos_obs.Registry in
+      let registry = Mitos_obs.Obs.registry obs in
+      probe :=
+        Some
+          {
+            obs;
+            alg1_latency =
+              R.histogram registry
+                ~help:"Alg. 1 single-tag decision latency in clock ticks"
+                "mitos_alg1_latency_ticks";
+            alg2_latency =
+              R.histogram registry
+                ~help:"Alg. 2 batch decision latency in clock ticks"
+                "mitos_alg2_latency_ticks";
+            alg2_candidates =
+              R.histogram registry
+                ~help:"candidate tags per Alg. 2 invocation"
+                "mitos_alg2_candidates";
+          }
+    end
+
+let timed pick_hist f =
+  match !probe with
+  | None -> f ()
+  | Some p -> Mitos_obs.Obs.time p.obs (pick_hist p) f
+
 let of_stats p stats =
   { count = Tag_stats.count stats; pollution = Cost.weighted_pollution p stats }
 
@@ -19,12 +63,20 @@ let submarginals p env tag =
   ( Cost.under_submarginal p ty ~n:(float_of_int (env.count tag)),
     Cost.over_submarginal p ty ~pollution:env.pollution )
 
-let alg1 p env tag = if marginal p env tag <= 0.0 then Propagate else Block
+let alg1 p env tag =
+  timed
+    (fun pr -> pr.alg1_latency)
+    (fun () -> if marginal p env tag <= 0.0 then Propagate else Block)
 
 type ranked = { tag : Tag.t; marginal : float; verdict : verdict }
 
 let run_alg2 ~recompute p env ~space candidates =
   if space < 0 then invalid_arg "Decision.alg2: negative space";
+  (match !probe with
+  | None -> ()
+  | Some pr ->
+    Mitos_obs.Histogram.observe pr.alg2_candidates
+      (float_of_int (List.length candidates)));
   (* Line 1-2: marginals for all candidates, sorted increasingly. *)
   let initial =
     List.map (fun tag -> (tag, marginal p env tag)) candidates
@@ -51,7 +103,10 @@ let run_alg2 ~recompute p env ~space candidates =
       else { tag; marginal = m; verdict = Block })
     initial
 
-let alg2 p env ~space candidates = run_alg2 ~recompute:true p env ~space candidates
+let alg2 p env ~space candidates =
+  timed
+    (fun pr -> pr.alg2_latency)
+    (fun () -> run_alg2 ~recompute:true p env ~space candidates)
 
 let alg2_accepted p env ~space candidates =
   alg2 p env ~space candidates
@@ -59,7 +114,9 @@ let alg2_accepted p env ~space candidates =
          match r.verdict with Propagate -> Some r.tag | Block -> None)
 
 let alg2_no_recompute p env ~space candidates =
-  run_alg2 ~recompute:false p env ~space candidates
+  timed
+    (fun pr -> pr.alg2_latency)
+    (fun () -> run_alg2 ~recompute:false p env ~space candidates)
 
 let alg2_paper p env ~space candidates =
   if space < 0 then invalid_arg "Decision.alg2_paper: negative space";

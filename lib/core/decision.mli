@@ -66,3 +66,20 @@ val alg2_paper : Params.t -> env -> space:int -> Tag.t list -> ranked list
     shifts all remaining candidates equally, preserving the order);
     with heterogeneous [o_t] the early break can block a later
     candidate that {!alg2} would still accept. *)
+
+(** {1 Profiling hooks}
+
+    Decision latency is the paper's O(1)-per-decision systems claim
+    (§IV-B); the probe lets a run validate it continuously. *)
+
+val set_obs : Mitos_obs.Obs.t option -> unit
+(** Route per-decision timing into an observability context: {!alg1}
+    and {!alg2}/{!alg2_no_recompute} latencies (clock ticks) land in
+    the [mitos_alg1_latency_ticks] / [mitos_alg2_latency_ticks]
+    histograms, and Alg. 2 batch sizes in [mitos_alg2_candidates].
+
+    The probe is module-global (decisions are made deep inside
+    policies, far from where the context is created); [None] — the
+    default — restores the zero-cost path. Passing a disabled context
+    is equivalent to [None]. Interleaving two instrumented runs
+    mingles their decision metrics; set and clear around a run. *)

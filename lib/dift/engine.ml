@@ -65,6 +65,19 @@ let fresh_counters () =
    static end is unknown (indirect jumps). *)
 type scope = { tags : Tag.t list; end_pc : int; expires_at_step : int }
 
+(* Resolved observability handles: built once in [instrument], so the
+   hot path updates instruments directly instead of looking them up by
+   name. [None] is the disabled path — a single pointer compare. *)
+type instruments = {
+  obs : Mitos_obs.Obs.t;
+  record_latency : Mitos_obs.Histogram.t;
+  records_total : Mitos_obs.Registry.counter;
+  ifp_prop : Mitos_obs.Registry.counter array;  (* per Tag_type.to_int *)
+  ifp_block : Mitos_obs.Registry.counter array;
+  shadow_ops_gauge : Mitos_obs.Registry.gauge;
+  scope_depth_gauge : Mitos_obs.Registry.gauge;
+}
+
 type alert = {
   alert_addr : int;
   alert_step : int;
@@ -93,6 +106,7 @@ type t = {
   snapshots : (int, Tag.t list array) Hashtbl.t;
   mutable history_on : bool;
   history : (int, arrival list ref) Hashtbl.t; (* newest first *)
+  mutable instruments : instruments option;
 }
 
 let create ?(config = default_config) ~policy ~source_tag prog =
@@ -116,6 +130,7 @@ let create ?(config = default_config) ~policy ~source_tag prog =
     snapshots = Hashtbl.create 8;
     history_on = false;
     history = Hashtbl.create 256;
+    instruments = None;
   }
 
 let attach_shadow t ~mem_size =
@@ -147,6 +162,64 @@ let policy t = t.policy
 let config t = t.config
 let active_scopes t = List.length t.scopes
 let on_record t f = t.record_hooks <- f :: t.record_hooks
+
+(* -- Observability -------------------------------------------------- *)
+
+let instrument ?(sample_every = 1024) t obs =
+  if sample_every < 1 then invalid_arg "Engine.instrument: sample_every";
+  if t.instruments <> None then
+    invalid_arg "Engine.instrument: engine already instrumented";
+  if Mitos_obs.Obs.enabled obs then begin
+    let module R = Mitos_obs.Registry in
+    let registry = Mitos_obs.Obs.registry obs in
+    let per_type verdict =
+      Array.init Tag_type.count (fun i ->
+          R.counter registry
+            ~help:"IFP decisions, per candidate tag type and verdict"
+            ~labels:
+              [
+                ("ty", Tag_type.to_string (Tag_type.of_int i));
+                ("verdict", verdict);
+              ]
+            "mitos_engine_ifp_decisions_total")
+    in
+    let ins =
+      {
+        obs;
+        record_latency =
+          R.histogram registry
+            ~help:"process_record latency in clock ticks"
+            ~lo:1.0 ~growth:2.0 ~buckets:32
+            "mitos_engine_record_latency_ticks";
+        records_total =
+          R.counter registry ~help:"execution records processed"
+            "mitos_engine_records_total";
+        ifp_prop = per_type "propagate";
+        ifp_block = per_type "block";
+        shadow_ops_gauge =
+          R.gauge registry ~help:"provenance-list writes so far"
+            "mitos_engine_shadow_ops";
+        scope_depth_gauge =
+          R.gauge registry ~help:"open control-dependency scopes"
+            "mitos_engine_scope_depth";
+      }
+    in
+    t.instruments <- Some ins;
+    (* System-level gauges and a trace counter track, sampled every
+       [sample_every] records through the ordinary hook mechanism. *)
+    let tracer = Mitos_obs.Obs.tracer obs in
+    let count = ref 0 in
+    on_record t (fun _record ->
+        incr count;
+        if !count mod sample_every = 0 then begin
+          let shadow_ops = float_of_int t.counters.shadow_ops in
+          let scope_depth = float_of_int (List.length t.scopes) in
+          R.set_gauge ins.shadow_ops_gauge shadow_ops;
+          R.set_gauge ins.scope_depth_gauge scope_depth;
+          Mitos_obs.Tracer.counter tracer "engine"
+            [ ("shadow_ops", shadow_ops); ("scope_depth", scope_depth) ]
+        end)
+  end
 
 (* -- Taint timelines ------------------------------------------------ *)
 
@@ -291,7 +364,8 @@ let count_ifp t ~candidates ~chosen =
   List.iter
     (fun tag ->
       let ti = Tag_type.to_int (Tag.ty tag) in
-      if Tag.Set.mem tag chosen_set then begin
+      let propagated = Tag.Set.mem tag chosen_set in
+      if propagated then begin
         t.counters.ifp_propagated <- t.counters.ifp_propagated + 1;
         incr site_prop;
         t.counters.per_type_propagated.(ti) <-
@@ -301,7 +375,12 @@ let count_ifp t ~candidates ~chosen =
         t.counters.ifp_blocked <- t.counters.ifp_blocked + 1;
         incr site_block;
         t.counters.per_type_blocked.(ti) <- t.counters.per_type_blocked.(ti) + 1
-      end)
+      end;
+      match t.instruments with
+      | None -> ()
+      | Some ins ->
+        Mitos_obs.Registry.incr
+          (if propagated then ins.ifp_prop.(ti) else ins.ifp_block.(ti)))
     candidates
 
 let site_profile t =
@@ -526,7 +605,7 @@ let apply_event t shadow ~width ~step (event : Extract.event) =
     Shadow.clear_reg shadow r;
     t.counters.shadow_ops <- t.counters.shadow_ops + 1
 
-let process_record t (r : Machine.exec_record) =
+let process_record_inner t (r : Machine.exec_record) =
   let shadow = the_shadow t in
   let step = r.step in
   t.current_step <- step;
@@ -548,6 +627,16 @@ let process_record t (r : Machine.exec_record) =
   end;
   t.counters.steps <- t.counters.steps + 1;
   List.iter (fun f -> f r) t.record_hooks
+
+let process_record t r =
+  match t.instruments with
+  | None -> process_record_inner t r
+  | Some ins ->
+    let t0 = Mitos_obs.Obs.now ins.obs in
+    process_record_inner t r;
+    Mitos_obs.Histogram.observe ins.record_latency
+      (float_of_int (Mitos_obs.Obs.now ins.obs - t0));
+    Mitos_obs.Registry.incr ins.records_total
 
 let step t =
   match t.machine with

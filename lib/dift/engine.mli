@@ -113,6 +113,24 @@ val on_record : t -> (Mitos_isa.Machine.exec_record -> unit) -> unit
 (** Register a callback invoked after each record is processed (used
     by the recorder and live metrics). *)
 
+val instrument : ?sample_every:int -> t -> Mitos_obs.Obs.t -> unit
+(** Wire the engine to an observability context:
+
+    - a per-record decision-latency histogram
+      ([mitos_engine_record_latency_ticks]) and record counter;
+    - IFP propagate/block counters per {!Mitos_tag.Tag_type}
+      ([mitos_engine_ifp_decisions_total{ty,verdict}]);
+    - shadow-op and scope-depth gauges plus an [engine] trace counter
+      track, sampled every [sample_every] records (default 1024) via
+      the {!on_record} mechanism. (Run-level quantities — tainted
+      bytes, copies, distinct tags — are the {!Metrics.attach_sampler}
+      layer's job.)
+
+    With a disabled context ({!Mitos_obs.Obs.disabled}) this installs
+    nothing — the engine keeps its zero-cost path (one pointer compare
+    per record). Call before running; raises [Invalid_argument] if the
+    engine is already instrumented or [sample_every < 1]. *)
+
 (** {1 Tag confluence (online detection)}
 
     The paper notes that a "tag confluence (when two or more tags come

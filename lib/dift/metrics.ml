@@ -78,8 +78,54 @@ type timeline = {
   distinct : Mitos_util.Timeseries.t;
 }
 
-let attach_timeline ?(sample_every = 1024) engine =
-  if sample_every < 1 then invalid_arg "Metrics.attach_timeline: sample_every";
+type sample = {
+  at_step : int;
+  sampled_copies : int;
+  sampled_tainted : int;
+  sampled_distinct : int;
+}
+
+(* The one sampling path for run-level quantities: every consumer — the
+   Timeseries-based timeline below, the CLI's --metrics-out gauges —
+   rides the same on_record hook instead of installing its own. *)
+let attach_sampler ?(sample_every = 1024) ?registry
+    ?(observe = fun (_ : sample) -> ()) engine =
+  if sample_every < 1 then invalid_arg "Metrics.attach_sampler: sample_every";
+  let gauges =
+    Option.map
+      (fun reg ->
+        let module R = Mitos_obs.Registry in
+        ( R.gauge reg ~help:"machine step at the last sample" "mitos_run_step",
+          R.gauge reg ~help:"total tag copies" "mitos_run_tag_copies",
+          R.gauge reg ~help:"tainted memory bytes" "mitos_run_tainted_bytes",
+          R.gauge reg ~help:"live distinct tags" "mitos_run_distinct_tags" ))
+      registry
+  in
+  let count = ref 0 in
+  Engine.on_record engine (fun record ->
+      incr count;
+      if !count mod sample_every = 0 then begin
+        let stats = Engine.stats engine in
+        let s =
+          {
+            at_step = record.Mitos_isa.Machine.step;
+            sampled_copies = Tag_stats.total stats;
+            sampled_tainted = Shadow.tainted_bytes (Engine.shadow engine);
+            sampled_distinct = Tag_stats.distinct stats;
+          }
+        in
+        (match gauges with
+        | Some (step_g, copies_g, tainted_g, distinct_g) ->
+          let module R = Mitos_obs.Registry in
+          R.set_gauge step_g (float_of_int s.at_step);
+          R.set_gauge copies_g (float_of_int s.sampled_copies);
+          R.set_gauge tainted_g (float_of_int s.sampled_tainted);
+          R.set_gauge distinct_g (float_of_int s.sampled_distinct)
+        | None -> ());
+        observe s
+      end)
+
+let attach_timeline ?sample_every engine =
   let timeline =
     {
       steps_series = Mitos_util.Timeseries.create ~name:"steps" ();
@@ -88,20 +134,15 @@ let attach_timeline ?(sample_every = 1024) engine =
       distinct = Mitos_util.Timeseries.create ~name:"distinct" ();
     }
   in
-  let count = ref 0 in
-  Engine.on_record engine (fun record ->
-      incr count;
-      if !count mod sample_every = 0 then begin
-        let step = float_of_int record.Mitos_isa.Machine.step in
-        let stats = Engine.stats engine in
-        Mitos_util.Timeseries.add timeline.steps_series step step;
-        Mitos_util.Timeseries.add timeline.copies step
-          (float_of_int (Tag_stats.total stats));
-        Mitos_util.Timeseries.add timeline.tainted step
-          (float_of_int (Shadow.tainted_bytes (Engine.shadow engine)));
-        Mitos_util.Timeseries.add timeline.distinct step
-          (float_of_int (Tag_stats.distinct stats))
-      end);
+  attach_sampler ?sample_every engine ~observe:(fun s ->
+      let step = float_of_int s.at_step in
+      Mitos_util.Timeseries.add timeline.steps_series step step;
+      Mitos_util.Timeseries.add timeline.copies step
+        (float_of_int s.sampled_copies);
+      Mitos_util.Timeseries.add timeline.tainted step
+        (float_of_int s.sampled_tainted);
+      Mitos_util.Timeseries.add timeline.distinct step
+        (float_of_int s.sampled_distinct));
   timeline
 
 let pp ppf s =

@@ -54,6 +54,27 @@ type timeline = {
   distinct : Mitos_util.Timeseries.t;  (** live distinct tags *)
 }
 
+(** One sampled observation of the run-level quantities. *)
+type sample = {
+  at_step : int;
+  sampled_copies : int;
+  sampled_tainted : int;
+  sampled_distinct : int;
+}
+
+val attach_sampler :
+  ?sample_every:int ->
+  ?registry:Mitos_obs.Registry.t ->
+  ?observe:(sample -> unit) ->
+  Engine.t ->
+  unit
+(** The single sampling path behind every live consumer: one
+    [on_record] hook fires every [sample_every] processed records
+    (default 1024), publishes the sample to the registry's
+    [mitos_run_*] gauges (when given) and to the [observe] callback.
+    Attach before running; raises [Invalid_argument] when
+    [sample_every < 1]. *)
+
 val attach_timeline : ?sample_every:int -> Engine.t -> timeline
-(** Register a sampling hook on the engine (default: every 1024
-    processed records). Attach before running. *)
+(** {!attach_sampler} feeding the four {!Mitos_util.Timeseries}
+    series. Attach before running. *)

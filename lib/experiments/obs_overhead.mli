@@ -1,0 +1,28 @@
+(** Instrumentation-overhead benchmark: the engine-replay workload of
+    the bench harness run three ways — un-instrumented baseline,
+    instrumented against the no-op sink ({!Mitos_obs.Obs.disabled}),
+    and fully enabled on the real clock — so the observability layer's
+    cost contract (no-op sink within 5% of baseline) is measurable,
+    not asserted. *)
+
+type result = {
+  records : int;  (** replayed records per repetition *)
+  repetitions : int;
+  baseline_s : float;  (** best wall time, un-instrumented *)
+  disabled_s : float;  (** best wall time, no-op sink *)
+  enabled_s : float;  (** best wall time, enabled (real clock) *)
+}
+
+val measure :
+  ?seed:int -> ?records:int -> ?repetitions:int -> unit -> result
+(** Defaults: seed 1, 5000 records, best of 10 repetitions (after one
+    warm-up) per mode. *)
+
+val disabled_overhead : result -> float
+(** [(disabled - baseline) / baseline]; the ≤ 0.05 contract. *)
+
+val enabled_overhead : result -> float
+
+val run :
+  ?seed:int -> ?records:int -> ?repetitions:int -> unit -> Report.section
+(** The report the bench harness and [mitos-cli obs-bench] print. *)

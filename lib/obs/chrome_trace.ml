@@ -1,0 +1,58 @@
+let json_string = Registry.json_string
+let fmt_value = Registry.fmt_value
+
+let args_obj args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) args)
+  ^ "}"
+
+let values_obj values =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           json_string k ^ ":"
+           ^ (if Float.is_nan v || Float.abs v = infinity then "0"
+              else fmt_value v))
+         values)
+  ^ "}"
+
+let event_json ~pid ~tid (ev : Tracer.event) =
+  let common ph ts = Printf.sprintf "\"ph\":%s,\"ts\":%d,\"pid\":%d,\"tid\":%d" (json_string ph) ts pid tid in
+  match ev with
+  | Tracer.Begin { name; ts; args } ->
+    let base = Printf.sprintf "{\"name\":%s,%s" (json_string name) (common "B" ts) in
+    if args = [] then base ^ "}"
+    else Printf.sprintf "%s,\"args\":%s}" base (args_obj args)
+  | Tracer.End { ts } -> Printf.sprintf "{%s}" (common "E" ts)
+  | Tracer.Instant { name; ts; args } ->
+    let base =
+      Printf.sprintf "{\"name\":%s,%s,\"s\":\"t\"" (json_string name)
+        (common "i" ts)
+    in
+    if args = [] then base ^ "}"
+    else Printf.sprintf "%s,\"args\":%s}" base (args_obj args)
+  | Tracer.Counter { name; ts; values } ->
+    Printf.sprintf "{\"name\":%s,%s,\"args\":%s}" (json_string name)
+      (common "C" ts) (values_obj values)
+
+let to_json ?(pid = 1) ?(tid = 1) tracer =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  Array.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (event_json ~pid ~tid ev))
+    (Tracer.events tracer);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let to_jsonl ?(pid = 1) ?(tid = 1) tracer =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun ev ->
+      Buffer.add_string buf (event_json ~pid ~tid ev);
+      Buffer.add_char buf '\n')
+    (Tracer.events tracer);
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Render a {!Tracer} buffer in the Chrome [trace_event] JSON format,
+    loadable in [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}.
+
+    Span begins/ends become ["B"]/["E"] phase events, instants ["i"],
+    counter samples ["C"] (drawn as stacked counter tracks). The [ts]
+    field carries the tracer clock's raw tick value: microseconds
+    under {!Obs_clock.real}, logical ticks under {!Obs_clock.logical}
+    (the viewer's time axis is then "clock reads", which is what makes
+    the export byte-deterministic).
+
+    Rendering is deterministic: fields are emitted in a fixed order
+    and numbers through one canonical formatter. Call
+    {!Tracer.finish} first so every span is closed. *)
+
+val to_json : ?pid:int -> ?tid:int -> Tracer.t -> string
+(** The standard wrapper object
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. [pid]/[tid]
+    default to 1. *)
+
+val to_jsonl : ?pid:int -> ?tid:int -> Tracer.t -> string
+(** One event object per line (no wrapper) — grep/jq-friendly, and
+    valid input for Perfetto's JSON importer, which accepts a bare
+    event array. *)

@@ -1,0 +1,121 @@
+type t = {
+  bounds : float array;  (* upper bounds of buckets 0..n-2; last is +inf *)
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(lo = 1.0) ?(growth = 2.0) ?(buckets = 32) () =
+  if lo <= 0.0 then invalid_arg "Histogram.create: lo must be positive";
+  if growth <= 1.0 then invalid_arg "Histogram.create: growth must exceed 1";
+  if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+  let bounds = Array.init (buckets - 1) (fun i -> lo *. (growth ** float_of_int i)) in
+  {
+    bounds;
+    counts = Array.make buckets 0;
+    total = 0;
+    sum = 0.0;
+    min_v = nan;
+    max_v = nan;
+  }
+
+let num_buckets t = Array.length t.counts
+
+(* Smallest bucket whose upper bound is >= v; the overflow bucket when
+   v exceeds every bound. *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  if n = 0 || v <= t.bounds.(0) then 0
+  else if v > t.bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: bounds(lo) < v <= bounds(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let observe t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if t.total = 1 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let count t = t.total
+let sum t = t.sum
+let min_value t = t.min_v
+let max_value t = t.max_v
+let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+
+let upper_bound t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.upper_bound: bucket out of range";
+  if i = Array.length t.bounds then infinity else t.bounds.(i)
+
+let bucket_count t i =
+  if i < 0 || i >= Array.length t.counts then
+    invalid_arg "Histogram.bucket_count: bucket out of range";
+  t.counts.(i)
+
+let buckets t = Array.mapi (fun i c -> (upper_bound t i, c)) t.counts
+
+let cumulative_buckets t =
+  let acc = ref 0 in
+  Array.mapi
+    (fun i c ->
+      acc := !acc + c;
+      (upper_bound t i, !acc))
+    t.counts
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+  if t.total = 0 then nan
+  else if q = 0.0 then t.min_v
+  else if q = 1.0 then t.max_v
+  else begin
+    let target = q *. float_of_int t.total in
+    let n = Array.length t.counts in
+    let rec find i cum =
+      if i >= n - 1 then n - 1
+      else begin
+        let cum' = cum + t.counts.(i) in
+        if float_of_int cum' >= target then i else find (i + 1) cum'
+      end
+    in
+    let i = find 0 0 in
+    let below = ref 0 in
+    for j = 0 to i - 1 do
+      below := !below + t.counts.(j)
+    done;
+    if i = n - 1 then t.max_v (* overflow bucket: no finite upper bound *)
+    else begin
+      let lo_bound = if i = 0 then Float.min 0.0 t.min_v else t.bounds.(i - 1) in
+      let hi_bound = t.bounds.(i) in
+      let in_bucket = t.counts.(i) in
+      let frac =
+        if in_bucket = 0 then 0.0
+        else (target -. float_of_int !below) /. float_of_int in_bucket
+      in
+      let est = lo_bound +. (frac *. (hi_bound -. lo_bound)) in
+      Float.min t.max_v (Float.max t.min_v est)
+    end
+  end
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.min_v <- nan;
+  t.max_v <- nan

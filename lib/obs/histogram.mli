@@ -1,0 +1,59 @@
+(** Log-bucketed histograms.
+
+    Bucket [i] (for [i < buckets - 1]) covers the half-open value range
+    [(ub(i-1), ub(i)]] with upper bound [ub(i) = lo * growth^i]; the
+    first bucket additionally absorbs everything [<= lo] and the last
+    bucket is the [+inf] overflow. Geometric bucketing keeps relative
+    error bounded across many orders of magnitude at a fixed, small
+    memory cost — the standard shape for latency distributions
+    (HdrHistogram, Prometheus). Observation is a binary search over the
+    precomputed bounds: O(log buckets), allocation-free, and fully
+    deterministic. *)
+
+type t
+
+val create : ?lo:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** Defaults: [lo = 1.0], [growth = 2.0], [buckets = 32]. Raises
+    [Invalid_argument] if [lo <= 0], [growth <= 1] or [buckets < 2]. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+(** Total observations. *)
+
+val sum : t -> float
+val min_value : t -> float
+(** Smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] when empty. *)
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val num_buckets : t -> int
+
+val bucket_index : t -> float -> int
+(** Bucket an observation of [v] would land in. *)
+
+val upper_bound : t -> int -> float
+(** Inclusive upper bound of bucket [i]; [infinity] for the last. *)
+
+val bucket_count : t -> int -> int
+(** Observations recorded in bucket [i]. *)
+
+val buckets : t -> (float * int) array
+(** [(upper_bound, count)] for every bucket, in order. *)
+
+val cumulative_buckets : t -> (float * int) array
+(** Like {!buckets} but with counts accumulated from below — the shape
+    Prometheus exposition wants. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) by
+    linear interpolation inside the bucket holding the target rank;
+    exact [min]/[max] are used at the extremes and to clamp the
+    estimate. [nan] when empty; raises [Invalid_argument] when [q] is
+    outside [0, 1]. *)
+
+val reset : t -> unit

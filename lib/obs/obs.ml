@@ -1,0 +1,60 @@
+type t = {
+  enabled : bool;
+  clock : Obs_clock.t;
+  tracer : Tracer.t;
+  registry : Registry.t;
+}
+
+let make ~enabled ~trace_capacity ~clock =
+  {
+    enabled;
+    clock;
+    tracer = Tracer.create ~capacity:trace_capacity ~clock ();
+    registry = Registry.create ();
+  }
+
+let disabled =
+  make ~enabled:false ~trace_capacity:1 ~clock:(Obs_clock.of_fun (fun () -> 0))
+
+let create ?(trace_capacity = 65536) ?clock () =
+  let clock =
+    match clock with Some c -> c | None -> Obs_clock.logical ()
+  in
+  make ~enabled:true ~trace_capacity ~clock
+
+let enabled t = t.enabled
+let clock t = t.clock
+let tracer t = t.tracer
+let registry t = t.registry
+let now t = Obs_clock.now t.clock
+
+let with_span t ?args name f =
+  if t.enabled then Tracer.with_span t.tracer ?args name f else f ()
+
+let time t hist f =
+  if t.enabled then begin
+    let t0 = now t in
+    Fun.protect
+      ~finally:(fun () -> Histogram.observe hist (float_of_int (now t - t0)))
+      f
+  end
+  else f ()
+
+let finish t = Tracer.finish t.tracer
+
+let chrome_trace_json t =
+  finish t;
+  Chrome_trace.to_json t.tracer
+
+let chrome_trace_jsonl t =
+  finish t;
+  Chrome_trace.to_jsonl t.tracer
+
+let prometheus t = Registry.to_prometheus t.registry
+let metrics_json t = Registry.to_json t.registry
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,62 @@
+(** The observability context: one value bundling a clock, a span
+    {!Tracer} and a metrics {!Registry}, threaded through the DIFT
+    pipeline (engine, core decisioning, replay driver, CLI).
+
+    The central contract is the *disabled path*: instrumentation sites
+    hold an [Obs.t] unconditionally and guard their work with
+    {!enabled} (a single immutable bool read) or keep resolved
+    instrument handles only when enabled. {!disabled} is the shared
+    no-op instance — code instrumented against it performs no clock
+    reads, no buffering and no metric updates, which is what keeps the
+    engine's replay hot path within the ≤5% disabled-overhead budget.
+
+    Enabled contexts default to the {!Obs_clock.logical} clock, so the
+    resulting trace and metrics exports are byte-deterministic for a
+    deterministic run; pass [clock:(Obs_clock.real ())] for wall-time
+    profiling. *)
+
+type t
+
+val disabled : t
+(** The no-op instance. {!enabled} is [false]; its tracer and registry
+    exist (so accessors total) but are never written to by guarded
+    instrumentation sites. *)
+
+val create :
+  ?trace_capacity:int -> ?clock:Obs_clock.t -> unit -> t
+(** An enabled context. [trace_capacity] bounds the tracer buffer
+    (default 65536 events); [clock] defaults to a fresh
+    {!Obs_clock.logical}. *)
+
+val enabled : t -> bool
+val clock : t -> Obs_clock.t
+val tracer : t -> Tracer.t
+val registry : t -> Registry.t
+
+val now : t -> int
+(** [Obs_clock.now (clock t)]. *)
+
+val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the function inside a tracer span when enabled; just runs it
+    when disabled. *)
+
+val time : t -> Histogram.t -> (unit -> 'a) -> 'a
+(** Runs the function and observes its duration (in clock ticks) into
+    the histogram when enabled; just runs it when disabled. *)
+
+val finish : t -> unit
+(** Close any open tracer spans (before exporting). *)
+
+val chrome_trace_json : t -> string
+(** {!Tracer.finish} + {!Chrome_trace.to_json}. *)
+
+val chrome_trace_jsonl : t -> string
+val prometheus : t -> string
+(** {!Registry.to_prometheus}. *)
+
+val metrics_json : t -> string
+(** {!Registry.to_json}. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — tiny helper shared by the CLI and
+    examples. *)

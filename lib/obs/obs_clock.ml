@@ -1,0 +1,15 @@
+type t = unit -> int
+
+let real () =
+  let t0 = Unix.gettimeofday () in
+  fun () -> int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+
+let logical ?(start = 0) () =
+  let next = ref start in
+  fun () ->
+    let v = !next in
+    incr next;
+    v
+
+let of_fun f = f
+let now t = t ()

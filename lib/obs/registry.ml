@@ -1,0 +1,229 @@
+type counter = int ref
+type gauge = float ref
+
+type kind =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of Histogram.t
+
+type metric = {
+  name : string;
+  labels : (string * string) list;  (* sorted by key *)
+  help : string;
+  kind : kind;
+}
+
+type t = { tbl : (string * (string * string) list, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let find_or_add t ~name ~labels ~help make =
+  let labels = norm_labels labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m.kind
+  | None ->
+    let kind = make () in
+    Hashtbl.add t.tbl key { name; labels; help; kind };
+    kind
+
+let wrong_kind name want got =
+  invalid_arg
+    (Printf.sprintf "Registry: %s already registered as a %s, wanted a %s"
+       name (kind_name got) want)
+
+let counter t ?(help = "") ?(labels = []) name =
+  match find_or_add t ~name ~labels ~help (fun () -> Counter (ref 0)) with
+  | Counter c -> c
+  | other -> wrong_kind name "counter" other
+
+let incr c = Stdlib.incr c
+let add c n = c := !c + n
+let counter_value c = !c
+
+let gauge t ?(help = "") ?(labels = []) name =
+  match find_or_add t ~name ~labels ~help (fun () -> Gauge (ref 0.0)) with
+  | Gauge g -> g
+  | other -> wrong_kind name "gauge" other
+
+let set_gauge g v = g := v
+let gauge_value g = !g
+
+let histogram t ?(help = "") ?(labels = []) ?lo ?growth ?buckets name =
+  match
+    find_or_add t ~name ~labels ~help (fun () ->
+        Hist (Histogram.create ?lo ?growth ?buckets ()))
+  with
+  | Hist h -> h
+  | other -> wrong_kind name "histogram" other
+
+(* -- rendering ------------------------------------------------------ *)
+
+let sorted_metrics t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match String.compare a.name b.name with
+         | 0 -> compare a.labels b.labels
+         | c -> c)
+
+(* Canonical number rendering: integers without a fractional part,
+   everything else through %.9g; non-finite values in Prometheus
+   spelling. Purely value-determined, so exposition is reproducible. *)
+let fmt_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels ?extra labels =
+  let labels = match extra with Some kv -> labels @ [ kv ] | None -> labels in
+  match labels with
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) kvs)
+    ^ "}"
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem seen_header m.name) then begin
+        Hashtbl.add seen_header m.name ();
+        if m.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.name (kind_name m.kind))
+      end;
+      match m.kind with
+      | Counter c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" m.name (render_labels m.labels) !c)
+      | Gauge g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+             (fmt_value !g))
+      | Hist h ->
+        Array.iter
+          (fun (ub, cum) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" m.name
+                 (render_labels ~extra:("le", fmt_value ub) m.labels)
+                 cum))
+          (Histogram.cumulative_buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels)
+             (fmt_value (Histogram.sum h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" m.name (render_labels m.labels)
+             (Histogram.count h)))
+    (sorted_metrics t);
+  Buffer.contents buf
+
+(* -- JSON ----------------------------------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_number v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then "null"
+  else fmt_value v
+
+let series_key m =
+  m.name ^ render_labels m.labels
+
+let to_json t =
+  let metrics = sorted_metrics t in
+  let of_kind want =
+    List.filter (fun m -> kind_name m.kind = want) metrics
+  in
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  let counters =
+    of_kind "counter"
+    |> List.map (fun m ->
+           match m.kind with
+           | Counter c ->
+             Printf.sprintf "%s:%d" (json_string (series_key m)) !c
+           | _ -> assert false)
+  in
+  let gauges =
+    of_kind "gauge"
+    |> List.map (fun m ->
+           match m.kind with
+           | Gauge g ->
+             Printf.sprintf "%s:%s" (json_string (series_key m))
+               (json_number !g)
+           | _ -> assert false)
+  in
+  let histograms =
+    of_kind "histogram"
+    |> List.map (fun m ->
+           match m.kind with
+           | Hist h ->
+             let buckets =
+               Histogram.buckets h |> Array.to_list
+               |> List.map (fun (ub, c) ->
+                      Printf.sprintf "[%s,%d]"
+                        (if ub = infinity then json_string "+Inf"
+                         else fmt_value ub)
+                        c)
+             in
+             Printf.sprintf "%s:%s"
+               (json_string (series_key m))
+               (obj
+                  [
+                    Printf.sprintf "\"count\":%d" (Histogram.count h);
+                    Printf.sprintf "\"sum\":%s"
+                      (json_number (Histogram.sum h));
+                    Printf.sprintf "\"min\":%s"
+                      (json_number (Histogram.min_value h));
+                    Printf.sprintf "\"max\":%s"
+                      (json_number (Histogram.max_value h));
+                    Printf.sprintf "\"buckets\":[%s]"
+                      (String.concat "," buckets);
+                  ])
+           | _ -> assert false)
+  in
+  obj
+    [
+      Printf.sprintf "\"counters\":%s" (obj counters);
+      Printf.sprintf "\"gauges\":%s" (obj gauges);
+      Printf.sprintf "\"histograms\":%s" (obj histograms);
+    ]

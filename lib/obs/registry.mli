@@ -1,0 +1,71 @@
+(** A metrics registry: named counters, gauges and log-bucketed
+    histograms with deterministic text exposition.
+
+    Instruments are get-or-create, keyed by [(name, labels)] — asking
+    twice for the same key returns the same instrument, so
+    instrumentation sites can resolve their handles eagerly (one hash
+    lookup at setup) and then update through the returned value with
+    no per-event lookup cost.
+
+    Exposition is deterministic: instruments are rendered sorted by
+    name then labels, floats are printed through one canonical
+    formatter, and nothing in the output depends on hash order or wall
+    time. Two runs that record the same values render byte-identical
+    Prometheus text and JSON — the property the determinism tests
+    assert. *)
+
+type t
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Raises [Invalid_argument] if the key exists as a different
+    instrument kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?lo:float ->
+  ?growth:float ->
+  ?buckets:int ->
+  string ->
+  Histogram.t
+(** The bucket layout arguments are honoured on creation and ignored
+    on later lookups of the same key. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format v0.0.4: [# HELP]/[# TYPE]
+    headers per metric family, [_bucket]/[_sum]/[_count] series with
+    cumulative [le] bounds for histograms. *)
+
+val to_json : t -> string
+(** One JSON object: [{"counters": {...}, "gauges": {...},
+    "histograms": {...}}], keys sorted, histogram objects carrying
+    count/sum/min/max/buckets. *)
+
+(** {1 Rendering helpers}
+
+    Shared with the other exporters so every emitted number and string
+    goes through one canonical formatter. *)
+
+val fmt_value : float -> string
+(** Integer-valued floats without a fractional part, otherwise
+    [%.9g]; non-finite values in Prometheus spelling ([NaN], [+Inf],
+    [-Inf]). *)
+
+val json_string : string -> string
+(** JSON-quoted and escaped. *)

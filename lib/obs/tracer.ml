@@ -1,0 +1,88 @@
+type event =
+  | Begin of { name : string; ts : int; args : (string * string) list }
+  | End of { ts : int }
+  | Instant of { name : string; ts : int; args : (string * string) list }
+  | Counter of { name : string; ts : int; values : (string * float) list }
+
+type t = {
+  clock : Obs_clock.t;
+  capacity : int;
+  mutable buf : event array;
+  mutable len : int;
+  mutable open_spans : bool list;  (* retained? — innermost first *)
+  mutable dropped : int;
+  mutable unmatched_ends : int;
+}
+
+let dummy = End { ts = 0 }
+
+let create ?(capacity = 65536) ~clock () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be positive";
+  {
+    clock;
+    capacity;
+    buf = Array.make (min capacity 1024) dummy;
+    len = 0;
+    open_spans = [];
+    dropped = 0;
+    unmatched_ends = 0;
+  }
+
+(* Unconditional append: used for events we are committed to keeping.
+   The array only ever grows to capacity + open-span depth, so memory
+   stays bounded. *)
+let append t ev =
+  if t.len = Array.length t.buf then begin
+    let buf = Array.make (max 8 (2 * t.len)) dummy in
+    Array.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end;
+  t.buf.(t.len) <- ev;
+  t.len <- t.len + 1
+
+(* Append subject to the capacity bound (keep-oldest). *)
+let push t ev =
+  if t.len < t.capacity then begin
+    append t ev;
+    true
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+
+let span_begin t ?(args = []) name =
+  let retained = push t (Begin { name; ts = Obs_clock.now t.clock; args }) in
+  t.open_spans <- retained :: t.open_spans
+
+let span_end t =
+  match t.open_spans with
+  | [] -> t.unmatched_ends <- t.unmatched_ends + 1
+  | retained :: rest ->
+    t.open_spans <- rest;
+    (* The matching Begin made it into the buffer, so its End must
+       too, even past capacity — exports stay well-nested. A span
+       whose Begin was dropped drops its End silently as well. *)
+    if retained then append t (End { ts = Obs_clock.now t.clock })
+
+let with_span t ?args name f =
+  span_begin t ?args name;
+  Fun.protect ~finally:(fun () -> span_end t) f
+
+let instant t ?(args = []) name =
+  ignore (push t (Instant { name; ts = Obs_clock.now t.clock; args }))
+
+let counter t name values =
+  ignore (push t (Counter { name; ts = Obs_clock.now t.clock; values }))
+
+let depth t = List.length t.open_spans
+
+let finish t =
+  while t.open_spans <> [] do
+    span_end t
+  done
+
+let events t = Array.sub t.buf 0 t.len
+let length t = t.len
+let dropped t = t.dropped
+let unmatched_ends t = t.unmatched_ends

@@ -1,0 +1,55 @@
+(** Span tracer: nestable begin/end spans, instants and counter
+    samples on a shared clock, buffered in bounded memory.
+
+    The buffer is bounded: once [capacity] events have been retained,
+    further events are *dropped* (and counted in {!dropped}) rather
+    than overwritten — bounded memory is the contract that lets
+    tracing stay enabled on million-step replays, and keep-oldest
+    makes the retained prefix deterministic. The one exception is the
+    {!span_end} of a span whose begin was retained: it is always
+    appended (memory overshoots capacity by at most the nesting
+    depth), so the event stream stays well-nested. A span whose begin
+    was dropped drops its end too.
+
+    Unbalanced usage is tolerated: an {!span_end} with no open span is
+    counted in {!unmatched_ends} and otherwise ignored; spans still
+    open at {!finish} are closed in LIFO order at the then-current
+    tick. Exporters (see {!Chrome_trace}) therefore always see a
+    well-nested event stream. *)
+
+type event =
+  | Begin of { name : string; ts : int; args : (string * string) list }
+  | End of { ts : int }
+  | Instant of { name : string; ts : int; args : (string * string) list }
+  | Counter of { name : string; ts : int; values : (string * float) list }
+
+type t
+
+val create : ?capacity:int -> clock:Obs_clock.t -> unit -> t
+(** Default capacity: 65536 events. Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val span_begin : t -> ?args:(string * string) list -> string -> unit
+val span_end : t -> unit
+
+val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Ends the span even if the function raises. *)
+
+val instant : t -> ?args:(string * string) list -> string -> unit
+
+val counter : t -> string -> (string * float) list -> unit
+(** Record a named set of counter values at the current tick (rendered
+    as a stacked counter track by trace viewers). *)
+
+val depth : t -> int
+(** Currently open spans. *)
+
+val finish : t -> unit
+(** Close every open span. Idempotent; call before exporting. *)
+
+val events : t -> event array
+(** Retained events, oldest first. *)
+
+val length : t -> int
+val dropped : t -> int
+val unmatched_ends : t -> int

@@ -1,0 +1,57 @@
+module Obs = Mitos_obs.Obs
+module Tracer = Mitos_obs.Tracer
+module Registry = Mitos_obs.Registry
+
+let plain trace ~f =
+  Trace.iter trace f;
+  Trace.length trace
+
+let instrumented obs ~chunk trace ~f =
+  let registry = Obs.registry obs in
+  let tracer = Obs.tracer obs in
+  let records_total =
+    Registry.counter registry ~help:"records replayed"
+      "mitos_replay_records_total"
+  in
+  let elapsed_gauge =
+    Registry.gauge registry ~help:"replay loop duration in clock ticks"
+      "mitos_replay_elapsed_ticks"
+  in
+  let throughput_gauge =
+    Registry.gauge registry
+      ~help:
+        "records per second (real clock) or per million ticks (logical \
+         clock)"
+      "mitos_replay_records_per_sec"
+  in
+  let records = Trace.records trace in
+  let n = Array.length records in
+  let t0 = Obs.now obs in
+  Tracer.span_begin tracer
+    ~args:[ ("records", string_of_int n) ]
+    "replay";
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + chunk) in
+    Tracer.span_begin tracer
+      ~args:[ ("first", string_of_int !i) ]
+      "replay.chunk";
+    while !i < stop do
+      f records.(!i);
+      incr i
+    done;
+    Tracer.span_end tracer
+  done;
+  Tracer.span_end tracer;
+  let elapsed = Obs.now obs - t0 in
+  Registry.add records_total n;
+  Registry.set_gauge elapsed_gauge (float_of_int elapsed);
+  Registry.set_gauge throughput_gauge
+    (if elapsed = 0 then 0.0
+     else float_of_int n /. (float_of_int elapsed /. 1e6));
+  n
+
+let run ?(obs = Obs.disabled) ?(chunk = 8192) trace ~f =
+  if chunk < 1 then invalid_arg "Driver.run: chunk must be positive";
+  if Obs.enabled obs then instrumented obs ~chunk trace ~f
+  else plain trace ~f

@@ -1,0 +1,27 @@
+(** The instrumented replay loop.
+
+    [run] feeds every record of a trace to a consumer (typically
+    [Engine.process_record]) exactly like [Trace.iter], but threads an
+    observability context through the loop: the whole replay becomes a
+    [replay] tracer span with one nested span per [chunk] records, and
+    the registry receives record totals, elapsed ticks and a
+    throughput gauge. With a disabled context the loop degenerates to
+    a plain iteration — no clock reads, no per-record overhead. *)
+
+val run :
+  ?obs:Mitos_obs.Obs.t ->
+  ?chunk:int ->
+  Trace.t ->
+  f:(Mitos_isa.Machine.exec_record -> unit) ->
+  int
+(** [run ?obs ?chunk trace ~f] applies [f] to every record in order
+    and returns the number of records replayed. [chunk] (default 8192,
+    must be positive) is the granularity of the nested [replay.chunk]
+    spans and of the throughput samples.
+
+    Registry series (when [obs] is enabled):
+    - [mitos_replay_records_total] — records replayed;
+    - [mitos_replay_elapsed_ticks] — clock ticks for the whole loop;
+    - [mitos_replay_records_per_sec] — records per second under the
+      real clock; under the logical clock the same formula yields
+      records per million ticks (documented, deterministic). *)

@@ -23,11 +23,14 @@ val engine_of : ?config:Engine.config -> policy:Policy.t -> built -> Engine.t
 val run_live :
   ?config:Engine.config ->
   ?max_steps:int ->
+  ?obs:Mitos_obs.Obs.t ->
+  ?sample_every:int ->
   policy:Policy.t ->
   built ->
   Engine.t
 (** Execute the workload under the policy, returning the finished
-    engine. *)
+    engine. [obs] instruments the engine (see {!Engine.instrument});
+    [sample_every] is its sampling period. *)
 
 val record : ?max_steps:int -> built -> Mitos_replay.Trace.t
 (** Record an execution trace (the PANDA step). The workload's OS
@@ -37,6 +40,8 @@ val record : ?max_steps:int -> built -> Mitos_replay.Trace.t
 
 val replay :
   ?config:Engine.config ->
+  ?obs:Mitos_obs.Obs.t ->
+  ?sample_every:int ->
   policy:Policy.t ->
   built ->
   Mitos_replay.Trace.t ->
@@ -44,4 +49,6 @@ val replay :
 (** Replay a recorded trace under a policy. Taint sources resolve
     through the table embedded in the trace (falling back to the given
     workload's live OS for traces recorded before that table
-    existed). *)
+    existed). The record loop goes through {!Mitos_replay.Driver.run},
+    so with [obs] the run additionally produces replay spans and
+    throughput metrics on top of the engine instrumentation. *)

@@ -1,0 +1,486 @@
+open Mitos_obs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* -- Obs_clock ------------------------------------------------------ *)
+
+let test_logical_clock () =
+  let c = Obs_clock.logical () in
+  Alcotest.(check int) "starts at 0" 0 (Obs_clock.now c);
+  Alcotest.(check int) "advances by one" 1 (Obs_clock.now c);
+  Alcotest.(check int) "again" 2 (Obs_clock.now c);
+  let c = Obs_clock.logical ~start:100 () in
+  Alcotest.(check int) "custom start" 100 (Obs_clock.now c)
+
+let test_of_fun_clock () =
+  let source = ref 7 in
+  let c = Obs_clock.of_fun (fun () -> !source) in
+  Alcotest.(check int) "reads source" 7 (Obs_clock.now c);
+  source := 42;
+  Alcotest.(check int) "tracks source" 42 (Obs_clock.now c)
+
+let test_real_clock_monotone () =
+  let c = Obs_clock.real () in
+  let a = Obs_clock.now c in
+  let b = Obs_clock.now c in
+  Alcotest.(check bool) "non-negative" true (a >= 0);
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+(* -- Histogram ------------------------------------------------------ *)
+
+let test_histogram_bucket_boundaries () =
+  (* lo=1, growth=2, 5 buckets: bounds 1, 2, 4, 8, +inf.
+     Bucket i covers (ub(i-1), ub(i)]; bucket 0 also absorbs <= 1. *)
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:5 () in
+  Alcotest.(check int) "num buckets" 5 (Histogram.num_buckets h);
+  check_float "ub 0" 1.0 (Histogram.upper_bound h 0);
+  check_float "ub 1" 2.0 (Histogram.upper_bound h 1);
+  check_float "ub 2" 4.0 (Histogram.upper_bound h 2);
+  check_float "ub 3" 8.0 (Histogram.upper_bound h 3);
+  Alcotest.(check bool) "last is +inf" true
+    (Histogram.upper_bound h 4 = infinity);
+  let idx = Histogram.bucket_index h in
+  Alcotest.(check int) "0.5 -> 0" 0 (idx 0.5);
+  Alcotest.(check int) "1.0 -> 0 (inclusive ub)" 0 (idx 1.0);
+  Alcotest.(check int) "1.5 -> 1" 1 (idx 1.5);
+  Alcotest.(check int) "2.0 -> 1 (inclusive ub)" 1 (idx 2.0);
+  Alcotest.(check int) "2.0001 -> 2" 2 (idx 2.0001);
+  Alcotest.(check int) "4.0 -> 2" 2 (idx 4.0);
+  Alcotest.(check int) "8.0 -> 3" 3 (idx 8.0);
+  Alcotest.(check int) "9.0 -> overflow" 4 (idx 9.0);
+  Alcotest.(check int) "1e12 -> overflow" 4 (idx 1e12)
+
+let test_histogram_observe_counts () =
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:4 () in
+  List.iter (Histogram.observe h) [ 0.5; 1.0; 3.0; 3.5; 100.0 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  check_float "sum" 108.0 (Histogram.sum h);
+  check_float "min" 0.5 (Histogram.min_value h);
+  check_float "max" 100.0 (Histogram.max_value h);
+  check_float "mean" 21.6 (Histogram.mean h);
+  Alcotest.(check int) "bucket 0" 2 (Histogram.bucket_count h 0);
+  Alcotest.(check int) "bucket 1" 0 (Histogram.bucket_count h 1);
+  Alcotest.(check int) "bucket 2" 2 (Histogram.bucket_count h 2);
+  Alcotest.(check int) "overflow" 1 (Histogram.bucket_count h 3);
+  let cum = Histogram.cumulative_buckets h in
+  Alcotest.(check (list int)) "cumulative"
+    [ 2; 2; 4; 5 ]
+    (Array.to_list (Array.map snd cum))
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count 0" 0 (Histogram.count h);
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Histogram.min_value h));
+  Alcotest.(check bool) "max nan" true (Float.is_nan (Histogram.max_value h));
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Histogram.mean h));
+  Alcotest.(check bool) "quantile nan" true (Float.is_nan (Histogram.quantile h 0.5))
+
+let test_histogram_quantiles () =
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:10 () in
+  (* 100 observations of 1..100 *)
+  for i = 1 to 100 do
+    Histogram.observe h (float_of_int i)
+  done;
+  check_float "q0 is exact min" 1.0 (Histogram.quantile h 0.0);
+  check_float "q1 is exact max" 100.0 (Histogram.quantile h 1.0);
+  (* the estimate should be within the bucket that holds the true
+     quantile: median 50 lives in bucket (32, 64] *)
+  let q50 = Histogram.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median in (32, 64], got %g" q50)
+    true
+    (q50 > 32.0 && q50 <= 64.0);
+  let q90 = Histogram.quantile h 0.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p90 in (64, 100], got %g" q90)
+    true
+    (q90 > 64.0 && q90 <= 100.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Histogram.quantile: q outside [0,1]") (fun () ->
+      ignore (Histogram.quantile h 1.5))
+
+let test_histogram_quantile_clamps () =
+  (* All mass in one bucket: interpolation must clamp to [min, max]. *)
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:8 () in
+  List.iter (Histogram.observe h) [ 5.0; 5.0; 5.0; 5.0 ];
+  let q = Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "clamped to observed range" true (q = 5.0)
+
+let test_histogram_reset () =
+  let h = Histogram.create () in
+  Histogram.observe h 3.0;
+  Histogram.reset h;
+  Alcotest.(check int) "count 0 after reset" 0 (Histogram.count h);
+  check_float "sum 0 after reset" 0.0 (Histogram.sum h)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "lo <= 0"
+    (Invalid_argument "Histogram.create: lo must be positive") (fun () ->
+      ignore (Histogram.create ~lo:0.0 ()));
+  Alcotest.check_raises "growth <= 1"
+    (Invalid_argument "Histogram.create: growth must exceed 1") (fun () ->
+      ignore (Histogram.create ~growth:1.0 ()));
+  Alcotest.check_raises "buckets < 2"
+    (Invalid_argument "Histogram.create: need at least 2 buckets") (fun () ->
+      ignore (Histogram.create ~buckets:1 ()))
+
+(* -- Registry ------------------------------------------------------- *)
+
+let test_registry_get_or_create () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r "requests" in
+  let c2 = Registry.counter r "requests" in
+  Registry.incr c1;
+  Registry.add c2 2;
+  Alcotest.(check int) "same instrument" 3 (Registry.counter_value c1);
+  let g = Registry.gauge r "depth" in
+  Registry.set_gauge g 4.5;
+  check_float "gauge" 4.5 (Registry.gauge_value (Registry.gauge r "depth"));
+  (* distinct labels -> distinct instruments *)
+  let a = Registry.counter r ~labels:[ ("ty", "net") ] "ifp" in
+  let b = Registry.counter r ~labels:[ ("ty", "file") ] "ifp" in
+  Registry.incr a;
+  Alcotest.(check int) "label isolation" 0 (Registry.counter_value b)
+
+let test_registry_kind_mismatch () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "x");
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       ignore (Registry.gauge r "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_prometheus_rendering () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"Total records." "mitos_records_total" in
+  Registry.add c 42;
+  let g = Registry.gauge r "mitos_depth" in
+  Registry.set_gauge g 3.0;
+  let h =
+    Registry.histogram r ~lo:1.0 ~growth:2.0 ~buckets:4 "mitos_latency_ticks"
+  in
+  List.iter (Histogram.observe h) [ 1.0; 3.0; 100.0 ];
+  let expected =
+    "# TYPE mitos_depth gauge\n\
+     mitos_depth 3\n\
+     # TYPE mitos_latency_ticks histogram\n\
+     mitos_latency_ticks_bucket{le=\"1\"} 1\n\
+     mitos_latency_ticks_bucket{le=\"2\"} 1\n\
+     mitos_latency_ticks_bucket{le=\"4\"} 2\n\
+     mitos_latency_ticks_bucket{le=\"+Inf\"} 3\n\
+     mitos_latency_ticks_sum 104\n\
+     mitos_latency_ticks_count 3\n\
+     # HELP mitos_records_total Total records.\n\
+     # TYPE mitos_records_total counter\n\
+     mitos_records_total 42\n"
+  in
+  Alcotest.(check string) "byte-exact prometheus" expected
+    (Registry.to_prometheus r)
+
+let test_prometheus_labels_sorted () =
+  let r = Registry.create () in
+  (* insertion order must not matter *)
+  Registry.incr (Registry.counter r ~labels:[ ("ty", "net"); ("v", "y") ] "c");
+  Registry.incr (Registry.counter r ~labels:[ ("ty", "file"); ("v", "x") ] "c");
+  let text = Registry.to_prometheus r in
+  let pos_file =
+    let rec find i =
+      if String.sub text i 9 = "ty=\"file\"" then i else find (i + 1)
+    in
+    find 0
+  in
+  let pos_net =
+    let rec find i =
+      if String.sub text i 8 = "ty=\"net\"" then i else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "file before net" true (pos_file < pos_net)
+
+let test_fmt_value () =
+  Alcotest.(check string) "integer-valued" "42" (Registry.fmt_value 42.0);
+  Alcotest.(check string) "fractional" "2.5" (Registry.fmt_value 2.5);
+  Alcotest.(check string) "+Inf" "+Inf" (Registry.fmt_value infinity);
+  Alcotest.(check string) "-Inf" "-Inf" (Registry.fmt_value neg_infinity);
+  Alcotest.(check string) "NaN" "NaN" (Registry.fmt_value nan)
+
+let test_json_string () =
+  Alcotest.(check string) "plain" "\"abc\"" (Registry.json_string "abc");
+  Alcotest.(check string) "escapes" "\"a\\\"b\\\\c\\n\""
+    (Registry.json_string "a\"b\\c\n")
+
+let test_registry_json () =
+  let r = Registry.create () in
+  Registry.add (Registry.counter r "c") 5;
+  Registry.set_gauge (Registry.gauge r "g") 1.5;
+  let js = Registry.to_json r in
+  Alcotest.(check bool) "has counters" true (string_contains js "\"counters\"");
+  Alcotest.(check bool) "has c" true (string_contains js "\"c\":5");
+  Alcotest.(check bool) "has g" true (string_contains js "\"g\":1.5")
+
+(* -- Tracer --------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Tracer.span_begin t "outer";
+  Alcotest.(check int) "depth 1" 1 (Tracer.depth t);
+  Tracer.span_begin t "inner";
+  Alcotest.(check int) "depth 2" 2 (Tracer.depth t);
+  Tracer.span_end t;
+  Tracer.span_end t;
+  Alcotest.(check int) "depth 0" 0 (Tracer.depth t);
+  match Tracer.events t with
+  | [| Begin { name = "outer"; ts = 0; _ }; Begin { name = "inner"; ts = 1; _ };
+       End { ts = 2 }; End { ts = 3 } |] ->
+    ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (Array.length evs)
+
+let test_unmatched_end () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Tracer.span_end t;
+  Tracer.span_begin t "a";
+  Tracer.span_end t;
+  Tracer.span_end t;
+  Alcotest.(check int) "two unmatched" 2 (Tracer.unmatched_ends t);
+  Alcotest.(check int) "one balanced pair retained" 2 (Tracer.length t)
+
+let test_finish_closes_open_spans () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Tracer.span_begin t "a";
+  Tracer.span_begin t "b";
+  Tracer.finish t;
+  Alcotest.(check int) "depth 0 after finish" 0 (Tracer.depth t);
+  Alcotest.(check int) "begins + synthesized ends" 4 (Tracer.length t);
+  Tracer.finish t;
+  Alcotest.(check int) "finish idempotent" 4 (Tracer.length t)
+
+let test_with_span_on_raise () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  (try Tracer.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span closed on raise" 0 (Tracer.depth t);
+  Alcotest.(check int) "begin and end retained" 2 (Tracer.length t)
+
+let test_capacity_keeps_stream_well_nested () =
+  let t = Tracer.create ~capacity:4 ~clock:(Obs_clock.logical ()) () in
+  (* Fill capacity with two whole spans, then open a third inside a
+     fourth: their begins are dropped, so their ends must be too. *)
+  Tracer.with_span t "a" (fun () -> ());
+  Tracer.with_span t "b" (fun () -> ());
+  Tracer.with_span t "c" (fun () -> Tracer.with_span t "d" (fun () -> ()));
+  Alcotest.(check int) "capacity respected" 4 (Tracer.length t);
+  Alcotest.(check bool) "drops counted" true (Tracer.dropped t > 0);
+  (* the retained stream is well nested: running depth never < 0 and
+     ends at 0 *)
+  let depth = ref 0 in
+  Array.iter
+    (function
+      | Tracer.Begin _ -> incr depth
+      | Tracer.End _ ->
+        decr depth;
+        Alcotest.(check bool) "never negative" true (!depth >= 0)
+      | _ -> ())
+    (Tracer.events t);
+  Alcotest.(check int) "balanced" 0 !depth
+
+let test_capacity_keeps_end_of_retained_begin () =
+  let t = Tracer.create ~capacity:1 ~clock:(Obs_clock.logical ()) () in
+  Tracer.span_begin t "kept";
+  Tracer.instant t "dropped-instant";
+  Tracer.span_end t;
+  (* the End of the retained Begin overshoots capacity by design *)
+  Alcotest.(check int) "begin + its end" 2 (Tracer.length t);
+  match Tracer.events t with
+  | [| Begin { name = "kept"; _ }; End _ |] -> ()
+  | _ -> Alcotest.fail "expected exactly Begin kept; End"
+
+(* -- Chrome trace --------------------------------------------------- *)
+
+let test_chrome_trace_rendering () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Tracer.with_span t ~args:[ ("items", "3") ] "solve" (fun () ->
+      Tracer.instant t "mark";
+      Tracer.counter t "engine" [ ("depth", 2.0) ]);
+  let expected =
+    "{\"traceEvents\":["
+    ^ "{\"name\":\"solve\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1,\"args\":{\"items\":\"3\"}},"
+    ^ "{\"name\":\"mark\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":1,\"s\":\"t\"},"
+    ^ "{\"name\":\"engine\",\"ph\":\"C\",\"ts\":2,\"pid\":1,\"tid\":1,\"args\":{\"depth\":2}},"
+    ^ "{\"ph\":\"E\",\"ts\":3,\"pid\":1,\"tid\":1}"
+    ^ "],\"displayTimeUnit\":\"ms\"}"
+  in
+  Alcotest.(check string) "byte-exact chrome trace" expected
+    (Chrome_trace.to_json t)
+
+let test_chrome_trace_jsonl () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Tracer.with_span t "s" (fun () -> ());
+  let lines = String.split_on_char '\n' (String.trim (Chrome_trace.to_jsonl t)) in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is an object" true
+        (String.length l > 0 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+(* -- Obs ------------------------------------------------------------ *)
+
+let test_disabled_is_noop () =
+  let o = Obs.disabled in
+  Alcotest.(check bool) "disabled" false (Obs.enabled o);
+  let ran = ref false in
+  let r = Obs.with_span o "x" (fun () -> ran := true; 7) in
+  Alcotest.(check int) "with_span passthrough" 7 r;
+  Alcotest.(check bool) "function ran" true !ran;
+  let h = Histogram.create () in
+  ignore (Obs.time o h (fun () -> ()));
+  Alcotest.(check int) "no observation" 0 (Histogram.count h);
+  Alcotest.(check int) "no trace events" 0 (Tracer.length (Obs.tracer o))
+
+let test_enabled_records () =
+  let o = Obs.create () in
+  Alcotest.(check bool) "enabled" true (Obs.enabled o);
+  let h = Registry.histogram (Obs.registry o) "h" in
+  ignore (Obs.time o h (fun () -> ()));
+  Alcotest.(check int) "observed once" 1 (Histogram.count h);
+  ignore (Obs.with_span o "s" (fun () -> ()));
+  Alcotest.(check int) "span recorded" 2 (Tracer.length (Obs.tracer o))
+
+let test_obs_determinism () =
+  (* the acceptance property, at library scope: two identical runs on
+     fresh logical-clock contexts render byte-identical exports *)
+  let run () =
+    let o = Obs.create () in
+    let h =
+      Registry.histogram (Obs.registry o) ~lo:1.0 ~growth:2.0 ~buckets:8
+        "latency"
+    in
+    let c = Registry.counter (Obs.registry o) "records" in
+    Obs.with_span o "replay" (fun () ->
+        for i = 1 to 50 do
+          Obs.with_span o "chunk" (fun () ->
+              ignore (Obs.time o h (fun () -> ())));
+          if i mod 10 = 0 then Registry.incr c
+        done);
+    (Obs.chrome_trace_json o, Obs.prometheus o, Obs.metrics_json o)
+  in
+  let t1, p1, j1 = run () in
+  let t2, p2, j2 = run () in
+  Alcotest.(check string) "trace byte-identical" t1 t2;
+  Alcotest.(check string) "prometheus byte-identical" p1 p2;
+  Alcotest.(check string) "json byte-identical" j1 j2
+
+(* -- engine integration --------------------------------------------- *)
+
+let test_engine_instrumentation () =
+  let module W = Mitos_workload in
+  let built = W.Netbench.build ~seed:3 ~chunks:1 () in
+  let trace = W.Workload.record built in
+  let obs = Obs.create () in
+  let engine =
+    W.Workload.replay ~obs ~sample_every:64
+      ~policy:Mitos_dift.Policies.propagate_all
+      (W.Netbench.build ~seed:3 ~chunks:1 ())
+      trace
+  in
+  let counters = Mitos_dift.Engine.counters engine in
+  let text = Obs.prometheus obs in
+  Alcotest.(check bool) "records counter exported" true
+    (string_contains text
+       (Printf.sprintf "mitos_engine_records_total %d" counters.steps));
+  Alcotest.(check bool) "latency histogram exported" true
+    (string_contains text "mitos_engine_record_latency_ticks_count");
+  Alcotest.(check bool) "replay throughput exported" true
+    (string_contains text "mitos_replay_records_total");
+  Alcotest.(check bool) "run-level sampler exported" true
+    (string_contains text "mitos_run_tainted_bytes");
+  Obs.finish obs;
+  Alcotest.(check bool) "replay span traced" true
+    (Array.exists
+       (function Tracer.Begin { name = "replay"; _ } -> true | _ -> false)
+       (Tracer.events (Obs.tracer obs)))
+
+let test_engine_double_instrument_rejected () =
+  let module W = Mitos_workload in
+  let built = W.Netbench.build ~seed:3 ~chunks:1 () in
+  let engine =
+    W.Workload.engine_of ~policy:Mitos_dift.Policies.propagate_all built
+  in
+  let obs = Obs.create () in
+  Mitos_dift.Engine.instrument engine obs;
+  Alcotest.(check bool) "second instrument raises" true
+    (try
+       Mitos_dift.Engine.instrument engine obs;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mitos_obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "logical" `Quick test_logical_clock;
+          Alcotest.test_case "of_fun" `Quick test_of_fun_clock;
+          Alcotest.test_case "real monotone" `Quick test_real_clock_monotone;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "observe counts" `Quick
+            test_histogram_observe_counts;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "quantile clamps" `Quick
+            test_histogram_quantile_clamps;
+          Alcotest.test_case "reset" `Quick test_histogram_reset;
+          Alcotest.test_case "validation" `Quick test_histogram_validation;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create" `Quick test_registry_get_or_create;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "prometheus rendering" `Quick
+            test_prometheus_rendering;
+          Alcotest.test_case "labels sorted" `Quick test_prometheus_labels_sorted;
+          Alcotest.test_case "fmt_value" `Quick test_fmt_value;
+          Alcotest.test_case "json_string" `Quick test_json_string;
+          Alcotest.test_case "json" `Quick test_registry_json;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "unmatched end" `Quick test_unmatched_end;
+          Alcotest.test_case "finish closes spans" `Quick
+            test_finish_closes_open_spans;
+          Alcotest.test_case "with_span on raise" `Quick test_with_span_on_raise;
+          Alcotest.test_case "capacity well-nested" `Quick
+            test_capacity_keeps_stream_well_nested;
+          Alcotest.test_case "retained begin keeps end" `Quick
+            test_capacity_keeps_end_of_retained_begin;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "byte-exact json" `Quick
+            test_chrome_trace_rendering;
+          Alcotest.test_case "jsonl" `Quick test_chrome_trace_jsonl;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "enabled records" `Quick test_enabled_records;
+          Alcotest.test_case "determinism" `Quick test_obs_determinism;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine instrumentation" `Quick
+            test_engine_instrumentation;
+          Alcotest.test_case "double instrument rejected" `Quick
+            test_engine_double_instrument_rejected;
+        ] );
+    ]
