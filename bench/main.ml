@@ -4,32 +4,46 @@
    cost, Alg. 2 batch cost, shadow-memory and engine throughput).
 
    Usage:
-     dune exec bench/main.exe            -- everything
-     dune exec bench/main.exe -- quick   -- experiments only
-     dune exec bench/main.exe -- micro   -- microbenchmarks only
-     dune exec bench/main.exe -- obs     -- observability overhead only *)
+     dune exec bench/main.exe                    -- everything
+     dune exec bench/main.exe -- quick           -- deterministic experiments
+     dune exec bench/main.exe -- micro           -- microbenchmarks only
+                                                    (writes BENCH_decisions.json)
+     dune exec bench/main.exe -- obs             -- observability overhead only
+     dune exec bench/main.exe -- report [PATH]   -- markdown report
+     dune exec bench/main.exe -- MODE --jobs N   -- run experiments on an
+                                                    N-domain pool (output is
+                                                    byte-identical to --jobs 1) *)
 
 open Bechamel
 open Toolkit
 module E = Mitos_experiments
+module Pool = Mitos_parallel.Pool
 open Mitos_tag
 
 (* -- paper experiments ------------------------------------------------ *)
 
-let all_sections () =
+(* Every section here prints only deterministic quantities (no wall
+   clocks), so `quick` output diffs clean across runs and across
+   --jobs settings. Obs_overhead measures timing overheads and is
+   inherently nondeterministic; it runs in `all`/`obs`/`report`. *)
+let deterministic_sections ?pool () =
   let recorded = E.Fig7.record_netbench () in
   [
-    E.Fig3.run (); E.Fig7.run ~recorded (); E.Fig8.run ~recorded ();
-    E.Fig9.run ~recorded (); E.Table2.run (); E.Latency.run ();
-    E.Exfil_study.run (); E.Hw_model.run (); E.Validation.run ();
-    E.Obs_overhead.run ();
+    E.Fig3.run ?pool (); E.Fig7.run ~recorded ?pool ();
+    E.Fig8.run ~recorded ?pool (); E.Fig9.run ~recorded ?pool ();
+    E.Table2.run ?pool (); E.Latency.run ?pool (); E.Exfil_study.run ();
+    E.Hw_model.run (); E.Validation.run ?pool ();
   ]
-  @ E.Ablations.run_all ()
+  @ E.Ablations.run_all ?pool ()
 
-let run_experiments () = List.iter E.Report.print (all_sections ())
+let all_sections ?pool () =
+  deterministic_sections ?pool () @ [ E.Obs_overhead.run () ]
 
-let write_markdown path =
-  let sections = all_sections () in
+let run_experiments ?pool () =
+  List.iter E.Report.print (deterministic_sections ?pool ())
+
+let write_markdown ?pool path =
+  let sections = all_sections ?pool () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -58,13 +72,20 @@ let bench_decision_scaling =
     Mitos.Decision.of_stats params stats
   in
   let subject = net 1 in
-  List.map
+  let fast = Mitos.Decision.fast params in
+  List.concat_map
     (fun live ->
       let env = make_env live in
-      Test.make
-        ~name:(Printf.sprintf "alg1 decision (%d live tags)" live)
-        (Staged.stage (fun () ->
-             ignore (Mitos.Decision.alg1 params env subject))))
+      [
+        Test.make
+          ~name:(Printf.sprintf "alg1 decision (%d live tags)" live)
+          (Staged.stage (fun () ->
+               ignore (Mitos.Decision.alg1 params env subject)));
+        Test.make
+          ~name:(Printf.sprintf "alg1 fast decision (%d live tags)" live)
+          (Staged.stage (fun () ->
+               ignore (Mitos.Decision.alg1_fast fast env subject)));
+      ])
     [ 10; 1_000; 100_000 ]
 
 let bench_alg2 =
@@ -77,10 +98,14 @@ let bench_alg2 =
     [ 1; 2; 3; 4; 5; 6; 7; 8 ];
   let env = Mitos.Decision.of_stats params stats in
   let candidates = List.init 8 (fun i -> net (i + 1)) in
+  let fast = Mitos.Decision.fast params in
   [
     Test.make ~name:"alg2 (8 candidates, space 4)"
       (Staged.stage (fun () ->
            ignore (Mitos.Decision.alg2 params env ~space:4 candidates)));
+    Test.make ~name:"alg2 fast (8 candidates, space 4)"
+      (Staged.stage (fun () ->
+           ignore (Mitos.Decision.alg2_fast fast env ~space:4 candidates)));
   ]
 
 let bench_shadow =
@@ -240,16 +265,165 @@ let run_micro () =
   in
   Notty_unix.eol img |> Notty_unix.output_image
 
+(* -- decision fast-path summary (BENCH_decisions.json) ----------------- *)
+
+let time_ns_per ~iters f =
+  (* warm up once so table/cache population is off the clock *)
+  f ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let write_bench_json ~jobs path =
+  let stats = Tag_stats.create () in
+  for i = 1 to 1_000 do
+    Tag_stats.incr stats (net i)
+  done;
+  let env = Mitos.Decision.of_stats params stats in
+  let subject = net 1 in
+  let fast = Mitos.Decision.fast params in
+  let alg1_direct =
+    time_ns_per ~iters:2_000_000 (fun () ->
+        ignore (Mitos.Decision.alg1 params env subject))
+  in
+  let alg1_fast =
+    time_ns_per ~iters:2_000_000 (fun () ->
+        ignore (Mitos.Decision.alg1_fast fast env subject))
+  in
+  let candidates = List.init 8 (fun i -> net (i + 1)) in
+  let alg2_direct =
+    time_ns_per ~iters:200_000 (fun () ->
+        ignore (Mitos.Decision.alg2 params env ~space:4 candidates))
+  in
+  let alg2_fast =
+    time_ns_per ~iters:200_000 (fun () ->
+        ignore (Mitos.Decision.alg2_fast fast env ~space:4 candidates))
+  in
+  (* engine replay throughput over a prerecorded slice *)
+  let built = Mitos_workload.Netbench.build ~seed:1 ~chunks:2 () in
+  let trace = Mitos_workload.Workload.record built in
+  let records = Mitos_replay.Trace.records trace in
+  let slice = Array.sub records 0 (min 1_000 (Array.length records)) in
+  let replay_ns =
+    time_ns_per ~iters:50 (fun () ->
+        let engine =
+          Mitos_workload.Workload.engine_of
+            ~policy:
+              (Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()))
+            built
+        in
+        Mitos_dift.Engine.attach_shadow engine
+          ~mem_size:(Mitos_replay.Trace.mem_size trace);
+        Array.iter (Mitos_dift.Engine.process_record engine) slice)
+  in
+  let records_per_sec = float_of_int (Array.length slice) /. (replay_ns *. 1e-9) in
+  (* pool speedup on an embarrassingly parallel alg2 workload *)
+  let task _i =
+    let acc = ref 0 in
+    for _ = 1 to 20_000 do
+      acc :=
+        !acc
+        + List.length (Mitos.Decision.alg2 params env ~space:4 candidates)
+    done;
+    !acc
+  in
+  let inputs = List.init (4 * max 1 jobs) (fun i -> i) in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let seq_wall, seq_r = wall (fun () -> List.map task inputs) in
+  let par_wall, par_r =
+    wall (fun () ->
+        Pool.with_pool ~jobs (fun pool -> Pool.map pool ~f:task inputs))
+  in
+  assert (seq_r = par_r);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        {|{
+  "schema": "mitos-bench-decisions/1",
+  "jobs": %d,
+  "alg1": {
+    "direct_ns": %.2f,
+    "fast_ns": %.2f,
+    "direct_decisions_per_sec": %.0f,
+    "fast_decisions_per_sec": %.0f,
+    "speedup": %.3f
+  },
+  "alg2_batch8_space4": {
+    "direct_ns": %.2f,
+    "fast_ns": %.2f,
+    "speedup": %.3f
+  },
+  "engine_replay": {
+    "records_per_sec": %.0f
+  },
+  "pool": {
+    "tasks": %d,
+    "seq_seconds": %.4f,
+    "par_seconds": %.4f,
+    "speedup": %.3f
+  }
+}
+|}
+        jobs alg1_direct alg1_fast (1e9 /. alg1_direct) (1e9 /. alg1_fast)
+        (alg1_direct /. alg1_fast) alg2_direct alg2_fast
+        (alg2_direct /. alg2_fast) records_per_sec (List.length inputs)
+        seq_wall par_wall
+        (seq_wall /. par_wall));
+  Printf.printf "wrote %s\n" path
+
+(* -- entry point ------------------------------------------------------- *)
+
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* argv: [mode] [report-path] with --jobs N anywhere after the exe *)
+  let jobs = ref (Pool.default_jobs ()) in
+  let positional = ref [] in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+      | "--jobs" when i + 1 < Array.length Sys.argv ->
+        jobs := max 1 (int_of_string Sys.argv.(i + 1));
+        parse (i + 2)
+      | arg ->
+        (match String.index_opt arg '=' with
+        | Some eq when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+          jobs :=
+            max 1
+              (int_of_string
+                 (String.sub arg (eq + 1) (String.length arg - eq - 1)))
+        | _ -> positional := arg :: !positional);
+        parse (i + 1))
+    end
+  in
+  parse 1;
+  let mode, rest =
+    match List.rev !positional with
+    | [] -> ("all", [])
+    | mode :: rest -> (mode, rest)
+  in
+  let with_jobs f = Pool.with_pool ~jobs:!jobs (fun pool -> f ~pool) in
   (match mode with
-  | "quick" -> run_experiments ()
-  | "micro" -> run_micro ()
+  | "quick" -> with_jobs (fun ~pool -> run_experiments ~pool ())
+  | "micro" ->
+    run_micro ();
+    print_newline ();
+    write_bench_json ~jobs:!jobs "BENCH_decisions.json"
   | "obs" -> E.Report.print (E.Obs_overhead.run ())
   | "report" ->
-    write_markdown
-      (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench_report.md")
+    with_jobs (fun ~pool ->
+        write_markdown ~pool
+          (match rest with path :: _ -> path | [] -> "bench_report.md"))
   | _ ->
-    run_experiments ();
-    run_micro ());
+    with_jobs (fun ~pool -> run_experiments ~pool ());
+    E.Report.print (E.Obs_overhead.run ());
+    run_micro ();
+    print_newline ();
+    write_bench_json ~jobs:!jobs "BENCH_decisions.json");
   print_newline ()

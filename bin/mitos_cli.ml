@@ -99,6 +99,23 @@ let or_die = function
     prerr_endline ("mitos-cli: " ^ msg);
     exit 2
 
+(* -- parallelism -------------------------------------------------------- *)
+
+module Pool = Mitos_parallel.Pool
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Experiment worker domains (0 = all cores). Output is \
+           byte-identical for every setting.")
+
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  Pool.with_pool ~jobs (fun pool -> f ~pool)
+
 (* -- observability ------------------------------------------------------ *)
 
 module Obs = Mitos_obs.Obs
@@ -266,29 +283,33 @@ let run_cmd =
 
 let experiment_cmd =
   let module E = Mitos_experiments in
-  let run id =
-    let sections =
-      match id with
-      | "fig3" -> [ E.Fig3.run () ]
-      | "fig7" -> [ E.Fig7.run () ]
-      | "fig8" -> [ E.Fig8.run () ]
-      | "fig9" -> [ E.Fig9.run () ]
-      | "table2" -> [ E.Table2.run () ]
-      | "latency" -> [ E.Latency.run () ]
-      | "exfil" -> [ E.Exfil_study.run () ]
-      | "hw" -> [ E.Hw_model.run () ]
-      | "matrix" -> [ E.Matrix.run () ]
-      | "conformance" -> [ E.Validation.run () ]
-      | "ablations" -> E.Ablations.run_all ()
-      | "all" ->
-        let recorded = E.Fig7.record_netbench () in
-        [ E.Fig3.run (); E.Fig7.run ~recorded (); E.Fig8.run ~recorded ();
-          E.Fig9.run ~recorded (); E.Table2.run (); E.Latency.run ();
-          E.Exfil_study.run (); E.Hw_model.run () ]
-        @ E.Ablations.run_all ()
-      | other -> or_die (Error (Printf.sprintf "unknown experiment %S" other))
-    in
-    List.iter E.Report.print sections
+  let run id jobs =
+    with_jobs jobs (fun ~pool ->
+        let pool = Some pool in
+        let sections =
+          match id with
+          | "fig3" -> [ E.Fig3.run ?pool () ]
+          | "fig7" -> [ E.Fig7.run ?pool () ]
+          | "fig8" -> [ E.Fig8.run ?pool () ]
+          | "fig9" -> [ E.Fig9.run ?pool () ]
+          | "table2" -> [ E.Table2.run ?pool () ]
+          | "latency" -> [ E.Latency.run ?pool () ]
+          | "exfil" -> [ E.Exfil_study.run () ]
+          | "hw" -> [ E.Hw_model.run () ]
+          | "matrix" -> [ E.Matrix.run ?pool () ]
+          | "conformance" -> [ E.Validation.run ?pool () ]
+          | "ablations" -> E.Ablations.run_all ?pool ()
+          | "all" ->
+            let recorded = E.Fig7.record_netbench () in
+            [ E.Fig3.run ?pool (); E.Fig7.run ~recorded ?pool ();
+              E.Fig8.run ~recorded ?pool (); E.Fig9.run ~recorded ?pool ();
+              E.Table2.run ?pool (); E.Latency.run ?pool ();
+              E.Exfil_study.run (); E.Hw_model.run () ]
+            @ E.Ablations.run_all ?pool ()
+          | other ->
+            or_die (Error (Printf.sprintf "unknown experiment %S" other))
+        in
+        List.iter E.Report.print sections)
   in
   let id_arg =
     Arg.(
@@ -298,7 +319,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure or table of the paper.")
-    Term.(const run $ id_arg)
+    Term.(const run $ id_arg $ jobs_arg)
 
 (* -- record / replay -------------------------------------------------------------- *)
 
@@ -727,13 +748,14 @@ let litmus_cmd =
       const run $ policy_arg $ tau_arg $ alpha_arg $ u_net_arg $ u_export_arg)
 
 let attack_cmd =
-  let run () =
-    Mitos_experiments.(Report.print (Table2.run ()))
+  let run jobs =
+    with_jobs jobs (fun ~pool ->
+        Mitos_experiments.(Report.print (Table2.run ~pool ())))
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run the Table II in-memory-attack comparison (all six shells).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let obs_bench_cmd =
   let run records repetitions =

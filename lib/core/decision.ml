@@ -17,17 +17,22 @@ type probe = {
   alg2_candidates : Mitos_obs.Histogram.t;
 }
 
-let probe : probe option ref = ref None
+(* An [Atomic] rather than a plain ref: engines running inside a
+   domain pool all read this on every decision, and a plain ref has
+   no publication guarantee for the probe record installed by
+   [set_obs] from another domain. Reads stay one atomic load on the
+   disabled path. *)
+let probe : probe option Atomic.t = Atomic.make None
 
 let set_obs = function
-  | None -> probe := None
+  | None -> Atomic.set probe None
   | Some obs ->
-    if not (Mitos_obs.Obs.enabled obs) then probe := None
+    if not (Mitos_obs.Obs.enabled obs) then Atomic.set probe None
     else begin
       let module R = Mitos_obs.Registry in
       let registry = Mitos_obs.Obs.registry obs in
-      probe :=
-        Some
+      Atomic.set probe
+        (Some
           {
             obs;
             alg1_latency =
@@ -42,11 +47,11 @@ let set_obs = function
               R.histogram registry
                 ~help:"candidate tags per Alg. 2 invocation"
                 "mitos_alg2_candidates";
-          }
+          })
     end
 
 let timed pick_hist f =
-  match !probe with
+  match Atomic.get probe with
   | None -> f ()
   | Some p -> Mitos_obs.Obs.time p.obs (pick_hist p) f
 
@@ -72,7 +77,7 @@ type ranked = { tag : Tag.t; marginal : float; verdict : verdict }
 
 let run_alg2 ~recompute p env ~space candidates =
   if space < 0 then invalid_arg "Decision.alg2: negative space";
-  (match !probe with
+  (match Atomic.get probe with
   | None -> ()
   | Some pr ->
     Mitos_obs.Histogram.observe pr.alg2_candidates
@@ -117,6 +122,72 @@ let alg2_no_recompute p env ~space candidates =
   timed
     (fun pr -> pr.alg2_latency)
     (fun () -> run_alg2 ~recompute:false p env ~space candidates)
+
+(* -- table-backed fast path ------------------------------------------ *)
+
+type fast = Cost.Fast.t
+
+let fast ?table_size p = Cost.Fast.create ?table_size p
+let fast_params = Cost.Fast.params
+let fast_update = Cost.Fast.update
+
+let marginal_fast f env tag =
+  Cost.Fast.marginal f (Tag.ty tag) ~n:(env.count tag)
+    ~pollution:env.pollution
+
+let alg1_fast f env tag =
+  timed
+    (fun pr -> pr.alg1_latency)
+    (fun () -> if marginal_fast f env tag <= 0.0 then Propagate else Block)
+
+(* Mirrors [run_alg2] step for step; because the table and the
+   pollution cache reproduce Eq. 8 bit-for-bit, the sort keys, the
+   greedy pass and hence the verdicts are identical to the direct
+   formula's. *)
+let run_alg2_fast ~recompute f env ~space candidates =
+  if space < 0 then invalid_arg "Decision.alg2_fast: negative space";
+  (match Atomic.get probe with
+  | None -> ()
+  | Some pr ->
+    Mitos_obs.Histogram.observe pr.alg2_candidates
+      (float_of_int (List.length candidates)));
+  let initial =
+    List.map (fun tag -> (tag, marginal_fast f env tag)) candidates
+    |> List.stable_sort (fun (_, a) (_, b) -> Float.compare a b)
+  in
+  let p = Cost.Fast.params f in
+  let pollution = ref env.pollution in
+  let props = ref 0 in
+  List.map
+    (fun (tag, initial_marginal) ->
+      let m =
+        if recompute then
+          Cost.Fast.marginal f (Tag.ty tag) ~n:(env.count tag)
+            ~pollution:!pollution
+        else initial_marginal
+      in
+      if !props < space && m <= 0.0 then begin
+        incr props;
+        pollution := !pollution +. Params.o p (Tag.ty tag);
+        { tag; marginal = m; verdict = Propagate }
+      end
+      else { tag; marginal = m; verdict = Block })
+    initial
+
+let alg2_fast f env ~space candidates =
+  timed
+    (fun pr -> pr.alg2_latency)
+    (fun () -> run_alg2_fast ~recompute:true f env ~space candidates)
+
+let alg2_fast_no_recompute f env ~space candidates =
+  timed
+    (fun pr -> pr.alg2_latency)
+    (fun () -> run_alg2_fast ~recompute:false f env ~space candidates)
+
+let alg2_fast_accepted f env ~space candidates =
+  alg2_fast f env ~space candidates
+  |> List.filter_map (fun r ->
+         match r.verdict with Propagate -> Some r.tag | Block -> None)
 
 let alg2_paper p env ~space candidates =
   if space < 0 then invalid_arg "Decision.alg2_paper: negative space";

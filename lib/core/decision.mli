@@ -58,6 +58,39 @@ val alg2_no_recompute :
 (** Ablation: Algorithm 2 with line 9 disabled — marginals are
     evaluated once against the initial pollution. *)
 
+(** {1 Table-backed fast path}
+
+    The same algorithms over {!Cost.Fast}: no float [**] on the hot
+    path, bit-identical marginals and verdicts (property-tested).
+    A [fast] value owns an unsynchronized pollution cache — create
+    one per engine/domain; {!Policies.mitos} does this internally. *)
+
+type fast = Cost.Fast.t
+
+val fast : ?table_size:int -> Params.t -> fast
+val fast_params : fast -> Params.t
+
+val fast_update : fast -> Params.t -> fast
+(** {!Cost.Fast.update}: cheap when only the overtainting side (τ)
+    changed. *)
+
+val marginal_fast : fast -> env -> Tag.t -> float
+(** {!marginal} via table reads — bit-identical to the direct
+    formula. *)
+
+val alg1_fast : fast -> env -> Tag.t -> verdict
+(** {!alg1} via table reads. *)
+
+val alg2_fast : fast -> env -> space:int -> Tag.t list -> ranked list
+(** {!alg2} via table reads; within the greedy pass the pollution
+    power factor is recomputed only when an accepted propagation
+    actually moves the pollution. *)
+
+val alg2_fast_accepted : fast -> env -> space:int -> Tag.t list -> Tag.t list
+
+val alg2_fast_no_recompute :
+  fast -> env -> space:int -> Tag.t list -> ranked list
+
 val alg2_paper : Params.t -> env -> space:int -> Tag.t list -> ranked list
 (** The literal transcription of the paper's Algorithm 2: the while
     loop stops at the {e first} candidate whose (recomputed) marginal
@@ -82,4 +115,11 @@ val set_obs : Mitos_obs.Obs.t option -> unit
     policies, far from where the context is created); [None] — the
     default — restores the zero-cost path. Passing a disabled context
     is equivalent to [None]. Interleaving two instrumented runs
-    mingles their decision metrics; set and clear around a run. *)
+    mingles their decision metrics; set and clear around a run.
+
+    The probe cell is an [Atomic]: engines running on a domain pool
+    all observe a [set_obs] from any domain safely. Concurrent
+    instrumented engines share the same histograms, so counts may
+    lose increments under contention — acceptable for sampling
+    metrics; set the probe around sequential runs when exact counts
+    matter. *)

@@ -67,6 +67,11 @@ val with_o : t -> Tag_type.t -> float -> t
 val tau_effective : t -> float
 (** [tau *. tau_scale]. *)
 
+val equal : t -> t -> bool
+(** Structural equality on every field (weight arrays compared
+    element-wise). Lets caches — {!Cost.Fast} notably — detect
+    whether a rebuilt parameterization actually changed. *)
+
 val validate :
   alpha:float -> beta:float -> tau:float -> tau_scale:float ->
   u:float array -> o:float array -> total_tag_space:int ->

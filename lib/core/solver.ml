@@ -4,14 +4,17 @@ type item = { ty : Tag_type.t; cap : int }
 
 (* -- observability probe -------------------------------------------- *)
 
-let probe : Mitos_obs.Obs.t option ref = ref None
+(* Atomic for the same reason as [Decision.probe]: solver calls can
+   run on pool domains while the CLI installs the context from the
+   main one. *)
+let probe : Mitos_obs.Obs.t option Atomic.t = Atomic.make None
 
 let set_obs = function
-  | Some obs when Mitos_obs.Obs.enabled obs -> probe := Some obs
-  | Some _ | None -> probe := None
+  | Some obs when Mitos_obs.Obs.enabled obs -> Atomic.set probe (Some obs)
+  | Some _ | None -> Atomic.set probe None
 
 let solver_span name ~items f =
-  match !probe with
+  match Atomic.get probe with
   | None -> f ()
   | Some obs ->
     Mitos_obs.Obs.with_span obs
@@ -330,7 +333,7 @@ let solve_branch_and_bound ?(node_limit = 200_000) p items =
     end
   in
   branch 0 ~under_fixed:0.0 ~pollution_fixed:0.0 ~used:0.0;
-  (match !probe with
+  (match Atomic.get probe with
   | None -> ()
   | Some obs ->
     let module R = Mitos_obs.Registry in

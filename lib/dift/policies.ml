@@ -55,6 +55,10 @@ type observation = {
 
 let mitos ?(name = "mitos") ?pollution_source ?observe ?(handle_direct = false)
     ?(recompute = true) params =
+  (* one table-backed decision context per policy instance: policies
+     are engine-local, so the fast path's pollution cache is never
+     shared across domains *)
+  let fast = Mitos.Decision.fast params in
   let pollution stats =
     match pollution_source with
     | Some f -> f stats
@@ -72,10 +76,10 @@ let mitos ?(name = "mitos") ?pollution_source ?observe ?(handle_direct = false)
       in
       let ranked =
         if recompute then
-          Mitos.Decision.alg2 params env ~space:request.space
+          Mitos.Decision.alg2_fast fast env ~space:request.space
             request.candidates
         else
-          Mitos.Decision.alg2_no_recompute params env ~space:request.space
+          Mitos.Decision.alg2_fast_no_recompute fast env ~space:request.space
             request.candidates
       in
       (match observe with
@@ -109,6 +113,14 @@ let mitos ?(name = "mitos") ?pollution_source ?observe ?(handle_direct = false)
 let mitos_adaptive ?(name = "mitos-adaptive") ?(update_period = 256)
     ?(handle_direct = false) controller =
   let decisions = ref 0 in
+  let fast = ref (Mitos.Decision.fast (Mitos.Adaptive.params controller)) in
+  (* the controller only moves tau, so the refresh reuses the
+     undertainting table and just drops the pollution cache *)
+  let fast_for params =
+    if not (Mitos.Params.equal params (Mitos.Decision.fast_params !fast)) then
+      fast := Mitos.Decision.fast_update !fast params;
+    !fast
+  in
   let select (request : Policy.request) =
     if (not handle_direct) && not (Policy.is_indirect request.kind) then
       request.candidates
@@ -125,8 +137,8 @@ let mitos_adaptive ?(name = "mitos-adaptive") ?(update_period = 256)
           pollution = Mitos.Cost.weighted_pollution params request.stats;
         }
       in
-      Mitos.Decision.alg2_accepted params env ~space:request.space
-        request.candidates
+      Mitos.Decision.alg2_fast_accepted (fast_for params) env
+        ~space:request.space request.candidates
     end
   in
   Policy.make ~name ~select

@@ -12,7 +12,7 @@ let max_occupancy shadow =
       m := max !m (List.length tags));
   !m
 
-let eviction () =
+let eviction ?pool () =
   let r =
     Report.create
       ~title:"Ablation A: provenance-list size and eviction policy"
@@ -24,35 +24,37 @@ let eviction () =
           "copies" ]
       ()
   in
-  List.iter
-    (fun (eviction, m_prov) ->
-      let built = Attack.build Attack.Reverse_https ~seed:Calib.attack_seed () in
-      let config = { Calib.attack_engine_config with eviction; m_prov } in
-      let engine =
-        Workload.run_live ~config
-          ~policy:(Calib.mitos_all_flows Calib.attack_params)
-          built
-      in
-      let s = Metrics.of_engine engine in
-      Table.add_row t
-        [
-          Mitos_tag.Shadow.strategy_to_string eviction;
-          string_of_int m_prov;
-          string_of_int s.Metrics.detected_bytes;
-          string_of_int (max_occupancy (Engine.shadow engine));
-          string_of_int s.Metrics.footprint_bytes;
-          string_of_int s.Metrics.total_copies;
-        ])
-    [
-      (Shadow.Structural Provenance.Fifo, 10);
-      (Shadow.Structural Provenance.Lru, 10);
-      (Shadow.Structural Provenance.Reject, 10);
-      (Shadow.Least_marginal, 10);
-      (Shadow.Structural Provenance.Fifo, 1);
-      (Shadow.Structural Provenance.Fifo, 2);
-      (Shadow.Structural Provenance.Reject, 1);
-      (Shadow.Least_marginal, 2);
-    ];
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun (eviction, m_prov) ->
+         let built =
+           Attack.build Attack.Reverse_https ~seed:Calib.attack_seed ()
+         in
+         let config = { Calib.attack_engine_config with eviction; m_prov } in
+         let engine =
+           Workload.run_live ~config
+             ~policy:(Calib.mitos_all_flows Calib.attack_params)
+             built
+         in
+         let s = Metrics.of_engine engine in
+         [
+           Mitos_tag.Shadow.strategy_to_string eviction;
+           string_of_int m_prov;
+           string_of_int s.Metrics.detected_bytes;
+           string_of_int (max_occupancy (Engine.shadow engine));
+           string_of_int s.Metrics.footprint_bytes;
+           string_of_int s.Metrics.total_copies;
+         ])
+       [
+         (Shadow.Structural Provenance.Fifo, 10);
+         (Shadow.Structural Provenance.Lru, 10);
+         (Shadow.Structural Provenance.Reject, 10);
+         (Shadow.Least_marginal, 10);
+         (Shadow.Structural Provenance.Fifo, 1);
+         (Shadow.Structural Provenance.Fifo, 2);
+         (Shadow.Structural Provenance.Reject, 1);
+         (Shadow.Least_marginal, 2);
+       ]);
   Report.table r t;
   Report.text r
     "Detection needs at least two slots per byte (netflow + export-table \
@@ -68,28 +70,30 @@ let eviction () =
 
 (* -- B: Alg. 2 pollution re-evaluation ------------------------------- *)
 
-let recompute () =
+let recompute ?pool () =
   let r = Report.create ~title:"Ablation B: Alg. 2 line 9 (recompute) on/off" in
   let t =
     Table.create ~header:[ "recompute"; "ifp+"; "ifp-"; "copies"; "mse" ] ()
   in
-  List.iter
-    (fun recompute ->
-      let built = Mitos_workload.Netbench.build ~seed:Calib.netbench_seed () in
-      let params = Calib.sensitivity_params () in
-      let engine =
-        Workload.run_live ~policy:(Policies.mitos ~recompute params) built
-      in
-      let s = Metrics.of_engine engine in
-      Table.add_row t
-        [
-          string_of_bool recompute;
-          string_of_int s.Metrics.ifp_propagated;
-          string_of_int s.Metrics.ifp_blocked;
-          string_of_int s.Metrics.total_copies;
-          Printf.sprintf "%.4g" s.Metrics.fairness.Mitos.Fairness.mse;
-        ])
-    [ true; false ];
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun recompute ->
+         let built =
+           Mitos_workload.Netbench.build ~seed:Calib.netbench_seed ()
+         in
+         let params = Calib.sensitivity_params () in
+         let engine =
+           Workload.run_live ~policy:(Policies.mitos ~recompute params) built
+         in
+         let s = Metrics.of_engine engine in
+         [
+           string_of_bool recompute;
+           string_of_int s.Metrics.ifp_propagated;
+           string_of_int s.Metrics.ifp_blocked;
+           string_of_int s.Metrics.total_copies;
+           Printf.sprintf "%.4g" s.Metrics.fairness.Mitos.Fairness.mse;
+         ])
+       [ true; false ]);
   Report.table r t;
   Report.text r
     "With homogeneous o_t the re-evaluation only matters when several \
@@ -99,7 +103,7 @@ let recompute () =
 
 (* -- C: distributed staleness ---------------------------------------- *)
 
-let staleness () =
+let staleness ?pool () =
   let r =
     Report.create
       ~title:"Ablation C: distributed pollution-estimate staleness"
@@ -110,28 +114,29 @@ let staleness () =
         [ "sync period"; "ifp+"; "ifp-"; "syncs"; "mean staleness" ]
       ()
   in
-  List.iter
-    (fun sync_period ->
-      let builts =
-        List.init 4 (fun i ->
-            Mitos_workload.Netbench.build ~seed:(Calib.netbench_seed + i)
-              ~chunks:24 ())
-      in
-      let cluster =
-        Mitos_distrib.Cluster.create
-          ~params:(Calib.sensitivity_params ())
-          ~sync_period builts
-      in
-      ignore (Mitos_distrib.Cluster.run cluster);
-      Table.add_row t
-        [
-          string_of_int sync_period;
-          string_of_int (Mitos_distrib.Cluster.total_propagated cluster);
-          string_of_int (Mitos_distrib.Cluster.total_blocked cluster);
-          string_of_int (Mitos_distrib.Cluster.syncs_performed cluster);
-          Printf.sprintf "%.4f" (Mitos_distrib.Cluster.mean_staleness cluster);
-        ])
-    [ 1; 10; 100; 1000; 10000 ];
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun sync_period ->
+         let builts =
+           List.init 4 (fun i ->
+               Mitos_workload.Netbench.build ~seed:(Calib.netbench_seed + i)
+                 ~chunks:24 ())
+         in
+         let cluster =
+           Mitos_distrib.Cluster.create
+             ~params:(Calib.sensitivity_params ())
+             ~sync_period builts
+         in
+         ignore (Mitos_distrib.Cluster.run cluster);
+         [
+           string_of_int sync_period;
+           string_of_int (Mitos_distrib.Cluster.total_propagated cluster);
+           string_of_int (Mitos_distrib.Cluster.total_blocked cluster);
+           string_of_int (Mitos_distrib.Cluster.syncs_performed cluster);
+           Printf.sprintf "%.4f"
+             (Mitos_distrib.Cluster.mean_staleness cluster);
+         ])
+       [ 1; 10; 100; 1000; 10000 ]);
   Report.table r t;
   Report.text r
     "Decisions drift only marginally as the sync period grows by four \
@@ -189,7 +194,7 @@ let solution_quality () =
 
 (* -- E: adaptive tau --------------------------------------------------- *)
 
-let adaptive () =
+let adaptive ?pool () =
   let r =
     Report.create
       ~title:"Ablation E: fixed tau vs adaptive tau (pollution budget)"
@@ -201,6 +206,9 @@ let adaptive () =
           "pollution fraction" ]
       ()
   in
+  (* each job builds its own policy (and controller) so nothing is
+     shared across domains; tau_of reads the controller after its own
+     run within the same task *)
   let run_one label policy tau_of =
     let built = Mitos_workload.Netbench.build ~seed:Calib.netbench_seed () in
     let engine = Workload.run_live ~policy built in
@@ -210,31 +218,37 @@ let adaptive () =
       /. float_of_int params.Mitos.Params.total_tag_space
     in
     let c = Engine.counters engine in
-    Table.add_row t
-      [
-        label;
-        Printf.sprintf "%.4g" (tau_of ());
-        string_of_int c.Engine.ifp_propagated;
-        string_of_int c.Engine.ifp_blocked;
-        string_of_int (Tag_stats.total (Engine.stats engine));
-        Printf.sprintf "%.3g" fraction;
+    [
+      label;
+      Printf.sprintf "%.4g" (tau_of ());
+      string_of_int c.Engine.ifp_propagated;
+      string_of_int c.Engine.ifp_blocked;
+      string_of_int (Tag_stats.total (Engine.stats engine));
+      Printf.sprintf "%.3g" fraction;
+    ]
+  in
+  let jobs =
+    List.map
+      (fun tau () ->
+        let params = Calib.sensitivity_params ~tau () in
+        run_one
+          (Printf.sprintf "fixed tau=%g" tau)
+          (Policies.mitos params)
+          (fun () -> tau))
+      [ 1.0; 0.1; 0.01 ]
+    @ [
+        (fun () ->
+          let controller =
+            Mitos.Adaptive.create ~gain:0.3 ~target_pollution:2e-8
+              (Calib.sensitivity_params ~tau:1.0 ())
+          in
+          run_one "adaptive (budget 2e-8)"
+            (Policies.mitos_adaptive ~update_period:128 controller)
+            (fun () -> Mitos.Adaptive.tau controller));
       ]
   in
-  List.iter
-    (fun tau ->
-      let params = Calib.sensitivity_params ~tau () in
-      run_one
-        (Printf.sprintf "fixed tau=%g" tau)
-        (Policies.mitos params)
-        (fun () -> tau))
-    [ 1.0; 0.1; 0.01 ];
-  let controller =
-    Mitos.Adaptive.create ~gain:0.3 ~target_pollution:2e-8
-      (Calib.sensitivity_params ~tau:1.0 ())
-  in
-  run_one "adaptive (budget 2e-8)"
-    (Policies.mitos_adaptive ~update_period:128 controller)
-    (fun () -> Mitos.Adaptive.tau controller);
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool ~f:(fun job -> job ()) jobs);
   Report.table r t;
   Report.text r
     "The controller starts at tau=1 (heavy blocking) and walks tau down \
@@ -245,7 +259,7 @@ let adaptive () =
 
 (* -- F: pollution weights o_t ------------------------------------------ *)
 
-let pollution_weights () =
+let pollution_weights ?pool () =
   let r =
     Report.create
       ~title:
@@ -257,28 +271,32 @@ let pollution_weights () =
       ~header:[ "o_netflow"; "net+"; "net-"; "file+"; "file-"; "copies" ]
       ()
   in
-  List.iter
-    (fun o_net ->
-      let params =
-        Mitos.Params.with_o
-          (Calib.sensitivity_params ())
-          Tag_type.Network o_net
-      in
-      let built = Mitos_workload.Netbench.build ~seed:Calib.netbench_seed () in
-      let engine = Workload.run_live ~policy:(Policies.mitos params) built in
-      let c = Engine.counters engine in
-      let prop ty = c.Engine.per_type_propagated.(Tag_type.to_int ty) in
-      let block ty = c.Engine.per_type_blocked.(Tag_type.to_int ty) in
-      Table.add_row t
-        [
-          Printf.sprintf "%g" o_net;
-          string_of_int (prop Tag_type.Network);
-          string_of_int (block Tag_type.Network);
-          string_of_int (prop Tag_type.File);
-          string_of_int (block Tag_type.File);
-          string_of_int (Tag_stats.total (Engine.stats engine));
-        ])
-    [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ];
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun o_net ->
+         let params =
+           Mitos.Params.with_o
+             (Calib.sensitivity_params ())
+             Tag_type.Network o_net
+         in
+         let built =
+           Mitos_workload.Netbench.build ~seed:Calib.netbench_seed ()
+         in
+         let engine =
+           Workload.run_live ~policy:(Policies.mitos params) built
+         in
+         let c = Engine.counters engine in
+         let prop ty = c.Engine.per_type_propagated.(Tag_type.to_int ty) in
+         let block ty = c.Engine.per_type_blocked.(Tag_type.to_int ty) in
+         [
+           Printf.sprintf "%g" o_net;
+           string_of_int (prop Tag_type.Network);
+           string_of_int (block Tag_type.Network);
+           string_of_int (prop Tag_type.File);
+           string_of_int (block Tag_type.File);
+           string_of_int (Tag_stats.total (Engine.stats engine));
+         ])
+       [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]);
   Report.table r t;
   Report.text r
     "o_t is u_t's dual: where u_netflow boosts netflow propagation by \
@@ -289,7 +307,7 @@ let pollution_weights () =
 
 (* -- G: pollution-visibility topology ----------------------------------- *)
 
-let topology () =
+let topology ?pool () =
   let r =
     Report.create
       ~title:
@@ -304,38 +322,39 @@ let topology () =
       ~header:[ "topology"; "ifp+"; "ifp-"; "copies"; "mean staleness" ]
       ()
   in
-  List.iter
-    (fun (label, topology) ->
-      let pairs =
-        List.init n (fun i ->
-            ( Mitos_workload.Netbench.build ~seed:(Calib.netbench_seed + i)
-                ~chunks:12 (),
-              Calib.sensitivity_params () ))
-      in
-      let cluster =
-        Mitos_distrib.Cluster.create_heterogeneous ?topology ~sync_period:50
-          pairs
-      in
-      ignore (Mitos_distrib.Cluster.run cluster);
-      Table.add_row t
-        [
-          label;
-          string_of_int (Mitos_distrib.Cluster.total_propagated cluster);
-          string_of_int (Mitos_distrib.Cluster.total_blocked cluster);
-          string_of_int
-            (List.fold_left
-               (fun acc (s : Metrics.summary) -> acc + s.Metrics.total_copies)
-               0
-               (Mitos_distrib.Cluster.summaries cluster));
-          Printf.sprintf "%.4f"
-            (Mitos_distrib.Cluster.mean_staleness cluster);
-        ])
-    [
-      ("complete (global scalar)", None);
-      ("ring", Some ring);
-      ("star", Some star);
-      ("isolated", Some isolated);
-    ];
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun (label, topology) ->
+         let pairs =
+           List.init n (fun i ->
+               ( Mitos_workload.Netbench.build ~seed:(Calib.netbench_seed + i)
+                   ~chunks:12 (),
+                 Calib.sensitivity_params () ))
+         in
+         let cluster =
+           Mitos_distrib.Cluster.create_heterogeneous ?topology
+             ~sync_period:50 pairs
+         in
+         ignore (Mitos_distrib.Cluster.run cluster);
+         [
+           label;
+           string_of_int (Mitos_distrib.Cluster.total_propagated cluster);
+           string_of_int (Mitos_distrib.Cluster.total_blocked cluster);
+           string_of_int
+             (List.fold_left
+                (fun acc (s : Metrics.summary) ->
+                  acc + s.Metrics.total_copies)
+                0
+                (Mitos_distrib.Cluster.summaries cluster));
+           Printf.sprintf "%.4f"
+             (Mitos_distrib.Cluster.mean_staleness cluster);
+         ])
+       [
+         ("complete (global scalar)", None);
+         ("ring", Some ring);
+         ("star", Some star);
+         ("isolated", Some isolated);
+       ]);
   Report.table r t;
   Report.text r
     "Narrower pollution visibility under-estimates the global state, so \
@@ -346,8 +365,11 @@ let topology () =
      before decisions drift.";
   Report.finish r
 
-let run_all () =
+(* sections run sequentially; each fans its own grid out on [pool]
+   (the pool runs nested maps inline, so no section-level nesting) *)
+let run_all ?pool () =
   [
-    eviction (); recompute (); staleness (); solution_quality (); adaptive ();
-    pollution_weights (); topology ();
+    eviction ?pool (); recompute ?pool (); staleness ?pool ();
+    solution_quality (); adaptive ?pool (); pollution_weights ?pool ();
+    topology ?pool ();
   ]

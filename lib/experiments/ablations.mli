@@ -24,11 +24,14 @@
     G — pollution-visibility topologies: global scalar vs ring / star /
     isolated gossip neighbourhoods. *)
 
-val eviction : unit -> Report.section
-val recompute : unit -> Report.section
-val staleness : unit -> Report.section
+val eviction : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+val recompute : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+val staleness : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
 val solution_quality : unit -> Report.section
-val adaptive : unit -> Report.section
-val pollution_weights : unit -> Report.section
-val topology : unit -> Report.section
-val run_all : unit -> Report.section list
+val adaptive : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+val pollution_weights : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+val topology : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+
+val run_all : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section list
+(** Sections run in order; each section's configuration grid fans out
+    on [pool]. Output is byte-identical to the sequential run. *)

@@ -10,7 +10,7 @@ let under_series ~alpha =
 
 let over_series ~beta = List.map (fun f -> (f, f ** beta)) fracs
 
-let run () =
+let run ?pool () =
   let r = Report.create ~title:"Fig. 3: cost function shapes" in
   Report.text r
     "(a) undertainting kernel phi_alpha(n) = n^(1-a)/(a-1) (log at a=1):";
@@ -19,14 +19,14 @@ let run () =
       ~header:("n" :: List.map (fun a -> Printf.sprintf "a=%g" a) alphas)
       ()
   in
-  List.iter
-    (fun n ->
-      Table.add_row t
-        (Printf.sprintf "%.0f" n
-        :: List.map
-             (fun alpha -> Printf.sprintf "%.4f" (Mitos.Cost.phi ~alpha n))
-             alphas))
-    ns;
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun n ->
+         Printf.sprintf "%.0f" n
+         :: List.map
+              (fun alpha -> Printf.sprintf "%.4f" (Mitos.Cost.phi ~alpha n))
+              alphas)
+       ns);
   Report.table r t;
   Report.text r
     "(b) overtainting kernel (P/N_R)^beta over the pollution fraction:";
@@ -35,12 +35,12 @@ let run () =
       ~header:("P/N_R" :: List.map (fun b -> Printf.sprintf "b=%g" b) betas)
       ()
   in
-  List.iter
-    (fun f ->
-      Table.add_row t
-        (Printf.sprintf "%.2f" f
-        :: List.map (fun beta -> Printf.sprintf "%.4f" (f ** beta)) betas))
-    fracs;
+  List.iter (Table.add_row t)
+    (Mitos_parallel.Pool.map_opt pool
+       ~f:(fun f ->
+         Printf.sprintf "%.2f" f
+         :: List.map (fun beta -> Printf.sprintf "%.4f" (f ** beta)) betas)
+       fracs);
   Report.table r t;
   Report.text r
     "Check: under-cost decreasing in n (negative gradient), over-cost \

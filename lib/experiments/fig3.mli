@@ -14,4 +14,4 @@ val under_series : alpha:float -> (float * float) list
 val over_series : beta:float -> (float * float) list
 (** (pollution fraction, cost) for fractions 0.05..1. *)
 
-val run : unit -> Report.section
+val run : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section

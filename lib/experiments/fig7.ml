@@ -53,7 +53,7 @@ let record_netbench () =
   let trace = Workload.record built in
   (built, trace)
 
-let run ?recorded () =
+let run ?recorded ?pool () =
   let r =
     Report.create ~title:"Fig. 7: marginal costs and IFP decisions over time"
   in
@@ -62,9 +62,14 @@ let run ?recorded () =
   in
   Report.textf r "Recorded netbench trace: %d instructions."
     (Mitos_replay.Trace.length trace);
+  (* replay once per tau in parallel; render sequentially in tau order *)
+  let replays =
+    Mitos_parallel.Pool.map_opt pool
+      ~f:(fun tau -> (tau, replay_with_tau built trace ~tau))
+      taus
+  in
   List.iter
-    (fun tau ->
-      let samples, summary = replay_with_tau built trace ~tau in
+    (fun (tau, (samples, summary)) ->
       let total = List.length samples in
       let propagated =
         List.length (List.filter (fun s -> s.propagated) samples)
@@ -106,7 +111,7 @@ let run ?recorded () =
       Report.textf r "  decisions:     %s  (high = propagated)"
         (Mitos_util.Timeseries.sparkline decisions 48);
       ignore summary)
-    taus;
+    replays;
   Report.text r
     "Shape check vs. paper: over-marginal (mostly) increases with time; \
      tau=1 blocks most indirect flows (Fig. 7b); decreasing tau \

@@ -34,8 +34,10 @@ val bucketize : sample list -> buckets:int ->
 
 val run :
   ?recorded:Mitos_workload.Workload.built * Mitos_replay.Trace.t ->
+  ?pool:Mitos_parallel.Pool.t ->
   unit ->
   Report.section
 (** [recorded] reuses an existing netbench recording (the harness
     records once and replays it for Figs. 7-9, as the paper replays
-    one PANDA recording). *)
+    one PANDA recording). [pool] runs one replay per τ in parallel;
+    rendering stays in τ order, so output is byte-identical. *)

@@ -11,9 +11,9 @@ type point = {
   blocked : int;
 }
 
-let sweep built trace =
-  List.map
-    (fun alpha ->
+let sweep ?pool built trace =
+  Mitos_parallel.Pool.map_opt pool
+    ~f:(fun alpha ->
       let params = Calib.sensitivity_params ~alpha () in
       let engine = Workload.replay ~policy:(Policies.mitos params) built trace in
       let c = Engine.counters engine in
@@ -25,12 +25,12 @@ let sweep built trace =
       })
     alphas
 
-let run ?recorded () =
+let run ?recorded ?pool () =
   let r = Report.create ~title:"Fig. 8: alpha vs. fairness (tag balancing)" in
   let built, trace =
     match recorded with Some bt -> bt | None -> Fig7.record_netbench ()
   in
-  let points = sweep built trace in
+  let points = sweep ?pool built trace in
   let t =
     Table.create
       ~header:[ "alpha"; "MSE (fairness)"; "Jain"; "entropy"; "ifp+"; "ifp-" ]

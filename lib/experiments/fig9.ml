@@ -13,9 +13,9 @@ type point = {
   export_blocked : int;
 }
 
-let sweep built trace =
-  List.map
-    (fun u_net ->
+let sweep ?pool built trace =
+  Mitos_parallel.Pool.map_opt pool
+    ~f:(fun u_net ->
       let params = Calib.sensitivity_params ~tau:1.0 ~u_net () in
       let engine = Workload.replay ~policy:(Policies.mitos params) built trace in
       let c = Engine.counters engine in
@@ -30,14 +30,14 @@ let sweep built trace =
       })
     u_values
 
-let run ?recorded () =
+let run ?recorded ?pool () =
   let r =
     Report.create ~title:"Fig. 9: u_netflow vs. propagated netflow tags"
   in
   let built, trace =
     match recorded with Some bt -> bt | None -> Fig7.record_netbench ()
   in
-  let points = sweep built trace in
+  let points = sweep ?pool built trace in
   let reference =
     match List.rev points with
     | last :: _ -> max 1 last.net_propagated

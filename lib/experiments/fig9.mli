@@ -18,9 +18,15 @@ type point = {
 }
 
 val sweep :
-  Mitos_workload.Workload.built -> Mitos_replay.Trace.t -> point list
+  ?pool:Mitos_parallel.Pool.t ->
+  Mitos_workload.Workload.built ->
+  Mitos_replay.Trace.t ->
+  point list
+(** One replay per u_netflow; [pool] runs them in parallel, results
+    stay in sweep order. *)
 
 val run :
   ?recorded:Mitos_workload.Workload.built * Mitos_replay.Trace.t ->
+  ?pool:Mitos_parallel.Pool.t ->
   unit ->
   Report.section

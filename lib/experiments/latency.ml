@@ -37,7 +37,7 @@ let run_variant variant =
   in
   { variant; total_steps = !total_steps; alarm_step }
 
-let run () =
+let run ?pool () =
   let r =
     Report.create
       ~title:
@@ -46,9 +46,13 @@ let run () =
   in
   let names = List.map (fun (n, _, _) -> n) (policies_under_test ()) in
   let t = Table.create ~header:(("shell" :: names) @ [ "run length" ]) () in
+  let rows =
+    Mitos_parallel.Pool.map_opt pool
+      ~f:(fun variant -> (variant, run_variant variant))
+      Attack.all_variants
+  in
   List.iter
-    (fun variant ->
-      let row = run_variant variant in
+    (fun (variant, row) ->
       Table.add_row t
         ((Attack.variant_name variant
          :: List.map
@@ -58,7 +62,7 @@ let run () =
                 | None -> "never")
               names)
         @ [ string_of_int row.total_steps ]))
-    Attack.all_variants;
+    rows;
   Report.table r t;
   Report.text r
     "All policies that detect at all alarm at the reflective-load step \

@@ -18,4 +18,6 @@ val policies_under_test : unit -> (string * Mitos_dift.Policy.t * bool) list
 (** (name, policy, route-direct-flows-through-policy). *)
 
 val run_variant : Mitos_workload.Attack.variant -> row
-val run : unit -> Report.section
+
+val run : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+(** [pool] runs one shell variant per task. *)

@@ -27,7 +27,7 @@ let cell name policy =
     else Printf.sprintf "%.0f%%" rate
   end
 
-let run ?workloads () =
+let run ?workloads ?pool () =
   let workloads =
     match workloads with Some w -> w | None -> W.Registry.names
   in
@@ -39,12 +39,16 @@ let run ?workloads () =
   in
   let names = List.map fst (policies ()) in
   let t = Table.create ~header:("workload" :: names) () in
-  List.iter
-    (fun workload ->
-      Table.add_row t
-        (workload
-        :: List.map (fun (_, policy) -> cell workload policy) (policies ())))
-    workloads;
+  (* one task per workload row; each task builds its own policy
+     instances so no decision state is shared across domains *)
+  let rows =
+    Mitos_parallel.Pool.map_opt pool
+      ~f:(fun workload ->
+        workload
+        :: List.map (fun (_, policy) -> cell workload policy) (policies ()))
+      workloads
+  in
+  List.iter (Table.add_row t) rows;
   Report.table r t;
   Report.text r
     "Columns are ordered from the undertainting endpoint (faros: 0%) to \

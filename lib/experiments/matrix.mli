@@ -9,6 +9,11 @@
 
 val policies : unit -> (string * Mitos_dift.Policy.t) list
 
-val run : ?workloads:string list -> unit -> Report.section
+val run :
+  ?workloads:string list ->
+  ?pool:Mitos_parallel.Pool.t ->
+  unit ->
+  Report.section
 (** Defaults to every registry workload. Expensive: each cell is a
-    full tracked execution. *)
+    full tracked execution. [pool] parallelizes over workload rows;
+    output is byte-identical to the sequential run. *)

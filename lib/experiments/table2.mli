@@ -25,5 +25,12 @@ type result = {
 }
 
 val run_variant : Mitos_workload.Attack.variant -> row
-val run_all : unit -> result
-val run : unit -> Report.section
+
+val run_all : ?pool:Mitos_parallel.Pool.t -> unit -> result
+(** [pool] runs one attack variant per task. *)
+
+val run : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+(** The printed report contains only deterministic metrics (shadow
+    ops, footprint, detected bytes); the wall-clock ratio is kept in
+    {!result.wall_improvement} but not rendered, so sequential and
+    parallel runs produce byte-identical reports. *)

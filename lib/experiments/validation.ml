@@ -14,7 +14,7 @@ let policies () =
     ("all", Policies.propagate_all);
   ]
 
-let run () =
+let run ?pool () =
   let r =
     Report.create
       ~title:"Policy conformance: litmus flow classes x policies"
@@ -22,7 +22,9 @@ let run () =
   let names = List.map fst (policies ()) in
   let t = Table.create ~header:(("case" :: names) @ [ "class" ]) () in
   let outcomes =
-    List.map (fun (_, policy) -> Litmus.run policy) (policies ())
+    Mitos_parallel.Pool.map_opt pool
+      ~f:(fun (_, policy) -> Litmus.run policy)
+      (policies ())
   in
   List.iteri
     (fun i case ->

@@ -7,4 +7,6 @@
     documentation. *)
 
 val policies : unit -> (string * Mitos_dift.Policy.t) list
-val run : unit -> Report.section
+
+val run : ?pool:Mitos_parallel.Pool.t -> unit -> Report.section
+(** [pool] runs one litmus column per task. *)

@@ -36,7 +36,10 @@ module Store = struct
 
   let add t addr prov =
     match t with
-    | Hash h -> Hashtbl.add h addr prov
+    (* replace, not add: a re-add for a live address must never stack
+       a shadowed duplicate binding (the paged backend overwrites, so
+       the two backends now agree) *)
+    | Hash h -> Hashtbl.replace h addr prov
     | Pages pages ->
       let pi = addr lsr page_bits in
       let page =

@@ -504,6 +504,132 @@ let qcheck_alg2_paper_equals_scanning_homogeneous =
       in
       verdicts Decision.alg2 = verdicts Decision.alg2_paper)
 
+(* -- Decision fast path --------------------------------------------------------- *)
+
+(* The fast path claims bit-identical results, so every comparison
+   below is exact float equality — no tolerance. *)
+
+let exact_float =
+  Alcotest.testable
+    (fun fmt f -> Format.fprintf fmt "%h" f)
+    (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let fast_params_gen =
+  QCheck.Gen.(
+    map
+      (fun ((alpha, tau), (u_net, o_net)) ->
+        base_params ~alpha ~tau ~tau_scale:10.0
+          ~u:[ (Tag_type.Network, u_net) ]
+          ~o:[ (Tag_type.Network, o_net) ]
+          ())
+      (pair
+         (pair (float_range 0.3 4.0) (float_range 0.0 2.0))
+         (pair (float_range 0.1 20.0) (float_range 0.1 5.0))))
+
+let qcheck_fast_marginal_equals_direct =
+  (* table_size 64 with n up to 200 exercises both the table hit and
+     the exact-formula fallback *)
+  QCheck.Test.make ~name:"Cost.Fast.marginal = Cost.marginal (bit-exact)"
+    ~count:500
+    QCheck.(
+      make
+        Gen.(
+          quad fast_params_gen random_ty (int_range 0 200)
+            (float_range 0.0 2000.0)))
+    (fun (p, ty, n, pollution) ->
+      let fast = Cost.Fast.create ~table_size:64 p in
+      let direct = Cost.marginal p ty ~n:(float_of_int n) ~pollution in
+      let tabled = Cost.Fast.marginal fast ty ~n ~pollution in
+      (* drive the caches through a second pollution value and back:
+         the g-factor cache must not leak stale values *)
+      ignore (Cost.Fast.marginal fast ty ~n ~pollution:(pollution +. 1.0));
+      let again = Cost.Fast.marginal fast ty ~n ~pollution in
+      Int64.equal (Int64.bits_of_float direct) (Int64.bits_of_float tabled)
+      && Int64.equal (Int64.bits_of_float tabled) (Int64.bits_of_float again))
+
+let fast_env_gen =
+  QCheck.Gen.(
+    quad fast_params_gen (int_range 0 6)
+      (list_size (0 -- 8) (pair (int_range 1 40) (int_range 0 120)))
+      (float_range 0.0 1500.0))
+
+let qcheck_fast_alg_equals_direct =
+  QCheck.Test.make
+    ~name:"alg1_fast / alg2_fast = alg1 / alg2 (verdicts and marginals)"
+    ~count:300
+    QCheck.(make fast_env_gen)
+    (fun (p, space, raw, pollution) ->
+      let candidates =
+        List.mapi
+          (fun i (id, n) -> (Tag.make Tag_type.Network (id + (i * 100)), n))
+          raw
+      in
+      let table = Hashtbl.create 8 in
+      List.iter (fun (tag, n) -> Hashtbl.replace table tag n) candidates;
+      let env =
+        {
+          Decision.count =
+            (fun tag -> Option.value ~default:0 (Hashtbl.find_opt table tag));
+          pollution;
+        }
+      in
+      let fast = Decision.fast ~table_size:64 p in
+      let tags = List.map fst candidates in
+      let ranked_eq a b =
+        List.length a = List.length b
+        && List.for_all2
+             (fun (x : Decision.ranked) (y : Decision.ranked) ->
+               Tag.equal x.Decision.tag y.Decision.tag
+               && x.Decision.verdict = y.Decision.verdict
+               && Int64.equal
+                    (Int64.bits_of_float x.Decision.marginal)
+                    (Int64.bits_of_float y.Decision.marginal))
+             a b
+      in
+      List.for_all
+        (fun tag -> Decision.alg1 p env tag = Decision.alg1_fast fast env tag)
+        tags
+      && ranked_eq (Decision.alg2 p env ~space tags)
+           (Decision.alg2_fast fast env ~space tags)
+      && ranked_eq
+           (Decision.alg2_no_recompute p env ~space tags)
+           (Decision.alg2_fast_no_recompute fast env ~space tags)
+      && List.equal Tag.equal
+           (Decision.alg2_accepted p env ~space tags)
+           (Decision.alg2_fast_accepted fast env ~space tags))
+
+let test_fast_table_fallback_boundary () =
+  (* exact agreement on both sides of the table edge *)
+  let p = base_params ~alpha:1.5 ~tau:0.7 () in
+  let fast = Cost.Fast.create ~table_size:8 p in
+  List.iter
+    (fun n ->
+      Alcotest.check exact_float
+        (Printf.sprintf "n=%d" n)
+        (Cost.marginal p Tag_type.Network ~n:(float_of_int n)
+           ~pollution:100.0)
+        (Cost.Fast.marginal fast Tag_type.Network ~n ~pollution:100.0))
+    [ 0; 1; 6; 7; 8; 9; 100 ]
+
+let test_fast_update_reuses_or_rebuilds () =
+  let p = base_params ~tau:1.0 () in
+  let fast = Decision.fast ~table_size:32 p in
+  let env n pollution = { Decision.count = (fun _ -> n); pollution } in
+  (* tau-only change: the under table may be reused, results must
+     track the new params either way *)
+  let p2 = Params.with_tau p 0.25 in
+  let fast2 = Decision.fast_update fast p2 in
+  Alcotest.check exact_float "after tau change"
+    (Cost.marginal p2 Tag_type.File ~n:3.0 ~pollution:50.0)
+    (Decision.marginal_fast fast2 (env 3 50.0) (file 1));
+  let p3 = Params.with_alpha p2 2.5 in
+  let fast3 = Decision.fast_update fast2 p3 in
+  Alcotest.check exact_float "after alpha change (table rebuilt)"
+    (Cost.marginal p3 Tag_type.File ~n:3.0 ~pollution:50.0)
+    (Decision.marginal_fast fast3 (env 3 50.0) (file 1));
+  Alcotest.(check bool) "fast_params tracks" true
+    (Params.equal p3 (Decision.fast_params fast3))
+
 (* -- Analysis ----------------------------------------------------------------------- *)
 
 let test_analysis_crossover_consistency () =
@@ -667,6 +793,15 @@ let () =
             test_alg2_paper_early_break;
           q qcheck_alg2_paper_equals_scanning_homogeneous;
           Alcotest.test_case "of_stats" `Quick test_of_stats_env;
+        ] );
+      ( "fast-path",
+        [
+          q qcheck_fast_marginal_equals_direct;
+          q qcheck_fast_alg_equals_direct;
+          Alcotest.test_case "table fallback boundary" `Quick
+            test_fast_table_fallback_boundary;
+          Alcotest.test_case "fast_update" `Quick
+            test_fast_update_reuses_or_rebuilds;
         ] );
       ( "solver",
         [

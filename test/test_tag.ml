@@ -340,6 +340,34 @@ let test_shadow_paged_backend_equivalent () =
   Alcotest.(check string) "backend name" "paged"
     (Shadow.backend_to_string Shadow.Paged)
 
+let test_shadow_hashed_no_duplicate_bindings () =
+  (* regression: Store.add on the Hashed backend must replace the
+     binding for a live address, not stack a second one — a stacked
+     stale list would resurface after clear_addr *)
+  let sh =
+    Shadow.create ~backend:Shadow.Hashed ~mem_capacity:1_000 ~num_regs:4
+      ~m_prov:4 ()
+  in
+  (* taint, fully clear via remove_tag (empties the list and drops the
+     store entry), then re-taint: the re-add used to Hashtbl.add a
+     second binding on some code paths *)
+  ignore (Shadow.add_tag_addr sh 7 (net 1));
+  ignore (Shadow.remove_tag_addr sh 7 (net 1));
+  ignore (Shadow.add_tag_addr sh 7 (file 1));
+  ignore (Shadow.add_tag_addr sh 7 (net 2));
+  Alcotest.(check (list string)) "single live list"
+    [ "file#1"; "network#2" ]
+    (List.sort compare (List.map Tag.to_string (Shadow.tags_of_addr sh 7)));
+  Shadow.clear_addr sh 7;
+  Alcotest.(check (list string)) "clear empties the byte" []
+    (List.map Tag.to_string (Shadow.tags_of_addr sh 7));
+  Alcotest.(check int) "no phantom tainted bytes" 0 (Shadow.tainted_bytes sh);
+  (* iteration must see each address at most once *)
+  ignore (Shadow.add_tag_addr sh 7 (net 3));
+  let visits = ref 0 in
+  Shadow.iter_tainted sh (fun addr _ -> if addr = 7 then incr visits);
+  Alcotest.(check int) "one binding per address" 1 !visits
+
 let test_shadow_paged_iteration_and_reset () =
   let sh =
     Shadow.create ~backend:Shadow.Paged ~mem_capacity:20_000 ~num_regs:4
@@ -486,6 +514,8 @@ let () =
             test_shadow_least_marginal_eviction;
           Alcotest.test_case "least-marginal rejects common" `Quick
             test_shadow_least_marginal_rejects_common_newcomer;
+          Alcotest.test_case "hashed backend: no duplicate bindings" `Quick
+            test_shadow_hashed_no_duplicate_bindings;
           Alcotest.test_case "paged backend equivalent" `Quick
             test_shadow_paged_backend_equivalent;
           Alcotest.test_case "paged iteration/reset" `Quick
