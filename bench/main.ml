@@ -175,6 +175,28 @@ let bench_engine =
              ~mem_size:(Mitos_replay.Trace.mem_size trace);
            Array.iter (Mitos_dift.Engine.process_record engine) slice))
   in
+  (* audit flight-recorder cost on the decision-heavy mitos replay:
+     the disabled row pays only the probe check, the enabled row
+     records every Alg. 1/2 call plus evictions into the ring *)
+  let bench_audit name enabled =
+    Test.make ~name:(Printf.sprintf "engine replay 1k records (%s)" name)
+      (Staged.stage (fun () ->
+           let engine =
+             Mitos_workload.Workload.engine_of
+               ~policy:
+                 (Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()))
+               built
+           in
+           if enabled then begin
+             let audit = Mitos_obs.Audit.create ~capacity:(1 lsl 18) () in
+             Mitos.Decision.set_audit (Some audit);
+             Mitos_dift.Engine.instrument ~audit engine Mitos_obs.Obs.disabled
+           end;
+           Mitos_dift.Engine.attach_shadow engine
+             ~mem_size:(Mitos_replay.Trace.mem_size trace);
+           Array.iter (Mitos_dift.Engine.process_record engine) slice;
+           if enabled then Mitos.Decision.set_audit None))
+  in
   [
     bench_policy "faros" Mitos_dift.Policies.faros;
     bench_policy "propagate-all" Mitos_dift.Policies.propagate_all;
@@ -185,6 +207,8 @@ let bench_engine =
     bench_instrumented "obs no-op sink" (fun () -> Mitos_obs.Obs.disabled);
     bench_instrumented "obs enabled" (fun () ->
         Mitos_obs.Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) ());
+    bench_audit "mitos, audit disabled" false;
+    bench_audit "mitos, audit enabled" true;
   ]
 
 let bench_solvers =
@@ -319,6 +343,26 @@ let write_bench_json ~jobs path =
         Array.iter (Mitos_dift.Engine.process_record engine) slice)
   in
   let records_per_sec = float_of_int (Array.length slice) /. (replay_ns *. 1e-9) in
+  (* same replay with the decision flight recorder enabled *)
+  let replay_audit_ns =
+    time_ns_per ~iters:50 (fun () ->
+        let engine =
+          Mitos_workload.Workload.engine_of
+            ~policy:
+              (Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()))
+            built
+        in
+        let audit = Mitos_obs.Audit.create ~capacity:(1 lsl 18) () in
+        Mitos.Decision.set_audit (Some audit);
+        Mitos_dift.Engine.instrument ~audit engine Mitos_obs.Obs.disabled;
+        Mitos_dift.Engine.attach_shadow engine
+          ~mem_size:(Mitos_replay.Trace.mem_size trace);
+        Array.iter (Mitos_dift.Engine.process_record engine) slice;
+        Mitos.Decision.set_audit None)
+  in
+  let audit_records_per_sec =
+    float_of_int (Array.length slice) /. (replay_audit_ns *. 1e-9)
+  in
   (* pool speedup on an embarrassingly parallel alg2 workload *)
   let task _i =
     let acc = ref 0 in
@@ -362,7 +406,9 @@ let write_bench_json ~jobs path =
     "speedup": %.3f
   },
   "engine_replay": {
-    "records_per_sec": %.0f
+    "records_per_sec": %.0f,
+    "audit_records_per_sec": %.0f,
+    "audit_overhead": %.3f
   },
   "pool": {
     "tasks": %d,
@@ -374,7 +420,9 @@ let write_bench_json ~jobs path =
 |}
         jobs alg1_direct alg1_fast (1e9 /. alg1_direct) (1e9 /. alg1_fast)
         (alg1_direct /. alg1_fast) alg2_direct alg2_fast
-        (alg2_direct /. alg2_fast) records_per_sec (List.length inputs)
+        (alg2_direct /. alg2_fast) records_per_sec audit_records_per_sec
+        ((replay_audit_ns -. replay_ns) /. replay_ns)
+        (List.length inputs)
         seq_wall par_wall
         (seq_wall /. par_wall));
   Printf.printf "wrote %s\n" path

@@ -785,6 +785,182 @@ let obs_bench_cmd =
           tracing+metrics.")
     Term.(const run $ records_arg $ repetitions_arg)
 
+(* -- audit --------------------------------------------------------------- *)
+
+module Audit = Mitos_obs.Audit
+module Exp = Mitos_experiments
+
+let audit_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the decision audit log as JSONL to $(docv) (one record \
+           per line; byte-identical across runs and --jobs settings).")
+
+let audit_capacity_arg =
+  Arg.(
+    value
+    & opt int 65536
+    & info [ "audit-capacity" ] ~docv:"N"
+        ~doc:"Audit ring capacity in records (keep-oldest).")
+
+let check_capacity capacity =
+  if capacity < 1 then or_die (Error "--audit-capacity must be at least 1")
+
+let write_audit_out audit = function
+  | None -> ()
+  | Some path ->
+    (try
+       Obs.write_file path (Audit.to_jsonl audit);
+       Printf.printf "wrote audit log (%d records, %d dropped) to %s\n"
+         (Audit.length audit) (Audit.dropped audit) path
+     with Sys_error msg -> or_die (Error msg))
+
+(* Run a workload live with the flight recorder threaded through the
+   decision probe and the engine; obs (when requested) cross-links the
+   records into the Chrome trace as instant events. *)
+let audited_run ~capacity ~obs_opts name policy_name seed params =
+  let policy, route_direct = or_die (resolve_policy policy_name params) in
+  let built = or_die (build_workload name ~seed) in
+  let audit = Audit.create ~capacity () in
+  Mitos.Decision.set_audit (Some audit);
+  let engine =
+    Fun.protect
+      ~finally:(fun () -> Mitos.Decision.set_audit None)
+      (fun () ->
+        W.Workload.run_live
+          ~config:(engine_config ~route_direct)
+          ?obs:obs_opts.obs ~sample_every:obs_opts.sample_every ~audit ~policy
+          built)
+  in
+  (audit, engine)
+
+let audit_log_cmd =
+  let run name policy_name seed tau alpha u_net u_export capacity out obs_opts
+      =
+    check_capacity capacity;
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let audit, _engine =
+      audited_run ~capacity ~obs_opts name policy_name seed params
+    in
+    (match out with
+    | Some _ -> write_audit_out audit out
+    | None -> print_string (Audit.to_jsonl audit));
+    finish_obs obs_opts
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:
+         "Run a workload with the decision flight recorder on and dump \
+          the audit log (JSONL): every Alg. 1/2 verdict with its Eq. (8) \
+          submarginals, plus evictions. Writes to --audit-out, or stdout.")
+    Term.(
+      const run $ workload_arg $ policy_arg $ seed_arg $ tau_arg $ alpha_arg
+      $ u_net_arg $ u_export_arg $ audit_capacity_arg $ audit_out_arg
+      $ obs_term)
+
+let audit_blame_cmd =
+  let run target seed tau alpha u_net u_export capacity out jobs =
+    check_capacity capacity;
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let summary =
+      with_jobs jobs (fun ~pool ->
+          match target with
+          | "litmus" -> Exp.Blame.litmus ~capacity ~pool params
+          | name ->
+            (* validate the name before the expensive runs *)
+            ignore (or_die (build_workload name ~seed));
+            Exp.Blame.workload ~capacity ~pool ~name params (fun () ->
+                or_die (build_workload name ~seed)))
+    in
+    Exp.Report.print
+      (Exp.Blame.report
+         ~title:(Printf.sprintf "Blame attribution (%s, mitos policy)" target)
+         summary);
+    write_audit_out summary.Exp.Blame.audit out
+  in
+  let target_arg =
+    Arg.(
+      value
+      & pos 0 string "litmus"
+      & info [] ~docv:"TARGET"
+          ~doc:"'litmus' (the flow-class suite) or a workload name.")
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Attribute every over-/under-tainted byte (vs. the faros and \
+          propagate-all oracle bounds) to the audit records that caused \
+          it, ranked per tag and per pc.")
+    Term.(
+      const run $ target_arg $ seed_arg $ tau_arg $ alpha_arg $ u_net_arg
+      $ u_export_arg $ audit_capacity_arg $ audit_out_arg $ jobs_arg)
+
+let audit_graph_cmd =
+  let run name policy_name seed tau alpha u_net u_export capacity out dot_out
+      json_out =
+    check_capacity capacity;
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let audit, engine =
+      audited_run ~capacity
+        ~obs_opts:
+          { trace_out = None; metrics_out = None; sample_every = 1024;
+            obs = None }
+        name policy_name seed params
+    in
+    let graph =
+      Exp.Flowgraph.build ~shadow:(Engine.shadow engine) (Audit.records audit)
+    in
+    let write what path contents =
+      try
+        Obs.write_file path contents;
+        Printf.printf "wrote %s to %s\n" what path
+      with Sys_error msg -> or_die (Error msg)
+    in
+    Option.iter
+      (fun path -> write "flow graph (DOT)" path (Exp.Flowgraph.to_dot graph))
+      dot_out;
+    Option.iter
+      (fun path -> write "flow graph (JSON)" path (Exp.Flowgraph.to_json graph))
+      json_out;
+    if dot_out = None && json_out = None then
+      print_string (Exp.Flowgraph.to_dot graph);
+    write_audit_out audit out
+  in
+  let dot_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot-out" ] ~docv:"FILE" ~doc:"Write Graphviz DOT to $(docv).")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Write graph JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Run a workload audited and export the taint propagation graph \
+          (tag and decision-site nodes, verdict and eviction edges) as \
+          DOT and/or JSON. With neither output flag, DOT goes to stdout.")
+    Term.(
+      const run $ workload_arg $ policy_arg $ seed_arg $ tau_arg $ alpha_arg
+      $ u_net_arg $ u_export_arg $ audit_capacity_arg $ audit_out_arg
+      $ dot_out_arg $ json_out_arg)
+
+let audit_cmd =
+  Cmd.group
+    (Cmd.info "audit"
+       ~doc:
+         "Decision flight recorder: dump the per-decision audit log, \
+          attribute over-/under-tainting to decisions (blame), or export \
+          the taint flow graph.")
+    [ audit_log_cmd; audit_blame_cmd; audit_graph_cmd ]
+
 let () =
   let info =
     Cmd.info "mitos-cli" ~version:"1.0.0"
@@ -797,4 +973,5 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
-            sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd ]))
+            sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd;
+            audit_cmd ]))

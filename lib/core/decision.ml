@@ -55,6 +55,22 @@ let timed pick_hist f =
   | None -> f ()
   | Some p -> Mitos_obs.Obs.time p.obs (pick_hist p) f
 
+(* -- audit probe ----------------------------------------------------- *)
+
+(* Same shape as [probe]: a module-global [Atomic] holding the
+   installed decision flight recorder. The disabled path is one
+   atomic load per decision; record construction (tag rendering,
+   submarginal split) happens only when a recorder is installed. *)
+let audit_probe : Mitos_obs.Audit.t option Atomic.t = Atomic.make None
+
+let set_audit = function
+  | None -> Atomic.set audit_probe None
+  | Some recorder ->
+    Atomic.set audit_probe
+      (if Mitos_obs.Audit.enabled recorder then Some recorder else None)
+
+let audit () = Atomic.get audit_probe
+
 let of_stats p stats =
   { count = Tag_stats.count stats; pollution = Cost.weighted_pollution p stats }
 
@@ -68,12 +84,49 @@ let submarginals p env tag =
   ( Cost.under_submarginal p ty ~n:(float_of_int (env.count tag)),
     Cost.over_submarginal p ty ~pollution:env.pollution )
 
+(* The recorded overtainting part is [m - under], not a fresh
+   [over_submarginal] read: within Alg. 2's greedy pass the pollution
+   (and with it the overtainting term) moves after each acceptance,
+   and the audit log must show the split the verdict actually used. *)
+let audit_tag p env tag m v =
+  let under =
+    Cost.under_submarginal p (Tag.ty tag)
+      ~n:(float_of_int (env.count tag))
+  in
+  {
+    Mitos_obs.Audit.tag = Tag.to_string tag;
+    under;
+    over = m -. under;
+    marginal = m;
+    verdict =
+      (match v with
+      | Propagate -> Mitos_obs.Audit.Propagate
+      | Block -> Mitos_obs.Audit.Block);
+  }
+
 let alg1 p env tag =
   timed
     (fun pr -> pr.alg1_latency)
-    (fun () -> if marginal p env tag <= 0.0 then Propagate else Block)
+    (fun () ->
+      let m = marginal p env tag in
+      let v = if m <= 0.0 then Propagate else Block in
+      (match Atomic.get audit_probe with
+      | None -> ()
+      | Some recorder ->
+        Mitos_obs.Audit.record_decision recorder ~algorithm:"alg1" ~space:1
+          ~pollution:env.pollution
+          [ audit_tag p env tag m v ]);
+      v)
 
 type ranked = { tag : Tag.t; marginal : float; verdict : verdict }
+
+let audit_ranked p env ~algorithm ~space ranked =
+  match Atomic.get audit_probe with
+  | None -> ()
+  | Some recorder ->
+    Mitos_obs.Audit.record_decision recorder ~algorithm ~space
+      ~pollution:env.pollution
+      (List.map (fun r -> audit_tag p env r.tag r.marginal r.verdict) ranked)
 
 let run_alg2 ~recompute p env ~space candidates =
   if space < 0 then invalid_arg "Decision.alg2: negative space";
@@ -111,7 +164,10 @@ let run_alg2 ~recompute p env ~space candidates =
 let alg2 p env ~space candidates =
   timed
     (fun pr -> pr.alg2_latency)
-    (fun () -> run_alg2 ~recompute:true p env ~space candidates)
+    (fun () ->
+      let ranked = run_alg2 ~recompute:true p env ~space candidates in
+      audit_ranked p env ~algorithm:"alg2" ~space ranked;
+      ranked)
 
 let alg2_accepted p env ~space candidates =
   alg2 p env ~space candidates
@@ -121,7 +177,10 @@ let alg2_accepted p env ~space candidates =
 let alg2_no_recompute p env ~space candidates =
   timed
     (fun pr -> pr.alg2_latency)
-    (fun () -> run_alg2 ~recompute:false p env ~space candidates)
+    (fun () ->
+      let ranked = run_alg2 ~recompute:false p env ~space candidates in
+      audit_ranked p env ~algorithm:"alg2-no-recompute" ~space ranked;
+      ranked)
 
 (* -- table-backed fast path ------------------------------------------ *)
 
@@ -138,7 +197,16 @@ let marginal_fast f env tag =
 let alg1_fast f env tag =
   timed
     (fun pr -> pr.alg1_latency)
-    (fun () -> if marginal_fast f env tag <= 0.0 then Propagate else Block)
+    (fun () ->
+      let m = marginal_fast f env tag in
+      let v = if m <= 0.0 then Propagate else Block in
+      (match Atomic.get audit_probe with
+      | None -> ()
+      | Some recorder ->
+        Mitos_obs.Audit.record_decision recorder ~algorithm:"alg1-fast"
+          ~space:1 ~pollution:env.pollution
+          [ audit_tag (Cost.Fast.params f) env tag m v ]);
+      v)
 
 (* Mirrors [run_alg2] step for step; because the table and the
    pollution cache reproduce Eq. 8 bit-for-bit, the sort keys, the
@@ -177,12 +245,20 @@ let run_alg2_fast ~recompute f env ~space candidates =
 let alg2_fast f env ~space candidates =
   timed
     (fun pr -> pr.alg2_latency)
-    (fun () -> run_alg2_fast ~recompute:true f env ~space candidates)
+    (fun () ->
+      let ranked = run_alg2_fast ~recompute:true f env ~space candidates in
+      audit_ranked (Cost.Fast.params f) env ~algorithm:"alg2-fast" ~space
+        ranked;
+      ranked)
 
 let alg2_fast_no_recompute f env ~space candidates =
   timed
     (fun pr -> pr.alg2_latency)
-    (fun () -> run_alg2_fast ~recompute:false f env ~space candidates)
+    (fun () ->
+      let ranked = run_alg2_fast ~recompute:false f env ~space candidates in
+      audit_ranked (Cost.Fast.params f) env
+        ~algorithm:"alg2-fast-no-recompute" ~space ranked;
+      ranked)
 
 let alg2_fast_accepted f env ~space candidates =
   alg2_fast f env ~space candidates

@@ -123,3 +123,20 @@ val set_obs : Mitos_obs.Obs.t option -> unit
     lose increments under contention — acceptable for sampling
     metrics; set the probe around sequential runs when exact counts
     matter. *)
+
+val set_audit : Mitos_obs.Audit.t option -> unit
+(** Route every decision into an audit flight recorder: {!alg1},
+    {!alg2} and their table-backed fast variants each append one
+    [Decision] record — algorithm name, the ambient flow context (see
+    [Mitos_obs.Audit.set_context]), the space and pollution the
+    decision saw, and per candidate the {!submarginals} split,
+    decision-time marginal and verdict.
+
+    Same contract and caveats as {!set_obs}: module-global [Atomic]
+    cell, [None]/disabled recorder restores the one-atomic-load
+    disabled path, and the recorder itself is not synchronized — set
+    it around a sequential run, not across a domain pool. *)
+
+val audit : unit -> Mitos_obs.Audit.t option
+(** The currently installed recorder, if any — policies use this to
+    stamp flow context onto the shared recorder before deciding. *)

@@ -62,10 +62,29 @@ let cap_per_flow k inner =
     ~select:(fun request ->
       Policy.select inner request |> List.filteri (fun i _ -> i < k))
 
-let logging callback inner =
-  Policy.make
-    ~name:(Printf.sprintf "logged(%s)" (Policy.name inner))
-    ~select:(fun request ->
+(* The one audit spine: every observation of a (request, selection)
+   pair goes through here, whether it lands in the flight recorder
+   ([audited]) or a user callback ([logging], kept as a thin
+   adapter). *)
+let audit_spine ~name ?on_select recorder inner =
+  Policy.make ~name ~select:(fun request ->
       let chosen = Policy.select inner request in
-      callback request chosen;
+      (match on_select with Some f -> f request chosen | None -> ());
+      if Mitos_obs.Audit.enabled recorder then
+        Mitos_obs.Audit.record_selection recorder ~step:request.Policy.step
+          ~policy:(Policy.name inner)
+          ~flow:(Policy.flow_kind_to_string request.Policy.kind)
+          ~candidates:(List.map Tag.to_string request.Policy.candidates)
+          ~chosen:(List.map Tag.to_string chosen)
+          ();
       chosen)
+
+let audited recorder inner =
+  audit_spine
+    ~name:(Printf.sprintf "audited(%s)" (Policy.name inner))
+    recorder inner
+
+let logging callback inner =
+  audit_spine
+    ~name:(Printf.sprintf "logged(%s)" (Policy.name inner))
+    ~on_select:callback Mitos_obs.Audit.null inner

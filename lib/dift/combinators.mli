@@ -30,8 +30,17 @@ val cap_per_flow : int -> Policy.t -> Policy.t
 (** Hard per-flow budget: at most [k] tags of the inner policy's
     selection survive (a DDIFT-style rate limit). *)
 
+val audited : Mitos_obs.Audit.t -> Policy.t -> Policy.t
+(** Audit wrapper: appends a [Selection] record (inner policy name,
+    flow kind, candidates, chosen) to the flight recorder for every
+    consultation, then passes the selection through unchanged. With a
+    disabled recorder ([Mitos_obs.Audit.null]) the wrapper only
+    forwards. This records the policy-level outcome; the per-tag
+    marginal split comes from the [Mitos.Decision.set_audit] probe —
+    both land in the same log. *)
+
 val logging :
   (Policy.request -> Tag.t list -> unit) -> Policy.t -> Policy.t
-(** Audit wrapper: invokes the callback with every request and the
-    inner policy's selection, then passes the selection through
-    unchanged. *)
+(** Thin adapter over the same spine as {!audited}: invokes the
+    callback with every request and the inner policy's selection
+    instead of writing a record. *)

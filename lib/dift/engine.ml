@@ -107,6 +107,7 @@ type t = {
   mutable history_on : bool;
   history : (int, arrival list ref) Hashtbl.t; (* newest first *)
   mutable instruments : instruments option;
+  mutable audit : Mitos_obs.Audit.t option;
 }
 
 let create ?(config = default_config) ~policy ~source_tag prog =
@@ -131,7 +132,29 @@ let create ?(config = default_config) ~policy ~source_tag prog =
     history_on = false;
     history = Hashtbl.create 256;
     instruments = None;
+    audit = None;
   }
+
+(* Surface provenance-list evictions into the flight recorder: taint
+   removed behind the policy's back is the one cause of undertainting
+   no decision record explains. *)
+let install_evict_observer t shadow =
+  match t.audit with
+  | None -> ()
+  | Some recorder ->
+    Shadow.on_evict shadow
+      (Some
+         (fun (e : Shadow.evict_event) ->
+           let at =
+             match e.at with
+             | `Mem addr -> "mem:" ^ string_of_int addr
+             | `Reg r -> "reg:" ^ string_of_int r
+           in
+           Mitos_obs.Audit.record_eviction recorder ~step:t.current_step
+             ~pc:t.current_pc ~at
+             ~victim:(Tag.to_string e.victim)
+             ~incoming:(Tag.to_string e.incoming)
+             ()))
 
 let attach_shadow t ~mem_size =
   let shadow =
@@ -139,12 +162,14 @@ let attach_shadow t ~mem_size =
       ~mem_capacity:mem_size ~num_regs:Mitos_isa.Instr.num_regs
       ~m_prov:t.config.m_prov ()
   in
-  t.shadow <- Some shadow
+  t.shadow <- Some shadow;
+  install_evict_observer t shadow
 
 let attach_existing_shadow t shadow =
   if Shadow.m_prov shadow <> t.config.m_prov then
     invalid_arg "Engine.attach_existing_shadow: M_prov mismatch";
-  t.shadow <- Some shadow
+  t.shadow <- Some shadow;
+  install_evict_observer t shadow
 
 let attach t machine =
   attach_shadow t ~mem_size:(Machine.mem_size machine);
@@ -165,10 +190,23 @@ let on_record t f = t.record_hooks <- f :: t.record_hooks
 
 (* -- Observability -------------------------------------------------- *)
 
-let instrument ?(sample_every = 1024) t obs =
+let instrument ?(sample_every = 1024) ?audit t obs =
   if sample_every < 1 then invalid_arg "Engine.instrument: sample_every";
   if t.instruments <> None then
     invalid_arg "Engine.instrument: engine already instrumented";
+  (* The audit recorder rides the same entry point but is gated on its
+     own enabled flag, not the obs context's — auditing a run without
+     span tracing (and vice versa) are both valid. *)
+  (match audit with
+  | Some recorder when Mitos_obs.Audit.enabled recorder ->
+    t.audit <- Some recorder;
+    (* with a live trace too, cross-link records as instant events *)
+    if Mitos_obs.Obs.enabled obs then
+      Mitos_obs.Audit.link_tracer recorder (Mitos_obs.Obs.tracer obs);
+    (match t.shadow with
+    | Some shadow -> install_evict_observer t shadow
+    | None -> ())
+  | Some _ | None -> ());
   if Mitos_obs.Obs.enabled obs then begin
     let module R = Mitos_obs.Registry in
     let registry = Mitos_obs.Obs.registry obs in
@@ -338,6 +376,13 @@ let union_loc_tags t shadow ~via loc tags =
 (* -- Policy consultation ------------------------------------------- *)
 
 let consult t shadow ~kind ~candidates ~space ~width ~step =
+  (match t.audit with
+  | None -> ()
+  | Some recorder ->
+    (* stamp the flow context so Decision records emitted under this
+       consultation carry the right step/pc/kind *)
+    Mitos_obs.Audit.set_context recorder ~step ~pc:t.current_pc
+      ~flow:(Policy.flow_kind_to_string kind) ());
   let request =
     {
       Policy.kind;

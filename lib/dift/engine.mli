@@ -113,7 +113,8 @@ val on_record : t -> (Mitos_isa.Machine.exec_record -> unit) -> unit
 (** Register a callback invoked after each record is processed (used
     by the recorder and live metrics). *)
 
-val instrument : ?sample_every:int -> t -> Mitos_obs.Obs.t -> unit
+val instrument :
+  ?sample_every:int -> ?audit:Mitos_obs.Audit.t -> t -> Mitos_obs.Obs.t -> unit
 (** Wire the engine to an observability context:
 
     - a per-record decision-latency histogram
@@ -126,10 +127,21 @@ val instrument : ?sample_every:int -> t -> Mitos_obs.Obs.t -> unit
       bytes, copies, distinct tags — are the {!Metrics.attach_sampler}
       layer's job.)
 
-    With a disabled context ({!Mitos_obs.Obs.disabled}) this installs
-    nothing — the engine keeps its zero-cost path (one pointer compare
-    per record). Call before running; raises [Invalid_argument] if the
-    engine is already instrumented or [sample_every < 1]. *)
+    [audit] additionally threads a decision flight recorder through
+    the engine: every policy consultation stamps its step/pc/flow
+    context onto the recorder (so [Decision] records emitted by the
+    policy's Alg. 1/2 calls — see [Mitos.Decision.set_audit] — carry
+    it), provenance-list evictions in the engine's shadow surface as
+    [Eviction] records, and — when the obs context is live too —
+    records are cross-linked into the Chrome trace as instant events.
+    Auditing is gated on the recorder's own enabled flag, so a
+    disabled obs context with a live recorder audits without tracing.
+
+    With a disabled context ({!Mitos_obs.Obs.disabled}) and no live
+    recorder this installs nothing — the engine keeps its zero-cost
+    path (one pointer compare per record, plus one per policy
+    consultation). Call before running; raises [Invalid_argument] if
+    the engine is already instrumented or [sample_every < 1]. *)
 
 (** {1 Tag confluence (online detection)}
 

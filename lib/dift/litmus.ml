@@ -123,7 +123,15 @@ let cases = List.map (fun spec -> spec.case) specs
 
 type outcome = { case : case; tainted : bool }
 
-let run_spec policy spec =
+type detail = {
+  detail_case : case;
+  observe : int;
+  never : bool;
+  engine : Engine.t;
+  tainted : bool;
+}
+
+let run_spec_detailed ?instrument policy spec =
   let program = Program.make (Array.of_list spec.program) in
   let machine = Machine.create ~mem_size:4096 ~syscall:handler program in
   (* direct flows are routed through the policy so the suite's Direct
@@ -132,16 +140,32 @@ let run_spec policy spec =
     { Engine.default_config with route_direct_through_policy = true }
   in
   let engine = Engine.create ~config ~policy ~source_tag program in
+  (* before [attach], so instrumentation (e.g. the audit recorder's
+     eviction observer) sees the shadow from its creation *)
+  (match instrument with Some f -> f engine | None -> ());
   Engine.attach engine machine;
   ignore (Engine.run engine);
-  { case = spec.case; tainted = Shadow.is_tainted_addr (Engine.shadow engine) spec.observe }
+  {
+    detail_case = spec.case;
+    observe = spec.observe;
+    never = spec.never;
+    engine;
+    tainted = Shadow.is_tainted_addr (Engine.shadow engine) spec.observe;
+  }
+
+let run_detailed ?instrument policy =
+  List.map (run_spec_detailed ?instrument policy) specs
+
+let run_spec policy spec =
+  let d = run_spec_detailed policy spec in
+  { case = d.detail_case; tainted = d.tainted }
 
 let run policy = List.map (run_spec policy) specs
 
 let check ~direct ~addr ~ctrl policy =
   List.filter_map
     (fun spec ->
-      let { tainted; _ } = run_spec policy spec in
+      let ({ tainted; _ } : outcome) = run_spec policy spec in
       let expected =
         if spec.never then false
         else

@@ -39,6 +39,23 @@ val run : Policy.t -> outcome list
 (** Execute every case under the policy (full engine, default
     config). *)
 
+(** A case outcome with its run artifacts, for offline analyzers that
+    need more than the boolean — the blame analyzer diffs the final
+    shadow state against oracle runs and joins it with the audit
+    log. *)
+type detail = {
+  detail_case : case;
+  observe : int;  (** the case's observation address *)
+  never : bool;  (** engineered to stay clean under any policy *)
+  engine : Engine.t;  (** the engine after the run, shadow attached *)
+  tainted : bool;
+}
+
+val run_detailed : ?instrument:(Engine.t -> unit) -> Policy.t -> detail list
+(** {!run}, keeping each case's engine. [instrument] is applied to
+    every engine after creation, before the machine is attached —
+    pass [Engine.instrument ~audit] wiring here to audit the suite. *)
+
 val check :
   direct:bool -> addr:bool -> ctrl:bool -> Policy.t -> (case * bool * bool) list
 (** [check ~direct ~addr ~ctrl policy] runs the suite and returns the

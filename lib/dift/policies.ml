@@ -68,6 +68,13 @@ let mitos ?(name = "mitos") ?pollution_source ?observe ?(handle_direct = false)
     if (not handle_direct) && not (Policy.is_indirect request.kind) then
       request.candidates
     else begin
+      (* stamp the flow context onto the flight recorder even when the
+         policy is exercised outside an engine (which stamps pc too) *)
+      (match Mitos.Decision.audit () with
+      | None -> ()
+      | Some recorder ->
+        Mitos_obs.Audit.set_context recorder ~step:request.step
+          ~flow:(Policy.flow_kind_to_string request.kind) ());
       let env =
         {
           Mitos.Decision.count = Tag_stats.count request.stats;
@@ -125,6 +132,11 @@ let mitos_adaptive ?(name = "mitos-adaptive") ?(update_period = 256)
     if (not handle_direct) && not (Policy.is_indirect request.kind) then
       request.candidates
     else begin
+      (match Mitos.Decision.audit () with
+      | None -> ()
+      | Some recorder ->
+        Mitos_obs.Audit.set_context recorder ~step:request.step
+          ~flow:(Policy.flow_kind_to_string request.kind) ());
       let params = Mitos.Adaptive.params controller in
       incr decisions;
       if !decisions mod update_period = 0 then

@@ -1,0 +1,219 @@
+open Mitos_tag
+module Audit = Mitos_obs.Audit
+module Registry = Mitos_obs.Registry
+
+type tag_node = {
+  tag : string;
+  resident_bytes : int;
+  propagated : int;
+  blocked : int;
+}
+
+type site_node = { pc : int; flows : string list; decisions : int }
+type edge = { e_tag : string; e_pc : int; e_propagated : int; e_blocked : int }
+type eviction_edge = { incoming : string; victim : string; count : int }
+
+type t = {
+  tags : tag_node list;  (* sorted by tag *)
+  sites : site_node list;  (* sorted by pc *)
+  edges : edge list;  (* sorted by (tag, pc) *)
+  evictions : eviction_edge list;  (* sorted by (incoming, victim) *)
+}
+
+(* mutable accumulation cells *)
+type tag_acc = { mutable a_resident : int; mutable a_prop : int; mutable a_block : int }
+type site_acc = { mutable s_flows : string list; mutable s_decisions : int }
+type edge_acc = { mutable e_prop : int; mutable e_block : int }
+
+let get tbl key fresh =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = fresh () in
+    Hashtbl.add tbl key v;
+    v
+
+let build ?shadow records =
+  let tags = Hashtbl.create 32 in
+  let sites = Hashtbl.create 64 in
+  let edges = Hashtbl.create 64 in
+  let evictions = Hashtbl.create 16 in
+  let tag_cell name =
+    get tags name (fun () -> { a_resident = 0; a_prop = 0; a_block = 0 })
+  in
+  Array.iter
+    (fun (r : Audit.record) ->
+      match r.body with
+      | Audit.Decision { flow; tags = decided; _ } ->
+        let site =
+          get sites r.pc (fun () -> { s_flows = []; s_decisions = 0 })
+        in
+        site.s_decisions <- site.s_decisions + 1;
+        if flow <> "" && not (List.mem flow site.s_flows) then
+          site.s_flows <- flow :: site.s_flows;
+        List.iter
+          (fun (td : Audit.tag_decision) ->
+            let cell = tag_cell td.tag in
+            let edge =
+              get edges (td.tag, r.pc) (fun () -> { e_prop = 0; e_block = 0 })
+            in
+            match td.verdict with
+            | Audit.Propagate ->
+              cell.a_prop <- cell.a_prop + 1;
+              edge.e_prop <- edge.e_prop + 1
+            | Audit.Block ->
+              cell.a_block <- cell.a_block + 1;
+              edge.e_block <- edge.e_block + 1)
+          decided
+      | Audit.Eviction { victim; incoming; _ } ->
+        ignore (tag_cell victim);
+        ignore (tag_cell incoming);
+        let n =
+          Option.value ~default:0 (Hashtbl.find_opt evictions (incoming, victim))
+        in
+        Hashtbl.replace evictions (incoming, victim) (n + 1)
+      | Audit.Selection _ | Audit.Note _ -> ())
+    records;
+  (* fold resident taint from the final shadow state, so the graph
+     shows where each tag actually ended up living *)
+  (match shadow with
+  | None -> ()
+  | Some shadow ->
+    Shadow.iter_tainted shadow (fun _addr resident ->
+        List.iter
+          (fun tag ->
+            let cell = tag_cell (Tag.to_string tag) in
+            cell.a_resident <- cell.a_resident + 1)
+          resident));
+  {
+    tags =
+      Hashtbl.fold
+        (fun tag (c : tag_acc) acc ->
+          {
+            tag;
+            resident_bytes = c.a_resident;
+            propagated = c.a_prop;
+            blocked = c.a_block;
+          }
+          :: acc)
+        tags []
+      |> List.sort (fun a b -> String.compare a.tag b.tag);
+    sites =
+      Hashtbl.fold
+        (fun pc (s : site_acc) acc ->
+          {
+            pc;
+            flows = List.sort String.compare s.s_flows;
+            decisions = s.s_decisions;
+          }
+          :: acc)
+        sites []
+      |> List.sort (fun a b -> Int.compare a.pc b.pc);
+    edges =
+      Hashtbl.fold
+        (fun (tag, pc) (e : edge_acc) acc ->
+          { e_tag = tag; e_pc = pc; e_propagated = e.e_prop; e_blocked = e.e_block }
+          :: acc)
+        edges []
+      |> List.sort (fun a b ->
+             match String.compare a.e_tag b.e_tag with
+             | 0 -> Int.compare a.e_pc b.e_pc
+             | c -> c);
+    evictions =
+      Hashtbl.fold
+        (fun (incoming, victim) count acc -> { incoming; victim; count } :: acc)
+        evictions []
+      |> List.sort (fun a b -> compare (a.incoming, a.victim) (b.incoming, b.victim));
+  }
+
+(* -- DOT ------------------------------------------------------------- *)
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph mitos_taint {\n  rankdir=LR;\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"tag:%s\" [shape=ellipse,label=\"%s\\nresident=%d prop=%d \
+            block=%d\"];\n"
+           (dot_escape n.tag) (dot_escape n.tag) n.resident_bytes n.propagated
+           n.blocked))
+    t.tags;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"pc:%d\" [shape=box,label=\"pc %d\\n%s\"];\n" s.pc
+           s.pc
+           (dot_escape (String.concat "," s.flows))))
+    t.sites;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"tag:%s\" -> \"pc:%d\" [label=\"prop %d / block %d\"];\n"
+           (dot_escape e.e_tag) e.e_pc e.e_propagated e.e_blocked))
+    t.edges;
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"tag:%s\" -> \"tag:%s\" [style=dashed,label=\"evict %d\"];\n"
+           (dot_escape ev.incoming) (dot_escape ev.victim) ev.count))
+    t.evictions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* -- JSON ------------------------------------------------------------ *)
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"mitos-flowgraph/1\",\"tags\":[";
+  List.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"tag\":%s,\"resident_bytes\":%d,\"propagated\":%d,\"blocked\":%d}"
+           (Registry.json_string n.tag) n.resident_bytes n.propagated n.blocked))
+    t.tags;
+  Buffer.add_string buf "],\"sites\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"pc\":%d,\"flows\":[%s],\"decisions\":%d}" s.pc
+           (String.concat "," (List.map Registry.json_string s.flows))
+           s.decisions))
+    t.sites;
+  Buffer.add_string buf "],\"edges\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"tag\":%s,\"pc\":%d,\"propagated\":%d,\"blocked\":%d}"
+           (Registry.json_string e.e_tag) e.e_pc e.e_propagated e.e_blocked))
+    t.edges;
+  Buffer.add_string buf "],\"evictions\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"incoming\":%s,\"victim\":%s,\"count\":%d}"
+           (Registry.json_string ev.incoming)
+           (Registry.json_string ev.victim)
+           ev.count))
+    t.evictions;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Taint propagation graph: fold an audit log (plus, optionally, the
+    final shadow state's resident provenance) into a bipartite graph
+    of tags and decision sites, exported as DOT and JSON.
+
+    Tag nodes carry how often the tag was propagated/blocked and how
+    many bytes it occupies at the end of the run; site (pc) nodes
+    carry the flow kinds decided there; [tag -> pc] edges count the
+    verdicts of that pair, and dashed [tag -> tag] edges count
+    provenance evictions (incoming tag displacing the victim).
+
+    All node and edge lists are sorted, and numbers render through the
+    canonical formatter, so both exports are byte-deterministic for a
+    deterministic run — the same contract as the trace and metrics
+    exports. *)
+
+type tag_node = {
+  tag : string;
+  resident_bytes : int;  (** bytes still carrying the tag at the end *)
+  propagated : int;
+  blocked : int;
+}
+
+type site_node = {
+  pc : int;
+  flows : string list;  (** flow kinds decided at this site, sorted *)
+  decisions : int;
+}
+
+type edge = { e_tag : string; e_pc : int; e_propagated : int; e_blocked : int }
+type eviction_edge = { incoming : string; victim : string; count : int }
+
+type t = {
+  tags : tag_node list;
+  sites : site_node list;
+  edges : edge list;
+  evictions : eviction_edge list;
+}
+
+val build : ?shadow:Mitos_tag.Shadow.t -> Mitos_obs.Audit.record array -> t
+(** Fold the records (e.g. [Audit.records recorder]); [shadow]
+    contributes the resident byte counts. *)
+
+val to_dot : t -> string
+(** Graphviz source ([digraph mitos_taint]). *)
+
+val to_json : t -> string
+(** One JSON object: [{"schema":"mitos-flowgraph/1","tags":[...],
+    "sites":[...],"edges":[...],"evictions":[...]}]. *)

@@ -1,4 +1,5 @@
 module Obs = Mitos_obs.Obs
+module Audit = Mitos_obs.Audit
 module Engine = Mitos_dift.Engine
 module W = Mitos_workload
 
@@ -8,6 +9,7 @@ type result = {
   baseline_s : float;
   disabled_s : float;
   enabled_s : float;
+  audit_s : float;
 }
 
 let overhead ~baseline t =
@@ -15,26 +17,29 @@ let overhead ~baseline t =
 
 let disabled_overhead r = overhead ~baseline:r.baseline_s r.disabled_s
 let enabled_overhead r = overhead ~baseline:r.baseline_s r.enabled_s
+let audit_overhead r = overhead ~baseline:r.baseline_s r.audit_s
 
 (* One replay of the slice under a fresh engine, returning the time
    spent in the record-processing loop only. Engine and shadow
    construction (and the instrumentation wiring itself) happen
    outside the timed window: the overhead contract is about the
    per-record hot path, and construction is allocation-heavy enough
-   to drown a few-percent signal in GC noise. [instrument] builds the
-   observability wiring for this repetition (or None for the
-   un-instrumented baseline). *)
-let replay_once ~built ~trace ~slice instrument =
+   to drown a few-percent signal in GC noise. [setup] builds this
+   repetition's observability wiring and returns its teardown (run
+   after the timed window, e.g. clearing the global audit probe). *)
+let replay_once ~built ~trace ~slice setup =
   let engine =
-    W.Workload.engine_of ~policy:Mitos_dift.Policies.propagate_all built
+    W.Workload.engine_of
+      ~policy:(Mitos_dift.Policies.mitos (Calib.sensitivity_params ()))
+      built
   in
-  (match instrument with
-  | Some obs -> Engine.instrument engine obs
-  | None -> ());
+  let teardown = setup engine in
   Engine.attach_shadow engine ~mem_size:(Mitos_replay.Trace.mem_size trace);
   let t0 = Unix.gettimeofday () in
   Array.iter (Engine.process_record engine) slice;
-  Unix.gettimeofday () -. t0
+  let dt = Unix.gettimeofday () -. t0 in
+  teardown ();
+  dt
 
 (* Best-of-repetitions processing time per mode, with the modes
    interleaved round-robin: comparing a few percent between modes is
@@ -61,32 +66,48 @@ let time_modes ~repetitions ~inner fs =
   done;
   best
 
+let no_teardown () = ()
+
 let measure ?(seed = 1) ?(records = 5_000) ?(repetitions = 10) () =
   let built = W.Netbench.build ~seed ~chunks:4 () in
   let trace = W.Workload.record built in
   let all = Mitos_replay.Trace.records trace in
   let slice = Array.sub all 0 (min records (Array.length all)) in
   let built = W.Netbench.build ~seed ~chunks:4 () in
-  let run instrument () = replay_once ~built ~trace ~slice (instrument ()) in
+  let run setup () = replay_once ~built ~trace ~slice setup in
   (* target ~100k records per timed sample *)
   let inner = max 1 (100_000 / max 1 (Array.length slice)) in
+  let real_obs () = Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) () in
   let times =
     time_modes ~repetitions ~inner
       [
-        run (fun () -> None);
-        run (fun () -> Some Obs.disabled);
-        run (fun () ->
-            Some (Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) ()));
+        run (fun _engine -> no_teardown);
+        run (fun engine ->
+            Engine.instrument engine Obs.disabled;
+            no_teardown);
+        run (fun engine ->
+            Engine.instrument engine (real_obs ());
+            no_teardown);
+        run (fun engine ->
+            (* full audit: flight recorder on the decision probe and
+               the engine (evictions, flow context) *)
+            let audit = Audit.create ~capacity:(1 lsl 20) () in
+            Mitos.Decision.set_audit (Some audit);
+            Engine.instrument ~audit engine (real_obs ());
+            fun () -> Mitos.Decision.set_audit None);
       ]
   in
-  let baseline_s = times.(0) and disabled_s = times.(1)
-  and enabled_s = times.(2) in
+  let baseline_s = times.(0)
+  and disabled_s = times.(1)
+  and enabled_s = times.(2)
+  and audit_s = times.(3) in
   {
     records = Array.length slice;
     repetitions;
     baseline_s;
     disabled_s;
     enabled_s;
+    audit_s;
   }
 
 let run ?seed ?records ?repetitions () =
@@ -95,7 +116,7 @@ let run ?seed ?records ?repetitions () =
     Report.create ~title:"Observability overhead (engine replay benchmark)"
   in
   Report.textf report
-    "Replay of %d netbench records (propagate-all), best of %d repetitions \
+    "Replay of %d netbench records (mitos policy), best of %d repetitions \
      per mode."
     r.records r.repetitions;
   let t = Mitos_util.Table.create ~header:[ "mode"; "wall (ms)"; "overhead" ] () in
@@ -107,12 +128,13 @@ let run ?seed ?records ?repetitions () =
         Printf.sprintf "%+.1f%%" (100.0 *. overhead ~baseline:r.baseline_s seconds);
       ]
   in
-  row "baseline (no obs)" r.baseline_s;
+  row "baseline (no obs, no audit)" r.baseline_s;
   row "instrumented, no-op sink" r.disabled_s;
   row "instrumented, enabled (real clock)" r.enabled_s;
+  row "enabled + audit flight recorder" r.audit_s;
   Report.table report t;
   Report.textf report
-    "Contract: the no-op sink must stay within 5%% of baseline \
-     (measured %+.1f%%)."
+    "Contract: the no-op sink (audit disabled) must stay within 5%% of \
+     baseline (measured %+.1f%%)."
     (100.0 *. disabled_overhead r);
   Report.finish report

@@ -1,9 +1,12 @@
 (** Instrumentation-overhead benchmark: the engine-replay workload of
-    the bench harness run three ways — un-instrumented baseline,
+    the bench harness run four ways — un-instrumented baseline,
     instrumented against the no-op sink ({!Mitos_obs.Obs.disabled}),
-    and fully enabled on the real clock — so the observability layer's
-    cost contract (no-op sink within 5% of baseline) is measurable,
-    not asserted. *)
+    fully enabled on the real clock, and enabled plus the
+    {!Mitos_obs.Audit} decision flight recorder — so the
+    observability layer's cost contract (no-op sink, audit disabled,
+    within 5% of baseline) is measurable, not asserted. The replay
+    runs under [Policies.mitos], so the decision hot path (including
+    its audit probe check) is part of every mode. *)
 
 type result = {
   records : int;  (** replayed records per repetition *)
@@ -11,6 +14,7 @@ type result = {
   baseline_s : float;  (** best wall time, un-instrumented *)
   disabled_s : float;  (** best wall time, no-op sink *)
   enabled_s : float;  (** best wall time, enabled (real clock) *)
+  audit_s : float;  (** best wall time, enabled + audit recorder *)
 }
 
 val measure :
@@ -22,6 +26,10 @@ val disabled_overhead : result -> float
 (** [(disabled - baseline) / baseline]; the ≤ 0.05 contract. *)
 
 val enabled_overhead : result -> float
+
+val audit_overhead : result -> float
+(** Overhead of full decision auditing (ring recording on every
+    Alg. 1/2 call, eviction hook, per-consult context stamping). *)
 
 val run :
   ?seed:int -> ?records:int -> ?repetitions:int -> unit -> Report.section

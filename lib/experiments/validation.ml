@@ -32,7 +32,9 @@ let run ?pool () =
         ((case.Litmus.case_name
          :: List.map
               (fun outcome ->
-                if (List.nth outcome i).Litmus.tainted then "taint" else "-")
+                if (List.nth outcome i : Litmus.outcome).Litmus.tainted then
+                  "taint"
+                else "-")
               outcomes)
         @ [
             (match case.Litmus.case_class with

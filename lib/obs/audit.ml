@@ -1,0 +1,204 @@
+type verdict = Propagate | Block
+
+let verdict_to_string = function Propagate -> "propagate" | Block -> "block"
+
+type tag_decision = {
+  tag : string;
+  under : float;
+  over : float;
+  marginal : float;
+  verdict : verdict;
+}
+
+type body =
+  | Decision of {
+      algorithm : string;
+      flow : string;
+      space : int;
+      pollution : float;
+      tags : tag_decision list;
+    }
+  | Eviction of { at : string; victim : string; incoming : string }
+  | Selection of {
+      policy : string;
+      flow : string;
+      candidates : string list;
+      chosen : string list;
+    }
+  | Note of string
+
+type record = { id : int; step : int; pc : int; body : body }
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable ring : record array;  (* grown geometrically up to capacity *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable next_id : int;
+  sink : (string -> unit) option;
+  mutable tracer : Tracer.t option;
+  mutable ctx_step : int;
+  mutable ctx_pc : int;
+  mutable ctx_flow : string;
+}
+
+let null =
+  {
+    enabled = false;
+    capacity = 0;
+    ring = [||];
+    len = 0;
+    dropped = 0;
+    next_id = 0;
+    sink = None;
+    tracer = None;
+    ctx_step = -1;
+    ctx_pc = -1;
+    ctx_flow = "";
+  }
+
+let create ?(capacity = 65536) ?sink () =
+  if capacity < 1 then invalid_arg "Audit.create: non-positive capacity";
+  {
+    enabled = true;
+    capacity;
+    ring = [||];
+    len = 0;
+    dropped = 0;
+    next_id = 0;
+    sink;
+    tracer = None;
+    ctx_step = -1;
+    ctx_pc = -1;
+    ctx_flow = "";
+  }
+
+let enabled t = t.enabled
+let link_tracer t tracer = if t.enabled then t.tracer <- Some tracer
+
+let set_context t ?step ?pc ?flow () =
+  if t.enabled then begin
+    (match step with Some s -> t.ctx_step <- s | None -> ());
+    (match pc with Some p -> t.ctx_pc <- p | None -> ());
+    match flow with Some f -> t.ctx_flow <- f | None -> ()
+  end
+
+let next_id t = t.next_id
+let length t = t.len
+let dropped t = t.dropped
+let records t = Array.sub t.ring 0 t.len
+
+(* -- JSON ----------------------------------------------------------- *)
+
+(* Non-finite floats keep their Prometheus spelling but as JSON
+   strings, so the line stays parseable without losing the value. *)
+let json_float v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then
+    Registry.json_string (Registry.fmt_value v)
+  else Registry.fmt_value v
+
+let json_string_list xs =
+  "[" ^ String.concat "," (List.map Registry.json_string xs) ^ "]"
+
+let kind_of = function
+  | Decision _ -> "decision"
+  | Eviction _ -> "eviction"
+  | Selection _ -> "selection"
+  | Note _ -> "note"
+
+let record_to_json r =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"id\":%d,\"kind\":%s,\"step\":%d,\"pc\":%d" r.id
+       (Registry.json_string (kind_of r.body))
+       r.step r.pc);
+  (match r.body with
+  | Decision { algorithm; flow; space; pollution; tags } ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"alg\":%s,\"flow\":%s,\"space\":%d,\"pollution\":%s,\"tags\":["
+         (Registry.json_string algorithm)
+         (Registry.json_string flow)
+         space (json_float pollution));
+    List.iteri
+      (fun i td ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"tag\":%s,\"under\":%s,\"over\":%s,\"marginal\":%s,\"verdict\":%s}"
+             (Registry.json_string td.tag)
+             (json_float td.under) (json_float td.over)
+             (json_float td.marginal)
+             (Registry.json_string (verdict_to_string td.verdict))))
+      tags;
+    Buffer.add_char buf ']'
+  | Eviction { at; victim; incoming } ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"at\":%s,\"victim\":%s,\"incoming\":%s"
+         (Registry.json_string at)
+         (Registry.json_string victim)
+         (Registry.json_string incoming))
+  | Selection { policy; flow; candidates; chosen } ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"policy\":%s,\"flow\":%s,\"candidates\":%s,\"chosen\":%s"
+         (Registry.json_string policy)
+         (Registry.json_string flow)
+         (json_string_list candidates)
+         (json_string_list chosen))
+  | Note text ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"text\":%s" (Registry.json_string text)));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_jsonl t =
+  let buf = Buffer.create (t.len * 160) in
+  for i = 0 to t.len - 1 do
+    Buffer.add_string buf (record_to_json t.ring.(i));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* -- Recording ------------------------------------------------------ *)
+
+let push t record =
+  if t.len < t.capacity then begin
+    if t.len = Array.length t.ring then begin
+      let grown = min t.capacity (max 16 (2 * Array.length t.ring)) in
+      let ring = Array.make grown record in
+      Array.blit t.ring 0 ring 0 t.len;
+      t.ring <- ring
+    end;
+    t.ring.(t.len) <- record;
+    t.len <- t.len + 1
+  end
+  else t.dropped <- t.dropped + 1;
+  (match t.sink with
+  | Some write -> write (record_to_json record)
+  | None -> ());
+  match t.tracer with
+  | Some tracer ->
+    Tracer.instant tracer
+      ~args:
+        [ ("id", string_of_int record.id); ("kind", kind_of record.body) ]
+      "audit"
+  | None -> ()
+
+let emit t ?step ?pc body =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let step = match step with Some s -> s | None -> t.ctx_step in
+  let pc = match pc with Some p -> p | None -> t.ctx_pc in
+  push t { id; step; pc; body }
+
+let record_decision t ~algorithm ~space ~pollution tags =
+  if t.enabled then
+    emit t (Decision { algorithm; flow = t.ctx_flow; space; pollution; tags })
+
+let record_eviction t ?step ?pc ~at ~victim ~incoming () =
+  if t.enabled then emit t ?step ?pc (Eviction { at; victim; incoming })
+
+let record_selection t ?step ~policy ~flow ~candidates ~chosen () =
+  if t.enabled then emit t ?step (Selection { policy; flow; candidates; chosen })
+
+let record_note t text = if t.enabled then emit t (Note text)

@@ -135,6 +135,15 @@ let to_prometheus t =
                  (render_labels ~extra:("le", fmt_value ub) m.labels)
                  cum))
           (Histogram.cumulative_buckets h);
+        (* estimated quantiles alongside the raw buckets, in the
+           summary-style series (bare name, "quantile" label) *)
+        List.iter
+          (fun q ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" m.name
+                 (render_labels ~extra:("quantile", fmt_value q) m.labels)
+                 (fmt_value (Histogram.quantile h q))))
+          [ 0.5; 0.95; 0.99 ];
         Buffer.add_string buf
           (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels)
              (fmt_value (Histogram.sum h)));

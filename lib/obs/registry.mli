@@ -50,7 +50,10 @@ val histogram :
 val to_prometheus : t -> string
 (** Prometheus text exposition format v0.0.4: [# HELP]/[# TYPE]
     headers per metric family, [_bucket]/[_sum]/[_count] series with
-    cumulative [le] bounds for histograms. *)
+    cumulative [le] bounds for histograms, plus estimated
+    p50/p95/p99 summary-style series ([{quantile="0.5"}] etc., from
+    {!Histogram.quantile}) so dashboards get latency percentiles
+    without re-deriving them from the buckets. *)
 
 val to_json : t -> string
 (** One JSON object: [{"counters": {...}, "gauges": {...},

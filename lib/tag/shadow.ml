@@ -88,6 +88,12 @@ module Store = struct
     | Pages pages -> Array.fill pages 0 (Array.length pages) None
 end
 
+type evict_event = {
+  at : [ `Mem of int | `Reg of int ];
+  victim : Tag.t;
+  incoming : Tag.t;
+}
+
 type t = {
   mem : Store.t;
   store_backend : backend;
@@ -97,6 +103,7 @@ type t = {
   m_prov : int;
   strategy : eviction_strategy;
   list_eviction : Provenance.eviction;
+  mutable evict_hook : (evict_event -> unit) option;
 }
 
 let create ?(strategy = Structural Provenance.Fifo) ?(backend = Hashed)
@@ -121,9 +128,11 @@ let create ?(strategy = Structural Provenance.Fifo) ?(backend = Hashed)
     m_prov;
     strategy;
     list_eviction;
+    evict_hook = None;
   }
 
 let backend t = t.store_backend
+let on_evict t hook = t.evict_hook <- hook
 
 let stats t = t.stats
 let mem_capacity t = t.mem_capacity
@@ -150,12 +159,18 @@ let prov_of_addr t addr =
 let drop_if_empty t addr p =
   if Provenance.is_empty p then Store.remove t.mem addr
 
-let account t (result : Provenance.add_result) tag =
+let fire_evict t ~at ~victim ~incoming =
+  match t.evict_hook with
+  | None -> ()
+  | Some hook -> hook { at; victim; incoming }
+
+let account t ~at (result : Provenance.add_result) tag =
   (match result with
   | Provenance.Added -> Tag_stats.incr t.stats tag
   | Provenance.Added_evicting victim ->
     Tag_stats.incr t.stats tag;
-    Tag_stats.decr t.stats victim
+    Tag_stats.decr t.stats victim;
+    fire_evict t ~at ~victim ~incoming:tag
   | Provenance.Already_present | Provenance.Rejected -> ());
   result
 
@@ -163,9 +178,9 @@ let account t (result : Provenance.add_result) tag =
    with the most copies system-wide (smallest per-copy undertainting
    benefit) — unless the newcomer itself is the most-copied, in which
    case it is the one rejected. *)
-let add_with_strategy t p tag =
+let add_with_strategy t ~at p tag =
   match t.strategy with
-  | Structural _ -> account t (Provenance.add p tag) tag
+  | Structural _ -> account t ~at (Provenance.add p tag) tag
   | Least_marginal ->
     if Provenance.is_full p && not (Provenance.mem p tag) then begin
       let victim =
@@ -178,15 +193,19 @@ let add_with_strategy t p tag =
       else begin
         ignore (Provenance.remove p victim);
         Tag_stats.decr t.stats victim;
-        match account t (Provenance.add p tag) tag with
-        | Provenance.Added -> Provenance.Added_evicting victim
+        match account t ~at (Provenance.add p tag) tag with
+        | Provenance.Added ->
+          fire_evict t ~at ~victim ~incoming:tag;
+          Provenance.Added_evicting victim
         | other -> other
       end
     end
-    else account t (Provenance.add p tag) tag
+    else account t ~at (Provenance.add p tag) tag
 
-let add_tag_addr t addr tag = add_with_strategy t (prov_of_addr t addr) tag
-let add_tag_reg t r tag = add_with_strategy t t.regs.(r) tag
+let add_tag_addr t addr tag =
+  add_with_strategy t ~at:(`Mem addr) (prov_of_addr t addr) tag
+
+let add_tag_reg t r tag = add_with_strategy t ~at:(`Reg r) t.regs.(r) tag
 
 let remove_tag_addr t addr tag =
   check_addr t addr;
@@ -219,26 +238,28 @@ let tags_of_addr t addr =
 
 let tags_of_reg t r = Provenance.to_list t.regs.(r)
 
-let set_prov_tags t p tags =
+let set_prov_tags t ~at p tags =
   clear_prov t p;
-  List.iter (fun tag -> ignore (add_with_strategy t p tag)) tags
+  List.iter (fun tag -> ignore (add_with_strategy t ~at p tag)) tags
 
 let set_addr_tags t addr tags =
   match tags with
   | [] -> clear_addr t addr
-  | _ -> set_prov_tags t (prov_of_addr t addr) tags
+  | _ -> set_prov_tags t ~at:(`Mem addr) (prov_of_addr t addr) tags
 
-let set_reg_tags t r tags = set_prov_tags t t.regs.(r) tags
+let set_reg_tags t r tags = set_prov_tags t ~at:(`Reg r) t.regs.(r) tags
 
 let union_into_addr t addr tags =
   match tags with
   | [] -> ()
   | _ ->
     let p = prov_of_addr t addr in
-    List.iter (fun tag -> ignore (add_with_strategy t p tag)) tags
+    List.iter (fun tag -> ignore (add_with_strategy t ~at:(`Mem addr) p tag)) tags
 
 let union_into_reg t r tags =
-  List.iter (fun tag -> ignore (add_with_strategy t t.regs.(r) tag)) tags
+  List.iter
+    (fun tag -> ignore (add_with_strategy t ~at:(`Reg r) t.regs.(r) tag))
+    tags
 
 let space_left_addr t addr =
   check_addr t addr;

@@ -55,6 +55,21 @@ val create :
 
 val backend : t -> backend
 
+(** A provenance-list eviction: [victim] was removed from the list at
+    [at] to make room for [incoming] — taint silently lost behind the
+    policy's back, which is exactly what audit trails need to see. *)
+type evict_event = {
+  at : [ `Mem of int | `Reg of int ];
+  victim : Tag.t;
+  incoming : Tag.t;
+}
+
+val on_evict : t -> (evict_event -> unit) option -> unit
+(** Install (or clear, with [None]) the eviction observer. At most one
+    observer; [None] (the default) costs nothing on the mutation
+    path. Fires for both structural ([Provenance.Added_evicting]) and
+    least-marginal (explicit removal) evictions. *)
+
 val stats : t -> Tag_stats.t
 val mem_capacity : t -> int
 val m_prov : t -> int

@@ -18,18 +18,24 @@ let engine_of ?config ~policy b =
   Engine.create ?config ~policy ~source_tag:(Os.source_tag b.os) b.program
 
 (* Engine-level instruments plus the run-level metrics sampler: one
-   [?obs] argument wires the whole stack. *)
-let instrument_engine ?sample_every obs engine =
-  Engine.instrument ?sample_every engine obs;
+   [?obs] argument wires the whole stack; [?audit] threads the
+   decision flight recorder alongside. *)
+let instrument_engine ?sample_every ?audit obs engine =
+  Engine.instrument ?sample_every ?audit engine obs;
   if Mitos_obs.Obs.enabled obs then
     Metrics.attach_sampler ?sample_every
       ~registry:(Mitos_obs.Obs.registry obs) engine
 
-let run_live ?config ?max_steps ?obs ?sample_every ~policy b =
+let wire ?sample_every ?obs ?audit engine =
+  match (obs, audit) with
+  | None, None -> ()
+  | Some obs, _ -> instrument_engine ?sample_every ?audit obs engine
+  | None, Some _ ->
+    instrument_engine ?sample_every ?audit Mitos_obs.Obs.disabled engine
+
+let run_live ?config ?max_steps ?obs ?sample_every ?audit ~policy b =
   let engine = engine_of ?config ~policy b in
-  (match obs with
-  | Some obs -> instrument_engine ?sample_every obs engine
-  | None -> ());
+  wire ?sample_every ?obs ?audit engine;
   Engine.attach engine (machine_of b);
   ignore (Engine.run ?max_steps engine);
   engine
@@ -50,16 +56,14 @@ let record ?max_steps b =
 let source_tag_of_trace trace =
   Option.map Os.source_lookup_of_string (Trace.find_meta trace sources_key)
 
-let replay ?config ?obs ?sample_every ~policy b trace =
+let replay ?config ?obs ?sample_every ?audit ~policy b trace =
   let source_tag =
     match source_tag_of_trace trace with
     | Some lookup -> lookup
     | None -> Os.source_tag b.os
   in
   let engine = Engine.create ?config ~policy ~source_tag b.program in
-  (match obs with
-  | Some obs -> instrument_engine ?sample_every obs engine
-  | None -> ());
+  wire ?sample_every ?obs ?audit engine;
   Engine.attach_shadow engine ~mem_size:(Trace.mem_size trace);
   ignore
     (Mitos_replay.Driver.run ?obs trace ~f:(Engine.process_record engine));

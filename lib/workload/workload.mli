@@ -25,12 +25,14 @@ val run_live :
   ?max_steps:int ->
   ?obs:Mitos_obs.Obs.t ->
   ?sample_every:int ->
+  ?audit:Mitos_obs.Audit.t ->
   policy:Policy.t ->
   built ->
   Engine.t
 (** Execute the workload under the policy, returning the finished
     engine. [obs] instruments the engine (see {!Engine.instrument});
-    [sample_every] is its sampling period. *)
+    [sample_every] is its sampling period; [audit] threads a decision
+    flight recorder through the run (with or without [obs]). *)
 
 val record : ?max_steps:int -> built -> Mitos_replay.Trace.t
 (** Record an execution trace (the PANDA step). The workload's OS
@@ -42,6 +44,7 @@ val replay :
   ?config:Engine.config ->
   ?obs:Mitos_obs.Obs.t ->
   ?sample_every:int ->
+  ?audit:Mitos_obs.Audit.t ->
   policy:Policy.t ->
   built ->
   Mitos_replay.Trace.t ->

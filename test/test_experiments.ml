@@ -232,6 +232,111 @@ let test_calib_params () =
   Alcotest.(check bool) "table2 routes direct flows" true
     E.Calib.attack_engine_config.Mitos_dift.Engine.route_direct_through_policy
 
+(* -- audit / blame / flow graph ------------------------------------------- *)
+
+module Audit = Mitos_obs.Audit
+module Pool = Mitos_parallel.Pool
+
+(* The acceptance property: on the litmus suite, every over- and
+   under-tainted byte (vs. the faros / propagate-all oracle bounds)
+   traces back to at least one audit record. Exercised from both
+   sides: a propagate-leaning parameterization (over findings on
+   Propagate records) and a block-leaning one (under findings on
+   Block records / evictions). *)
+let test_blame_litmus_full_attribution () =
+  let check_full name params expect_dir =
+    let s = E.Blame.litmus params in
+    Alcotest.(check bool) (name ^ ": found differences") true (s.E.Blame.total > 0);
+    Alcotest.(check int)
+      (name ^ ": every byte attributed")
+      s.E.Blame.total s.E.Blame.attributed;
+    List.iter
+      (fun (f : E.Blame.finding) ->
+        Alcotest.(check bool)
+          (name ^ ": expected direction")
+          true
+          (f.E.Blame.direction = expect_dir))
+      s.E.Blame.findings
+  in
+  check_full "propagate-leaning"
+    (E.Calib.sensitivity_params ())
+    E.Blame.Over;
+  check_full "block-leaning"
+    (E.Calib.sensitivity_params ~tau:100.0 ~u_net:0.00001 ())
+    E.Blame.Under
+
+(* The audit JSONL and the blame summary must not depend on the pool
+   width: the audited run is sequential and only the oracles fan
+   out. *)
+let test_blame_jobs_deterministic () =
+  let params = E.Calib.sensitivity_params () in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let s = E.Blame.litmus ~pool params in
+        (Audit.to_jsonl s.E.Blame.audit, s.E.Blame.findings))
+  in
+  let jsonl1, findings1 = run 1 in
+  let jsonl2, findings2 = run 2 in
+  let jsonl4, findings4 = run 4 in
+  Alcotest.(check string) "jsonl 1 = 2" jsonl1 jsonl2;
+  Alcotest.(check string) "jsonl 1 = 4" jsonl1 jsonl4;
+  Alcotest.(check bool) "findings 1 = 2" true (findings1 = findings2);
+  Alcotest.(check bool) "findings 1 = 4" true (findings1 = findings4)
+
+(* Same run, twice: flow-graph DOT and JSON exports are byte-stable. *)
+let test_flowgraph_deterministic () =
+  let run () =
+    let audit = Audit.create () in
+    Mitos.Decision.set_audit (Some audit);
+    let engine =
+      Fun.protect
+        ~finally:(fun () -> Mitos.Decision.set_audit None)
+        (fun () ->
+          W.Workload.run_live ~audit
+            ~policy:(Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()))
+            (W.Netbench.build ~seed:5 ~chunks:10 ()))
+    in
+    let g =
+      E.Flowgraph.build
+        ~shadow:(Mitos_dift.Engine.shadow engine)
+        (Audit.records audit)
+    in
+    (E.Flowgraph.to_dot g, E.Flowgraph.to_json g, List.length g.E.Flowgraph.edges)
+  in
+  let dot1, json1, edges1 = run () in
+  let dot2, json2, _ = run () in
+  Alcotest.(check string) "dot byte-identical" dot1 dot2;
+  Alcotest.(check string) "json byte-identical" json1 json2;
+  Alcotest.(check bool) "graph has edges" true (edges1 > 0)
+
+(* The flow graph's verdict counts must agree with the audit log. *)
+let test_flowgraph_counts () =
+  let audit = Audit.create () in
+  Audit.set_context audit ~step:1 ~pc:10 ~flow:"addr-dep" ();
+  let td verdict =
+    { Audit.tag = "network#1"; under = -0.1; over = 0.2; marginal = 0.1;
+      verdict }
+  in
+  Audit.record_decision audit ~algorithm:"alg1" ~space:1 ~pollution:0.0
+    [ td Audit.Propagate ];
+  Audit.record_decision audit ~algorithm:"alg1" ~space:1 ~pollution:0.0
+    [ td Audit.Block ];
+  Audit.record_eviction audit ~at:"mem:4" ~victim:"file#1"
+    ~incoming:"network#1" ();
+  let g = E.Flowgraph.build (Audit.records audit) in
+  (match List.find_opt (fun (t : E.Flowgraph.tag_node) -> t.tag = "network#1") g.E.Flowgraph.tags with
+  | Some t ->
+    Alcotest.(check int) "propagated" 1 t.E.Flowgraph.propagated;
+    Alcotest.(check int) "blocked" 1 t.E.Flowgraph.blocked
+  | None -> Alcotest.fail "network#1 node missing");
+  Alcotest.(check int) "one site" 1 (List.length g.E.Flowgraph.sites);
+  (match g.E.Flowgraph.evictions with
+  | [ ev ] ->
+    Alcotest.(check string) "incoming" "network#1" ev.E.Flowgraph.incoming;
+    Alcotest.(check string) "victim" "file#1" ev.E.Flowgraph.victim;
+    Alcotest.(check int) "count" 1 ev.E.Flowgraph.count
+  | evs -> Alcotest.failf "expected one eviction edge, got %d" (List.length evs))
+
 let () =
   Alcotest.run "mitos_experiments"
     [
@@ -268,6 +373,16 @@ let () =
         [
           Alcotest.test_case "policy staircase monotone" `Quick
             test_conformance_staircase;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "blame litmus full attribution" `Quick
+            test_blame_litmus_full_attribution;
+          Alcotest.test_case "blame jobs-deterministic" `Quick
+            test_blame_jobs_deterministic;
+          Alcotest.test_case "flowgraph deterministic" `Quick
+            test_flowgraph_deterministic;
+          Alcotest.test_case "flowgraph counts" `Quick test_flowgraph_counts;
         ] );
       ( "calib",
         [ Alcotest.test_case "params" `Quick test_calib_params ] );

@@ -111,6 +111,26 @@ let test_histogram_quantile_clamps () =
   let q = Histogram.quantile h 0.5 in
   Alcotest.(check bool) "clamped to observed range" true (q = 5.0)
 
+let test_histogram_quantile_edges () =
+  (* single observation: every quantile lands on that value *)
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:4 () in
+  Histogram.observe h 3.0;
+  check_float "single q0" 3.0 (Histogram.quantile h 0.0);
+  check_float "single q0.5" 3.0 (Histogram.quantile h 0.5);
+  check_float "single q1" 3.0 (Histogram.quantile h 1.0);
+  (* q0/q1 are the exact extremes, not bucket bounds *)
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:6 () in
+  List.iter (Histogram.observe h) [ 1.25; 7.5; 30.0 ];
+  check_float "q0 exact min" 1.25 (Histogram.quantile h 0.0);
+  check_float "q1 exact max" 30.0 (Histogram.quantile h 1.0);
+  (* all mass in the overflow bucket: no finite upper bound to
+     interpolate against, so the estimate falls back to the max *)
+  let h = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:3 () in
+  List.iter (Histogram.observe h) [ 50.0; 70.0; 90.0 ];
+  check_float "overflow q0.5 = max" 90.0 (Histogram.quantile h 0.5);
+  check_float "overflow q0.99 = max" 90.0 (Histogram.quantile h 0.99);
+  check_float "overflow q0 = min" 50.0 (Histogram.quantile h 0.0)
+
 let test_histogram_reset () =
   let h = Histogram.create () in
   Histogram.observe h 3.0;
@@ -174,6 +194,9 @@ let test_prometheus_rendering () =
      mitos_latency_ticks_bucket{le=\"2\"} 1\n\
      mitos_latency_ticks_bucket{le=\"4\"} 2\n\
      mitos_latency_ticks_bucket{le=\"+Inf\"} 3\n\
+     mitos_latency_ticks{quantile=\"0.5\"} 3\n\
+     mitos_latency_ticks{quantile=\"0.95\"} 100\n\
+     mitos_latency_ticks{quantile=\"0.99\"} 100\n\
      mitos_latency_ticks_sum 104\n\
      mitos_latency_ticks_count 3\n\
      # HELP mitos_records_total Total records.\n\
@@ -317,6 +340,23 @@ let test_chrome_trace_rendering () =
   Alcotest.(check string) "byte-exact chrome trace" expected
     (Chrome_trace.to_json t)
 
+let test_chrome_trace_escaping () =
+  let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Tracer.with_span t
+    ~args:[ ("k\"ey", "v\\al\nue") ]
+    "na\"me" (fun () -> Tracer.instant t "tab\there\x01");
+  let js = Chrome_trace.to_json t in
+  Alcotest.(check bool) "quote in name escaped" true
+    (string_contains js "\"name\":\"na\\\"me\"");
+  Alcotest.(check bool) "arg key escaped" true
+    (string_contains js "\"k\\\"ey\":");
+  Alcotest.(check bool) "backslash and newline in value" true
+    (string_contains js "\"v\\\\al\\nue\"");
+  Alcotest.(check bool) "tab and control char" true
+    (string_contains js "\"tab\\there\\u0001\"");
+  Alcotest.(check bool) "no raw newline in output" true
+    (not (String.contains js '\n'))
+
 let test_chrome_trace_jsonl () =
   let t = Tracer.create ~clock:(Obs_clock.logical ()) () in
   Tracer.with_span t "s" (fun () -> ());
@@ -327,6 +367,87 @@ let test_chrome_trace_jsonl () =
       Alcotest.(check bool) "line is an object" true
         (String.length l > 0 && l.[0] = '{' && l.[String.length l - 1] = '}'))
     lines
+
+(* -- Audit ----------------------------------------------------------- *)
+
+let test_audit_null_noop () =
+  Alcotest.(check bool) "disabled" false (Audit.enabled Audit.null);
+  Audit.record_note Audit.null "x";
+  Audit.record_decision Audit.null ~algorithm:"alg1" ~space:1 ~pollution:0.0 [];
+  Audit.record_eviction Audit.null ~at:"mem:1" ~victim:"a" ~incoming:"b" ();
+  Audit.record_selection Audit.null ~policy:"p" ~flow:"f" ~candidates:[]
+    ~chosen:[] ();
+  Audit.set_context Audit.null ~step:9 ();
+  Alcotest.(check int) "no ids consumed" 0 (Audit.next_id Audit.null);
+  Alcotest.(check int) "empty" 0 (Audit.length Audit.null)
+
+let test_audit_ring_and_sink () =
+  let lines = ref [] in
+  let a = Audit.create ~capacity:2 ~sink:(fun l -> lines := l :: !lines) () in
+  Alcotest.(check bool) "enabled" true (Audit.enabled a);
+  for i = 0 to 3 do
+    Audit.record_note a (Printf.sprintf "n%d" i)
+  done;
+  Alcotest.(check int) "retained" 2 (Audit.length a);
+  Alcotest.(check int) "dropped" 2 (Audit.dropped a);
+  Alcotest.(check int) "ids keep flowing past the ring" 4 (Audit.next_id a);
+  (match Audit.records a with
+  | [| { Audit.id = 0; _ }; { Audit.id = 1; _ } |] -> ()
+  | _ -> Alcotest.fail "keep-oldest ring should hold ids 0 and 1");
+  (* the sink sees every record, including the ring-dropped ones *)
+  Alcotest.(check int) "sink saw everything" 4 (List.length !lines);
+  List.iter
+    (fun l -> Alcotest.(check bool) "single line" true
+        (not (String.contains l '\n')))
+    !lines;
+  Alcotest.check_raises "capacity validated"
+    (Invalid_argument "Audit.create: non-positive capacity") (fun () ->
+      ignore (Audit.create ~capacity:0 ()))
+
+let test_audit_json () =
+  let a = Audit.create () in
+  Audit.set_context a ~step:7 ~pc:42 ~flow:"addr-dep" ();
+  Audit.record_decision a ~algorithm:"alg1" ~space:3 ~pollution:12.5
+    [
+      { Audit.tag = "network#1"; under = -0.5; over = 0.25; marginal = -0.25;
+        verdict = Audit.Propagate };
+    ];
+  Audit.record_eviction a ~at:"mem:291" ~victim:"file#2" ~incoming:"network#1"
+    ();
+  Audit.record_selection a ~step:8 ~policy:"mitos" ~flow:"ctrl-dep"
+    ~candidates:[ "a\"b" ] ~chosen:[] ();
+  Audit.record_note a "case:x";
+  let expected =
+    "{\"id\":0,\"kind\":\"decision\",\"step\":7,\"pc\":42,\"alg\":\"alg1\",\
+     \"flow\":\"addr-dep\",\"space\":3,\"pollution\":12.5,\"tags\":[{\"tag\":\
+     \"network#1\",\"under\":-0.5,\"over\":0.25,\"marginal\":-0.25,\
+     \"verdict\":\"propagate\"}]}\n\
+     {\"id\":1,\"kind\":\"eviction\",\"step\":7,\"pc\":42,\"at\":\"mem:291\",\
+     \"victim\":\"file#2\",\"incoming\":\"network#1\"}\n\
+     {\"id\":2,\"kind\":\"selection\",\"step\":8,\"pc\":42,\"policy\":\
+     \"mitos\",\"flow\":\"ctrl-dep\",\"candidates\":[\"a\\\"b\"],\"chosen\":\
+     []}\n\
+     {\"id\":3,\"kind\":\"note\",\"step\":7,\"pc\":42,\"text\":\"case:x\"}\n"
+  in
+  Alcotest.(check string) "byte-exact jsonl" expected (Audit.to_jsonl a)
+
+let test_audit_tracer_crosslink () =
+  let tracer = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  let a = Audit.create () in
+  Audit.record_note a "before-link";
+  Audit.link_tracer a tracer;
+  Audit.record_note a "after-link";
+  let instants =
+    Array.to_list (Tracer.events tracer)
+    |> List.filter_map (function
+         | Tracer.Instant { name = "audit"; args; _ } -> Some args
+         | _ -> None)
+  in
+  Alcotest.(check int) "one instant after linking" 1 (List.length instants);
+  Alcotest.(check (list (pair string string)))
+    "instant carries id and kind"
+    [ ("id", "1"); ("kind", "note") ]
+    (List.hd instants)
 
 (* -- Obs ------------------------------------------------------------ *)
 
@@ -438,6 +559,8 @@ let () =
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "quantile clamps" `Quick
             test_histogram_quantile_clamps;
+          Alcotest.test_case "quantile edges" `Quick
+            test_histogram_quantile_edges;
           Alcotest.test_case "reset" `Quick test_histogram_reset;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
         ] );
@@ -468,7 +591,16 @@ let () =
         [
           Alcotest.test_case "byte-exact json" `Quick
             test_chrome_trace_rendering;
+          Alcotest.test_case "escaping" `Quick test_chrome_trace_escaping;
           Alcotest.test_case "jsonl" `Quick test_chrome_trace_jsonl;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "null no-op" `Quick test_audit_null_noop;
+          Alcotest.test_case "ring and sink" `Quick test_audit_ring_and_sink;
+          Alcotest.test_case "byte-exact jsonl" `Quick test_audit_json;
+          Alcotest.test_case "tracer cross-link" `Quick
+            test_audit_tracer_crosslink;
         ] );
       ( "obs",
         [
