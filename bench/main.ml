@@ -12,7 +12,13 @@
      dune exec bench/main.exe -- report [PATH]   -- markdown report
      dune exec bench/main.exe -- MODE --jobs N   -- run experiments on an
                                                     N-domain pool (output is
-                                                    byte-identical to --jobs 1) *)
+                                                    byte-identical to --jobs 1)
+     dune exec bench/main.exe -- MODE --listen HOST:PORT
+                                                 -- expose /metrics, /healthz,
+                                                    /snapshot.json, /tracez and
+                                                    /auditz (from a netbench
+                                                    telemetry pilot) for the
+                                                    duration of the run *)
 
 open Bechamel
 open Toolkit
@@ -427,17 +433,54 @@ let write_bench_json ~jobs path =
         (seq_wall /. par_wall));
   Printf.printf "wrote %s\n" path
 
+(* -- live telemetry (--listen) ----------------------------------------- *)
+
+(* A long `bench` run is exactly the kind of invocation an operator
+   wants to scrape: with --listen we replay the netbench telemetry
+   pilot once (so the registry, health watchdog and audit ring hold
+   real data) and keep the exposition server up for the duration of
+   the benchmark modes. The server lives on its own domain and the
+   benchmark loops never touch it, so timings are unaffected. *)
+let start_telemetry = function
+  | None -> None
+  | Some hostport ->
+    let host, port =
+      match String.rindex_opt hostport ':' with
+      | Some i ->
+        ( String.sub hostport 0 i,
+          int_of_string
+            (String.sub hostport (i + 1) (String.length hostport - i - 1)) )
+      | None -> failwith ("--listen wants HOST:PORT, got " ^ hostport)
+    in
+    let p =
+      E.Telemetry.pilot
+        ~build:(fun () -> Mitos_workload.Netbench.build ~seed:42 ())
+        ()
+    in
+    p.E.Telemetry.replay ();
+    let server =
+      Mitos_obs.Server.start ~host ~port (E.Telemetry.routes p.E.Telemetry.src)
+    in
+    Printf.printf "serving telemetry on http://%s/\n%!"
+      (Mitos_obs.Server.addr server);
+    Some server
+
 (* -- entry point ------------------------------------------------------- *)
 
 let () =
-  (* argv: [mode] [report-path] with --jobs N anywhere after the exe *)
+  (* argv: [mode] [report-path] with --jobs N / --listen HOST:PORT
+     anywhere after the exe *)
   let jobs = ref (Pool.default_jobs ()) in
+  let listen = ref None in
   let positional = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then begin
       (match Sys.argv.(i) with
       | "--jobs" when i + 1 < Array.length Sys.argv ->
         jobs := max 1 (int_of_string Sys.argv.(i + 1));
+        parse (i + 2)
+      | "--listen" when i + 1 < Array.length Sys.argv ->
+        listen := Some Sys.argv.(i + 1);
         parse (i + 2)
       | arg ->
         (match String.index_opt arg '=' with
@@ -446,11 +489,16 @@ let () =
             max 1
               (int_of_string
                  (String.sub arg (eq + 1) (String.length arg - eq - 1)))
+        | Some eq
+          when String.length arg > 9 && String.sub arg 0 9 = "--listen=" ->
+          listen :=
+            Some (String.sub arg (eq + 1) (String.length arg - eq - 1))
         | _ -> positional := arg :: !positional);
         parse (i + 1))
     end
   in
   parse 1;
+  let server = start_telemetry !listen in
   let mode, rest =
     match List.rev !positional with
     | [] -> ("all", [])
@@ -474,4 +522,5 @@ let () =
     run_micro ();
     print_newline ();
     write_bench_json ~jobs:!jobs "BENCH_decisions.json");
+  Option.iter Mitos_obs.Server.stop server;
   print_newline ()

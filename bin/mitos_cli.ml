@@ -99,6 +99,22 @@ let or_die = function
     prerr_endline ("mitos-cli: " ^ msg);
     exit 2
 
+(* Commands that read files, parse foreign input or talk to a server
+   funnel through this: an expected failure becomes a one-line error
+   and exit code 2, never a raw OCaml backtrace. *)
+let protected f =
+  try f () with
+  | Sys_error msg -> or_die (Error msg)
+  | Failure msg -> or_die (Error msg)
+  | Mitos_util.Codec.Malformed msg ->
+    or_die (Error ("malformed trace: " ^ msg))
+  | Unix.Unix_error (err, fn, arg) ->
+    or_die
+      (Error
+         (Printf.sprintf "%s%s: %s" fn
+            (if arg = "" then "" else " " ^ arg)
+            (Unix.error_message err)))
+
 (* -- parallelism -------------------------------------------------------- *)
 
 module Pool = Mitos_parallel.Pool
@@ -219,6 +235,65 @@ let finish_obs opts =
       (fun path -> write "Prometheus metrics" path (Obs.prometheus obs))
       opts.metrics_out
 
+(* -- live telemetry ------------------------------------------------------ *)
+
+module Server = Mitos_obs.Server
+module Health = Mitos_obs.Health
+module Tele = Mitos_experiments.Telemetry
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve live telemetry on $(docv) while the command runs: GET \
+           /metrics (Prometheus), /healthz (SLO verdict; non-200 on \
+           breach), /snapshot.json, /tracez, /auditz. Port 0 picks a free \
+           port (the bound address is printed). The process keeps serving \
+           after the work completes; interrupt (Ctrl-C) to exit.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "slo" ] ~docv:"RULE"
+        ~doc:
+          "Add a health SLO rule, grammar [NAME:]SIGNAL(<=|<|>=|>)BOUND \
+           — e.g. over_taint_ratio<=0.9 or p99:decision_p99_ticks<=64. \
+           Repeatable; added to the default rule set.")
+
+let parse_rules slo =
+  Tele.default_rules @ List.map (fun s -> or_die (Health.parse_rule s)) slo
+
+let start_server ~listen routes =
+  Option.map
+    (fun spec ->
+      let host, port, _path = or_die (Server.parse_url spec) in
+      let server = Server.start ~host ~port routes in
+      Printf.printf "serving telemetry on http://%s/\n%!" (Server.addr server);
+      server)
+    listen
+
+let rec linger () =
+  Unix.sleep 3600;
+  linger ()
+
+let finish_server = function
+  | None -> ()
+  | Some _server ->
+    print_endline "telemetry still serving; interrupt (Ctrl-C) to exit";
+    linger ()
+
+(* The netbench pilot behind [experiment --listen] and [attack
+   --listen]: record + oracle-policy sweep + audited MITOS replay, so
+   every decision/shadow/audit metric family is populated and a health
+   verdict exists before (and while) the real work runs. *)
+let telemetry_pilot ~pool ~slo () =
+  Tele.pilot ~rules:(parse_rules slo) ~pool
+    ~build:(fun () -> or_die (build_workload "netbench" ~seed:42))
+    ()
+
 (* -- list ---------------------------------------------------------------- *)
 
 let experiments =
@@ -234,6 +309,7 @@ let experiments =
     ("matrix", "workload x policy propagation-rate matrix (slow)");
     ("conformance", "litmus flow classes x policies table");
     ("ablations", "eviction / recompute / staleness / solution quality");
+    ("quick", "a fast deterministic subset (fig3 + conformance + hw)");
     ("all", "everything above");
   ]
 
@@ -283,33 +359,83 @@ let run_cmd =
 
 let experiment_cmd =
   let module E = Mitos_experiments in
-  let run id jobs =
+  let run id jobs listen slo =
+    protected @@ fun () ->
     with_jobs jobs (fun ~pool ->
+        (* Telemetry first: populate every metric family with the pilot
+           and bring the server up before the sections run, so a scrape
+           mid-experiment sees live data. *)
+        let tele =
+          match listen with
+          | None -> None
+          | Some _ ->
+            let p = telemetry_pilot ~pool ~slo () in
+            let server = start_server ~listen (Tele.routes p.Tele.src) in
+            p.Tele.replay ();
+            Some (p, server)
+        in
         let pool = Some pool in
-        let sections =
+        (* Sections are thunks so [--listen] progress is real: the
+           sections-done gauge moves between sections, not after all
+           of them. Each thunk yields the reports it printed. *)
+        let sections : (unit -> E.Report.section list) list =
+          let one f = [ (fun () -> [ f () ]) ] in
           match id with
-          | "fig3" -> [ E.Fig3.run ?pool () ]
-          | "fig7" -> [ E.Fig7.run ?pool () ]
-          | "fig8" -> [ E.Fig8.run ?pool () ]
-          | "fig9" -> [ E.Fig9.run ?pool () ]
-          | "table2" -> [ E.Table2.run ?pool () ]
-          | "latency" -> [ E.Latency.run ?pool () ]
-          | "exfil" -> [ E.Exfil_study.run () ]
-          | "hw" -> [ E.Hw_model.run () ]
-          | "matrix" -> [ E.Matrix.run ?pool () ]
-          | "conformance" -> [ E.Validation.run ?pool () ]
-          | "ablations" -> E.Ablations.run_all ?pool ()
+          | "fig3" -> one (fun () -> E.Fig3.run ?pool ())
+          | "fig7" -> one (fun () -> E.Fig7.run ?pool ())
+          | "fig8" -> one (fun () -> E.Fig8.run ?pool ())
+          | "fig9" -> one (fun () -> E.Fig9.run ?pool ())
+          | "table2" -> one (fun () -> E.Table2.run ?pool ())
+          | "latency" -> one (fun () -> E.Latency.run ?pool ())
+          | "exfil" -> one (fun () -> E.Exfil_study.run ())
+          | "hw" -> one (fun () -> E.Hw_model.run ())
+          | "matrix" -> one (fun () -> E.Matrix.run ?pool ())
+          | "conformance" -> one (fun () -> E.Validation.run ?pool ())
+          | "ablations" -> [ (fun () -> E.Ablations.run_all ?pool ()) ]
+          | "quick" ->
+            [
+              (fun () -> [ E.Fig3.run ?pool () ]);
+              (fun () -> [ E.Validation.run ?pool () ]);
+              (fun () -> [ E.Hw_model.run () ]);
+            ]
           | "all" ->
-            let recorded = E.Fig7.record_netbench () in
-            [ E.Fig3.run ?pool (); E.Fig7.run ~recorded ?pool ();
-              E.Fig8.run ~recorded ?pool (); E.Fig9.run ~recorded ?pool ();
-              E.Table2.run ?pool (); E.Latency.run ?pool ();
-              E.Exfil_study.run (); E.Hw_model.run () ]
-            @ E.Ablations.run_all ?pool ()
+            let recorded = lazy (E.Fig7.record_netbench ()) in
+            [
+              (fun () -> [ E.Fig3.run ?pool () ]);
+              (fun () ->
+                [ E.Fig7.run ~recorded:(Lazy.force recorded) ?pool () ]);
+              (fun () ->
+                [ E.Fig8.run ~recorded:(Lazy.force recorded) ?pool () ]);
+              (fun () ->
+                [ E.Fig9.run ~recorded:(Lazy.force recorded) ?pool () ]);
+              (fun () -> [ E.Table2.run ?pool () ]);
+              (fun () -> [ E.Latency.run ?pool () ]);
+              (fun () -> [ E.Exfil_study.run () ]);
+              (fun () -> [ E.Hw_model.run () ]);
+              (fun () -> E.Ablations.run_all ?pool ());
+            ]
           | other ->
             or_die (Error (Printf.sprintf "unknown experiment %S" other))
         in
-        List.iter E.Report.print sections)
+        let sections_done =
+          Option.map
+            (fun (p, _) ->
+              Mitos_obs.Registry.gauge
+                (Obs.registry p.Tele.src.Tele.obs)
+                ~help:"experiment sections completed"
+                "mitos_cli_sections_done")
+            tele
+        in
+        List.iter
+          (fun thunk ->
+            List.iter E.Report.print (thunk ());
+            Option.iter
+              (fun g ->
+                Mitos_obs.Registry.set_gauge g
+                  (Mitos_obs.Registry.gauge_value g +. 1.0))
+              sections_done)
+          sections;
+        Option.iter (fun (_, server) -> finish_server server) tele)
   in
   let id_arg =
     Arg.(
@@ -319,7 +445,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure or table of the paper.")
-    Term.(const run $ id_arg $ jobs_arg)
+    Term.(const run $ id_arg $ jobs_arg $ listen_arg $ slo_arg)
 
 (* -- record / replay -------------------------------------------------------------- *)
 
@@ -331,6 +457,7 @@ let file_arg =
 
 let record_cmd =
   let run name file seed =
+    protected @@ fun () ->
     let built = or_die (build_workload name ~seed) in
     let trace = W.Workload.record built in
     Mitos_replay.Trace.save trace file;
@@ -344,35 +471,90 @@ let record_cmd =
     Term.(const run $ workload_arg $ file_arg $ seed_arg)
 
 let replay_cmd =
-  let run name file seed policy_name tau alpha u_net u_export obs_opts =
+  let run name file seed policy_name tau alpha u_net u_export obs_opts listen
+      slo =
+    protected @@ fun () ->
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let policy, route_direct = or_die (resolve_policy policy_name params) in
     let built = or_die (build_workload name ~seed) in
     let trace = Mitos_replay.Trace.load file in
-    let t0 = Unix.gettimeofday () in
-    let engine =
-      W.Workload.replay
-        ~config:(engine_config ~route_direct)
-        ?obs:obs_opts.obs ~sample_every:obs_opts.sample_every ~policy built
-        trace
+    (* With --listen the replay itself is the telemetry source: force
+       an obs context, wire a health watchdog into the sampler, and
+       bring the server up before the first record is processed. *)
+    let obs_opts =
+      match (listen, obs_opts.obs) with
+      | None, _ | _, Some _ -> obs_opts
+      | Some _, None ->
+        let obs = Obs.create ~clock:(Mitos_obs.Obs_clock.logical ()) () in
+        Mitos.Decision.set_obs (Some obs);
+        Mitos.Solver.set_obs (Some obs);
+        { obs_opts with obs = Some obs }
     in
+    let health, observe, audit =
+      match (listen, obs_opts.obs) with
+      | Some _, Some obs ->
+        let health = Health.create ~rules:(parse_rules slo) () in
+        Health.link_tracer health (Obs.tracer obs);
+        let audit = Mitos_obs.Audit.create () in
+        Mitos.Decision.set_audit (Some audit);
+        let engine_cell = ref None in
+        let observe (s : Metrics.sample) =
+          Option.iter
+            (fun engine ->
+              Mitos_obs.Health.observe health
+                ~at:(float_of_int s.Metrics.at_step)
+                (Tele.standard_signals ~obs engine s))
+            !engine_cell
+        in
+        (Some (health, engine_cell), Some observe, Some audit)
+      | _ -> (None, None, None)
+    in
+    let engine =
+      W.Workload.replay_engine
+        ~config:(engine_config ~route_direct)
+        ?obs:obs_opts.obs ~sample_every:obs_opts.sample_every ?observe ?audit
+        ~policy built trace
+    in
+    Option.iter (fun (_, cell) -> cell := Some engine) health;
+    let server =
+      match obs_opts.obs with
+      | Some obs when listen <> None ->
+        let src =
+          Tele.source
+            ?health:(Option.map fst health)
+            ?audit
+            ~progress:(fun () -> Engine.progress engine)
+            obs
+        in
+        start_server ~listen (Tele.routes src)
+      | _ -> None
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Mitos_replay.Driver.run ?obs:obs_opts.obs trace
+         ~f:(Engine.process_record engine));
+    Mitos.Decision.set_audit None;
     print_summary
       (Metrics.of_engine ~wall_seconds:(Unix.gettimeofday () -. t0) engine);
-    finish_obs obs_opts
+    finish_obs obs_opts;
+    finish_server server
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Replay a recorded trace under a policy. The workload (and seed) \
-          must match the recording so taint sources resolve identically.")
+          must match the recording so taint sources resolve identically. \
+          With --listen, the replay serves its own live telemetry.")
     Term.(
       const run $ workload_arg $ file_arg $ seed_arg $ policy_arg $ tau_arg
-      $ alpha_arg $ u_net_arg $ u_export_arg $ obs_term)
+      $ alpha_arg $ u_net_arg $ u_export_arg $ obs_term $ listen_arg
+      $ slo_arg)
 
 (* -- attack -------------------------------------------------------------------------- *)
 
 let inspect_cmd =
   let run file =
+    protected @@ fun () ->
     let trace = Mitos_replay.Trace.load file in
     (match Mitos_replay.Trace.find_meta trace "workload" with
     | Some w -> Printf.printf "workload: %s\n" w
@@ -666,6 +848,7 @@ let solve_cmd =
 
 let asm_cmd =
   let run file policy_name tau alpha u_net u_export =
+    protected @@ fun () ->
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let policy, route_direct = or_die (resolve_policy policy_name params) in
     let source =
@@ -748,14 +931,25 @@ let litmus_cmd =
       const run $ policy_arg $ tau_arg $ alpha_arg $ u_net_arg $ u_export_arg)
 
 let attack_cmd =
-  let run jobs =
+  let run jobs listen slo =
+    protected @@ fun () ->
     with_jobs jobs (fun ~pool ->
-        Mitos_experiments.(Report.print (Table2.run ~pool ())))
+        let tele =
+          match listen with
+          | None -> None
+          | Some _ ->
+            let p = telemetry_pilot ~pool ~slo () in
+            let server = start_server ~listen (Tele.routes p.Tele.src) in
+            p.Tele.replay ();
+            Some server
+        in
+        Mitos_experiments.(Report.print (Table2.run ~pool ()));
+        Option.iter finish_server tele)
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run the Table II in-memory-attack comparison (all six shells).")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ listen_arg $ slo_arg)
 
 let obs_bench_cmd =
   let run records repetitions =
@@ -840,6 +1034,7 @@ let audited_run ~capacity ~obs_opts name policy_name seed params =
 let audit_log_cmd =
   let run name policy_name seed tau alpha u_net u_export capacity out obs_opts
       =
+    protected @@ fun () ->
     check_capacity capacity;
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let audit, _engine =
@@ -863,6 +1058,7 @@ let audit_log_cmd =
 
 let audit_blame_cmd =
   let run target seed tau alpha u_net u_export capacity out jobs =
+    protected @@ fun () ->
     check_capacity capacity;
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let summary =
@@ -901,6 +1097,7 @@ let audit_blame_cmd =
 let audit_graph_cmd =
   let run name policy_name seed tau alpha u_net u_export capacity out dot_out
       json_out =
+    protected @@ fun () ->
     check_capacity capacity;
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let audit, engine =
@@ -961,9 +1158,198 @@ let audit_cmd =
           the taint flow graph.")
     [ audit_log_cmd; audit_blame_cmd; audit_graph_cmd ]
 
+(* -- serve / watch ------------------------------------------------------- *)
+
+let serve_cmd =
+  let run name seed tau alpha u_net u_export slo window sample_every listen
+      oneshot jobs =
+    protected @@ fun () ->
+    if sample_every < 1 then or_die (Error "--sample-every must be at least 1");
+    if window < 0.0 then or_die (Error "--window must be non-negative");
+    if listen = None && oneshot = None then
+      or_die (Error "nothing to do: pass --listen HOST:PORT and/or --oneshot DIR");
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    with_jobs jobs (fun ~pool ->
+        let p =
+          Tele.pilot ~params ~rules:(parse_rules slo) ~window ~sample_every
+            ~pool
+            ~build:(fun () -> or_die (build_workload name ~seed))
+            ()
+        in
+        let routes = Tele.routes p.Tele.src in
+        let server = start_server ~listen routes in
+        p.Tele.replay ();
+        let progress = Engine.progress p.Tele.engine in
+        Printf.printf
+          "pilot replay done: %d records, %d IFP decisions, over-taint bound \
+           %.0f bytes, health %s\n"
+          progress.Engine.prog_step
+          (progress.Engine.prog_ifp_propagated
+          + progress.Engine.prog_ifp_blocked)
+          p.Tele.over_taint_bound
+          (match p.Tele.src.Tele.health with
+          | Some h when not (Mitos_obs.Health.healthy h) -> "BREACH"
+          | _ -> "ok");
+        (match oneshot with
+        | None -> ()
+        | Some dir ->
+          List.iter
+            (fun (_file, path) -> Printf.printf "wrote %s\n" path)
+            (Server.oneshot ~dir routes));
+        finish_server server)
+  in
+  let workload_opt_arg =
+    Arg.(
+      value
+      & pos 0 string "netbench"
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload to pilot (default netbench; see `mitos-cli list').")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "window" ] ~docv:"STEPS"
+          ~doc:
+            "Health evaluation window in machine steps: 0 judges the \
+             latest sample, a positive window judges the trailing mean.")
+  in
+  let oneshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oneshot" ] ~docv:"DIR"
+          ~doc:
+            "Write every endpoint payload once to $(docv) \
+             (metrics.prom, healthz.txt, snapshot.json, tracez.jsonl, \
+             auditz.jsonl) — the deterministic offline twin of the live \
+             endpoints; byte-identical across --jobs settings.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the telemetry pilot (record a workload, sweep the oracle \
+          policy panel, replay audited under MITOS) and expose the full \
+          telemetry surface — live via --listen, and/or as files via \
+          --oneshot.")
+    Term.(
+      const run $ workload_opt_arg $ seed_arg $ tau_arg $ alpha_arg
+      $ u_net_arg $ u_export_arg $ slo_arg $ window_arg $ sample_every_arg
+      $ listen_arg $ oneshot_arg $ jobs_arg)
+
+let watch_cmd =
+  let run url interval count =
+    protected @@ fun () ->
+    if count < 1 then or_die (Error "--count must be at least 1");
+    if interval < 0.0 then or_die (Error "--interval must be non-negative");
+    let host, port, path = or_die (Server.parse_url url) in
+    let path = if path = "/" then "/healthz" else path in
+    let last_status = ref 0 in
+    for i = 1 to count do
+      (match Server.fetch ~host ~port ~path () with
+      | Error msg -> or_die (Error msg)
+      | Ok (status, body) ->
+        last_status := status;
+        let first_line =
+          match String.index_opt body '\n' with
+          | Some nl -> String.sub body 0 nl
+          | None -> body
+        in
+        Printf.printf "%s:%d%s %d %s\n%!" host port path status first_line);
+      if i < count then ignore (Unix.sleepf interval)
+    done;
+    if !last_status <> 200 then exit 1
+  in
+  let url_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"URL"
+          ~doc:
+            "Telemetry address, e.g. http://127.0.0.1:9100 (path defaults \
+             to /healthz).")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Delay between polls.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of polls (default 1).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Poll a serving mitos process: one status line per poll. Exit 0 \
+          when the last poll returned 200, 1 on an SLO breach (non-200), \
+          2 when the server is unreachable or the URL is malformed.")
+    Term.(const run $ url_arg $ interval_arg $ count_arg)
+
+(* -- bench --------------------------------------------------------------- *)
+
+let bench_compare_cmd =
+  let run old_path new_path tolerance =
+    protected @@ fun () ->
+    let report =
+      or_die
+        (Exp.Bench_compare.of_files ~tolerance_pct:tolerance old_path new_path)
+    in
+    print_string (Exp.Bench_compare.render report);
+    if not (Exp.Bench_compare.ok report) then exit 1
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline BENCH_decisions.json.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate BENCH_decisions.json.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt float 25.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed regression per metric, in percent.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two BENCH_decisions.json files (from `bench micro') and \
+          fail — exit 1 — when a gated metric regressed beyond the \
+          tolerance. Exit 2 on unreadable or unparseable input.")
+    Term.(const run $ old_arg $ new_arg $ tolerance_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark utilities: compare BENCH_decisions.json files (the \
+          perf-regression gate).")
+    [ bench_compare_cmd ]
+
+(* -- version ------------------------------------------------------------- *)
+
+let version_cmd =
+  let run () = print_endline Version.version in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the version (single source of truth: dune-project, shared \
+          with mitos.opam and --version).")
+    Term.(const run $ const ())
+
 let () =
   let info =
-    Cmd.info "mitos-cli" ~version:"1.0.0"
+    Cmd.info "mitos-cli" ~version:Version.version
       ~doc:
         "MITOS: optimal decisioning for indirect flow propagation in DIFT \
          systems (ICDCS 2020 reproduction)."
@@ -974,4 +1360,4 @@ let () =
           [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
             sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd;
-            audit_cmd ]))
+            audit_cmd; serve_cmd; watch_cmd; bench_cmd; version_cmd ]))

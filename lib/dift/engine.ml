@@ -39,6 +39,7 @@ type counters = {
   mutable source_bytes : int;
   mutable sink_tainted_bytes : int;
   mutable shadow_ops : int;
+  mutable evictions : int;
   per_type_propagated : int array;
   per_type_blocked : int array;
 }
@@ -55,6 +56,7 @@ let fresh_counters () =
     source_bytes = 0;
     sink_tainted_bytes = 0;
     shadow_ops = 0;
+    evictions = 0;
     per_type_propagated = Array.make Tag_type.count 0;
     per_type_blocked = Array.make Tag_type.count 0;
   }
@@ -76,6 +78,7 @@ type instruments = {
   ifp_block : Mitos_obs.Registry.counter array;
   shadow_ops_gauge : Mitos_obs.Registry.gauge;
   scope_depth_gauge : Mitos_obs.Registry.gauge;
+  evictions_total : Mitos_obs.Registry.counter;
 }
 
 type alert = {
@@ -135,16 +138,22 @@ let create ?(config = default_config) ~policy ~source_tag prog =
     audit = None;
   }
 
-(* Surface provenance-list evictions into the flight recorder: taint
-   removed behind the policy's back is the one cause of undertainting
-   no decision record explains. *)
+(* Count every provenance-list eviction — taint removed behind the
+   policy's back is the one cause of undertainting no decision record
+   explains — and surface it into the flight recorder when auditing.
+   The closure consults [t.audit]/[t.instruments] at event time, so
+   installing it once at shadow-attach covers any instrument order. *)
 let install_evict_observer t shadow =
-  match t.audit with
-  | None -> ()
-  | Some recorder ->
-    Shadow.on_evict shadow
-      (Some
-         (fun (e : Shadow.evict_event) ->
+  Shadow.on_evict shadow
+    (Some
+       (fun (e : Shadow.evict_event) ->
+         t.counters.evictions <- t.counters.evictions + 1;
+         (match t.instruments with
+         | Some ins -> Mitos_obs.Registry.incr ins.evictions_total
+         | None -> ());
+         match t.audit with
+         | None -> ()
+         | Some recorder ->
            let at =
              match e.at with
              | `Mem addr -> "mem:" ^ string_of_int addr
@@ -202,10 +211,7 @@ let instrument ?(sample_every = 1024) ?audit t obs =
     t.audit <- Some recorder;
     (* with a live trace too, cross-link records as instant events *)
     if Mitos_obs.Obs.enabled obs then
-      Mitos_obs.Audit.link_tracer recorder (Mitos_obs.Obs.tracer obs);
-    (match t.shadow with
-    | Some shadow -> install_evict_observer t shadow
-    | None -> ())
+      Mitos_obs.Audit.link_tracer recorder (Mitos_obs.Obs.tracer obs)
   | Some _ | None -> ());
   if Mitos_obs.Obs.enabled obs then begin
     let module R = Mitos_obs.Registry in
@@ -240,6 +246,9 @@ let instrument ?(sample_every = 1024) ?audit t obs =
         scope_depth_gauge =
           R.gauge registry ~help:"open control-dependency scopes"
             "mitos_engine_scope_depth";
+        evictions_total =
+          R.counter registry ~help:"provenance-list evictions"
+            "mitos_engine_evictions_total";
       }
     in
     t.instruments <- Some ins;
@@ -699,3 +708,36 @@ let run ?(max_steps = 10_000_000) t =
     incr n
   done;
   !n
+
+(* -- Progress -------------------------------------------------------- *)
+
+type progress = {
+  prog_step : int;
+  prog_pc : int;
+  prog_direct_events : int;
+  prog_indirect_events : int;
+  prog_dfp_propagated : int;
+  prog_ifp_propagated : int;
+  prog_ifp_blocked : int;
+  prog_shadow_ops : int;
+  prog_evictions : int;
+  prog_open_scopes : int;
+  prog_source_bytes : int;
+  prog_sink_tainted_bytes : int;
+}
+
+let progress t =
+  {
+    prog_step = t.counters.steps;
+    prog_pc = t.current_pc;
+    prog_direct_events = t.counters.direct_events;
+    prog_indirect_events = t.counters.indirect_events;
+    prog_dfp_propagated = t.counters.dfp_propagated;
+    prog_ifp_propagated = t.counters.ifp_propagated;
+    prog_ifp_blocked = t.counters.ifp_blocked;
+    prog_shadow_ops = t.counters.shadow_ops;
+    prog_evictions = t.counters.evictions;
+    prog_open_scopes = List.length t.scopes;
+    prog_source_bytes = t.counters.source_bytes;
+    prog_sink_tainted_bytes = t.counters.sink_tainted_bytes;
+  }

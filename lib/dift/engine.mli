@@ -59,6 +59,9 @@ type counters = {
   mutable sink_tainted_bytes : int;  (** tainted bytes leaving via sinks *)
   mutable shadow_ops : int;
       (** provenance-list writes — the spatiotemporal cost proxy *)
+  mutable evictions : int;
+      (** provenance-list evictions — taint silently dropped by the
+          M_prov bound (always counted, audited or not) *)
   per_type_propagated : int array;  (** per [Tag_type.to_int], IFP only *)
   per_type_blocked : int array;
 }
@@ -205,6 +208,31 @@ type arrival = {
 
 val record_history : t -> unit
 (** Enable arrival logging (call before running). *)
+
+(** {1 Live progress}
+
+    A constant-cost snapshot of where the run is — plain field reads
+    only (no shadow-store traversal), so the telemetry server's
+    exposition domain can call it mid-run for [/snapshot.json] without
+    perturbing or racing the hot path beyond benign word-sized
+    reads. *)
+
+type progress = {
+  prog_step : int;  (** records processed so far *)
+  prog_pc : int;  (** pc of the last record *)
+  prog_direct_events : int;
+  prog_indirect_events : int;
+  prog_dfp_propagated : int;
+  prog_ifp_propagated : int;
+  prog_ifp_blocked : int;
+  prog_shadow_ops : int;
+  prog_evictions : int;
+  prog_open_scopes : int;
+  prog_source_bytes : int;
+  prog_sink_tainted_bytes : int;
+}
+
+val progress : t -> progress
 
 val taint_history : t -> int -> arrival list
 (** Arrivals at the byte, oldest first; [] if history is off or the

@@ -9,6 +9,7 @@ type result = {
   baseline_s : float;
   disabled_s : float;
   enabled_s : float;
+  server_s : float;
   audit_s : float;
 }
 
@@ -17,6 +18,7 @@ let overhead ~baseline t =
 
 let disabled_overhead r = overhead ~baseline:r.baseline_s r.disabled_s
 let enabled_overhead r = overhead ~baseline:r.baseline_s r.enabled_s
+let server_overhead r = overhead ~baseline:r.baseline_s r.server_s
 let audit_overhead r = overhead ~baseline:r.baseline_s r.audit_s
 
 (* One replay of the slice under a fresh engine, returning the time
@@ -97,9 +99,37 @@ let measure ?(seed = 1) ?(records = 5_000) ?(repetitions = 10) () =
             fun () -> Mitos.Decision.set_audit None);
       ]
   in
+  (* The exposition-server row needs the server parked for the whole
+     timed window, and "a server is up" is process-global: it cannot
+     be interleaved with the server-free modes above (it would leak
+     into their samples), and starting/joining its domain around each
+     sample would time domain startup racing the replay instead of
+     the steady state of a --listen run. So the server row is a
+     separate pass: one server up for the duration, nothing scraping,
+     the same enabled-mode replay timed under it. *)
+  let server_obs = real_obs () in
+  let server =
+    Mitos_obs.Server.start
+      [
+        Mitos_obs.Server.route ~file:"metrics.prom" "/metrics" (fun () ->
+            Mitos_obs.Server.prometheus (Obs.prometheus server_obs));
+      ]
+  in
+  let server_times =
+    Fun.protect
+      ~finally:(fun () -> Mitos_obs.Server.stop server)
+      (fun () ->
+        time_modes ~repetitions ~inner
+          [
+            run (fun engine ->
+                Engine.instrument engine server_obs;
+                no_teardown);
+          ])
+  in
   let baseline_s = times.(0)
   and disabled_s = times.(1)
   and enabled_s = times.(2)
+  and server_s = server_times.(0)
   and audit_s = times.(3) in
   {
     records = Array.length slice;
@@ -107,6 +137,7 @@ let measure ?(seed = 1) ?(records = 5_000) ?(repetitions = 10) () =
     baseline_s;
     disabled_s;
     enabled_s;
+    server_s;
     audit_s;
   }
 
@@ -131,10 +162,15 @@ let run ?seed ?records ?repetitions () =
   row "baseline (no obs, no audit)" r.baseline_s;
   row "instrumented, no-op sink" r.disabled_s;
   row "instrumented, enabled (real clock)" r.enabled_s;
+  row "enabled + exposition server (idle)" r.server_s;
   row "enabled + audit flight recorder" r.audit_s;
   Report.table report t;
   Report.textf report
     "Contract: the no-op sink (audit disabled) must stay within 5%% of \
-     baseline (measured %+.1f%%)."
-    (100.0 *. disabled_overhead r);
+     baseline (measured %+.1f%%), and an attached-but-idle exposition \
+     server within 5%% of the enabled row (measured %+.1f%% vs baseline, \
+     %+.1f%% vs enabled)."
+    (100.0 *. disabled_overhead r)
+    (100.0 *. server_overhead r)
+    (100.0 *. overhead ~baseline:r.enabled_s r.server_s);
   Report.finish report

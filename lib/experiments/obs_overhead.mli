@@ -1,7 +1,8 @@
 (** Instrumentation-overhead benchmark: the engine-replay workload of
-    the bench harness run four ways — un-instrumented baseline,
+    the bench harness run five ways — un-instrumented baseline,
     instrumented against the no-op sink ({!Mitos_obs.Obs.disabled}),
-    fully enabled on the real clock, and enabled plus the
+    fully enabled on the real clock, enabled with an attached-but-idle
+    {!Mitos_obs.Server} exposition server, and enabled plus the
     {!Mitos_obs.Audit} decision flight recorder — so the
     observability layer's cost contract (no-op sink, audit disabled,
     within 5% of baseline) is measurable, not asserted. The replay
@@ -14,6 +15,8 @@ type result = {
   baseline_s : float;  (** best wall time, un-instrumented *)
   disabled_s : float;  (** best wall time, no-op sink *)
   enabled_s : float;  (** best wall time, enabled (real clock) *)
+  server_s : float;
+      (** best wall time, enabled + idle exposition server attached *)
   audit_s : float;  (** best wall time, enabled + audit recorder *)
 }
 
@@ -26,6 +29,11 @@ val disabled_overhead : result -> float
 (** [(disabled - baseline) / baseline]; the ≤ 0.05 contract. *)
 
 val enabled_overhead : result -> float
+
+val server_overhead : result -> float
+(** Overhead of having the exposition server attached but idle (its
+    domain parked in the accept poll, nothing scraping): the hot path
+    must not notice the server — same ≤ 0.05 contract. *)
 
 val audit_overhead : result -> float
 (** Overhead of full decision auditing (ring recording on every

@@ -1,0 +1,210 @@
+module Obs = Mitos_obs.Obs
+module Server = Mitos_obs.Server
+module Health = Mitos_obs.Health
+module Audit = Mitos_obs.Audit
+module Registry = Mitos_obs.Registry
+module Engine = Mitos_dift.Engine
+module Metrics = Mitos_dift.Metrics
+module Shadow = Mitos_tag.Shadow
+
+type source = {
+  obs : Obs.t;
+  health : Health.t option;
+  audit : Audit.t option;
+  progress : (unit -> Engine.progress) option;
+}
+
+let source ?health ?audit ?progress obs = { obs; health; audit; progress }
+
+let progress_json (p : Engine.progress) =
+  Printf.sprintf
+    "{\"step\":%d,\"pc\":%d,\"direct_events\":%d,\"indirect_events\":%d,\
+     \"dfp_propagated\":%d,\"ifp_propagated\":%d,\"ifp_blocked\":%d,\
+     \"shadow_ops\":%d,\"evictions\":%d,\"open_scopes\":%d,\
+     \"source_bytes\":%d,\"sink_tainted_bytes\":%d}"
+    p.prog_step p.prog_pc p.prog_direct_events p.prog_indirect_events
+    p.prog_dfp_propagated p.prog_ifp_propagated p.prog_ifp_blocked
+    p.prog_shadow_ops p.prog_evictions p.prog_open_scopes
+    p.prog_source_bytes p.prog_sink_tainted_bytes
+
+let audit_json recorder =
+  Printf.sprintf "{\"length\":%d,\"dropped\":%d,\"next_id\":%d}"
+    (Audit.length recorder) (Audit.dropped recorder) (Audit.next_id recorder)
+
+let snapshot_json t =
+  let opt f = function None -> "null" | Some x -> f x in
+  Printf.sprintf
+    "{\"progress\":%s,\"audit\":%s,\"health\":%s,\"metrics\":%s}"
+    (opt (fun thunk -> progress_json (thunk ())) t.progress)
+    (opt audit_json t.audit)
+    (opt Health.to_json t.health)
+    (Obs.metrics_json t.obs)
+
+(* Last [n] lines of a JSONL payload (rings are bounded, but live
+   scrapers want the tail, not a 64k-event dump). *)
+let last_lines n s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> l <> "") lines in
+  let len = List.length lines in
+  let tail =
+    if len <= n then lines else List.filteri (fun i _ -> i >= len - n) lines
+  in
+  match tail with [] -> "" | _ -> String.concat "\n" tail ^ "\n"
+
+let healthz_payload t () =
+  match t.health with
+  | None -> Server.text "status: ok (no SLO rules attached)\n"
+  | Some h -> Server.text ~status:(Health.status_code h) (Health.render h)
+
+let routes ?(last = 256) t =
+  [
+    Server.route ~file:"metrics.prom"
+      ~describe:"Prometheus exposition (registry)" "/metrics" (fun () ->
+        Server.prometheus (Obs.prometheus t.obs));
+    Server.route ~file:"healthz.txt" ~describe:"liveness + SLO verdict"
+      "/healthz" (healthz_payload t);
+    Server.route ~file:"snapshot.json"
+      ~describe:"registry + engine progress + audit + health" "/snapshot.json"
+      (fun () -> Server.json (snapshot_json t));
+    Server.route ~file:"tracez.jsonl"
+      ~describe:"trace ring tail (Chrome-trace JSONL)" "/tracez" (fun () ->
+        Server.text
+          (last_lines last
+             (Mitos_obs.Chrome_trace.to_jsonl (Obs.tracer t.obs))));
+    Server.route ~file:"auditz.jsonl" ~describe:"audit ring tail (JSONL)"
+      "/auditz" (fun () ->
+        match t.audit with
+        | None -> Server.text "no audit recorder attached\n"
+        | Some recorder -> Server.text (last_lines last (Audit.to_jsonl recorder)));
+  ]
+
+(* -- Standard signals ------------------------------------------------ *)
+
+let standard_signals ?over_taint_bound ~obs engine (s : Metrics.sample) =
+  let c = Engine.counters engine in
+  let shadow = Engine.shadow engine in
+  let latency =
+    Registry.histogram (Obs.registry obs) ~lo:1.0 ~growth:2.0 ~buckets:32
+      "mitos_engine_record_latency_ticks"
+  in
+  let over_taint =
+    match over_taint_bound with
+    | Some bound when bound > 0.0 ->
+      [ ("over_taint_ratio", float_of_int s.sampled_tainted /. bound) ]
+    | Some _ | None -> []
+  in
+  over_taint
+  @ [
+      ("decision_p50_ticks", Mitos_obs.Histogram.quantile latency 0.5);
+      ("decision_p99_ticks", Mitos_obs.Histogram.quantile latency 0.99);
+      ( "eviction_rate",
+        float_of_int c.evictions /. float_of_int (max 1 c.steps) );
+      ( "tag_space_occupancy",
+        Shadow.pollution shadow ~o:(fun _ -> 1.0) );
+      ("tainted_bytes", float_of_int s.sampled_tainted);
+      ("distinct_tags", float_of_int s.sampled_distinct);
+    ]
+
+let default_rules =
+  [
+    Health.rule ~signal:"over_taint_ratio" ~cmp:Health.Le ~bound:1.0 ();
+    Health.rule ~signal:"eviction_rate" ~cmp:Health.Le ~bound:0.5 ();
+    Health.rule ~signal:"tag_space_occupancy" ~cmp:Health.Le ~bound:0.9 ();
+  ]
+
+(* -- The pilot run --------------------------------------------------- *)
+
+module Workload = Mitos_workload.Workload
+module Policies = Mitos_dift.Policies
+module Driver = Mitos_replay.Driver
+
+type pilot = {
+  src : source;
+  engine : Engine.t;
+  replay : unit -> unit;
+  over_taint_bound : float;
+}
+
+let sweep_policies params =
+  [
+    ("faros", Policies.faros);
+    ("propagate-all", Policies.propagate_all);
+    ("mitos", Policies.mitos params);
+  ]
+
+let pilot ?params ?rules ?(window = 0.0) ?clock ?(sample_every = 256)
+    ?(audit_capacity = 65536) ?pool ~build () =
+  let params =
+    match params with Some p -> p | None -> Calib.sensitivity_params ()
+  in
+  let clock =
+    match clock with Some c -> c | None -> Mitos_obs.Obs_clock.logical ()
+  in
+  let obs = Obs.create ~clock () in
+  let registry = Obs.registry obs in
+  let trace = Workload.record (build ()) in
+  (* Oracle-panel sweep on the pool. Workers replay un-instrumented
+     (no obs, probes unset), so nothing they do can perturb the obs
+     context — the determinism across --jobs hinges on this. *)
+  let summaries =
+    Mitos_parallel.Pool.map_opt pool
+      ~f:(fun (name, policy) ->
+        (name, Metrics.of_engine (Workload.replay ~policy (build ()) trace)))
+      (sweep_policies params)
+  in
+  List.iter
+    (fun (name, (s : Metrics.summary)) ->
+      let g metric v =
+        Registry.set_gauge
+          (Registry.gauge registry ~labels:[ ("policy", name) ] metric)
+          v
+      in
+      g "mitos_sweep_tainted_bytes" (float_of_int s.tainted_bytes);
+      g "mitos_sweep_shadow_ops" (float_of_int s.shadow_ops);
+      g "mitos_sweep_ifp_propagated" (float_of_int s.ifp_propagated);
+      g "mitos_sweep_ifp_blocked" (float_of_int s.ifp_blocked))
+    summaries;
+  let over_taint_bound =
+    match List.assoc_opt "propagate-all" summaries with
+    | Some s -> float_of_int s.Metrics.tainted_bytes
+    | None -> 0.0
+  in
+  Registry.set_gauge
+    (Registry.gauge registry ~help:"propagate-all final tainted bytes"
+       "mitos_sweep_over_taint_bound")
+    over_taint_bound;
+  let rules = match rules with Some r -> r | None -> default_rules in
+  let health = Health.create ~window ~rules () in
+  Health.link_tracer health (Obs.tracer obs);
+  let audit = Audit.create ~capacity:audit_capacity () in
+  let engine_cell = ref None in
+  let observe (s : Metrics.sample) =
+    match !engine_cell with
+    | None -> ()
+    | Some engine ->
+      Health.observe health ~at:(float_of_int s.Metrics.at_step)
+        (standard_signals ~over_taint_bound ~obs engine s)
+  in
+  let engine =
+    Workload.replay_engine ~obs ~sample_every ~observe ~audit
+      ~policy:(Policies.mitos params) (build ()) trace
+  in
+  engine_cell := Some engine;
+  let replay () =
+    Mitos.Decision.set_obs (Some obs);
+    Mitos.Solver.set_obs (Some obs);
+    Mitos.Decision.set_audit (Some audit);
+    Fun.protect
+      ~finally:(fun () ->
+        Mitos.Decision.set_audit None;
+        Mitos.Decision.set_obs None;
+        Mitos.Solver.set_obs None)
+      (fun () ->
+        ignore (Driver.run ~obs trace ~f:(Engine.process_record engine)))
+  in
+  let src =
+    source ~health ~audit
+      ~progress:(fun () -> Engine.progress engine)
+      obs
+  in
+  { src; engine; replay; over_taint_bound }

@@ -13,9 +13,22 @@ type metric = {
   kind : kind;
 }
 
-type t = { tbl : (string * (string * string) list, metric) Hashtbl.t }
+(* [lock] serializes structural access to the table: instrument
+   creation and the exposition fold. It exists for the exposition
+   server, which renders from its own domain while the instrumented
+   run keeps resolving handles. Instrument *updates* stay lock-free:
+   they go through the handles returned here, never through the
+   table. *)
+type t = {
+  tbl : (string * (string * string) list, metric) Hashtbl.t;
+  lock : Mutex.t;
+}
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let norm_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -28,12 +41,13 @@ let kind_name = function
 let find_or_add t ~name ~labels ~help make =
   let labels = norm_labels labels in
   let key = (name, labels) in
-  match Hashtbl.find_opt t.tbl key with
-  | Some m -> m.kind
-  | None ->
-    let kind = make () in
-    Hashtbl.add t.tbl key { name; labels; help; kind };
-    kind
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some m -> m.kind
+      | None ->
+        let kind = make () in
+        Hashtbl.add t.tbl key { name; labels; help; kind };
+        kind)
 
 let wrong_kind name want got =
   invalid_arg
@@ -68,7 +82,7 @@ let histogram t ?(help = "") ?(labels = []) ?lo ?growth ?buckets name =
 (* -- rendering ------------------------------------------------------ *)
 
 let sorted_metrics t =
-  Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
+  locked t (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl [])
   |> List.sort (fun a b ->
          match String.compare a.name b.name with
          | 0 -> compare a.labels b.labels

@@ -12,7 +12,14 @@
     formatter, and nothing in the output depends on hash order or wall
     time. Two runs that record the same values render byte-identical
     Prometheus text and JSON — the property the determinism tests
-    assert. *)
+    assert.
+
+    Concurrency: instrument creation and exposition serialize on an
+    internal mutex, so the {!Server} exposition domain can render
+    [/metrics] while the run keeps resolving handles. Instrument
+    {e updates} (through the returned handles) stay lock-free; updates
+    racing a render may be missed by that render but are never lost
+    from the instrument. *)
 
 type t
 type counter
@@ -72,3 +79,10 @@ val fmt_value : float -> string
 
 val json_string : string -> string
 (** JSON-quoted and escaped. *)
+
+val escape_label : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline become backslash-escaped two-character sequences;
+    everything else is verbatim. Injective (the QCheck round-trip test
+    inverts it), so distinct label values never collide in the
+    exposition. *)

@@ -1,0 +1,322 @@
+type payload = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+let prometheus ?(status = 200) body =
+  { status; content_type = "text/plain; version=0.0.4"; body }
+
+type route = {
+  path : string;
+  file : string;
+  describe : string;
+  payload : unit -> payload;
+}
+
+let route ?(describe = "") ~file path payload = { path; file; describe; payload }
+
+(* -- HTTP plumbing --------------------------------------------------- *)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd bytes !off (len - !off) in
+    if n = 0 then raise Exit;
+    off := !off + n
+  done
+
+let respond fd p =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      p.status (status_reason p.status) p.content_type
+      (String.length p.body)
+  in
+  write_all fd (head ^ p.body)
+
+(* Read until the end of the request head (we never read bodies: the
+   only supported method is GET), a size bound, or EOF. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec seen_terminator () =
+    let s = Buffer.contents buf in
+    let rec find i =
+      i + 3 < String.length s
+      && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+    in
+    String.length s >= 4 && find 0
+  and go () =
+    if Buffer.length buf > 65536 || seen_terminator () then
+      Buffer.contents buf
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Buffer.contents buf
+  in
+  go ()
+
+(* First request line → (method, path-without-query). *)
+let parse_request head =
+  match String.index_opt head '\r' with
+  | None -> None
+  | Some eol -> (
+    let line = String.sub head 0 eol in
+    match String.split_on_char ' ' line with
+    | meth :: target :: _ ->
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let index_payload routes () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "mitos telemetry endpoints:\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-16s %s\n" r.path r.describe))
+    routes;
+  text (Buffer.contents buf)
+
+let handle routes fd =
+  let head = read_head fd in
+  let reply =
+    match parse_request head with
+    | None -> text ~status:500 "malformed request\n"
+    | Some (meth, _) when meth <> "GET" ->
+      text ~status:405 "only GET is supported\n"
+    | Some (_, path) -> (
+      match List.find_opt (fun r -> r.path = path) routes with
+      | None -> text ~status:404 (Printf.sprintf "no route %s\n" path)
+      | Some r -> (
+        try r.payload ()
+        with exn ->
+          text ~status:500 (Printf.sprintf "%s\n" (Printexc.to_string exn))))
+  in
+  try respond fd reply with Exit | Unix.Unix_error _ -> ()
+
+(* -- server loop ----------------------------------------------------- *)
+
+type t = {
+  sock : Unix.file_descr;
+  bound_host : string;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+(* One accept-and-serve loop on the server domain. [select] with a
+   short timeout doubles as the stop poll: [stop] flips the flag and
+   the loop notices within [tick]. *)
+let serve_loop t routes =
+  let tick = 0.1 in
+  let routes_with_index =
+    { path = "/"; file = "index.txt"; describe = "this index";
+      payload = index_payload routes }
+    :: routes
+  in
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.sock ] [] [] tick with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.sock with
+        | client, _ ->
+          Unix.setsockopt_float client SO_RCVTIMEO 5.0;
+          Unix.setsockopt_float client SO_SNDTIMEO 5.0;
+          Fun.protect
+            ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+            (fun () ->
+              (* a client dying mid-request must not kill the server *)
+              try handle routes_with_index client
+              with Unix.Unix_error _ | Exit -> ())
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          ())
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop () with Unix.Unix_error ((EBADF | EINVAL), _, _) -> ());
+  try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+let start ?(host = "127.0.0.1") ?(port = 0) routes =
+  let addr = resolve host in
+  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock SO_REUSEADDR true;
+     Unix.bind sock (ADDR_INET (addr, port));
+     Unix.listen sock 16
+   with exn ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise exn);
+  let bound_port =
+    match Unix.getsockname sock with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> port
+  in
+  let t =
+    { sock; bound_host = host; bound_port; stopping = Atomic.make false;
+      domain = None }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> serve_loop t routes));
+  t
+
+let port t = t.bound_port
+let addr t = Printf.sprintf "%s:%d" t.bound_host t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    match t.domain with
+    | None -> ()
+    | Some d ->
+      t.domain <- None;
+      Domain.join d
+
+(* -- offline twin ---------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let oneshot ~dir routes =
+  mkdir_p dir;
+  List.map
+    (fun r ->
+      let path = Filename.concat dir r.file in
+      let p = r.payload () in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc p.body);
+      (r.file, path))
+    routes
+
+(* -- client ---------------------------------------------------------- *)
+
+let parse_url url =
+  let rest =
+    let prefix = "http://" in
+    if
+      String.length url >= String.length prefix
+      && String.sub url 0 (String.length prefix) = prefix
+    then String.sub url (String.length prefix) (String.length url - String.length prefix)
+    else url
+  in
+  let authority, path =
+    match String.index_opt rest '/' with
+    | Some slash ->
+      ( String.sub rest 0 slash,
+        String.sub rest slash (String.length rest - slash) )
+    | None -> (rest, "/")
+  in
+  match String.rindex_opt authority ':' with
+  | None -> Error (Printf.sprintf "no port in %S (want host:port)" url)
+  | Some colon -> (
+    let host = String.sub authority 0 colon in
+    let port_s =
+      String.sub authority (colon + 1) (String.length authority - colon - 1)
+    in
+    match int_of_string_opt port_s with
+    | Some port when host <> "" -> Ok (host, port, path)
+    | _ -> Error (Printf.sprintf "bad host:port in %S" url))
+
+let fetch ?(timeout = 5.0) ~host ~port ~path () =
+  match resolve host with
+  | exception Failure msg -> Error msg
+  | addr -> (
+    let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+    let finally () = try Unix.close sock with Unix.Unix_error _ -> () in
+    match
+      Fun.protect ~finally (fun () ->
+          Unix.setsockopt_float sock SO_RCVTIMEO timeout;
+          Unix.setsockopt_float sock SO_SNDTIMEO timeout;
+          Unix.connect sock (ADDR_INET (addr, port));
+          write_all sock
+            (Printf.sprintf
+               "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n"
+               path host);
+          let buf = Buffer.create 1024 in
+          let chunk = Bytes.create 8192 in
+          let rec drain () =
+            match Unix.read sock chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+          in
+          drain ();
+          Buffer.contents buf)
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "%s:%d unreachable (%s)" host port
+           (Unix.error_message err))
+    | exception Exit -> Error (Printf.sprintf "%s:%d closed early" host port)
+    | raw -> (
+      (* "HTTP/1.0 200 OK\r\nheaders...\r\n\r\nbody" *)
+      let split_head_body () =
+        let rec find i =
+          if i + 3 < String.length raw then
+            if String.sub raw i 4 = "\r\n\r\n" then Some i else find (i + 1)
+          else None
+        in
+        find 0
+      in
+      match split_head_body () with
+      | None -> Error "malformed HTTP response (no header terminator)"
+      | Some sep -> (
+        let head = String.sub raw 0 sep in
+        let body =
+          String.sub raw (sep + 4) (String.length raw - sep - 4)
+        in
+        let status_line =
+          match String.index_opt head '\r' with
+          | Some eol -> String.sub head 0 eol
+          | None -> head
+        in
+        match String.split_on_char ' ' status_line with
+        | _http :: code :: _ -> (
+          match int_of_string_opt code with
+          | Some status -> Ok (status, body)
+          | None -> Error ("malformed status line: " ^ status_line))
+        | _ -> Error ("malformed status line: " ^ status_line))))
+
+let fetch_url ?timeout url =
+  match parse_url url with
+  | Error _ as e -> e
+  | Ok (host, port, path) -> fetch ?timeout ~host ~port ~path ()

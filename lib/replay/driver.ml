@@ -30,25 +30,33 @@ let instrumented obs ~chunk trace ~f =
   Tracer.span_begin tracer
     ~args:[ ("records", string_of_int n) ]
     "replay";
+  (* Progress instruments are refreshed once per chunk (not once at the
+     end) so a live [/metrics] scrape mid-replay sees current figures;
+     the per-chunk refresh settles on the same final values. *)
+  let refresh done_so_far =
+    let elapsed = Obs.now obs - t0 in
+    Registry.set_gauge elapsed_gauge (float_of_int elapsed);
+    Registry.set_gauge throughput_gauge
+      (if elapsed = 0 then 0.0
+       else float_of_int done_so_far /. (float_of_int elapsed /. 1e6))
+  in
   let i = ref 0 in
   while !i < n do
-    let stop = min n (!i + chunk) in
+    let first = !i in
+    let stop = min n (first + chunk) in
     Tracer.span_begin tracer
-      ~args:[ ("first", string_of_int !i) ]
+      ~args:[ ("first", string_of_int first) ]
       "replay.chunk";
     while !i < stop do
       f records.(!i);
       incr i
     done;
-    Tracer.span_end tracer
+    Tracer.span_end tracer;
+    Registry.add records_total (stop - first);
+    refresh stop
   done;
   Tracer.span_end tracer;
-  let elapsed = Obs.now obs - t0 in
-  Registry.add records_total n;
-  Registry.set_gauge elapsed_gauge (float_of_int elapsed);
-  Registry.set_gauge throughput_gauge
-    (if elapsed = 0 then 0.0
-     else float_of_int n /. (float_of_int elapsed /. 1e6));
+  refresh n;
   n
 
 let run ?(obs = Obs.disabled) ?(chunk = 8192) trace ~f =

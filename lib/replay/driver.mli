@@ -24,4 +24,8 @@ val run :
     - [mitos_replay_elapsed_ticks] — clock ticks for the whole loop;
     - [mitos_replay_records_per_sec] — records per second under the
       real clock; under the logical clock the same formula yields
-      records per million ticks (documented, deterministic). *)
+      records per million ticks (documented, deterministic).
+
+    All three are refreshed after every chunk, so a live [/metrics]
+    scrape mid-replay reads current progress rather than zeros; the
+    final values are those of the completed loop. *)

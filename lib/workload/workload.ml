@@ -20,22 +20,23 @@ let engine_of ?config ~policy b =
 (* Engine-level instruments plus the run-level metrics sampler: one
    [?obs] argument wires the whole stack; [?audit] threads the
    decision flight recorder alongside. *)
-let instrument_engine ?sample_every ?audit obs engine =
+let instrument_engine ?sample_every ?observe ?audit obs engine =
   Engine.instrument ?sample_every ?audit engine obs;
   if Mitos_obs.Obs.enabled obs then
     Metrics.attach_sampler ?sample_every
-      ~registry:(Mitos_obs.Obs.registry obs) engine
+      ~registry:(Mitos_obs.Obs.registry obs) ?observe engine
 
-let wire ?sample_every ?obs ?audit engine =
+let wire ?sample_every ?observe ?obs ?audit engine =
   match (obs, audit) with
   | None, None -> ()
-  | Some obs, _ -> instrument_engine ?sample_every ?audit obs engine
+  | Some obs, _ -> instrument_engine ?sample_every ?observe ?audit obs engine
   | None, Some _ ->
-    instrument_engine ?sample_every ?audit Mitos_obs.Obs.disabled engine
+    instrument_engine ?sample_every ?observe ?audit Mitos_obs.Obs.disabled
+      engine
 
-let run_live ?config ?max_steps ?obs ?sample_every ?audit ~policy b =
+let run_live ?config ?max_steps ?obs ?sample_every ?observe ?audit ~policy b =
   let engine = engine_of ?config ~policy b in
-  wire ?sample_every ?obs ?audit engine;
+  wire ?sample_every ?observe ?obs ?audit engine;
   Engine.attach engine (machine_of b);
   ignore (Engine.run ?max_steps engine);
   engine
@@ -56,15 +57,21 @@ let record ?max_steps b =
 let source_tag_of_trace trace =
   Option.map Os.source_lookup_of_string (Trace.find_meta trace sources_key)
 
-let replay ?config ?obs ?sample_every ?audit ~policy b trace =
+let replay_engine ?config ?obs ?sample_every ?observe ?audit ~policy b trace =
   let source_tag =
     match source_tag_of_trace trace with
     | Some lookup -> lookup
     | None -> Os.source_tag b.os
   in
   let engine = Engine.create ?config ~policy ~source_tag b.program in
-  wire ?sample_every ?obs ?audit engine;
+  wire ?sample_every ?observe ?obs ?audit engine;
   Engine.attach_shadow engine ~mem_size:(Trace.mem_size trace);
+  engine
+
+let replay ?config ?obs ?sample_every ?observe ?audit ~policy b trace =
+  let engine =
+    replay_engine ?config ?obs ?sample_every ?observe ?audit ~policy b trace
+  in
   ignore
     (Mitos_replay.Driver.run ?obs trace ~f:(Engine.process_record engine));
   engine

@@ -25,14 +25,18 @@ val run_live :
   ?max_steps:int ->
   ?obs:Mitos_obs.Obs.t ->
   ?sample_every:int ->
+  ?observe:(Metrics.sample -> unit) ->
   ?audit:Mitos_obs.Audit.t ->
   policy:Policy.t ->
   built ->
   Engine.t
 (** Execute the workload under the policy, returning the finished
     engine. [obs] instruments the engine (see {!Engine.instrument});
-    [sample_every] is its sampling period; [audit] threads a decision
-    flight recorder through the run (with or without [obs]). *)
+    [sample_every] is its sampling period; [observe] additionally
+    receives every {!Metrics.attach_sampler} sample (the health
+    watchdog's feed — only called when [obs] is enabled); [audit]
+    threads a decision flight recorder through the run (with or
+    without [obs]). *)
 
 val record : ?max_steps:int -> built -> Mitos_replay.Trace.t
 (** Record an execution trace (the PANDA step). The workload's OS
@@ -44,6 +48,7 @@ val replay :
   ?config:Engine.config ->
   ?obs:Mitos_obs.Obs.t ->
   ?sample_every:int ->
+  ?observe:(Metrics.sample -> unit) ->
   ?audit:Mitos_obs.Audit.t ->
   policy:Policy.t ->
   built ->
@@ -55,3 +60,19 @@ val replay :
     existed). The record loop goes through {!Mitos_replay.Driver.run},
     so with [obs] the run additionally produces replay spans and
     throughput metrics on top of the engine instrumentation. *)
+
+val replay_engine :
+  ?config:Engine.config ->
+  ?obs:Mitos_obs.Obs.t ->
+  ?sample_every:int ->
+  ?observe:(Metrics.sample -> unit) ->
+  ?audit:Mitos_obs.Audit.t ->
+  policy:Policy.t ->
+  built ->
+  Mitos_replay.Trace.t ->
+  Engine.t
+(** The setup half of {!replay}: the wired engine with its shadow
+    attached, before any record has been processed. Lets a caller
+    (the telemetry pilot) publish the engine's {!Engine.progress} to
+    an exposition server and {e then} drive the replay, so scrapes
+    observe it mid-run. Drive it with {!Mitos_replay.Driver.run}. *)

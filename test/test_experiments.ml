@@ -337,6 +337,135 @@ let test_flowgraph_counts () =
     Alcotest.(check int) "count" 1 ev.E.Flowgraph.count
   | evs -> Alcotest.failf "expected one eviction edge, got %d" (List.length evs))
 
+(* -- bench compare (perf-regression gate) ----------------------------- *)
+
+let bench_json ?(schema = "mitos-bench-decisions/1") ~alg1_direct
+    ~replay_rps () =
+  Printf.sprintf
+    {|{
+  "schema": "%s",
+  "alg1": { "direct_ns": %f, "fast_ns": 10.0 },
+  "alg2_batch8_space4": { "direct_ns": 500.0, "fast_ns": 100.0 },
+  "engine_replay": { "records_per_sec": %f, "audit_records_per_sec": 800000.0 }
+}|}
+    schema alg1_direct replay_rps
+
+let compare_exn ~tolerance_pct old_json new_json =
+  match E.Bench_compare.of_json ~tolerance_pct ~old_json ~new_json with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_bench_compare_ok () =
+  let old_json = bench_json ~alg1_direct:100.0 ~replay_rps:1e6 () in
+  (* 10% slower alg1, 10% lower throughput: inside a 25% tolerance *)
+  let new_json = bench_json ~alg1_direct:110.0 ~replay_rps:0.9e6 () in
+  let r = compare_exn ~tolerance_pct:25.0 old_json new_json in
+  Alcotest.(check bool) "ok" true (E.Bench_compare.ok r);
+  Alcotest.(check int) "all gated metrics compared" 6
+    (List.length r.E.Bench_compare.rows);
+  Alcotest.(check (list string)) "nothing skipped" []
+    r.E.Bench_compare.skipped;
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "render says ok" true
+    (contains (E.Bench_compare.render r) "ok: no metric regressed")
+
+let test_bench_compare_regression () =
+  let old_json = bench_json ~alg1_direct:100.0 ~replay_rps:1e6 () in
+  (* alg1 50% slower (Lower_better breach), throughput 40% down
+     (Higher_better breach) *)
+  let new_json = bench_json ~alg1_direct:150.0 ~replay_rps:0.6e6 () in
+  let r = compare_exn ~tolerance_pct:25.0 old_json new_json in
+  Alcotest.(check bool) "not ok" false (E.Bench_compare.ok r);
+  let regressed =
+    List.map
+      (fun row -> row.E.Bench_compare.metric)
+      (E.Bench_compare.regressions r)
+  in
+  Alcotest.(check (list string)) "both directions caught"
+    [ "alg1.direct_ns"; "engine_replay.records_per_sec" ]
+    regressed;
+  (* an improvement is a negative change, never a regression *)
+  let faster = bench_json ~alg1_direct:10.0 ~replay_rps:2e6 () in
+  Alcotest.(check bool) "improvement is ok" true
+    (E.Bench_compare.ok (compare_exn ~tolerance_pct:25.0 old_json faster))
+
+let test_bench_compare_skipped_and_errors () =
+  let old_json = bench_json ~alg1_direct:100.0 ~replay_rps:1e6 () in
+  let partial =
+    {|{ "schema": "mitos-bench-decisions/1", "alg1": { "direct_ns": 100.0 } }|}
+  in
+  let r = compare_exn ~tolerance_pct:25.0 old_json partial in
+  Alcotest.(check bool) "partial file still ok" true (E.Bench_compare.ok r);
+  Alcotest.(check int) "one row compared" 1
+    (List.length r.E.Bench_compare.rows);
+  Alcotest.(check int) "rest skipped" 5
+    (List.length r.E.Bench_compare.skipped);
+  let expect_error ~old_json ~new_json ~tolerance_pct =
+    match E.Bench_compare.of_json ~tolerance_pct ~old_json ~new_json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected Error"
+  in
+  expect_error ~tolerance_pct:25.0 ~old_json ~new_json:"not json{";
+  expect_error ~tolerance_pct:25.0 ~old_json
+    ~new_json:(bench_json ~schema:"other/9" ~alg1_direct:1.0 ~replay_rps:1.0 ());
+  expect_error ~tolerance_pct:(-1.0) ~old_json ~new_json:old_json;
+  match E.Bench_compare.of_files ~tolerance_pct:25.0 "/nonexistent-a.json"
+          "/nonexistent-b.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error for missing files"
+
+(* -- telemetry pilot --------------------------------------------------- *)
+
+let test_telemetry_pilot_breach () =
+  (* a rule no real run can satisfy forces the over-taint breach path:
+     /healthz must flip to 503 and record the transition *)
+  let forced =
+    E.Telemetry.default_rules
+    @ [
+        Mitos_obs.Health.rule ~name:"forced" ~signal:"over_taint_ratio"
+          ~cmp:Mitos_obs.Health.Le ~bound:0.01 ();
+      ]
+  in
+  let p =
+    E.Telemetry.pilot ~rules:forced ~sample_every:64
+      ~build:(fun () -> W.Netbench.build ~seed:5 ~chunks:10 ())
+      ()
+  in
+  p.E.Telemetry.replay ();
+  let health = Option.get p.E.Telemetry.src.E.Telemetry.health in
+  Alcotest.(check bool) "forced rule breached" false
+    (Mitos_obs.Health.healthy health);
+  Alcotest.(check int) "healthz 503" 503 (Mitos_obs.Health.status_code health);
+  Alcotest.(check bool) "breach history non-empty" true
+    (Mitos_obs.Health.breaches health <> []);
+  (* the snapshot endpoint body is real JSON our own parser accepts *)
+  let snapshot = E.Telemetry.snapshot_json p.E.Telemetry.src in
+  let j = Mitos_util.Minijson.parse snapshot in
+  let steps =
+    Option.bind
+      (Mitos_util.Minijson.path [ "progress"; "step" ] j)
+      Mitos_util.Minijson.to_float
+  in
+  let progress = Mitos_dift.Engine.progress p.E.Telemetry.engine in
+  Alcotest.(check (option (float 0.0))) "progress.step in snapshot"
+    (Some (float_of_int progress.Mitos_dift.Engine.prog_step))
+    steps;
+  Alcotest.(check bool) "sweep gauges exported" true
+    (let metrics = Mitos_obs.Obs.prometheus p.E.Telemetry.src.E.Telemetry.obs in
+     let contains hay needle =
+       let n = String.length needle and h = String.length hay in
+       let rec go i =
+         i + n <= h && (String.sub hay i n = needle || go (i + 1))
+       in
+       n = 0 || go 0
+     in
+     contains metrics "mitos_sweep_over_taint_bound"
+     && contains metrics "mitos_engine_ifp_decisions_total")
+
 let () =
   Alcotest.run "mitos_experiments"
     [
@@ -386,4 +515,17 @@ let () =
         ] );
       ( "calib",
         [ Alcotest.test_case "params" `Quick test_calib_params ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "pilot forced breach + snapshot" `Quick
+            test_telemetry_pilot_breach;
+        ] );
+      ( "bench-compare",
+        [
+          Alcotest.test_case "within tolerance" `Quick test_bench_compare_ok;
+          Alcotest.test_case "regressions both directions" `Quick
+            test_bench_compare_regression;
+          Alcotest.test_case "skipped metrics and errors" `Quick
+            test_bench_compare_skipped_and_errors;
+        ] );
     ]

@@ -540,6 +540,249 @@ let test_engine_double_instrument_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* -- Health ---------------------------------------------------------- *)
+
+let test_health_parse_rule () =
+  let ok s expected =
+    match Health.parse_rule s with
+    | Error e -> Alcotest.fail (Printf.sprintf "%S rejected: %s" s e)
+    | Ok r ->
+      Alcotest.(check string) ("round-trip " ^ s) expected
+        (Health.rule_to_string r)
+  in
+  ok "over_taint_ratio<=1" "over_taint_ratio<=1";
+  ok "slo1:decision_p99_ticks<64" "slo1:decision_p99_ticks<64";
+  ok "eviction_rate>=0.25" "eviction_rate>=0.25";
+  ok "hot:tag_space_occupancy>0.9" "hot:tag_space_occupancy>0.9";
+  let bad s =
+    match Health.parse_rule s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+  in
+  bad ""; bad "nocmp"; bad "x<="; bad "<=1"; bad "x<=notafloat";
+  bad "x==1"
+
+let test_health_pending_then_breach () =
+  let r = Health.rule ~signal:"over_taint_ratio" ~cmp:Health.Le ~bound:0.5 () in
+  let h = Health.create ~rules:[ r ] () in
+  Alcotest.(check bool) "pending is healthy" true (Health.healthy h);
+  Alcotest.(check int) "pending 200" 200 (Health.status_code h);
+  Health.observe h ~at:1.0 [ ("over_taint_ratio", 0.4) ];
+  Alcotest.(check bool) "within bound" true (Health.healthy h);
+  Health.observe h ~at:2.0 [ ("over_taint_ratio", 0.9) ];
+  Alcotest.(check bool) "breached" false (Health.healthy h);
+  Alcotest.(check int) "503" 503 (Health.status_code h);
+  Health.observe h ~at:3.0 [ ("over_taint_ratio", 0.91) ];
+  Health.observe h ~at:4.0 [ ("over_taint_ratio", 0.3) ];
+  Alcotest.(check bool) "recovered" true (Health.healthy h);
+  Health.observe h ~at:5.0 [ ("over_taint_ratio", 0.99) ];
+  (* only ok->breach transitions are history events: 2.0 and 5.0, the
+     sustained 3.0 violation is not a second breach *)
+  (match Health.breaches h with
+  | [ b1; b2 ] ->
+    check_float "first edge" 2.0 b1.Health.at;
+    check_float "second edge" 5.0 b2.Health.at
+  | bs -> Alcotest.fail (Printf.sprintf "expected 2 breaches, got %d"
+                           (List.length bs)));
+  Alcotest.(check bool) "render says BREACH" true
+    (string_contains (Health.render h) "BREACH")
+
+let test_health_window () =
+  let r = Health.rule ~signal:"s" ~cmp:Health.Le ~bound:10.0 () in
+  let h = Health.create ~window:4.0 ~rules:[ r ] () in
+  Health.observe h ~at:0.0 [ ("s", 100.0) ];
+  Alcotest.(check bool) "spike breaches" false (Health.healthy h);
+  (* the spike ages out of the 4-step window; the trailing mean of the
+     recent calm samples is what's judged *)
+  Health.observe h ~at:2.0 [ ("s", 2.0) ];
+  Health.observe h ~at:5.0 [ ("s", 4.0) ];
+  Health.observe h ~at:6.0 [ ("s", 6.0) ];
+  Alcotest.(check bool) "window mean ok" true (Health.healthy h);
+  match Health.current_breaches h with
+  | [] -> ()
+  | _ -> Alcotest.fail "no current breach expected"
+
+let test_health_tracer_instant () =
+  let r = Health.rule ~signal:"s" ~cmp:Health.Lt ~bound:1.0 () in
+  let h = Health.create ~rules:[ r ] () in
+  let tracer = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  Health.link_tracer h tracer;
+  Health.observe h ~at:1.0 [ ("s", 5.0) ];
+  Alcotest.(check bool) "slo_breach instant emitted" true
+    (Array.exists
+       (function
+         | Tracer.Instant { name = "slo_breach"; _ } -> true
+         | _ -> false)
+       (Tracer.events tracer))
+
+(* -- Server ---------------------------------------------------------- *)
+
+let ping_routes hits =
+  [
+    Server.route ~file:"ping.txt" ~describe:"ping" "/ping" (fun () ->
+        incr hits;
+        Server.text "pong\n");
+    Server.route ~file:"boom.txt" ~describe:"raises" "/boom" (fun () ->
+        failwith "payload exploded");
+    Server.route ~file:"sick.txt" ~describe:"non-200 payload" "/sick"
+      (fun () -> Server.text ~status:503 "unwell\n");
+  ]
+
+let test_server_serve_fetch_stop () =
+  let hits = ref 0 in
+  let server = Server.start (ping_routes hits) in
+  let fetch path =
+    Server.fetch ~host:"127.0.0.1" ~port:(Server.port server) ~path ()
+  in
+  (match fetch "/ping" with
+  | Ok (200, body) -> Alcotest.(check string) "body" "pong\n" body
+  | Ok (st, _) -> Alcotest.fail (Printf.sprintf "/ping status %d" st)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "payload thunk ran" 1 !hits;
+  (match fetch "/ping?verbose=1" with
+  | Ok (200, _) -> ()
+  | _ -> Alcotest.fail "query string should be stripped");
+  (match fetch "/" with
+  | Ok (200, body) ->
+    Alcotest.(check bool) "index lists routes" true
+      (string_contains body "/ping")
+  | _ -> Alcotest.fail "index fetch failed");
+  (match fetch "/nope" with
+  | Ok (404, _) -> ()
+  | _ -> Alcotest.fail "expected 404");
+  (match fetch "/boom" with
+  | Ok (500, _) -> ()
+  | _ -> Alcotest.fail "expected 500 from raising payload");
+  (match fetch "/sick" with
+  | Ok (503, body) -> Alcotest.(check string) "non-200 body" "unwell\n" body
+  | _ -> Alcotest.fail "expected 503 pass-through");
+  let port = Server.port server in
+  Server.stop server;
+  Server.stop server;
+  (* idempotent *)
+  match Server.fetch ~host:"127.0.0.1" ~port ~path:"/ping" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stopped server still answering"
+
+let test_server_rejects_non_get () =
+  let server = Server.start (ping_routes (ref 0)) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let addr =
+        Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server)
+      in
+      let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock addr;
+          let req = "POST /ping HTTP/1.0\r\n\r\n" in
+          ignore (Unix.write_substring sock req 0 (String.length req));
+          let buf = Bytes.create 64 in
+          let n = Unix.read sock buf 0 64 in
+          let status_line = Bytes.sub_string buf 0 n in
+          Alcotest.(check bool) "405" true
+            (string_contains status_line "405")))
+
+let test_server_oneshot_deterministic () =
+  let routes = ping_routes (ref 0) in
+  (* /boom raises: oneshot must propagate, so drop it for this test *)
+  let routes = List.filter (fun r -> r.Server.path <> "/boom") routes in
+  let dir = Filename.temp_file "mitos_oneshot" "" in
+  Sys.remove dir;
+  let written = Server.oneshot ~dir routes in
+  Alcotest.(check (list string)) "files in route order"
+    [ "ping.txt"; "sick.txt" ]
+    (List.map fst written);
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let first = List.map (fun (_, p) -> slurp p) written in
+  let again = List.map (fun (_, p) -> slurp p) (Server.oneshot ~dir routes) in
+  Alcotest.(check (list string)) "byte-identical on re-run" first again;
+  Alcotest.(check string) "payload body written" "pong\n" (List.hd first);
+  List.iter (fun (_, p) -> Sys.remove p) written;
+  Unix.rmdir dir
+
+let test_server_oneshot_propagates () =
+  let dir = Filename.temp_file "mitos_oneshot" "" in
+  Sys.remove dir;
+  Alcotest.(check bool) "payload exception propagates" true
+    (try
+       ignore (Server.oneshot ~dir (ping_routes (ref 0)));
+       false
+     with Failure _ -> true);
+  (* the routes before the raising one were written *)
+  Sys.remove (Filename.concat dir "ping.txt");
+  Unix.rmdir dir
+
+let test_parse_url () =
+  let ok s expected =
+    match Server.parse_url s with
+    | Ok got ->
+      let render (h, p, path) = Printf.sprintf "%s|%d|%s" h p path in
+      Alcotest.(check string) s (render expected) (render got)
+    | Error e -> Alcotest.fail (Printf.sprintf "%S rejected: %s" s e)
+  in
+  ok "http://127.0.0.1:9100/metrics" ("127.0.0.1", 9100, "/metrics");
+  ok "127.0.0.1:9100" ("127.0.0.1", 9100, "/");
+  ok "localhost:80/healthz" ("localhost", 80, "/healthz");
+  let bad s =
+    match Server.parse_url s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+  in
+  bad "no-port"; bad "host:notaport/x"; bad ""
+
+(* -- escape_label round-trip ----------------------------------------- *)
+
+let unescape_label s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | '"' -> Buffer.add_char buf '"'
+        | 'n' -> Buffer.add_char buf '\n'
+        | c ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let qcheck_escape_label_roundtrip =
+  QCheck.Test.make ~name:"escape_label round-trips through unescape"
+    ~count:500 QCheck.string (fun s ->
+      unescape_label (Registry.escape_label s) = s)
+
+let qcheck_escape_label_no_raw_specials =
+  QCheck.Test.make ~name:"escaped labels contain no raw quote/newline"
+    ~count:500 QCheck.string (fun s ->
+      let escaped = Registry.escape_label s in
+      (* scan left to right: a quote or newline may only appear as
+         part of a backslash escape *)
+      let n = String.length escaped in
+      let rec ok i =
+        if i >= n then true
+        else if escaped.[i] = '\\' then i + 1 < n && ok (i + 2)
+        else if escaped.[i] = '"' || escaped.[i] = '\n' then false
+        else ok (i + 1)
+      in
+      ok 0)
+
 let () =
   Alcotest.run "mitos_obs"
     [
@@ -614,5 +857,28 @@ let () =
             test_engine_instrumentation;
           Alcotest.test_case "double instrument rejected" `Quick
             test_engine_double_instrument_rejected;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "parse_rule" `Quick test_health_parse_rule;
+          Alcotest.test_case "pending/breach edges" `Quick
+            test_health_pending_then_breach;
+          Alcotest.test_case "window judgment" `Quick test_health_window;
+          Alcotest.test_case "tracer instant" `Quick
+            test_health_tracer_instant;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serve/fetch/stop" `Quick
+            test_server_serve_fetch_stop;
+          Alcotest.test_case "non-GET rejected" `Quick
+            test_server_rejects_non_get;
+          Alcotest.test_case "oneshot deterministic" `Quick
+            test_server_oneshot_deterministic;
+          Alcotest.test_case "oneshot propagates" `Quick
+            test_server_oneshot_propagates;
+          Alcotest.test_case "parse_url" `Quick test_parse_url;
+          QCheck_alcotest.to_alcotest qcheck_escape_label_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_escape_label_no_raw_specials;
         ] );
     ]

@@ -353,6 +353,69 @@ let test_timeseries_window_mean () =
   check_float "from 5" 25.0 (Timeseries.window_mean ts ~from_time:5.0);
   check_float "empty window" 0.0 (Timeseries.window_mean ts ~from_time:99.0)
 
+let test_timeseries_window_fold () =
+  (* the health-watchdog pattern: a sliding window folded over the
+     series as samples stream in — the trailing mean must track only
+     the samples inside the window *)
+  let ts = Timeseries.create () in
+  let window = 10.0 in
+  let expected t =
+    (* mean of f(u) = u over [t - window, t] restricted to the sample
+       grid 0, 2, 4, ... *)
+    let lo = t -. window in
+    let samples = ref [] in
+    let u = ref 0.0 in
+    while !u <= t do
+      if !u >= lo then samples := !u :: !samples;
+      u := !u +. 2.0
+    done;
+    List.fold_left ( +. ) 0.0 !samples /. float_of_int (List.length !samples)
+  in
+  let t = ref 0.0 in
+  while !t <= 40.0 do
+    Timeseries.add ts !t !t;
+    check_float "trailing mean" (expected !t)
+      (Timeseries.window_mean ts ~from_time:(!t -. window));
+    t := !t +. 2.0
+  done
+
+let test_timeseries_empty_singleton () =
+  let ts = Timeseries.create () in
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "empty last"
+    None (Timeseries.last ts);
+  check_float "empty window mean" 0.0 (Timeseries.window_mean ts ~from_time:0.0);
+  Alcotest.(check int) "empty downsample" 0
+    (Array.length (Timeseries.downsample ts 4));
+  Timeseries.add ts 3.0 7.0;
+  Alcotest.(check int) "singleton length" 1 (Timeseries.length ts);
+  check_float "singleton window covers" 7.0
+    (Timeseries.window_mean ts ~from_time:0.0);
+  check_float "singleton window boundary" 7.0
+    (Timeseries.window_mean ts ~from_time:3.0);
+  check_float "singleton window past" 0.0
+    (Timeseries.window_mean ts ~from_time:3.5)
+
+let qcheck_timeseries_window_mean_bounds =
+  QCheck.Test.make ~name:"window mean within sample bounds (monotonic time)"
+    ~count:200
+    QCheck.(small_list (pair (float_bound_exclusive 100.0) (float_range (-5.0) 5.0)))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let ts = Timeseries.create () in
+      (* enforce monotonic time by accumulating the (non-negative)
+         deltas, matching how every producer in the tree calls add *)
+      let t = ref 0.0 in
+      List.iter
+        (fun (dt, v) ->
+          t := !t +. Float.abs dt;
+          Timeseries.add ts !t v)
+        samples;
+      let values = List.map snd samples in
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let m = Timeseries.window_mean ts ~from_time:0.0 in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
 let test_timeseries_sparkline () =
   let ts = Timeseries.create () in
   for i = 0 to 20 do
@@ -362,6 +425,57 @@ let test_timeseries_sparkline () =
     (String.length (Timeseries.sparkline ts 8) > 0);
   Alcotest.(check string) "empty series" ""
     (Timeseries.sparkline (Timeseries.create ()) 8)
+
+(* -- Minijson -------------------------------------------------------- *)
+
+let test_minijson_values () =
+  Alcotest.(check bool) "null" true (Minijson.parse "null" = Minijson.Null);
+  Alcotest.(check bool) "true" true (Minijson.parse "true" = Minijson.Bool true);
+  Alcotest.(check bool) "false" true
+    (Minijson.parse " false " = Minijson.Bool false);
+  (match Minijson.parse "-12.5e1" with
+  | Minijson.Num v -> check_float "number" (-125.0) v
+  | _ -> Alcotest.fail "expected Num");
+  (match Minijson.parse "[1, 2, 3]" with
+  | Minijson.List [ Num a; Num b; Num c ] ->
+    check_float "a" 1.0 a; check_float "b" 2.0 b; check_float "c" 3.0 c
+  | _ -> Alcotest.fail "expected List of Num");
+  Alcotest.(check bool) "empty obj" true (Minijson.parse "{}" = Minijson.Obj []);
+  Alcotest.(check bool) "empty list" true
+    (Minijson.parse "[]" = Minijson.List [])
+
+let test_minijson_path () =
+  let j = Minijson.parse {|{"a": {"b": [1, {"c": 2.5}]}, "d": "x"}|} in
+  Alcotest.(check (option (float 0.0))) "to_float on missing" None
+    (Option.bind (Minijson.path [ "a"; "z" ] j) Minijson.to_float);
+  Alcotest.(check (option string)) "d" (Some "x")
+    (Option.bind (Minijson.member "d" j) Minijson.to_string_opt);
+  (match Minijson.path [ "a"; "b" ] j with
+  | Some (Minijson.List [ _; inner ]) ->
+    Alcotest.(check (option (float 0.0))) "a.b[1].c" (Some 2.5)
+      (Option.bind (Minijson.member "c" inner) Minijson.to_float)
+  | _ -> Alcotest.fail "expected a.b to be a 2-list");
+  Alcotest.(check (option string)) "member on non-object" None
+    (Option.bind
+       (Minijson.member "x" (Minijson.parse "[1]"))
+       Minijson.to_string_opt)
+
+let test_minijson_strings () =
+  (match Minijson.parse {|"a\"b\\c\n\tA"|} with
+  | Minijson.Str s -> Alcotest.(check string) "escapes" "a\"b\\c\n\tA" s
+  | _ -> Alcotest.fail "expected Str");
+  match Minijson.parse {|{"k\"ey": 1}|} with
+  | Minijson.Obj [ (k, _) ] -> Alcotest.(check string) "escaped key" "k\"ey" k
+  | _ -> Alcotest.fail "expected single-field Obj"
+
+let test_minijson_malformed () =
+  let bad s =
+    match Minijson.parse_result s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+  in
+  bad ""; bad "{"; bad "[1,]"; bad "{\"a\":}"; bad "nul"; bad "1 2";
+  bad "\"unterminated"; bad "{\"a\" 1}"; bad "[1 2]"; bad "+5"
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -421,7 +535,19 @@ let () =
           Alcotest.test_case "basics" `Quick test_timeseries_basics;
           Alcotest.test_case "downsample" `Quick test_timeseries_downsample;
           Alcotest.test_case "window mean" `Quick test_timeseries_window_mean;
+          Alcotest.test_case "window fold" `Quick test_timeseries_window_fold;
+          Alcotest.test_case "empty/singleton" `Quick
+            test_timeseries_empty_singleton;
           Alcotest.test_case "sparkline" `Quick test_timeseries_sparkline;
           Alcotest.test_case "iter" `Quick test_timeseries_iter;
+          q qcheck_timeseries_window_mean_bounds;
+        ] );
+      ( "minijson",
+        [
+          Alcotest.test_case "values" `Quick test_minijson_values;
+          Alcotest.test_case "nesting and path" `Quick test_minijson_path;
+          Alcotest.test_case "strings and escapes" `Quick
+            test_minijson_strings;
+          Alcotest.test_case "malformed" `Quick test_minijson_malformed;
         ] );
     ]
