@@ -391,6 +391,30 @@ let write_bench_json ~jobs path =
         Pool.with_pool ~jobs (fun pool -> Pool.map pool ~f:task inputs))
   in
   assert (seq_r = par_r);
+  (* decision-service round-trip: the loadgen's decide mix against a
+     loopback server, so the row measures codec + service dispatch
+     without socket noise and stays runnable on any CI box *)
+  let net_report =
+    let service =
+      Mitos_net.Server.create ~params:(E.Calib.sensitivity_params ()) ()
+    in
+    let name = Printf.sprintf "bench-%d" (Unix.getpid ()) in
+    let listener =
+      Mitos_net.Server.start service (Mitos_net.Transport.Memory name)
+    in
+    Fun.protect
+      ~finally:(fun () -> Mitos_net.Server.stop listener)
+      (fun () ->
+        match
+          Mitos_net.Loadgen.run
+            ~config:
+              { Mitos_net.Loadgen.default_config with
+                Mitos_net.Loadgen.requests = 2_000 }
+            (Mitos_net.Transport.Memory name)
+        with
+        | Ok r -> r
+        | Error err -> failwith (Mitos_net.Client.error_to_string err))
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -421,6 +445,15 @@ let write_bench_json ~jobs path =
     "seq_seconds": %.4f,
     "par_seconds": %.4f,
     "speedup": %.3f
+  },
+  "net_decide_batch": {
+    "batch": %d,
+    "requests": %d,
+    "mean_ns": %.0f,
+    "p50_ns": %.0f,
+    "p95_ns": %.0f,
+    "p99_ns": %.0f,
+    "requests_per_sec": %.0f
   }
 }
 |}
@@ -430,7 +463,12 @@ let write_bench_json ~jobs path =
         ((replay_audit_ns -. replay_ns) /. replay_ns)
         (List.length inputs)
         seq_wall par_wall
-        (seq_wall /. par_wall));
+        (seq_wall /. par_wall)
+        Mitos_net.Loadgen.default_config.Mitos_net.Loadgen.batch
+        net_report.Mitos_net.Loadgen.requests
+        net_report.Mitos_net.Loadgen.mean_ns net_report.Mitos_net.Loadgen.p50_ns
+        net_report.Mitos_net.Loadgen.p95_ns net_report.Mitos_net.Loadgen.p99_ns
+        net_report.Mitos_net.Loadgen.throughput_rps);
   Printf.printf "wrote %s\n" path
 
 (* -- live telemetry (--listen) ----------------------------------------- *)

@@ -1238,15 +1238,16 @@ let serve_cmd =
       $ listen_arg $ oneshot_arg $ jobs_arg)
 
 let watch_cmd =
-  let run url interval count =
+  let run url interval count timeout =
     protected @@ fun () ->
     if count < 1 then or_die (Error "--count must be at least 1");
     if interval < 0.0 then or_die (Error "--interval must be non-negative");
+    if timeout <= 0.0 then or_die (Error "--timeout must be positive");
     let host, port, path = or_die (Server.parse_url url) in
     let path = if path = "/" then "/healthz" else path in
     let last_status = ref 0 in
     for i = 1 to count do
-      (match Server.fetch ~host ~port ~path () with
+      (match Server.fetch ~timeout ~host ~port ~path () with
       | Error msg -> or_die (Error msg)
       | Ok (status, body) ->
         last_status := status;
@@ -1281,13 +1282,362 @@ let watch_cmd =
       & opt int 1
       & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of polls (default 1).")
   in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float Mitos_obs.Netio.default_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-poll socket timeout (connect and read).")
+  in
   Cmd.v
     (Cmd.info "watch"
        ~doc:
          "Poll a serving mitos process: one status line per poll. Exit 0 \
           when the last poll returned 200, 1 on an SLO breach (non-200), \
           2 when the server is unreachable or the URL is malformed.")
-    Term.(const run $ url_arg $ interval_arg $ count_arg)
+    Term.(const run $ url_arg $ interval_arg $ count_arg $ timeout_arg)
+
+(* -- decision service ---------------------------------------------------- *)
+
+module Net = Mitos_net
+
+let parse_endpoint s = or_die (Net.Transport.endpoint_of_string s)
+
+let endpoint_arg ~default ~doc =
+  Arg.(
+    value
+    & opt string default
+    & info [ "endpoint"; "e" ] ~docv:"ENDPOINT" ~doc)
+
+let net_workers_arg =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.workers
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains serving connections (0 = on the acceptor).")
+
+let net_nodes_arg =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.nodes
+    & info [ "nodes" ] ~docv:"N"
+        ~doc:"Estimator slots (max cluster nodes the service accepts).")
+
+let read_timeout_arg =
+  Arg.(
+    value
+    & opt float Net.Server.default_config.Net.Server.read_timeout
+    & info [ "read-timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-connection read timeout; idle connections are dropped.")
+
+let metrics_route registry =
+  Server.route ~describe:"Prometheus metrics" ~file:"metrics.prom" "/metrics"
+    (fun () -> Server.prometheus (Mitos_obs.Registry.to_prometheus registry))
+
+(* serve-decisions and coordinator are one implementation: the
+   coordinator *is* a decision server whose estimator the cluster
+   nodes publish into. *)
+let run_decision_server endpoint workers nodes read_timeout tau alpha u_net
+    u_export listen =
+  protected @@ fun () ->
+  if nodes < 1 then or_die (Error "--nodes must be at least 1");
+  if workers < 0 then or_die (Error "--workers must be non-negative");
+  let params = make_params ~tau ~alpha ~u_net ~u_export in
+  let config =
+    { Net.Server.default_config with workers; nodes; read_timeout }
+  in
+  let service = Net.Server.create ~config ~params () in
+  let listener = Net.Server.start service (parse_endpoint endpoint) in
+  Printf.printf "decision service on %s (%d workers, %d estimator slots)\n%!"
+    (Net.Transport.endpoint_to_string (Net.Server.endpoint listener))
+    workers nodes;
+  let http =
+    start_server ~listen [ metrics_route (Net.Server.registry service) ]
+  in
+  (match http with
+  | Some _ -> ()
+  | None -> print_endline "serving; interrupt (Ctrl-C) to exit");
+  linger ()
+
+let decision_server_term =
+  Term.(
+    const run_decision_server
+    $ endpoint_arg ~default:"tcp://127.0.0.1:9900"
+        ~doc:
+          "Endpoint to serve: tcp://HOST:PORT (port 0 picks a free port), \
+           unix://PATH or mem://NAME."
+    $ net_workers_arg $ net_nodes_arg $ read_timeout_arg $ tau_arg
+    $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg)
+
+let serve_decisions_cmd =
+  Cmd.v
+    (Cmd.info "serve-decisions"
+       ~doc:
+         "Serve the MITOS decision protocol: batched indirect-flow \
+          decisions under the given parameters, plus the shared pollution \
+          estimator. --listen additionally exposes /metrics (request \
+          counters and latency percentiles) over HTTP. Runs until \
+          interrupted.")
+    decision_server_term
+
+let coordinator_cmd =
+  Cmd.v
+    (Cmd.info "coordinator"
+       ~doc:
+         "Host the cluster coordinator: the decision server whose \
+          estimator holds every node's published pollution (the paper's \
+          globally available scalar, over the wire). Point `mitos-cli \
+          node' processes at this endpoint.")
+    decision_server_term
+
+let sync_period_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "sync-period" ] ~docv:"STEPS"
+        ~doc:"Engine steps between pollution publishes.")
+
+let node_cmd =
+  let run endpoint workload seed sync_period index tau alpha u_net u_export =
+    protected @@ fun () ->
+    if index < 0 then or_die (Error "--index must be non-negative");
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let built = or_die (build_workload workload ~seed) in
+    let cluster =
+      Net.Netcluster.create ~index_base:index ~params ~sync_period
+        ~endpoint:(parse_endpoint endpoint) [ built ]
+    in
+    let rounds = Net.Netcluster.run cluster in
+    print_string
+      (Net.Netcluster.render (Net.Netcluster.report_of_net ~rounds cluster));
+    Net.Netcluster.close cluster
+  in
+  let index_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "index" ] ~docv:"I"
+          ~doc:
+            "This node's estimator slot at the coordinator (each process \
+             needs its own).")
+  in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:
+         "Run one cluster node: execute WORKLOAD under a MITOS policy \
+          whose global pollution is read from the coordinator, publishing \
+          the local contribution every --sync-period steps.")
+    Term.(
+      const run
+      $ endpoint_arg ~default:"tcp://127.0.0.1:9900"
+          ~doc:"Coordinator endpoint."
+      $ workload_arg $ seed_arg $ sync_period_arg $ index_arg $ tau_arg
+      $ alpha_arg $ u_net_arg $ u_export_arg)
+
+let cluster_cmd =
+  let run transport nodes sync_period seed workload jobs tau alpha u_net
+      u_export report_out =
+    protected @@ fun () ->
+    if nodes < 1 then or_die (Error "--nodes must be at least 1");
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    let entry =
+      match W.Registry.find workload with
+      | entry -> entry
+      | exception Not_found ->
+        or_die
+          (Error
+             (Printf.sprintf "unknown workload %S; run `mitos-cli list'"
+                workload))
+    in
+    with_jobs jobs (fun ~pool ->
+        let builts =
+          Pool.map pool
+            ~f:(fun i -> entry.W.Registry.build ~seed:(seed + i))
+            (List.init nodes Fun.id)
+        in
+        let net_report ~endpoint builts =
+          let cluster =
+            Net.Netcluster.create ~params ~sync_period ~endpoint builts
+          in
+          Fun.protect
+            ~finally:(fun () -> Net.Netcluster.close cluster)
+            (fun () ->
+              let rounds = Net.Netcluster.run cluster in
+              Net.Netcluster.report_of_net ~rounds cluster)
+        in
+        let report =
+          match transport with
+          | "inprocess" ->
+            let cluster =
+              Mitos_distrib.Cluster.create ~params ~sync_period builts
+            in
+            let rounds = Mitos_distrib.Cluster.run cluster in
+            Net.Netcluster.report_of_cluster ~rounds cluster
+          | "loopback" ->
+            let service =
+              Net.Server.create
+                ~config:
+                  { Net.Server.default_config with nodes; workers = 0 }
+                ~params ()
+            in
+            let name = Printf.sprintf "cluster-%d" (Unix.getpid ()) in
+            let listener =
+              Net.Server.start service (Net.Transport.Memory name)
+            in
+            Fun.protect
+              ~finally:(fun () -> Net.Server.stop listener)
+              (fun () ->
+                net_report ~endpoint:(Net.Transport.Memory name) builts)
+          | other -> net_report ~endpoint:(parse_endpoint other) builts
+        in
+        let text = Net.Netcluster.render report in
+        print_string text;
+        match report_out with
+        | None -> ()
+        | Some path ->
+          Obs.write_file path text;
+          Printf.printf "wrote report to %s\n" path)
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt string "inprocess"
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "Where the pollution estimator lives: 'inprocess' (shared \
+             array, the Distrib.Cluster path), 'loopback' (a decision \
+             server over the in-memory transport — byte-identical report \
+             to inprocess at any --jobs), or a coordinator ENDPOINT \
+             (tcp://HOST:PORT).")
+  in
+  let nodes_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let workload_opt_arg =
+    Arg.(
+      value
+      & opt string "netbench"
+      & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+          ~doc:"Workload each node runs (node i uses --seed + i).")
+  in
+  let report_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the deterministic report to $(docv) — what the CI \
+             cluster-diff job byte-compares across transports and --jobs.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run a multi-node MITOS cluster to completion and print its \
+          deterministic report. The same deployment can run against the \
+          in-process estimator, a loopback decision server (byte-identical \
+          by construction) or a live coordinator.")
+    Term.(
+      const run $ transport_arg $ nodes_arg $ sync_period_arg $ seed_arg
+      $ workload_opt_arg $ jobs_arg $ tau_arg $ alpha_arg $ u_net_arg
+      $ u_export_arg $ report_out_arg)
+
+let loadgen_cmd =
+  let run endpoint requests batch candidates space publish_every node seed
+      timeout bench_out =
+    protected @@ fun () ->
+    let config =
+      {
+        Net.Loadgen.requests;
+        batch;
+        candidates;
+        space;
+        publish_every;
+        node;
+        seed;
+      }
+    in
+    match
+      Net.Loadgen.run ~config ~client_timeout:timeout (parse_endpoint endpoint)
+    with
+    | Error err -> or_die (Error (Net.Client.error_to_string err))
+    | Ok report ->
+      print_string (Net.Loadgen.render report);
+      (match bench_out with
+      | None -> ()
+      | Some path ->
+        Net.Loadgen.merge_into_bench_json ~path ~jobs:1 report;
+        Printf.printf "merged net_decide_batch into %s\n" path)
+  in
+  let d = Net.Loadgen.default_config in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int d.Net.Loadgen.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Request frames to issue.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int d.Net.Loadgen.batch
+      & info [ "batch" ] ~docv:"N" ~doc:"Decide requests per frame.")
+  in
+  let candidates_arg =
+    Arg.(
+      value
+      & opt int d.Net.Loadgen.candidates
+      & info [ "candidates" ] ~docv:"N"
+          ~doc:"Max candidate tags per decide request.")
+  in
+  let space_arg =
+    Arg.(
+      value
+      & opt int d.Net.Loadgen.space
+      & info [ "space" ] ~docv:"N"
+          ~doc:"Max free provenance slots per decide request.")
+  in
+  let publish_every_arg =
+    Arg.(
+      value
+      & opt int d.Net.Loadgen.publish_every
+      & info [ "publish-every" ] ~docv:"N"
+          ~doc:"One pollution publish per N frames (0 = never).")
+  in
+  let node_arg =
+    Arg.(
+      value
+      & opt int d.Net.Loadgen.node
+      & info [ "node" ] ~docv:"I" ~doc:"Estimator slot the publishes target.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float Mitos_obs.Netio.default_timeout
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Client socket timeout.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Merge a net_decide_batch row (p50/p95/p99 ns, requests/s) \
+             into the BENCH_decisions.json at $(docv) for `bench compare'.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Generate a seeded synthetic decision-request mix against a \
+          running decision service and report client-observed throughput \
+          and latency percentiles.")
+    Term.(
+      const run
+      $ endpoint_arg ~default:"tcp://127.0.0.1:9900"
+          ~doc:"Decision-service endpoint to load."
+      $ requests_arg $ batch_arg $ candidates_arg $ space_arg
+      $ publish_every_arg $ node_arg $ seed_arg $ timeout_arg $ bench_out_arg)
 
 (* -- bench --------------------------------------------------------------- *)
 
@@ -1360,4 +1710,6 @@ let () =
           [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
             sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd;
-            audit_cmd; serve_cmd; watch_cmd; bench_cmd; version_cmd ]))
+            audit_cmd; serve_cmd; watch_cmd; serve_decisions_cmd;
+            coordinator_cmd; node_cmd; cluster_cmd; loadgen_cmd; bench_cmd;
+            version_cmd ]))

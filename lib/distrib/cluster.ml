@@ -89,6 +89,7 @@ let create ?config ?watch ~params ~sync_period builts =
 
 let num_nodes t = Array.length t.nodes
 let estimator t = t.est
+let sync_period t = t.sync_period
 
 let staleness t =
   let exact_total = ref 0.0 and drift = ref 0.0 in

@@ -43,6 +43,7 @@ val create_heterogeneous :
 
 val num_nodes : t -> int
 val estimator : t -> Estimator.t
+val sync_period : t -> int
 
 val run : ?max_rounds:int -> t -> int
 (** Round-robin until every node halts (or [max_rounds]); returns the

@@ -1,10 +1,14 @@
-type t = { published : float array }
+type t = { published : float array; lock : Mutex.t }
 
 let create ~nodes =
   if nodes < 1 then invalid_arg "Estimator.create: need at least one node";
-  { published = Array.make nodes 0.0 }
+  { published = Array.make nodes 0.0; lock = Mutex.create () }
 
-let publish t ~node value = t.published.(node) <- value
-let global t = Array.fold_left ( +. ) 0.0 t.published
-let contribution t ~node = t.published.(node)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let publish t ~node value = locked t (fun () -> t.published.(node) <- value)
+let global t = locked t (fun () -> Array.fold_left ( +. ) 0.0 t.published)
+let contribution t ~node = locked t (fun () -> t.published.(node))
 let nodes t = Array.length t.published

@@ -7,7 +7,15 @@
     all potential subsystems". In a distributed deployment that
     variable is synchronized, not read instantaneously; this module
     models it: each node publishes its local weighted pollution on its
-    own schedule, and everyone reads the (possibly stale) sum. *)
+    own schedule, and everyone reads the (possibly stale) sum.
+
+    {b Concurrency.} All operations serialize on an internal mutex:
+    a coordinator ([Mitos_net]) serves {!publish}/{!global} from
+    server worker domains while local readers poll, so publishes must
+    never tear and {!global} must always fold a consistent snapshot
+    (the concurrent QCheck test in [test_distrib] exercises exactly
+    this). The critical sections are a handful of array reads — the
+    lock is uncontended in the in-process {!Cluster}. *)
 
 type t
 

@@ -25,6 +25,10 @@ let gated_metrics =
     ([ "alg2_batch8_space4"; "fast_ns" ], Lower_better);
     ([ "engine_replay"; "records_per_sec" ], Higher_better);
     ([ "engine_replay"; "audit_records_per_sec" ], Higher_better);
+    (* decision-service round-trip over the loopback transport; a
+       metric missing from an older baseline is skipped, not failed *)
+    ([ "net_decide_batch"; "p50_ns" ], Lower_better);
+    ([ "net_decide_batch"; "requests_per_sec" ], Higher_better);
   ]
 
 let regressions report = List.filter (fun r -> r.regressed) report.rows

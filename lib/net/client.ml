@@ -1,0 +1,170 @@
+type error =
+  | Connect of string
+  | Closed
+  | Wire of Wire.error
+  | Remote of string
+  | Bad_reply of string
+  | Retries_exhausted of { attempts : int; last : string }
+
+let error_to_string = function
+  | Connect msg -> "connect failed: " ^ msg
+  | Closed -> "client closed"
+  | Wire err -> Wire.error_to_string err
+  | Remote msg -> "server error: " ^ msg
+  | Bad_reply msg -> "unexpected reply: " ^ msg
+  | Retries_exhausted { attempts; last } ->
+    Printf.sprintf "all %d attempts failed; last: %s" attempts last
+
+type t = {
+  endpoint : Transport.endpoint;
+  timeout : float option;
+  retries : int;
+  backoff : float;
+  max_frame : int;
+  mutable conn : Transport.conn option;
+  mutable next_id : int;
+  mutable retries_used : int;
+  mutable closed : bool;
+}
+
+let backoff_schedule ~retries ~backoff =
+  List.init (max 0 retries) (fun i -> backoff *. (2.0 ** float_of_int i))
+
+let retries_used t = t.retries_used
+
+let reconnect t =
+  match
+    Transport.connect ?timeout:t.timeout ~max_frame:t.max_frame t.endpoint
+  with
+  | Ok conn ->
+    t.conn <- Some conn;
+    Ok conn
+  | Error msg ->
+    t.conn <- None;
+    Error msg
+
+let connect ?timeout ?(retries = 3) ?(backoff = 0.05)
+    ?(max_frame = Wire.default_max_frame) endpoint =
+  if retries < 0 then invalid_arg "Client.connect: negative retries";
+  let t =
+    {
+      endpoint;
+      timeout;
+      retries;
+      backoff;
+      max_frame;
+      conn = None;
+      next_id = 1;
+      retries_used = 0;
+      closed = false;
+    }
+  in
+  match reconnect t with Ok _ -> Ok t | Error msg -> Error (Connect msg)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Option.iter Transport.close t.conn;
+    t.conn <- None
+  end
+
+(* One attempt: (re)use the connection, send, receive, decode, match
+   the id. Transport-level failures come back as [Error msg] so the
+   retry loop can distinguish them from protocol-level failures
+   ([Ok (Error _)]), which retrying cannot fix. *)
+let attempt t req =
+  let id = t.next_id in
+  match
+    match t.conn with Some c -> Ok c | None -> reconnect t
+  with
+  | Error msg -> Error msg
+  | Ok conn -> (
+    match Transport.send conn (Wire.encode_request_body ~id req) with
+    | Error msg -> Error msg
+    | Ok () -> (
+      match Transport.recv conn with
+      | Error Wire.Truncated -> Error (Transport.peer conn ^ ": closed early")
+      | Error (Wire.Corrupt msg) when msg = "read timeout" ->
+        Error (Transport.peer conn ^ ": read timeout")
+      | Error err -> Ok (Error (Wire err))
+      | Ok body -> (
+        t.next_id <- id + 1;
+        match Wire.decode_response body with
+        | Error err -> Ok (Error (Wire err))
+        | Ok (reply_id, _) when reply_id <> id ->
+          Ok
+            (Error
+               (Bad_reply
+                  (Printf.sprintf "response id %d for request %d" reply_id id)))
+        | Ok (_, Wire.Err msg) -> Ok (Error (Remote msg))
+        | Ok (_, resp) -> Ok (Ok resp))))
+
+let drop_conn t =
+  Option.iter Transport.close t.conn;
+  t.conn <- None
+
+let is_mem t = match t.endpoint with Transport.Memory _ -> true | _ -> false
+
+let roundtrip t req =
+  if t.closed then Error Closed
+  else
+    let rec go attempt_no =
+      match attempt t req with
+      | Ok (Ok resp) -> Ok resp
+      | Ok (Error _ as protocol_failure) -> protocol_failure
+      | Error msg ->
+        drop_conn t;
+        if attempt_no > t.retries then
+          Error (Retries_exhausted { attempts = attempt_no; last = msg })
+        else begin
+          t.retries_used <- t.retries_used + 1;
+          if not (is_mem t) then
+            Unix.sleepf (t.backoff *. (2.0 ** float_of_int (attempt_no - 1)));
+          go (attempt_no + 1)
+        end
+    in
+    go 1
+
+let bad_reply expected = Error (Bad_reply ("want " ^ expected))
+
+let ping t =
+  match roundtrip t Wire.Ping with
+  | Ok Wire.Pong -> Ok ()
+  | Ok _ -> bad_reply "pong"
+  | Error _ as e -> e
+
+let decide t batch =
+  match roundtrip t (Wire.Decide batch) with
+  | Ok (Wire.Decisions outcomes) ->
+    if List.length outcomes = List.length batch then Ok outcomes
+    else
+      Error
+        (Bad_reply
+           (Printf.sprintf "%d decision lists for %d requests"
+              (List.length outcomes) (List.length batch)))
+  | Ok _ -> bad_reply "decisions"
+  | Error _ as e -> e
+
+let publish t ~node value =
+  match roundtrip t (Wire.Publish { node; value }) with
+  | Ok (Wire.Published g) -> Ok g
+  | Ok _ -> bad_reply "published"
+  | Error _ as e -> e
+
+let global t =
+  match roundtrip t Wire.Read_global with
+  | Ok (Wire.Global g) -> Ok g
+  | Ok _ -> bad_reply "global"
+  | Error _ as e -> e
+
+let read_node t node =
+  match roundtrip t (Wire.Read_node node) with
+  | Ok (Wire.Node_value v) -> Ok v
+  | Ok _ -> bad_reply "node value"
+  | Error _ as e -> e
+
+let stats t =
+  match roundtrip t Wire.Query_stats with
+  | Ok (Wire.Stats s) -> Ok s
+  | Ok _ -> bad_reply "stats"
+  | Error _ as e -> e

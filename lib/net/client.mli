@@ -1,0 +1,67 @@
+(** Blocking decision-service client with bounded, deterministic
+    retry.
+
+    One {!t} wraps one {!Transport} connection and issues one request
+    at a time: encode, send, receive, match the echoed id. On a
+    transport failure the client reconnects and retries up to
+    [retries] times, sleeping a {e jitter-free} exponential backoff
+    between attempts ([backoff * 2^attempt] seconds — deterministic so
+    test runs and paired experiment arms behave identically; see
+    {!backoff_schedule}). Retrying is safe because every request in
+    the protocol is either read-only or idempotent-enough for the
+    estimator semantics (a re-published value overwrites itself).
+
+    Loopback connections never sleep between retries — a loopback
+    failure is deterministic, so waiting cannot help. *)
+
+type error =
+  | Connect of string  (** could not (re)establish the connection *)
+  | Closed  (** {!close} was called *)
+  | Wire of Wire.error  (** undecodable response *)
+  | Remote of string  (** server answered [Err] *)
+  | Bad_reply of string  (** wrong id or response type for the request *)
+  | Retries_exhausted of { attempts : int; last : string }
+      (** every attempt failed; [last] describes the final one *)
+
+val error_to_string : error -> string
+
+type t
+
+val connect :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?max_frame:int ->
+  Transport.endpoint ->
+  (t, error) result
+(** [timeout] per the {!Mitos_obs.Netio} convention (default 5s);
+    [retries] additional attempts after the first failure (default 3);
+    [backoff] base delay in seconds (default 0.05). *)
+
+val backoff_schedule : retries:int -> backoff:float -> float list
+(** The exact delays a failing request sleeps through, in order —
+    exposed so tests can assert determinism: [[backoff * 2^0;
+    backoff * 2^1; ...]], [retries] entries. *)
+
+val retries_used : t -> int
+(** Transport-level attempts beyond the first, summed over the
+    client's lifetime (the loadgen's "retries" column). *)
+
+(** {1 Operations} *)
+
+val ping : t -> (unit, error) result
+
+val decide :
+  t -> Wire.decide_request list -> (Wire.decided list list, error) result
+(** One batched decision round-trip; the result lists are positionally
+    aligned with the request list. *)
+
+val publish : t -> node:int -> float -> (float, error) result
+(** Returns the global sum after the publish. *)
+
+val global : t -> (float, error) result
+val read_node : t -> int -> (float, error) result
+val stats : t -> (Wire.stats, error) result
+
+val close : t -> unit
+(** Idempotent; subsequent operations return [Error Closed]. *)

@@ -1,0 +1,218 @@
+open Mitos_tag
+module Rng = Mitos_util.Rng
+module Minijson = Mitos_util.Minijson
+module Registry = Mitos_obs.Registry
+module Histogram = Mitos_obs.Histogram
+
+type config = {
+  requests : int;
+  batch : int;
+  candidates : int;
+  space : int;
+  publish_every : int;
+  node : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    requests = 5000;
+    batch = 10;
+    candidates = 6;
+    space = 4;
+    publish_every = 100;
+    node = 0;
+    seed = 7;
+  }
+
+type report = {
+  requests : int;
+  decisions : int;
+  remote_errors : int;
+  retries : int;
+  elapsed_seconds : float;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  throughput_rps : float;
+}
+
+let gen_tag rng =
+  Tag.make (Rng.pick_list rng Tag_type.all) (Rng.int rng 10_000)
+
+let gen_decide rng cfg : Wire.decide_request =
+  let n = 1 + Rng.int rng (max 1 cfg.candidates) in
+  let candidates = List.init n (fun _ -> (gen_tag rng, Rng.int rng 64)) in
+  {
+    space = Rng.int rng (cfg.space + 1);
+    pollution = Rng.float rng 1000.0;
+    candidates;
+  }
+
+let run ?(config = default_config) ?registry ?client_timeout endpoint =
+  if config.requests < 1 then invalid_arg "Loadgen.run: requests must be >= 1";
+  if config.batch < 1 then invalid_arg "Loadgen.run: batch must be >= 1";
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let latency =
+    Registry.histogram reg ~help:"client-observed round-trip latency"
+      ~lo:100.0 ~growth:2.0 ~buckets:32 "mitos_net_client_latency_ns"
+  in
+  let rng = Rng.create config.seed in
+  match Client.connect ?timeout:client_timeout endpoint with
+  | Error _ as e -> e
+  | Ok client ->
+    let decisions = ref 0 and remote_errors = ref 0 in
+    let fatal = ref None in
+    let timed thunk =
+      let t0 = Unix.gettimeofday () in
+      match thunk () with
+      | Ok () -> Histogram.observe latency ((Unix.gettimeofday () -. t0) *. 1e9)
+      | Error (Client.Remote _) -> incr remote_errors
+      | Error err -> fatal := Some err
+    in
+    let t_start = Unix.gettimeofday () in
+    let i = ref 1 in
+    while !fatal = None && !i <= config.requests do
+      timed (fun () ->
+          let batch = List.init config.batch (fun _ -> gen_decide rng config) in
+          match Client.decide client batch with
+          | Ok _ ->
+            decisions := !decisions + config.batch;
+            Ok ()
+          | Error err -> Error err);
+      (* cluster traffic shape: a periodic publish rides along, on top
+         of (not instead of) the decide stream *)
+      if !fatal = None && config.publish_every > 0
+         && !i mod config.publish_every = 0
+      then
+        timed (fun () ->
+            match
+              Client.publish client ~node:config.node (Rng.float rng 10.0)
+            with
+            | Ok _ -> Ok ()
+            | Error err -> Error err);
+      incr i
+    done;
+    let elapsed = Unix.gettimeofday () -. t_start in
+    let retries = Client.retries_used client in
+    Client.close client;
+    (match !fatal with
+    | Some err -> Error err
+    | None ->
+      Ok
+        {
+          requests = config.requests;
+          decisions = !decisions;
+          remote_errors = !remote_errors;
+          retries;
+          elapsed_seconds = elapsed;
+          mean_ns = Histogram.mean latency;
+          p50_ns = Histogram.quantile latency 0.5;
+          p95_ns = Histogram.quantile latency 0.95;
+          p99_ns = Histogram.quantile latency 0.99;
+          throughput_rps =
+            (if elapsed > 0.0 then float_of_int config.requests /. elapsed
+             else 0.0);
+        })
+
+let render r =
+  String.concat "\n"
+    [
+      Printf.sprintf "request frames:    %d (%.0f/s)" r.requests
+        r.throughput_rps;
+      Printf.sprintf "decision requests: %d" r.decisions;
+      Printf.sprintf "remote errors:     %d" r.remote_errors;
+      Printf.sprintf "retries:           %d" r.retries;
+      "retries exhausted: 0";
+      Printf.sprintf "latency ns:        mean=%.0f p50=%.0f p95=%.0f p99=%.0f"
+        r.mean_ns r.p50_ns r.p95_ns r.p99_ns;
+      Printf.sprintf "elapsed:           %.3fs" r.elapsed_seconds;
+      "";
+    ]
+
+(* -- BENCH_decisions.json merge ---------------------------------------- *)
+
+(* Minijson is a reader by design; the bench file is small and ours, so
+   the merge re-renders the whole parsed document. *)
+let rec render_json ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Minijson.Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> Registry.fmt_value f
+  | Str s -> Registry.json_string s
+  | List items ->
+    if items = [] then "[]"
+    else
+      "[\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun item -> pad (indent + 2) ^ render_json ~indent:(indent + 2) item)
+             items)
+      ^ "\n" ^ pad indent ^ "]"
+  | Obj fields ->
+    if fields = [] then "{}"
+    else
+      "{\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun (k, item) ->
+               pad (indent + 2) ^ Registry.json_string k ^ ": "
+               ^ render_json ~indent:(indent + 2) item)
+             fields)
+      ^ "\n" ^ pad indent ^ "}"
+
+let bench_row ~batch r =
+  Minijson.Obj
+    [
+      ("batch", Minijson.Num (float_of_int batch));
+      ("requests", Num (float_of_int r.requests));
+      ("mean_ns", Num (Float.round r.mean_ns));
+      ("p50_ns", Num (Float.round r.p50_ns));
+      ("p95_ns", Num (Float.round r.p95_ns));
+      ("p99_ns", Num (Float.round r.p99_ns));
+      ("requests_per_sec", Num (Float.round r.throughput_rps));
+    ]
+
+let merge_into_bench_json ~path ~jobs r =
+  let batch =
+    if r.requests > 0 then
+      max 1 (int_of_float (Float.round
+                             (float_of_int r.decisions
+                             /. float_of_int r.requests)))
+    else 1
+  in
+  let doc =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Minijson.parse_result text with
+      | Ok (Minijson.Obj fields) -> fields
+      | Ok _ -> failwith (path ^ ": expected a JSON object")
+      | Error msg -> failwith (path ^ ": " ^ msg)
+    end
+    else
+      [
+        ("schema", Minijson.Str "mitos-bench-decisions/1");
+        ("jobs", Minijson.Num (float_of_int jobs));
+      ]
+  in
+  let row = bench_row ~batch r in
+  let doc =
+    if List.mem_assoc "net_decide_batch" doc then
+      List.map
+        (fun (k, v) -> if k = "net_decide_batch" then (k, row) else (k, v))
+        doc
+    else doc @ [ ("net_decide_batch", row) ]
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (render_json ~indent:0 (Minijson.Obj doc));
+      output_string oc "\n")

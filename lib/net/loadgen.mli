@@ -1,0 +1,62 @@
+(** Seeded synthetic load for the decision service.
+
+    Drives a {!Client} with a deterministic request mix — mostly
+    batched decide requests over random candidate tag-sets, with a
+    periodic pollution publish mixed in (the cluster traffic shape) —
+    and measures client-observed round-trip latency into a histogram.
+    The {e request stream} is a pure function of the seed; the
+    latencies of course are not.
+
+    The report lands three ways: a {!render}ed human summary, the
+    supplied registry ([mitos_net_client_latency_ns] histogram, whose
+    p50/p95/p99 appear in the Prometheus exposition), and optionally a
+    ["net_decide_batch"] row merged into [BENCH_decisions.json] so
+    [mitos-cli bench compare] gates service-path latency like every
+    other benchmarked surface. *)
+
+type config = {
+  requests : int;  (** request frames to issue *)
+  batch : int;  (** decide requests per frame *)
+  candidates : int;  (** max candidate tags per decide request *)
+  space : int;  (** max free provenance slots per request *)
+  publish_every : int;  (** one publish per this many frames; 0 = never *)
+  node : int;  (** estimator slot the publishes target *)
+  seed : int;
+}
+
+val default_config : config
+(** 5000 requests of batch 10 (50k decisions), up to 6 candidates,
+    space up to 4, a publish every 100 frames to node 0, seed 7. *)
+
+type report = {
+  requests : int;  (** frames completed *)
+  decisions : int;  (** individual decide requests answered *)
+  remote_errors : int;  (** [Err] replies (should be 0) *)
+  retries : int;  (** transport retries spent *)
+  elapsed_seconds : float;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  throughput_rps : float;  (** request frames per second *)
+}
+
+val run :
+  ?config:config ->
+  ?registry:Mitos_obs.Registry.t ->
+  ?client_timeout:float ->
+  Transport.endpoint ->
+  (report, Client.error) result
+(** [Error] only when the connection cannot be established or retries
+    are exhausted mid-run; [Err] replies are counted, not fatal. *)
+
+val render : report -> string
+(** Human summary; includes the greppable lines
+    ["decision requests: N"] and ["retries exhausted: 0|1"] the CI
+    smoke job asserts on. *)
+
+val merge_into_bench_json : path:string -> jobs:int -> report -> unit
+(** Read the bench JSON at [path] (creating a fresh document when the
+    file is missing), replace or append the ["net_decide_batch"]
+    object, and rewrite the file deterministically. Raises [Failure]
+    on an unparsable existing file. *)

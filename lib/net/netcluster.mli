@@ -1,0 +1,87 @@
+(** The wire-backed twin of {!Mitos_distrib.Cluster}.
+
+    Same deployment model — every node runs its own workload and
+    engine, decides under its own exact local counts, and reads the
+    shared global pollution scalar — but the scalar lives in a
+    {!Server}'s estimator reached through a {!Client} instead of a
+    shared in-process array: nodes [Publish] on their sync cadence and
+    the policies' pollution source issues [Read_global] per decision.
+
+    {b Determinism contract.} Over a [Memory] (loopback) endpoint this
+    module replays {!Mitos_distrib.Cluster.run} {e exactly}: the
+    round-robin order, the sync cadence, the publish-on-halt, and the
+    staleness sampling every 97 rounds are the same code shape, the
+    loopback invokes the server handler synchronously on the calling
+    domain, and floats cross the wire as 64-bit IEEE images — so the
+    decisions, the counters, and hence {!render}ed {!report}s are
+    byte-identical to the in-process cluster on the same seeds and
+    sync period, at any [--jobs]. The CI cluster-diff job asserts
+    this. Over TCP the semantics are the same but timing-dependent
+    staleness makes no byte promise.
+
+    Wire failures mid-run raise [Failure] — a lost coordinator has no
+    deterministic recovery. *)
+
+type t
+
+val create :
+  ?config:Mitos_dift.Engine.config ->
+  ?client_timeout:float ->
+  ?index_base:int ->
+  params:Mitos.Params.t ->
+  sync_period:int ->
+  endpoint:Transport.endpoint ->
+  Mitos_workload.Workload.built list ->
+  t
+(** Connect one client per node to the decision server at [endpoint]
+    (whose estimator must have at least as many slots as there are
+    nodes — publishes fail otherwise). [index_base] offsets the
+    estimator slots the nodes publish to — a multi-process deployment
+    gives each [mitos-cli node] process its own slot range; default 0.
+    Raises [Failure] if a connection cannot be established,
+    [Invalid_argument] on an empty node list or [sync_period < 1]. *)
+
+val run : ?max_rounds:int -> t -> int
+(** Round-robin until every node halts; returns rounds executed. *)
+
+val num_nodes : t -> int
+val total_propagated : t -> int
+val total_blocked : t -> int
+val syncs_performed : t -> int
+val mean_staleness : t -> float
+
+val close : t -> unit
+(** Close the node clients. *)
+
+(** {1 Reports}
+
+    One deterministic record renderable from either implementation —
+    the artifact the byte-identity check diffs. No wall times, no
+    transport names, nothing environment-dependent. *)
+
+type node_row = {
+  node : int;
+  steps : int;
+  node_propagated : int;
+  node_blocked : int;
+  pollution : float;  (** exact local contribution at the end *)
+}
+
+type report = {
+  nodes : int;
+  sync_period : int;
+  rounds : int;
+  propagated : int;
+  blocked : int;
+  syncs : int;
+  mean_staleness_pct : float;
+  global : float;  (** global pollution after the final publishes *)
+  per_node : node_row list;
+}
+
+val report_of_cluster : rounds:int -> Mitos_distrib.Cluster.t -> report
+val report_of_net : rounds:int -> t -> report
+
+val render : report -> string
+(** Canonical text rendering (floats through
+    {!Mitos_obs.Registry.fmt_value}); byte-comparable. *)

@@ -1,0 +1,86 @@
+(** The multi-domain MITOS decision server.
+
+    Turns the Eq. (8) decisioning core into a service: clients send
+    batched {!Wire.Decide} requests carrying candidate tag-sets and
+    local counts; the server answers with per-candidate marginals and
+    verdicts computed by {!Mitos.Decision.alg2} under its own
+    parameters. The server also hosts a {!Mitos_distrib.Estimator} —
+    the paper's "globally available" pollution scalar (§IV-B) — which
+    cluster nodes feed through {!Wire.Publish} and read back through
+    {!Wire.Read_global}; a decide request's effective pollution is the
+    client-supplied local value {e plus} the estimator's global sum.
+
+    {b Shape.} One acceptor domain (select + accept, with a stop
+    tick), [workers] worker domains draining accepted connections off
+    a {!Mitos_parallel.Executor}. Each connection is served by one
+    worker at a time: a read-decode-decide-respond loop bounded by a
+    per-connection read timeout and the {!Wire.unframe} max-frame
+    guard. [workers = 0] serves connections on the acceptor domain.
+
+    On a [Memory] endpoint none of that machinery exists: {!start}
+    registers {!handle_body} as a loopback handler and requests run
+    synchronously on the caller's domain — the deterministic twin the
+    tests and {!Netcluster} use.
+
+    {b Telemetry.} Per-request counters and latency histograms land in
+    the supplied {!Mitos_obs.Registry}: [mitos_net_requests_total{op}],
+    [mitos_net_decisions_total], [mitos_net_errors_total],
+    [mitos_net_connections_total] and [mitos_net_request_ns{op}]
+    (whose p50/p95/p99 appear in the Prometheus exposition). *)
+
+type config = {
+  workers : int;  (** worker domains; 0 serves on the acceptor *)
+  nodes : int;  (** estimator slots for publish/read *)
+  read_timeout : float;  (** per-connection, seconds *)
+  max_frame : int;  (** {!Wire.unframe} bound *)
+}
+
+val default_config : config
+(** 4 workers, 16 nodes, {!Mitos_obs.Netio.default_timeout} read
+    timeout, {!Wire.default_max_frame}. *)
+
+type t
+(** The service state: parameters, estimator, counters. Independent of
+    any listener — one [t] can serve a loopback name and a TCP port at
+    once, and {!handle_body} can be called directly. *)
+
+val create :
+  ?config:config ->
+  ?registry:Mitos_obs.Registry.t ->
+  params:Mitos.Params.t ->
+  unit ->
+  t
+(** [registry] defaults to a fresh one (get it back with
+    {!registry}). *)
+
+val registry : t -> Mitos_obs.Registry.t
+val estimator : t -> Mitos_distrib.Estimator.t
+val config : t -> config
+
+val handle_body : t -> string -> string
+(** The whole service as a function: one request frame body in, one
+    response frame body out. Decode failures and out-of-range nodes
+    become {!Wire.Err} responses (with the request's id when it could
+    be parsed, 0 otherwise); this never raises. Safe to call from any
+    domain — the estimator serializes internally and counter updates
+    are atomic. *)
+
+(** {1 Listeners} *)
+
+type listener
+
+val start : t -> Transport.endpoint -> listener
+(** Serve [t] on the endpoint. [Tcp]/[Unix_sock]: bind, listen and
+    spawn the acceptor + workers (a TCP port of 0 lets the kernel
+    pick; read it back with {!endpoint}). [Memory]: register the
+    loopback handler, spawning nothing. Raises [Unix.Unix_error] if
+    the address cannot be bound, [Invalid_argument] if the loopback
+    name is taken. *)
+
+val endpoint : listener -> Transport.endpoint
+(** The endpoint as actually bound. *)
+
+val stop : listener -> unit
+(** Graceful shutdown: stop accepting, close the listening socket
+    (unlinking a Unix-socket path), let in-flight requests finish,
+    join the workers and the acceptor. Idempotent. *)

@@ -1,0 +1,205 @@
+module Netio = Mitos_obs.Netio
+
+type endpoint =
+  | Tcp of { host : string; port : int }
+  | Unix_sock of string
+  | Memory of string
+
+let endpoint_to_string = function
+  | Tcp { host; port } -> Printf.sprintf "tcp://%s:%d" host port
+  | Unix_sock path -> "unix://" ^ path
+  | Memory name -> "mem://" ^ name
+
+let strip_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "no port in %S (want host:port)" s)
+  | Some colon -> (
+    let host = String.sub s 0 colon in
+    let port_s = String.sub s (colon + 1) (String.length s - colon - 1) in
+    match int_of_string_opt port_s with
+    | Some port when host <> "" && port >= 0 -> Ok (Tcp { host; port })
+    | _ -> Error (Printf.sprintf "bad host:port in %S" s))
+
+let endpoint_of_string s =
+  match strip_prefix ~prefix:"mem://" s with
+  | Some name when name <> "" -> Ok (Memory name)
+  | Some _ -> Error "empty loopback name in mem:// endpoint"
+  | None -> (
+    match strip_prefix ~prefix:"unix://" s with
+    | Some path when path <> "" -> Ok (Unix_sock path)
+    | Some _ -> Error "empty path in unix:// endpoint"
+    | None -> (
+      match strip_prefix ~prefix:"tcp://" s with
+      | Some rest -> host_port rest
+      | None -> host_port s))
+
+(* -- loopback registry -------------------------------------------------- *)
+
+module Loopback = struct
+  let lock = Mutex.create ()
+  let table : (string, string -> string) Hashtbl.t = Hashtbl.create 8
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let register name handler =
+    locked (fun () ->
+        if Hashtbl.mem table name then
+          invalid_arg
+            (Printf.sprintf "Transport.Loopback.register: %S is taken" name);
+        Hashtbl.replace table name handler)
+
+  let unregister name = locked (fun () -> Hashtbl.remove table name)
+  let registered name = locked (fun () -> Hashtbl.mem table name)
+  let handler name = locked (fun () -> Hashtbl.find_opt table name)
+end
+
+(* -- connections -------------------------------------------------------- *)
+
+type sock_state = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read but not yet consumed as frames *)
+  mutable consumed : int;  (* frames already handed out of [buf] *)
+  max_frame : int;
+}
+
+type kind =
+  | Sock of sock_state
+  | Mem of {
+      name : string;
+      handler : string -> string;
+      pending : string Queue.t;
+      mem_max_frame : int;
+    }
+
+type conn = { kind : kind; peer : string; mutable closed : bool }
+
+let peer c = c.peer
+
+let connect ?timeout ?(max_frame = Wire.default_max_frame) ep =
+  match ep with
+  | Memory name -> (
+    match Loopback.handler name with
+    | None -> Error (Printf.sprintf "no loopback server named %S" name)
+    | Some handler ->
+      Ok
+        {
+          kind =
+            Mem { name; handler; pending = Queue.create ();
+                  mem_max_frame = max_frame };
+          peer = endpoint_to_string ep;
+          closed = false;
+        })
+  | Tcp { host; port } -> (
+    match Netio.connect_tcp ?timeout ~host ~port () with
+    | Error _ as e -> e
+    | Ok fd ->
+      Ok
+        {
+          kind = Sock { fd; buf = Buffer.create 512; consumed = 0; max_frame };
+          peer = endpoint_to_string ep;
+          closed = false;
+        })
+  | Unix_sock path -> (
+    match Netio.connect_unix ?timeout path with
+    | Error _ as e -> e
+    | Ok fd ->
+      Ok
+        {
+          kind = Sock { fd; buf = Buffer.create 512; consumed = 0; max_frame };
+          peer = endpoint_to_string ep;
+          closed = false;
+        })
+
+let send c body =
+  if c.closed then Error (c.peer ^ ": connection closed")
+  else
+    match c.kind with
+    | Mem m -> (
+      match m.handler body with
+      | reply ->
+        Queue.add reply m.pending;
+        Ok ()
+      | exception exn ->
+        Error
+          (Printf.sprintf "%s: handler raised %s" c.peer
+             (Printexc.to_string exn)))
+    | Sock s -> (
+      match Netio.write_all s.fd (Wire.frame body) with
+      | () -> Ok ()
+      | exception Exit -> Error (c.peer ^ ": peer stopped reading")
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (Printf.sprintf "%s: %s" c.peer (Unix.error_message err)))
+
+(* Pull one frame out of the socket buffer, reading more as needed.
+   The buffer is compacted once consumed frames pass 64 KiB so a
+   long-lived connection does not grow without bound. *)
+let recv_sock s =
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match
+      Wire.unframe ~max_frame:s.max_frame (Buffer.contents s.buf)
+        ~pos:s.consumed
+    with
+    | Ok (body, pos) ->
+      s.consumed <- pos;
+      if s.consumed > 65536 then begin
+        let rest =
+          let all = Buffer.contents s.buf in
+          String.sub all s.consumed (String.length all - s.consumed)
+        in
+        Buffer.clear s.buf;
+        Buffer.add_string s.buf rest;
+        s.consumed <- 0
+      end;
+      Ok body
+    | Error Truncated -> (
+      match Unix.read s.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error Wire.Truncated (* EOF mid-frame (or before one) *)
+      | n ->
+        Buffer.add_subbytes s.buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Error (Wire.Corrupt "read timeout")
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (Wire.Corrupt (Unix.error_message err)))
+    | Error _ as e -> e
+  in
+  go ()
+
+let recv c =
+  if c.closed then Error (Wire.Corrupt (c.peer ^ ": connection closed"))
+  else
+    match c.kind with
+    | Mem m -> (
+      match Queue.take_opt m.pending with
+      | None -> Error Wire.Truncated
+      | Some frame ->
+        if String.length frame > m.mem_max_frame then
+          Error
+            (Wire.Oversized
+               { announced = String.length frame; limit = m.mem_max_frame })
+        else Ok frame)
+    | Sock s -> recv_sock s
+
+let of_fd ?(max_frame = Wire.default_max_frame) ~peer fd =
+  {
+    kind = Sock { fd; buf = Buffer.create 512; consumed = 0; max_frame };
+    peer;
+    closed = false;
+  }
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    match c.kind with
+    | Mem m -> Queue.clear m.pending
+    | Sock s -> Netio.close_quietly s.fd
+  end

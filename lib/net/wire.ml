@@ -1,0 +1,273 @@
+open Mitos_tag
+module Codec = Mitos_util.Codec
+
+let version = 1
+let default_max_frame = 1 lsl 20
+
+type error =
+  | Truncated
+  | Oversized of { announced : int; limit : int }
+  | Bad_version of int
+  | Bad_kind of int
+  | Corrupt of string
+
+let error_to_string = function
+  | Truncated -> "truncated frame"
+  | Oversized { announced; limit } ->
+    Printf.sprintf "oversized frame: %d bytes announced (limit %d)" announced
+      limit
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_kind k -> Printf.sprintf "unknown message kind 0x%02x" k
+  | Corrupt msg -> "corrupt frame: " ^ msg
+
+type decide_request = {
+  space : int;
+  pollution : float;
+  candidates : (Tag.t * int) list;
+}
+
+type decided = {
+  tag : Tag.t;
+  marginal : float;
+  verdict : Mitos.Decision.verdict;
+}
+
+type stats = {
+  served : int;
+  decided : int;
+  publishes : int;
+  nodes : int;
+  global : float;
+}
+
+type request =
+  | Ping
+  | Decide of decide_request list
+  | Publish of { node : int; value : float }
+  | Read_global
+  | Read_node of int
+  | Query_stats
+
+type response =
+  | Pong
+  | Decisions of decided list list
+  | Published of float
+  | Global of float
+  | Node_value of float
+  | Stats of stats
+  | Err of string
+
+let request_kind = function
+  | Ping -> "ping"
+  | Decide _ -> "decide"
+  | Publish _ -> "publish"
+  | Read_global -> "global"
+  | Read_node _ -> "node"
+  | Query_stats -> "stats"
+
+(* -- message discriminators ------------------------------------------- *)
+
+let k_ping = 0x01
+and k_decide = 0x02
+and k_publish = 0x03
+and k_global = 0x04
+and k_node = 0x05
+and k_stats = 0x06
+
+let k_pong = 0x81
+and k_decisions = 0x82
+and k_published = 0x83
+and k_global_is = 0x84
+and k_node_value = 0x85
+and k_stats_reply = 0x86
+and k_err = 0xFF
+
+(* -- field codecs ------------------------------------------------------ *)
+
+let enc_tag e tag =
+  Codec.Enc.uint e (Tag_type.to_int (Tag.ty tag));
+  Codec.Enc.uint e (Tag.id tag)
+
+let dec_tag d =
+  let ty_int = Codec.Dec.uint d in
+  let ty =
+    try Tag_type.of_int ty_int
+    with Invalid_argument _ ->
+      raise (Codec.Malformed (Printf.sprintf "unknown tag type %d" ty_int))
+  in
+  Tag.make ty (Codec.Dec.uint d)
+
+let enc_decide_request e (r : decide_request) =
+  Codec.Enc.uint e r.space;
+  Codec.Enc.float e r.pollution;
+  Codec.Enc.list e
+    (fun (tag, count) ->
+      enc_tag e tag;
+      Codec.Enc.uint e count)
+    r.candidates
+
+let dec_decide_request d =
+  let space = Codec.Dec.uint d in
+  let pollution = Codec.Dec.float d in
+  let candidates =
+    Codec.Dec.list d (fun d ->
+        let tag = dec_tag d in
+        (tag, Codec.Dec.uint d))
+  in
+  { space; pollution; candidates }
+
+let enc_decided e (r : decided) =
+  enc_tag e r.tag;
+  Codec.Enc.float e r.marginal;
+  Codec.Enc.bool e (r.verdict = Mitos.Decision.Propagate)
+
+let dec_decided d =
+  let tag = dec_tag d in
+  let marginal = Codec.Dec.float d in
+  let verdict =
+    if Codec.Dec.bool d then Mitos.Decision.Propagate else Mitos.Decision.Block
+  in
+  { tag; marginal; verdict }
+
+(* -- framing ----------------------------------------------------------- *)
+
+let frame body =
+  let e = Codec.Enc.create ~initial_size:(String.length body + 4) () in
+  Codec.Enc.uint e (String.length body);
+  Codec.Enc.contents e ^ body
+
+let unframe ?(max_frame = default_max_frame) buf ~pos =
+  (* hand-rolled varint read so an incomplete prefix is Truncated, not
+     an exception, and an oversized announcement never reaches the
+     String.sub below *)
+  let len = String.length buf in
+  let rec length_prefix pos shift acc =
+    if pos >= len then Error Truncated
+    else if shift > Sys.int_size then
+      Error (Corrupt "frame length varint too long")
+    else
+      let b = Char.code buf.[pos] in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then Ok (acc, pos + 1)
+      else length_prefix (pos + 1) (shift + 7) acc
+  in
+  match length_prefix pos 0 0 with
+  | Error _ as e -> e
+  | Ok (announced, body_pos) ->
+    if announced < 0 || announced > max_frame then
+      Error (Oversized { announced; limit = max_frame })
+    else if body_pos + announced > len then Error Truncated
+    else Ok (String.sub buf body_pos announced, body_pos + announced)
+
+(* -- bodies ------------------------------------------------------------ *)
+
+let body ~id kind payload =
+  let e = Codec.Enc.create () in
+  Codec.Enc.uint e version;
+  Codec.Enc.uint e id;
+  Codec.Enc.uint e kind;
+  payload e;
+  Codec.Enc.contents e
+
+let encode_request_body ~id req =
+  (match req with
+    | Ping -> body ~id k_ping (fun _ -> ())
+    | Decide batch ->
+      body ~id k_decide (fun e -> Codec.Enc.list e (enc_decide_request e) batch)
+    | Publish { node; value } ->
+      body ~id k_publish (fun e ->
+          Codec.Enc.uint e node;
+          Codec.Enc.float e value)
+    | Read_global -> body ~id k_global (fun _ -> ())
+    | Read_node node -> body ~id k_node (fun e -> Codec.Enc.uint e node)
+    | Query_stats -> body ~id k_stats (fun _ -> ()))
+
+let encode_response_body ~id resp =
+  (match resp with
+    | Pong -> body ~id k_pong (fun _ -> ())
+    | Decisions batches ->
+      body ~id k_decisions (fun e ->
+          Codec.Enc.list e (fun one -> Codec.Enc.list e (enc_decided e) one)
+            batches)
+    | Published g -> body ~id k_published (fun e -> Codec.Enc.float e g)
+    | Global g -> body ~id k_global_is (fun e -> Codec.Enc.float e g)
+    | Node_value v -> body ~id k_node_value (fun e -> Codec.Enc.float e v)
+    | Stats s ->
+      body ~id k_stats_reply (fun e ->
+          Codec.Enc.uint e s.served;
+          Codec.Enc.uint e s.decided;
+          Codec.Enc.uint e s.publishes;
+          Codec.Enc.uint e s.nodes;
+          Codec.Enc.float e s.global)
+    | Err msg -> body ~id k_err (fun e -> Codec.Enc.string e msg))
+
+let encode_request ~id req = frame (encode_request_body ~id req)
+let encode_response ~id resp = frame (encode_response_body ~id resp)
+
+let decode_body which decode_payload s =
+  match
+    let d = Codec.Dec.of_string s in
+    let v = Codec.Dec.uint d in
+    if v <> version then Error (Bad_version v)
+    else
+      let id = Codec.Dec.uint d in
+      let kind = Codec.Dec.uint d in
+      match decode_payload d kind with
+      | None -> Error (Bad_kind kind)
+      | Some msg ->
+        Codec.Dec.expect_end d;
+        Ok (id, msg)
+  with
+  | result -> result
+  | exception Codec.Malformed msg ->
+    Error (Corrupt (Printf.sprintf "%s: %s" which msg))
+
+let decode_request s =
+  decode_body "request"
+    (fun d kind ->
+      if kind = k_ping then Some Ping
+      else if kind = k_decide then
+        Some (Decide (Codec.Dec.list d dec_decide_request))
+      else if kind = k_publish then
+        let node = Codec.Dec.uint d in
+        let value = Codec.Dec.float d in
+        Some (Publish { node; value })
+      else if kind = k_global then Some Read_global
+      else if kind = k_node then Some (Read_node (Codec.Dec.uint d))
+      else if kind = k_stats then Some Query_stats
+      else None)
+    s
+
+let decode_response s =
+  decode_body "response"
+    (fun d kind ->
+      if kind = k_pong then Some Pong
+      else if kind = k_decisions then
+        Some (Decisions (Codec.Dec.list d (fun d -> Codec.Dec.list d dec_decided)))
+      else if kind = k_published then Some (Published (Codec.Dec.float d))
+      else if kind = k_global_is then Some (Global (Codec.Dec.float d))
+      else if kind = k_node_value then Some (Node_value (Codec.Dec.float d))
+      else if kind = k_stats_reply then
+        let served = Codec.Dec.uint d in
+        let decided = Codec.Dec.uint d in
+        let publishes = Codec.Dec.uint d in
+        let nodes = Codec.Dec.uint d in
+        let global = Codec.Dec.float d in
+        Some (Stats { served; decided; publishes; nodes; global })
+      else if kind = k_err then Some (Err (Codec.Dec.string d))
+      else None)
+    s
+
+let exactly_one_frame ?max_frame decode s =
+  match unframe ?max_frame s ~pos:0 with
+  | Error _ as e -> e
+  | Ok (body, pos) ->
+    if pos <> String.length s then
+      Error (Corrupt (Printf.sprintf "%d bytes after frame" (String.length s - pos)))
+    else decode body
+
+let decode_request_frame ?max_frame s =
+  exactly_one_frame ?max_frame decode_request s
+
+let decode_response_frame ?max_frame s =
+  exactly_one_frame ?max_frame decode_response s

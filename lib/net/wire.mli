@@ -1,0 +1,140 @@
+(** The MITOS decision-service wire protocol.
+
+    A versioned, length-prefixed binary codec for the request/response
+    protocol spoken between {!Client} and {!Server} (and, in cluster
+    mode, between nodes and the coordinator). The framing and every
+    field use the repo's {!Mitos_util.Codec} LEB128 varints, so
+    messages of mostly-small integers stay small; floats are 64-bit
+    IEEE, so a pollution value published by a node and re-read by a
+    policy is bit-exact — the property behind the loopback cluster's
+    byte-identical-to-in-process contract.
+
+    {b Frame layout} (byte-by-byte in DESIGN §11):
+
+    {v
+    varint  L        length of the body that follows
+    -- body (L bytes) --
+    byte    version  protocol version, currently 1
+    varint  id       request id, echoed verbatim in the response
+    byte    kind     message discriminator
+    ...              per-message payload
+    v}
+
+    {b Decoding is strict and bounded}: every failure is a typed
+    {!error}, never an exception, and no decode path allocates the
+    {e announced} size of anything — {!unframe} rejects an announced
+    length beyond [max_frame] before touching the payload, and
+    in-body strings/lists fail on the first missing byte. *)
+
+open Mitos_tag
+
+val version : int
+(** Current protocol version (1). *)
+
+val default_max_frame : int
+(** 1 MiB — the default bound {!unframe} enforces on announced frame
+    lengths. *)
+
+(** Decode failures. [Truncated] from {!unframe} means "incomplete,
+    read more bytes"; every other case is a protocol violation. *)
+type error =
+  | Truncated  (** input ends before the announced frame does *)
+  | Oversized of { announced : int; limit : int }
+      (** length prefix beyond [max_frame]; nothing was allocated *)
+  | Bad_version of int  (** version byte we do not speak *)
+  | Bad_kind of int  (** unknown message discriminator *)
+  | Corrupt of string  (** anything else: overlong varint, bad bool,
+                           unknown tag type, trailing bytes, ... *)
+
+val error_to_string : error -> string
+
+(** {1 Messages} *)
+
+(** One indirect-flow decision to make: the candidate tag-set of the
+    flow, each tag with its local count [n_{T,I}], the free provenance
+    [space] at the destination, and the client's local contribution to
+    the weighted pollution (the server adds its estimator's global —
+    see {!Server}). *)
+type decide_request = {
+  space : int;
+  pollution : float;
+  candidates : (Tag.t * int) list;
+}
+
+(** One per-candidate outcome, mirroring
+    {!Mitos.Decision.ranked}: decision-order position, decision-time
+    marginal and verdict. *)
+type decided = {
+  tag : Tag.t;
+  marginal : float;
+  verdict : Mitos.Decision.verdict;
+}
+
+type stats = {
+  served : int;  (** request frames handled *)
+  decided : int;  (** individual decision requests decided *)
+  publishes : int;  (** pollution publishes accepted *)
+  nodes : int;  (** estimator slots *)
+  global : float;  (** current global pollution sum *)
+}
+
+type request =
+  | Ping
+  | Decide of decide_request list  (** batched *)
+  | Publish of { node : int; value : float }
+  | Read_global
+  | Read_node of int
+  | Query_stats
+
+type response =
+  | Pong
+  | Decisions of decided list list  (** one list per batched request *)
+  | Published of float  (** global sum after the publish *)
+  | Global of float
+  | Node_value of float
+  | Stats of stats
+  | Err of string  (** server-side refusal, e.g. node out of range *)
+
+val request_kind : request -> string
+(** Stable lowercase label ("ping", "decide", ...) — used for the
+    per-operation metric labels. *)
+
+(** {1 Encoding} *)
+
+val encode_request : id:int -> request -> string
+(** One complete frame, length prefix included. *)
+
+val encode_response : id:int -> response -> string
+
+val encode_request_body : id:int -> request -> string
+(** The frame body alone — what {!Transport.send} expects (the
+    transport adds the length prefix where the medium needs one). *)
+
+val encode_response_body : id:int -> response -> string
+
+val frame : string -> string
+(** Prefix an already-encoded body with its varint length — what the
+    socket transports put on the wire. *)
+
+(** {1 Decoding} *)
+
+val unframe :
+  ?max_frame:int -> string -> pos:int -> (string * int, error) result
+(** Extract one frame body from a byte buffer starting at [pos];
+    returns the body and the position just past the frame.
+    [Error Truncated] when the buffer holds only part of a frame (the
+    transport reads more and retries); [Error (Oversized _)] when the
+    announced length exceeds [max_frame]. *)
+
+val decode_request : string -> (int * request, error) result
+(** Decode an unframed body to [(id, request)]. *)
+
+val decode_response : string -> (int * response, error) result
+
+val decode_request_frame :
+  ?max_frame:int -> string -> (int * request, error) result
+(** {!unframe} + {!decode_request}, requiring the input to be exactly
+    one frame (trailing bytes are [Corrupt]). *)
+
+val decode_response_frame :
+  ?max_frame:int -> string -> (int * response, error) result

@@ -1,0 +1,91 @@
+let default_timeout = 5.0
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let set_timeouts ?(timeout = default_timeout) fd =
+  Unix.setsockopt_float fd SO_RCVTIMEO timeout;
+  Unix.setsockopt_float fd SO_SNDTIMEO timeout
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd bytes !off (len - !off) in
+    if n = 0 then raise Exit;
+    off := !off + n
+  done
+
+let read_to_eof fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect_sock ?timeout ~describe sock addr =
+  match
+    set_timeouts ?timeout sock;
+    Unix.connect sock addr
+  with
+  | () -> Ok sock
+  | exception Unix.Unix_error (err, _, _) ->
+    close_quietly sock;
+    Error (Printf.sprintf "%s unreachable (%s)" describe (Unix.error_message err))
+
+let connect_tcp ?timeout ~host ~port () =
+  match resolve host with
+  | exception Failure msg -> Error msg
+  | addr ->
+    connect_sock ?timeout
+      ~describe:(Printf.sprintf "%s:%d" host port)
+      (Unix.socket PF_INET SOCK_STREAM 0)
+      (ADDR_INET (addr, port))
+
+let connect_unix ?timeout path =
+  connect_sock ?timeout ~describe:path
+    (Unix.socket PF_UNIX SOCK_STREAM 0)
+    (ADDR_UNIX path)
+
+let listen_on ?(backlog = 16) sock addr =
+  (try
+     Unix.setsockopt sock SO_REUSEADDR true;
+     Unix.bind sock addr;
+     Unix.listen sock backlog
+   with exn ->
+     close_quietly sock;
+     raise exn);
+  sock
+
+let listen_tcp ?backlog ~host ~port () =
+  let addr = resolve host in
+  let sock =
+    listen_on ?backlog (Unix.socket PF_INET SOCK_STREAM 0)
+      (ADDR_INET (addr, port))
+  in
+  let bound_port =
+    match Unix.getsockname sock with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> port
+  in
+  (sock, bound_port)
+
+let listen_unix ?backlog path =
+  (try if Sys.file_exists path then Sys.remove path
+   with Sys_error _ -> ());
+  listen_on ?backlog (Unix.socket PF_UNIX SOCK_STREAM 0) (ADDR_UNIX path)

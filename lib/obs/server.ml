@@ -28,15 +28,7 @@ let status_reason = function
   | 503 -> "Service Unavailable"
   | _ -> "Status"
 
-let write_all fd s =
-  let len = String.length s in
-  let bytes = Bytes.unsafe_of_string s in
-  let off = ref 0 in
-  while !off < len do
-    let n = Unix.write fd bytes !off (len - !off) in
-    if n = 0 then raise Exit;
-    off := !off + n
-  done
+let write_all = Netio.write_all
 
 let respond fd p =
   let head =
@@ -127,15 +119,6 @@ type t = {
   mutable domain : unit Domain.t option;
 }
 
-let resolve host =
-  match Unix.inet_addr_of_string host with
-  | addr -> addr
-  | exception Failure _ -> (
-    match Unix.gethostbyname host with
-    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
-      failwith (Printf.sprintf "cannot resolve host %S" host)
-    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
-
 (* One accept-and-serve loop on the server domain. [select] with a
    short timeout doubles as the stop poll: [stop] flips the flag and
    the loop notices within [tick]. *)
@@ -153,10 +136,9 @@ let serve_loop t routes =
       | _ :: _, _, _ -> (
         match Unix.accept t.sock with
         | client, _ ->
-          Unix.setsockopt_float client SO_RCVTIMEO 5.0;
-          Unix.setsockopt_float client SO_SNDTIMEO 5.0;
+          Netio.set_timeouts client;
           Fun.protect
-            ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+            ~finally:(fun () -> Netio.close_quietly client)
             (fun () ->
               (* a client dying mid-request must not kill the server *)
               try handle routes_with_index client
@@ -171,20 +153,7 @@ let serve_loop t routes =
   try Unix.close t.sock with Unix.Unix_error _ -> ()
 
 let start ?(host = "127.0.0.1") ?(port = 0) routes =
-  let addr = resolve host in
-  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt sock SO_REUSEADDR true;
-     Unix.bind sock (ADDR_INET (addr, port));
-     Unix.listen sock 16
-   with exn ->
-     (try Unix.close sock with Unix.Unix_error _ -> ());
-     raise exn);
-  let bound_port =
-    match Unix.getsockname sock with
-    | ADDR_INET (_, p) -> p
-    | ADDR_UNIX _ -> port
-  in
+  let sock, bound_port = Netio.listen_tcp ~host ~port () in
   let t =
     { sock; bound_host = host; bound_port; stopping = Atomic.make false;
       domain = None }
@@ -255,32 +224,18 @@ let parse_url url =
     | Some port when host <> "" -> Ok (host, port, path)
     | _ -> Error (Printf.sprintf "bad host:port in %S" url))
 
-let fetch ?(timeout = 5.0) ~host ~port ~path () =
-  match resolve host with
-  | exception Failure msg -> Error msg
-  | addr -> (
-    let sock = Unix.socket PF_INET SOCK_STREAM 0 in
-    let finally () = try Unix.close sock with Unix.Unix_error _ -> () in
+let fetch ?timeout ~host ~port ~path () =
+  match Netio.connect_tcp ?timeout ~host ~port () with
+  | Error _ as e -> e
+  | Ok sock -> (
+    let finally () = Netio.close_quietly sock in
     match
       Fun.protect ~finally (fun () ->
-          Unix.setsockopt_float sock SO_RCVTIMEO timeout;
-          Unix.setsockopt_float sock SO_SNDTIMEO timeout;
-          Unix.connect sock (ADDR_INET (addr, port));
           write_all sock
             (Printf.sprintf
                "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n"
                path host);
-          let buf = Buffer.create 1024 in
-          let chunk = Bytes.create 8192 in
-          let rec drain () =
-            match Unix.read sock chunk 0 (Bytes.length chunk) with
-            | 0 -> ()
-            | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              drain ()
-          in
-          drain ();
-          Buffer.contents buf)
+          Netio.read_to_eof sock)
     with
     | exception Unix.Unix_error (err, _, _) ->
       Error

@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  lock : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  failures : int Atomic.t;
+  inline : bool;
+}
+
+let run_task t task =
+  try task () with _ -> Atomic.incr t.failures
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec wait () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.lock;
+        Some task
+      | None ->
+        if t.stopping then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          Condition.wait t.work t.lock;
+          wait ()
+        end
+    in
+    match wait () with
+    | None -> ()
+    | Some task ->
+      run_task t task;
+      next ()
+  in
+  next ()
+
+let create ?(name = "executor") ~workers () =
+  if workers < 0 then invalid_arg "Executor.create: workers must be >= 0";
+  let t =
+    {
+      name;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+      failures = Atomic.make 0;
+      inline = workers = 0;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let workers t = List.length t.domains
+
+let submit t task =
+  if t.inline then begin
+    if t.stopping then
+      invalid_arg (Printf.sprintf "Executor.submit: %s is shut down" t.name);
+    run_task t task
+  end
+  else begin
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      invalid_arg (Printf.sprintf "Executor.submit: %s is shut down" t.name)
+    end;
+    Queue.add task t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.lock
+  end
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let failures t = Atomic.get t.failures
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  if not already then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

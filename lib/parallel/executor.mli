@@ -1,0 +1,41 @@
+(** A persistent pool of worker domains draining a task queue.
+
+    {!Pool} is batch-shaped: submit a list, block until every result
+    is back, in order. A network server needs the opposite shape —
+    long-lived workers pulling independent, fire-and-forget tasks
+    (one per accepted connection) as they arrive, with no result to
+    collect and no batch boundary. This module is that executor; the
+    [Mitos_net] decision server runs its per-connection loops on one.
+
+    Tasks run in submission order modulo worker availability; nothing
+    here is deterministic and nothing should be — determinism-sensitive
+    callers use {!Pool}. A task that raises is contained: the exception
+    is counted ({!failures}) and the worker moves on.
+
+    [workers = 0] degenerates to inline execution: {!submit} runs the
+    task on the calling domain before returning — the single-domain
+    code path {e is} the multi-domain code path, mirroring the pool's
+    [jobs = 1] contract. *)
+
+type t
+
+val create : ?name:string -> workers:int -> unit -> t
+(** Spawn [workers] domains ([0] = run tasks inline in {!submit}).
+    [name] labels error output. Raises [Invalid_argument] if
+    [workers < 0]. *)
+
+val workers : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task (or run it inline when [workers = 0]). Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val pending : t -> int
+(** Tasks enqueued but not yet picked up (always 0 when inline). *)
+
+val failures : t -> int
+(** Tasks that raised. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, drain the queue, join the workers.
+    Idempotent. *)

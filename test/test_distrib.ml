@@ -24,6 +24,39 @@ let test_estimator_basics () =
     (try ignore (Estimator.create ~nodes:0); false
      with Invalid_argument _ -> true)
 
+(* The estimator's concurrency contract: cross-domain publishes to
+   disjoint slots never tear, and the global is always the sum of the
+   last value each node published — the coordinator serves it from
+   worker domains while nodes keep publishing. *)
+let qcheck_estimator_concurrent =
+  QCheck.Test.make ~name:"estimator publishes race-free across domains"
+    ~count:15
+    QCheck.(
+      list_of_size Gen.(2 -- 4)
+        (list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0)))
+    (fun per_node ->
+      let e = Estimator.create ~nodes:(List.length per_node) in
+      let domains =
+        List.mapi
+          (fun node values ->
+            Domain.spawn (fun () ->
+                List.iter
+                  (fun v ->
+                    Estimator.publish e ~node v;
+                    (* concurrent reads must neither tear nor deadlock *)
+                    ignore (Estimator.global e))
+                  values))
+          per_node
+      in
+      List.iter Domain.join domains;
+      (* same fold order as Estimator.global, so equality is exact *)
+      let expected =
+        List.fold_left
+          (fun acc values -> acc +. List.nth values (List.length values - 1))
+          0.0 per_node
+      in
+      Estimator.global e = expected)
+
 (* -- Cluster --------------------------------------------------------------- *)
 
 let test_cluster_runs_to_completion () =
@@ -172,7 +205,11 @@ let test_cluster_max_rounds () =
 let () =
   Alcotest.run "mitos_distrib"
     [
-      ("estimator", [ Alcotest.test_case "basics" `Quick test_estimator_basics ]);
+      ( "estimator",
+        [
+          Alcotest.test_case "basics" `Quick test_estimator_basics;
+          QCheck_alcotest.to_alcotest qcheck_estimator_concurrent;
+        ] );
       ( "cluster",
         [
           Alcotest.test_case "runs" `Quick test_cluster_runs_to_completion;

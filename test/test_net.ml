@@ -1,0 +1,613 @@
+module Wire = Mitos_net.Wire
+module Transport = Mitos_net.Transport
+module Client = Mitos_net.Client
+module Server = Mitos_net.Server
+module Netcluster = Mitos_net.Netcluster
+module Loadgen = Mitos_net.Loadgen
+module Executor = Mitos_parallel.Executor
+module Tag = Mitos_tag.Tag
+module Tag_type = Mitos_tag.Tag_type
+module W = Mitos_workload
+
+let params = Mitos_experiments.Calib.sensitivity_params ()
+
+(* fresh loopback name per test so failures don't leak registrations
+   into each other *)
+let fresh_name =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s-%d" prefix !n
+
+let with_server ?config ?(params = params) f =
+  let service = Server.create ?config ~params () in
+  let name = fresh_name "t" in
+  let listener = Server.start service (Transport.Memory name) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop listener)
+    (fun () -> f service (Transport.Memory name))
+
+let ok_client = function
+  | Ok v -> v
+  | Error err -> Alcotest.fail (Client.error_to_string err)
+
+(* -- Wire: QCheck round-trip --------------------------------------------- *)
+
+let gen_tag =
+  QCheck.Gen.(
+    map2
+      (fun ty id -> Tag.make ty id)
+      (oneofl Tag_type.all) (int_bound 100_000))
+
+let gen_decide_request =
+  QCheck.Gen.(
+    map3
+      (fun space pollution candidates -> { Wire.space; pollution; candidates })
+      (int_bound 64)
+      (float_bound_inclusive 1e6)
+      (list_size (int_bound 8) (pair gen_tag (int_bound 1000))))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return Wire.Ping;
+        map (fun b -> Wire.Decide b) (list_size (int_bound 5) gen_decide_request);
+        map2
+          (fun node value -> Wire.Publish { node; value })
+          (int_bound 1000) (float_bound_inclusive 1e9);
+        return Wire.Read_global;
+        map (fun n -> Wire.Read_node n) (int_bound 1000);
+        return Wire.Query_stats;
+      ])
+
+let gen_decided =
+  QCheck.Gen.(
+    map3
+      (fun tag marginal propagate ->
+        {
+          Wire.tag;
+          marginal;
+          verdict =
+            (if propagate then Mitos.Decision.Propagate
+             else Mitos.Decision.Block);
+        })
+      gen_tag
+      (float_bound_inclusive 1e6)
+      bool)
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        return Wire.Pong;
+        map
+          (fun b -> Wire.Decisions b)
+          (list_size (int_bound 4) (list_size (int_bound 6) gen_decided));
+        map (fun g -> Wire.Published g) (float_bound_inclusive 1e9);
+        map (fun g -> Wire.Global g) (float_bound_inclusive 1e9);
+        map (fun v -> Wire.Node_value v) (float_bound_inclusive 1e9);
+        map
+          (fun ((served, decided), (publishes, (nodes, global))) ->
+            Wire.Stats { served; decided; publishes; nodes; global })
+          (pair
+             (pair (int_bound 100000) (int_bound 100000))
+             (pair (int_bound 100000)
+                (pair (int_bound 64) (float_bound_inclusive 1e9))));
+        map (fun s -> Wire.Err s) (string_size (int_bound 80));
+      ])
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"encode/decode request = id" ~count:500
+    QCheck.(make gen_request)
+    (fun req ->
+      match Wire.decode_request_frame (Wire.encode_request ~id:7 req) with
+      | Ok (7, req') -> req' = req
+      | _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"encode/decode response = id" ~count:500
+    QCheck.(make gen_response)
+    (fun resp ->
+      match Wire.decode_response_frame (Wire.encode_response ~id:9 resp) with
+      | Ok (9, resp') -> resp' = resp
+      | _ -> false)
+
+let qcheck_truncation_never_raises =
+  QCheck.Test.make ~name:"every truncation is Error Truncated, no raise"
+    ~count:200
+    QCheck.(make gen_request)
+    (fun req ->
+      let frame = Wire.encode_request ~id:1 req in
+      List.for_all
+        (fun len ->
+          match Wire.decode_request_frame (String.sub frame 0 len) with
+          | Error Wire.Truncated -> true
+          | _ -> false)
+        (List.init (String.length frame) Fun.id))
+
+(* -- Wire: adversarial decoding ------------------------------------------ *)
+
+let check_error name expect got =
+  Alcotest.(check string) name expect
+    (match got with
+    | Ok _ -> "Ok"
+    | Error err -> (
+      match (err : Wire.error) with
+      | Truncated -> "Truncated"
+      | Oversized _ -> "Oversized"
+      | Bad_version v -> Printf.sprintf "Bad_version %d" v
+      | Bad_kind k -> Printf.sprintf "Bad_kind %d" k
+      | Corrupt _ -> "Corrupt"))
+
+let test_wire_oversized () =
+  (* frame announcing 1 GiB, no body: must be rejected from the length
+     prefix alone, before any allocation *)
+  let e = Mitos_util.Codec.Enc.create () in
+  Mitos_util.Codec.Enc.uint e (1 lsl 30);
+  let bomb = Mitos_util.Codec.Enc.contents e in
+  (match Wire.unframe bomb ~pos:0 with
+  | Error (Wire.Oversized { announced; limit }) ->
+    Alcotest.(check int) "announced" (1 lsl 30) announced;
+    Alcotest.(check int) "limit" Wire.default_max_frame limit
+  | _ -> Alcotest.fail "expected Oversized");
+  (* a small max_frame tightens the guard *)
+  let frame = Wire.encode_request ~id:1 Wire.Read_global in
+  check_error "tight limit" "Oversized"
+    (Wire.decode_request_frame ~max_frame:2 frame);
+  (* an unterminated length varint is Corrupt, not an infinite loop *)
+  check_error "overlong varint" "Corrupt"
+    (Wire.unframe (String.make 12 '\xff') ~pos:0
+     |> Result.map (fun (b, _) -> b))
+
+let test_wire_bad_version () =
+  let frame = Wire.encode_request ~id:3 Wire.Ping in
+  match Wire.unframe frame ~pos:0 with
+  | Ok (body, _) ->
+    let hacked = Bytes.of_string body in
+    Bytes.set hacked 0 '\x63' (* version 99 *);
+    check_error "version 99" "Bad_version 99"
+      (Wire.decode_request (Bytes.to_string hacked))
+  | Error _ -> Alcotest.fail "self-made frame must unframe"
+
+let test_wire_bad_kind () =
+  (* version 1, id 0, kind 0x42: structurally fine, unknown meaning *)
+  check_error "kind 0x42" "Bad_kind 66"
+    (Wire.decode_request "\x01\x00\x42")
+
+let test_wire_trailing_garbage () =
+  let frame = Wire.encode_request ~id:1 Wire.Ping in
+  check_error "bytes after frame" "Corrupt"
+    (Wire.decode_request_frame (frame ^ "zz"));
+  (* trailing bytes inside the body are a body-level violation *)
+  (match Wire.unframe frame ~pos:0 with
+  | Ok (body, _) ->
+    check_error "bytes after payload" "Corrupt"
+      (Wire.decode_request (body ^ "z"))
+  | Error _ -> Alcotest.fail "self-made frame must unframe");
+  (* an empty buffer is a framing-level Truncated; an empty *body* is
+     a body-level Corrupt (the version byte is missing) *)
+  check_error "empty buffer" "Truncated" (Wire.decode_request_frame "");
+  check_error "empty body" "Corrupt" (Wire.decode_request "")
+
+let test_wire_unknown_tag_type () =
+  (* candidate with tag-type 200: Corrupt, not Invalid_argument *)
+  let e = Mitos_util.Codec.Enc.create () in
+  Mitos_util.Codec.Enc.uint e 1 (* version *);
+  Mitos_util.Codec.Enc.uint e 5 (* id *);
+  Mitos_util.Codec.Enc.uint e 0x02 (* decide *);
+  Mitos_util.Codec.Enc.list e
+    (fun () ->
+      Mitos_util.Codec.Enc.uint e 4 (* space *);
+      Mitos_util.Codec.Enc.float e 0.0;
+      Mitos_util.Codec.Enc.list e
+        (fun () ->
+          Mitos_util.Codec.Enc.uint e 200 (* no such tag type *);
+          Mitos_util.Codec.Enc.uint e 1;
+          Mitos_util.Codec.Enc.uint e 1)
+        [ () ])
+    [ () ];
+  check_error "unknown tag type" "Corrupt"
+    (Wire.decode_request (Mitos_util.Codec.Enc.contents e))
+
+(* -- Transport ------------------------------------------------------------ *)
+
+let test_endpoint_strings () =
+  let roundtrip s =
+    match Transport.endpoint_of_string s with
+    | Ok ep -> Transport.endpoint_to_string ep
+    | Error msg -> "error: " ^ msg
+  in
+  Alcotest.(check string) "tcp" "tcp://h:9" (roundtrip "tcp://h:9");
+  Alcotest.(check string) "bare" "tcp://h:9" (roundtrip "h:9");
+  Alcotest.(check string) "unix" "unix:///tmp/s" (roundtrip "unix:///tmp/s");
+  Alcotest.(check string) "mem" "mem://x" (roundtrip "mem://x");
+  List.iter
+    (fun bad ->
+      match Transport.endpoint_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [ "mem://"; "unix://"; "nope"; "h:notaport"; ":9" ]
+
+let test_loopback_registry () =
+  let name = fresh_name "reg" in
+  Transport.Loopback.register name (fun body -> body);
+  Alcotest.(check bool) "registered" true (Transport.Loopback.registered name);
+  Alcotest.(check bool) "double registration rejected" true
+    (try
+       Transport.Loopback.register name (fun b -> b);
+       false
+     with Invalid_argument _ -> true);
+  Transport.Loopback.unregister name;
+  Alcotest.(check bool) "unregistered" false
+    (Transport.Loopback.registered name);
+  match Transport.connect (Transport.Memory name) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connect to unregistered name must fail"
+
+(* -- Server + Client over loopback ---------------------------------------- *)
+
+let test_loopback_service () =
+  with_server @@ fun service ep ->
+  let c = ok_client (Client.connect ep) in
+  ok_client (Client.ping c);
+  Alcotest.(check (float 0.0)) "empty estimator" 0.0 (ok_client (Client.global c));
+  let after = ok_client (Client.publish c ~node:2 7.5) in
+  Alcotest.(check (float 0.0)) "publish returns new global" 7.5 after;
+  Alcotest.(check (float 0.0)) "read back" 7.5
+    (ok_client (Client.read_node c 2));
+  let stats = ok_client (Client.stats c) in
+  Alcotest.(check int) "publishes counted" 1 stats.Wire.publishes;
+  Alcotest.(check int) "requests counted" 5 stats.Wire.served;
+  (* out-of-range node: typed remote error, service keeps going *)
+  (match Client.publish c ~node:99 1.0 with
+  | Error (Client.Remote _) -> ()
+  | _ -> Alcotest.fail "expected Remote error");
+  ok_client (Client.ping c);
+  Client.close c;
+  (match Client.ping c with
+  | Error Client.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed");
+  ignore service
+
+let test_loopback_decide_matches_alg2 () =
+  with_server @@ fun _service ep ->
+  let c = ok_client (Client.connect ep) in
+  ignore (ok_client (Client.publish c ~node:0 123.0));
+  let candidates =
+    [
+      (Tag.make Tag_type.Network 1, 5);
+      (Tag.make Tag_type.File 2, 17);
+      (Tag.make Tag_type.Export_table 3, 2);
+    ]
+  in
+  let req = { Wire.space = 2; pollution = 10.0; candidates } in
+  let outcomes = ok_client (Client.decide c [ req; req ]) in
+  Alcotest.(check int) "one outcome list per request" 2 (List.length outcomes);
+  let expected =
+    let count tag =
+      match List.find_opt (fun (t, _) -> Tag.equal t tag) candidates with
+      | Some (_, n) -> n
+      | None -> 0
+    in
+    (* the server adds its estimator's global to the request's local
+       pollution *)
+    Mitos.Decision.alg2 params
+      { Mitos.Decision.count; pollution = 10.0 +. 123.0 }
+      ~space:2 (List.map fst candidates)
+  in
+  List.iter
+    (fun outcome ->
+      List.iter2
+        (fun (got : Wire.decided) (want : Mitos.Decision.ranked) ->
+          Alcotest.(check bool) "same tag" true (Tag.equal got.tag want.tag);
+          Alcotest.(check (float 0.0)) "same marginal" want.marginal
+            got.marginal;
+          Alcotest.(check bool) "same verdict" true
+            (got.verdict = want.verdict))
+        outcome expected)
+    outcomes;
+  Client.close c
+
+let test_malformed_body_gets_err_response () =
+  with_server @@ fun service ep ->
+  ignore service;
+  let conn =
+    match Transport.connect ep with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  (match Transport.send conn "\xde\xad\xbe\xef" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Transport.recv conn with
+  | Ok body -> (
+    match Wire.decode_response body with
+    | Ok (0, Wire.Err _) -> ()
+    | _ -> Alcotest.fail "expected Err response with id 0")
+  | Error _ -> Alcotest.fail "expected a response body");
+  Transport.close conn
+
+(* -- Client retry --------------------------------------------------------- *)
+
+let test_backoff_schedule () =
+  Alcotest.(check (list (float 1e-12)))
+    "deterministic exponential" [ 0.05; 0.1; 0.2 ]
+    (Client.backoff_schedule ~retries:3 ~backoff:0.05);
+  Alcotest.(check (list (float 1e-12)))
+    "empty for zero retries" []
+    (Client.backoff_schedule ~retries:0 ~backoff:0.05)
+
+let test_retry_then_succeed () =
+  let name = fresh_name "flaky" in
+  let failures_left = ref 2 in
+  Transport.Loopback.register name (fun body ->
+      if !failures_left > 0 then begin
+        decr failures_left;
+        failwith "injected fault"
+      end
+      else
+        match Wire.decode_request body with
+        | Ok (id, Wire.Ping) -> Wire.encode_response_body ~id Wire.Pong
+        | _ -> Wire.encode_response_body ~id:0 (Wire.Err "unexpected"));
+  Fun.protect
+    ~finally:(fun () -> Transport.Loopback.unregister name)
+    (fun () ->
+      let c = ok_client (Client.connect ~retries:3 (Transport.Memory name)) in
+      ok_client (Client.ping c);
+      Alcotest.(check int) "two retries spent" 2 (Client.retries_used c);
+      Client.close c)
+
+let test_retries_exhausted () =
+  let name = fresh_name "dead" in
+  Transport.Loopback.register name (fun _ -> failwith "always down");
+  Fun.protect
+    ~finally:(fun () -> Transport.Loopback.unregister name)
+    (fun () ->
+      let c = ok_client (Client.connect ~retries:2 (Transport.Memory name)) in
+      (match Client.ping c with
+      | Error (Client.Retries_exhausted { attempts; _ }) ->
+        Alcotest.(check int) "first try + 2 retries" 3 attempts
+      | Error err -> Alcotest.fail (Client.error_to_string err)
+      | Ok () -> Alcotest.fail "ping cannot succeed");
+      Client.close c)
+
+let test_connect_refused () =
+  match Client.connect (Transport.Tcp { host = "127.0.0.1"; port = 1 }) with
+  | Error (Client.Connect _) -> ()
+  | Error err -> Alcotest.fail (Client.error_to_string err)
+  | Ok _ -> Alcotest.fail "connect to port 1 must fail"
+
+(* -- Server + Client over TCP --------------------------------------------- *)
+
+let test_tcp_service () =
+  let config = { Server.default_config with workers = 2; read_timeout = 2.0 } in
+  let service = Server.create ~config ~params () in
+  let listener =
+    Server.start service (Transport.Tcp { host = "127.0.0.1"; port = 0 })
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop listener)
+    (fun () ->
+      let ep = Server.endpoint listener in
+      (match ep with
+      | Transport.Tcp { port; _ } ->
+        Alcotest.(check bool) "kernel picked a port" true (port > 0)
+      | _ -> Alcotest.fail "expected a TCP endpoint");
+      (* two concurrent clients on the worker pool *)
+      let c1 = ok_client (Client.connect ~timeout:2.0 ep) in
+      let c2 = ok_client (Client.connect ~timeout:2.0 ep) in
+      ok_client (Client.ping c1);
+      ok_client (Client.ping c2);
+      ignore (ok_client (Client.publish c1 ~node:0 3.0));
+      Alcotest.(check (float 0.0)) "estimator shared across connections" 3.0
+        (ok_client (Client.global c2));
+      let outcomes =
+        ok_client
+          (Client.decide c2
+             [
+               {
+                 Wire.space = 1;
+                 pollution = 0.0;
+                 candidates = [ (Tag.make Tag_type.Network 1, 3) ];
+               };
+             ])
+      in
+      Alcotest.(check int) "decided" 1 (List.length outcomes);
+      Client.close c1;
+      Client.close c2)
+
+(* -- Executor -------------------------------------------------------------- *)
+
+let test_executor_inline () =
+  let e = Executor.create ~workers:0 () in
+  let hits = ref 0 in
+  Executor.submit e (fun () -> incr hits);
+  Alcotest.(check int) "inline task ran synchronously" 1 !hits;
+  Executor.submit e (fun () -> failwith "boom");
+  Alcotest.(check int) "failure contained and counted" 1 (Executor.failures e);
+  Executor.shutdown e;
+  Alcotest.(check bool) "submit after shutdown rejected" true
+    (try
+       Executor.submit e (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_executor_parallel_drain () =
+  let e = Executor.create ~workers:2 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 100 do
+    Executor.submit e (fun () -> Atomic.incr hits)
+  done;
+  Executor.shutdown e;
+  Alcotest.(check int) "all tasks ran before join" 100 (Atomic.get hits);
+  Alcotest.(check int) "nothing left queued" 0 (Executor.pending e)
+
+(* -- Netcluster ------------------------------------------------------------ *)
+
+let small_nodes n =
+  List.init n (fun i -> W.Netbench.build ~seed:(50 + i) ~chunks:6 ())
+
+let test_netcluster_byte_identical_to_cluster () =
+  let sync_period = 16 in
+  let inproc =
+    let c =
+      Mitos_distrib.Cluster.create ~params ~sync_period (small_nodes 3)
+    in
+    let rounds = Mitos_distrib.Cluster.run c in
+    Netcluster.render (Netcluster.report_of_cluster ~rounds c)
+  in
+  let looped =
+    with_server
+      ~config:{ Server.default_config with nodes = 3; workers = 0 }
+      (fun _service ep ->
+        let t =
+          Netcluster.create ~params ~sync_period ~endpoint:ep (small_nodes 3)
+        in
+        Fun.protect
+          ~finally:(fun () -> Netcluster.close t)
+          (fun () ->
+            let rounds = Netcluster.run t in
+            Netcluster.render (Netcluster.report_of_net ~rounds t)))
+  in
+  Alcotest.(check string) "loopback report byte-identical" inproc looped
+
+let test_netcluster_validation () =
+  with_server @@ fun _service ep ->
+  Alcotest.(check bool) "empty nodes" true
+    (try
+       ignore (Netcluster.create ~params ~sync_period:1 ~endpoint:ep []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad period" true
+    (try
+       ignore
+         (Netcluster.create ~params ~sync_period:0 ~endpoint:ep
+            (small_nodes 1));
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Loadgen --------------------------------------------------------------- *)
+
+let loadgen_config =
+  {
+    Loadgen.default_config with
+    Loadgen.requests = 200;
+    batch = 5;
+    publish_every = 50;
+  }
+
+(* the request stream is a pure function of the seed: two fresh
+   servers observe identical served/decided/published state *)
+let test_loadgen_deterministic_stream () =
+  let observe () =
+    with_server @@ fun _service ep ->
+    (match Loadgen.run ~config:loadgen_config ep with
+    | Ok r ->
+      Alcotest.(check int) "every decide answered" (200 * 5) r.Loadgen.decisions;
+      Alcotest.(check int) "no remote errors" 0 r.Loadgen.remote_errors;
+      Alcotest.(check int) "no retries" 0 r.Loadgen.retries
+    | Error err -> Alcotest.fail (Client.error_to_string err));
+    let c = ok_client (Client.connect ep) in
+    let stats = ok_client (Client.stats c) in
+    Client.close c;
+    (stats.Wire.served, stats.Wire.decided, stats.Wire.publishes,
+     stats.Wire.global)
+  in
+  let s1, d1, p1, g1 = observe () in
+  let s2, d2, p2, g2 = observe () in
+  Alcotest.(check int) "served equal" s1 s2;
+  Alcotest.(check int) "decided equal" d1 d2;
+  Alcotest.(check int) "publishes equal" p1 p2;
+  Alcotest.(check (float 0.0)) "final global bit-equal" g1 g2
+
+let test_loadgen_bench_merge () =
+  let path = Filename.temp_file "mitos_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sys.remove path;
+      let report =
+        with_server @@ fun _service ep ->
+        match Loadgen.run ~config:loadgen_config ep with
+        | Ok r -> r
+        | Error err -> Alcotest.fail (Client.error_to_string err)
+      in
+      Loadgen.merge_into_bench_json ~path ~jobs:1 report;
+      (* merging twice must replace, not duplicate *)
+      Loadgen.merge_into_bench_json ~path ~jobs:1 report;
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let doc = Mitos_util.Minijson.parse text in
+      (match Mitos_util.Minijson.path [ "net_decide_batch"; "batch" ] doc with
+      | Some (Mitos_util.Minijson.Num n) ->
+        Alcotest.(check int) "batch recorded" 5 (int_of_float n)
+      | _ -> Alcotest.fail "net_decide_batch.batch missing");
+      (match Mitos_util.Minijson.path [ "schema" ] doc with
+      | Some (Mitos_util.Minijson.Str s) ->
+        Alcotest.(check string) "schema" "mitos-bench-decisions/1" s
+      | _ -> Alcotest.fail "schema missing");
+      match Mitos_util.Minijson.path [ "net_decide_batch"; "p50_ns" ] doc with
+      | Some (Mitos_util.Minijson.Num _) -> ()
+      | _ -> Alcotest.fail "p50_ns missing")
+
+let () =
+  Alcotest.run "mitos_net"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_truncation_never_raises;
+          Alcotest.test_case "oversized" `Quick test_wire_oversized;
+          Alcotest.test_case "bad version" `Quick test_wire_bad_version;
+          Alcotest.test_case "bad kind" `Quick test_wire_bad_kind;
+          Alcotest.test_case "trailing garbage" `Quick
+            test_wire_trailing_garbage;
+          Alcotest.test_case "unknown tag type" `Quick
+            test_wire_unknown_tag_type;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "endpoint strings" `Quick test_endpoint_strings;
+          Alcotest.test_case "loopback registry" `Quick test_loopback_registry;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "loopback service" `Quick test_loopback_service;
+          Alcotest.test_case "decide matches alg2" `Quick
+            test_loopback_decide_matches_alg2;
+          Alcotest.test_case "malformed body -> Err" `Quick
+            test_malformed_body_gets_err_response;
+          Alcotest.test_case "tcp service" `Quick test_tcp_service;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "retry then succeed" `Quick test_retry_then_succeed;
+          Alcotest.test_case "retries exhausted" `Quick test_retries_exhausted;
+          Alcotest.test_case "connect refused" `Quick test_connect_refused;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "inline" `Quick test_executor_inline;
+          Alcotest.test_case "parallel drain" `Quick
+            test_executor_parallel_drain;
+        ] );
+      ( "netcluster",
+        [
+          Alcotest.test_case "byte-identical to in-process" `Quick
+            test_netcluster_byte_identical_to_cluster;
+          Alcotest.test_case "validation" `Quick test_netcluster_validation;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "deterministic stream" `Quick
+            test_loadgen_deterministic_stream;
+          Alcotest.test_case "bench merge" `Quick test_loadgen_bench_merge;
+        ] );
+    ]
