@@ -415,6 +415,53 @@ let write_bench_json ~jobs path =
         | Ok r -> r
         | Error err -> failwith (Mitos_net.Client.error_to_string err))
   in
+  (* instrumented-mutex fast path (one uncontended lock/unlock pair)
+     next to a bare mutex pair, plus the run's accumulated contention
+     totals — every hot lock in the process is a Contended, so the
+     pool-speedup section above has already exercised them *)
+  let pair_lock = Mitos_obs.Contended.create "bench_pair" in
+  let uncontended_pair_ns =
+    time_ns_per ~iters:2_000_000 (fun () ->
+        Mitos_obs.Contended.lock pair_lock;
+        Mitos_obs.Contended.unlock pair_lock)
+  in
+  let raw_mu = Mutex.create () in
+  let raw_mutex_pair_ns =
+    time_ns_per ~iters:2_000_000 (fun () ->
+        Mutex.lock raw_mu;
+        Mutex.unlock raw_mu)
+  in
+  let lock_acq, lock_cont, lock_wait_ns, lock_hold_ns =
+    List.fold_left
+      (fun (acq, cont, wait, hold) (_, (st : Mitos_obs.Contended.stats)) ->
+        ( acq + st.Mitos_obs.Contended.acquisitions,
+          cont + st.Mitos_obs.Contended.contended,
+          wait + st.Mitos_obs.Contended.wait_ns_total,
+          hold + st.Mitos_obs.Contended.hold_ns_total ))
+      (0, 0, 0, 0)
+      (Mitos_obs.Contended.aggregate ())
+  in
+  (* GC allocation pressure of the replay hot path: word counts are
+     exact (not sampled), so the per-record figure is deterministic
+     enough to gate at the standard tolerance *)
+  let gc_engine =
+    Mitos_workload.Workload.engine_of
+      ~policy:(Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()))
+      built
+  in
+  Mitos_dift.Engine.attach_shadow gc_engine
+    ~mem_size:(Mitos_replay.Trace.mem_size trace);
+  let g0 = Gc.quick_stat () in
+  Array.iter (Mitos_dift.Engine.process_record gc_engine) slice;
+  let g1 = Gc.quick_stat () in
+  let per_record v0 v1 = (v1 -. v0) /. float_of_int (Array.length slice) in
+  let minor_words_per_record =
+    per_record g0.Gc.minor_words g1.Gc.minor_words
+  in
+  let promoted_words_per_record =
+    per_record g0.Gc.promoted_words g1.Gc.promoted_words
+  in
+  let minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -454,6 +501,20 @@ let write_bench_json ~jobs path =
     "p95_ns": %.0f,
     "p99_ns": %.0f,
     "requests_per_sec": %.0f
+  },
+  "lock_contention": {
+    "uncontended_pair_ns": %.2f,
+    "raw_mutex_pair_ns": %.2f,
+    "acquisitions": %d,
+    "contended": %d,
+    "wait_ns_total": %d,
+    "hold_ns_total": %d
+  },
+  "gc_pressure": {
+    "records": %d,
+    "minor_words_per_record": %.1f,
+    "promoted_words_per_record": %.3f,
+    "minor_collections": %d
   }
 }
 |}
@@ -468,7 +529,10 @@ let write_bench_json ~jobs path =
         net_report.Mitos_net.Loadgen.requests
         net_report.Mitos_net.Loadgen.mean_ns net_report.Mitos_net.Loadgen.p50_ns
         net_report.Mitos_net.Loadgen.p95_ns net_report.Mitos_net.Loadgen.p99_ns
-        net_report.Mitos_net.Loadgen.throughput_rps);
+        net_report.Mitos_net.Loadgen.throughput_rps uncontended_pair_ns
+        raw_mutex_pair_ns lock_acq lock_cont lock_wait_ns lock_hold_ns
+        (Array.length slice) minor_words_per_record promoted_words_per_record
+        minor_collections);
   Printf.printf "wrote %s\n" path
 
 (* -- live telemetry (--listen) ----------------------------------------- *)

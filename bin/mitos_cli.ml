@@ -275,15 +275,44 @@ let start_server ~listen routes =
       server)
     listen
 
-let rec linger () =
-  Unix.sleep 3600;
-  linger ()
+(* Interruptible idle loop. SIGINT/SIGTERM set a flag instead of
+   killing the process, so servers stop cleanly (listening sockets
+   closed, domains joined) and a /metrics scraper sees a final flush
+   rather than a dropped connection. [tick] runs about once a second
+   while lingering — used for runtime telemetry sampling and health
+   observations on live servers. *)
+let shutdown_requested = Atomic.make false
 
-let finish_server = function
+let install_shutdown_handlers () =
+  let request _signum = Atomic.set shutdown_requested true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle request)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let linger ?tick () =
+  install_shutdown_handlers ();
+  let since_tick = ref 0.0 in
+  while not (Atomic.get shutdown_requested) do
+    (try Unix.sleepf 0.2
+     with Unix.Unix_error (EINTR, _, _) -> ());
+    since_tick := !since_tick +. 0.2;
+    if !since_tick >= 1.0 then begin
+      since_tick := 0.0;
+      match tick with
+      | Some f when not (Atomic.get shutdown_requested) -> f ()
+      | Some _ | None -> ()
+    end
+  done;
+  print_endline "shutting down"
+
+let finish_server ?tick = function
   | None -> ()
-  | Some _server ->
-    print_endline "telemetry still serving; interrupt (Ctrl-C) to exit";
-    linger ()
+  | Some server ->
+    print_endline
+      "telemetry still serving; interrupt (Ctrl-C or SIGTERM) to exit";
+    linger ?tick ();
+    Server.stop server
 
 (* The netbench pilot behind [experiment --listen] and [attack
    --listen]: record + oracle-policy sweep + audited MITOS replay, so
@@ -1330,15 +1359,11 @@ let read_timeout_arg =
     & info [ "read-timeout" ] ~docv:"SECONDS"
         ~doc:"Per-connection read timeout; idle connections are dropped.")
 
-let metrics_route registry =
-  Server.route ~describe:"Prometheus metrics" ~file:"metrics.prom" "/metrics"
-    (fun () -> Server.prometheus (Mitos_obs.Registry.to_prometheus registry))
-
 (* serve-decisions and coordinator are one implementation: the
    coordinator *is* a decision server whose estimator the cluster
    nodes publish into. *)
 let run_decision_server endpoint workers nodes read_timeout tau alpha u_net
-    u_export listen =
+    u_export listen slo =
   protected @@ fun () ->
   if nodes < 1 then or_die (Error "--nodes must be at least 1");
   if workers < 0 then or_die (Error "--workers must be non-negative");
@@ -1346,18 +1371,39 @@ let run_decision_server endpoint workers nodes read_timeout tau alpha u_net
   let config =
     { Net.Server.default_config with workers; nodes; read_timeout }
   in
-  let service = Net.Server.create ~config ~params () in
+  (* The service shares one real-clock obs context with its telemetry
+     surface: server spans (stamped with client trace contexts) land
+     in its tracer, request metrics in its registry. *)
+  let obs = Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) () in
+  let registry = Obs.registry obs in
+  let service = Net.Server.create ~config ~registry ~obs ~params () in
   let listener = Net.Server.start service (parse_endpoint endpoint) in
   Printf.printf "decision service on %s (%d workers, %d estimator slots)\n%!"
     (Net.Transport.endpoint_to_string (Net.Server.endpoint listener))
     workers nodes;
+  let health =
+    Health.create ~window:0.0 ~rules:(parse_rules slo) ()
+  in
+  let src = Tele.source ~health obs in
   let http =
-    start_server ~listen [ metrics_route (Net.Server.registry service) ]
+    start_server ~listen (Tele.routes ~pid:(Unix.getpid ()) src)
   in
   (match http with
   | Some _ -> ()
-  | None -> print_endline "serving; interrupt (Ctrl-C) to exit");
-  linger ()
+  | None -> print_endline "serving; interrupt (Ctrl-C or SIGTERM) to exit");
+  (* once a second: GC + lock gauges into /metrics, contention-share
+     signals into /healthz *)
+  let observations = ref 0 in
+  let tick () =
+    Mitos_obs.Runtime.sample registry;
+    incr observations;
+    Health.observe health
+      ~at:(float_of_int !observations)
+      (Mitos_obs.Runtime.signals ())
+  in
+  linger ~tick ();
+  Option.iter Server.stop http;
+  Net.Server.stop listener
 
 let decision_server_term =
   Term.(
@@ -1367,7 +1413,7 @@ let decision_server_term =
           "Endpoint to serve: tcp://HOST:PORT (port 0 picks a free port), \
            unix://PATH or mem://NAME."
     $ net_workers_arg $ net_nodes_arg $ read_timeout_arg $ tau_arg
-    $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg)
+    $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg $ slo_arg)
 
 let serve_decisions_cmd =
   Cmd.v
@@ -1546,7 +1592,7 @@ let cluster_cmd =
 
 let loadgen_cmd =
   let run endpoint requests batch candidates space publish_every node seed
-      timeout bench_out =
+      timeout bench_out propagation =
     protected @@ fun () ->
     let config =
       {
@@ -1557,10 +1603,16 @@ let loadgen_cmd =
         publish_every;
         node;
         seed;
+        propagation;
       }
     in
+    let obs =
+      if propagation then Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) ()
+      else Obs.disabled
+    in
     match
-      Net.Loadgen.run ~config ~client_timeout:timeout (parse_endpoint endpoint)
+      Net.Loadgen.run ~config ~client_timeout:timeout ~obs
+        (parse_endpoint endpoint)
     with
     | Error err -> or_die (Error (Net.Client.error_to_string err))
     | Ok report ->
@@ -1626,6 +1678,16 @@ let loadgen_cmd =
             "Merge a net_decide_batch row (p50/p95/p99 ns, requests/s) \
              into the BENCH_decisions.json at $(docv) for `bench compare'.")
   in
+  let propagate_arg =
+    Arg.(
+      value & flag
+      & info [ "propagate" ]
+          ~doc:
+            "Stamp every request with a W3C-style trace context (one \
+             trace id per roundtrip, minted from the seed) so server \
+             spans stitch to this client in /tracez; the report then \
+             prints a sample trace id to query.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -1637,7 +1699,150 @@ let loadgen_cmd =
       $ endpoint_arg ~default:"tcp://127.0.0.1:9900"
           ~doc:"Decision-service endpoint to load."
       $ requests_arg $ batch_arg $ candidates_arg $ space_arg
-      $ publish_every_arg $ node_arg $ seed_arg $ timeout_arg $ bench_out_arg)
+      $ publish_every_arg $ node_arg $ seed_arg $ timeout_arg $ bench_out_arg
+      $ propagate_arg)
+
+(* -- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run requests batch workers nodes seed tau alpha u_net u_export out
+      top_n =
+    protected @@ fun () ->
+    let params = make_params ~tau ~alpha ~u_net ~u_export in
+    (* A self-contained profiling run: a decision service on a real
+       TCP socket (so frame codec, socket reads and worker handoff are
+       all on the profile) loaded by the seeded generator with trace
+       propagation on. Both sides run on the real clock; their tracers
+       are folded into one collapsed-stack file under synthetic
+       "client"/"server" roots, with the instrumented-mutex totals
+       appended as "locks;NAME;wait|hold" rows. *)
+    let module Profile = Mitos_obs.Profile in
+    let module Contended = Mitos_obs.Contended in
+    let server_obs = Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) () in
+    let service =
+      Net.Server.create
+        ~config:{ Net.Server.default_config with workers; nodes }
+        ~registry:(Obs.registry server_obs) ~obs:server_obs ~params ()
+    in
+    let listener =
+      Net.Server.start service
+        (Net.Transport.Tcp { host = "127.0.0.1"; port = 0 })
+    in
+    let client_obs = Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) () in
+    let config =
+      {
+        Net.Loadgen.default_config with
+        requests;
+        batch;
+        seed;
+        propagation = true;
+      }
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Net.Server.stop listener)
+        (fun () ->
+          Net.Loadgen.run ~config ~obs:client_obs
+            (Net.Server.endpoint listener))
+    in
+    let report =
+      match result with
+      | Error err -> or_die (Error (Net.Client.error_to_string err))
+      | Ok report -> report
+    in
+    (* Tracer ticks are µs on the real clock; the export is in ns so
+       span rows and lock rows share one unit. Lock totals are already
+       ns — rendered unscaled. *)
+    let scale = 1000 in
+    let span_rows =
+      Profile.fold ~root:"client" (Obs.tracer client_obs)
+      @ Profile.fold ~root:"server" (Obs.tracer server_obs)
+    in
+    let lock_rows =
+      List.concat_map
+        (fun (name, (st : Contended.stats)) ->
+          [
+            {
+              Profile.stack = [ "locks"; name; "wait" ];
+              self = st.Contended.wait_ns_total;
+              total = st.Contended.wait_ns_total;
+              count = st.Contended.contended;
+            };
+            {
+              Profile.stack = [ "locks"; name; "hold" ];
+              self = st.Contended.hold_ns_total;
+              total = st.Contended.hold_ns_total;
+              count = st.Contended.acquisitions;
+            };
+          ])
+        (Contended.aggregate ())
+    in
+    let folded =
+      Profile.render_rows ~scale span_rows ^ Profile.render_rows lock_rows
+    in
+    Obs.write_file out folded;
+    print_string (Net.Loadgen.render report);
+    let in_ns (r : Profile.row) =
+      { r with Profile.self = r.self * scale; total = r.total * scale }
+    in
+    let t =
+      Mitos_util.Table.create
+        ~header:[ "stack"; "self (ns)"; "total (ns)"; "count" ]
+        ()
+    in
+    List.iter
+      (fun (r : Profile.row) ->
+        Mitos_util.Table.add_row t
+          [
+            String.concat ";" r.Profile.stack;
+            string_of_int r.Profile.self;
+            string_of_int r.Profile.total;
+            string_of_int r.Profile.count;
+          ])
+      (Profile.top ~n:top_n (List.map in_ns span_rows @ lock_rows));
+    Printf.printf "\ntop self-time (of %d stacks):\n%s"
+      (List.length span_rows + List.length lock_rows)
+      (Mitos_util.Table.render t);
+    Printf.printf "wrote collapsed stacks to %s\n" out
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int 2000
+      & info [ "requests" ] ~docv:"N" ~doc:"Request frames to profile.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "batch" ] ~docv:"N" ~doc:"Decide requests per frame.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "profile.folded"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Collapsed-stack output (flamegraph.pl input: one \
+             'frame;frame WEIGHT' line per stack, weights in ns).")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the printed self-time table.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile the decision service: run a trace-propagating load \
+          against a local TCP instance and write a collapsed-stack file \
+          (client + server spans stitched, instrumented-lock wait/hold \
+          appended) for flamegraph.pl.")
+    Term.(
+      const run $ requests_arg $ batch_arg $ net_workers_arg $ net_nodes_arg
+      $ seed_arg $ tau_arg $ alpha_arg $ u_net_arg $ u_export_arg $ out_arg
+      $ top_arg)
 
 (* -- bench --------------------------------------------------------------- *)
 
@@ -1711,5 +1916,6 @@ let () =
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
             sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd;
             audit_cmd; serve_cmd; watch_cmd; serve_decisions_cmd;
-            coordinator_cmd; node_cmd; cluster_cmd; loadgen_cmd; bench_cmd;
+            coordinator_cmd; node_cmd; cluster_cmd; loadgen_cmd;
+            profile_cmd; bench_cmd;
             version_cmd ]))

@@ -1,12 +1,10 @@
-type t = { published : float array; lock : Mutex.t }
+type t = { published : float array; lock : Mitos_obs.Contended.t }
 
 let create ~nodes =
   if nodes < 1 then invalid_arg "Estimator.create: need at least one node";
-  { published = Array.make nodes 0.0; lock = Mutex.create () }
+  { published = Array.make nodes 0.0; lock = Mitos_obs.Contended.create "estimator" }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Mitos_obs.Contended.with_lock t.lock f
 
 let publish t ~node value = locked t (fun () -> t.published.(node) <- value)
 let global t = locked t (fun () -> Array.fold_left ( +. ) 0.0 t.published)

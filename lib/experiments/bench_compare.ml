@@ -29,6 +29,10 @@ let gated_metrics =
        metric missing from an older baseline is skipped, not failed *)
     ([ "net_decide_batch"; "p50_ns" ], Lower_better);
     ([ "net_decide_batch"; "requests_per_sec" ], Higher_better);
+    (* profiling-layer rows: the instrumented-mutex fast path and GC
+       allocation pressure of the replay hot path *)
+    ([ "lock_contention"; "uncontended_pair_ns" ], Lower_better);
+    ([ "gc_pressure"; "minor_words_per_record" ], Lower_better);
   ]
 
 let regressions report = List.filter (fun r -> r.regressed) report.rows

@@ -18,6 +18,10 @@ type result = {
   server_s : float;
       (** best wall time, enabled + idle exposition server attached *)
   audit_s : float;  (** best wall time, enabled + audit recorder *)
+  profiled_s : float;
+      (** best wall time with the profiler on: enabled obs, a
+          background {!Mitos_obs.Runtime} sampler, and one trace
+          context minted per record *)
 }
 
 val measure :
@@ -38,6 +42,15 @@ val server_overhead : result -> float
 val audit_overhead : result -> float
 (** Overhead of full decision auditing (ring recording on every
     Alg. 1/2 call, eviction hook, per-consult context stamping). *)
+
+val profiled_overhead : result -> float
+(** Overhead of the full profiling stack (propagation id minting +
+    runtime GC/lock sampling) — informational; the profiler is
+    opt-in, so no contract binds it. *)
+
+val contract_ok : result -> bool
+(** The ≤ 5% disabled-overhead contract: [disabled_overhead r <= 0.05].
+    Rendered as a PASS/FAIL line by {!run}. *)
 
 val run :
   ?seed:int -> ?records:int -> ?repetitions:int -> unit -> Report.section

@@ -56,7 +56,29 @@ let healthz_payload t () =
   | None -> Server.text "status: ok (no SLO rules attached)\n"
   | Some h -> Server.text ~status:(Health.status_code h) (Health.render h)
 
-let routes ?(last = 256) t =
+(* Keep only lines mentioning the given trace id. Matching is textual
+   on the JSONL — ids are validated hex, so the quoted-arg form cannot
+   appear by accident. The filter runs before the tail so a full trace
+   survives even when newer unrelated spans crowd the ring. *)
+let filter_trace ~trace_id s =
+  let needle = Printf.sprintf "\"trace_id\":\"%s\"" trace_id in
+  let contains line =
+    let nl = String.length needle and ll = String.length line in
+    let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+    go 0
+  in
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> l <> "" && contains l)
+  |> (function [] -> "" | lines -> String.concat "\n" lines ^ "\n")
+
+let tracez_payload ?pid t ~last query =
+  let jsonl = Mitos_obs.Chrome_trace.to_jsonl ?pid (Obs.tracer t.obs) in
+  match List.assoc_opt "trace_id" query with
+  | Some trace_id when trace_id <> "" ->
+    Server.text (last_lines last (filter_trace ~trace_id jsonl))
+  | Some _ | None -> Server.text (last_lines last jsonl)
+
+let routes ?(last = 256) ?pid t =
   [
     Server.route ~file:"metrics.prom"
       ~describe:"Prometheus exposition (registry)" "/metrics" (fun () ->
@@ -66,11 +88,10 @@ let routes ?(last = 256) t =
     Server.route ~file:"snapshot.json"
       ~describe:"registry + engine progress + audit + health" "/snapshot.json"
       (fun () -> Server.json (snapshot_json t));
-    Server.route ~file:"tracez.jsonl"
-      ~describe:"trace ring tail (Chrome-trace JSONL)" "/tracez" (fun () ->
-        Server.text
-          (last_lines last
-             (Mitos_obs.Chrome_trace.to_jsonl (Obs.tracer t.obs))));
+    Server.route_q ~file:"tracez.jsonl"
+      ~describe:"trace ring tail (Chrome-trace JSONL); ?trace_id= filters"
+      "/tracez"
+      (tracez_payload ?pid t ~last);
     Server.route ~file:"auditz.jsonl" ~describe:"audit ring tail (JSONL)"
       "/auditz" (fun () ->
         match t.audit with

@@ -41,12 +41,17 @@ val snapshot_json : source -> string
 (** The [/snapshot.json] body: [{"progress":…,"audit":…,"health":…,
     "metrics":…}] with [null] for absent parts. *)
 
-val routes : ?last:int -> source -> Mitos_obs.Server.route list
+val routes : ?last:int -> ?pid:int -> source -> Mitos_obs.Server.route list
 (** The standard five routes, in fixed order, with their oneshot file
     names ([metrics.prom], [healthz.txt], [snapshot.json],
     [tracez.jsonl], [auditz.jsonl]). [/tracez] and [/auditz] serve the
-    last [last] (default 256) events/records as JSONL. Without a
-    health watchdog [/healthz] is a plain 200 liveness probe. *)
+    last [last] (default 256) events/records as JSONL; [pid] stamps
+    the [/tracez] export's pid field (pass [Unix.getpid ()] on a live
+    server so client and server traces concatenate into one Chrome
+    timeline), and [/tracez?trace_id=<32-hex>] keeps only the spans of
+    one distributed trace — filtered before the tail, so a stitched
+    trace survives ring pressure. Without a health watchdog [/healthz]
+    is a plain 200 liveness probe. *)
 
 (** {1 Standard signals and rules} *)
 

@@ -15,15 +15,21 @@ let error_to_string = function
   | Retries_exhausted { attempts; last } ->
     Printf.sprintf "all %d attempts failed; last: %s" attempts last
 
+module Obs = Mitos_obs.Obs
+module Propagation = Mitos_obs.Propagation
+
 type t = {
   endpoint : Transport.endpoint;
   timeout : float option;
   retries : int;
   backoff : float;
   max_frame : int;
+  obs : Obs.t;
+  prop : Propagation.t option;
   mutable conn : Transport.conn option;
   mutable next_id : int;
   mutable retries_used : int;
+  mutable last_trace : string option;
   mutable closed : bool;
 }
 
@@ -44,7 +50,8 @@ let reconnect t =
     Error msg
 
 let connect ?timeout ?(retries = 3) ?(backoff = 0.05)
-    ?(max_frame = Wire.default_max_frame) endpoint =
+    ?(max_frame = Wire.default_max_frame) ?(obs = Obs.disabled) ?propagation
+    endpoint =
   if retries < 0 then invalid_arg "Client.connect: negative retries";
   let t =
     {
@@ -53,13 +60,18 @@ let connect ?timeout ?(retries = 3) ?(backoff = 0.05)
       retries;
       backoff;
       max_frame;
+      obs;
+      prop = propagation;
       conn = None;
       next_id = 1;
       retries_used = 0;
+      last_trace = None;
       closed = false;
     }
   in
   match reconnect t with Ok _ -> Ok t | Error msg -> Error (Connect msg)
+
+let last_trace_id t = t.last_trace
 
 let close t =
   if not t.closed then begin
@@ -72,19 +84,20 @@ let close t =
    the id. Transport-level failures come back as [Error msg] so the
    retry loop can distinguish them from protocol-level failures
    ([Ok (Error _)]), which retrying cannot fix. *)
-let attempt t req =
+let attempt t ?trace req =
   let id = t.next_id in
   match
     match t.conn with Some c -> Ok c | None -> reconnect t
   with
   | Error msg -> Error msg
   | Ok conn -> (
-    match Transport.send conn (Wire.encode_request_body ~id req) with
+    match Transport.send conn (Wire.encode_request_body ?trace ~id req) with
     | Error msg -> Error msg
     | Ok () -> (
       match Transport.recv conn with
-      | Error Wire.Truncated -> Error (Transport.peer conn ^ ": closed early")
-      | Error (Wire.Corrupt msg) when msg = "read timeout" ->
+      | Error (Wire.Truncated _) ->
+        Error (Transport.peer conn ^ ": closed early")
+      | Error (Wire.Corrupt { msg = "read timeout"; _ }) ->
         Error (Transport.peer conn ^ ": read timeout")
       | Error err -> Ok (Error (Wire err))
       | Ok body -> (
@@ -107,9 +120,16 @@ let is_mem t = match t.endpoint with Transport.Memory _ -> true | _ -> false
 
 let roundtrip t req =
   if t.closed then Error Closed
-  else
+  else begin
+    (* One trace context per logical roundtrip: retries of the same
+       request reuse it, so the server-side span of whichever attempt
+       succeeded stitches to this client span. *)
+    let trace = Option.map Propagation.fresh t.prop in
+    Option.iter (fun (c : Propagation.context) ->
+        t.last_trace <- Some c.trace_id)
+      trace;
     let rec go attempt_no =
-      match attempt t req with
+      match attempt t ?trace req with
       | Ok (Ok resp) -> Ok resp
       | Ok (Error _ as protocol_failure) -> protocol_failure
       | Error msg ->
@@ -123,7 +143,12 @@ let roundtrip t req =
           go (attempt_no + 1)
         end
     in
-    go 1
+    let args =
+      match trace with None -> [] | Some c -> Propagation.to_args c
+    in
+    Obs.with_span t.obs ~args ("client." ^ Wire.request_kind req) (fun () ->
+        go 1)
+  end
 
 let bad_reply expected = Error (Bad_reply ("want " ^ expected))
 

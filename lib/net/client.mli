@@ -32,11 +32,20 @@ val connect :
   ?retries:int ->
   ?backoff:float ->
   ?max_frame:int ->
+  ?obs:Mitos_obs.Obs.t ->
+  ?propagation:Mitos_obs.Propagation.t ->
   Transport.endpoint ->
   (t, error) result
 (** [timeout] per the {!Mitos_obs.Netio} convention (default 5s);
     [retries] additional attempts after the first failure (default 3);
-    [backoff] base delay in seconds (default 0.05). *)
+    [backoff] base delay in seconds (default 0.05). [obs] (default
+    {!Mitos_obs.Obs.disabled}) records one [client.<op>] span per
+    roundtrip; [propagation] additionally mints a trace context per
+    roundtrip, stamps it on the span and sends it in the v2 request
+    body so the server's span carries the same trace id. *)
+
+val last_trace_id : t -> string option
+(** Trace id of the most recent roundtrip, when propagation is on. *)
 
 val backoff_schedule : retries:int -> backoff:float -> float list
 (** The exact delays a failing request sleeps through, in order —

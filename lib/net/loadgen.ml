@@ -3,6 +3,8 @@ module Rng = Mitos_util.Rng
 module Minijson = Mitos_util.Minijson
 module Registry = Mitos_obs.Registry
 module Histogram = Mitos_obs.Histogram
+module Obs = Mitos_obs.Obs
+module Propagation = Mitos_obs.Propagation
 
 type config = {
   requests : int;
@@ -12,6 +14,7 @@ type config = {
   publish_every : int;
   node : int;
   seed : int;
+  propagation : bool;
 }
 
 let default_config =
@@ -23,6 +26,7 @@ let default_config =
     publish_every = 100;
     node = 0;
     seed = 7;
+    propagation = false;
   }
 
 type report = {
@@ -36,6 +40,7 @@ type report = {
   p95_ns : float;
   p99_ns : float;
   throughput_rps : float;
+  trace_id : string option;
 }
 
 let gen_tag rng =
@@ -50,7 +55,8 @@ let gen_decide rng cfg : Wire.decide_request =
     candidates;
   }
 
-let run ?(config = default_config) ?registry ?client_timeout endpoint =
+let run ?(config = default_config) ?registry ?client_timeout
+    ?(obs = Obs.disabled) endpoint =
   if config.requests < 1 then invalid_arg "Loadgen.run: requests must be >= 1";
   if config.batch < 1 then invalid_arg "Loadgen.run: batch must be >= 1";
   let reg = match registry with Some r -> r | None -> Registry.create () in
@@ -59,7 +65,12 @@ let run ?(config = default_config) ?registry ?client_timeout endpoint =
       ~lo:100.0 ~growth:2.0 ~buckets:32 "mitos_net_client_latency_ns"
   in
   let rng = Rng.create config.seed in
-  match Client.connect ?timeout:client_timeout endpoint with
+  let propagation =
+    if config.propagation then
+      Some (Propagation.create ~seed:config.seed (Obs.clock obs))
+    else None
+  in
+  match Client.connect ?timeout:client_timeout ~obs ?propagation endpoint with
   | Error _ as e -> e
   | Ok client ->
     let decisions = ref 0 and remote_errors = ref 0 in
@@ -96,6 +107,7 @@ let run ?(config = default_config) ?registry ?client_timeout endpoint =
     done;
     let elapsed = Unix.gettimeofday () -. t_start in
     let retries = Client.retries_used client in
+    let trace_id = Client.last_trace_id client in
     Client.close client;
     (match !fatal with
     | Some err -> Error err
@@ -114,6 +126,7 @@ let run ?(config = default_config) ?registry ?client_timeout endpoint =
           throughput_rps =
             (if elapsed > 0.0 then float_of_int config.requests /. elapsed
              else 0.0);
+          trace_id;
         })
 
 let render r =
@@ -130,6 +143,12 @@ let render r =
       Printf.sprintf "elapsed:           %.3fs" r.elapsed_seconds;
       "";
     ]
+  ^
+  (* greppable by the CI trace-stitch assertion; only present with
+     propagation on, so existing output stays byte-identical *)
+  match r.trace_id with
+  | None -> ""
+  | Some id -> Printf.sprintf "sample trace id:   %s\n" id
 
 (* -- BENCH_decisions.json merge ---------------------------------------- *)
 

@@ -22,11 +22,15 @@ type config = {
   publish_every : int;  (** one publish per this many frames; 0 = never *)
   node : int;  (** estimator slot the publishes target *)
   seed : int;
+  propagation : bool;
+      (** mint a trace context per roundtrip (seeded with [seed]) and
+          send it in the v2 request body *)
 }
 
 val default_config : config
 (** 5000 requests of batch 10 (50k decisions), up to 6 candidates,
-    space up to 4, a publish every 100 frames to node 0, seed 7. *)
+    space up to 4, a publish every 100 frames to node 0, seed 7,
+    propagation off. *)
 
 type report = {
   requests : int;  (** frames completed *)
@@ -39,21 +43,29 @@ type report = {
   p95_ns : float;
   p99_ns : float;
   throughput_rps : float;  (** request frames per second *)
+  trace_id : string option;
+      (** trace id of the final roundtrip, when propagation was on —
+          recent enough to still be in a bounded [/tracez] tail *)
 }
 
 val run :
   ?config:config ->
   ?registry:Mitos_obs.Registry.t ->
   ?client_timeout:float ->
+  ?obs:Mitos_obs.Obs.t ->
   Transport.endpoint ->
   (report, Client.error) result
 (** [Error] only when the connection cannot be established or retries
-    are exhausted mid-run; [Err] replies are counted, not fatal. *)
+    are exhausted mid-run; [Err] replies are counted, not fatal.
+    [obs] (default disabled) is handed to the {!Client} for per-op
+    spans; with [config.propagation] set, its clock also seeds the
+    trace-id generator. *)
 
 val render : report -> string
 (** Human summary; includes the greppable lines
     ["decision requests: N"] and ["retries exhausted: 0|1"] the CI
-    smoke job asserts on. *)
+    smoke job asserts on, plus ["sample trace id: <id>"] when
+    propagation was on. *)
 
 val merge_into_bench_json : path:string -> jobs:int -> report -> unit
 (** Read the bench JSON at [path] (creating a fresh document when the

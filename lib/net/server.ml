@@ -1,6 +1,9 @@
 module Netio = Mitos_obs.Netio
 module Registry = Mitos_obs.Registry
 module Histogram = Mitos_obs.Histogram
+module Obs = Mitos_obs.Obs
+module Tracer = Mitos_obs.Tracer
+module Propagation = Mitos_obs.Propagation
 module Estimator = Mitos_distrib.Estimator
 module Executor = Mitos_parallel.Executor
 
@@ -26,6 +29,10 @@ type t = {
   config : config;
   params : Mitos.Params.t;
   reg : Registry.t;
+  obs : Obs.t;
+  (* Worker domains handle requests concurrently but the tracer is
+     single-writer; completed server spans are recorded under this. *)
+  trace_mu : Mutex.t;
   est : Estimator.t;
   per_op : (string * op_metrics) list;
   decisions_total : Registry.counter;
@@ -38,7 +45,8 @@ type t = {
 
 let op_labels = [ "ping"; "decide"; "publish"; "global"; "node"; "stats" ]
 
-let create ?(config = default_config) ?registry ~params () =
+let create ?(config = default_config) ?registry ?(obs = Obs.disabled) ~params
+    () =
   if config.workers < 0 then invalid_arg "Server.create: negative workers";
   if config.nodes < 1 then invalid_arg "Server.create: nodes must be >= 1";
   let reg = match registry with Some r -> r | None -> Registry.create () in
@@ -62,6 +70,8 @@ let create ?(config = default_config) ?registry ~params () =
     config;
     params;
     reg;
+    obs;
+    trace_mu = Mutex.create ();
     est = Estimator.create ~nodes:config.nodes;
     per_op;
     decisions_total =
@@ -81,6 +91,7 @@ let create ?(config = default_config) ?registry ~params () =
 let registry t = t.reg
 let estimator t = t.est
 let config t = t.config
+let obs t = t.obs
 
 let rec atomic_add cell n =
   let seen = Atomic.get cell in
@@ -145,13 +156,33 @@ let handle_request t (req : Wire.request) : Wire.response =
         global = Estimator.global t.est;
       }
 
+(* Record a completed server span carrying the client's trace context,
+   if the server has an enabled obs. Tracer writes are serialized
+   under [trace_mu] because worker domains handle requests
+   concurrently; the span is recorded with explicit timestamps after
+   the work, so the critical section is just the buffer append. *)
+let record_span t ~trace ~ts0 ~ts1 op =
+  if Obs.enabled t.obs then begin
+    let args =
+      match trace with
+      | Some ctx -> Propagation.to_args ctx
+      | None -> []
+    in
+    Mutex.lock t.trace_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.trace_mu)
+      (fun () ->
+        Tracer.complete (Obs.tracer t.obs) ~args ~ts0 ~ts1 ("server." ^ op))
+  end
+
 let handle_body t body =
   let t0 = Unix.gettimeofday () in
+  let obs_ts0 = if Obs.enabled t.obs then Obs.now t.obs else 0 in
   match Wire.decode_request body with
   | Error err ->
     Registry.incr t.errors_total;
     Wire.encode_response_body ~id:0 (Err (Wire.error_to_string err))
-  | Ok (id, req) ->
+  | Ok (id, trace, req) ->
     atomic_add t.served 1;
     let resp =
       match handle_request t req with
@@ -166,6 +197,9 @@ let handle_body t body =
       Registry.incr m.requests;
       Histogram.observe m.latency ((Unix.gettimeofday () -. t0) *. 1e9)
     | None -> ());
+    record_span t ~trace ~ts0:obs_ts0
+      ~ts1:(if Obs.enabled t.obs then Obs.now t.obs else 0)
+      op;
     Wire.encode_response_body ~id resp
 
 (* -- listeners ----------------------------------------------------------- *)
@@ -202,7 +236,7 @@ let serve_conn t stopping fd peer =
         match Transport.send conn (handle_body t body) with
         | Ok () -> loop ()
         | Error _ -> ())
-      | Error Truncated -> () (* peer closed *)
+      | Error (Truncated _) -> () (* peer closed *)
       | Error err ->
         (* framing is unrecoverable: answer once, then hang up *)
         Registry.incr t.errors_total;

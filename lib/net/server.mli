@@ -47,15 +47,22 @@ type t
 val create :
   ?config:config ->
   ?registry:Mitos_obs.Registry.t ->
+  ?obs:Mitos_obs.Obs.t ->
   params:Mitos.Params.t ->
   unit ->
   t
 (** [registry] defaults to a fresh one (get it back with
-    {!registry}). *)
+    {!registry}). [obs] (default {!Mitos_obs.Obs.disabled}) records
+    one [server.<op>] span per handled request, stamped with the trace
+    context of the originating client when the request carried one;
+    give it a real clock so span timestamps line up across processes.
+    Keep it disabled where determinism matters — the loopback cluster
+    contract does. *)
 
 val registry : t -> Mitos_obs.Registry.t
 val estimator : t -> Mitos_distrib.Estimator.t
 val config : t -> config
+val obs : t -> Mitos_obs.Obs.t
 
 val handle_body : t -> string -> string
 (** The whole service as a function: one request frame body in, one

@@ -160,27 +160,31 @@ let recv_sock s =
         s.consumed <- 0
       end;
       Ok body
-    | Error Truncated -> (
+    | Error (Truncated _) -> (
       match Unix.read s.fd chunk 0 (Bytes.length chunk) with
-      | 0 -> Error Wire.Truncated (* EOF mid-frame (or before one) *)
+      | 0 ->
+        (* EOF mid-frame (or before one); the offset is how much of a
+           frame we were left holding *)
+        Error (Wire.Truncated { offset = Buffer.length s.buf - s.consumed })
       | n ->
         Buffer.add_subbytes s.buf chunk 0 n;
         go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-        Error (Wire.Corrupt "read timeout")
+        Error (Wire.Corrupt { offset = 0; msg = "read timeout" })
       | exception Unix.Unix_error (err, _, _) ->
-        Error (Wire.Corrupt (Unix.error_message err)))
+        Error (Wire.Corrupt { offset = 0; msg = Unix.error_message err }))
     | Error _ as e -> e
   in
   go ()
 
 let recv c =
-  if c.closed then Error (Wire.Corrupt (c.peer ^ ": connection closed"))
+  if c.closed then
+    Error (Wire.Corrupt { offset = 0; msg = c.peer ^ ": connection closed" })
   else
     match c.kind with
     | Mem m -> (
       match Queue.take_opt m.pending with
-      | None -> Error Wire.Truncated
+      | None -> Error (Wire.Truncated { offset = 0 })
       | Some frame ->
         if String.length frame > m.mem_max_frame then
           Error

@@ -1,24 +1,27 @@
 open Mitos_tag
 module Codec = Mitos_util.Codec
+module Propagation = Mitos_obs.Propagation
 
-let version = 1
+let version = 2
+let min_version = 1
 let default_max_frame = 1 lsl 20
 
 type error =
-  | Truncated
+  | Truncated of { offset : int }
   | Oversized of { announced : int; limit : int }
   | Bad_version of int
   | Bad_kind of int
-  | Corrupt of string
+  | Corrupt of { offset : int; msg : string }
 
 let error_to_string = function
-  | Truncated -> "truncated frame"
+  | Truncated { offset } -> Printf.sprintf "truncated frame at byte %d" offset
   | Oversized { announced; limit } ->
     Printf.sprintf "oversized frame: %d bytes announced (limit %d)" announced
       limit
   | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
   | Bad_kind k -> Printf.sprintf "unknown message kind 0x%02x" k
-  | Corrupt msg -> "corrupt frame: " ^ msg
+  | Corrupt { offset; msg } ->
+    Printf.sprintf "corrupt frame at byte %d: %s" offset msg
 
 type decide_request = {
   space : int;
@@ -142,9 +145,9 @@ let unframe ?(max_frame = default_max_frame) buf ~pos =
      String.sub below *)
   let len = String.length buf in
   let rec length_prefix pos shift acc =
-    if pos >= len then Error Truncated
+    if pos >= len then Error (Truncated { offset = pos })
     else if shift > Sys.int_size then
-      Error (Corrupt "frame length varint too long")
+      Error (Corrupt { offset = pos; msg = "frame length varint too long" })
     else
       let b = Char.code buf.[pos] in
       let acc = acc lor ((b land 0x7F) lsl shift) in
@@ -156,20 +159,48 @@ let unframe ?(max_frame = default_max_frame) buf ~pos =
   | Ok (announced, body_pos) ->
     if announced < 0 || announced > max_frame then
       Error (Oversized { announced; limit = max_frame })
-    else if body_pos + announced > len then Error Truncated
+    else if body_pos + announced > len then Error (Truncated { offset = len })
     else Ok (String.sub buf body_pos announced, body_pos + announced)
+
+(* -- trace context ----------------------------------------------------- *)
+
+let enc_trace e (ctx : Propagation.context) =
+  Codec.Enc.string e ctx.trace_id;
+  Codec.Enc.string e ctx.span_id
+
+(* Strict like every other field: ids must be exactly 32/16 lowercase
+   hex chars, so a hostile peer cannot smuggle arbitrary bytes into
+   span args or /tracez queries through the trace field. *)
+let dec_trace d =
+  let trace_id = Codec.Dec.string d in
+  if not (Propagation.is_valid_trace_id trace_id) then
+    raise (Codec.Malformed (Printf.sprintf "invalid trace id %S" trace_id));
+  let span_id = Codec.Dec.string d in
+  if not (Propagation.is_valid_span_id span_id) then
+    raise (Codec.Malformed (Printf.sprintf "invalid span id %S" span_id));
+  { Propagation.trace_id; span_id }
 
 (* -- bodies ------------------------------------------------------------ *)
 
-let body ~id kind payload =
+(* [has_trace]: v2 *request* bodies carry an optional trace context
+   between kind and payload; response bodies never do (the client
+   already knows the context it sent). v1 request bodies have no trace
+   field either — encoding a context at version 1 is a caller bug. *)
+let body ?(version = version) ?trace ~has_trace ~id kind payload =
+  if version < 2 && trace <> None then
+    invalid_arg "Wire: trace context requires protocol version >= 2";
   let e = Codec.Enc.create () in
   Codec.Enc.uint e version;
   Codec.Enc.uint e id;
   Codec.Enc.uint e kind;
+  if version >= 2 && has_trace then Codec.Enc.option e (enc_trace e) trace;
   payload e;
   Codec.Enc.contents e
 
-let encode_request_body ~id req =
+let encode_request_body ?version ?trace ~id req =
+  let body ~id kind payload =
+    body ?version ?trace ~has_trace:true ~id kind payload
+  in
   (match req with
     | Ping -> body ~id k_ping (fun _ -> ())
     | Decide batch ->
@@ -183,6 +214,7 @@ let encode_request_body ~id req =
     | Query_stats -> body ~id k_stats (fun _ -> ()))
 
 let encode_response_body ~id resp =
+  let body ~id kind payload = body ~has_trace:false ~id kind payload in
   (match resp with
     | Pong -> body ~id k_pong (fun _ -> ())
     | Decisions batches ->
@@ -201,29 +233,37 @@ let encode_response_body ~id resp =
           Codec.Enc.float e s.global)
     | Err msg -> body ~id k_err (fun e -> Codec.Enc.string e msg))
 
-let encode_request ~id req = frame (encode_request_body ~id req)
+let encode_request ?version ?trace ~id req =
+  frame (encode_request_body ?version ?trace ~id req)
+
 let encode_response ~id resp = frame (encode_response_body ~id resp)
 
-let decode_body which decode_payload s =
+let decode_body which ~read_trace decode_payload s =
+  let d = Codec.Dec.of_string s in
   match
-    let d = Codec.Dec.of_string s in
     let v = Codec.Dec.uint d in
-    if v <> version then Error (Bad_version v)
+    if v < min_version || v > version then Error (Bad_version v)
     else
       let id = Codec.Dec.uint d in
       let kind = Codec.Dec.uint d in
+      let trace =
+        if read_trace && v >= 2 then Codec.Dec.option d dec_trace else None
+      in
       match decode_payload d kind with
       | None -> Error (Bad_kind kind)
       | Some msg ->
         Codec.Dec.expect_end d;
-        Ok (id, msg)
+        Ok (id, trace, msg)
   with
   | result -> result
   | exception Codec.Malformed msg ->
-    Error (Corrupt (Printf.sprintf "%s: %s" which msg))
+    Error
+      (Corrupt
+         { offset = Codec.Dec.pos d;
+           msg = Printf.sprintf "%s: %s" which msg })
 
 let decode_request s =
-  decode_body "request"
+  decode_body "request" ~read_trace:true
     (fun d kind ->
       if kind = k_ping then Some Ping
       else if kind = k_decide then
@@ -239,8 +279,9 @@ let decode_request s =
     s
 
 let decode_response s =
-  decode_body "response"
-    (fun d kind ->
+  match
+    decode_body "response" ~read_trace:false
+      (fun d kind ->
       if kind = k_pong then Some Pong
       else if kind = k_decisions then
         Some (Decisions (Codec.Dec.list d (fun d -> Codec.Dec.list d dec_decided)))
@@ -256,14 +297,20 @@ let decode_response s =
         Some (Stats { served; decided; publishes; nodes; global })
       else if kind = k_err then Some (Err (Codec.Dec.string d))
       else None)
-    s
+      s
+  with
+  | Ok (id, _trace, resp) -> Ok (id, resp)
+  | Error _ as e -> e
 
 let exactly_one_frame ?max_frame decode s =
   match unframe ?max_frame s ~pos:0 with
   | Error _ as e -> e
   | Ok (body, pos) ->
     if pos <> String.length s then
-      Error (Corrupt (Printf.sprintf "%d bytes after frame" (String.length s - pos)))
+      Error
+        (Corrupt
+           { offset = pos;
+             msg = Printf.sprintf "%d bytes after frame" (String.length s - pos) })
     else decode body
 
 let decode_request_frame ?max_frame s =

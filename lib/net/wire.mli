@@ -9,42 +9,62 @@
     policy is bit-exact — the property behind the loopback cluster's
     byte-identical-to-in-process contract.
 
-    {b Frame layout} (byte-by-byte in DESIGN §11):
+    {b Frame layout} (byte-by-byte in DESIGN §11–12):
 
     {v
     varint  L        length of the body that follows
     -- body (L bytes) --
-    byte    version  protocol version, currently 1
+    byte    version  protocol version: 1 or 2
     varint  id       request id, echoed verbatim in the response
     byte    kind     message discriminator
+    [trace]          v2 request bodies only: optional trace context
     ...              per-message payload
     v}
+
+    Version 2 adds an optional trace context to {e request} bodies —
+    a presence byte then two length-prefixed lowercase-hex strings
+    (32-char trace id, 16-char span id) — so a client span and the
+    server worker executing the request share one trace. Response
+    bodies are unchanged. Version-1 bodies still decode (the trace is
+    [None]); decoders accept both.
 
     {b Decoding is strict and bounded}: every failure is a typed
     {!error}, never an exception, and no decode path allocates the
     {e announced} size of anything — {!unframe} rejects an announced
     length beyond [max_frame] before touching the payload, and
-    in-body strings/lists fail on the first missing byte. *)
+    in-body strings/lists fail on the first missing byte. Trace ids
+    are validated as strictly as every other field. Errors carry the
+    byte offset where decoding failed. *)
 
 open Mitos_tag
+module Propagation = Mitos_obs.Propagation
 
 val version : int
-(** Current protocol version (1). *)
+(** Current protocol version (2). *)
+
+val min_version : int
+(** Oldest version decoders still accept (1). *)
 
 val default_max_frame : int
 (** 1 MiB — the default bound {!unframe} enforces on announced frame
     lengths. *)
 
 (** Decode failures. [Truncated] from {!unframe} means "incomplete,
-    read more bytes"; every other case is a protocol violation. *)
+    read more bytes"; every other case is a protocol violation.
+    [offset] is the byte position (within the buffer for {!unframe},
+    within the body for body decoders) where decoding failed — it
+    travels in the [Err] frame the server sends back, which is what
+    makes v1/v2 interop bugs debuggable from the client side. *)
 type error =
-  | Truncated  (** input ends before the announced frame does *)
+  | Truncated of { offset : int }
+      (** input ends before the announced frame does *)
   | Oversized of { announced : int; limit : int }
       (** length prefix beyond [max_frame]; nothing was allocated *)
   | Bad_version of int  (** version byte we do not speak *)
   | Bad_kind of int  (** unknown message discriminator *)
-  | Corrupt of string  (** anything else: overlong varint, bad bool,
-                           unknown tag type, trailing bytes, ... *)
+  | Corrupt of { offset : int; msg : string }
+      (** anything else: overlong varint, bad bool, unknown tag type,
+          invalid trace id, trailing bytes, ... *)
 
 val error_to_string : error -> string
 
@@ -101,12 +121,16 @@ val request_kind : request -> string
 
 (** {1 Encoding} *)
 
-val encode_request : id:int -> request -> string
-(** One complete frame, length prefix included. *)
+val encode_request :
+  ?version:int -> ?trace:Propagation.context -> id:int -> request -> string
+(** One complete frame, length prefix included. [version] defaults to
+    the current version; [?trace] attaches a trace context (v2 only —
+    raises [Invalid_argument] if [version < 2] and a trace is given). *)
 
 val encode_response : id:int -> response -> string
 
-val encode_request_body : id:int -> request -> string
+val encode_request_body :
+  ?version:int -> ?trace:Propagation.context -> id:int -> request -> string
 (** The frame body alone — what {!Transport.send} expects (the
     transport adds the length prefix where the medium needs one). *)
 
@@ -126,13 +150,16 @@ val unframe :
     transport reads more and retries); [Error (Oversized _)] when the
     announced length exceeds [max_frame]. *)
 
-val decode_request : string -> (int * request, error) result
-(** Decode an unframed body to [(id, request)]. *)
+val decode_request :
+  string -> (int * Propagation.context option * request, error) result
+(** Decode an unframed body to [(id, trace, request)]. The trace is
+    [None] for v1 bodies and v2 bodies sent without one. *)
 
 val decode_response : string -> (int * response, error) result
 
 val decode_request_frame :
-  ?max_frame:int -> string -> (int * request, error) result
+  ?max_frame:int -> string ->
+  (int * Propagation.context option * request, error) result
 (** {!unframe} + {!decode_request}, requiring the input to be exactly
     one frame (trailing bytes are [Corrupt]). *)
 

@@ -1,0 +1,64 @@
+type row = { stack : string list; self : int; total : int; count : int }
+
+(* Frame names feed a semicolon-separated collapsed-stack line;
+   flamegraph.pl splits on ';' and on the final ' ', so both are
+   replaced. *)
+let sanitize_frame name =
+  String.map (function ';' | ' ' -> '_' | c -> c) name
+
+let fold ?root tracer =
+  let tbl : (string list, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  let add stack self total =
+    let stack = match root with None -> stack | Some r -> stack @ [ r ] in
+    let s0, t0, c0 =
+      Option.value (Hashtbl.find_opt tbl stack) ~default:(0, 0, 0)
+    in
+    Hashtbl.replace tbl stack (s0 + self, t0 + total, c0 + 1)
+  in
+  (* Stack of open frames, innermost first: name, begin ts, time
+     attributed to children so far. *)
+  let open_frames = ref [] in
+  Array.iter
+    (fun ev ->
+      match (ev : Tracer.event) with
+      | Begin { name; ts; _ } ->
+        open_frames := (sanitize_frame name, ts, ref 0) :: !open_frames
+      | End { ts } -> (
+        match !open_frames with
+        | [] -> ()
+        | (name, ts0, children) :: rest ->
+          open_frames := rest;
+          let total = max 0 (ts - ts0) in
+          let self = max 0 (total - !children) in
+          (match rest with
+          | (_, _, parent_children) :: _ ->
+            parent_children := !parent_children + total
+          | [] -> ());
+          let stack = name :: List.map (fun (n, _, _) -> n) rest in
+          add stack self total)
+      | Instant _ | Counter _ -> ())
+    (Tracer.events tracer);
+  Hashtbl.fold
+    (fun stack (self, total, count) acc ->
+      { stack; self; total; count } :: acc)
+    tbl []
+  (* [stack] is innermost-first here; render flips it. Sort by the
+     rendered (root-first) frame list for deterministic output. *)
+  |> List.map (fun r -> { r with stack = List.rev r.stack })
+  |> List.sort (fun a b -> compare a.stack b.stack)
+
+let render_rows ?(scale = 1) rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      if r.self * scale > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" (String.concat ";" r.stack) (r.self * scale)))
+    rows;
+  Buffer.contents buf
+
+let collapse ?root ?scale tracer = render_rows ?scale (fold ?root tracer)
+
+let top ?(n = 10) rows =
+  List.sort (fun a b -> compare b.self a.self) rows
+  |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,30 @@
+(** Span-tracer profiler: folds the tracer's begin/end events into
+    collapsed-stack rows (the flamegraph.pl input format — one line
+    per distinct stack, "frame;frame;frame <self-weight>").
+
+    Self time is a span's duration minus the durations of its direct
+    children; weights are in clock ticks (µs on the real clock) unless
+    scaled. Call [Tracer.finish] first so every span is closed. *)
+
+type row = {
+  stack : string list;  (** root-first frame names *)
+  self : int;  (** ticks not covered by child spans *)
+  total : int;  (** ticks including children *)
+  count : int;  (** completed spans folded into this row *)
+}
+
+val fold : ?root:string -> Tracer.t -> row list
+(** Distinct stacks, deterministically sorted. [?root] prepends a
+    synthetic root frame — used to merge client and server tracers
+    into one flamegraph. Frame names have [';'] and [' '] replaced
+    with ['_']. *)
+
+val render_rows : ?scale:int -> row list -> string
+(** Collapsed-stack text; weights multiplied by [scale] (default 1);
+    zero-weight rows are omitted. *)
+
+val collapse : ?root:string -> ?scale:int -> Tracer.t -> string
+(** [render_rows ?scale (fold ?root tracer)]. *)
+
+val top : ?n:int -> row list -> row list
+(** Heaviest rows by self time, at most [n] (default 10). *)

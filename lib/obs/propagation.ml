@@ -1,0 +1,39 @@
+type context = { trace_id : string; span_id : string }
+
+type t = { mutable state : int64; clock : Obs_clock.t }
+
+(* splitmix64: a tiny, well-mixed PRNG. Each [next] also folds in the
+   current clock tick so ids differ between runs on the real clock but
+   stay reproducible on a logical clock with a fixed seed. *)
+let golden = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let create ?(seed = 0) clock = { state = Int64.of_int seed; clock }
+
+let next t =
+  let tick = Int64.of_int (Obs_clock.now t.clock) in
+  t.state <- Int64.add t.state golden;
+  mix64 (Int64.logxor t.state (Int64.mul tick golden))
+
+let hex16 v = Printf.sprintf "%016Lx" v
+
+let fresh t =
+  let hi = next t and lo = next t in
+  let span = next t in
+  { trace_id = hex16 hi ^ hex16 lo; span_id = hex16 span }
+
+let child t parent = { parent with span_id = hex16 (next t) }
+
+let is_hex s =
+  String.for_all
+    (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+    s
+
+let is_valid_trace_id s = String.length s = 32 && is_hex s
+let is_valid_span_id s = String.length s = 16 && is_hex s
+
+let to_args ctx = [ ("trace_id", ctx.trace_id); ("span_id", ctx.span_id) ]

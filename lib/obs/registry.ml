@@ -18,17 +18,16 @@ type metric = {
    server, which renders from its own domain while the instrumented
    run keeps resolving handles. Instrument *updates* stay lock-free:
    they go through the handles returned here, never through the
-   table. *)
+   table. The lock is a {!Contended} mutex so exposition-vs-creation
+   contention shows up in the lock metrics it itself exports. *)
 type t = {
   tbl : (string * (string * string) list, metric) Hashtbl.t;
-  lock : Mutex.t;
+  lock : Contended.t;
 }
 
-let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+let create () = { tbl = Hashtbl.create 64; lock = Contended.create "registry" }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Contended.with_lock t.lock f
 
 let norm_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels

@@ -13,10 +13,13 @@ type route = {
   path : string;
   file : string;
   describe : string;
-  payload : unit -> payload;
+  payload : (string * string) list -> payload;
 }
 
-let route ?(describe = "") ~file path payload = { path; file; describe; payload }
+let route ?(describe = "") ~file path payload =
+  { path; file; describe; payload = (fun _query -> payload ()) }
+
+let route_q ?(describe = "") ~file path payload = { path; file; describe; payload }
 
 (* -- HTTP plumbing --------------------------------------------------- *)
 
@@ -66,7 +69,22 @@ let read_head fd =
   in
   go ()
 
-(* First request line → (method, path-without-query). *)
+(* "a=1&b=2" → [("a","1"); ("b","2")]. No percent-decoding: route
+   payloads that care (e.g. /tracez?trace_id=) match hex ids, which
+   never need escaping. Keys without '=' get the empty value. *)
+let parse_query s =
+  String.split_on_char '&' s
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (kv, "")
+           | Some eq ->
+             Some
+               ( String.sub kv 0 eq,
+                 String.sub kv (eq + 1) (String.length kv - eq - 1) ))
+
+(* First request line → (method, path, query pairs). *)
 let parse_request head =
   match String.index_opt head '\r' with
   | None -> None
@@ -74,15 +92,18 @@ let parse_request head =
     let line = String.sub head 0 eol in
     match String.split_on_char ' ' line with
     | meth :: target :: _ ->
-      let path =
+      let path, query =
         match String.index_opt target '?' with
-        | Some q -> String.sub target 0 q
-        | None -> target
+        | Some q ->
+          ( String.sub target 0 q,
+            parse_query
+              (String.sub target (q + 1) (String.length target - q - 1)) )
+        | None -> (target, [])
       in
-      Some (meth, path)
+      Some (meth, path, query)
     | _ -> None)
 
-let index_payload routes () =
+let index_payload routes _query =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "mitos telemetry endpoints:\n";
   List.iter
@@ -97,13 +118,13 @@ let handle routes fd =
   let reply =
     match parse_request head with
     | None -> text ~status:500 "malformed request\n"
-    | Some (meth, _) when meth <> "GET" ->
+    | Some (meth, _, _) when meth <> "GET" ->
       text ~status:405 "only GET is supported\n"
-    | Some (_, path) -> (
+    | Some (_, path, query) -> (
       match List.find_opt (fun r -> r.path = path) routes with
       | None -> text ~status:404 (Printf.sprintf "no route %s\n" path)
       | Some r -> (
-        try r.payload ()
+        try r.payload query
         with exn ->
           text ~status:500 (Printf.sprintf "%s\n" (Printexc.to_string exn))))
   in
@@ -187,7 +208,7 @@ let oneshot ~dir routes =
   List.map
     (fun r ->
       let path = Filename.concat dir r.file in
-      let p = r.payload () in
+      let p = r.payload [] in
       let oc = open_out path in
       Fun.protect
         ~finally:(fun () -> close_out oc)

@@ -45,11 +45,20 @@ type route = {
                       stripped before matching *)
   file : string;  (** file name used by {!oneshot}, e.g. "metrics.prom" *)
   describe : string;  (** one line for the index page *)
-  payload : unit -> payload;  (** evaluated per request; exceptions
-                                  become a 500 *)
+  payload : (string * string) list -> payload;
+      (** evaluated per request with the parsed query-string pairs
+          (empty for {!oneshot}); exceptions become a 500 *)
 }
 
 val route : ?describe:string -> file:string -> string -> (unit -> payload) -> route
+(** A query-insensitive route: the thunk runs whatever the query says. *)
+
+val route_q :
+  ?describe:string -> file:string -> string ->
+  ((string * string) list -> payload) -> route
+(** A query-aware route: the payload receives the query pairs in
+    request order, keys and values verbatim (no percent-decoding).
+    {!oneshot} evaluates it with an empty query. *)
 
 type t
 

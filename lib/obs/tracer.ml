@@ -65,6 +65,12 @@ let span_end t =
        whose Begin was dropped drops its End silently as well. *)
     if retained then append t (End { ts = Obs_clock.now t.clock })
 
+let complete t ?(args = []) ~ts0 ~ts1 name =
+  (* A retrospective span with explicit timestamps: Begin and End land
+     together, so open_spans bookkeeping is not involved. Capacity
+     applies to the pair — if the Begin is dropped the End is too. *)
+  if push t (Begin { name; ts = ts0; args }) then append t (End { ts = ts1 })
+
 let with_span t ?args name f =
   span_begin t ?args name;
   Fun.protect ~finally:(fun () -> span_end t) f

@@ -35,6 +35,13 @@ val span_end : t -> unit
 val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Ends the span even if the function raises. *)
 
+val complete : t -> ?args:(string * string) list -> ts0:int -> ts1:int -> string -> unit
+(** Record an already-finished span with explicit begin/end ticks —
+    for work measured elsewhere (e.g. a server worker that timed its
+    handler) and recorded after the fact. Must not be interleaved with
+    an open [span_begin] from another caller: appends Begin and End
+    adjacently, so call it only between top-level spans. *)
+
 val instant : t -> ?args:(string * string) list -> string -> unit
 
 val counter : t -> string -> (string * float) list -> unit

@@ -1,6 +1,8 @@
+module Contended = Mitos_obs.Contended
+
 type t = {
   name : string;
-  lock : Mutex.t;
+  lock : Contended.t;
   work : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable stopping : bool;
@@ -14,19 +16,19 @@ let run_task t task =
 
 let worker_loop t =
   let rec next () =
-    Mutex.lock t.lock;
+    Contended.lock t.lock;
     let rec wait () =
       match Queue.take_opt t.queue with
       | Some task ->
-        Mutex.unlock t.lock;
+        Contended.unlock t.lock;
         Some task
       | None ->
         if t.stopping then begin
-          Mutex.unlock t.lock;
+          Contended.unlock t.lock;
           None
         end
         else begin
-          Condition.wait t.work t.lock;
+          Contended.wait t.lock t.work;
           wait ()
         end
     in
@@ -43,7 +45,7 @@ let create ?(name = "executor") ~workers () =
   let t =
     {
       name;
-      lock = Mutex.create ();
+      lock = Contended.create ("executor:" ^ name);
       work = Condition.create ();
       queue = Queue.create ();
       stopping = false;
@@ -64,30 +66,30 @@ let submit t task =
     run_task t task
   end
   else begin
-    Mutex.lock t.lock;
+    Contended.lock t.lock;
     if t.stopping then begin
-      Mutex.unlock t.lock;
+      Contended.unlock t.lock;
       invalid_arg (Printf.sprintf "Executor.submit: %s is shut down" t.name)
     end;
     Queue.add task t.queue;
     Condition.signal t.work;
-    Mutex.unlock t.lock
+    Contended.unlock t.lock
   end
 
 let pending t =
-  Mutex.lock t.lock;
+  Contended.lock t.lock;
   let n = Queue.length t.queue in
-  Mutex.unlock t.lock;
+  Contended.unlock t.lock;
   n
 
 let failures t = Atomic.get t.failures
 
 let shutdown t =
-  Mutex.lock t.lock;
+  Contended.lock t.lock;
   let already = t.stopping in
   t.stopping <- true;
   Condition.broadcast t.work;
-  Mutex.unlock t.lock;
+  Contended.unlock t.lock;
   if not already then begin
     List.iter Domain.join t.domains;
     t.domains <- []

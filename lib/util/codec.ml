@@ -106,6 +106,7 @@ module Dec = struct
     let n = uint t in
     Array.init n (fun _ -> f t)
 
+  let pos t = t.pos
   let at_end t = t.pos >= String.length t.data
 
   let expect_end t =

@@ -42,6 +42,11 @@ module Dec : sig
   val option : t -> (t -> 'a) -> 'a option
   val list : t -> (t -> 'a) -> 'a list
   val array : t -> (t -> 'a) -> 'a array
+
+  val pos : t -> int
+  (** Current read offset in bytes — where decoding stands (or where
+      it failed, when reading raised [Malformed]). *)
+
   val at_end : t -> bool
   val expect_end : t -> unit
   (** Raises [Malformed] if bytes remain. *)

@@ -97,12 +97,47 @@ let gen_response =
         map (fun s -> Wire.Err s) (string_size (int_bound 80));
       ])
 
+let gen_trace =
+  QCheck.Gen.(
+    map3
+      (fun a b c ->
+        {
+          Mitos_obs.Propagation.trace_id = Printf.sprintf "%016x%016x" a b;
+          span_id = Printf.sprintf "%016x" c;
+        })
+      (int_bound max_int) (int_bound max_int) (int_bound max_int))
+
 let qcheck_request_roundtrip =
   QCheck.Test.make ~name:"encode/decode request = id" ~count:500
     QCheck.(make gen_request)
     (fun req ->
       match Wire.decode_request_frame (Wire.encode_request ~id:7 req) with
-      | Ok (7, req') -> req' = req
+      | Ok (7, None, req') -> req' = req
+      | _ -> false)
+
+(* v2 with and without a trace context: the decoded triple returns
+   exactly what was sent *)
+let qcheck_request_trace_roundtrip =
+  QCheck.Test.make ~name:"encode/decode request+trace = id" ~count:500
+    QCheck.(make Gen.(pair gen_request (option gen_trace)))
+    (fun (req, trace) ->
+      match
+        Wire.decode_request_frame (Wire.encode_request ?trace ~id:7 req)
+      with
+      | Ok (7, trace', req') -> req' = req && trace' = trace
+      | _ -> false)
+
+(* a v1 peer's frames must keep decoding under the v2 decoder (no
+   trace field to read), and a v2 encoder asked for v1 must refuse to
+   smuggle a trace into a version that has no field for it *)
+let qcheck_v1_frames_decode_under_v2 =
+  QCheck.Test.make ~name:"v1 frames decode under v2, trace None" ~count:500
+    QCheck.(make gen_request)
+    (fun req ->
+      match
+        Wire.decode_request_frame (Wire.encode_request ~version:1 ~id:3 req)
+      with
+      | Ok (3, None, req') -> req' = req
       | _ -> false)
 
 let qcheck_response_roundtrip =
@@ -122,7 +157,7 @@ let qcheck_truncation_never_raises =
       List.for_all
         (fun len ->
           match Wire.decode_request_frame (String.sub frame 0 len) with
-          | Error Wire.Truncated -> true
+          | Error (Wire.Truncated _) -> true
           | _ -> false)
         (List.init (String.length frame) Fun.id))
 
@@ -134,7 +169,7 @@ let check_error name expect got =
     | Ok _ -> "Ok"
     | Error err -> (
       match (err : Wire.error) with
-      | Truncated -> "Truncated"
+      | Truncated _ -> "Truncated"
       | Oversized _ -> "Oversized"
       | Bad_version v -> Printf.sprintf "Bad_version %d" v
       | Bad_kind k -> Printf.sprintf "Bad_kind %d" k
@@ -189,6 +224,61 @@ let test_wire_trailing_garbage () =
      a body-level Corrupt (the version byte is missing) *)
   check_error "empty buffer" "Truncated" (Wire.decode_request_frame "");
   check_error "empty body" "Corrupt" (Wire.decode_request "")
+
+(* a byte-literal v1 ping frame body (version 1, id 7, kind 0x01):
+   the compatibility contract pinned to concrete bytes, independent of
+   our own encoder *)
+let test_wire_v1_fixture () =
+  (match Wire.decode_request "\x01\x07\x01" with
+  | Ok (7, None, Wire.Ping) -> ()
+  | _ -> Alcotest.fail "v1 ping fixture must decode");
+  (* and the v2 form of the same request, with a trace context *)
+  let trace =
+    {
+      Mitos_obs.Propagation.trace_id = String.make 32 'a';
+      span_id = String.make 16 'b';
+    }
+  in
+  (match Wire.decode_request (Wire.encode_request_body ~trace ~id:7 Wire.Ping) with
+  | Ok (7, Some t, Wire.Ping) ->
+    Alcotest.(check string) "trace id survives" trace.trace_id
+      t.Mitos_obs.Propagation.trace_id;
+    Alcotest.(check string) "span id survives" trace.span_id
+      t.Mitos_obs.Propagation.span_id
+  | _ -> Alcotest.fail "v2 ping with trace must decode");
+  (* asking the encoder for v1 with a trace is a caller bug *)
+  Alcotest.(check bool) "v1 + trace rejected" true
+    (try
+       ignore (Wire.encode_request_body ~version:1 ~trace ~id:1 Wire.Ping);
+       false
+     with Invalid_argument _ -> true);
+  (* a corrupted trace field (invalid hex) is Corrupt, not a crash *)
+  let body = Wire.encode_request_body ~trace ~id:7 Wire.Ping in
+  let zapped = Bytes.of_string body in
+  (* the 'a' run is the trace id; zap one char to non-hex *)
+  (match String.index body 'a' with
+  | i -> Bytes.set zapped i 'z'
+  | exception Not_found -> Alcotest.fail "trace id bytes not found");
+  check_error "invalid trace hex" "Corrupt"
+    (Wire.decode_request (Bytes.to_string zapped))
+
+let test_wire_error_offsets () =
+  (* the reported byte offset points at the failure, not at zero *)
+  (match Wire.decode_request_frame "" with
+  | Error (Wire.Truncated { offset }) ->
+    Alcotest.(check int) "empty buffer fails at 0" 0 offset
+  | _ -> Alcotest.fail "expected Truncated");
+  let frame = Wire.encode_request ~id:1 Wire.Ping in
+  (match Wire.decode_request_frame (String.sub frame 0 2) with
+  | Error (Wire.Truncated { offset }) ->
+    Alcotest.(check bool) "truncation offset past length prefix" true
+      (offset > 0)
+  | _ -> Alcotest.fail "expected Truncated");
+  match Wire.decode_request_frame (frame ^ "zz") with
+  | Error (Wire.Corrupt { offset; _ }) ->
+    Alcotest.(check int) "trailing bytes flagged at frame end" 
+      (String.length frame) offset
+  | _ -> Alcotest.fail "expected Corrupt"
 
 let test_wire_unknown_tag_type () =
   (* candidate with tag-type 200: Corrupt, not Invalid_argument *)
@@ -348,7 +438,7 @@ let test_retry_then_succeed () =
       end
       else
         match Wire.decode_request body with
-        | Ok (id, Wire.Ping) -> Wire.encode_response_body ~id Wire.Pong
+        | Ok (id, _, Wire.Ping) -> Wire.encode_response_body ~id Wire.Pong
         | _ -> Wire.encode_response_body ~id:0 (Wire.Err "unexpected"));
   Fun.protect
     ~finally:(fun () -> Transport.Loopback.unregister name)
@@ -521,6 +611,98 @@ let test_loadgen_deterministic_stream () =
   Alcotest.(check int) "publishes equal" p1 p2;
   Alcotest.(check (float 0.0)) "final global bit-equal" g1 g2
 
+(* the tentpole acceptance check: with propagation on, server decide
+   spans carry the trace id the client minted, so /tracez can stitch
+   one distributed trace across both processes *)
+let test_loadgen_trace_propagation_stitches () =
+  let obs_server =
+    Mitos_obs.Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) ()
+  in
+  let service = Server.create ~obs:obs_server ~params () in
+  let listener =
+    Server.start service (Transport.Tcp { host = "127.0.0.1"; port = 0 })
+  in
+  let obs_client =
+    Mitos_obs.Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) ()
+  in
+  let config =
+    { loadgen_config with Loadgen.requests = 100; propagation = true }
+  in
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Server.stop listener)
+      (fun () ->
+        match
+          Loadgen.run ~config ~client_timeout:5.0 ~obs:obs_client
+            (Server.endpoint listener)
+        with
+        | Ok r -> r
+        | Error err -> Alcotest.fail (Client.error_to_string err))
+  in
+  let sample =
+    match report.Loadgen.trace_id with
+    | Some id -> id
+    | None -> Alcotest.fail "propagation on but no sample trace id"
+  in
+  Alcotest.(check bool) "sample id is valid" true
+    (Mitos_obs.Propagation.is_valid_trace_id sample);
+  (* every server span must carry a client-minted trace id *)
+  let stitched = ref 0 and total = ref 0 in
+  Array.iter
+    (function
+      | Mitos_obs.Tracer.Begin { name; args; _ }
+        when String.length name >= 7 && String.sub name 0 7 = "server." ->
+        incr total;
+        if
+          List.exists
+            (fun (k, v) ->
+              k = "trace_id" && Mitos_obs.Propagation.is_valid_trace_id v)
+            args
+        then incr stitched
+      | _ -> ())
+    (Mitos_obs.Tracer.events (Mitos_obs.Obs.tracer obs_server));
+  Alcotest.(check bool) "server recorded spans" true (!total > 0);
+  Alcotest.(check int) "every server span carries a trace id" !total
+    !stitched;
+  (* the sample id in particular appears on the server side *)
+  Alcotest.(check bool) "sample trace id stitches" true
+    (let jsonl =
+       Mitos_obs.Chrome_trace.to_jsonl (Mitos_obs.Obs.tracer obs_server)
+     in
+     let n = String.length sample and h = String.length jsonl in
+     let rec go i = i + n <= h && (String.sub jsonl i n = sample || go (i + 1)) in
+     go 0);
+  (* and the render advertises it for /tracez?trace_id= queries *)
+  let rendered = Loadgen.render report in
+  Alcotest.(check bool) "render prints the sample id" true
+    (let needle = "sample trace id" in
+     let n = String.length needle and h = String.length rendered in
+     let rec go i =
+       i + n <= h && (String.sub rendered i n = needle || go (i + 1))
+     in
+     go 0)
+
+(* propagation must not change what the service computes: same seed,
+   same final estimator state with and without it *)
+let test_loadgen_propagation_state_identical () =
+  let final_global propagation =
+    with_server @@ fun _service ep ->
+    (match
+       Loadgen.run ~config:{ loadgen_config with Loadgen.propagation } ep
+     with
+    | Ok _ -> ()
+    | Error err -> Alcotest.fail (Client.error_to_string err));
+    let c = ok_client (Client.connect ep) in
+    let stats = ok_client (Client.stats c) in
+    Client.close c;
+    (stats.Wire.served, stats.Wire.decided, stats.Wire.global)
+  in
+  let s1, d1, g1 = final_global false in
+  let s2, d2, g2 = final_global true in
+  Alcotest.(check int) "served equal" s1 s2;
+  Alcotest.(check int) "decided equal" d1 d2;
+  Alcotest.(check (float 0.0)) "global bit-equal" g1 g2
+
 let test_loadgen_bench_merge () =
   let path = Filename.temp_file "mitos_bench" ".json" in
   Fun.protect
@@ -570,6 +752,11 @@ let () =
             test_wire_trailing_garbage;
           Alcotest.test_case "unknown tag type" `Quick
             test_wire_unknown_tag_type;
+          QCheck_alcotest.to_alcotest qcheck_request_trace_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_v1_frames_decode_under_v2;
+          Alcotest.test_case "v1 fixture + v2 trace" `Quick
+            test_wire_v1_fixture;
+          Alcotest.test_case "error offsets" `Quick test_wire_error_offsets;
         ] );
       ( "transport",
         [
@@ -608,6 +795,10 @@ let () =
         [
           Alcotest.test_case "deterministic stream" `Quick
             test_loadgen_deterministic_stream;
+          Alcotest.test_case "trace propagation stitches" `Quick
+            test_loadgen_trace_propagation_stitches;
+          Alcotest.test_case "propagation state-identical" `Quick
+            test_loadgen_propagation_state_identical;
           Alcotest.test_case "bench merge" `Quick test_loadgen_bench_merge;
         ] );
     ]

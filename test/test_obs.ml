@@ -763,6 +763,221 @@ let unescape_label s =
   go 0;
   Buffer.contents buf
 
+(* -- Propagation ---------------------------------------------------- *)
+
+let test_propagation_deterministic () =
+  let mk () = Propagation.create ~seed:3 (Obs_clock.logical ()) in
+  let a = Propagation.fresh (mk ()) and b = Propagation.fresh (mk ()) in
+  Alcotest.(check string) "trace id is a clock/seed function"
+    a.Propagation.trace_id b.Propagation.trace_id;
+  Alcotest.(check string) "span id too" a.Propagation.span_id
+    b.Propagation.span_id;
+  let p = mk () in
+  let c1 = Propagation.fresh p and c2 = Propagation.fresh p in
+  Alcotest.(check bool) "consecutive traces distinct" true
+    (c1.Propagation.trace_id <> c2.Propagation.trace_id)
+
+let test_propagation_validity_and_child () =
+  let p = Propagation.create (Obs_clock.logical ()) in
+  let ctx = Propagation.fresh p in
+  Alcotest.(check bool) "trace id valid" true
+    (Propagation.is_valid_trace_id ctx.Propagation.trace_id);
+  Alcotest.(check bool) "span id valid" true
+    (Propagation.is_valid_span_id ctx.Propagation.span_id);
+  let child = Propagation.child p ctx in
+  Alcotest.(check string) "child keeps the trace" ctx.Propagation.trace_id
+    child.Propagation.trace_id;
+  Alcotest.(check bool) "child gets its own span" true
+    (child.Propagation.span_id <> ctx.Propagation.span_id);
+  Alcotest.(check bool) "bad ids rejected" false
+    (Propagation.is_valid_trace_id (String.make 32 'g')
+    || Propagation.is_valid_trace_id "abc"
+    || Propagation.is_valid_span_id (String.make 17 'a'));
+  match Propagation.to_args ctx with
+  | [ ("trace_id", t); ("span_id", sp) ] ->
+    Alcotest.(check string) "args trace" ctx.Propagation.trace_id t;
+    Alcotest.(check string) "args span" ctx.Propagation.span_id sp
+  | _ -> Alcotest.fail "to_args shape"
+
+(* -- Contended ------------------------------------------------------ *)
+
+let test_contended_counts () =
+  let m = Contended.create "t_counts" in
+  Contended.lock m;
+  Contended.unlock m;
+  Contended.with_lock m (fun () -> ());
+  let st = Contended.stats m in
+  Alcotest.(check int) "acquisitions" 2 st.Contended.acquisitions;
+  Alcotest.(check int) "uncontended so far" 0 st.Contended.contended;
+  Alcotest.(check bool) "hold accounted" true (st.Contended.hold_ns_total >= 0);
+  Alcotest.(check bool) "max <= total" true
+    (st.Contended.hold_ns_max <= max st.Contended.hold_ns_total 0
+    || st.Contended.acquisitions = 0);
+  Alcotest.(check string) "name" "t_counts" (Contended.name m)
+
+let test_contended_contention_counted () =
+  let m = Contended.create "t_contend" in
+  Contended.lock m;
+  let d =
+    Domain.spawn (fun () -> Contended.with_lock m (fun () -> 42))
+  in
+  (* hold long enough that the domain's try_lock fast path fails *)
+  Unix.sleepf 0.05;
+  Contended.unlock m;
+  Alcotest.(check int) "domain got the lock" 42 (Domain.join d);
+  let st = Contended.stats m in
+  Alcotest.(check int) "two acquisitions" 2 st.Contended.acquisitions;
+  Alcotest.(check int) "one contended" 1 st.Contended.contended;
+  Alcotest.(check bool) "wait time recorded" true
+    (st.Contended.wait_ns_total > 0)
+
+let test_contended_aggregate_and_wait () =
+  let a1 = Contended.create "t_agg" and a2 = Contended.create "t_agg" in
+  Contended.lock a1;
+  Contended.unlock a1;
+  Contended.lock a2;
+  Contended.unlock a2;
+  (match List.assoc_opt "t_agg" (Contended.aggregate ()) with
+  | Some st -> Alcotest.(check int) "same-name stats summed" 2
+                 st.Contended.acquisitions
+  | None -> Alcotest.fail "aggregate missing t_agg");
+  Alcotest.(check bool) "tracked in all ()" true
+    (List.memq a1 (Contended.all ()) && List.memq a2 (Contended.all ()));
+  (* Condition interop: wait releases and reacquires with accounting *)
+  let m = Contended.create "t_wait" in
+  let cond = Condition.create () in
+  let ready = ref false in
+  let d =
+    Domain.spawn (fun () ->
+        Contended.with_lock m (fun () ->
+            while not !ready do
+              Contended.wait m cond
+            done;
+            7))
+  in
+  Unix.sleepf 0.02;
+  Contended.with_lock m (fun () ->
+      ready := true;
+      Condition.signal cond);
+  Alcotest.(check int) "woken waiter finished" 7 (Domain.join d);
+  let st = Contended.stats m in
+  Alcotest.(check bool) "wakeup reacquisitions counted" true
+    (st.Contended.acquisitions >= 3)
+
+(* -- Profile -------------------------------------------------------- *)
+
+(* a controllable clock: spans get exactly the ticks we set *)
+let scripted_obs () =
+  let t = ref 0 in
+  (Obs.create ~clock:(Obs_clock.of_fun (fun () -> !t)) (), t)
+
+let test_profile_fold_self_times () =
+  let obs, t = scripted_obs () in
+  Obs.with_span obs "outer" (fun () ->
+      t := 2;
+      Obs.with_span obs "inner" (fun () -> t := 7);
+      t := 10);
+  let rows = Profile.fold (Obs.tracer obs) in
+  (match rows with
+  | [ outer; inner ] ->
+    Alcotest.(check (list string)) "outer stack" [ "outer" ] outer.Profile.stack;
+    Alcotest.(check int) "outer self = total - child" 5 outer.Profile.self;
+    Alcotest.(check int) "outer total" 10 outer.Profile.total;
+    Alcotest.(check (list string)) "inner stack" [ "outer"; "inner" ]
+      inner.Profile.stack;
+    Alcotest.(check int) "inner self" 5 inner.Profile.self;
+    Alcotest.(check int) "inner count" 1 inner.Profile.count
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  Alcotest.(check string) "collapsed rendering, ns-scaled"
+    "outer 5000\nouter;inner 5000\n"
+    (Profile.collapse ~scale:1000 (Obs.tracer obs));
+  (* a synthetic root merges tracers into one flamegraph namespace *)
+  match Profile.fold ~root:"client" (Obs.tracer obs) with
+  | { Profile.stack = "client" :: _; _ } :: _ -> ()
+  | _ -> Alcotest.fail "root frame missing"
+
+let test_profile_sanitizes_and_tops () =
+  let obs, t = scripted_obs () in
+  Obs.with_span obs "a b;c" (fun () -> t := 3);
+  t := 10;
+  Obs.with_span obs "heavy" (fun () -> t := 100);
+  let rows = Profile.fold (Obs.tracer obs) in
+  Alcotest.(check bool) "frame separators sanitized" true
+    (List.exists (fun r -> r.Profile.stack = [ "a_b_c" ]) rows);
+  match Profile.top ~n:1 rows with
+  | [ r ] -> Alcotest.(check (list string)) "heaviest first" [ "heavy" ]
+               r.Profile.stack
+  | _ -> Alcotest.fail "top ~n:1 must return one row"
+
+let test_tracer_complete_retrospective () =
+  let obs, t = scripted_obs () in
+  Obs.with_span obs "live" (fun () -> t := 4);
+  Tracer.complete (Obs.tracer obs) ~ts0:4 ~ts1:9
+    ~args:[ ("trace_id", String.make 32 'a') ]
+    "server.decide";
+  let rows = Profile.fold (Obs.tracer obs) in
+  Alcotest.(check bool) "retrospective span folded" true
+    (List.exists
+       (fun r -> r.Profile.stack = [ "server.decide" ] && r.Profile.self = 5)
+       rows);
+  Alcotest.(check bool) "args land in the chrome trace" true
+    (string_contains
+       (Chrome_trace.to_jsonl (Obs.tracer obs))
+       (String.make 32 'a'))
+
+(* -- Runtime -------------------------------------------------------- *)
+
+let test_runtime_sample_gauges () =
+  let reg = Registry.create () in
+  (* touch a lock so the lock gauges have something to export *)
+  let m = Contended.create "t_runtime" in
+  Contended.with_lock m (fun () -> ());
+  Runtime.sample reg;
+  let prom = Registry.to_prometheus reg in
+  Alcotest.(check bool) "gc gauges exported" true
+    (string_contains prom "mitos_gc_minor_collections"
+    && string_contains prom "mitos_gc_heap_words");
+  Alcotest.(check bool) "lock gauges exported with the lock label" true
+    (string_contains prom "mitos_lock_acquisitions_total"
+    && string_contains prom "lock=\"t_runtime\"");
+  let sigs = Runtime.signals () in
+  (match List.assoc_opt "lock_t_runtime_contention" sigs with
+  | Some share ->
+    Alcotest.(check bool) "contention share in [0,1]" true
+      (share >= 0.0 && share <= 1.0)
+  | None -> Alcotest.fail "contention signal missing");
+  (* background sampler starts and stops cleanly *)
+  let sampler = Runtime.start ~period:0.005 reg in
+  Unix.sleepf 0.02;
+  Runtime.stop sampler
+
+(* -- Server query routing ------------------------------------------- *)
+
+let test_server_route_q () =
+  let echo =
+    Server.route_q ~file:"echo.txt" "/echo" (fun query ->
+        Server.text
+          (String.concat ";"
+             (List.map (fun (k, v) -> k ^ "=" ^ v) query)))
+  in
+  let server = Server.start [ echo ] in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let fetch path =
+        Server.fetch ~host:"127.0.0.1" ~port:(Server.port server) ~path ()
+      in
+      (match fetch "/echo?a=1&b=2" with
+      | Ok (200, body) -> Alcotest.(check string) "pairs in order" "a=1;b=2" body
+      | _ -> Alcotest.fail "query fetch failed");
+      (match fetch "/echo?flag" with
+      | Ok (200, body) ->
+        Alcotest.(check string) "bare key gets empty value" "flag=" body
+      | _ -> Alcotest.fail "bare-key fetch failed");
+      match fetch "/echo" with
+      | Ok (200, body) -> Alcotest.(check string) "no query" "" body
+      | _ -> Alcotest.fail "no-query fetch failed")
+
 let qcheck_escape_label_roundtrip =
   QCheck.Test.make ~name:"escape_label round-trips through unescape"
     ~count:500 QCheck.string (fun s ->
@@ -878,7 +1093,36 @@ let () =
           Alcotest.test_case "oneshot propagates" `Quick
             test_server_oneshot_propagates;
           Alcotest.test_case "parse_url" `Quick test_parse_url;
+          Alcotest.test_case "route_q query pairs" `Quick test_server_route_q;
           QCheck_alcotest.to_alcotest qcheck_escape_label_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_escape_label_no_raw_specials;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "deterministic ids" `Quick
+            test_propagation_deterministic;
+          Alcotest.test_case "validity + child" `Quick
+            test_propagation_validity_and_child;
+        ] );
+      ( "contended",
+        [
+          Alcotest.test_case "counts" `Quick test_contended_counts;
+          Alcotest.test_case "contention counted" `Quick
+            test_contended_contention_counted;
+          Alcotest.test_case "aggregate + wait" `Quick
+            test_contended_aggregate_and_wait;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "fold self times" `Quick
+            test_profile_fold_self_times;
+          Alcotest.test_case "sanitize + top" `Quick
+            test_profile_sanitizes_and_tops;
+          Alcotest.test_case "tracer complete" `Quick
+            test_tracer_complete_retrospective;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "sample gauges" `Quick test_runtime_sample_gauges;
         ] );
     ]
