@@ -13,6 +13,10 @@
      dune exec bench/main.exe -- MODE --jobs N   -- run experiments on an
                                                     N-domain pool (output is
                                                     byte-identical to --jobs 1)
+     dune exec bench/main.exe -- MODE --shards N -- shard the shadow stores
+                                                    N ways (for a fixed N,
+                                                    output is byte-identical
+                                                    across --jobs)
      dune exec bench/main.exe -- MODE --listen HOST:PORT
                                                  -- expose /metrics, /healthz,
                                                     /snapshot.json, /tracez and
@@ -306,7 +310,7 @@ let time_ns_per ~iters f =
   done;
   (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
 
-let write_bench_json ~jobs path =
+let write_bench_json ~jobs ~shards path =
   let stats = Tag_stats.create () in
   for i = 1 to 1_000 do
     Tag_stats.incr stats (net i)
@@ -391,12 +395,88 @@ let write_bench_json ~jobs path =
         Pool.with_pool ~jobs (fun pool -> Pool.map pool ~f:task inputs))
   in
   assert (seq_r = par_r);
+  (* the multicore-scaling row the perf gate tracks: a fixed 8-task
+     battery at a fixed 4-domain pool, independent of --jobs, so the
+     figure is comparable across baselines *)
+  let inputs4 = List.init 8 (fun i -> i) in
+  let seq4_wall, seq4_r = wall (fun () -> List.map task inputs4) in
+  let par4_wall, par4_r =
+    wall (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool -> Pool.map pool ~f:task inputs4))
+  in
+  assert (seq4_r = par4_r);
+  let pool_speedup_4x = seq4_wall /. par4_wall in
+  (* multi-engine replay scaling: [n_par] independent engines each
+     replaying the full slice, run back-to-back and then on a
+     4-domain pool. Each task builds its own workload/engine so no
+     mutable state crosses domains; [slice] itself is read-only. *)
+  let n_par = 4 in
+  let par_replay_task _i =
+    let b = Mitos_workload.Netbench.build ~seed:1 ~chunks:2 () in
+    let engine =
+      Mitos_workload.Workload.engine_of
+        ~policy:(Mitos_dift.Policies.mitos (E.Calib.sensitivity_params ()))
+        b
+    in
+    Mitos_dift.Engine.attach_shadow engine
+      ~mem_size:(Mitos_replay.Trace.mem_size trace);
+    Array.iter (Mitos_dift.Engine.process_record engine) slice
+  in
+  let par_inputs = List.init n_par (fun i -> i) in
+  let rep1_wall, _ = wall (fun () -> List.iter par_replay_task par_inputs) in
+  let rep4_wall, _ =
+    wall (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool ->
+            ignore (Pool.map pool ~f:par_replay_task par_inputs)))
+  in
+  let par_records_per_sec =
+    float_of_int (n_par * Array.length slice) /. rep4_wall
+  in
+  let replay_speedup_4x = rep1_wall /. rep4_wall in
+  (* per-shard occupancy of a 4-way sharded shadow after a
+     deterministic replay: the occupancy split and its max/mean
+     imbalance depend only on the trace and the shard hash, so the
+     imbalance is gateable at the standard tolerance. The full trace
+     is replayed (not [slice]) because taint sources only appear past
+     the first thousand records of the netbench trace. *)
+  let shard_occ =
+    let config =
+      { Mitos_dift.Engine.default_config with
+        Mitos_dift.Engine.shadow_shards = Some 4 }
+    in
+    let engine =
+      Mitos_workload.Workload.engine_of ~config
+        ~policy:Mitos_dift.Policies.propagate_all built
+    in
+    Mitos_dift.Engine.attach_shadow engine
+      ~mem_size:(Mitos_replay.Trace.mem_size trace);
+    Array.iter (Mitos_dift.Engine.process_record engine) records;
+    Shadow.shard_occupancy (Mitos_dift.Engine.shadow engine)
+  in
+  let shard_total = Array.fold_left ( + ) 0 shard_occ in
+  let shard_imbalance =
+    if shard_total = 0 then 1.0
+    else
+      float_of_int (Array.fold_left max 0 shard_occ)
+      /. (float_of_int shard_total /. float_of_int (Array.length shard_occ))
+  in
+  let shard_occ_json =
+    String.concat ", "
+      (Array.to_list (Array.map string_of_int shard_occ))
+  in
   (* decision-service round-trip: the loadgen's decide mix against a
      loopback server, so the row measures codec + service dispatch
      without socket noise and stays runnable on any CI box *)
-  let net_report =
+  let net_report, net_par_rps, net_speedup_4x =
+    (* the bench service runs with a 4-way sharded estimator: the
+       sharded path is the one the scaling row below exercises, and
+       shards=1 traffic is covered by the service tests *)
     let service =
-      Mitos_net.Server.create ~params:(E.Calib.sensitivity_params ()) ()
+      Mitos_net.Server.create
+        ~config:
+          { Mitos_net.Server.default_config with
+            Mitos_net.Server.estimator_shards = 4 }
+        ~params:(E.Calib.sensitivity_params ()) ()
     in
     let name = Printf.sprintf "bench-%d" (Unix.getpid ()) in
     let listener =
@@ -405,15 +485,32 @@ let write_bench_json ~jobs path =
     Fun.protect
       ~finally:(fun () -> Mitos_net.Server.stop listener)
       (fun () ->
-        match
-          Mitos_net.Loadgen.run
-            ~config:
-              { Mitos_net.Loadgen.default_config with
-                Mitos_net.Loadgen.requests = 2_000 }
-            (Mitos_net.Transport.Memory name)
-        with
-        | Ok r -> r
-        | Error err -> failwith (Mitos_net.Client.error_to_string err))
+        let client ~requests ~seed () =
+          match
+            Mitos_net.Loadgen.run
+              ~config:
+                { Mitos_net.Loadgen.default_config with
+                  Mitos_net.Loadgen.requests; seed }
+              (Mitos_net.Transport.Memory name)
+          with
+          | Ok r -> r
+          | Error err -> failwith (Mitos_net.Client.error_to_string err)
+        in
+        let r = client ~requests:2_000 ~seed:7 () in
+        (* same total request volume split across 4 concurrent clients
+           on a 4-domain pool: the memory loopback runs the service
+           handler on each client's domain, so this hammers the shared
+           sharded estimator/decision path from 4 domains at once *)
+        let par_wall, _ =
+          wall (fun () ->
+              Pool.with_pool ~jobs:4 (fun pool ->
+                  ignore
+                    (Pool.map pool
+                       ~f:(fun s -> client ~requests:500 ~seed:(100 + s) ())
+                       (List.init 4 (fun i -> i)))))
+        in
+        let par_rps = 2_000.0 /. par_wall in
+        (r, par_rps, par_rps /. r.Mitos_net.Loadgen.throughput_rps))
   in
   (* instrumented-mutex fast path (one uncontended lock/unlock pair)
      next to a bare mutex pair, plus the run's accumulated contention
@@ -470,6 +567,7 @@ let write_bench_json ~jobs path =
         {|{
   "schema": "mitos-bench-decisions/1",
   "jobs": %d,
+  "shards": %d,
   "alg1": {
     "direct_ns": %.2f,
     "fast_ns": %.2f,
@@ -485,13 +583,22 @@ let write_bench_json ~jobs path =
   "engine_replay": {
     "records_per_sec": %.0f,
     "audit_records_per_sec": %.0f,
-    "audit_overhead": %.3f
+    "audit_overhead": %.3f,
+    "par_records_per_sec": %.0f,
+    "speedup_4x": %.3f
   },
   "pool": {
     "tasks": %d,
     "seq_seconds": %.4f,
     "par_seconds": %.4f,
-    "speedup": %.3f
+    "speedup": %.3f,
+    "speedup_4x": %.3f
+  },
+  "shadow_shards": {
+    "shards": %d,
+    "occupancy": [%s],
+    "total": %d,
+    "imbalance": %.3f
   },
   "net_decide_batch": {
     "batch": %d,
@@ -500,7 +607,9 @@ let write_bench_json ~jobs path =
     "p50_ns": %.0f,
     "p95_ns": %.0f,
     "p99_ns": %.0f,
-    "requests_per_sec": %.0f
+    "requests_per_sec": %.0f,
+    "par_requests_per_sec": %.0f,
+    "speedup_4x": %.3f
   },
   "lock_contention": {
     "uncontended_pair_ns": %.2f,
@@ -518,18 +627,23 @@ let write_bench_json ~jobs path =
   }
 }
 |}
-        jobs alg1_direct alg1_fast (1e9 /. alg1_direct) (1e9 /. alg1_fast)
+        jobs shards alg1_direct alg1_fast (1e9 /. alg1_direct)
+        (1e9 /. alg1_fast)
         (alg1_direct /. alg1_fast) alg2_direct alg2_fast
         (alg2_direct /. alg2_fast) records_per_sec audit_records_per_sec
         ((replay_audit_ns -. replay_ns) /. replay_ns)
+        par_records_per_sec replay_speedup_4x
         (List.length inputs)
         seq_wall par_wall
         (seq_wall /. par_wall)
+        pool_speedup_4x
+        (Array.length shard_occ) shard_occ_json shard_total shard_imbalance
         Mitos_net.Loadgen.default_config.Mitos_net.Loadgen.batch
         net_report.Mitos_net.Loadgen.requests
         net_report.Mitos_net.Loadgen.mean_ns net_report.Mitos_net.Loadgen.p50_ns
         net_report.Mitos_net.Loadgen.p95_ns net_report.Mitos_net.Loadgen.p99_ns
-        net_report.Mitos_net.Loadgen.throughput_rps uncontended_pair_ns
+        net_report.Mitos_net.Loadgen.throughput_rps net_par_rps net_speedup_4x
+        uncontended_pair_ns
         raw_mutex_pair_ns lock_acq lock_cont lock_wait_ns lock_hold_ns
         (Array.length slice) minor_words_per_record promoted_words_per_record
         minor_collections);
@@ -573,6 +687,7 @@ let () =
   (* argv: [mode] [report-path] with --jobs N / --listen HOST:PORT
      anywhere after the exe *)
   let jobs = ref (Pool.default_jobs ()) in
+  let shards = ref 1 in
   let listen = ref None in
   let positional = ref [] in
   let rec parse i =
@@ -580,6 +695,9 @@ let () =
       (match Sys.argv.(i) with
       | "--jobs" when i + 1 < Array.length Sys.argv ->
         jobs := max 1 (int_of_string Sys.argv.(i + 1));
+        parse (i + 2)
+      | "--shards" when i + 1 < Array.length Sys.argv ->
+        shards := max 1 (int_of_string Sys.argv.(i + 1));
         parse (i + 2)
       | "--listen" when i + 1 < Array.length Sys.argv ->
         listen := Some Sys.argv.(i + 1);
@@ -592,6 +710,12 @@ let () =
               (int_of_string
                  (String.sub arg (eq + 1) (String.length arg - eq - 1)))
         | Some eq
+          when String.length arg > 9 && String.sub arg 0 9 = "--shards=" ->
+          shards :=
+            max 1
+              (int_of_string
+                 (String.sub arg (eq + 1) (String.length arg - eq - 1)))
+        | Some eq
           when String.length arg > 9 && String.sub arg 0 9 = "--listen=" ->
           listen :=
             Some (String.sub arg (eq + 1) (String.length arg - eq - 1))
@@ -600,6 +724,10 @@ let () =
     end
   in
   parse 1;
+  (* every shadow store built by the experiments below inherits this
+     process default; for a fixed shard count the experiment output
+     stays byte-identical across --jobs *)
+  Shadow.set_default_shards !shards;
   let server = start_telemetry !listen in
   let mode, rest =
     match List.rev !positional with
@@ -612,7 +740,7 @@ let () =
   | "micro" ->
     run_micro ();
     print_newline ();
-    write_bench_json ~jobs:!jobs "BENCH_decisions.json"
+    write_bench_json ~jobs:!jobs ~shards:!shards "BENCH_decisions.json"
   | "obs" -> E.Report.print (E.Obs_overhead.run ())
   | "report" ->
     with_jobs (fun ~pool ->
@@ -623,6 +751,6 @@ let () =
     E.Report.print (E.Obs_overhead.run ());
     run_micro ();
     print_newline ();
-    write_bench_json ~jobs:!jobs "BENCH_decisions.json");
+    write_bench_json ~jobs:!jobs ~shards:!shards "BENCH_decisions.json");
   Option.iter Mitos_obs.Server.stop server;
   print_newline ()

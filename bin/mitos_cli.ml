@@ -388,8 +388,13 @@ let run_cmd =
 
 let experiment_cmd =
   let module E = Mitos_experiments in
-  let run id jobs listen slo =
+  let run id jobs shards listen slo =
     protected @@ fun () ->
+    if shards < 1 then or_die (Error "--shards must be at least 1");
+    (* every shadow store the experiments build inherits this process
+       default; for a fixed shard count the report is byte-identical
+       across --jobs *)
+    Mitos_tag.Shadow.set_default_shards shards;
     with_jobs jobs (fun ~pool ->
         (* Telemetry first: populate every metric family with the pilot
            and bring the server up before the sections run, so a scrape
@@ -474,7 +479,17 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure or table of the paper.")
-    Term.(const run $ id_arg $ jobs_arg $ listen_arg $ slo_arg)
+    Term.(
+      const run $ id_arg $ jobs_arg
+      $ Arg.(
+          value
+          & opt int 1
+          & info [ "shards" ] ~docv:"N"
+              ~doc:
+                "Shadow-store shards for every engine the experiments \
+                 build (1 = unsharded). Output is byte-identical across \
+                 --jobs for a fixed N.")
+      $ listen_arg $ slo_arg)
 
 (* -- record / replay -------------------------------------------------------------- *)
 
@@ -1359,17 +1374,29 @@ let read_timeout_arg =
     & info [ "read-timeout" ] ~docv:"SECONDS"
         ~doc:"Per-connection read timeout; idle connections are dropped.")
 
+let shards_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "shards" ] ~docv:"N" ~doc)
+
+let estimator_shards_arg ~default =
+  shards_arg ~default
+    ~doc:
+      "Estimator shards: per-node pollution contributions are split \
+       across N independently locked slot ranges (1 = the legacy single \
+       lock). The folded global is deterministic for a fixed N."
+
 (* serve-decisions and coordinator are one implementation: the
    coordinator *is* a decision server whose estimator the cluster
    nodes publish into. *)
-let run_decision_server endpoint workers nodes read_timeout tau alpha u_net
-    u_export listen slo =
+let run_decision_server endpoint workers nodes shards read_timeout tau alpha
+    u_net u_export listen slo =
   protected @@ fun () ->
   if nodes < 1 then or_die (Error "--nodes must be at least 1");
   if workers < 0 then or_die (Error "--workers must be non-negative");
+  if shards < 1 then or_die (Error "--shards must be at least 1");
   let params = make_params ~tau ~alpha ~u_net ~u_export in
   let config =
-    { Net.Server.default_config with workers; nodes; read_timeout }
+    { Net.Server.default_config with
+      workers; nodes; read_timeout; estimator_shards = shards }
   in
   (* The service shares one real-clock obs context with its telemetry
      surface: server spans (stamped with client trace contexts) land
@@ -1412,7 +1439,10 @@ let decision_server_term =
         ~doc:
           "Endpoint to serve: tcp://HOST:PORT (port 0 picks a free port), \
            unix://PATH or mem://NAME."
-    $ net_workers_arg $ net_nodes_arg $ read_timeout_arg $ tau_arg
+    $ net_workers_arg $ net_nodes_arg
+    $ estimator_shards_arg
+        ~default:Net.Server.default_config.Net.Server.estimator_shards
+    $ read_timeout_arg $ tau_arg
     $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg $ slo_arg)
 
 let serve_decisions_cmd =
@@ -1481,10 +1511,11 @@ let node_cmd =
       $ alpha_arg $ u_net_arg $ u_export_arg)
 
 let cluster_cmd =
-  let run transport nodes sync_period seed workload jobs tau alpha u_net
-      u_export report_out =
+  let run transport nodes shards sync_period seed workload jobs tau alpha
+      u_net u_export report_out =
     protected @@ fun () ->
     if nodes < 1 then or_die (Error "--nodes must be at least 1");
+    if shards < 1 then or_die (Error "--shards must be at least 1");
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     let entry =
       match W.Registry.find workload with
@@ -1515,15 +1546,20 @@ let cluster_cmd =
           match transport with
           | "inprocess" ->
             let cluster =
-              Mitos_distrib.Cluster.create ~params ~sync_period builts
+              Mitos_distrib.Cluster.create ~shards ~params ~sync_period
+                builts
             in
             let rounds = Mitos_distrib.Cluster.run cluster in
             Net.Netcluster.report_of_cluster ~rounds cluster
           | "loopback" ->
+            (* same shard count as inprocess, so the two transports
+               fold the estimator identically and the byte-diff holds
+               at any --shards *)
             let service =
               Net.Server.create
                 ~config:
-                  { Net.Server.default_config with nodes; workers = 0 }
+                  { Net.Server.default_config with
+                    nodes; workers = 0; estimator_shards = shards }
                 ~params ()
             in
             let name = Printf.sprintf "cluster-%d" (Unix.getpid ()) in
@@ -1586,7 +1622,8 @@ let cluster_cmd =
           in-process estimator, a loopback decision server (byte-identical \
           by construction) or a live coordinator.")
     Term.(
-      const run $ transport_arg $ nodes_arg $ sync_period_arg $ seed_arg
+      const run $ transport_arg $ nodes_arg $ estimator_shards_arg ~default:1
+      $ sync_period_arg $ seed_arg
       $ workload_opt_arg $ jobs_arg $ tau_arg $ alpha_arg $ u_net_arg
       $ u_export_arg $ report_out_arg)
 
@@ -1705,9 +1742,10 @@ let loadgen_cmd =
 (* -- profile ------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run requests batch workers nodes seed tau alpha u_net u_export out
-      top_n =
+  let run requests batch workers nodes shards seed tau alpha u_net u_export
+      out top_n =
     protected @@ fun () ->
+    if shards < 1 then or_die (Error "--shards must be at least 1");
     let params = make_params ~tau ~alpha ~u_net ~u_export in
     (* A self-contained profiling run: a decision service on a real
        TCP socket (so frame codec, socket reads and worker handoff are
@@ -1721,7 +1759,9 @@ let profile_cmd =
     let server_obs = Obs.create ~clock:(Mitos_obs.Obs_clock.real ()) () in
     let service =
       Net.Server.create
-        ~config:{ Net.Server.default_config with workers; nodes }
+        ~config:
+          { Net.Server.default_config with
+            workers; nodes; estimator_shards = shards }
         ~registry:(Obs.registry server_obs) ~obs:server_obs ~params ()
     in
     let listener =
@@ -1781,6 +1821,31 @@ let profile_cmd =
       Profile.render_rows ~scale span_rows ^ Profile.render_rows lock_rows
     in
     Obs.write_file out folded;
+    (* the estimator's shard locks must be on the profile: the loadgen
+       publish stream acquires them, so their absence means the
+       sharded estimator lost its instrumentation. Asserted on the row
+       list, not the rendered file — a lock held for under a clock
+       tick renders with weight 0 and is elided from the folded
+       output, but its acquisition count is exact. *)
+    let is_shard_lock (r : Profile.row) =
+      match r.Profile.stack with
+      | [ "locks"; name; _ ] ->
+        String.length name > 16
+        && String.sub name 0 16 = "estimator_shard_"
+        && r.Profile.count > 0
+      | _ -> false
+    in
+    let publishes_ran =
+      config.Net.Loadgen.publish_every > 0
+      && requests >= config.Net.Loadgen.publish_every
+    in
+    if publishes_ran && not (List.exists is_shard_lock lock_rows) then
+      or_die
+        (Error
+           "profile: no estimator_shard_* lock acquisitions recorded \
+            (estimator shard locks missing from the Contended registry)");
+    if publishes_ran then
+      Printf.printf "estimator shard locks profiled (shards=%d): ok\n" shards;
     print_string (Net.Loadgen.render report);
     let in_ns (r : Profile.row) =
       { r with Profile.self = r.self * scale; total = r.total * scale }
@@ -1841,6 +1906,7 @@ let profile_cmd =
           appended) for flamegraph.pl.")
     Term.(
       const run $ requests_arg $ batch_arg $ net_workers_arg $ net_nodes_arg
+      $ estimator_shards_arg ~default:4
       $ seed_arg $ tau_arg $ alpha_arg $ u_net_arg $ u_export_arg $ out_arg
       $ top_arg)
 

@@ -16,6 +16,7 @@ type config = {
   ijump_scope_len : int;
   route_direct_through_policy : bool;
   shadow_backend : Shadow.backend;
+  shadow_shards : int option;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     ijump_scope_len = 32;
     route_direct_through_policy = false;
     shadow_backend = Shadow.Hashed;
+    shadow_shards = None;
   }
 
 type counters = {
@@ -168,8 +170,8 @@ let install_evict_observer t shadow =
 let attach_shadow t ~mem_size =
   let shadow =
     Shadow.create ~strategy:t.config.eviction ~backend:t.config.shadow_backend
-      ~mem_capacity:mem_size ~num_regs:Mitos_isa.Instr.num_regs
-      ~m_prov:t.config.m_prov ()
+      ?shards:t.config.shadow_shards ~mem_capacity:mem_size
+      ~num_regs:Mitos_isa.Instr.num_regs ~m_prov:t.config.m_prov ()
   in
   t.shadow <- Some shadow;
   install_evict_observer t shadow

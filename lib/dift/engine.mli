@@ -42,6 +42,10 @@ type config = {
       (** consult the policy on direct flows too (Table II's MITOS
           configuration); [false] = classic DIFT direct handling *)
   shadow_backend : Shadow.backend;  (** hashed (sparse) or paged *)
+  shadow_shards : int option;
+      (** sub-table count for the hashed shadow store; [None] (the
+          default) uses {!Shadow.default_shards} — the process-wide
+          [--shards] knob *)
 }
 
 val default_config : config

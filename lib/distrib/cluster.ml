@@ -26,11 +26,11 @@ let sync t node =
   t.syncs <- t.syncs + 1
 
 let create_heterogeneous ?(config = Engine.default_config) ?watch ?topology
-    ~sync_period pairs =
+    ?(shards = 1) ~sync_period pairs =
   if sync_period < 1 then invalid_arg "Cluster.create: sync_period must be >= 1";
   if pairs = [] then invalid_arg "Cluster.create: need at least one node";
   let node_count = List.length pairs in
-  let est = Estimator.create ~nodes:node_count in
+  let est = Estimator.create ~shards ~nodes:node_count () in
   (* neighbourhood visibility: None = complete graph (global scalar) *)
   let neighbours =
     match topology with
@@ -83,8 +83,8 @@ let create_heterogeneous ?(config = Engine.default_config) ?watch ?topology
     staleness_samples = Mitos_util.Stats.Online.create ();
   }
 
-let create ?config ?watch ~params ~sync_period builts =
-  create_heterogeneous ?config ?watch ~sync_period
+let create ?config ?watch ?shards ~params ~sync_period builts =
+  create_heterogeneous ?config ?watch ?shards ~sync_period
     (List.map (fun built -> (built, params)) builts)
 
 let num_nodes t = Array.length t.nodes

@@ -16,17 +16,22 @@ type t
 val create :
   ?config:Mitos_dift.Engine.config ->
   ?watch:Mitos_tag.Tag_type.t * Mitos_tag.Tag_type.t ->
+  ?shards:int ->
   params:Mitos.Params.t ->
   sync_period:int ->
   Mitos_workload.Workload.built list ->
   t
 (** [watch] arms every node's engine with a confluence alarm (see
-    [Engine.watch_confluence]) — cluster-wide intrusion detection. *)
+    [Engine.watch_confluence]) — cluster-wide intrusion detection.
+    [shards] (default 1) shards the estimator; the report stays
+    byte-identical only across runs with the same shard count (the
+    global fold groups per shard — see {!Estimator}). *)
 
 val create_heterogeneous :
   ?config:Mitos_dift.Engine.config ->
   ?watch:Mitos_tag.Tag_type.t * Mitos_tag.Tag_type.t ->
   ?topology:(int * int) list ->
+  ?shards:int ->
   sync_period:int ->
   (Mitos_workload.Workload.built * Mitos.Params.t) list ->
   t

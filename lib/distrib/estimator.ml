@@ -1,12 +1,76 @@
-type t = { published : float array; lock : Mitos_obs.Contended.t }
+(* Sharded publish slots: each node's contribution lives in an Atomic
+   cell; nodes are partitioned into contiguous shards, each guarded by
+   its own instrumented lock that also maintains a cached left-fold of
+   its range. [global] folds the shard sums in fixed index order and
+   never takes a lock, so with one shard it degenerates to exactly the
+   legacy left fold over all nodes. *)
 
-let create ~nodes =
+type shard = {
+  lock : Mitos_obs.Contended.t;
+  lo : int;
+  hi : int;  (* exclusive *)
+  sum : float Atomic.t;  (* left fold of cells.(lo..hi-1), refreshed on publish *)
+}
+
+type t = {
+  cells : float Atomic.t array;
+  shards : shard array;
+  quot : int;  (* nodes / shards: small shards hold [quot] nodes *)
+  rem : int;  (* nodes mod shards: the first [rem] shards hold one extra *)
+}
+
+let create ?(shards = 1) ~nodes () =
   if nodes < 1 then invalid_arg "Estimator.create: need at least one node";
-  { published = Array.make nodes 0.0; lock = Mitos_obs.Contended.create "estimator" }
+  if shards < 1 then invalid_arg "Estimator.create: need at least one shard";
+  let shards = min shards nodes in
+  let quot = nodes / shards and rem = nodes mod shards in
+  let lo_of s = (s * quot) + min s rem in
+  {
+    cells = Array.init nodes (fun _ -> Atomic.make 0.0);
+    shards =
+      Array.init shards (fun s ->
+          {
+            lock =
+              Mitos_obs.Contended.create
+                (Printf.sprintf "estimator_shard_%d" s);
+            lo = lo_of s;
+            hi = lo_of (s + 1);
+            sum = Atomic.make 0.0;
+          });
+    quot;
+    rem;
+  }
 
-let locked t f = Mitos_obs.Contended.with_lock t.lock f
+let shards t = Array.length t.shards
 
-let publish t ~node value = locked t (fun () -> t.published.(node) <- value)
-let global t = locked t (fun () -> Array.fold_left ( +. ) 0.0 t.published)
-let contribution t ~node = locked t (fun () -> t.published.(node))
-let nodes t = Array.length t.published
+let shard_of_node t node =
+  let big = t.rem * (t.quot + 1) in
+  if node < big then node / (t.quot + 1) else t.rem + ((node - big) / t.quot)
+
+let refold t shard =
+  let acc = ref 0.0 in
+  for i = shard.lo to shard.hi - 1 do
+    acc := !acc +. Atomic.get t.cells.(i)
+  done;
+  Atomic.set shard.sum !acc
+
+let publish t ~node value =
+  if node < 0 || node >= Array.length t.cells then
+    invalid_arg "Estimator.publish: node out of range";
+  let shard = t.shards.(shard_of_node t node) in
+  Mitos_obs.Contended.with_lock shard.lock (fun () ->
+      Atomic.set t.cells.(node) value;
+      refold t shard)
+
+let global t =
+  let acc = ref 0.0 in
+  Array.iter (fun shard -> acc := !acc +. Atomic.get shard.sum) t.shards;
+  !acc
+
+let contribution t ~node = Atomic.get t.cells.(node)
+let nodes t = Array.length t.cells
+
+let shard_stats t =
+  Array.to_list t.shards
+  |> List.map (fun s ->
+         (Mitos_obs.Contended.name s.lock, Mitos_obs.Contended.stats s.lock))

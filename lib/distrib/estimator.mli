@@ -9,22 +9,42 @@
     models it: each node publishes its local weighted pollution on its
     own schedule, and everyone reads the (possibly stale) sum.
 
-    {b Concurrency.} All operations serialize on an internal mutex:
-    a coordinator ([Mitos_net]) serves {!publish}/{!global} from
-    server worker domains while local readers poll, so publishes must
-    never tear and {!global} must always fold a consistent snapshot
-    (the concurrent QCheck test in [test_distrib] exercises exactly
-    this). The critical sections are a handful of array reads — the
-    lock is uncontended in the in-process {!Cluster}. *)
+    {b Sharding.} Nodes are partitioned into [shards] contiguous
+    index ranges. Each node's latest contribution lives in a lock-free
+    [Atomic] cell; each shard owns an instrumented lock (named
+    [estimator_shard_<i>] for the {!Mitos_obs.Contended} aggregate)
+    and a cached left-fold of its range, refreshed under that lock on
+    every {!publish}. {!global} folds the shard sums in fixed shard
+    index order without locking, so concurrent readers never serialize
+    against writers, and with [shards = 1] the result is bit-identical
+    to the historical single-lock left fold over all nodes — the
+    jobs=1 degeneration the determinism suites rely on.
+
+    {b Concurrency.} {!publish} serializes only with publishes to the
+    same shard. {!global} and {!contribution} are lock-free reads of a
+    (possibly slightly stale but always internally consistent) shard
+    snapshot: a shard sum is always a complete fold computed under the
+    shard lock, never a torn partial. *)
 
 type t
 
-val create : nodes:int -> t
+val create : ?shards:int -> nodes:int -> unit -> t
+(** [shards] defaults to 1 and is clamped to [nodes]. *)
+
 val publish : t -> node:int -> float -> unit
-(** Overwrite the node's published contribution. *)
+(** Overwrite the node's published contribution and refresh its
+    shard's cached sum. *)
 
 val global : t -> float
-(** Sum of the latest published contributions. *)
+(** Sum of the latest published contributions: the per-shard cached
+    sums folded in shard index order, lock-free. *)
 
 val contribution : t -> node:int -> float
 val nodes : t -> int
+
+val shards : t -> int
+val shard_of_node : t -> int -> int
+
+val shard_stats : t -> (string * Mitos_obs.Contended.stats) list
+(** Per-shard lock stats, in shard index order — the per-instance view
+    of what {!Mitos_obs.Contended.aggregate} reports globally. *)

@@ -25,6 +25,15 @@ let gated_metrics =
     ([ "alg2_batch8_space4"; "fast_ns" ], Lower_better);
     ([ "engine_replay"; "records_per_sec" ], Higher_better);
     ([ "engine_replay"; "audit_records_per_sec" ], Higher_better);
+    (* multicore-scaling rows (sharded state): parallel throughput,
+       the fixed 8-task/4-domain pool speedup, and the occupancy
+       balance of the 4-way sharded shadow. These compare like for
+       like only when OLD and NEW come from the same class of runner
+       (the CI baseline is regenerated whenever the runner changes). *)
+    ([ "engine_replay"; "par_records_per_sec" ], Higher_better);
+    ([ "pool"; "speedup_4x" ], Higher_better);
+    ([ "shadow_shards"; "imbalance" ], Lower_better);
+    ([ "net_decide_batch"; "par_requests_per_sec" ], Higher_better);
     (* decision-service round-trip over the loopback transport; a
        metric missing from an older baseline is skipped, not failed *)
     ([ "net_decide_batch"; "p50_ns" ], Lower_better);

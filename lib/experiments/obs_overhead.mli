@@ -52,6 +52,26 @@ val contract_ok : result -> bool
 (** The ≤ 5% disabled-overhead contract: [disabled_overhead r <= 0.05].
     Rendered as a PASS/FAIL line by {!run}. *)
 
+(** Aggregated shard-lock traffic of one estimator hammer run — the
+    [lock_estimator_contention] before/after comparison {!run} prints
+    (1 shard vs 4 shards under the same 4-domain publish+global
+    load). *)
+type estimator_contention = {
+  est_shards : int;
+  est_wall_s : float;
+  est_acquisitions : int;
+  est_contended : int;  (** acquisitions that found the lock held *)
+  est_wait_ns : int;
+}
+
+val measure_estimator_contention :
+  ?domains:int -> ?rounds:int -> shards:int -> unit -> estimator_contention
+(** Defaults: 4 domains, 25k rounds each of two publishes + two global
+    reads, against a fresh [domains * 2]-node estimator. *)
+
+val contended_share : estimator_contention -> float
+(** [contended / acquisitions], 0 when idle. *)
+
 val run :
   ?seed:int -> ?records:int -> ?repetitions:int -> unit -> Report.section
 (** The report the bench harness and [mitos-cli obs-bench] print. *)

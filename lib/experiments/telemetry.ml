@@ -114,8 +114,30 @@ let standard_signals ?over_taint_bound ~obs engine (s : Metrics.sample) =
       [ ("over_taint_ratio", float_of_int s.sampled_tainted /. bound) ]
     | Some _ | None -> []
   in
+  (* per-shard occupancy of the sharded shadow store, as bounded-
+     cardinality gauges (one label value per shard) plus a single
+     max/mean imbalance signal for SLOs *)
+  let occ = Shadow.shard_occupancy shadow in
+  if Array.length occ <= 64 then
+    Array.iteri
+      (fun i n ->
+        Registry.set_gauge
+          (Registry.gauge (Obs.registry obs)
+             ~help:"tainted bytes per shadow-store shard"
+             ~labels:[ ("shard", string_of_int i) ]
+             "mitos_shadow_shard_occupancy")
+          (float_of_int n))
+      occ;
+  let shard_imbalance =
+    let total = Array.fold_left ( + ) 0 occ in
+    if total = 0 || Array.length occ <= 1 then 1.0
+    else
+      float_of_int (Array.fold_left max 0 occ)
+      /. (float_of_int total /. float_of_int (Array.length occ))
+  in
   over_taint
   @ [
+      ("shadow_shard_imbalance", shard_imbalance);
       ("decision_p50_ticks", Mitos_obs.Histogram.quantile latency 0.5);
       ("decision_p99_ticks", Mitos_obs.Histogram.quantile latency 0.99);
       ( "eviction_rate",

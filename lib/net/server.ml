@@ -10,6 +10,7 @@ module Executor = Mitos_parallel.Executor
 type config = {
   workers : int;
   nodes : int;
+  estimator_shards : int;
   read_timeout : float;
   max_frame : int;
 }
@@ -18,6 +19,7 @@ let default_config =
   {
     workers = 4;
     nodes = 16;
+    estimator_shards = 1;
     read_timeout = Netio.default_timeout;
     max_frame = Wire.default_max_frame;
   }
@@ -49,6 +51,8 @@ let create ?(config = default_config) ?registry ?(obs = Obs.disabled) ~params
     () =
   if config.workers < 0 then invalid_arg "Server.create: negative workers";
   if config.nodes < 1 then invalid_arg "Server.create: nodes must be >= 1";
+  if config.estimator_shards < 1 then
+    invalid_arg "Server.create: estimator_shards must be >= 1";
   let reg = match registry with Some r -> r | None -> Registry.create () in
   let per_op =
     List.map
@@ -72,7 +76,8 @@ let create ?(config = default_config) ?registry ?(obs = Obs.disabled) ~params
     reg;
     obs;
     trace_mu = Mutex.create ();
-    est = Estimator.create ~nodes:config.nodes;
+    est =
+      Estimator.create ~shards:config.estimator_shards ~nodes:config.nodes ();
     per_op;
     decisions_total =
       Registry.counter reg ~help:"individual indirect-flow decisions served"

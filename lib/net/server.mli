@@ -31,13 +31,19 @@
 type config = {
   workers : int;  (** worker domains; 0 serves on the acceptor *)
   nodes : int;  (** estimator slots for publish/read *)
+  estimator_shards : int;
+      (** estimator shard count (≥ 1); publishes to different shards
+          stop serializing on one lock, and the decide path's global
+          read is lock-free at any shard count. 1 keeps the global
+          fold bit-identical to the unsharded estimator. *)
   read_timeout : float;  (** per-connection, seconds *)
   max_frame : int;  (** {!Wire.unframe} bound *)
 }
 
 val default_config : config
-(** 4 workers, 16 nodes, {!Mitos_obs.Netio.default_timeout} read
-    timeout, {!Wire.default_max_frame}. *)
+(** 4 workers, 16 nodes, 1 estimator shard,
+    {!Mitos_obs.Netio.default_timeout} read timeout,
+    {!Wire.default_max_frame}. *)
 
 type t
 (** The service state: parameters, estimator, counters. Independent of

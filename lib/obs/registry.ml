@@ -80,11 +80,66 @@ let histogram t ?(help = "") ?(labels = []) ?lo ?growth ?buckets name =
 
 (* -- rendering ------------------------------------------------------ *)
 
-let sorted_metrics t =
-  locked t (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl [])
+(* A scrape copies every metric's current value into this plain data
+   under the lock — integers, floats and (small) bucket arrays, no
+   string formatting — and both expositions render from the copy with
+   the lock released. Lock hold time is bounded by the metric count,
+   not by text size, and each exposition is a single point-in-time cut
+   instead of values read one by one as the text is built. *)
+type snapshot_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of {
+      cumulative : (float * int) array;
+      raw : (float * int) array;
+      quantiles : (float * float) list;  (* (q, estimate) *)
+      sum : float;
+      count : int;
+      min_value : float;
+      max_value : float;
+    }
+
+type snapshot_row = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_value : snapshot_value;
+}
+
+let value_kind_name = function
+  | Counter_v _ -> "counter"
+  | Gauge_v _ -> "gauge"
+  | Hist_v _ -> "histogram"
+
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ m acc ->
+          let s_value =
+            match m.kind with
+            | Counter c -> Counter_v !c
+            | Gauge g -> Gauge_v !g
+            | Hist h ->
+              Hist_v
+                {
+                  cumulative = Histogram.cumulative_buckets h;
+                  raw = Histogram.buckets h;
+                  quantiles =
+                    List.map
+                      (fun q -> (q, Histogram.quantile h q))
+                      [ 0.5; 0.95; 0.99 ];
+                  sum = Histogram.sum h;
+                  count = Histogram.count h;
+                  min_value = Histogram.min_value h;
+                  max_value = Histogram.max_value h;
+                }
+          in
+          { s_name = m.name; s_labels = m.labels; s_help = m.help; s_value }
+          :: acc)
+        t.tbl [])
   |> List.sort (fun a b ->
-         match String.compare a.name b.name with
-         | 0 -> compare a.labels b.labels
+         match String.compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
          | c -> c)
 
 (* Canonical number rendering: integers without a fractional part,
@@ -124,46 +179,47 @@ let to_prometheus t =
   let seen_header = Hashtbl.create 16 in
   List.iter
     (fun m ->
-      if not (Hashtbl.mem seen_header m.name) then begin
-        Hashtbl.add seen_header m.name ();
-        if m.help <> "" then
+      if not (Hashtbl.mem seen_header m.s_name) then begin
+        Hashtbl.add seen_header m.s_name ();
+        if m.s_help <> "" then
           Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+            (Printf.sprintf "# HELP %s %s\n" m.s_name m.s_help);
         Buffer.add_string buf
-          (Printf.sprintf "# TYPE %s %s\n" m.name (kind_name m.kind))
+          (Printf.sprintf "# TYPE %s %s\n" m.s_name
+             (value_kind_name m.s_value))
       end;
-      match m.kind with
-      | Counter c ->
+      match m.s_value with
+      | Counter_v c ->
         Buffer.add_string buf
-          (Printf.sprintf "%s%s %d\n" m.name (render_labels m.labels) !c)
-      | Gauge g ->
+          (Printf.sprintf "%s%s %d\n" m.s_name (render_labels m.s_labels) c)
+      | Gauge_v g ->
         Buffer.add_string buf
-          (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
-             (fmt_value !g))
-      | Hist h ->
+          (Printf.sprintf "%s%s %s\n" m.s_name (render_labels m.s_labels)
+             (fmt_value g))
+      | Hist_v h ->
         Array.iter
           (fun (ub, cum) ->
             Buffer.add_string buf
-              (Printf.sprintf "%s_bucket%s %d\n" m.name
-                 (render_labels ~extra:("le", fmt_value ub) m.labels)
+              (Printf.sprintf "%s_bucket%s %d\n" m.s_name
+                 (render_labels ~extra:("le", fmt_value ub) m.s_labels)
                  cum))
-          (Histogram.cumulative_buckets h);
+          h.cumulative;
         (* estimated quantiles alongside the raw buckets, in the
            summary-style series (bare name, "quantile" label) *)
         List.iter
-          (fun q ->
+          (fun (q, estimate) ->
             Buffer.add_string buf
-              (Printf.sprintf "%s%s %s\n" m.name
-                 (render_labels ~extra:("quantile", fmt_value q) m.labels)
-                 (fmt_value (Histogram.quantile h q))))
-          [ 0.5; 0.95; 0.99 ];
+              (Printf.sprintf "%s%s %s\n" m.s_name
+                 (render_labels ~extra:("quantile", fmt_value q) m.s_labels)
+                 (fmt_value estimate)))
+          h.quantiles;
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels)
-             (fmt_value (Histogram.sum h)));
+          (Printf.sprintf "%s_sum%s %s\n" m.s_name (render_labels m.s_labels)
+             (fmt_value h.sum));
         Buffer.add_string buf
-          (Printf.sprintf "%s_count%s %d\n" m.name (render_labels m.labels)
-             (Histogram.count h)))
-    (sorted_metrics t);
+          (Printf.sprintf "%s_count%s %d\n" m.s_name
+             (render_labels m.s_labels) h.count))
+    (snapshot t);
   Buffer.contents buf
 
 (* -- JSON ----------------------------------------------------------- *)
@@ -189,38 +245,38 @@ let json_number v =
   else fmt_value v
 
 let series_key m =
-  m.name ^ render_labels m.labels
+  m.s_name ^ render_labels m.s_labels
 
 let to_json t =
-  let metrics = sorted_metrics t in
+  let metrics = snapshot t in
   let of_kind want =
-    List.filter (fun m -> kind_name m.kind = want) metrics
+    List.filter (fun m -> value_kind_name m.s_value = want) metrics
   in
   let obj fields = "{" ^ String.concat "," fields ^ "}" in
   let counters =
     of_kind "counter"
     |> List.map (fun m ->
-           match m.kind with
-           | Counter c ->
-             Printf.sprintf "%s:%d" (json_string (series_key m)) !c
+           match m.s_value with
+           | Counter_v c ->
+             Printf.sprintf "%s:%d" (json_string (series_key m)) c
            | _ -> assert false)
   in
   let gauges =
     of_kind "gauge"
     |> List.map (fun m ->
-           match m.kind with
-           | Gauge g ->
+           match m.s_value with
+           | Gauge_v g ->
              Printf.sprintf "%s:%s" (json_string (series_key m))
-               (json_number !g)
+               (json_number g)
            | _ -> assert false)
   in
   let histograms =
     of_kind "histogram"
     |> List.map (fun m ->
-           match m.kind with
-           | Hist h ->
+           match m.s_value with
+           | Hist_v h ->
              let buckets =
-               Histogram.buckets h |> Array.to_list
+               h.raw |> Array.to_list
                |> List.map (fun (ub, c) ->
                       Printf.sprintf "[%s,%d]"
                         (if ub = infinity then json_string "+Inf"
@@ -231,13 +287,10 @@ let to_json t =
                (json_string (series_key m))
                (obj
                   [
-                    Printf.sprintf "\"count\":%d" (Histogram.count h);
-                    Printf.sprintf "\"sum\":%s"
-                      (json_number (Histogram.sum h));
-                    Printf.sprintf "\"min\":%s"
-                      (json_number (Histogram.min_value h));
-                    Printf.sprintf "\"max\":%s"
-                      (json_number (Histogram.max_value h));
+                    Printf.sprintf "\"count\":%d" h.count;
+                    Printf.sprintf "\"sum\":%s" (json_number h.sum);
+                    Printf.sprintf "\"min\":%s" (json_number h.min_value);
+                    Printf.sprintf "\"max\":%s" (json_number h.max_value);
                     Printf.sprintf "\"buckets\":[%s]"
                       (String.concat "," buckets);
                   ])

@@ -16,10 +16,14 @@
 
     Concurrency: instrument creation and exposition serialize on an
     internal mutex, so the {!Server} exposition domain can render
-    [/metrics] while the run keeps resolving handles. Instrument
-    {e updates} (through the returned handles) stay lock-free; updates
-    racing a render may be missed by that render but are never lost
-    from the instrument. *)
+    [/metrics] while the run keeps resolving handles. A scrape copies
+    every instrument's current value into a plain snapshot under that
+    lock and renders the Prometheus/JSON text with the lock released —
+    lock hold is bounded by the instrument count, never by string
+    formatting, and each exposition is one point-in-time cut.
+    Instrument {e updates} (through the returned handles) stay
+    lock-free; updates racing a snapshot may be missed by that render
+    but are never lost from the instrument. *)
 
 type t
 type counter

@@ -1,11 +1,21 @@
 module Contended = Mitos_obs.Contended
 
-type t = {
-  name : string;
+(* One queue (and one lock, and one condition) per worker: submitters
+   route to the least-loaded queue, so workers stop colliding on a
+   single queue lock, and a worker whose own queue runs dry steals
+   from its siblings before sleeping — sharded for throughput, still
+   work-conserving. *)
+type shard = {
   lock : Contended.t;
   work : Condition.t;
   queue : (unit -> unit) Queue.t;
-  mutable stopping : bool;
+  len : int Atomic.t;  (* mirror of [Queue.length queue], read lock-free *)
+}
+
+type t = {
+  name : string;
+  shards : shard array;  (* one per worker; empty when inline *)
+  stopping : bool Atomic.t;
   mutable domains : unit Domain.t list;
   failures : int Atomic.t;
   inline : bool;
@@ -14,29 +24,55 @@ type t = {
 let run_task t task =
   try task () with _ -> Atomic.incr t.failures
 
-let worker_loop t =
-  let rec next () =
-    Contended.lock t.lock;
-    let rec wait () =
-      match Queue.take_opt t.queue with
-      | Some task ->
-        Contended.unlock t.lock;
-        Some task
-      | None ->
-        if t.stopping then begin
-          Contended.unlock t.lock;
-          None
-        end
-        else begin
-          Contended.wait t.lock t.work;
-          wait ()
-        end
+let pop shard =
+  Contended.lock shard.lock;
+  let taken = Queue.take_opt shard.queue in
+  (match taken with Some _ -> Atomic.decr shard.len | None -> ());
+  Contended.unlock shard.lock;
+  taken
+
+let worker_loop t i =
+  let own = t.shards.(i) in
+  let n = Array.length t.shards in
+  (* scan siblings in ring order from our right neighbour; the atomic
+     length check keeps misses lock-free *)
+  let steal () =
+    let rec go k =
+      if k >= n then None
+      else
+        let s = t.shards.((i + k) mod n) in
+        if Atomic.get s.len > 0 then
+          match pop s with Some _ as taken -> taken | None -> go (k + 1)
+        else go (k + 1)
     in
-    match wait () with
-    | None -> ()
+    go 1
+  in
+  let rec next () =
+    match pop own with
     | Some task ->
       run_task t task;
       next ()
+    | None -> (
+      match steal () with
+      | Some task ->
+        run_task t task;
+        next ()
+      | None ->
+        (* Exit only once our own queue is verifiably empty under its
+           lock with the stop flag up: any racing submit holds this
+           lock too, so it either lands before this check (we drain
+           it) or observes the flag and refuses. *)
+        Contended.lock own.lock;
+        if not (Queue.is_empty own.queue) then begin
+          Contended.unlock own.lock;
+          next ()
+        end
+        else if Atomic.get t.stopping then Contended.unlock own.lock
+        else begin
+          Contended.wait own.lock own.work;
+          Contended.unlock own.lock;
+          next ()
+        end)
   in
   next ()
 
@@ -45,51 +81,80 @@ let create ?(name = "executor") ~workers () =
   let t =
     {
       name;
-      lock = Contended.create ("executor:" ^ name);
-      work = Condition.create ();
-      queue = Queue.create ();
-      stopping = false;
+      shards =
+        Array.init workers (fun _ ->
+            {
+              lock = Contended.create ("executor:" ^ name);
+              work = Condition.create ();
+              queue = Queue.create ();
+              len = Atomic.make 0;
+            });
+      stopping = Atomic.make false;
       domains = [];
       failures = Atomic.make 0;
       inline = workers = 0;
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <-
+    List.init workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
   t
 
-let workers t = List.length t.domains
+let workers t = Array.length t.shards
+
+let refuse t =
+  invalid_arg (Printf.sprintf "Executor.submit: %s is shut down" t.name)
+
+let enqueue t shard task =
+  Contended.lock shard.lock;
+  if Atomic.get t.stopping then begin
+    Contended.unlock shard.lock;
+    refuse t
+  end;
+  Queue.add task shard.queue;
+  Atomic.incr shard.len;
+  Condition.signal shard.work;
+  Contended.unlock shard.lock
+
+let submit_inline t task =
+  if Atomic.get t.stopping then refuse t;
+  run_task t task
 
 let submit t task =
-  if t.inline then begin
-    if t.stopping then
-      invalid_arg (Printf.sprintf "Executor.submit: %s is shut down" t.name);
-    run_task t task
-  end
+  if t.inline then submit_inline t task
   else begin
-    Contended.lock t.lock;
-    if t.stopping then begin
-      Contended.unlock t.lock;
-      invalid_arg (Printf.sprintf "Executor.submit: %s is shut down" t.name)
-    end;
-    Queue.add task t.queue;
-    Condition.signal t.work;
-    Contended.unlock t.lock
+    (* least-loaded routing: an idle worker has an empty queue, so new
+       work lands where someone is awake to take it immediately *)
+    let best = ref 0 and best_len = ref max_int in
+    Array.iteri
+      (fun i s ->
+        let len = Atomic.get s.len in
+        if len < !best_len then begin
+          best := i;
+          best_len := len
+        end)
+      t.shards;
+    enqueue t t.shards.(!best) task
   end
 
+let submit_to t ~shard task =
+  if t.inline then submit_inline t task
+  else
+    let n = Array.length t.shards in
+    enqueue t t.shards.(((shard mod n) + n) mod n) task
+
 let pending t =
-  Contended.lock t.lock;
-  let n = Queue.length t.queue in
-  Contended.unlock t.lock;
-  n
+  Array.fold_left (fun acc s -> acc + Atomic.get s.len) 0 t.shards
 
 let failures t = Atomic.get t.failures
 
 let shutdown t =
-  Contended.lock t.lock;
-  let already = t.stopping in
-  t.stopping <- true;
-  Condition.broadcast t.work;
-  Contended.unlock t.lock;
+  let already = Atomic.exchange t.stopping true in
+  Array.iter
+    (fun s ->
+      Contended.lock s.lock;
+      Condition.broadcast s.work;
+      Contended.unlock s.lock)
+    t.shards;
   if not already then begin
     List.iter Domain.join t.domains;
     t.domains <- []

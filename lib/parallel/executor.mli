@@ -15,7 +15,15 @@
     [workers = 0] degenerates to inline execution: {!submit} runs the
     task on the calling domain before returning — the single-domain
     code path {e is} the multi-domain code path, mirroring the pool's
-    [jobs = 1] contract. *)
+    [jobs = 1] contract.
+
+    {b Sharding.} Each worker owns its own queue (own lock, own
+    condition variable): {!submit} routes to the least-loaded queue,
+    {!submit_to} pins by shard index, and a worker whose queue runs
+    dry steals from its siblings before sleeping — so submitters and
+    workers no longer serialize on a single queue lock, and the pool
+    stays work-conserving. All queue locks share the
+    ["executor:<name>"] {!Mitos_obs.Contended} series. *)
 
 type t
 
@@ -27,8 +35,17 @@ val create : ?name:string -> workers:int -> unit -> t
 val workers : t -> int
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a task (or run it inline when [workers = 0]). Raises
-    [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a task on the least-loaded worker queue (or run it inline
+    when [workers = 0]). Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val submit_to : t -> shard:int -> (unit -> unit) -> unit
+(** Like {!submit} but routed to worker queue [shard mod workers]
+    (any integer is accepted — hash values welcome): an affinity hint
+    for tasks that touch the same sharded state, so they queue behind
+    each other instead of contending. Work stealing may still migrate
+    a pinned task to an idle worker; it is a routing preference, not a
+    placement guarantee. *)
 
 val pending : t -> int
 (** Tasks enqueued but not yet picked up (always 0 when inline). *)

@@ -17,18 +17,31 @@ module Store = struct
   let page_size = 1 lsl page_bits
 
   type t =
-    | Hash of (int, Provenance.t) Hashtbl.t
+    | Hash of (int, Provenance.t) Hashtbl.t array
+        (* one sub-table per shard; an address's shard is a pure
+           function of the address, so concurrent workers touching
+           disjoint shards never collide on one table *)
     | Pages of Provenance.t option array option array
 
-  let create backend ~capacity =
+  (* Knuth multiplicative mix before the shard reduction: byte
+     addresses arrive sequentially, and the low bits alone would pin
+     whole buffers to one shard. Pure integer arithmetic — the same
+     address lands in the same shard on every run and every machine. *)
+  let shard_of_addr n addr = if n = 1 then 0 else (addr * 0x9E3779B1) lsr 16 mod n
+
+  let create backend ~capacity ~shards =
     match backend with
-    | Hashed -> Hash (Hashtbl.create 4096)
+    | Hashed ->
+      let per_table = max 64 (4096 / shards) in
+      Hash (Array.init shards (fun _ -> Hashtbl.create per_table))
     | Paged ->
       Pages (Array.make ((capacity + page_size - 1) / page_size) None)
 
+  let table tables addr = tables.(shard_of_addr (Array.length tables) addr)
+
   let find t addr =
     match t with
-    | Hash h -> Hashtbl.find_opt h addr
+    | Hash tables -> Hashtbl.find_opt (table tables addr) addr
     | Pages pages -> (
       match pages.(addr lsr page_bits) with
       | None -> None
@@ -39,7 +52,7 @@ module Store = struct
     (* replace, not add: a re-add for a live address must never stack
        a shadowed duplicate binding (the paged backend overwrites, so
        the two backends now agree) *)
-    | Hash h -> Hashtbl.replace h addr prov
+    | Hash tables -> Hashtbl.replace (table tables addr) addr prov
     | Pages pages ->
       let pi = addr lsr page_bits in
       let page =
@@ -54,15 +67,18 @@ module Store = struct
 
   let remove t addr =
     match t with
-    | Hash h -> Hashtbl.remove h addr
+    | Hash tables -> Hashtbl.remove (table tables addr) addr
     | Pages pages -> (
       match pages.(addr lsr page_bits) with
       | None -> ()
       | Some page -> page.(addr land (page_size - 1)) <- None)
 
+  (* shard 0..N-1 in index order, each sub-table in its own (stable
+     for a fixed insertion history) order — deterministic for the
+     deterministic replay pipelines, like the single table was *)
   let iter t f =
     match t with
-    | Hash h -> Hashtbl.iter f h
+    | Hash tables -> Array.iter (fun h -> Hashtbl.iter f h) tables
     | Pages pages ->
       Array.iteri
         (fun pi page ->
@@ -82,9 +98,24 @@ module Store = struct
     iter t (fun addr prov -> acc := f addr prov !acc);
     !acc
 
+  let shards = function Hash tables -> Array.length tables | Pages _ -> 1
+
+  let shard_occupancy t =
+    let live h =
+      Hashtbl.fold
+        (fun _ p acc -> if Provenance.is_empty p then acc else acc + 1)
+        h 0
+    in
+    match t with
+    | Hash tables -> Array.map live tables
+    | Pages _ ->
+      [|
+        fold t (fun _ p acc -> if Provenance.is_empty p then acc else acc + 1) 0;
+      |]
+
   let reset t =
     match t with
-    | Hash h -> Hashtbl.reset h
+    | Hash tables -> Array.iter Hashtbl.reset tables
     | Pages pages -> Array.fill pages 0 (Array.length pages) None
 end
 
@@ -106,10 +137,28 @@ type t = {
   mutable evict_hook : (evict_event -> unit) option;
 }
 
-let create ?(strategy = Structural Provenance.Fifo) ?(backend = Hashed)
+(* Process default for the Hashed backend's shard count, so the CLI's
+   --shards flag reaches every Shadow.create in the experiment
+   pipelines without threading a parameter through each one. *)
+let default_shards_cell = ref 1
+
+let set_default_shards n =
+  if n < 1 then invalid_arg "Shadow.set_default_shards: shards < 1";
+  default_shards_cell := n
+
+let default_shards () = !default_shards_cell
+
+let create ?(strategy = Structural Provenance.Fifo) ?(backend = Hashed) ?shards
     ~mem_capacity ~num_regs ~m_prov () =
   if mem_capacity < 1 then invalid_arg "Shadow.create: mem_capacity < 1";
   if m_prov < 1 then invalid_arg "Shadow.create: m_prov < 1";
+  let shards =
+    match shards with
+    | None -> !default_shards_cell
+    | Some n ->
+      if n < 1 then invalid_arg "Shadow.create: shards < 1";
+      n
+  in
   let list_eviction =
     match strategy with
     | Structural e -> e
@@ -118,7 +167,7 @@ let create ?(strategy = Structural Provenance.Fifo) ?(backend = Hashed)
     | Least_marginal -> Provenance.Fifo
   in
   {
-    mem = Store.create backend ~capacity:mem_capacity;
+    mem = Store.create backend ~capacity:mem_capacity ~shards;
     store_backend = backend;
     regs =
       Array.init num_regs (fun _ ->
@@ -132,6 +181,8 @@ let create ?(strategy = Structural Provenance.Fifo) ?(backend = Hashed)
   }
 
 let backend t = t.store_backend
+let shards t = Store.shards t.mem
+let shard_occupancy t = Store.shard_occupancy t.mem
 let on_evict t hook = t.evict_hook <- hook
 
 let stats t = t.stats

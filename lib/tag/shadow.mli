@@ -44,6 +44,7 @@ val backend_to_string : backend -> string
 val create :
   ?strategy:eviction_strategy ->
   ?backend:backend ->
+  ?shards:int ->
   mem_capacity:int ->
   num_regs:int ->
   m_prov:int ->
@@ -51,9 +52,29 @@ val create :
   t
 (** [mem_capacity] is the paper's [R] (taintable bytes), [m_prov] the
     provenance list bound [M_prov]. Defaults: [Structural Fifo],
-    [Hashed]. *)
+    [Hashed]. [shards] (default {!default_shards}) splits the [Hashed]
+    backend into that many independent sub-tables, keyed by a
+    deterministic multiplicative hash of the byte address — semantics
+    are identical at any shard count (per-address state is
+    independent); only which hash table an address lands in changes.
+    The [Paged] backend ignores it (pages already shard naturally). *)
 
 val backend : t -> backend
+
+val shards : t -> int
+(** Sub-table count of the [Hashed] backend; 1 for [Paged]. *)
+
+val shard_occupancy : t -> int array
+(** Tainted-byte count per shard, in shard index order; sums to
+    {!tainted_bytes}. For [Paged], a single-element array. *)
+
+val set_default_shards : int -> unit
+(** Process-wide default for {!create}'s [shards] (initially 1) — the
+    hook the [--shards] CLI flag uses so every engine built downstream
+    shards its shadow without plumbing a parameter through each
+    experiment. Set it once at startup, before building engines. *)
+
+val default_shards : unit -> int
 
 (** A provenance-list eviction: [victim] was removed from the list at
     [at] to make room for [incoming] — taint silently lost behind the

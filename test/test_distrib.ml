@@ -10,7 +10,7 @@ let small_nodes n =
 (* -- Estimator ----------------------------------------------------------- *)
 
 let test_estimator_basics () =
-  let e = Estimator.create ~nodes:3 in
+  let e = Estimator.create ~nodes:3 () in
   Alcotest.(check (float 0.0)) "initially zero" 0.0 (Estimator.global e);
   Estimator.publish e ~node:0 10.0;
   Estimator.publish e ~node:2 5.0;
@@ -20,9 +20,156 @@ let test_estimator_basics () =
   Alcotest.(check (float 0.0)) "contribution" 5.0
     (Estimator.contribution e ~node:2);
   Alcotest.(check int) "nodes" 3 (Estimator.nodes e);
+  Alcotest.(check int) "default one shard" 1 (Estimator.shards e);
   Alcotest.(check bool) "zero nodes rejected" true
-    (try ignore (Estimator.create ~nodes:0); false
-     with Invalid_argument _ -> true)
+    (try ignore (Estimator.create ~nodes:0 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero shards rejected" true
+    (try ignore (Estimator.create ~shards:0 ~nodes:3 ()); false
+     with Invalid_argument _ -> true);
+  (* more shards than nodes clamps rather than leaving empty shards *)
+  Alcotest.(check int) "shards clamped to nodes" 3
+    (Estimator.shards (Estimator.create ~shards:8 ~nodes:3 ()))
+
+let test_estimator_shard_partition () =
+  (* every node maps to exactly one shard, shard ranges are contiguous
+     and in node order — the property the fixed-order global fold
+     depends on *)
+  List.iter
+    (fun (nodes, shards) ->
+      let e = Estimator.create ~shards ~nodes () in
+      let prev = ref 0 in
+      for node = 0 to nodes - 1 do
+        let s = Estimator.shard_of_node e node in
+        Alcotest.(check bool) "shard in range" true
+          (s >= 0 && s < Estimator.shards e);
+        Alcotest.(check bool) "monotone in node index" true (s >= !prev);
+        Alcotest.(check bool) "no gaps" true (s - !prev <= 1);
+        prev := s
+      done;
+      Alcotest.(check int) "last shard reached" (Estimator.shards e - 1) !prev)
+    [ (1, 1); (4, 4); (7, 3); (16, 4); (5, 2); (9, 8) ]
+
+(* Satellite: publish keeps the incrementally-maintained global exact —
+   after any publish/overwrite sequence, [global] equals the
+   from-scratch fixed-order fold bit-for-bit, at every shard count. *)
+let test_estimator_incremental_global_exact () =
+  List.iter
+    (fun shards ->
+      let nodes = 7 in
+      let e = Estimator.create ~shards ~nodes () in
+      let mirror = Array.make nodes 0.0 in
+      (* deterministic pseudo-random publish/overwrite stream with
+         awkward magnitudes, so incremental-sum drift would show *)
+      let state = ref 0x2545F491 in
+      let next () =
+        state := (!state * 1103515245) + 12345;
+        !state land 0xFFFFFF
+      in
+      let expected () =
+        (* per-shard left fold, shards in index order — the documented
+           reduce contract *)
+        let sums = Array.make (Estimator.shards e) 0.0 in
+        Array.iteri
+          (fun node v ->
+            let s = Estimator.shard_of_node e node in
+            sums.(s) <- sums.(s) +. v)
+          mirror;
+        Array.fold_left ( +. ) 0.0 sums
+      in
+      for _ = 1 to 500 do
+        let node = next () mod nodes in
+        let value = float_of_int (next ()) /. 1024.0 in
+        Estimator.publish e ~node value;
+        mirror.(node) <- value;
+        if Estimator.global e <> expected () then
+          Alcotest.failf "global drifted at %d shards: %.17g <> %.17g" shards
+            (Estimator.global e) (expected ())
+      done;
+      (* and per-node contributions survived every overwrite *)
+      Array.iteri
+        (fun node v ->
+          Alcotest.(check (float 0.0)) "contribution exact" v
+            (Estimator.contribution e ~node))
+        mirror)
+    [ 1; 2; 3; 7 ]
+
+(* Satellite: the sharded estimator is observationally identical to the
+   unsharded one under random interleaved publish/read sequences. *)
+let qcheck_estimator_sharded_equivalent =
+  QCheck.Test.make
+    ~name:"sharded estimator observationally equal to unsharded" ~count:50
+    QCheck.(
+      pair (2 -- 6)
+        (list_of_size Gen.(1 -- 60)
+           (pair (0 -- 9) (float_bound_exclusive 1000.0))))
+    (fun (shards, ops) ->
+      let nodes = 10 in
+      let flat = Estimator.create ~nodes () in
+      let sharded = Estimator.create ~shards ~nodes () in
+      List.for_all
+        (fun (node, value) ->
+          Estimator.publish flat ~node value;
+          Estimator.publish sharded ~node value;
+          let close a b =
+            (* the global folds group differently across shard counts;
+               contributions must agree exactly *)
+            Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a)
+          in
+          close (Estimator.global flat) (Estimator.global sharded)
+          && List.for_all
+               (fun n ->
+                 Estimator.contribution flat ~node:n
+                 = Estimator.contribution sharded ~node:n)
+               (List.init nodes Fun.id))
+        ops)
+
+(* Satellite: 4-domain stress — concurrent publishes to a sharded
+   estimator lose nothing: every slot holds its domain's last value. *)
+let test_estimator_concurrent_no_lost_updates () =
+  let domains_n = 4 and per_domain = 2 and rounds = 20_000 in
+  let nodes = domains_n * per_domain in
+  let e = Estimator.create ~shards:4 ~nodes () in
+  let domains =
+    List.init domains_n (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to rounds do
+              for k = 0 to per_domain - 1 do
+                let node = (d * per_domain) + k in
+                Estimator.publish e ~node (float_of_int ((node * 1000) + i));
+                ignore (Estimator.global e);
+                ignore (Estimator.contribution e ~node)
+              done
+            done))
+  in
+  List.iter Domain.join domains;
+  for node = 0 to nodes - 1 do
+    Alcotest.(check (float 0.0)) "last publish survived"
+      (float_of_int ((node * 1000) + rounds))
+      (Estimator.contribution e ~node)
+  done;
+  (* and the incremental shard sums converged to the exact fold *)
+  let expected =
+    let sums = Array.make (Estimator.shards e) 0.0 in
+    for node = 0 to nodes - 1 do
+      let s = Estimator.shard_of_node e node in
+      sums.(s) <- sums.(s) +. float_of_int ((node * 1000) + rounds)
+    done;
+    Array.fold_left ( +. ) 0.0 sums
+  in
+  Alcotest.(check (float 0.0)) "global exact after the race" expected
+    (Estimator.global e);
+  (* the per-shard locks took the traffic and are visible by name *)
+  let stats = Estimator.shard_stats e in
+  Alcotest.(check int) "one stats row per shard" 4 (List.length stats);
+  List.iteri
+    (fun i (name, (st : Mitos_obs.Contended.stats)) ->
+      Alcotest.(check string) "shard lock name"
+        (Printf.sprintf "estimator_shard_%d" i)
+        name;
+      Alcotest.(check bool) "shard lock saw publishes" true
+        (st.acquisitions >= rounds))
+    stats
 
 (* The estimator's concurrency contract: cross-domain publishes to
    disjoint slots never tear, and the global is always the sum of the
@@ -35,7 +182,7 @@ let qcheck_estimator_concurrent =
       list_of_size Gen.(2 -- 4)
         (list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0)))
     (fun per_node ->
-      let e = Estimator.create ~nodes:(List.length per_node) in
+      let e = Estimator.create ~nodes:(List.length per_node) () in
       let domains =
         List.mapi
           (fun node values ->
@@ -208,7 +355,14 @@ let () =
       ( "estimator",
         [
           Alcotest.test_case "basics" `Quick test_estimator_basics;
+          Alcotest.test_case "shard partition" `Quick
+            test_estimator_shard_partition;
+          Alcotest.test_case "incremental global exact" `Quick
+            test_estimator_incremental_global_exact;
+          Alcotest.test_case "4-domain no lost updates" `Quick
+            test_estimator_concurrent_no_lost_updates;
           QCheck_alcotest.to_alcotest qcheck_estimator_concurrent;
+          QCheck_alcotest.to_alcotest qcheck_estimator_sharded_equivalent;
         ] );
       ( "cluster",
         [

@@ -346,8 +346,10 @@ let bench_json ?(schema = "mitos-bench-decisions/1") ~alg1_direct
   "schema": "%s",
   "alg1": { "direct_ns": %f, "fast_ns": 10.0 },
   "alg2_batch8_space4": { "direct_ns": 500.0, "fast_ns": 100.0 },
-  "engine_replay": { "records_per_sec": %f, "audit_records_per_sec": 800000.0 },
-  "net_decide_batch": { "p50_ns": 20000.0, "requests_per_sec": 50000.0 },
+  "engine_replay": { "records_per_sec": %f, "audit_records_per_sec": 800000.0, "par_records_per_sec": 900000.0 },
+  "pool": { "speedup_4x": 1.0 },
+  "shadow_shards": { "imbalance": 1.05 },
+  "net_decide_batch": { "p50_ns": 20000.0, "requests_per_sec": 50000.0, "par_requests_per_sec": 45000.0 },
   "lock_contention": { "uncontended_pair_ns": 40.0 },
   "gc_pressure": { "minor_words_per_record": 120.0 }
 }|}
@@ -364,7 +366,7 @@ let test_bench_compare_ok () =
   let new_json = bench_json ~alg1_direct:110.0 ~replay_rps:0.9e6 () in
   let r = compare_exn ~tolerance_pct:25.0 old_json new_json in
   Alcotest.(check bool) "ok" true (E.Bench_compare.ok r);
-  Alcotest.(check int) "all gated metrics compared" 10
+  Alcotest.(check int) "all gated metrics compared" 14
     (List.length r.E.Bench_compare.rows);
   Alcotest.(check (list string)) "nothing skipped" []
     r.E.Bench_compare.skipped;
@@ -405,7 +407,7 @@ let test_bench_compare_skipped_and_errors () =
   Alcotest.(check bool) "partial file still ok" true (E.Bench_compare.ok r);
   Alcotest.(check int) "one row compared" 1
     (List.length r.E.Bench_compare.rows);
-  Alcotest.(check int) "rest skipped" 9
+  Alcotest.(check int) "rest skipped" 13
     (List.length r.E.Bench_compare.skipped);
   let expect_error ~old_json ~new_json ~tolerance_pct =
     match E.Bench_compare.of_json ~tolerance_pct ~old_json ~new_json with

@@ -507,6 +507,69 @@ let test_tcp_service () =
       Client.close c1;
       Client.close c2)
 
+let test_sharded_estimator_service_equivalent () =
+  (* a 4-shard server must answer byte-for-byte like the unsharded
+     one. Publishes are integer-valued, so the per-shard partial sums
+     are exact in float arithmetic and the shard-grouped fold cannot
+     differ from the flat one even bitwise. *)
+  let run ~shards =
+    with_server
+      ~config:
+        { Server.default_config with
+          nodes = 8; workers = 0; estimator_shards = shards }
+      (fun _service ep ->
+        let c = ok_client (Client.connect ep) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let after_each =
+              List.map
+                (fun node ->
+                  ok_client
+                    (Client.publish c ~node (float_of_int ((node * 3) + 1))))
+                [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+            in
+            (* overwrites, including back to zero *)
+            let g2 = ok_client (Client.publish c ~node:2 10.0) in
+            let g5 = ok_client (Client.publish c ~node:5 0.0) in
+            let g = ok_client (Client.global c) in
+            let node3 = ok_client (Client.read_node c 3) in
+            let outcomes =
+              ok_client
+                (Client.decide c
+                   [
+                     {
+                       Wire.space = 2;
+                       pollution = g;
+                       candidates =
+                         [
+                           (Tag.make Tag_type.Network 1, 3);
+                           (Tag.make Tag_type.File 2, 1);
+                         ];
+                     };
+                   ])
+            in
+            (after_each, g2, g5, g, node3, outcomes)))
+  in
+  let a1, g2a, g5a, ga, n3a, o1 = run ~shards:1 in
+  let a4, g2b, g5b, gb, n3b, o4 = run ~shards:4 in
+  Alcotest.(check (list (float 0.0))) "running globals identical" a1 a4;
+  Alcotest.(check (float 0.0)) "overwrite global identical" g2a g2b;
+  Alcotest.(check (float 0.0)) "zeroing global identical" g5a g5b;
+  Alcotest.(check (float 0.0)) "final global identical" ga gb;
+  Alcotest.(check (float 0.0)) "per-node read identical" n3a n3b;
+  Alcotest.(check bool) "decisions identical" true (o1 = o4)
+
+let test_server_rejects_bad_shards () =
+  Alcotest.(check bool) "zero estimator shards rejected" true
+    (try
+       ignore
+         (Server.create
+            ~config:{ Server.default_config with estimator_shards = 0 }
+            ~params ());
+       false
+     with Invalid_argument _ -> true)
+
 (* -- Executor -------------------------------------------------------------- *)
 
 let test_executor_inline () =
@@ -771,6 +834,10 @@ let () =
           Alcotest.test_case "malformed body -> Err" `Quick
             test_malformed_body_gets_err_response;
           Alcotest.test_case "tcp service" `Quick test_tcp_service;
+          Alcotest.test_case "sharded estimator equivalent" `Quick
+            test_sharded_estimator_service_equivalent;
+          Alcotest.test_case "bad shard count rejected" `Quick
+            test_server_rejects_bad_shards;
         ] );
       ( "client",
         [
