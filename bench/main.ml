@@ -512,6 +512,78 @@ let write_bench_json ~jobs ~shards path =
         let par_rps = 2_000.0 /. par_wall in
         (r, par_rps, par_rps /. r.Mitos_net.Loadgen.throughput_rps))
   in
+  (* fleet telemetry federation: 8 in-process loopback decision
+     servers, each preloaded with a little decide traffic, scraped
+     over the wire protocol and merged by the Fleet aggregator — the
+     row gates the cost of one full scrape-and-merge round *)
+  let fleet_node_count = 8 in
+  let fleet_scrape_rounds = 50 in
+  let fleet_mean_ns, fleet_scrapes_per_sec, fleet_merged_series =
+    let mk i =
+      let name = Printf.sprintf "bench-fleet-%d-%d" (Unix.getpid ()) i in
+      let service =
+        Mitos_net.Server.create
+          ~config:
+            { Mitos_net.Server.default_config with
+              Mitos_net.Server.node_id = Printf.sprintf "bench%d" i }
+          ~params:(E.Calib.sensitivity_params ()) ()
+      in
+      let listener =
+        Mitos_net.Server.start service (Mitos_net.Transport.Memory name)
+      in
+      (match
+         Mitos_net.Loadgen.run
+           ~config:
+             { Mitos_net.Loadgen.default_config with
+               Mitos_net.Loadgen.requests = 100; seed = 40 + i }
+           (Mitos_net.Transport.Memory name)
+       with
+      | Ok _ -> ()
+      | Error err -> failwith (Mitos_net.Client.error_to_string err));
+      (name, listener)
+    in
+    let members = List.init fleet_node_count mk in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (_, l) -> Mitos_net.Server.stop l) members)
+      (fun () ->
+        let fetchers =
+          List.map
+            (fun (name, _) ->
+              let client =
+                match
+                  Mitos_net.Client.connect (Mitos_net.Transport.Memory name)
+                with
+                | Ok c -> c
+                | Error err ->
+                  failwith (Mitos_net.Client.error_to_string err)
+              in
+              ( name,
+                fun () ->
+                  match Mitos_net.Client.telemetry client with
+                  | Ok r ->
+                    Ok
+                      { Mitos_obs.Fleet.node = r.Mitos_net.Wire.node;
+                        healthy = r.Mitos_net.Wire.healthy;
+                        health = r.Mitos_net.Wire.health;
+                        snapshot = r.Mitos_net.Wire.snapshot }
+                  | Error err ->
+                    Error (Mitos_net.Client.error_to_string err) ))
+            members
+        in
+        let fleet = Mitos_obs.Fleet.create fetchers in
+        let at = ref 0.0 in
+        let fleet_wall, () =
+          wall (fun () ->
+              for _ = 1 to fleet_scrape_rounds do
+                at := !at +. 1.0;
+                Mitos_obs.Fleet.scrape fleet ~at:!at
+              done)
+        in
+        ( fleet_wall *. 1e9 /. float_of_int fleet_scrape_rounds,
+          float_of_int fleet_scrape_rounds /. fleet_wall,
+          List.length (Mitos_obs.Fleet.merged fleet) ))
+  in
   (* instrumented-mutex fast path (one uncontended lock/unlock pair)
      next to a bare mutex pair, plus the run's accumulated contention
      totals — every hot lock in the process is a Contended, so the
@@ -611,6 +683,13 @@ let write_bench_json ~jobs ~shards path =
     "par_requests_per_sec": %.0f,
     "speedup_4x": %.3f
   },
+  "fleet_scrape": {
+    "nodes": %d,
+    "scrapes": %d,
+    "mean_ns": %.0f,
+    "scrapes_per_sec": %.0f,
+    "merged_series": %d
+  },
   "lock_contention": {
     "uncontended_pair_ns": %.2f,
     "raw_mutex_pair_ns": %.2f,
@@ -643,6 +722,8 @@ let write_bench_json ~jobs ~shards path =
         net_report.Mitos_net.Loadgen.mean_ns net_report.Mitos_net.Loadgen.p50_ns
         net_report.Mitos_net.Loadgen.p95_ns net_report.Mitos_net.Loadgen.p99_ns
         net_report.Mitos_net.Loadgen.throughput_rps net_par_rps net_speedup_4x
+        fleet_node_count fleet_scrape_rounds fleet_mean_ns
+        fleet_scrapes_per_sec fleet_merged_series
         uncontended_pair_ns
         raw_mutex_pair_ns lock_acq lock_cont lock_wait_ns lock_hold_ns
         (Array.length slice) minor_words_per_record promoted_words_per_record

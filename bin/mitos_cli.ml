@@ -1282,37 +1282,53 @@ let serve_cmd =
       $ listen_arg $ oneshot_arg $ jobs_arg)
 
 let watch_cmd =
-  let run url interval count timeout =
+  let run urls interval count timeout =
     protected @@ fun () ->
     if count < 1 then or_die (Error "--count must be at least 1");
     if interval < 0.0 then or_die (Error "--interval must be non-negative");
     if timeout <= 0.0 then or_die (Error "--timeout must be positive");
-    let host, port, path = or_die (Server.parse_url url) in
-    let path = if path = "/" then "/healthz" else path in
-    let last_status = ref 0 in
+    let targets =
+      List.map
+        (fun url ->
+          let host, port, path = or_die (Server.parse_url url) in
+          (host, port, if path = "/" then "/healthz" else path))
+        urls
+    in
+    (* per-target verdict of the *last* poll: 0 ok / 1 breach /
+       2 unreachable; the exit code is the worst across targets, so
+       one watch invocation judges a whole fleet *)
+    let verdicts = Array.make (List.length targets) 2 in
     for i = 1 to count do
-      (match Server.fetch ~timeout ~host ~port ~path () with
-      | Error msg -> or_die (Error msg)
-      | Ok (status, body) ->
-        last_status := status;
-        let first_line =
-          match String.index_opt body '\n' with
-          | Some nl -> String.sub body 0 nl
-          | None -> body
-        in
-        Printf.printf "%s:%d%s %d %s\n%!" host port path status first_line);
+      List.iteri
+        (fun j (host, port, path) ->
+          match Server.fetch ~timeout ~host ~port ~path () with
+          | Error msg ->
+            verdicts.(j) <- 2;
+            Printf.printf "%s:%d%s unreachable: %s\n%!" host port path msg
+          | Ok (status, body) ->
+            verdicts.(j) <- (if status = 200 then 0 else 1);
+            let first_line =
+              match String.index_opt body '\n' with
+              | Some nl -> String.sub body 0 nl
+              | None -> body
+            in
+            Printf.printf "%s:%d%s %d %s\n%!" host port path status first_line)
+        targets;
       if i < count then ignore (Unix.sleepf interval)
     done;
-    if !last_status <> 200 then exit 1
+    match Array.fold_left max 0 verdicts with
+    | 0 -> ()
+    | worst -> exit worst
   in
-  let url_arg =
+  let urls_arg =
     Arg.(
-      required
-      & pos 0 (some string) None
+      non_empty
+      & pos_all string []
       & info [] ~docv:"URL"
           ~doc:
-            "Telemetry address, e.g. http://127.0.0.1:9100 (path defaults \
-             to /healthz).")
+            "Telemetry addresses, e.g. http://127.0.0.1:9100 (path defaults \
+             to /healthz). With several URLs, every target is polled each \
+             round and the exit code is the worst verdict across them.")
   in
   let interval_arg =
     Arg.(
@@ -1336,10 +1352,11 @@ let watch_cmd =
   Cmd.v
     (Cmd.info "watch"
        ~doc:
-         "Poll a serving mitos process: one status line per poll. Exit 0 \
-          when the last poll returned 200, 1 on an SLO breach (non-200), \
-          2 when the server is unreachable or the URL is malformed.")
-    Term.(const run $ url_arg $ interval_arg $ count_arg $ timeout_arg)
+         "Poll one or more serving mitos processes: one status line per \
+          target per poll. Exit 0 when every target's last poll returned \
+          200, 1 when the worst target showed an SLO breach (non-200), 2 \
+          when any target was unreachable or a URL was malformed.")
+    Term.(const run $ urls_arg $ interval_arg $ count_arg $ timeout_arg)
 
 (* -- decision service ---------------------------------------------------- *)
 
@@ -1388,15 +1405,16 @@ let estimator_shards_arg ~default =
    coordinator *is* a decision server whose estimator the cluster
    nodes publish into. *)
 let run_decision_server endpoint workers nodes shards read_timeout tau alpha
-    u_net u_export listen slo =
+    u_net u_export listen slo node_id telemetry =
   protected @@ fun () ->
   if nodes < 1 then or_die (Error "--nodes must be at least 1");
   if workers < 0 then or_die (Error "--workers must be non-negative");
   if shards < 1 then or_die (Error "--shards must be at least 1");
+  if node_id = "" then or_die (Error "--node-id must be non-empty");
   let params = make_params ~tau ~alpha ~u_net ~u_export in
   let config =
     { Net.Server.default_config with
-      workers; nodes; read_timeout; estimator_shards = shards }
+      workers; nodes; read_timeout; estimator_shards = shards; node_id }
   in
   (* The service shares one real-clock obs context with its telemetry
      surface: server spans (stamped with client trace contexts) land
@@ -1411,6 +1429,22 @@ let run_decision_server endpoint workers nodes shards read_timeout tau alpha
   let health =
     Health.create ~window:0.0 ~rules:(parse_rules slo) ()
   in
+  (* The health watchdog is observed by the linger tick on this domain
+     and (with --telemetry) read by worker domains answering
+     Query_telemetry; one mutex covers both. *)
+  let health_mu = Mutex.create () in
+  let with_health f =
+    Mutex.lock health_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock health_mu) f
+  in
+  if telemetry then begin
+    Net.Server.set_health_probe service (fun () ->
+        with_health (fun () -> (Health.healthy health, Health.render health)));
+    Printf.printf
+      "wire telemetry on: Query_telemetry serves node %s's health and \
+       registry snapshot\n%!"
+      node_id
+  end;
   let src = Tele.source ~health obs in
   let http =
     start_server ~listen (Tele.routes ~pid:(Unix.getpid ()) src)
@@ -1424,13 +1458,35 @@ let run_decision_server endpoint workers nodes shards read_timeout tau alpha
   let tick () =
     Mitos_obs.Runtime.sample registry;
     incr observations;
-    Health.observe health
-      ~at:(float_of_int !observations)
-      (Mitos_obs.Runtime.signals ())
+    with_health (fun () ->
+        Health.observe health
+          ~at:(float_of_int !observations)
+          (Mitos_obs.Runtime.signals ()))
   in
   linger ~tick ();
   Option.iter Server.stop http;
   Net.Server.stop listener
+
+let node_id_arg =
+  Arg.(
+    value
+    & opt string Net.Server.default_config.Net.Server.node_id
+    & info [ "node-id" ] ~docv:"ID"
+        ~doc:
+          "The id this node reports in telemetry replies — the node label \
+           of its series in a federated /metrics. Give each fleet member a \
+           distinct id.")
+
+let telemetry_flag_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "telemetry" ]
+        ~doc:
+          "Answer wire Query_telemetry requests with this node's live SLO \
+           verdict (instead of the default always-healthy probe), so a \
+           `mitos-cli fleet' aggregator rolls this node's /healthz into \
+           the fleet verdict.")
 
 let decision_server_term =
   Term.(
@@ -1443,7 +1499,8 @@ let decision_server_term =
     $ estimator_shards_arg
         ~default:Net.Server.default_config.Net.Server.estimator_shards
     $ read_timeout_arg $ tau_arg
-    $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg $ slo_arg)
+    $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg $ slo_arg
+    $ node_id_arg $ telemetry_flag_arg)
 
 let serve_decisions_cmd =
   Cmd.v
@@ -1465,6 +1522,220 @@ let coordinator_cmd =
           globally available scalar, over the wire). Point `mitos-cli \
           node' processes at this endpoint.")
     decision_server_term
+
+(* -- fleet --------------------------------------------------------------- *)
+
+module Fleet = Mitos_obs.Fleet
+
+(* One persistent wire client per endpoint; a failed roundtrip drops
+   the cached client so the next scrape reconnects from scratch
+   instead of reusing a dead connection. *)
+let fleet_fetcher ~timeout endpoint_str =
+  let endpoint = parse_endpoint endpoint_str in
+  let cell = ref None in
+  let fetch () =
+    let client =
+      match !cell with
+      | Some c -> Ok c
+      | None -> (
+        match Net.Client.connect ~timeout ~retries:0 endpoint with
+        | Ok c ->
+          cell := Some c;
+          Ok c
+        | Error e -> Error e)
+    in
+    match client with
+    | Error e -> Error (Net.Client.error_to_string e)
+    | Ok c -> (
+      match Net.Client.telemetry c with
+      | Ok r ->
+        Ok
+          {
+            Fleet.node = r.Net.Wire.node;
+            healthy = r.Net.Wire.healthy;
+            health = r.Net.Wire.health;
+            snapshot = r.Net.Wire.snapshot;
+          }
+      | Error e ->
+        Net.Client.close c;
+        cell := None;
+        Error (Net.Client.error_to_string e))
+  in
+  (endpoint_str, fetch)
+
+let fleet_cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
+
+let render_fleet_table fleet =
+  let b = Buffer.create 512 in
+  let row name verdict rate p99_ms occupancy requests =
+    Buffer.add_string b
+      (Printf.sprintf "%-24s %-12s %9s %9s %10s %10s\n" name verdict rate
+         p99_ms occupancy requests)
+  in
+  row "node" "health" "req/s" "p99-ms" "occupancy" "requests";
+  let views = Fleet.nodes fleet in
+  List.iter
+    (fun (v : Fleet.node_view) ->
+      let verdict =
+        if not v.up then "unreachable"
+        else if v.stale then "stale"
+        else if not v.node_healthy then "breach"
+        else "ok"
+      in
+      row v.node_id verdict
+        (fleet_cell v.request_rate)
+        (fleet_cell (v.decide_p99_ns /. 1e6))
+        (fleet_cell v.occupancy)
+        (string_of_int v.node_requests_total))
+    views;
+  let signals = Fleet.signals fleet in
+  let signal name =
+    match List.assoc_opt name signals with Some v -> v | None -> Float.nan
+  in
+  let sum f =
+    List.fold_left
+      (fun acc v -> if Float.is_nan (f v) then acc else acc +. f v)
+      0.0 views
+  in
+  let up = signal "fleet_up" and total = signal "fleet_nodes" in
+  let merged_name =
+    if Float.is_nan up then "fleet"
+    else Printf.sprintf "fleet (%.0f/%.0f up)" up total
+  in
+  row merged_name
+    (if Fleet.healthy fleet then "ok" else "breach")
+    (fleet_cell (sum (fun (v : Fleet.node_view) -> v.request_rate)))
+    (fleet_cell (signal "fleet_decision_p99_ns" /. 1e6))
+    (fleet_cell (sum (fun (v : Fleet.node_view) -> v.occupancy)))
+    (let r = signal "fleet_requests_total" in
+     if Float.is_nan r then "-" else Printf.sprintf "%.0f" r);
+  Buffer.contents b
+
+let fleet_cmd =
+  let run endpoints interval_opt count timeout listen slo stale_after =
+    protected @@ fun () ->
+    if timeout <= 0.0 then or_die (Error "--timeout must be positive");
+    if stale_after <= 0.0 then or_die (Error "--stale-after must be positive");
+    if count < 0 then or_die (Error "--count must be non-negative");
+    (match interval_opt with
+    | Some i when i <= 0.0 -> or_die (Error "--interval must be positive")
+    | _ -> ());
+    let rules =
+      Fleet.default_rules
+      @ List.map (fun s -> or_die (Health.parse_rule s)) slo
+    in
+    let health = Health.create ~window:0.0 ~rules () in
+    let fleet =
+      try
+        Fleet.create ~stale_after ~health
+          (List.map (fleet_fetcher ~timeout) endpoints)
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    let scrape_and_print () =
+      Fleet.scrape fleet ~at:(Unix.gettimeofday ());
+      print_string (render_fleet_table fleet);
+      flush stdout
+    in
+    let live = listen <> None || interval_opt <> None in
+    if not live then begin
+      (* one-shot: scrape, print the table, exit with the verdict *)
+      scrape_and_print ();
+      if not (Fleet.healthy fleet) then exit 1
+    end
+    else begin
+      let interval = Option.value interval_opt ~default:2.0 in
+      let http = start_server ~listen (Fleet.routes fleet) in
+      install_shutdown_handlers ();
+      let rounds = ref 0 in
+      let continue () =
+        (not (Atomic.get shutdown_requested)) && (count = 0 || !rounds < count)
+      in
+      while continue () do
+        if !rounds > 0 then print_newline ();
+        Printf.printf "-- scrape %d --\n" (!rounds + 1);
+        scrape_and_print ();
+        incr rounds;
+        if continue () then begin
+          let slept = ref 0.0 in
+          while !slept < interval && not (Atomic.get shutdown_requested) do
+            (try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ());
+            slept := !slept +. 0.2
+          done
+        end
+      done;
+      Option.iter Server.stop http;
+      if count > 0 && not (Fleet.healthy fleet) then exit 1
+    end
+  in
+  let endpoints_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"ENDPOINT"
+          ~doc:
+            "Decision-service endpoints to federate (tcp://HOST:PORT, \
+             unix://PATH or mem://NAME) — each serving wire telemetry \
+             (serve-decisions --telemetry).")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Live mode: re-scrape and re-print the fleet table every \
+             $(docv) (default one-shot).")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:
+            "In live mode, stop after $(docv) scrapes (0 = until \
+             interrupted) and exit with the last verdict.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float Mitos_obs.Netio.default_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-node connect/roundtrip timeout.")
+  in
+  let fleet_listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve the federated surfaces on $(docv) while scraping: GET \
+             /metrics (every node's series labelled node=\"<id>\" plus \
+             fleet meta-series), /fleet.json (per-node + merged rollup), \
+             /healthz (worst-of-fleet verdict; 503 names the breaching \
+             node). Implies live mode.")
+  in
+  let stale_after_arg =
+    Arg.(
+      value
+      & opt float 60.0
+      & info [ "stale-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Drop a node from the merged rollup (and breach the fleet \
+             verdict) when its last successful scrape is older than \
+             $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Federate telemetry across a fleet of decision servers: scrape \
+          each endpoint's registry snapshot over the wire protocol, merge \
+          exactly (counters sum, histograms merge bucket-wise so fleet \
+          p99 comes from merged buckets, gauges stay per-node), and print \
+          a live per-node table with a merged fleet row. Exit 0 when the \
+          fleet is healthy, 1 otherwise (one-shot and --count modes).")
+    Term.(
+      const run $ endpoints_arg $ interval_arg $ count_arg $ timeout_arg
+      $ fleet_listen_arg $ slo_arg $ stale_after_arg)
 
 let sync_period_arg =
   Arg.(
@@ -1981,7 +2252,7 @@ let () =
           [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
             sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd;
-            audit_cmd; serve_cmd; watch_cmd; serve_decisions_cmd;
+            audit_cmd; serve_cmd; watch_cmd; fleet_cmd; serve_decisions_cmd;
             coordinator_cmd; node_cmd; cluster_cmd; loadgen_cmd;
             profile_cmd; bench_cmd;
             version_cmd ]))

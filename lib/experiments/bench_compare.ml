@@ -38,6 +38,9 @@ let gated_metrics =
        metric missing from an older baseline is skipped, not failed *)
     ([ "net_decide_batch"; "p50_ns" ], Lower_better);
     ([ "net_decide_batch"; "requests_per_sec" ], Higher_better);
+    (* fleet federation: one scrape-and-merge round over 8 loopback
+       nodes must stay cheap enough to run on a short interval *)
+    ([ "fleet_scrape"; "mean_ns" ], Lower_better);
     (* profiling-layer rows: the instrumented-mutex fast path and GC
        allocation pressure of the replay hot path *)
     ([ "lock_contention"; "uncontended_pair_ns" ], Lower_better);

@@ -193,3 +193,9 @@ let stats t =
   | Ok (Wire.Stats s) -> Ok s
   | Ok _ -> bad_reply "stats"
   | Error _ as e -> e
+
+let telemetry t =
+  match roundtrip t Wire.Query_telemetry with
+  | Ok (Wire.Telemetry r) -> Ok r
+  | Ok _ -> bad_reply "telemetry"
+  | Error _ as e -> e

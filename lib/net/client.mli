@@ -72,5 +72,10 @@ val global : t -> (float, error) result
 val read_node : t -> int -> (float, error) result
 val stats : t -> (Wire.stats, error) result
 
+val telemetry : t -> (Wire.telemetry, error) result
+(** One {!Wire.Query_telemetry} roundtrip: the node's id, its own SLO
+    verdict, and its full registry snapshot — the fleet aggregator's
+    fetch primitive. *)
+
 val close : t -> unit
 (** Idempotent; subsequent operations return [Error Closed]. *)

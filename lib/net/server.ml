@@ -13,6 +13,7 @@ type config = {
   estimator_shards : int;
   read_timeout : float;
   max_frame : int;
+  node_id : string;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     estimator_shards = 1;
     read_timeout = Netio.default_timeout;
     max_frame = Wire.default_max_frame;
+    node_id = "node0";
   }
 
 (* per-operation metric handles, resolved once at create time *)
@@ -43,9 +45,15 @@ type t = {
   served : int Atomic.t;
   decided : int Atomic.t;
   publishes : int Atomic.t;
+  (* What Query_telemetry reports as the node's own SLO verdict;
+     replaced by [set_health_probe] when a health watchdog is wired
+     in. Read on whichever worker domain serves the request, so
+     probes must be safe to call from any domain. *)
+  mutable health_probe : unit -> bool * string;
 }
 
-let op_labels = [ "ping"; "decide"; "publish"; "global"; "node"; "stats" ]
+let op_labels =
+  [ "ping"; "decide"; "publish"; "global"; "node"; "stats"; "telemetry" ]
 
 let create ?(config = default_config) ?registry ?(obs = Obs.disabled) ~params
     () =
@@ -91,10 +99,12 @@ let create ?(config = default_config) ?registry ?(obs = Obs.disabled) ~params
     served = Atomic.make 0;
     decided = Atomic.make 0;
     publishes = Atomic.make 0;
+    health_probe = (fun () -> (true, "status: ok (no SLO rules attached)\n"));
   }
 
 let registry t = t.reg
 let estimator t = t.est
+let set_health_probe t probe = t.health_probe <- probe
 let config t = t.config
 let obs t = t.obs
 
@@ -159,6 +169,20 @@ let handle_request t (req : Wire.request) : Wire.response =
         publishes = Atomic.get t.publishes;
         nodes = t.config.nodes;
         global = Estimator.global t.est;
+      }
+  | Query_telemetry ->
+    (* the snapshot is cut before this request's own per-op counter
+       and latency are recorded (handle_body updates them after the
+       response is built), so answering telemetry does not perturb
+       the snapshot being answered — the property the federation
+       byte-identity test leans on *)
+    let healthy, health = t.health_probe () in
+    Telemetry
+      {
+        node = t.config.node_id;
+        healthy;
+        health;
+        snapshot = Registry.snapshot t.reg;
       }
 
 (* Record a completed server span carrying the client's trace context,

@@ -38,12 +38,15 @@ type config = {
           fold bit-identical to the unsharded estimator. *)
   read_timeout : float;  (** per-connection, seconds *)
   max_frame : int;  (** {!Wire.unframe} bound *)
+  node_id : string;
+      (** the id this node reports in {!Wire.Telemetry} replies — the
+          [node] label of its series in a federated exposition *)
 }
 
 val default_config : config
 (** 4 workers, 16 nodes, 1 estimator shard,
     {!Mitos_obs.Netio.default_timeout} read timeout,
-    {!Wire.default_max_frame}. *)
+    {!Wire.default_max_frame}, node id ["node0"]. *)
 
 type t
 (** The service state: parameters, estimator, counters. Independent of
@@ -69,6 +72,13 @@ val registry : t -> Mitos_obs.Registry.t
 val estimator : t -> Mitos_distrib.Estimator.t
 val config : t -> config
 val obs : t -> Mitos_obs.Obs.t
+
+val set_health_probe : t -> (unit -> bool * string) -> unit
+(** Wire the node's own SLO verdict into {!Wire.Query_telemetry}
+    replies: the probe returns (healthy, rendered /healthz body) and
+    is called per telemetry request, on whichever domain serves it —
+    it must be safe to call concurrently. The default probe reports
+    healthy with a "no SLO rules attached" body. *)
 
 val handle_body : t -> string -> string
 (** The whole service as a function: one request frame body in, one

@@ -1,6 +1,7 @@
 open Mitos_tag
 module Codec = Mitos_util.Codec
 module Propagation = Mitos_obs.Propagation
+module Snapshot = Mitos_obs.Registry.Snapshot
 
 let version = 2
 let min_version = 1
@@ -43,6 +44,13 @@ type stats = {
   global : float;
 }
 
+type telemetry = {
+  node : string;
+  healthy : bool;
+  health : string;
+  snapshot : Snapshot.t;
+}
+
 type request =
   | Ping
   | Decide of decide_request list
@@ -50,6 +58,7 @@ type request =
   | Read_global
   | Read_node of int
   | Query_stats
+  | Query_telemetry
 
 type response =
   | Pong
@@ -58,6 +67,7 @@ type response =
   | Global of float
   | Node_value of float
   | Stats of stats
+  | Telemetry of telemetry
   | Err of string
 
 let request_kind = function
@@ -67,6 +77,7 @@ let request_kind = function
   | Read_global -> "global"
   | Read_node _ -> "node"
   | Query_stats -> "stats"
+  | Query_telemetry -> "telemetry"
 
 (* -- message discriminators ------------------------------------------- *)
 
@@ -76,6 +87,7 @@ and k_publish = 0x03
 and k_global = 0x04
 and k_node = 0x05
 and k_stats = 0x06
+and k_telemetry = 0x07
 
 let k_pong = 0x81
 and k_decisions = 0x82
@@ -83,6 +95,7 @@ and k_published = 0x83
 and k_global_is = 0x84
 and k_node_value = 0x85
 and k_stats_reply = 0x86
+and k_telemetry_reply = 0x87
 and k_err = 0xFF
 
 (* -- field codecs ------------------------------------------------------ *)
@@ -211,7 +224,8 @@ let encode_request_body ?version ?trace ~id req =
           Codec.Enc.float e value)
     | Read_global -> body ~id k_global (fun _ -> ())
     | Read_node node -> body ~id k_node (fun e -> Codec.Enc.uint e node)
-    | Query_stats -> body ~id k_stats (fun _ -> ()))
+    | Query_stats -> body ~id k_stats (fun _ -> ())
+    | Query_telemetry -> body ~id k_telemetry (fun _ -> ()))
 
 let encode_response_body ~id resp =
   let body ~id kind payload = body ~has_trace:false ~id kind payload in
@@ -231,6 +245,12 @@ let encode_response_body ~id resp =
           Codec.Enc.uint e s.publishes;
           Codec.Enc.uint e s.nodes;
           Codec.Enc.float e s.global)
+    | Telemetry r ->
+      body ~id k_telemetry_reply (fun e ->
+          Codec.Enc.string e r.node;
+          Codec.Enc.bool e r.healthy;
+          Codec.Enc.string e r.health;
+          Snapshot.write e r.snapshot)
     | Err msg -> body ~id k_err (fun e -> Codec.Enc.string e msg))
 
 let encode_request ?version ?trace ~id req =
@@ -275,6 +295,7 @@ let decode_request s =
       else if kind = k_global then Some Read_global
       else if kind = k_node then Some (Read_node (Codec.Dec.uint d))
       else if kind = k_stats then Some Query_stats
+      else if kind = k_telemetry then Some Query_telemetry
       else None)
     s
 
@@ -295,6 +316,12 @@ let decode_response s =
         let nodes = Codec.Dec.uint d in
         let global = Codec.Dec.float d in
         Some (Stats { served; decided; publishes; nodes; global })
+      else if kind = k_telemetry_reply then
+        let node = Codec.Dec.string d in
+        let healthy = Codec.Dec.bool d in
+        let health = Codec.Dec.string d in
+        let snapshot = Snapshot.read d in
+        Some (Telemetry { node; healthy; health; snapshot })
       else if kind = k_err then Some (Err (Codec.Dec.string d))
       else None)
       s

@@ -38,6 +38,7 @@
 
 open Mitos_tag
 module Propagation = Mitos_obs.Propagation
+module Snapshot = Mitos_obs.Registry.Snapshot
 
 val version : int
 (** Current protocol version (2). *)
@@ -98,6 +99,19 @@ type stats = {
   global : float;  (** current global pollution sum *)
 }
 
+(** A node's full telemetry cut, served to the fleet aggregator: its
+    self-reported id, its own SLO verdict (flag + rendered /healthz
+    body), and one {!Mitos_obs.Registry.Snapshot} as a compact binary
+    body. The snapshot rides the same strict codec as every other
+    field — truncated, oversized or internally inconsistent snapshots
+    decode to typed {!error}s, never exceptions. *)
+type telemetry = {
+  node : string;
+  healthy : bool;
+  health : string;
+  snapshot : Snapshot.t;
+}
+
 type request =
   | Ping
   | Decide of decide_request list  (** batched *)
@@ -105,6 +119,7 @@ type request =
   | Read_global
   | Read_node of int
   | Query_stats
+  | Query_telemetry
 
 type response =
   | Pong
@@ -113,6 +128,7 @@ type response =
   | Global of float
   | Node_value of float
   | Stats of stats
+  | Telemetry of telemetry
   | Err of string  (** server-side refusal, e.g. node out of range *)
 
 val request_kind : request -> string

@@ -113,6 +113,64 @@ let quantile t q =
     end
   end
 
+let bounds t = Array.copy t.bounds
+
+let same_layout a b = a.bounds = b.bounds
+
+let of_buckets ~bounds ~counts ~sum ~min_value ~max_value =
+  if Array.length counts <> Array.length bounds + 1 then
+    invalid_arg "Histogram.of_buckets: need one more count than bounds";
+  if Array.length counts < 2 then
+    invalid_arg "Histogram.of_buckets: need at least 2 buckets";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) || b <= 0.0 then
+        invalid_arg "Histogram.of_buckets: bounds must be finite and positive";
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Histogram.of_buckets: bounds must be strictly increasing")
+    bounds;
+  let total =
+    Array.fold_left
+      (fun acc c ->
+        if c < 0 then invalid_arg "Histogram.of_buckets: negative count";
+        acc + c)
+      0 counts
+  in
+  {
+    bounds = Array.copy bounds;
+    counts = Array.copy counts;
+    total;
+    sum;
+    min_v = (if total = 0 then nan else min_value);
+    max_v = (if total = 0 then nan else max_value);
+  }
+
+(* Bucket-wise sum: exact for counts/total/sum, and min/max combine
+   exactly too, so quantiles of the merge come from real merged
+   buckets — never from averaging per-part percentiles. *)
+let merge a b =
+  if not (same_layout a b) then
+    invalid_arg "Histogram.merge: bucket layouts differ";
+  let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+  let min_v =
+    if a.total = 0 then b.min_v
+    else if b.total = 0 then a.min_v
+    else Float.min a.min_v b.min_v
+  in
+  let max_v =
+    if a.total = 0 then b.max_v
+    else if b.total = 0 then a.max_v
+    else Float.max a.max_v b.max_v
+  in
+  {
+    bounds = Array.copy a.bounds;
+    counts;
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    min_v;
+    max_v;
+  }
+
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.total <- 0;

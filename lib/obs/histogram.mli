@@ -56,4 +56,33 @@ val quantile : t -> float -> float
     estimate. [nan] when empty; raises [Invalid_argument] when [q] is
     outside [0, 1]. *)
 
+val bounds : t -> float array
+(** The finite upper bounds (everything but the [+inf] overflow), in
+    increasing order; a copy. *)
+
+val same_layout : t -> t -> bool
+(** Whether the two histograms share one bucket layout (identical
+    bound arrays) — the precondition of {!merge}. *)
+
+val of_buckets :
+  bounds:float array ->
+  counts:int array ->
+  sum:float ->
+  min_value:float ->
+  max_value:float ->
+  t
+(** Rebuild a histogram from its raw parts (e.g. decoded from a
+    {!Registry.Snapshot}); [total] is the count sum, and [min_value]/
+    [max_value] are ignored (forced to [nan]) when the counts are all
+    zero. Raises [Invalid_argument] on a count/bound length mismatch,
+    non-increasing or non-positive bounds, or a negative count. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum into a fresh histogram: counts, total and sum add;
+    min/max combine (ignoring an empty side). Exact — a quantile of
+    the merge is computed from the merged buckets, never by averaging
+    per-part quantiles. Commutative and associative, with the empty
+    histogram as identity. Raises [Invalid_argument] unless
+    {!same_layout}. *)
+
 val reset : t -> unit

@@ -80,67 +80,7 @@ let histogram t ?(help = "") ?(labels = []) ?lo ?growth ?buckets name =
 
 (* -- rendering ------------------------------------------------------ *)
 
-(* A scrape copies every metric's current value into this plain data
-   under the lock — integers, floats and (small) bucket arrays, no
-   string formatting — and both expositions render from the copy with
-   the lock released. Lock hold time is bounded by the metric count,
-   not by text size, and each exposition is a single point-in-time cut
-   instead of values read one by one as the text is built. *)
-type snapshot_value =
-  | Counter_v of int
-  | Gauge_v of float
-  | Hist_v of {
-      cumulative : (float * int) array;
-      raw : (float * int) array;
-      quantiles : (float * float) list;  (* (q, estimate) *)
-      sum : float;
-      count : int;
-      min_value : float;
-      max_value : float;
-    }
-
-type snapshot_row = {
-  s_name : string;
-  s_labels : (string * string) list;
-  s_help : string;
-  s_value : snapshot_value;
-}
-
-let value_kind_name = function
-  | Counter_v _ -> "counter"
-  | Gauge_v _ -> "gauge"
-  | Hist_v _ -> "histogram"
-
-let snapshot t =
-  locked t (fun () ->
-      Hashtbl.fold
-        (fun _ m acc ->
-          let s_value =
-            match m.kind with
-            | Counter c -> Counter_v !c
-            | Gauge g -> Gauge_v !g
-            | Hist h ->
-              Hist_v
-                {
-                  cumulative = Histogram.cumulative_buckets h;
-                  raw = Histogram.buckets h;
-                  quantiles =
-                    List.map
-                      (fun q -> (q, Histogram.quantile h q))
-                      [ 0.5; 0.95; 0.99 ];
-                  sum = Histogram.sum h;
-                  count = Histogram.count h;
-                  min_value = Histogram.min_value h;
-                  max_value = Histogram.max_value h;
-                }
-          in
-          { s_name = m.name; s_labels = m.labels; s_help = m.help; s_value }
-          :: acc)
-        t.tbl [])
-  |> List.sort (fun a b ->
-         match String.compare a.s_name b.s_name with
-         | 0 -> compare a.s_labels b.s_labels
-         | c -> c)
+module Codec = Mitos_util.Codec
 
 (* Canonical number rendering: integers without a fractional part,
    everything else through %.9g; non-finite values in Prometheus
@@ -174,56 +114,6 @@ let render_labels ?extra labels =
         (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) kvs)
     ^ "}"
 
-let to_prometheus t =
-  let buf = Buffer.create 1024 in
-  let seen_header = Hashtbl.create 16 in
-  List.iter
-    (fun m ->
-      if not (Hashtbl.mem seen_header m.s_name) then begin
-        Hashtbl.add seen_header m.s_name ();
-        if m.s_help <> "" then
-          Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" m.s_name m.s_help);
-        Buffer.add_string buf
-          (Printf.sprintf "# TYPE %s %s\n" m.s_name
-             (value_kind_name m.s_value))
-      end;
-      match m.s_value with
-      | Counter_v c ->
-        Buffer.add_string buf
-          (Printf.sprintf "%s%s %d\n" m.s_name (render_labels m.s_labels) c)
-      | Gauge_v g ->
-        Buffer.add_string buf
-          (Printf.sprintf "%s%s %s\n" m.s_name (render_labels m.s_labels)
-             (fmt_value g))
-      | Hist_v h ->
-        Array.iter
-          (fun (ub, cum) ->
-            Buffer.add_string buf
-              (Printf.sprintf "%s_bucket%s %d\n" m.s_name
-                 (render_labels ~extra:("le", fmt_value ub) m.s_labels)
-                 cum))
-          h.cumulative;
-        (* estimated quantiles alongside the raw buckets, in the
-           summary-style series (bare name, "quantile" label) *)
-        List.iter
-          (fun (q, estimate) ->
-            Buffer.add_string buf
-              (Printf.sprintf "%s%s %s\n" m.s_name
-                 (render_labels ~extra:("quantile", fmt_value q) m.s_labels)
-                 (fmt_value estimate)))
-          h.quantiles;
-        Buffer.add_string buf
-          (Printf.sprintf "%s_sum%s %s\n" m.s_name (render_labels m.s_labels)
-             (fmt_value h.sum));
-        Buffer.add_string buf
-          (Printf.sprintf "%s_count%s %d\n" m.s_name
-             (render_labels m.s_labels) h.count))
-    (snapshot t);
-  Buffer.contents buf
-
-(* -- JSON ----------------------------------------------------------- *)
-
 let json_string s =
   let buf = Buffer.create (String.length s + 2) in
   Buffer.add_char buf '"';
@@ -244,61 +134,372 @@ let json_number v =
   if Float.is_nan v || v = infinity || v = neg_infinity then "null"
   else fmt_value v
 
-let series_key m =
-  m.s_name ^ render_labels m.s_labels
+(* -- snapshots ------------------------------------------------------- *)
 
-let to_json t =
-  let metrics = snapshot t in
-  let of_kind want =
-    List.filter (fun m -> value_kind_name m.s_value = want) metrics
-  in
-  let obj fields = "{" ^ String.concat "," fields ^ "}" in
-  let counters =
-    of_kind "counter"
-    |> List.map (fun m ->
-           match m.s_value with
-           | Counter_v c ->
-             Printf.sprintf "%s:%d" (json_string (series_key m)) c
-           | _ -> assert false)
-  in
-  let gauges =
-    of_kind "gauge"
-    |> List.map (fun m ->
-           match m.s_value with
-           | Gauge_v g ->
-             Printf.sprintf "%s:%s" (json_string (series_key m))
-               (json_number g)
-           | _ -> assert false)
-  in
-  let histograms =
-    of_kind "histogram"
-    |> List.map (fun m ->
-           match m.s_value with
-           | Hist_v h ->
-             let buckets =
-               h.raw |> Array.to_list
-               |> List.map (fun (ub, c) ->
-                      Printf.sprintf "[%s,%d]"
-                        (if ub = infinity then json_string "+Inf"
-                         else fmt_value ub)
-                        c)
-             in
-             Printf.sprintf "%s:%s"
-               (json_string (series_key m))
-               (obj
-                  [
-                    Printf.sprintf "\"count\":%d" h.count;
-                    Printf.sprintf "\"sum\":%s" (json_number h.sum);
-                    Printf.sprintf "\"min\":%s" (json_number h.min_value);
-                    Printf.sprintf "\"max\":%s" (json_number h.max_value);
-                    Printf.sprintf "\"buckets\":[%s]"
-                      (String.concat "," buckets);
-                  ])
-           | _ -> assert false)
-  in
-  obj
-    [
-      Printf.sprintf "\"counters\":%s" (obj counters);
-      Printf.sprintf "\"gauges\":%s" (obj gauges);
-      Printf.sprintf "\"histograms\":%s" (obj histograms);
-    ]
+(* A scrape copies every metric's current value into this plain data
+   under the lock — integers, floats and (small) bucket arrays, no
+   string formatting — and every exposition renders from the copy with
+   the lock released. Lock hold time is bounded by the metric count,
+   not by text size, and each exposition is a single point-in-time cut
+   instead of values read one by one as the text is built.
+
+   The same plain data is the unit of telemetry federation: it has a
+   compact binary codec (shipped in [Wire.Telemetry] bodies), an exact
+   bucket-wise merge, and deterministic renderers — so a fleet
+   aggregator reconstructs percentiles from merged buckets instead of
+   averaging per-node percentiles. *)
+module Snapshot = struct
+  type hist = {
+    bounds : float array;
+    counts : int array;
+    sum : float;
+    min_value : float;
+    max_value : float;
+  }
+
+  type value = Counter of int | Gauge of float | Hist of hist
+
+  type row = {
+    name : string;
+    labels : (string * string) list;  (* sorted by key *)
+    help : string;
+    value : value;
+  }
+
+  type nonrec t = row list
+
+  let value_kind_name = function
+    | Counter _ -> "counter"
+    | Gauge _ -> "gauge"
+    | Hist _ -> "histogram"
+
+  let compare_row a b =
+    match String.compare a.name b.name with
+    | 0 -> compare a.labels b.labels
+    | c -> c
+
+  let sort_rows rows = List.sort compare_row rows
+
+  let hist_count h = Array.fold_left ( + ) 0 h.counts
+
+  (* Rebuild a live histogram from the copied parts; quantiles and
+     cumulative buckets derived from it are exactly what the source
+     histogram would report, because {!Histogram.quantile} depends
+     only on these fields. Raises [Invalid_argument] on inconsistent
+     parts (the codec turns that into [Malformed]). *)
+  let to_histogram h =
+    Histogram.of_buckets ~bounds:h.bounds ~counts:h.counts ~sum:h.sum
+      ~min_value:h.min_value ~max_value:h.max_value
+
+  let of_histogram h =
+    {
+      bounds = Histogram.bounds h;
+      counts = Array.map snd (Histogram.buckets h);
+      sum = Histogram.sum h;
+      min_value = Histogram.min_value h;
+      max_value = Histogram.max_value h;
+    }
+
+  let hist_merge a b = of_histogram (Histogram.merge (to_histogram a) (to_histogram b))
+
+  let quantiles h =
+    let live = to_histogram h in
+    List.map (fun q -> (q, Histogram.quantile live q)) [ 0.5; 0.95; 0.99 ]
+
+  let cumulative h =
+    let acc = ref 0 in
+    Array.mapi
+      (fun i c ->
+        acc := !acc + c;
+        ( (if i = Array.length h.bounds then infinity else h.bounds.(i)),
+          !acc ))
+      h.counts
+
+  let raw_buckets h =
+    Array.mapi
+      (fun i c ->
+        ((if i = Array.length h.bounds then infinity else h.bounds.(i)), c))
+      h.counts
+
+  (* -- relabelling / merging ---------------------------------------- *)
+
+  let with_node node r =
+    {
+      r with
+      labels =
+        norm_labels
+          (("node", node) :: List.filter (fun (k, _) -> k <> "node") r.labels);
+    }
+
+  let relabel ~node rows = sort_rows (List.map (with_node node) rows)
+
+  let merge parts =
+    (* group occurrences of each (name, labels) series across nodes,
+       in first-appearance order; [order] is only a grouping aid — the
+       result is re-sorted, so output never depends on input order *)
+    let groups = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun (node, rows) ->
+        List.iter
+          (fun r ->
+            let key = (r.name, r.labels) in
+            match Hashtbl.find_opt groups key with
+            | Some occ -> Hashtbl.replace groups key ((node, r) :: occ)
+            | None ->
+              order := key :: !order;
+              Hashtbl.replace groups key [ (node, r) ])
+          rows)
+      parts;
+    let emit key =
+      let occurrences = List.rev (Hashtbl.find groups key) in
+      match occurrences with
+      | [] -> []
+      | (_, first) :: _ -> (
+        (* counters and layout-compatible histograms fold across
+           nodes; gauges are point-in-time per-node readings, so they
+           keep a [node] label instead of pretending a sum means
+           anything. A kind or bucket-layout clash falls back to
+           per-node labelling too — the fleet view degrades to
+           node-scoped series rather than failing the scrape. *)
+        let mergeable =
+          match first.value with
+          | Counter _ ->
+            List.for_all
+              (fun (_, r) ->
+                match r.value with Counter _ -> true | _ -> false)
+              occurrences
+          | Hist h0 ->
+            List.for_all
+              (fun (_, r) ->
+                match r.value with
+                | Hist h -> h.bounds = h0.bounds
+                | _ -> false)
+              occurrences
+          | Gauge _ -> false
+        in
+        if not mergeable then
+          List.map (fun (node, r) -> with_node node r) occurrences
+        else
+          match first.value with
+          | Counter _ ->
+            let total =
+              List.fold_left
+                (fun acc (_, r) ->
+                  match r.value with Counter c -> acc + c | _ -> acc)
+                0 occurrences
+            in
+            [ { first with value = Counter total } ]
+          | Hist _ ->
+            let merged =
+              List.fold_left
+                (fun acc (_, r) ->
+                  match (acc, r.value) with
+                  | None, Hist h -> Some h
+                  | Some m, Hist h -> Some (hist_merge m h)
+                  | acc, _ -> acc)
+                None occurrences
+            in
+            (match merged with
+            | Some h -> [ { first with value = Hist h } ]
+            | None -> [])
+          | Gauge _ -> assert false)
+    in
+    sort_rows (List.concat_map emit (List.rev !order))
+
+  (* -- binary codec -------------------------------------------------- *)
+
+  let write_value e = function
+    | Counter c ->
+      Codec.Enc.uint e 0;
+      Codec.Enc.int e c
+    | Gauge g ->
+      Codec.Enc.uint e 1;
+      Codec.Enc.float e g
+    | Hist h ->
+      Codec.Enc.uint e 2;
+      Codec.Enc.array e (Codec.Enc.float e) h.bounds;
+      Codec.Enc.array e (Codec.Enc.uint e) h.counts;
+      Codec.Enc.float e h.sum;
+      Codec.Enc.float e h.min_value;
+      Codec.Enc.float e h.max_value
+
+  let write_row e r =
+    Codec.Enc.string e r.name;
+    Codec.Enc.list e
+      (fun (k, v) ->
+        Codec.Enc.string e k;
+        Codec.Enc.string e v)
+      r.labels;
+    Codec.Enc.string e r.help;
+    write_value e r.value
+
+  let write e rows = Codec.Enc.list e (write_row e) rows
+
+  let read_value d =
+    match Codec.Dec.uint d with
+    | 0 -> Counter (Codec.Dec.int d)
+    | 1 -> Gauge (Codec.Dec.float d)
+    | 2 ->
+      let bounds = Codec.Dec.array d Codec.Dec.float in
+      let counts = Codec.Dec.array d Codec.Dec.uint in
+      let sum = Codec.Dec.float d in
+      let min_value = Codec.Dec.float d in
+      let max_value = Codec.Dec.float d in
+      let h = { bounds; counts; sum; min_value; max_value } in
+      (* a hostile snapshot must not survive as an unrenderable row *)
+      (match to_histogram h with
+      | _ -> ()
+      | exception Invalid_argument msg -> raise (Codec.Malformed msg));
+      Hist h
+    | k -> raise (Codec.Malformed (Printf.sprintf "unknown snapshot value kind %d" k))
+
+  let read_row d =
+    let name = Codec.Dec.string d in
+    let labels =
+      Codec.Dec.list d (fun d ->
+          let k = Codec.Dec.string d in
+          (k, Codec.Dec.string d))
+    in
+    let help = Codec.Dec.string d in
+    { name; labels = norm_labels labels; help; value = read_value d }
+
+  (* Re-sorting on read makes decode canonical: whatever order the
+     peer sent, the decoded snapshot renders deterministically. *)
+  let read d = sort_rows (Codec.Dec.list d read_row)
+
+  let encode rows =
+    let e = Codec.Enc.create () in
+    write e rows;
+    Codec.Enc.contents e
+
+  let decode s =
+    let d = Codec.Dec.of_string s in
+    let rows = read d in
+    Codec.Dec.expect_end d;
+    rows
+
+  (* -- rendering ----------------------------------------------------- *)
+
+  let to_prometheus rows =
+    let buf = Buffer.create 1024 in
+    let seen_header = Hashtbl.create 16 in
+    List.iter
+      (fun m ->
+        if not (Hashtbl.mem seen_header m.name) then begin
+          Hashtbl.add seen_header m.name ();
+          if m.help <> "" then
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s %s\n" m.name (value_kind_name m.value))
+        end;
+        match m.value with
+        | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" m.name (render_labels m.labels) c)
+        | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+               (fmt_value g))
+        | Hist h ->
+          Array.iter
+            (fun (ub, cum) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.name
+                   (render_labels ~extra:("le", fmt_value ub) m.labels)
+                   cum))
+            (cumulative h);
+          (* estimated quantiles alongside the raw buckets, in the
+             summary-style series (bare name, "quantile" label) *)
+          List.iter
+            (fun (q, estimate) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s\n" m.name
+                   (render_labels ~extra:("quantile", fmt_value q) m.labels)
+                   (fmt_value estimate)))
+            (quantiles h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels)
+               (fmt_value h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.name (render_labels m.labels)
+               (hist_count h)))
+      rows;
+    Buffer.contents buf
+
+  let series_key m = m.name ^ render_labels m.labels
+
+  let to_json rows =
+    let of_kind want =
+      List.filter (fun m -> value_kind_name m.value = want) rows
+    in
+    let obj fields = "{" ^ String.concat "," fields ^ "}" in
+    let counters =
+      of_kind "counter"
+      |> List.map (fun m ->
+             match m.value with
+             | Counter c ->
+               Printf.sprintf "%s:%d" (json_string (series_key m)) c
+             | _ -> assert false)
+    in
+    let gauges =
+      of_kind "gauge"
+      |> List.map (fun m ->
+             match m.value with
+             | Gauge g ->
+               Printf.sprintf "%s:%s" (json_string (series_key m))
+                 (json_number g)
+             | _ -> assert false)
+    in
+    let histograms =
+      of_kind "histogram"
+      |> List.map (fun m ->
+             match m.value with
+             | Hist h ->
+               let buckets =
+                 raw_buckets h |> Array.to_list
+                 |> List.map (fun (ub, c) ->
+                        Printf.sprintf "[%s,%d]"
+                          (if ub = infinity then json_string "+Inf"
+                           else fmt_value ub)
+                          c)
+               in
+               Printf.sprintf "%s:%s"
+                 (json_string (series_key m))
+                 (obj
+                    [
+                      Printf.sprintf "\"count\":%d" (hist_count h);
+                      Printf.sprintf "\"sum\":%s" (json_number h.sum);
+                      Printf.sprintf "\"min\":%s" (json_number h.min_value);
+                      Printf.sprintf "\"max\":%s" (json_number h.max_value);
+                      Printf.sprintf "\"buckets\":[%s]"
+                        (String.concat "," buckets);
+                    ])
+             | _ -> assert false)
+    in
+    obj
+      [
+        Printf.sprintf "\"counters\":%s" (obj counters);
+        Printf.sprintf "\"gauges\":%s" (obj gauges);
+        Printf.sprintf "\"histograms\":%s" (obj histograms);
+      ]
+end
+
+let snapshot t : Snapshot.t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ m acc ->
+          let value =
+            match m.kind with
+            | Counter c -> Snapshot.Counter !c
+            | Gauge g -> Snapshot.Gauge !g
+            | Hist h -> Snapshot.Hist (Snapshot.of_histogram h)
+          in
+          { Snapshot.name = m.name; labels = m.labels; help = m.help; value }
+          :: acc)
+        t.tbl [])
+  |> Snapshot.sort_rows
+
+let to_prometheus t = Snapshot.to_prometheus (snapshot t)
+let to_json t = Snapshot.to_json (snapshot t)

@@ -58,13 +58,97 @@ val histogram :
 (** The bucket layout arguments are honoured on creation and ignored
     on later lookups of the same key. *)
 
+(** {1 Snapshots}
+
+    One point-in-time cut of a registry as plain data: the federation
+    unit. A snapshot has a compact binary codec (the payload of the
+    wire protocol's telemetry op), an exact merge, and the same
+    deterministic renderers the live registry uses — fleet percentiles
+    are computed from merged buckets, never by averaging per-node
+    percentiles. *)
+module Snapshot : sig
+  (** Raw histogram parts: finite upper bounds ([counts] has one more
+      entry, the [+inf] overflow bucket), plus exact sum/min/max. *)
+  type hist = {
+    bounds : float array;
+    counts : int array;
+    sum : float;
+    min_value : float;
+    max_value : float;
+  }
+
+  type value = Counter of int | Gauge of float | Hist of hist
+
+  type row = {
+    name : string;
+    labels : (string * string) list;  (** sorted by key *)
+    help : string;
+    value : value;
+  }
+
+  type t = row list
+  (** Always sorted by name then labels — every producer in this
+      module returns sorted rows, so renders are deterministic. *)
+
+  val sort_rows : row list -> t
+
+  val to_histogram : hist -> Histogram.t
+  (** Rebuild a live histogram from the copied parts —
+      {!Histogram.quantile} on it reports exactly what the source
+      histogram would. Raises [Invalid_argument] on inconsistent
+      parts. *)
+
+  val of_histogram : Histogram.t -> hist
+
+  val relabel : node:string -> t -> t
+  (** Add (or overwrite) a [node="<id>"] label on every row — how the
+      federated exposition keeps per-node series apart. *)
+
+  val merge : (string * t) list -> t
+  (** Merge per-node snapshots ([(node_id, snapshot)] pairs) into one
+      fleet snapshot: counters with equal [(name, labels)] sum;
+      histograms with equal keys and identical bucket layouts merge
+      bucket-wise ({!Histogram.merge} semantics); gauges — and any
+      kind/layout clash — fall back to per-node rows labelled
+      [node="<id>"]. Result is sorted; independent of input order up
+      to that sort. *)
+
+  val write : Mitos_util.Codec.Enc.t -> t -> unit
+  (** Append the binary form: row count then per-row name, labels,
+      help and value, all in {!Mitos_util.Codec} varint encoding
+      (floats bit-exact) — merging a decoded snapshot equals merging
+      the original. *)
+
+  val read : Mitos_util.Codec.Dec.t -> t
+  (** Decode and canonicalize (labels normalized, rows re-sorted).
+      Raises [Mitos_util.Codec.Malformed] on truncated or inconsistent
+      input — including histogram parts that could not have come from
+      a real histogram (length mismatch, non-increasing bounds). *)
+
+  val encode : t -> string
+  val decode : string -> t
+  (** {!read} on a standalone string, requiring it to be consumed
+      exactly. Raises [Mitos_util.Codec.Malformed]. *)
+
+  val to_prometheus : t -> string
+  (** Identical format to the registry-level {!to_prometheus}. *)
+
+  val to_json : t -> string
+  (** Identical format to the registry-level {!to_json}. *)
+end
+
+val snapshot : t -> Snapshot.t
+(** One point-in-time cut of every instrument, taken under the
+    creation lock (values copied, no formatting). *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition format v0.0.4: [# HELP]/[# TYPE]
     headers per metric family, [_bucket]/[_sum]/[_count] series with
     cumulative [le] bounds for histograms, plus estimated
     p50/p95/p99 summary-style series ([{quantile="0.5"}] etc., from
     {!Histogram.quantile}) so dashboards get latency percentiles
-    without re-deriving them from the buckets. *)
+    without re-deriving them from the buckets. Equals
+    [Snapshot.to_prometheus (snapshot t)]. *)
 
 val to_json : t -> string
 (** One JSON object: [{"counters": {...}, "gauges": {...},

@@ -339,8 +339,8 @@ let test_flowgraph_counts () =
 
 (* -- bench compare (perf-regression gate) ----------------------------- *)
 
-let bench_json ?(schema = "mitos-bench-decisions/1") ~alg1_direct
-    ~replay_rps () =
+let bench_json ?(schema = "mitos-bench-decisions/1") ?(fleet_mean = 450000.0)
+    ~alg1_direct ~replay_rps () =
   Printf.sprintf
     {|{
   "schema": "%s",
@@ -350,10 +350,11 @@ let bench_json ?(schema = "mitos-bench-decisions/1") ~alg1_direct
   "pool": { "speedup_4x": 1.0 },
   "shadow_shards": { "imbalance": 1.05 },
   "net_decide_batch": { "p50_ns": 20000.0, "requests_per_sec": 50000.0, "par_requests_per_sec": 45000.0 },
+  "fleet_scrape": { "mean_ns": %f },
   "lock_contention": { "uncontended_pair_ns": 40.0 },
   "gc_pressure": { "minor_words_per_record": 120.0 }
 }|}
-    schema alg1_direct replay_rps
+    schema alg1_direct replay_rps fleet_mean
 
 let compare_exn ~tolerance_pct old_json new_json =
   match E.Bench_compare.of_json ~tolerance_pct ~old_json ~new_json with
@@ -366,7 +367,7 @@ let test_bench_compare_ok () =
   let new_json = bench_json ~alg1_direct:110.0 ~replay_rps:0.9e6 () in
   let r = compare_exn ~tolerance_pct:25.0 old_json new_json in
   Alcotest.(check bool) "ok" true (E.Bench_compare.ok r);
-  Alcotest.(check int) "all gated metrics compared" 14
+  Alcotest.(check int) "all gated metrics compared" 15
     (List.length r.E.Bench_compare.rows);
   Alcotest.(check (list string)) "nothing skipped" []
     r.E.Bench_compare.skipped;
@@ -398,6 +399,39 @@ let test_bench_compare_regression () =
   Alcotest.(check bool) "improvement is ok" true
     (E.Bench_compare.ok (compare_exn ~tolerance_pct:25.0 old_json faster))
 
+let test_bench_compare_reports_all_regressions () =
+  let old_json = bench_json ~alg1_direct:100.0 ~replay_rps:1e6 () in
+  (* three independent breaches in one comparison — alg1 50% slower,
+     replay 40% down, fleet scrape 2x slower — all must surface in a
+     single pass, not first-failure-wins *)
+  let new_json =
+    bench_json ~alg1_direct:150.0 ~replay_rps:0.6e6 ~fleet_mean:900000.0 ()
+  in
+  let r = compare_exn ~tolerance_pct:25.0 old_json new_json in
+  Alcotest.(check bool) "not ok" false (E.Bench_compare.ok r);
+  let regressed =
+    List.map
+      (fun row -> row.E.Bench_compare.metric)
+      (E.Bench_compare.regressions r)
+  in
+  Alcotest.(check (list string)) "every regressing row reported"
+    [ "alg1.direct_ns"; "engine_replay.records_per_sec";
+      "fleet_scrape.mean_ns" ]
+    regressed;
+  let rendered = E.Bench_compare.render r in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " named in render") true
+        (contains rendered m))
+    regressed;
+  Alcotest.(check bool) "summary counts 3" true
+    (contains rendered "REGRESSION: 3 metric(s)")
+
 let test_bench_compare_skipped_and_errors () =
   let old_json = bench_json ~alg1_direct:100.0 ~replay_rps:1e6 () in
   let partial =
@@ -407,7 +441,7 @@ let test_bench_compare_skipped_and_errors () =
   Alcotest.(check bool) "partial file still ok" true (E.Bench_compare.ok r);
   Alcotest.(check int) "one row compared" 1
     (List.length r.E.Bench_compare.rows);
-  Alcotest.(check int) "rest skipped" 13
+  Alcotest.(check int) "rest skipped" 14
     (List.length r.E.Bench_compare.skipped);
   let expect_error ~old_json ~new_json ~tolerance_pct =
     match E.Bench_compare.of_json ~tolerance_pct ~old_json ~new_json with
@@ -530,6 +564,8 @@ let () =
           Alcotest.test_case "within tolerance" `Quick test_bench_compare_ok;
           Alcotest.test_case "regressions both directions" `Quick
             test_bench_compare_regression;
+          Alcotest.test_case "all regressions in one pass" `Quick
+            test_bench_compare_reports_all_regressions;
           Alcotest.test_case "skipped metrics and errors" `Quick
             test_bench_compare_skipped_and_errors;
         ] );

@@ -59,6 +59,7 @@ let gen_request =
         return Wire.Read_global;
         map (fun n -> Wire.Read_node n) (int_bound 1000);
         return Wire.Query_stats;
+        return Wire.Query_telemetry;
       ])
 
 let gen_decided =
@@ -800,6 +801,249 @@ let test_loadgen_bench_merge () =
       | Some (Mitos_util.Minijson.Num _) -> ()
       | _ -> Alcotest.fail "p50_ns missing")
 
+(* -- Wire + service: telemetry federation -------------------------------- *)
+
+module Snapshot = Mitos_obs.Registry.Snapshot
+module Fleet = Mitos_obs.Fleet
+module Registry = Mitos_obs.Registry
+
+(* snapshots are generated through a live registry so every row is
+   well-formed by construction; equality goes through the canonical
+   codec because an empty histogram's min/max are nan *)
+let gen_snapshot =
+  QCheck.Gen.(
+    map3
+      (fun adds gauge obs ->
+        let reg = Registry.create () in
+        List.iteri
+          (fun i n ->
+            Registry.add
+              (Registry.counter reg
+                 ~labels:[ ("op", Printf.sprintf "op%d" (i mod 3)) ]
+                 "requests_total")
+              n)
+          adds;
+        Registry.set_gauge (Registry.gauge reg "occupancy") gauge;
+        let h =
+          Registry.histogram reg ~lo:1.0 ~growth:2.0 ~buckets:6 "latency_ns"
+        in
+        List.iter (Mitos_obs.Histogram.observe h) obs;
+        Registry.snapshot reg)
+      (list_size (int_bound 5) (int_bound 1000))
+      (float_bound_inclusive 1e6)
+      (list_size (int_bound 10) (float_bound_inclusive 1e5)))
+
+let gen_telemetry =
+  QCheck.Gen.(
+    map3
+      (fun node healthy snapshot ->
+        {
+          Wire.node;
+          healthy;
+          health = (if healthy then "status: ok\n" else "status: breach\n");
+          snapshot;
+        })
+      (string_size (int_bound 12))
+      bool gen_snapshot)
+
+let qcheck_telemetry_roundtrip =
+  QCheck.Test.make ~name:"telemetry response round-trips" ~count:200
+    QCheck.(make gen_telemetry)
+    (fun r ->
+      match
+        Wire.decode_response_frame (Wire.encode_response ~id:5 (Wire.Telemetry r))
+      with
+      | Ok (5, Wire.Telemetry r') ->
+        r'.Wire.node = r.Wire.node
+        && r'.Wire.healthy = r.Wire.healthy
+        && r'.Wire.health = r.Wire.health
+        && Snapshot.encode r'.Wire.snapshot = Snapshot.encode r.Wire.snapshot
+      | _ -> false)
+
+let qcheck_telemetry_truncation_typed =
+  QCheck.Test.make ~name:"truncated telemetry reply is a typed error"
+    ~count:50
+    QCheck.(make gen_telemetry)
+    (fun r ->
+      let frame = Wire.encode_response ~id:5 (Wire.Telemetry r) in
+      List.for_all
+        (fun len ->
+          match Wire.decode_response_frame (String.sub frame 0 len) with
+          | Error (Wire.Truncated _) -> true
+          | _ -> false)
+        (List.init (String.length frame) Fun.id))
+
+let test_telemetry_adversarial () =
+  let r =
+    {
+      Wire.node = "n1";
+      healthy = true;
+      health = "status: ok\n";
+      snapshot =
+        (let reg = Registry.create () in
+         Registry.add (Registry.counter reg "requests_total") 7;
+         let h =
+           Registry.histogram reg ~lo:1.0 ~growth:2.0 ~buckets:6 "latency_ns"
+         in
+         Mitos_obs.Histogram.observe h 3.0;
+         Registry.snapshot reg);
+    }
+  in
+  let body = Wire.encode_response_body ~id:3 (Wire.Telemetry r) in
+  (* every in-body truncation surfaces as Corrupt (the frame length
+     was already validated by unframe at this layer), never a raise *)
+  for len = 1 to String.length body - 1 do
+    match Wire.decode_response (String.sub body 0 len) with
+    | Error (Wire.Corrupt _) -> ()
+    | Ok _ when len = String.length body -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "truncation at %d decoded" len)
+    | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "truncation at %d: unexpected %s" len
+           (Wire.error_to_string e))
+  done;
+  check_error "trailing garbage" "Corrupt"
+    (Wire.decode_response (body ^ "z"));
+  (* an oversized frame is refused from the length prefix *)
+  check_error "oversized telemetry frame" "Oversized"
+    (Wire.decode_response_frame ~max_frame:8
+       (Wire.encode_response ~id:3 (Wire.Telemetry r)));
+  (* corrupt a value-kind tag: 9 names no instrument kind *)
+  let corrupted = Bytes.of_string body in
+  let tag_pos =
+    (* the first Counter tag byte follows "requests_total" in the
+       payload; find the name and skip name/labels/help framing *)
+    let rec find i =
+      if i + 14 > Bytes.length corrupted then
+        Alcotest.fail "counter name not found in payload"
+      else if Bytes.sub_string corrupted i 14 = "requests_total" then i + 14
+      else find (i + 1)
+    in
+    (* name, empty label list (1 byte), empty help (1 byte) -> tag *)
+    find 0 + 2
+  in
+  Bytes.set corrupted tag_pos '\x09';
+  check_error "unknown value tag" "Corrupt"
+    (Wire.decode_response (Bytes.to_string corrupted))
+
+let test_client_telemetry () =
+  with_server (fun service endpoint ->
+      let client = ok_client (Client.connect endpoint) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          ok_client (Client.ping client);
+          let r = ok_client (Client.telemetry client) in
+          Alcotest.(check string) "default node id" "node0" r.Wire.node;
+          Alcotest.(check bool) "default probe healthy" true r.Wire.healthy;
+          let counter_of op snap =
+            List.fold_left
+              (fun acc (row : Snapshot.row) ->
+                match row.Snapshot.value with
+                | Snapshot.Counter c
+                  when row.Snapshot.name = "mitos_net_requests_total"
+                       && List.assoc_opt "op" row.Snapshot.labels = Some op ->
+                  acc + c
+                | _ -> acc)
+              0 snap
+          in
+          Alcotest.(check int) "ping visible in snapshot" 1
+            (counter_of "ping" r.Wire.snapshot);
+          (* the snapshot is cut before the telemetry request's own
+             metrics are recorded — the property the federation
+             byte-identity below rests on *)
+          Alcotest.(check int) "snapshot excludes its own request" 0
+            (counter_of "telemetry" r.Wire.snapshot);
+          let r2 = ok_client (Client.telemetry client) in
+          Alcotest.(check int) "previous telemetry request now visible" 1
+            (counter_of "telemetry" r2.Wire.snapshot);
+          (* a wired health probe reaches the reply *)
+          Server.set_health_probe service (fun () ->
+              (false, "status: breach (rule x)\n"));
+          let r3 = ok_client (Client.telemetry client) in
+          Alcotest.(check bool) "probe verdict in reply" false
+            r3.Wire.healthy;
+          Alcotest.(check string) "probe body in reply"
+            "status: breach (rule x)\n" r3.Wire.health))
+
+(* the tentpole's acceptance property: a 3-node mem:// cluster's
+   federated snapshot equals the hand-merged per-node snapshots byte
+   for byte. mem:// serves on the caller's domain and the telemetry
+   reply excludes its own request, so the wire adds nothing. *)
+let test_fleet_federation_byte_identity () =
+  let mk i =
+    let config =
+      { Server.default_config with
+        Server.node_id = Printf.sprintf "n%d" i }
+    in
+    let service = Server.create ~config ~params () in
+    let name = fresh_name "fed" in
+    let listener = Server.start service (Transport.Memory name) in
+    (service, name, listener)
+  in
+  let members = List.init 3 mk in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, _, l) -> Server.stop l) members)
+    (fun () ->
+      (* distinct deterministic traffic per node *)
+      List.iteri
+        (fun i (_, name, _) ->
+          let c = ok_client (Client.connect (Transport.Memory name)) in
+          for _ = 1 to (i + 1) * 3 do
+            ok_client (Client.ping c)
+          done;
+          ignore (ok_client (Client.publish c ~node:0 (float_of_int (i + 1))));
+          Client.close c)
+        members;
+      (* direct per-node snapshots, cut before any scrape *)
+      let direct =
+        List.map (fun (s, _, _) -> Registry.snapshot (Server.registry s))
+          members
+      in
+      let clients =
+        List.map
+          (fun (_, name, _) ->
+            ok_client (Client.connect (Transport.Memory name)))
+          members
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close clients)
+        (fun () ->
+          let fleet =
+            Fleet.create
+              (List.map2
+                 (fun (_, name, _) c ->
+                   ( name,
+                     fun () ->
+                       match Client.telemetry c with
+                       | Ok r ->
+                         Ok
+                           {
+                             Fleet.node = r.Wire.node;
+                             healthy = r.Wire.healthy;
+                             health = r.Wire.health;
+                             snapshot = r.Wire.snapshot;
+                           }
+                       | Error e -> Error (Client.error_to_string e) ))
+                 members clients)
+          in
+          Fleet.scrape fleet ~at:1.0;
+          let hand =
+            Snapshot.merge
+              (List.mapi (fun i s -> (Printf.sprintf "n%d" i, s)) direct)
+          in
+          Alcotest.(check string) "wire merge byte-identical to hand merge"
+            (Snapshot.encode hand)
+            (Snapshot.encode (Fleet.merged fleet));
+          Alcotest.(check string) "prometheus rendering identical"
+            (Snapshot.to_prometheus hand)
+            (Snapshot.to_prometheus (Fleet.merged fleet));
+          Alcotest.(check bool) "fleet healthy" true (Fleet.healthy fleet);
+          (* per-node ids came off the wire, not the configured names *)
+          Alcotest.(check (list string)) "self-reported ids"
+            [ "n0"; "n1"; "n2" ]
+            (List.map (fun v -> v.Fleet.node_id) (Fleet.nodes fleet))))
+
 let () =
   Alcotest.run "mitos_net"
     [
@@ -820,6 +1064,10 @@ let () =
           Alcotest.test_case "v1 fixture + v2 trace" `Quick
             test_wire_v1_fixture;
           Alcotest.test_case "error offsets" `Quick test_wire_error_offsets;
+          QCheck_alcotest.to_alcotest qcheck_telemetry_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_telemetry_truncation_typed;
+          Alcotest.test_case "telemetry adversarial" `Quick
+            test_telemetry_adversarial;
         ] );
       ( "transport",
         [
@@ -838,6 +1086,9 @@ let () =
             test_sharded_estimator_service_equivalent;
           Alcotest.test_case "bad shard count rejected" `Quick
             test_server_rejects_bad_shards;
+          Alcotest.test_case "client telemetry" `Quick test_client_telemetry;
+          Alcotest.test_case "fleet federation byte identity" `Quick
+            test_fleet_federation_byte_identity;
         ] );
       ( "client",
         [

@@ -998,6 +998,428 @@ let qcheck_escape_label_no_raw_specials =
       in
       ok 0)
 
+(* -- Histogram.merge ------------------------------------------------ *)
+
+(* nan-safe structural fingerprint: OCaml [nan = nan] is false, so
+   min/max of empty histograms go through a formatter instead *)
+let hist_fingerprint h =
+  Printf.sprintf "%s|%s|%d|%.17g|%.17g|%.17g"
+    (String.concat ","
+       (List.map (Printf.sprintf "%.17g")
+          (Array.to_list (Histogram.bounds h))))
+    (String.concat ","
+       (List.map (fun (_, c) -> string_of_int c)
+          (Array.to_list (Histogram.buckets h))))
+    (Histogram.count h) (Histogram.sum h) (Histogram.min_value h)
+    (Histogram.max_value h)
+
+let merge_layout () = Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:6 ()
+
+let hist_of obs =
+  let h = merge_layout () in
+  List.iter (Histogram.observe h) obs;
+  h
+
+let test_histogram_merge () =
+  let a = hist_of [ 0.5; 3.0; 100.0 ] and b = hist_of [ 1.0; 7.0 ] in
+  let m = Histogram.merge a b in
+  Alcotest.(check string) "merge = observing the union"
+    (hist_fingerprint (hist_of [ 0.5; 3.0; 100.0; 1.0; 7.0 ]))
+    (hist_fingerprint m);
+  Alcotest.(check string) "inputs untouched"
+    (hist_fingerprint (hist_of [ 0.5; 3.0; 100.0 ]))
+    (hist_fingerprint a);
+  (* one empty side: min/max come from the non-empty side *)
+  let m' = Histogram.merge a (merge_layout ()) in
+  Alcotest.(check string) "empty is identity" (hist_fingerprint a)
+    (hist_fingerprint m');
+  (match
+     Histogram.merge a (Histogram.create ~lo:1.0 ~growth:2.0 ~buckets:5 ())
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "layout mismatch accepted")
+
+(* finite magnitudes spanning every bucket including overflow (the
+   last finite bound of the 6-bucket layout is 32); infinities are
+   excluded because an observed +inf makes sums and interpolation
+   against max_value meaningless *)
+let obs_gen = QCheck.float_range 0.0 1e6
+let obs_list_gen = QCheck.(list_of_size Gen.(0 -- 20) obs_gen)
+
+(* like [hist_fingerprint] equality, but tolerant of float-addition
+   rounding in [sum] — merge adds sums pairwise, so different
+   association orders differ in the last bits *)
+let hist_approx_equal a b =
+  let sum_close =
+    let sa = Histogram.sum a and sb = Histogram.sum b in
+    sa = sb || Float.abs (sa -. sb) <= 1e-9 *. Float.max 1.0 (Float.abs sa)
+  in
+  Histogram.bounds a = Histogram.bounds b
+  && Array.map snd (Histogram.buckets a) = Array.map snd (Histogram.buckets b)
+  && Histogram.count a = Histogram.count b
+  && sum_close
+  && Printf.sprintf "%.17g" (Histogram.min_value a)
+     = Printf.sprintf "%.17g" (Histogram.min_value b)
+  && Printf.sprintf "%.17g" (Histogram.max_value a)
+     = Printf.sprintf "%.17g" (Histogram.max_value b)
+
+let qcheck_hist_merge_commutative =
+  QCheck.Test.make ~name:"Histogram.merge commutative" ~count:200
+    (QCheck.pair obs_list_gen obs_list_gen) (fun (xs, ys) ->
+      let a () = hist_of xs and b () = hist_of ys in
+      hist_fingerprint (Histogram.merge (a ()) (b ()))
+      = hist_fingerprint (Histogram.merge (b ()) (a ())))
+
+let qcheck_hist_merge_associative =
+  QCheck.Test.make ~name:"Histogram.merge associative" ~count:200
+    (QCheck.triple obs_list_gen obs_list_gen obs_list_gen)
+    (fun (xs, ys, zs) ->
+      let a () = hist_of xs and b () = hist_of ys and c () = hist_of zs in
+      hist_approx_equal
+        (Histogram.merge (Histogram.merge (a ()) (b ())) (c ()))
+        (Histogram.merge (a ()) (Histogram.merge (b ()) (c ()))))
+
+let qcheck_hist_merge_empty_identity =
+  QCheck.Test.make ~name:"Histogram.merge empty identity" ~count:200
+    obs_list_gen (fun xs ->
+      hist_fingerprint (Histogram.merge (hist_of xs) (merge_layout ()))
+      = hist_fingerprint (hist_of xs)
+      && hist_fingerprint (Histogram.merge (merge_layout ()) (hist_of xs))
+         = hist_fingerprint (hist_of xs))
+
+let qcheck_hist_merge_quantile_envelope =
+  (* a merged quantile can never leave the envelope of the per-part
+     quantiles — the property that makes bucket-wise merging the
+     correct way to get fleet percentiles (averaging per-node
+     percentiles does violate this) *)
+  QCheck.Test.make ~name:"Histogram.merge quantile envelope" ~count:200
+    (QCheck.triple
+       (QCheck.list_of_size QCheck.Gen.(1 -- 20) obs_gen)
+       (QCheck.list_of_size QCheck.Gen.(1 -- 20) obs_gen)
+       (QCheck.float_range 0.01 0.99))
+    (fun (xs, ys, q) ->
+      let qa = Histogram.quantile (hist_of xs) q
+      and qb = Histogram.quantile (hist_of ys) q
+      and qm = Histogram.quantile (Histogram.merge (hist_of xs) (hist_of ys)) q in
+      let lo = Float.min qa qb and hi = Float.max qa qb in
+      let eps = 1e-9 *. Float.max 1.0 hi in
+      qm >= lo -. eps && qm <= hi +. eps)
+
+(* -- Registry.Snapshot ---------------------------------------------- *)
+
+module Snapshot = Registry.Snapshot
+
+let sample_registry () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~labels:[ ("op", "decide") ] "requests_total" in
+  Registry.add c 41;
+  let g = Registry.gauge reg "occupancy" in
+  Registry.set_gauge g 0.75;
+  let h =
+    Registry.histogram reg ~lo:1.0 ~growth:2.0 ~buckets:6 "latency_ns"
+  in
+  List.iter (Histogram.observe h) [ 0.5; 3.0; 9.0; 1e6 ];
+  reg
+
+let test_snapshot_codec_roundtrip () =
+  let snap = Registry.snapshot (sample_registry ()) in
+  let bytes = Snapshot.encode snap in
+  let back = Snapshot.decode bytes in
+  Alcotest.(check string) "encode . decode fixpoint" bytes
+    (Snapshot.encode back);
+  Alcotest.(check string) "prometheus text survives the wire"
+    (Snapshot.to_prometheus snap)
+    (Snapshot.to_prometheus back);
+  Alcotest.(check string) "json text survives the wire"
+    (Snapshot.to_json snap) (Snapshot.to_json back)
+
+let test_snapshot_adversarial_decode () =
+  let bytes = Snapshot.encode (Registry.snapshot (sample_registry ())) in
+  let expect_malformed what s =
+    match Snapshot.decode s with
+    | exception Mitos_util.Codec.Malformed _ -> ()
+    | _ -> Alcotest.fail (what ^ " accepted")
+  in
+  for cut = 1 to String.length bytes - 1 do
+    expect_malformed
+      (Printf.sprintf "truncation at %d" cut)
+      (String.sub bytes 0 cut)
+  done;
+  expect_malformed "trailing garbage" (bytes ^ "\x00");
+  (* value-kind tags are 0/1/2; 9 is undecodable wherever it lands as
+     a tag, and elsewhere it corrupts a length or count that the
+     histogram validator or the end-of-input check catches — accept
+     either a raise or a clean decode (flips inside float payloads
+     are legitimate value changes), but never a crash *)
+  let flipped = Bytes.of_string bytes in
+  Bytes.set flipped (String.length bytes / 2) '\x09';
+  (match Snapshot.decode (Bytes.to_string flipped) with
+  | _ -> ()
+  | exception Mitos_util.Codec.Malformed _ -> ())
+
+let test_snapshot_merge_semantics () =
+  let part node =
+    Registry.snapshot
+      (let reg = Registry.create () in
+       let c = Registry.counter reg "requests_total" in
+       Registry.add c (if node = "a" then 10 else 32);
+       let g = Registry.gauge reg "occupancy" in
+       Registry.set_gauge g (if node = "a" then 0.25 else 0.5);
+       let h =
+         Registry.histogram reg ~lo:1.0 ~growth:2.0 ~buckets:6 "latency_ns"
+       in
+       Histogram.observe h (if node = "a" then 3.0 else 9.0);
+       reg)
+  in
+  let merged = Snapshot.merge [ ("a", part "a"); ("b", part "b") ] in
+  let find name pred =
+    List.find_opt
+      (fun (r : Snapshot.row) -> r.Snapshot.name = name && pred r)
+      merged
+  in
+  (match find "requests_total" (fun r -> r.Snapshot.labels = []) with
+  | Some { Snapshot.value = Snapshot.Counter 42; _ } -> ()
+  | _ -> Alcotest.fail "counters did not sum to 42");
+  (* gauges never fold: one node-labelled row per part *)
+  (match
+     find "occupancy" (fun r ->
+         r.Snapshot.labels = [ ("node", "a") ])
+   with
+  | Some { Snapshot.value = Snapshot.Gauge g; _ } ->
+    check_float "gauge a kept" 0.25 g
+  | _ -> Alcotest.fail "per-node gauge a missing");
+  (match
+     find "occupancy" (fun r -> r.Snapshot.labels = [ ("node", "b") ])
+   with
+  | Some { Snapshot.value = Snapshot.Gauge g; _ } ->
+    check_float "gauge b kept" 0.5 g
+  | _ -> Alcotest.fail "per-node gauge b missing");
+  (* same-layout histograms fold bucket-wise *)
+  (match find "latency_ns" (fun r -> r.Snapshot.labels = []) with
+  | Some { Snapshot.value = Snapshot.Hist h; _ } ->
+    let m = Snapshot.to_histogram h in
+    Alcotest.(check int) "merged count" 2 (Histogram.count m);
+    check_float "merged min" 3.0 (Histogram.min_value m);
+    check_float "merged max" 9.0 (Histogram.max_value m)
+  | _ -> Alcotest.fail "merged histogram missing");
+  (* merge is order-independent after the final sort *)
+  Alcotest.(check string) "merge commutes"
+    (Snapshot.encode merged)
+    (Snapshot.encode (Snapshot.merge [ ("b", part "b"); ("a", part "a") ]))
+
+let test_snapshot_merge_layout_clash () =
+  let with_hist buckets v =
+    let reg = Registry.create () in
+    let h = Registry.histogram reg ~lo:1.0 ~growth:2.0 ~buckets "latency_ns" in
+    Histogram.observe h v;
+    Registry.snapshot reg
+  in
+  let merged =
+    Snapshot.merge [ ("a", with_hist 6 3.0); ("b", with_hist 8 9.0) ]
+  in
+  let labelled node =
+    List.exists
+      (fun (r : Snapshot.row) ->
+        r.Snapshot.name = "latency_ns"
+        && r.Snapshot.labels = [ ("node", node) ])
+      merged
+  in
+  Alcotest.(check bool) "layout clash keeps node a row" true (labelled "a");
+  Alcotest.(check bool) "layout clash keeps node b row" true (labelled "b");
+  Alcotest.(check bool) "no unlabelled latency row" false
+    (List.exists
+       (fun (r : Snapshot.row) ->
+         r.Snapshot.name = "latency_ns" && r.Snapshot.labels = [])
+       merged)
+
+(* -- Health.parse_rule errors + windowed pending -------------------- *)
+
+let test_health_parse_rule_errors () =
+  let expect s msg =
+    match Health.parse_rule s with
+    | Error e -> Alcotest.(check string) ("error for " ^ s) msg e
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+  in
+  (* bad comparator: '==' is not in the grammar, so nothing splits *)
+  expect "x==1" "no comparison in SLO rule \"x==1\"";
+  expect "nocomparison" "no comparison in SLO rule \"nocomparison\"";
+  expect "" "no comparison in SLO rule \"\"";
+  (* empty signal *)
+  expect "<=1" "no signal in SLO rule \"<=1\"";
+  expect "name:<=1" "no signal in SLO rule \"name:<=1\"";
+  (* non-numeric bound *)
+  expect "x<=notafloat" "bad bound in SLO rule \"x<=notafloat\"";
+  expect "x<=" "bad bound in SLO rule \"x<=\""
+
+let test_health_window_pending_signals () =
+  (* a windowed rule whose signal never arrives stays pending — not
+     breached, not counted as a judged value *)
+  let r = Health.rule ~name:"lonely" ~signal:"never_emitted" ~cmp:Health.Le
+      ~bound:1.0 ()
+  in
+  let present = Health.rule ~signal:"seen" ~cmp:Health.Le ~bound:10.0 () in
+  let h = Health.create ~window:4.0 ~rules:[ r; present ] () in
+  Alcotest.(check bool) "all pending is healthy" true (Health.healthy h);
+  Health.observe h ~at:1.0 [ ("seen", 3.0) ];
+  Health.observe h ~at:2.0 [ ("seen", 5.0) ];
+  Alcotest.(check bool) "pending rule does not breach" true
+    (Health.healthy h);
+  Alcotest.(check int) "pending rule keeps 200" 200 (Health.status_code h);
+  Alcotest.(check bool) "render marks it pending" true
+    (string_contains (Health.render h) "pending");
+  (* the moment the signal shows up breached, the verdict flips *)
+  Health.observe h ~at:3.0 [ ("seen", 5.0); ("never_emitted", 2.0) ];
+  Alcotest.(check bool) "late signal judged" false (Health.healthy h)
+
+(* -- Fleet ----------------------------------------------------------- *)
+
+let fleet_member ?(healthy = true) node mk_snapshot =
+  let fetch () =
+    Ok
+      {
+        Fleet.node;
+        healthy;
+        health = (if healthy then "status: ok\n" else "status: breach\n");
+        snapshot = mk_snapshot ();
+      }
+  in
+  (node, fetch)
+
+let counting_snapshot requests () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~labels:[ ("op", "decide") ]
+      "mitos_net_requests_total"
+  in
+  Registry.add c requests;
+  Registry.snapshot reg
+
+let test_fleet_scrape_and_signals () =
+  let a = ref 10 and b = ref 30 in
+  let fleet =
+    Fleet.create
+      [
+        fleet_member "a" (fun () -> (counting_snapshot !a) ());
+        fleet_member "b" (fun () -> (counting_snapshot !b) ());
+      ]
+  in
+  Fleet.scrape fleet ~at:1.0;
+  let signal name =
+    match List.assoc_opt name (Fleet.signals fleet) with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing signal " ^ name)
+  in
+  check_float "2 nodes" 2.0 (signal "fleet_nodes");
+  check_float "2 up" 2.0 (signal "fleet_up");
+  check_float "none unreachable" 0.0 (signal "fleet_unreachable");
+  check_float "requests summed" 40.0 (signal "fleet_requests_total");
+  check_float "skew = max/mean" 1.5 (signal "fleet_node_skew");
+  Alcotest.(check bool) "healthy" true (Fleet.healthy fleet);
+  (* second scrape: rates appear *)
+  a := 30;
+  b := 40;
+  Fleet.scrape fleet ~at:3.0;
+  (match Fleet.nodes fleet with
+  | [ va; vb ] ->
+    check_float "rate a" 10.0 va.Fleet.request_rate;
+    check_float "rate b" 5.0 vb.Fleet.request_rate
+  | _ -> Alcotest.fail "expected two node views");
+  check_float "merged follows" 70.0 (signal "fleet_requests_total")
+
+let test_fleet_unreachable_and_staleness () =
+  let b_up = ref true in
+  let fleet =
+    Fleet.create ~stale_after:5.0
+      ~health:(Health.create ~window:0.0 ~rules:Fleet.default_rules ())
+      [
+        fleet_member "a" (counting_snapshot 10);
+        ( "b",
+          fun () ->
+            if !b_up then (snd (fleet_member "b" (counting_snapshot 20))) ()
+            else Error "connection refused" );
+      ]
+  in
+  Fleet.scrape fleet ~at:1.0;
+  Alcotest.(check bool) "both up -> 200" true (Fleet.healthy fleet);
+  Alcotest.(check int) "200" 200 (Fleet.status_code fleet);
+  check_float "merged holds both" 30.0
+    (List.assoc "fleet_requests_total" (Fleet.signals fleet));
+  (* kill b: unreachable immediately, but its last snapshot still
+     merges while fresh *)
+  b_up := false;
+  Fleet.scrape fleet ~at:2.0;
+  Alcotest.(check bool) "one down -> breach" false (Fleet.healthy fleet);
+  Alcotest.(check int) "503" 503 (Fleet.status_code fleet);
+  Alcotest.(check bool) "healthz names node b" true
+    (string_contains (Fleet.render_health fleet) "node b unreachable");
+  check_float "one unreachable" 1.0
+    (List.assoc "fleet_unreachable" (Fleet.signals fleet));
+  check_float "stale merge keeps b's last snapshot" 30.0
+    (List.assoc "fleet_requests_total" (Fleet.signals fleet));
+  (match Fleet.nodes fleet with
+  | [ _; vb ] ->
+    Alcotest.(check bool) "b down" false vb.Fleet.up;
+    Alcotest.(check bool) "b not yet stale" false vb.Fleet.stale;
+    Alcotest.(check bool) "b error kept" true (vb.Fleet.last_error <> None)
+  | _ -> Alcotest.fail "expected two node views");
+  (* past stale_after: b's snapshot ages out of the merge *)
+  Fleet.scrape fleet ~at:10.0;
+  check_float "stale node dropped from merge" 10.0
+    (List.assoc "fleet_requests_total" (Fleet.signals fleet));
+  (match Fleet.nodes fleet with
+  | [ _; vb ] -> Alcotest.(check bool) "b stale now" true vb.Fleet.stale
+  | _ -> Alcotest.fail "expected two node views");
+  (* recovery restores the clean verdict *)
+  b_up := true;
+  Fleet.scrape fleet ~at:11.0;
+  Alcotest.(check bool) "recovered" true (Fleet.healthy fleet)
+
+let test_fleet_node_breach_flips_healthz () =
+  let b_healthy = ref true in
+  let fleet =
+    Fleet.create
+      [
+        fleet_member "a" (counting_snapshot 5);
+        ( "b",
+          fun () ->
+            (snd (fleet_member ~healthy:!b_healthy "b" (counting_snapshot 5)))
+              () );
+      ]
+  in
+  Fleet.scrape fleet ~at:1.0;
+  Alcotest.(check int) "all healthy -> 200" 200 (Fleet.status_code fleet);
+  b_healthy := false;
+  Fleet.scrape fleet ~at:2.0;
+  Alcotest.(check int) "one SLO breach -> 503" 503 (Fleet.status_code fleet);
+  Alcotest.(check bool) "offender named" true
+    (string_contains (Fleet.render_health fleet) "node b breach")
+
+let test_fleet_json_deterministic () =
+  let mk () =
+    let fleet =
+      Fleet.create
+        ~health:(Health.create ~window:0.0 ~rules:Fleet.default_rules ())
+        [
+          fleet_member "a" (counting_snapshot 10);
+          fleet_member "b" (counting_snapshot 20);
+        ]
+    in
+    Fleet.scrape fleet ~at:1.0;
+    Fleet.scrape fleet ~at:2.0;
+    fleet
+  in
+  let j1 = Fleet.fleet_json (mk ()) and j2 = Fleet.fleet_json (mk ()) in
+  Alcotest.(check string) "fleet_json byte-deterministic" j1 j2;
+  Alcotest.(check bool) "carries the verdict" true
+    (string_contains j1 "\"healthy\":true");
+  Alcotest.(check bool) "signals sorted and present" true
+    (string_contains j1 "\"fleet_requests_total\":30");
+  let fed = Snapshot.to_prometheus (Fleet.federated (mk ())) in
+  Alcotest.(check bool) "federated series node-labelled" true
+    (string_contains fed "node=\"a\"" && string_contains fed "node=\"b\"");
+  Alcotest.(check bool) "meta series present" true
+    (string_contains fed "mitos_fleet_scrapes_total 2"
+    && string_contains fed "mitos_fleet_node_up{node=\"a\"} 1")
+
 let () =
   Alcotest.run "mitos_obs"
     [
@@ -1021,6 +1443,33 @@ let () =
             test_histogram_quantile_edges;
           Alcotest.test_case "reset" `Quick test_histogram_reset;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          QCheck_alcotest.to_alcotest qcheck_hist_merge_commutative;
+          QCheck_alcotest.to_alcotest qcheck_hist_merge_associative;
+          QCheck_alcotest.to_alcotest qcheck_hist_merge_empty_identity;
+          QCheck_alcotest.to_alcotest qcheck_hist_merge_quantile_envelope;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "codec round-trip" `Quick
+            test_snapshot_codec_roundtrip;
+          Alcotest.test_case "adversarial decode" `Quick
+            test_snapshot_adversarial_decode;
+          Alcotest.test_case "merge semantics" `Quick
+            test_snapshot_merge_semantics;
+          Alcotest.test_case "merge layout clash" `Quick
+            test_snapshot_merge_layout_clash;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "scrape + signals" `Quick
+            test_fleet_scrape_and_signals;
+          Alcotest.test_case "unreachable + staleness" `Quick
+            test_fleet_unreachable_and_staleness;
+          Alcotest.test_case "node breach flips healthz" `Quick
+            test_fleet_node_breach_flips_healthz;
+          Alcotest.test_case "fleet_json deterministic" `Quick
+            test_fleet_json_deterministic;
         ] );
       ( "registry",
         [
@@ -1076,9 +1525,13 @@ let () =
       ( "health",
         [
           Alcotest.test_case "parse_rule" `Quick test_health_parse_rule;
+          Alcotest.test_case "parse_rule errors" `Quick
+            test_health_parse_rule_errors;
           Alcotest.test_case "pending/breach edges" `Quick
             test_health_pending_then_breach;
           Alcotest.test_case "window judgment" `Quick test_health_window;
+          Alcotest.test_case "windowed pending signals" `Quick
+            test_health_window_pending_signals;
           Alcotest.test_case "tracer instant" `Quick
             test_health_tracer_instant;
         ] );
