@@ -584,6 +584,48 @@ let write_bench_json ~jobs ~shards path =
           float_of_int fleet_scrape_rounds /. fleet_wall,
           List.length (Mitos_obs.Fleet.merged fleet) ))
   in
+  (* burn-rate alert engine: cost of one observe (tsdb append plus
+     two-rule evaluation over tight windows) on a synthetic stream
+     that flaps in and out of breach, so pending/firing/resolve
+     transitions and incident-ring writes are all on the clock *)
+  let alert_obs_count = 10_000 in
+  let run_alert_bench () =
+    let a =
+      Mitos_obs.Alerts.create
+        ~rules:
+          [
+            Mitos_obs.Alerts.rule ~name:"ratio" ~budget:0.05
+              ~windows:
+                [
+                  { Mitos_obs.Alerts.fast = 16.0; slow = 64.0; burn = 2.0;
+                    pair_severity = Mitos_obs.Alerts.Page };
+                ]
+              ~keep_firing:8.0 ~signal:"over_taint_ratio"
+              ~cmp:Mitos_obs.Health.Le ~objective:0.5 ();
+            Mitos_obs.Alerts.rule ~name:"p99" ~budget:0.1
+              ~windows:
+                [
+                  { Mitos_obs.Alerts.fast = 64.0; slow = 256.0; burn = 1.5;
+                    pair_severity = Mitos_obs.Alerts.Ticket };
+                ]
+              ~for_:16.0 ~signal:"decision_p99_ns"
+              ~cmp:Mitos_obs.Health.Le ~objective:5e6 ();
+          ]
+        ()
+    in
+    for i = 1 to alert_obs_count do
+      let at = float_of_int i in
+      let ratio = if i mod 600 < 120 then 0.9 else 0.1 in
+      let p99 = if i mod 900 < 300 then 8e6 else 1e6 in
+      Mitos_obs.Alerts.observe a ~at
+        [ ("over_taint_ratio", ratio); ("decision_p99_ns", p99) ]
+    done;
+    a
+  in
+  ignore (run_alert_bench ());
+  let alert_wall, alert_final = wall run_alert_bench in
+  let alert_eval_ns = alert_wall *. 1e9 /. float_of_int alert_obs_count in
+  let alert_incidents = Mitos_obs.Alerts.incidents_total alert_final in
   (* instrumented-mutex fast path (one uncontended lock/unlock pair)
      next to a bare mutex pair, plus the run's accumulated contention
      totals — every hot lock in the process is a Contended, so the
@@ -690,6 +732,12 @@ let write_bench_json ~jobs ~shards path =
     "scrapes_per_sec": %.0f,
     "merged_series": %d
   },
+  "alert_eval": {
+    "rules": 2,
+    "observations": %d,
+    "ns_per_observation": %.0f,
+    "incidents": %d
+  },
   "lock_contention": {
     "uncontended_pair_ns": %.2f,
     "raw_mutex_pair_ns": %.2f,
@@ -724,6 +772,7 @@ let write_bench_json ~jobs ~shards path =
         net_report.Mitos_net.Loadgen.throughput_rps net_par_rps net_speedup_4x
         fleet_node_count fleet_scrape_rounds fleet_mean_ns
         fleet_scrapes_per_sec fleet_merged_series
+        alert_obs_count alert_eval_ns alert_incidents
         uncontended_pair_ns
         raw_mutex_pair_ns lock_acq lock_cont lock_wait_ns lock_hold_ns
         (Array.length slice) minor_words_per_record promoted_words_per_record

@@ -239,6 +239,8 @@ let finish_obs opts =
 
 module Server = Mitos_obs.Server
 module Health = Mitos_obs.Health
+module Alerts = Mitos_obs.Alerts
+module Tsdb = Mitos_obs.Tsdb
 module Tele = Mitos_experiments.Telemetry
 
 let listen_arg =
@@ -265,6 +267,32 @@ let slo_arg =
 
 let parse_rules slo =
   Tele.default_rules @ List.map (fun s -> or_die (Health.parse_rule s)) slo
+
+let burn_slo_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "burn-slo" ] ~docv:"RULE"
+        ~doc:
+          "Add a multi-window burn-rate alert rule, grammar \
+           [NAME:]SIGNAL(<=|<|>=|>)OBJECTIVE[;budget=B][;windows=FAST/\
+           SLOW@BURN[@page|ticket],...][;for=D][;keep=K] — e.g. \
+           p99:decision_p99_ns<=5e6;budget=0.05;windows=30/120@4@page;\
+           for=5;keep=30. Repeatable; enables the /alerts, /query and \
+           /alertz endpoints and folds firing alerts into /healthz.")
+
+let parse_burn_rules specs =
+  List.map (fun s -> or_die (Alerts.parse_rule s)) specs
+
+(* The burn-rate engine attached to a live server, sharing the obs
+   tracer so alert transitions land in /tracez as instants. *)
+let make_alerts ~obs specs =
+  match specs with
+  | [] -> None
+  | specs ->
+    let a = Alerts.create ~rules:(parse_burn_rules specs) () in
+    Alerts.link_tracer a (Obs.tracer obs);
+    Some a
 
 let start_server ~listen routes =
   Option.map
@@ -1282,7 +1310,7 @@ let serve_cmd =
       $ listen_arg $ oneshot_arg $ jobs_arg)
 
 let watch_cmd =
-  let run urls interval count timeout =
+  let run urls interval count timeout burn_slo =
     protected @@ fun () ->
     if count < 1 then or_die (Error "--count must be at least 1");
     if interval < 0.0 then or_die (Error "--interval must be non-negative");
@@ -1296,7 +1324,13 @@ let watch_cmd =
     in
     (* per-target verdict of the *last* poll: 0 ok / 1 breach /
        2 unreachable; the exit code is the worst across targets, so
-       one watch invocation judges a whole fleet *)
+       one watch invocation judges a whole fleet. With --burn-slo the
+       probe body's firing lines escalate a breach: a page-severity
+       alert exits 2 like an outage, a ticket stays 1. *)
+    let page_verdict body =
+      Mitos_obs.Fleet.parse_firing body
+      |> List.exists (fun (_, sev) -> sev = Alerts.Page)
+    in
     let verdicts = Array.make (List.length targets) 2 in
     for i = 1 to count do
       List.iteri
@@ -1306,7 +1340,10 @@ let watch_cmd =
             verdicts.(j) <- 2;
             Printf.printf "%s:%d%s unreachable: %s\n%!" host port path msg
           | Ok (status, body) ->
-            verdicts.(j) <- (if status = 200 then 0 else 1);
+            verdicts.(j) <-
+              (if status = 200 then 0
+               else if burn_slo && page_verdict body then 2
+               else 1);
             let first_line =
               match String.index_opt body '\n' with
               | Some nl -> String.sub body 0 nl
@@ -1349,14 +1386,94 @@ let watch_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Per-poll socket timeout (connect and read).")
   in
+  let watch_burn_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "burn-slo" ]
+          ~doc:
+            "Grade breaches by burn-rate alert severity: when a non-200 \
+             probe body carries a page-severity firing line (a server \
+             running --burn-slo rules), exit 2 instead of 1 — so pager \
+             wiring can treat a fast-burn alert like an outage.")
+  in
   Cmd.v
     (Cmd.info "watch"
        ~doc:
          "Poll one or more serving mitos processes: one status line per \
           target per poll. Exit 0 when every target's last poll returned \
           200, 1 when the worst target showed an SLO breach (non-200), 2 \
-          when any target was unreachable or a URL was malformed.")
-    Term.(const run $ urls_arg $ interval_arg $ count_arg $ timeout_arg)
+          when any target was unreachable or a URL was malformed (or, \
+          with --burn-slo, reported a page-severity alert firing).")
+    Term.(
+      const run $ urls_arg $ interval_arg $ count_arg $ timeout_arg
+      $ watch_burn_arg)
+
+(* -- alerts -------------------------------------------------------------- *)
+
+let alerts_cmd =
+  let run url incidents timeout =
+    protected @@ fun () ->
+    if timeout <= 0.0 then or_die (Error "--timeout must be positive");
+    let host, port, path = or_die (Server.parse_url url) in
+    let path =
+      if path <> "/" then path else if incidents then "/alertz" else "/alerts"
+    in
+    match Server.fetch ~timeout ~host ~port ~path () with
+    | Error msg ->
+      or_die (Error (Printf.sprintf "%s:%d%s %s" host port path msg))
+    | Ok (status, body) ->
+      print_string body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        print_newline ();
+      if status <> 200 then exit 2;
+      (* the /alerts body carries its own severity rollup; grading on
+         the canonical substring keeps the CLI JSON-parser-free *)
+      let contains needle =
+        let n = String.length needle and h = String.length body in
+        let rec go i =
+          i + n <= h && (String.sub body i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      if contains "\"worst\":\"page\"" then exit 2
+      else if contains "\"worst\":\"ticket\"" then exit 1
+  in
+  let url_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"URL"
+          ~doc:
+            "Telemetry address of a process serving burn-rate alerts \
+             (serve-decisions/fleet with --burn-slo and --listen), e.g. \
+             http://127.0.0.1:9100. A URL path overrides the default \
+             endpoint choice.")
+  in
+  let incidents_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "incidents" ]
+          ~doc:
+            "Fetch /alertz (the incident-timeline JSONL ring) instead of \
+             the /alerts state JSON.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float Mitos_obs.Netio.default_timeout
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket timeout (connect and read).")
+  in
+  Cmd.v
+    (Cmd.info "alerts"
+       ~doc:
+         "Fetch a serving process's burn-rate alert state (/alerts JSON, \
+          or the incident JSONL ring with --incidents) and print it. Exit \
+          0 when nothing is firing, 1 when the worst firing alert is \
+          ticket severity, 2 when a page is firing or the fetch failed.")
+    Term.(const run $ url_arg $ incidents_arg $ timeout_arg)
 
 (* -- decision service ---------------------------------------------------- *)
 
@@ -1405,7 +1522,7 @@ let estimator_shards_arg ~default =
    coordinator *is* a decision server whose estimator the cluster
    nodes publish into. *)
 let run_decision_server endpoint workers nodes shards read_timeout tau alpha
-    u_net u_export listen slo node_id telemetry =
+    u_net u_export listen slo burn_slo node_id telemetry =
   protected @@ fun () ->
   if nodes < 1 then or_die (Error "--nodes must be at least 1");
   if workers < 0 then or_die (Error "--workers must be non-negative");
@@ -1429,9 +1546,11 @@ let run_decision_server endpoint workers nodes shards read_timeout tau alpha
   let health =
     Health.create ~window:0.0 ~rules:(parse_rules slo) ()
   in
-  (* The health watchdog is observed by the linger tick on this domain
-     and (with --telemetry) read by worker domains answering
-     Query_telemetry; one mutex covers both. *)
+  let alerts = make_alerts ~obs burn_slo in
+  let src = Tele.source ~health ?alerts obs in
+  (* The health watchdog and alert engine are observed by the linger
+     tick on this domain and (with --telemetry) read by worker domains
+     answering Query_telemetry; one mutex covers both. *)
   let health_mu = Mutex.create () in
   let with_health f =
     Mutex.lock health_mu;
@@ -1439,13 +1558,12 @@ let run_decision_server endpoint workers nodes shards read_timeout tau alpha
   in
   if telemetry then begin
     Net.Server.set_health_probe service (fun () ->
-        with_health (fun () -> (Health.healthy health, Health.render health)));
+        with_health (fun () -> Tele.health_verdict src));
     Printf.printf
       "wire telemetry on: Query_telemetry serves node %s's health and \
        registry snapshot\n%!"
       node_id
   end;
-  let src = Tele.source ~health obs in
   let http =
     start_server ~listen (Tele.routes ~pid:(Unix.getpid ()) src)
   in
@@ -1453,15 +1571,38 @@ let run_decision_server endpoint workers nodes shards read_timeout tau alpha
   | Some _ -> ()
   | None -> print_endline "serving; interrupt (Ctrl-C or SIGTERM) to exit");
   (* once a second: GC + lock gauges into /metrics, contention-share
-     signals into /healthz *)
+     signals into /healthz, and (with --burn-slo) the same signals
+     plus the request counter and its derived rate into the alert
+     store before re-judging the burn-rate rules *)
+  let requests_total () =
+    List.fold_left
+      (fun acc (r : Mitos_obs.Registry.Snapshot.row) ->
+        match r.Mitos_obs.Registry.Snapshot.value with
+        | Mitos_obs.Registry.Snapshot.Counter c
+          when r.Mitos_obs.Registry.Snapshot.name = "mitos_net_requests_total"
+          ->
+          acc + c
+        | _ -> acc)
+      0
+      (Mitos_obs.Registry.snapshot registry)
+  in
   let observations = ref 0 in
   let tick () =
     Mitos_obs.Runtime.sample registry;
     incr observations;
+    let at = float_of_int !observations in
+    let signals = Mitos_obs.Runtime.signals () in
     with_health (fun () ->
-        Health.observe health
-          ~at:(float_of_int !observations)
-          (Mitos_obs.Runtime.signals ()))
+        Health.observe health ~at signals;
+        match alerts with
+        | None -> ()
+        | Some a ->
+          let db = Alerts.tsdb a in
+          Tsdb.observe db ~at signals;
+          Tsdb.add db "net_requests_total" ~at (float_of_int (requests_total ()));
+          Tsdb.add db "net_request_rate" ~at
+            (Tsdb.rate db "net_requests_total" ~at ~window:15.0);
+          Alerts.eval a ~at)
   in
   linger ~tick ();
   Option.iter Server.stop http;
@@ -1500,7 +1641,7 @@ let decision_server_term =
         ~default:Net.Server.default_config.Net.Server.estimator_shards
     $ read_timeout_arg $ tau_arg
     $ alpha_arg $ u_net_arg $ u_export_arg $ listen_arg $ slo_arg
-    $ node_id_arg $ telemetry_flag_arg)
+    $ burn_slo_arg $ node_id_arg $ telemetry_flag_arg)
 
 let serve_decisions_cmd =
   Cmd.v
@@ -1612,7 +1753,8 @@ let render_fleet_table fleet =
   Buffer.contents b
 
 let fleet_cmd =
-  let run endpoints interval_opt count timeout listen slo stale_after =
+  let run endpoints interval_opt count timeout listen slo burn_slo stale_after
+      =
     protected @@ fun () ->
     if timeout <= 0.0 then or_die (Error "--timeout must be positive");
     if stale_after <= 0.0 then or_die (Error "--stale-after must be positive");
@@ -1625,9 +1767,17 @@ let fleet_cmd =
       @ List.map (fun s -> or_die (Health.parse_rule s)) slo
     in
     let health = Health.create ~window:0.0 ~rules () in
+    (* fleet-level burn-rate rules judge the *fleet* signals
+       (fleet_unreachable, fleet_decision_p99_ns, ...) scraped every
+       round; per-node alerts travel in each node's health body *)
+    let alerts =
+      match burn_slo with
+      | [] -> None
+      | specs -> Some (Alerts.create ~rules:(parse_burn_rules specs) ())
+    in
     let fleet =
       try
-        Fleet.create ~stale_after ~health
+        Fleet.create ~stale_after ~health ?alerts
           (List.map (fleet_fetcher ~timeout) endpoints)
       with Invalid_argument msg -> or_die (Error msg)
     in
@@ -1735,7 +1885,7 @@ let fleet_cmd =
           fleet is healthy, 1 otherwise (one-shot and --count modes).")
     Term.(
       const run $ endpoints_arg $ interval_arg $ count_arg $ timeout_arg
-      $ fleet_listen_arg $ slo_arg $ stale_after_arg)
+      $ fleet_listen_arg $ slo_arg $ burn_slo_arg $ stale_after_arg)
 
 let sync_period_arg =
   Arg.(
@@ -2252,7 +2402,8 @@ let () =
           [ list_cmd; run_cmd; experiment_cmd; record_cmd; replay_cmd;
             inspect_cmd; disasm_cmd; map_cmd; why_cmd; solve_cmd; trace_cmd;
             sites_cmd; litmus_cmd; asm_cmd; attack_cmd; obs_bench_cmd;
-            audit_cmd; serve_cmd; watch_cmd; fleet_cmd; serve_decisions_cmd;
+            audit_cmd; serve_cmd; watch_cmd; alerts_cmd; fleet_cmd;
+            serve_decisions_cmd;
             coordinator_cmd; node_cmd; cluster_cmd; loadgen_cmd;
             profile_cmd; bench_cmd;
             version_cmd ]))

@@ -41,6 +41,9 @@ let gated_metrics =
     (* fleet federation: one scrape-and-merge round over 8 loopback
        nodes must stay cheap enough to run on a short interval *)
     ([ "fleet_scrape"; "mean_ns" ], Lower_better);
+    (* burn-rate alert engine: one observe (store append + rule
+       evaluation) must stay cheap enough to ride every server tick *)
+    ([ "alert_eval"; "ns_per_observation" ], Lower_better);
     (* profiling-layer rows: the instrumented-mutex fast path and GC
        allocation pressure of the replay hot path *)
     ([ "lock_contention"; "uncontended_pair_ns" ], Lower_better);

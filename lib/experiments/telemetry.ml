@@ -1,6 +1,7 @@
 module Obs = Mitos_obs.Obs
 module Server = Mitos_obs.Server
 module Health = Mitos_obs.Health
+module Alerts = Mitos_obs.Alerts
 module Audit = Mitos_obs.Audit
 module Registry = Mitos_obs.Registry
 module Engine = Mitos_dift.Engine
@@ -12,9 +13,11 @@ type source = {
   health : Health.t option;
   audit : Audit.t option;
   progress : (unit -> Engine.progress) option;
+  alerts : Alerts.t option;
 }
 
-let source ?health ?audit ?progress obs = { obs; health; audit; progress }
+let source ?health ?audit ?progress ?alerts obs =
+  { obs; health; audit; progress; alerts }
 
 let progress_json (p : Engine.progress) =
   Printf.sprintf
@@ -34,10 +37,11 @@ let audit_json recorder =
 let snapshot_json t =
   let opt f = function None -> "null" | Some x -> f x in
   Printf.sprintf
-    "{\"progress\":%s,\"audit\":%s,\"health\":%s,\"metrics\":%s}"
+    "{\"progress\":%s,\"audit\":%s,\"health\":%s,\"alerts\":%s,\"metrics\":%s}"
     (opt (fun thunk -> progress_json (thunk ())) t.progress)
     (opt audit_json t.audit)
     (opt Health.to_json t.health)
+    (opt Alerts.to_json t.alerts)
     (Obs.metrics_json t.obs)
 
 (* Last [n] lines of a JSONL payload (rings are bounded, but live
@@ -51,10 +55,35 @@ let last_lines n s =
   in
   match tail with [] -> "" | _ -> String.concat "\n" tail ^ "\n"
 
+(* One verdict over both judgment layers: the Health watchdog's
+   current breaches AND the burn-rate alert engine's firing set. The
+   body keeps the Health.render shape (verdict, then attribution
+   lines, then detail) with the [firing: NAME severity=SEV] lines
+   spliced in after the breaching lines, so existing probes that grep
+   the first line keep working and watch/Fleet can attribute either
+   kind of failure from the body alone. *)
+let health_verdict t =
+  match (t.health, t.alerts) with
+  | None, None -> (true, "status: ok (no SLO rules attached)\n")
+  | health, alerts ->
+    let health_ok =
+      match health with None -> true | Some h -> Health.healthy h
+    in
+    let alerts_ok =
+      match alerts with None -> true | Some a -> not (Alerts.any_firing a)
+    in
+    let ok = health_ok && alerts_ok in
+    let body =
+      (if ok then "status: ok\n" else "status: breach\n")
+      ^ (match health with None -> "" | Some h -> Health.breaching_lines h)
+      ^ (match alerts with None -> "" | Some a -> Alerts.render_firing a)
+      ^ (match health with None -> "" | Some h -> Health.render_detail h)
+    in
+    (ok, body)
+
 let healthz_payload t () =
-  match t.health with
-  | None -> Server.text "status: ok (no SLO rules attached)\n"
-  | Some h -> Server.text ~status:(Health.status_code h) (Health.render h)
+  let ok, body = health_verdict t in
+  Server.text ~status:(if ok then 200 else 503) body
 
 (* Keep only lines mentioning the given trace id. Matching is textual
    on the JSONL — ids are validated hex, so the quoted-arg form cannot
@@ -98,6 +127,7 @@ let routes ?(last = 256) ?pid t =
         | None -> Server.text "no audit recorder attached\n"
         | Some recorder -> Server.text (last_lines last (Audit.to_jsonl recorder)));
   ]
+  @ (match t.alerts with None -> [] | Some a -> Alerts.routes a)
 
 (* -- Standard signals ------------------------------------------------ *)
 

@@ -25,21 +25,32 @@ type source = {
   health : Mitos_obs.Health.t option;
   audit : Mitos_obs.Audit.t option;
   progress : (unit -> Mitos_dift.Engine.progress) option;
+  alerts : Mitos_obs.Alerts.t option;
 }
 
 val source :
   ?health:Mitos_obs.Health.t ->
   ?audit:Mitos_obs.Audit.t ->
   ?progress:(unit -> Mitos_dift.Engine.progress) ->
+  ?alerts:Mitos_obs.Alerts.t ->
   Mitos_obs.Obs.t ->
   source
+
+val health_verdict : source -> bool * string
+(** The composed [/healthz] verdict over both judgment layers: healthy
+    iff no {!Mitos_obs.Health} rule is breaching {e and} no
+    {!Mitos_obs.Alerts} rule is firing. The body is the verdict line,
+    the health [breaching: NAME] lines, the alert
+    [firing: NAME severity=SEV] lines, then the health detail — also
+    what [mitos-cli serve-decisions] answers health probes with. With
+    neither layer attached, a plain ok liveness line. *)
 
 val progress_json : Mitos_dift.Engine.progress -> string
 (** One JSON object, canonical field order and number formatting. *)
 
 val snapshot_json : source -> string
 (** The [/snapshot.json] body: [{"progress":…,"audit":…,"health":…,
-    "metrics":…}] with [null] for absent parts. *)
+    "alerts":…,"metrics":…}] with [null] for absent parts. *)
 
 val routes : ?last:int -> ?pid:int -> source -> Mitos_obs.Server.route list
 (** The standard five routes, in fixed order, with their oneshot file
@@ -51,7 +62,10 @@ val routes : ?last:int -> ?pid:int -> source -> Mitos_obs.Server.route list
     timeline), and [/tracez?trace_id=<32-hex>] keeps only the spans of
     one distributed trace — filtered before the tail, so a stitched
     trace survives ring pressure. Without a health watchdog [/healthz]
-    is a plain 200 liveness probe. *)
+    is a plain 200 liveness probe; with an alert engine attached the
+    [/alerts], [/query] and [/alertz] routes are appended and
+    [/healthz] folds alert firing into its verdict
+    (see {!health_verdict}). *)
 
 (** {1 Standard signals and rules} *)
 

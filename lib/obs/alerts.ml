@@ -1,0 +1,533 @@
+(* Multi-window multi-burn-rate alerting in the Google-SRE style over
+   the bounded Tsdb. Burn rate of a window = (fraction of the
+   window's samples violating the objective) / error budget; a window
+   pair is active when both its fast and slow burn clear the pair's
+   threshold. Alert state is an explicit machine whose transitions
+   depend only on the observed (at, value) stream — see DESIGN §15. *)
+
+type severity = Ticket | Page
+
+let severity_to_string = function Page -> "page" | Ticket -> "ticket"
+let severity_rank = function Page -> 2 | Ticket -> 1
+
+let severity_of_string = function
+  | "page" -> Ok Page
+  | "ticket" -> Ok Ticket
+  | s -> Error (Printf.sprintf "unknown severity %S (want page|ticket)" s)
+
+let worse a b = if severity_rank a >= severity_rank b then a else b
+
+type window_pair = {
+  fast : float;
+  slow : float;
+  burn : float;
+  pair_severity : severity;
+}
+
+type rule = {
+  alert_name : string;
+  signal : string;
+  cmp : Health.cmp;
+  objective : float;
+  budget : float;
+  windows : window_pair list;
+  for_ : float;
+  keep_firing : float;
+}
+
+(* The classic SRE pairs, scaled to the 1-unit-per-observation clock
+   the CLI tick drives: a fast page pair and a slower ticket pair. *)
+let default_windows =
+  [
+    { fast = 60.0; slow = 300.0; burn = 14.4; pair_severity = Page };
+    { fast = 300.0; slow = 3600.0; burn = 6.0; pair_severity = Ticket };
+  ]
+
+let rule ?name ?(budget = 0.01) ?(windows = default_windows) ?(for_ = 0.0)
+    ?(keep_firing = 0.0) ~signal ~cmp ~objective () =
+  if not (budget > 0.0) then invalid_arg "Alerts.rule: non-positive budget";
+  if windows = [] then invalid_arg "Alerts.rule: no window pairs";
+  List.iter
+    (fun w ->
+      if not (w.fast > 0.0) then invalid_arg "Alerts.rule: non-positive fast";
+      if w.slow < w.fast then invalid_arg "Alerts.rule: slow shorter than fast";
+      if not (w.burn > 0.0) then
+        invalid_arg "Alerts.rule: non-positive burn threshold")
+    windows;
+  if for_ < 0.0 then invalid_arg "Alerts.rule: negative for";
+  if keep_firing < 0.0 then invalid_arg "Alerts.rule: negative keep";
+  let alert_name = match name with Some n -> n | None -> signal in
+  { alert_name; signal; cmp; objective; budget; windows; for_; keep_firing }
+
+(* -- grammar ------------------------------------------------------------ *)
+
+let window_pair_to_string w =
+  Printf.sprintf "%s/%s@%s@%s" (Registry.fmt_value w.fast)
+    (Registry.fmt_value w.slow) (Registry.fmt_value w.burn)
+    (severity_to_string w.pair_severity)
+
+let rule_to_string r =
+  let prefix = if r.alert_name = r.signal then "" else r.alert_name ^ ":" in
+  Printf.sprintf "%s%s%s%s;budget=%s;windows=%s;for=%s;keep=%s" prefix
+    r.signal
+    (Health.cmp_to_string r.cmp)
+    (Registry.fmt_value r.objective)
+    (Registry.fmt_value r.budget)
+    (String.concat "," (List.map window_pair_to_string r.windows))
+    (Registry.fmt_value r.for_)
+    (Registry.fmt_value r.keep_firing)
+
+let objective_to_string r =
+  Printf.sprintf "%s%s%s" r.signal
+    (Health.cmp_to_string r.cmp)
+    (Registry.fmt_value r.objective)
+
+let parse_window_pair s =
+  let malformed () =
+    Error (Printf.sprintf "bad window pair %S (want FAST/SLOW@BURN[@SEV])" s)
+  in
+  let parts =
+    match String.split_on_char '@' s with
+    | [ span; burn ] -> Some (span, burn, Ok Page)
+    | [ span; burn; sev ] -> Some (span, burn, severity_of_string sev)
+    | _ -> None
+  in
+  match parts with
+  | None -> malformed ()
+  | Some (_, _, Error e) -> Error e
+  | Some (span, burn, Ok pair_severity) -> (
+    match String.split_on_char '/' span with
+    | [ fast; slow ] -> (
+      match
+        ( float_of_string_opt (String.trim fast),
+          float_of_string_opt (String.trim slow),
+          float_of_string_opt (String.trim burn) )
+      with
+      | Some fast, Some slow, Some burn ->
+        Ok { fast; slow; burn; pair_severity }
+      | _ -> malformed ())
+    | _ -> malformed ())
+
+let rec collect_results = function
+  | [] -> Ok []
+  | Error e :: _ -> Error e
+  | Ok x :: rest -> Result.map (fun xs -> x :: xs) (collect_results rest)
+
+(* [NAME:]SIGNAL(<=|<|>=|>)OBJECTIVE[;budget=B][;windows=F/S@BURN[@SEV],..]
+   [;for=D][;keep=K] — the head reuses the Health rule grammar. *)
+let parse_rule s =
+  match String.split_on_char ';' s with
+  | [] -> Error "empty alert rule"
+  | head :: opts -> (
+    match Health.parse_rule head with
+    | Error e -> Error e
+    | Ok h -> (
+      let budget = ref 0.01 and windows = ref default_windows in
+      let for_ = ref 0.0 and keep = ref 0.0 in
+      let parse_opt opt =
+        match String.index_opt opt '=' with
+        | None -> Error (Printf.sprintf "bad alert option %S (want key=value)" opt)
+        | Some eq -> (
+          let key = String.trim (String.sub opt 0 eq) in
+          let value =
+            String.trim
+              (String.sub opt (eq + 1) (String.length opt - eq - 1))
+          in
+          let float_opt cell =
+            match float_of_string_opt value with
+            | Some v ->
+              cell := v;
+              Ok ()
+            | None -> Error (Printf.sprintf "bad %s in alert rule %S" key s)
+          in
+          match key with
+          | "budget" -> float_opt budget
+          | "for" -> float_opt for_
+          | "keep" -> float_opt keep
+          | "windows" -> (
+            match
+              collect_results
+                (List.map parse_window_pair (String.split_on_char ',' value))
+            with
+            | Ok [] -> Error (Printf.sprintf "empty windows in %S" s)
+            | Ok ws ->
+              windows := ws;
+              Ok ()
+            | Error e -> Error e)
+          | _ -> Error (Printf.sprintf "unknown alert option %S" key))
+      in
+      match collect_results (List.map parse_opt opts) with
+      | Error e -> Error e
+      | Ok _ -> (
+        let name =
+          if h.Health.rule_name = h.Health.signal then None
+          else Some h.Health.rule_name
+        in
+        match
+          rule ?name ~budget:!budget ~windows:!windows ~for_:!for_
+            ~keep_firing:!keep ~signal:h.Health.signal ~cmp:h.Health.cmp
+            ~objective:h.Health.bound ()
+        with
+        | r -> Ok r
+        | exception Invalid_argument msg -> Error msg)))
+
+(* -- state machine ------------------------------------------------------ *)
+
+type phase =
+  | Inactive
+  | Pending of { since : float; severity : severity }
+  | Firing of { since : float; last_bad : float; severity : severity }
+
+type transition = To_pending | To_firing | To_resolved | To_cancelled
+
+let transition_to_string = function
+  | To_pending -> "pending"
+  | To_firing -> "firing"
+  | To_resolved -> "resolved"
+  | To_cancelled -> "cancelled"
+
+type incident = {
+  seq : int;
+  at : float;
+  alert : string;
+  transition : transition;
+  severity : severity;
+  value : float;
+  burn_fast : float;
+  burn_slow : float;
+}
+
+type alert_state = {
+  r : rule;
+  mutable phase : phase;
+  mutable fired_total : int;
+  mutable last_value : float option;
+  mutable last_burn : float * float;  (* representative (fast, slow) *)
+}
+
+type t = {
+  tsdb : Tsdb.t;
+  states : alert_state list;
+  ring_capacity : int;
+  ring : incident option array;  (* keep-newest circular *)
+  mutable ring_next : int;
+  mutable ring_len : int;
+  mutable incidents_total : int;
+  mutable evals : int;
+  mutable tracer : Tracer.t option;
+}
+
+let create ?(capacity = 1024) ?tsdb ~rules () =
+  if capacity < 1 then invalid_arg "Alerts.create: non-positive capacity";
+  let tsdb = match tsdb with Some d -> d | None -> Tsdb.create () in
+  {
+    tsdb;
+    states =
+      List.map
+        (fun r ->
+          {
+            r;
+            phase = Inactive;
+            fired_total = 0;
+            last_value = None;
+            last_burn = (0.0, 0.0);
+          })
+        rules;
+    ring_capacity = capacity;
+    ring = Array.make capacity None;
+    ring_next = 0;
+    ring_len = 0;
+    incidents_total = 0;
+    evals = 0;
+    tracer = None;
+  }
+
+let tsdb t = t.tsdb
+let rules t = List.map (fun st -> st.r) t.states
+
+let phase_of t name =
+  List.find_map
+    (fun st -> if st.r.alert_name = name then Some st.phase else None)
+    t.states
+let evals t = t.evals
+let incidents_total t = t.incidents_total
+let dropped t = t.incidents_total - t.ring_len
+let link_tracer t tracer = t.tracer <- Some tracer
+
+(* Incident ring keeps the *newest* transitions (unlike the audit
+   ring's keep-oldest): the /alerts history is about what is
+   happening, not how the run began. *)
+let record t ~at st transition severity (burn_fast, burn_slow) =
+  let value = match st.last_value with Some v -> v | None -> nan in
+  let inc =
+    {
+      seq = t.incidents_total;
+      at;
+      alert = st.r.alert_name;
+      transition;
+      severity;
+      value;
+      burn_fast;
+      burn_slow;
+    }
+  in
+  t.incidents_total <- t.incidents_total + 1;
+  t.ring.(t.ring_next) <- Some inc;
+  t.ring_next <- (t.ring_next + 1) mod t.ring_capacity;
+  if t.ring_len < t.ring_capacity then t.ring_len <- t.ring_len + 1;
+  match t.tracer with
+  | None -> ()
+  | Some tracer ->
+    Tracer.instant tracer
+      ("alert_" ^ transition_to_string transition)
+      ~args:
+        [
+          ("alert", st.r.alert_name);
+          ("severity", severity_to_string severity);
+          ("value", Registry.fmt_value value);
+          ("burn_fast", Registry.fmt_value burn_fast);
+          ("burn_slow", Registry.fmt_value burn_slow);
+        ]
+
+let incidents t =
+  List.init t.ring_len (fun i ->
+      let idx =
+        (t.ring_next - t.ring_len + i + t.ring_capacity) mod t.ring_capacity
+      in
+      match t.ring.(idx) with
+      | Some inc -> inc
+      | None -> assert false)
+
+let bad_fraction t (r : rule) ~at ~window =
+  let bad, n =
+    Tsdb.window_fold t.tsdb r.signal ~at ~window ~init:(0, 0)
+      ~f:(fun (bad, n) _ v ->
+        ((if Health.holds r.cmp v r.objective then bad else bad + 1), n + 1))
+  in
+  if n = 0 then 0.0 else float_of_int bad /. float_of_int n
+
+let pair_burn t r pair ~at =
+  ( bad_fraction t r ~at ~window:pair.fast /. r.budget,
+    bad_fraction t r ~at ~window:pair.slow /. r.budget )
+
+(* The pair whose burns the incident reports: the worst active pair,
+   or the first configured pair while nothing is active. *)
+let judge t st ~at =
+  let burns =
+    List.map (fun p -> (p, pair_burn t st.r p ~at)) st.r.windows
+  in
+  let active =
+    List.filter (fun (p, (bf, bs)) -> bf >= p.burn && bs >= p.burn) burns
+  in
+  let severity =
+    List.fold_left
+      (fun acc (p, _) ->
+        match acc with
+        | None -> Some p.pair_severity
+        | Some s -> Some (worse s p.pair_severity))
+      None active
+  in
+  let representative =
+    match
+      List.find_opt
+        (fun (p, _) -> Some p.pair_severity = severity)
+        (match active with [] -> burns | _ -> active)
+    with
+    | Some (_, b) -> b
+    | None -> (match burns with (_, b) :: _ -> b | [] -> (0.0, 0.0))
+  in
+  (severity, representative)
+
+let eval_rule t ~at st =
+  let severity, burn = judge t st ~at in
+  st.last_value <- Option.map snd (Tsdb.latest t.tsdb st.r.signal);
+  st.last_burn <- burn;
+  let fire sev =
+    st.phase <- Firing { since = at; last_bad = at; severity = sev };
+    st.fired_total <- st.fired_total + 1;
+    record t ~at st To_firing sev burn
+  in
+  match (st.phase, severity) with
+  | Inactive, None -> ()
+  | Inactive, Some sev ->
+    st.phase <- Pending { since = at; severity = sev };
+    record t ~at st To_pending sev burn;
+    (* a zero [for_] fires on the same evaluation that went pending *)
+    if st.r.for_ <= 0.0 then fire sev
+  | Pending p, Some sev ->
+    let sev = worse p.severity sev in
+    if at -. p.since >= st.r.for_ then fire sev
+    else st.phase <- Pending { p with severity = sev }
+  | Pending p, None ->
+    st.phase <- Inactive;
+    record t ~at st To_cancelled p.severity burn
+  | Firing f, Some sev ->
+    st.phase <- Firing { f with last_bad = at; severity = worse f.severity sev }
+  | Firing f, None ->
+    (* [keep_firing] holds the alert through flaps: only a quiet spell
+       of at least that long resolves it *)
+    if at -. f.last_bad >= st.r.keep_firing then begin
+      st.phase <- Inactive;
+      record t ~at st To_resolved f.severity burn
+    end
+
+let eval t ~at =
+  t.evals <- t.evals + 1;
+  List.iter (eval_rule t ~at) t.states
+
+let observe t ~at signals =
+  Tsdb.observe t.tsdb ~at signals;
+  eval t ~at
+
+(* -- verdicts ----------------------------------------------------------- *)
+
+let firing t =
+  List.filter_map
+    (fun st ->
+      match st.phase with
+      | Firing f -> Some (st.r, f.severity)
+      | Inactive | Pending _ -> None)
+    t.states
+
+let any_firing t = firing t <> []
+
+let worst_severity t =
+  List.fold_left
+    (fun acc (_, sev) ->
+      match acc with None -> Some sev | Some s -> Some (worse s sev))
+    None (firing t)
+
+let severity_code t =
+  match worst_severity t with
+  | None -> 0
+  | Some Ticket -> 1
+  | Some Page -> 2
+
+let render_firing t =
+  String.concat ""
+    (List.map
+       (fun (r, sev) ->
+         Printf.sprintf "firing: %s severity=%s\n" r.alert_name
+           (severity_to_string sev))
+       (firing t))
+
+(* -- JSON --------------------------------------------------------------- *)
+
+(* Non-finite floats keep their Prometheus spelling but as JSON
+   strings (the audit ring's convention). *)
+let json_num v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then
+    Registry.json_string (Registry.fmt_value v)
+  else Registry.fmt_value v
+
+let json_str = Registry.json_string
+
+let phase_to_string = function
+  | Inactive -> "ok"
+  | Pending _ -> "pending"
+  | Firing _ -> "firing"
+
+let incident_json inc =
+  Printf.sprintf
+    "{\"alert\":%s,\"at\":%s,\"burn_fast\":%s,\"burn_slow\":%s,\"seq\":%d,\
+     \"severity\":%s,\"transition\":%s,\"value\":%s}"
+    (json_str inc.alert) (json_num inc.at) (json_num inc.burn_fast)
+    (json_num inc.burn_slow) inc.seq
+    (json_str (severity_to_string inc.severity))
+    (json_str (transition_to_string inc.transition))
+    (json_num inc.value)
+
+let incidents_to_jsonl t =
+  match incidents t with
+  | [] -> ""
+  | incs -> String.concat "\n" (List.map incident_json incs) ^ "\n"
+
+let window_json w =
+  Printf.sprintf "{\"burn\":%s,\"fast\":%s,\"severity\":%s,\"slow\":%s}"
+    (json_num w.burn) (json_num w.fast)
+    (json_str (severity_to_string w.pair_severity))
+    (json_num w.slow)
+
+let alert_json st =
+  let burn_fast, burn_slow = st.last_burn in
+  let severity, since =
+    match st.phase with
+    | Inactive -> ("null", "null")
+    | Pending p ->
+      (json_str (severity_to_string p.severity), json_num p.since)
+    | Firing f ->
+      (json_str (severity_to_string f.severity), json_num f.since)
+  in
+  Printf.sprintf
+    "{\"budget\":%s,\"burn_fast\":%s,\"burn_slow\":%s,\"fired_total\":%d,\
+     \"for\":%s,\"keep_firing\":%s,\"name\":%s,\"objective\":%s,\
+     \"severity\":%s,\"signal\":%s,\"since\":%s,\"state\":%s,\"value\":%s,\
+     \"windows\":[%s]}"
+    (json_num st.r.budget) (json_num burn_fast) (json_num burn_slow)
+    st.fired_total
+    (json_num st.r.for_)
+    (json_num st.r.keep_firing)
+    (json_str st.r.alert_name)
+    (json_str (objective_to_string st.r))
+    severity
+    (json_str st.r.signal)
+    since
+    (json_str (phase_to_string st.phase))
+    (match st.last_value with None -> "null" | Some v -> json_num v)
+    (String.concat "," (List.map window_json st.r.windows))
+
+let worst_to_string t =
+  match worst_severity t with
+  | None -> "ok"
+  | Some sev -> severity_to_string sev
+
+(* Keys sorted at every level, numbers canonical: under a
+   deterministic (at, value) stream this body is byte-stable. *)
+let to_json t =
+  Printf.sprintf
+    "{\"alerts\":[%s],\"dropped\":%d,\"evals\":%d,\"firing\":[%s],\
+     \"incidents\":[%s],\"incidents_total\":%d,\"worst\":%s}"
+    (String.concat "," (List.map alert_json t.states))
+    (dropped t) t.evals
+    (String.concat ","
+       (List.map (fun (r, _) -> json_str r.alert_name) (firing t)))
+    (String.concat "," (List.map incident_json (incidents t)))
+    t.incidents_total
+    (json_str (worst_to_string t))
+
+(* -- exposition --------------------------------------------------------- *)
+
+let query_payload t query =
+  match List.assoc_opt "signal" query with
+  | None | Some "" ->
+    Server.json ~status:400
+      (Printf.sprintf "{\"error\":\"missing ?signal=\",\"signals\":[%s]}"
+         (String.concat "," (List.map json_str (Tsdb.names t.tsdb))))
+  | Some signal -> (
+    match Tsdb.series t.tsdb signal with
+    | None ->
+      Server.json ~status:404
+        (Printf.sprintf "{\"error\":\"unknown signal\",\"signals\":[%s]}"
+           (String.concat "," (List.map json_str (Tsdb.names t.tsdb))))
+    | Some _ ->
+      let num key default =
+        match List.assoc_opt key query with
+        | Some s -> (
+          match float_of_string_opt s with Some v -> v | None -> default)
+        | None -> default
+      in
+      let from = num "from" 0.0 and step = num "step" 0.0 in
+      Server.json (Tsdb.query_json t.tsdb signal ~from ~step))
+
+let routes t =
+  [
+    Server.route ~file:"alerts.json"
+      ~describe:"burn-rate alert states + incident history" "/alerts"
+      (fun () -> Server.json (to_json t));
+    Server.route_q ~file:"query.json"
+      ~describe:"tsdb range query: ?signal=&from=&step=" "/query"
+      (query_payload t);
+    Server.route ~file:"alertz.jsonl"
+      ~describe:"incident timeline ring (JSONL)" "/alertz" (fun () ->
+        Server.text (incidents_to_jsonl t));
+  ]

@@ -1,0 +1,172 @@
+(** Multi-window multi-burn-rate SLO alerting (the Google-SRE shape)
+    over the retained samples of a {!Tsdb}.
+
+    Where {!Health} judges the latest sample (or one window mean)
+    against a static bound — so a slow p99 bleed and a ten-second
+    spike look identical — an alert rule here names a signal, an
+    {e objective} (the per-sample good/bad test, in the Health
+    comparison grammar), an {e error budget} (the tolerated bad-sample
+    fraction), and a list of {e (fast, slow) window pairs} each with a
+    burn-rate threshold and severity. The burn rate of a window is the
+    window's bad-sample fraction divided by the budget; a pair is
+    active when {e both} its windows clear the threshold (the fast
+    window makes the alert responsive, the slow window makes it hold
+    evidence). Severity [Page] outranks [Ticket].
+
+    {b Lifecycle.} Alert state is an explicit machine:
+    [Pending] (condition active, waiting out [for_]) →
+    [Firing] (held through condition flaps for [keep_firing] after the
+    last bad evaluation) → resolved back to [Inactive]. Every
+    transition is recorded in a keep-newest incident ring (exported as
+    [/alertz] JSONL) and, when a tracer is linked, as a Chrome-trace
+    instant ([alert_pending]/[alert_firing]/[alert_resolved]/
+    [alert_cancelled]) cross-linked with the run's spans.
+
+    {b Determinism.} Evaluation is a pure function of the observed
+    [(at, value)] stream — no wall clock, no randomness — so the
+    [/alerts] JSON and incident JSONL are byte-identical for the same
+    stream regardless of [--jobs] (DESIGN §15). *)
+
+type severity = Ticket | Page
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> (severity, string) result
+val worse : severity -> severity -> severity
+(** [Page] beats [Ticket]. *)
+
+type window_pair = {
+  fast : float;
+  slow : float;
+  burn : float;  (** burn-rate threshold both windows must clear *)
+  pair_severity : severity;
+}
+
+type rule = {
+  alert_name : string;
+  signal : string;
+  cmp : Health.cmp;
+  objective : float;  (** a sample is good when [value cmp objective] *)
+  budget : float;  (** tolerated bad-sample fraction, e.g. 0.01 *)
+  windows : window_pair list;
+  for_ : float;  (** condition must hold this long before firing *)
+  keep_firing : float;  (** quiet spell required before resolving *)
+}
+
+val default_windows : window_pair list
+(** The classic SRE pairs in observation-clock units: [60/300\@14.4]
+    paging and [300/3600\@6] ticketing. *)
+
+val rule :
+  ?name:string -> ?budget:float -> ?windows:window_pair list ->
+  ?for_:float -> ?keep_firing:float -> signal:string -> cmp:Health.cmp ->
+  objective:float -> unit -> rule
+(** [name] defaults to [signal]; [budget] to 0.01; [windows] to
+    {!default_windows}; [for_]/[keep_firing] to 0. Raises
+    [Invalid_argument] on a non-positive budget or burn threshold, an
+    empty or inverted window pair, or negative durations. *)
+
+val rule_to_string : rule -> string
+(** Canonical [--burn-slo] spelling (all options explicit) —
+    parseable by {!parse_rule}. *)
+
+val objective_to_string : rule -> string
+(** Just [SIGNAL<=OBJECTIVE]. *)
+
+val parse_rule : string -> (rule, string) result
+(** Grammar (one rule per [--burn-slo] flag):
+    {[ [NAME:]SIGNAL(<=|<|>=|>)OBJECTIVE[;budget=B]
+       [;windows=FAST/SLOW@BURN[@page|ticket],...][;for=D][;keep=K] ]}
+    e.g. [p99:decision_p99_ns<=5e6;budget=0.05;windows=30/120@4@page;for=10;keep=30].
+    Omitted options take the {!rule} defaults; a window pair without a
+    severity pages. *)
+
+(** {1 The engine} *)
+
+type phase =
+  | Inactive
+  | Pending of { since : float; severity : severity }
+  | Firing of { since : float; last_bad : float; severity : severity }
+
+type transition = To_pending | To_firing | To_resolved | To_cancelled
+
+val transition_to_string : transition -> string
+(** [pending]/[firing]/[resolved]/[cancelled]. *)
+
+type incident = {
+  seq : int;  (** monotone across the run, survives ring eviction *)
+  at : float;
+  alert : string;
+  transition : transition;
+  severity : severity;
+  value : float;  (** latest sample of the signal; [nan] if none *)
+  burn_fast : float;  (** of the worst active pair at transition time *)
+  burn_slow : float;
+}
+
+type t
+
+val create : ?capacity:int -> ?tsdb:Tsdb.t -> rules:rule list -> unit -> t
+(** [capacity] bounds the incident ring (default 1024, keep-newest).
+    [tsdb] shares an existing store (e.g. the one the server's tick
+    already feeds); a private default-retention store is created
+    otherwise. Raises [Invalid_argument] on a non-positive
+    capacity. *)
+
+val tsdb : t -> Tsdb.t
+val rules : t -> rule list
+val phase_of : t -> string -> phase option
+(** Current phase of the named alert. *)
+
+val link_tracer : t -> Tracer.t -> unit
+(** Subsequent transitions additionally emit tracer instants. *)
+
+val observe : t -> at:float -> (string * float) list -> unit
+(** Feed one snapshot of signals into the store, then {!eval}. *)
+
+val eval : t -> at:float -> unit
+(** Re-evaluate every rule at time [at] (non-decreasing across calls)
+    against the store's retained samples — for callers that feed the
+    {!tsdb} directly (e.g. to add derived signals) before judging. *)
+
+val evals : t -> int
+
+(** {1 Verdicts} *)
+
+val firing : t -> (rule * severity) list
+(** Currently firing alerts, in rule order. *)
+
+val any_firing : t -> bool
+val worst_severity : t -> severity option
+val severity_code : t -> int
+(** 0 none firing / 1 worst is [Ticket] / 2 worst is [Page] — what
+    [mitos-cli watch --burn-slo] exits with. *)
+
+val render_firing : t -> string
+(** One [firing: NAME severity=SEV] line per firing alert — appended
+    to /healthz bodies so watch failures are attributable from the
+    probe alone (and parsed back by {!Fleet} for node attribution). *)
+
+(** {1 History and exposition} *)
+
+val incidents : t -> incident list
+(** Retained transitions, oldest first (the ring keeps the newest
+    [capacity]). *)
+
+val incidents_total : t -> int
+val dropped : t -> int
+
+val incidents_to_jsonl : t -> string
+(** One canonical JSON object per line, oldest first — the [/alertz]
+    body and the CI incident artifact. *)
+
+val to_json : t -> string
+(** The [/alerts] body: alert states (with burns, severities, window
+    configs), the firing list, the incident ring, and the worst
+    severity. Keys sorted at every level; byte-deterministic for a
+    deterministic stream. *)
+
+val routes : t -> Server.route list
+(** [/alerts] (JSON state + history), [/query?signal=&from=&step=]
+    (range query over the store; 400/404 with the known signal list on
+    a missing/unknown signal), [/alertz] (incident JSONL) — servable
+    by {!Server.start} or {!Server.oneshot}. *)

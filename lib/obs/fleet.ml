@@ -26,6 +26,7 @@ type t = {
   nodes : node_state list;
   stale_after : float;
   fleet_health : Health.t option;
+  fleet_alerts : Alerts.t option;
   mutable last_at : float;
   mutable scrapes : int;
   mutable merged_snapshot : Snapshot.t;
@@ -35,7 +36,7 @@ type t = {
 let default_rules =
   [ Health.rule ~signal:"fleet_unreachable" ~cmp:Health.Le ~bound:0.0 () ]
 
-let create ?(stale_after = 60.0) ?health nodes =
+let create ?(stale_after = 60.0) ?health ?alerts nodes =
   if nodes = [] then invalid_arg "Fleet.create: need at least one node";
   if stale_after <= 0.0 then
     invalid_arg "Fleet.create: stale_after must be positive";
@@ -58,6 +59,7 @@ let create ?(stale_after = 60.0) ?health nodes =
         nodes;
     stale_after;
     fleet_health = health;
+    fleet_alerts = alerts;
     last_at = nan;
     scrapes = 0;
     merged_snapshot = [];
@@ -65,8 +67,46 @@ let create ?(stale_after = 60.0) ?health nodes =
   }
 
 let health t = t.fleet_health
+let alerts t = t.fleet_alerts
 let stale_after t = t.stale_after
 let scrapes t = t.scrapes
+
+(* -- node alert attribution --------------------------------------------- *)
+
+(* Nodes running a burn-rate engine splice [firing: NAME severity=SEV]
+   lines into their /healthz body (Telemetry.health_verdict); parsing
+   them back out of [report.health] gives the fleet per-node alert
+   attribution without touching the wire protocol. *)
+let firing_prefix = "firing: "
+
+let parse_firing body =
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         let pl = String.length firing_prefix in
+         if String.length line <= pl || String.sub line 0 pl <> firing_prefix
+         then None
+         else
+           let rest = String.sub line pl (String.length line - pl) in
+           match String.index_opt rest ' ' with
+           | None -> None
+           | Some i ->
+             let name = String.sub rest 0 i in
+             let tail = String.sub rest (i + 1) (String.length rest - i - 1) in
+             let sev_prefix = "severity=" in
+             let sl = String.length sev_prefix in
+             if
+               name = ""
+               || String.length tail <= sl
+               || String.sub tail 0 sl <> sev_prefix
+             then None
+             else
+               match
+                 Alerts.severity_of_string
+                   (String.trim
+                      (String.sub tail sl (String.length tail - sl)))
+               with
+               | Ok sev -> Some (name, sev)
+               | Error _ -> None)
 
 (* -- snapshot probes ---------------------------------------------------- *)
 
@@ -168,6 +208,10 @@ let compute_signals t =
     if bound > 0.0 then [ ("fleet_over_taint_ratio", tainted /. bound) ]
     else []
   in
+  let firing_nodes =
+    List.length
+      (List.filter (fun (_, r) -> parse_firing r.health <> []) live)
+  in
   over_taint
   @ [
       ("fleet_nodes", float_of_int (List.length t.nodes));
@@ -175,6 +219,7 @@ let compute_signals t =
       ("fleet_unreachable", float_of_int (List.length t.nodes - up));
       ("fleet_requests_total", float_of_int req_sum);
       ("fleet_node_skew", skew);
+      ("fleet_nodes_firing", float_of_int firing_nodes);
     ]
   @ (if Float.is_nan p99 then [] else [ ("fleet_decision_p99_ns", p99) ])
 
@@ -206,9 +251,12 @@ let scrape t ~at =
       (List.map (fun (ns, r) -> (ns.node_id, r.snapshot)) (fresh_reports t));
   let signals = compute_signals t in
   t.last_signals <- signals;
-  match t.fleet_health with
+  (match t.fleet_health with
   | None -> ()
-  | Some h -> Health.observe h ~at signals
+  | Some h -> Health.observe h ~at signals);
+  match t.fleet_alerts with
+  | None -> ()
+  | Some a -> Alerts.observe a ~at signals
 
 let merged t = t.merged_snapshot
 let signals t = t.last_signals
@@ -242,7 +290,27 @@ let federated t =
              value = Snapshot.Gauge (if ns.last_ok then 1.0 else 0.0) })
          t.nodes
   in
-  Snapshot.sort_rows (meta @ List.concat_map snd per_node)
+  (* one gauge row per (node, firing alert): value is the severity
+     rank (1 ticket / 2 page) so a flat max over the series is the
+     fleet's worst severity *)
+  let alert_meta =
+    List.concat_map
+      (fun ns ->
+        match ns.report with
+        | Some r when fresh t ns ->
+          List.map
+            (fun (alert, sev) ->
+              { Snapshot.name = "mitos_fleet_alert_firing";
+                labels = [ ("alert", alert); ("node", ns.node_id) ];
+                help = "burn-rate alert firing on the node (severity rank)";
+                value =
+                  Snapshot.Gauge
+                    (match sev with Alerts.Ticket -> 1.0 | Alerts.Page -> 2.0) })
+            (parse_firing r.health)
+        | _ -> [])
+      t.nodes
+  in
+  Snapshot.sort_rows (meta @ alert_meta @ List.concat_map snd per_node)
 
 (* -- verdict ------------------------------------------------------------ *)
 
@@ -259,6 +327,7 @@ type node_view = {
   request_rate : float;
   decide_p99_ns : float;
   occupancy : float;
+  node_firing : (string * Alerts.severity) list;
 }
 
 let view t ns =
@@ -292,6 +361,8 @@ let view t ns =
           | Some v -> v
           | None -> nan)
         nan;
+    node_firing =
+      (match ns.report with Some r -> parse_firing r.health | None -> []);
   }
 
 let nodes t = List.map (view t) t.nodes
@@ -299,19 +370,36 @@ let nodes t = List.map (view t) t.nodes
 (* The worst verdict wins: an unreachable or stale node, a node whose
    own SLO is in breach, or a breached fleet-level rule each force
    503; the status line names the first offender. *)
+(* Worst firing alert of a node: highest severity, first in reported
+   order among those. *)
+let worst_firing = function
+  | [] -> None
+  | (name, sev) :: rest ->
+    Some
+      (List.fold_left
+         (fun (bn, bs) (n, s) ->
+           if Alerts.worse s bs = s && s <> bs then (n, s) else (bn, bs))
+         (name, sev) rest)
+
 let offenders t =
   List.filter_map
     (fun ns ->
       let v = view t ns in
       if not v.up then
         Some (v.node_id, if v.stale then "stale" else "unreachable")
-      else if not v.node_healthy then Some (v.node_id, "breach")
+      else if not v.node_healthy then
+        match worst_firing v.node_firing with
+        | Some (alert, _) -> Some (v.node_id, "alert " ^ alert)
+        | None -> Some (v.node_id, "breach")
       else None)
     t.nodes
 
 let healthy t =
   offenders t = []
-  && match t.fleet_health with None -> true | Some h -> Health.healthy h
+  && (match t.fleet_health with None -> true | Some h -> Health.healthy h)
+  && match t.fleet_alerts with
+     | None -> true
+     | Some a -> not (Alerts.any_firing a)
 
 let status_code t = if healthy t then 200 else 503
 
@@ -330,7 +418,16 @@ let render_health t =
           (Printf.sprintf "status: breach (fleet rule %s)\n"
              (Health.rule_to_string r))
       | [] -> Buffer.add_string buf "status: breach\n")
-    | Some _ | None -> Buffer.add_string buf "status: ok\n"));
+    | Some _ | None -> (
+      match t.fleet_alerts with
+      | Some a when Alerts.any_firing a -> (
+        match Alerts.firing a with
+        | (r, _) :: _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "status: breach (fleet alert %s)\n"
+               r.Alerts.alert_name)
+        | [] -> Buffer.add_string buf "status: breach\n")
+      | Some _ | None -> Buffer.add_string buf "status: ok\n")));
   List.iter
     (fun ns ->
       let v = view t ns in
@@ -348,13 +445,27 @@ let render_health t =
         (Printf.sprintf "node %s  %s  last_seen %s  requests %d\n" v.node_id
            verdict
            (Registry.fmt_value v.last_seen)
-           v.node_requests_total))
+           v.node_requests_total);
+      List.iter
+        (fun (alert, sev) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  firing: %s severity=%s node=%s\n" alert
+               (Alerts.severity_to_string sev)
+               v.node_id))
+        v.node_firing)
     t.nodes;
   (match t.fleet_health with
   | None -> ()
   | Some h ->
     Buffer.add_string buf "fleet rules:\n";
     Buffer.add_string buf (Health.render h));
+  (match t.fleet_alerts with
+  | None -> ()
+  | Some a ->
+    Buffer.add_string buf "fleet alerts:\n";
+    let lines = Alerts.render_firing a in
+    Buffer.add_string buf
+      (if lines = "" then "(none firing)\n" else lines));
   Buffer.contents buf
 
 (* -- /fleet.json -------------------------------------------------------- *)
@@ -369,6 +480,14 @@ let node_json t ns =
     [
       Printf.sprintf "\"decide_p99_ns\":%s" (json_opt_num v.decide_p99_ns);
       Printf.sprintf "\"failures\":%d" v.failures;
+      Printf.sprintf "\"firing\":[%s]"
+        (String.concat ","
+           (List.map
+              (fun (alert, sev) ->
+                Printf.sprintf "{\"alert\":%s,\"severity\":%s}"
+                  (Registry.json_string alert)
+                  (Registry.json_string (Alerts.severity_to_string sev)))
+              v.node_firing));
       Printf.sprintf "\"healthy\":%b" v.node_healthy;
       Printf.sprintf "\"last_error\":%s"
         (match v.last_error with
@@ -394,8 +513,11 @@ let node_json t ns =
    and caller-supplied scrape times this is byte-deterministic. *)
 let fleet_json t =
   Printf.sprintf
-    "{\"healthy\":%b,\"merged\":%s,\"nodes\":[%s],\"scrapes\":%d,\
-     \"signals\":{%s},\"stale_after\":%s}"
+    "{\"alerts\":%s,\"healthy\":%b,\"merged\":%s,\"nodes\":[%s],\
+     \"scrapes\":%d,\"signals\":{%s},\"stale_after\":%s}"
+    (match t.fleet_alerts with
+    | None -> "null"
+    | Some a -> Alerts.to_json a)
     (healthy t)
     (Snapshot.to_json t.merged_snapshot)
     (String.concat "," (List.map (node_json t) t.nodes))
@@ -421,3 +543,4 @@ let routes t =
       ~describe:"worst-of-fleet SLO verdict" "/healthz" (fun () ->
         Server.text ~status:(status_code t) (render_health t));
   ]
+  @ (match t.fleet_alerts with None -> [] | Some a -> Alerts.routes a)

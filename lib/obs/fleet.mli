@@ -40,21 +40,33 @@ type t
 val default_rules : Health.rule list
 (** [fleet_unreachable<=0]. *)
 
-val create : ?stale_after:float -> ?health:Health.t -> (string * fetch) list -> t
+val create :
+  ?stale_after:float -> ?health:Health.t -> ?alerts:Alerts.t ->
+  (string * fetch) list -> t
 (** [stale_after] defaults to 60 (same unit as the [at] values given
     to {!scrape}). [health] is the fleet-level watchdog fed by
     {!scrape}; give it {!default_rules} plus operator rules over the
-    fleet signals. Raises [Invalid_argument] on an empty node list or
-    a non-positive [stale_after]. *)
+    fleet signals. [alerts] is a fleet-level burn-rate engine fed the
+    same signals — its firing set forces the fleet verdict to breach
+    and its routes are appended to {!routes}. Raises
+    [Invalid_argument] on an empty node list or a non-positive
+    [stale_after]. *)
+
+val parse_firing : string -> (string * Alerts.severity) list
+(** The [firing: NAME severity=SEV] lines of a rendered /healthz body
+    (what [Mitos_experiments.Telemetry.health_verdict] splices in),
+    in body order — how a node's firing alerts travel to the fleet
+    without a wire-protocol change. Unparseable lines are skipped. *)
 
 val scrape : t -> at:float -> unit
 (** One scrape round: fetch every node in configured order, update
     last-seen/failure state, recompute the merged snapshot from fresh
     reports and feed the fleet signals ([fleet_nodes], [fleet_up],
     [fleet_unreachable], [fleet_requests_total], [fleet_node_skew],
-    plus [fleet_decision_p99_ns] and [fleet_over_taint_ratio] when
-    the underlying series exist) into the fleet watchdog. [at] must
-    be non-decreasing across calls. *)
+    [fleet_nodes_firing], plus [fleet_decision_p99_ns] and
+    [fleet_over_taint_ratio] when the underlying series exist) into
+    the fleet watchdog and the fleet alert engine. [at] must be
+    non-decreasing across calls. *)
 
 val merged : t -> Registry.Snapshot.t
 (** The fleet rollup as of the last {!scrape}: fresh per-node
@@ -62,9 +74,11 @@ val merged : t -> Registry.Snapshot.t
 
 val federated : t -> Registry.Snapshot.t
 (** The node-labelled union: every fresh node's snapshot relabelled
-    with [node="<id>"], plus [mitos_fleet_node_up{node}] and
-    [mitos_fleet_scrapes_total] meta-series — what the federated
-    [/metrics] renders. *)
+    with [node="<id>"], plus [mitos_fleet_node_up{node}],
+    [mitos_fleet_scrapes_total] and one
+    [mitos_fleet_alert_firing{alert,node}] gauge per firing alert a
+    fresh node reports (value = severity rank, 1 ticket / 2 page) —
+    what the federated [/metrics] renders. *)
 
 val signals : t -> (string * float) list
 (** The fleet signals computed by the last {!scrape}. *)
@@ -72,6 +86,7 @@ val signals : t -> (string * float) list
 val scrapes : t -> int
 val stale_after : t -> float
 val health : t -> Health.t option
+val alerts : t -> Alerts.t option
 
 (** One node as the fleet sees it: [nan] for figures the node's
     snapshot does not carry. *)
@@ -88,6 +103,9 @@ type node_view = {
   request_rate : float;  (** requests/sec between the last two scrapes *)
   decide_p99_ns : float;
   occupancy : float;  (** summed shadow-shard occupancy gauges *)
+  node_firing : (string * Alerts.severity) list;
+      (** alerts the node reports firing ({!parse_firing} of its
+          health body) *)
 }
 
 val nodes : t -> node_view list
@@ -95,15 +113,19 @@ val nodes : t -> node_view list
 
 val healthy : t -> bool
 (** Worst-of-fleet: false when any node is unreachable/stale or in
-    breach of its own SLOs, or a fleet-level rule is breached. *)
+    breach of its own SLOs, a fleet-level rule is breached, or a
+    fleet-level alert is firing. *)
 
 val status_code : t -> int
 (** 200/503 from {!healthy} — the fleet [/healthz] status. *)
 
 val render_health : t -> string
 (** The fleet [/healthz] body: a status line naming the first
-    offending node (or fleet rule), one line per node, then the fleet
-    watchdog's own report. Deterministic. *)
+    offending node (with [alert NAME] attribution when the node's
+    breach is a firing burn-rate alert), one line per node — each
+    followed by indented [firing: NAME severity=SEV node=ID] lines —
+    then the fleet watchdog's report and the fleet alert engine's
+    firing set. Deterministic. *)
 
 val fleet_json : t -> string
 (** [/fleet.json]: fleet verdict, merged snapshot, per-node rollup
@@ -112,4 +134,6 @@ val fleet_json : t -> string
 
 val routes : t -> Server.route list
 (** [/metrics] (federated, node-labelled), [/fleet.json], [/healthz]
-    (worst-of-fleet) — servable by {!Server.start} or {!Server.oneshot}. *)
+    (worst-of-fleet), plus the fleet alert engine's
+    [/alerts]/[/query]/[/alertz] when one is attached — servable by
+    {!Server.start} or {!Server.oneshot}. *)

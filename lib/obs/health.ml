@@ -73,6 +73,8 @@ type rule_state = { r : rule; mutable violated : bool }
 
 type t = {
   window : float;
+  capacity : int option;  (* per-signal Timeseries retention *)
+  max_age : float option;
   states : rule_state list;
   series : (string, Timeseries.t) Hashtbl.t;
   mutable order : string list;  (* first-observation order, reversed *)
@@ -81,10 +83,12 @@ type t = {
   mutable tracer : Tracer.t option;
 }
 
-let create ?(window = 0.0) ~rules () =
+let create ?(window = 0.0) ?capacity ?max_age ~rules () =
   if window < 0.0 then invalid_arg "Health.create: negative window";
   {
     window;
+    capacity;
+    max_age;
     states = List.map (fun r -> { r; violated = false }) rules;
     series = Hashtbl.create 8;
     order = [];
@@ -100,7 +104,9 @@ let series_of t name =
   match Hashtbl.find_opt t.series name with
   | Some ts -> ts
   | None ->
-    let ts = Timeseries.create ~name () in
+    let ts =
+      Timeseries.create ~name ?capacity:t.capacity ?max_age:t.max_age ()
+    in
     Hashtbl.add t.series name ts;
     t.order <- name :: t.order;
     ts
@@ -166,10 +172,17 @@ let breaches t = List.rev t.rev_breaches
 let healthy t = List.for_all (fun st -> not st.violated) t.states
 let status_code t = if healthy t then 200 else 503
 
-let render t =
+(* The "breaching: NAME" lines right after the verdict: a watch
+   failure is attributable from the probe body alone, without parsing
+   the per-rule detail below. *)
+let breaching_lines t =
+  String.concat ""
+    (List.map
+       (fun (r, _) -> Printf.sprintf "breaching: %s\n" r.rule_name)
+       (current_breaches t))
+
+let render_detail t =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (if healthy t then "status: ok\n" else "status: breach\n");
   List.iter
     (fun st ->
       let line =
@@ -196,6 +209,10 @@ let render t =
            (Registry.fmt_value b.value)))
     (breaches t);
   Buffer.contents buf
+
+let render t =
+  (if healthy t then "status: ok\n" else "status: breach\n")
+  ^ breaching_lines t ^ render_detail t
 
 let to_json t =
   let str = Registry.json_string in

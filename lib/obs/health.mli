@@ -43,17 +43,27 @@ val rule_to_string : rule -> string
 
 val parse_rule : string -> (rule, string) result
 
+val holds : cmp -> float -> float -> bool
+(** [holds cmp value bound] — does [value cmp bound] hold? Shared with
+    the burn-rate alert engine ({!Alerts}), whose objectives reuse the
+    rule comparison grammar. *)
+
 (** A rule transitioning into violation at observation time [at]. *)
 type breach = { breach_rule : rule; value : float; at : float }
 
 type t
 
-val create : ?window:float -> rules:rule list -> unit -> t
+val create :
+  ?window:float -> ?capacity:int -> ?max_age:float -> rules:rule list ->
+  unit -> t
 (** [window] selects what a rule judges: [0.0] (the default) judges
     the latest sample of the signal; a positive window judges the mean
     of samples with [time >= at - window] (via
     {!Mitos_util.Timeseries.window_mean}). Raises [Invalid_argument]
-    on a negative window. *)
+    on a negative window. [capacity]/[max_age] bound each signal's
+    retained samples (forwarded to {!Mitos_util.Timeseries.create};
+    the generous Timeseries defaults apply when omitted), so a
+    long-lived server's watchdog stops growing without bound. *)
 
 val rules : t -> rule list
 
@@ -85,9 +95,20 @@ val status_code : t -> int
 (** HTTP status for [/healthz]: 200 when {!healthy}, 503 otherwise. *)
 
 val render : t -> string
-(** The [/healthz] body: one [ok]/[BREACH]/[pending] line per rule
+(** The [/healthz] body: the verdict line, one [breaching: NAME] line
+    per currently breaching rule (so a failure is attributable from
+    the probe alone), then one [ok]/[BREACH]/[pending] line per rule
     with its judged value, then breach-history and sample counters.
     Deterministic (fixed order, canonical numbers). *)
+
+val breaching_lines : t -> string
+(** Just the [breaching: NAME] lines (empty when healthy) — for
+    callers composing a verdict body that interleaves other judgment
+    layers (see [Mitos_experiments.Telemetry]). *)
+
+val render_detail : t -> string
+(** Everything {!render} prints after the verdict and breaching
+    lines. [render t = verdict ^ breaching_lines t ^ render_detail t]. *)
 
 val to_json : t -> string
 (** The same verdict as one JSON object (rules, current values,

@@ -1,0 +1,187 @@
+module Timeseries = Mitos_util.Timeseries
+
+type t = {
+  capacity : int;
+  max_age : float;
+  series : (string, Timeseries.t) Hashtbl.t;
+  mutable order : string list;  (* first-observation order, reversed *)
+  mutable observations : int;
+  mutable last_at : float;  (* nan before the first sample *)
+}
+
+let default_capacity = 8192
+
+let create ?(capacity = default_capacity) ?(max_age = infinity) () =
+  if capacity < 1 then invalid_arg "Tsdb.create: non-positive capacity";
+  if not (max_age > 0.0) then invalid_arg "Tsdb.create: non-positive max_age";
+  {
+    capacity;
+    max_age;
+    series = Hashtbl.create 16;
+    order = [];
+    observations = 0;
+    last_at = nan;
+  }
+
+let capacity t = t.capacity
+let max_age t = t.max_age
+let observations t = t.observations
+let last_at t = t.last_at
+
+let series_of t name =
+  match Hashtbl.find_opt t.series name with
+  | Some ts -> ts
+  | None ->
+    let ts =
+      Timeseries.create ~name ~capacity:t.capacity ~max_age:t.max_age ()
+    in
+    Hashtbl.add t.series name ts;
+    t.order <- name :: t.order;
+    ts
+
+(* The monotone-time contract every derived series rests on: a sample
+   stamped earlier than the store has already seen is clamped forward
+   to the newest time, so retained times are non-decreasing even when
+   a caller misbehaves. *)
+let clamp t at =
+  let at =
+    if Float.is_nan t.last_at || at >= t.last_at then at else t.last_at
+  in
+  t.last_at <- at;
+  at
+
+let add t name ~at value =
+  let at = clamp t at in
+  Timeseries.add (series_of t name) at value
+
+let observe t ~at signals =
+  List.iter (fun (name, value) -> add t name ~at value) signals;
+  t.observations <- t.observations + 1
+
+let series t name = Hashtbl.find_opt t.series name
+let names t = List.rev t.order
+
+let latest t name = Option.bind (series t name) Timeseries.last
+
+(* -- windowed folds ----------------------------------------------------- *)
+
+let window_fold t name ~at ~window ~init ~f =
+  match series t name with
+  | None -> init
+  | Some ts ->
+    let from = at -. window in
+    let acc = ref init in
+    for i = Timeseries.first_at_or_after ts from to Timeseries.length ts - 1 do
+      let time, v = Timeseries.get ts i in
+      if time <= at then acc := f !acc time v
+    done;
+    !acc
+
+let window_count t name ~at ~window =
+  window_fold t name ~at ~window ~init:0 ~f:(fun n _ _ -> n + 1)
+
+let window_mean t name ~at ~window =
+  let sum, n =
+    window_fold t name ~at ~window ~init:(0.0, 0)
+      ~f:(fun (s, n) _ v -> (s +. v, n + 1))
+  in
+  if n = 0 then 0.0 else sum /. float_of_int n
+
+(* Counter semantics with reset handling: a sample below its
+   predecessor is a restart, contributing its absolute value — so the
+   increase is a sum of non-negative deltas and can never go
+   negative. *)
+let increase t name ~at ~window =
+  let _, inc =
+    window_fold t name ~at ~window ~init:(None, 0.0)
+      ~f:(fun (prev, acc) _ v ->
+        let delta =
+          match prev with
+          | None -> 0.0
+          | Some p -> if v >= p then v -. p else v
+        in
+        (Some v, acc +. delta))
+  in
+  inc
+
+let rate t name ~at ~window =
+  let span =
+    let first, last =
+      window_fold t name ~at ~window ~init:(nan, nan)
+        ~f:(fun (first, _) time _ ->
+          ((if Float.is_nan first then time else first), time))
+    in
+    last -. first
+  in
+  if Float.is_nan span || span <= 0.0 then 0.0
+  else increase t name ~at ~window /. span
+
+(* Nearest-rank quantile over the values in the window: sort the
+   retained window values (total order, [compare : float]) and take
+   the [ceil (q * n)]-th, clamped — deterministic for any stream. *)
+let window_quantile t name ~at ~window q =
+  let values =
+    window_fold t name ~at ~window ~init:[] ~f:(fun acc _ v -> v :: acc)
+  in
+  match values with
+  | [] -> nan
+  | _ ->
+    let arr = Array.of_list values in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    arr.(max 0 (min (n - 1) rank))
+
+(* -- range queries (/query) --------------------------------------------- *)
+
+let query t name ~from ~step =
+  match series t name with
+  | None -> [||]
+  | Some ts ->
+    let i0 = Timeseries.first_at_or_after ts from in
+    let len = Timeseries.length ts in
+    if step <= 0.0 then
+      Array.init (len - i0) (fun i -> Timeseries.get ts (i0 + i))
+    else begin
+      (* per-bucket means at bucket-end times, empty buckets skipped *)
+      let out = ref [] in
+      let bucket = ref min_int and sum = ref 0.0 and n = ref 0 in
+      let flush () =
+        if !n > 0 then
+          out :=
+            ( from +. (float_of_int (!bucket + 1) *. step),
+              !sum /. float_of_int !n )
+            :: !out
+      in
+      for i = i0 to len - 1 do
+        let time, v = Timeseries.get ts i in
+        let b = int_of_float (Float.floor ((time -. from) /. step)) in
+        if b <> !bucket then begin
+          flush ();
+          bucket := b;
+          sum := 0.0;
+          n := 0
+        end;
+        sum := !sum +. v;
+        incr n
+      done;
+      flush ();
+      Array.of_list (List.rev !out)
+    end
+
+let json_num v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then
+    Registry.json_string (Registry.fmt_value v)
+  else Registry.fmt_value v
+
+let query_json t name ~from ~step =
+  let samples = query t name ~from ~step in
+  let sample (time, v) =
+    Printf.sprintf "[%s,%s]" (json_num time) (json_num v)
+  in
+  Printf.sprintf
+    "{\"from\":%s,\"samples\":[%s],\"signal\":%s,\"step\":%s}"
+    (json_num from)
+    (String.concat "," (Array.to_list (Array.map sample samples)))
+    (Registry.json_string name)
+    (json_num step)

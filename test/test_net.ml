@@ -1044,6 +1044,84 @@ let test_fleet_federation_byte_identity () =
             [ "n0"; "n1"; "n2" ]
             (List.map (fun v -> v.Fleet.node_id) (Fleet.nodes fleet))))
 
+(* a node whose health probe reports a firing burn-rate alert (what
+   serve-decisions --burn-slo renders into /healthz) is attributed by
+   name in the fleet rollup: the firing line rides the existing
+   telemetry reply, no wire-protocol change *)
+let test_fleet_alert_attribution_over_wire () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    ln = 0 || go 0
+  in
+  let mk i =
+    let config =
+      { Server.default_config with
+        Server.node_id = Printf.sprintf "n%d" i }
+    in
+    let service = Server.create ~config ~params () in
+    let name = fresh_name "alrt" in
+    let listener = Server.start service (Transport.Memory name) in
+    (service, name, listener)
+  in
+  let members = List.init 3 mk in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, _, l) -> Server.stop l) members)
+    (fun () ->
+      (* n1 runs burn-rate rules and has one firing *)
+      (match members with
+      | [ _; (s1, _, _); _ ] ->
+        Server.set_health_probe s1 (fun () ->
+            (false, "status: breach\nfiring: hot_path severity=page\n"))
+      | _ -> Alcotest.fail "expected three members");
+      let clients =
+        List.map
+          (fun (_, name, _) ->
+            ok_client (Client.connect (Transport.Memory name)))
+          members
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Client.close clients)
+        (fun () ->
+          let fleet =
+            Fleet.create
+              (List.map2
+                 (fun (_, name, _) c ->
+                   ( name,
+                     fun () ->
+                       match Client.telemetry c with
+                       | Ok r ->
+                         Ok
+                           {
+                             Fleet.node = r.Wire.node;
+                             healthy = r.Wire.healthy;
+                             health = r.Wire.health;
+                             snapshot = r.Wire.snapshot;
+                           }
+                       | Error e -> Error (Client.error_to_string e) ))
+                 members clients)
+          in
+          Fleet.scrape fleet ~at:1.0;
+          Alcotest.(check bool) "fleet breached" false (Fleet.healthy fleet);
+          (* the firing alert is attributed to n1 and only n1 *)
+          Alcotest.(check (list (list string))) "per-node firing sets"
+            [ []; [ "hot_path" ]; [] ]
+            (List.map
+               (fun v -> List.map fst v.Fleet.node_firing)
+               (Fleet.nodes fleet));
+          let health = Fleet.render_health fleet in
+          Alcotest.(check bool) "status line names node + alert" true
+            (contains health "status: breach (node n1 alert hot_path)");
+          Alcotest.(check bool) "per-node firing line attributed" true
+            (contains health "firing: hot_path severity=page node=n1");
+          Alcotest.(check bool) "federated gauge labelled with the node" true
+            (contains
+               (Snapshot.to_prometheus (Fleet.federated fleet))
+               "mitos_fleet_alert_firing{alert=\"hot_path\",node=\"n1\"} 2");
+          Alcotest.(check bool) "fleet_nodes_firing signal" true
+            (List.assoc_opt "fleet_nodes_firing" (Fleet.signals fleet)
+            = Some 1.0)))
+
 let () =
   Alcotest.run "mitos_net"
     [
@@ -1089,6 +1167,8 @@ let () =
           Alcotest.test_case "client telemetry" `Quick test_client_telemetry;
           Alcotest.test_case "fleet federation byte identity" `Quick
             test_fleet_federation_byte_identity;
+          Alcotest.test_case "fleet alert attribution over wire" `Quick
+            test_fleet_alert_attribution_over_wire;
         ] );
       ( "client",
         [

@@ -1420,6 +1420,448 @@ let test_fleet_json_deterministic () =
     (string_contains fed "mitos_fleet_scrapes_total 2"
     && string_contains fed "mitos_fleet_node_up{node=\"a\"} 1")
 
+(* -- Tsdb ------------------------------------------------------------- *)
+
+let test_tsdb_retention_and_clamp () =
+  let db = Tsdb.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Tsdb.add db "s" ~at:(float_of_int i) (float_of_int (i * i))
+  done;
+  (match Tsdb.series db "s" with
+  | None -> Alcotest.fail "series missing"
+  | Some ts ->
+    Alcotest.(check int) "capacity enforced" 4
+      (Mitos_util.Timeseries.length ts));
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "newest kept"
+    (Some (9.0, 81.0)) (Tsdb.latest db "s");
+  (* a stale stamp is clamped forward to the newest time seen *)
+  Tsdb.add db "s" ~at:2.0 7.0;
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "clamped"
+    (Some (9.0, 7.0)) (Tsdb.latest db "s");
+  check_float "last_at tracks newest" 9.0 (Tsdb.last_at db);
+  Tsdb.observe db ~at:10.0 [ ("s", 1.0); ("other", 2.0) ];
+  Alcotest.(check (list string)) "first-observation order"
+    [ "s"; "other" ] (Tsdb.names db);
+  Alcotest.(check int) "observations counted" 1 (Tsdb.observations db)
+
+let test_tsdb_rate_increase_quantile () =
+  let db = Tsdb.create () in
+  (* counter with a reset at t=3: 0 10 20 5 15 *)
+  List.iteri
+    (fun i v -> Tsdb.add db "c" ~at:(float_of_int i) v)
+    [ 0.0; 10.0; 20.0; 5.0; 15.0 ];
+  check_float "reset-aware increase" 35.0
+    (Tsdb.increase db "c" ~at:4.0 ~window:10.0);
+  check_float "rate = increase / span" (35.0 /. 4.0)
+    (Tsdb.rate db "c" ~at:4.0 ~window:10.0);
+  check_float "partial window" 10.0
+    (Tsdb.increase db "c" ~at:4.0 ~window:1.0);
+  check_float "single-sample rate" 0.0
+    (Tsdb.rate db "c" ~at:4.0 ~window:0.0);
+  (* nearest-rank quantile over the window's values *)
+  let db2 = Tsdb.create () in
+  List.iteri
+    (fun i v -> Tsdb.add db2 "q" ~at:(float_of_int i) v)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  check_float "p50 nearest rank" 3.0
+    (Tsdb.window_quantile db2 "q" ~at:4.0 ~window:10.0 0.5);
+  check_float "p100" 5.0 (Tsdb.window_quantile db2 "q" ~at:4.0 ~window:10.0 1.0);
+  check_float "p0 clamps" 1.0
+    (Tsdb.window_quantile db2 "q" ~at:4.0 ~window:10.0 0.0);
+  Alcotest.(check bool) "empty window is nan" true
+    (Float.is_nan (Tsdb.window_quantile db2 "missing" ~at:4.0 ~window:1.0 0.5));
+  check_float "window mean" 3.0 (Tsdb.window_mean db2 "q" ~at:4.0 ~window:10.0);
+  Alcotest.(check int) "window count" 3
+    (Tsdb.window_count db2 "q" ~at:4.0 ~window:2.0)
+
+let test_tsdb_query_json () =
+  let db = Tsdb.create () in
+  for i = 0 to 9 do
+    Tsdb.add db "s" ~at:(float_of_int i) (float_of_int i)
+  done;
+  Alcotest.(check int) "raw query from 2" 8
+    (Array.length (Tsdb.query db "s" ~from:2.0 ~step:0.0));
+  (* step buckets: means stamped at bucket ends, empty buckets skipped *)
+  let bucketed = Tsdb.query db "s" ~from:0.0 ~step:4.0 in
+  Alcotest.(check int) "3 buckets" 3 (Array.length bucketed);
+  (match bucketed with
+  | [| (t0, v0); (t1, v1); (t2, v2) |] ->
+    check_float "bucket 0 end" 4.0 t0;
+    check_float "bucket 0 mean" 1.5 v0;
+    check_float "bucket 1 end" 8.0 t1;
+    check_float "bucket 1 mean" 5.5 v1;
+    check_float "bucket 2 end" 12.0 t2;
+    check_float "bucket 2 mean" 8.5 v2
+  | _ -> Alcotest.fail "unexpected bucket shape");
+  Alcotest.(check string) "canonical json"
+    "{\"from\":8,\"samples\":[[8,8],[9,9]],\"signal\":\"s\",\"step\":0}"
+    (Tsdb.query_json db "s" ~from:8.0 ~step:0.0);
+  Alcotest.(check string) "unknown series queries empty"
+    "{\"from\":0,\"samples\":[],\"signal\":\"nope\",\"step\":0}"
+    (Tsdb.query_json db "nope" ~from:0.0 ~step:0.0)
+
+let qcheck_tsdb_times_monotone =
+  QCheck.Test.make ~name:"tsdb clamp keeps times monotone" ~count:200
+    QCheck.(small_list (pair (float_range (-50.0) 50.0) (float_range (-5.0) 5.0)))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let db = Tsdb.create ~capacity:16 () in
+      (* adversarial stamps: raw, possibly decreasing *)
+      List.iter (fun (at, v) -> Tsdb.add db "s" ~at v) samples;
+      match Tsdb.series db "s" with
+      | None -> false
+      | Some ts ->
+        let times = Mitos_util.Timeseries.times ts in
+        let ok = ref true in
+        for i = 1 to Array.length times - 1 do
+          if times.(i - 1) > times.(i) then ok := false
+        done;
+        !ok)
+
+let qcheck_tsdb_counter_rate_non_negative =
+  QCheck.Test.make ~name:"counter rate never negative (resets included)"
+    ~count:200
+    QCheck.(small_list (pair (float_range 0.0 5.0) (float_range 0.0 100.0)))
+    (fun samples ->
+      QCheck.assume (List.length samples >= 2);
+      let db = Tsdb.create () in
+      let t = ref 0.0 in
+      List.iter
+        (fun (dt, v) ->
+          t := !t +. dt;
+          Tsdb.add db "c" ~at:!t v)
+        samples;
+      Tsdb.rate db "c" ~at:!t ~window:(!t +. 1.0) >= 0.0
+      && Tsdb.increase db "c" ~at:!t ~window:(!t +. 1.0) >= 0.0)
+
+let qcheck_tsdb_newest_survives =
+  QCheck.Test.make ~name:"tsdb retention keeps the newest sample" ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (small_list (pair (float_range 0.0 10.0) (float_range (-5.0) 5.0))))
+    (fun (capacity, samples) ->
+      QCheck.assume (samples <> []);
+      let db = Tsdb.create ~capacity ~max_age:7.0 () in
+      let t = ref 0.0 in
+      let final = ref 0.0 in
+      List.iter
+        (fun (dt, v) ->
+          t := !t +. dt;
+          Tsdb.add db "s" ~at:!t v;
+          final := v)
+        samples;
+      Tsdb.latest db "s" = Some (!t, !final))
+
+(* -- Alerts ----------------------------------------------------------- *)
+
+(* A rule judging a latency-style signal against objective <= 100,
+   with a single tight window pair so small streams can trip it. *)
+let mk_alert_rule ?name ?(budget = 0.1) ?(windows = 4.0) ?(burn = 2.0)
+    ?(sev = Alerts.Page) ?(for_ = 0.0) ?(keep_firing = 0.0) () =
+  Alerts.rule ?name ~budget
+    ~windows:
+      [ { Alerts.fast = windows; slow = windows *. 2.0; burn;
+          pair_severity = sev } ]
+    ~for_ ~keep_firing ~signal:"lat" ~cmp:Health.Le ~objective:100.0 ()
+
+let drive alerts samples =
+  List.iter (fun (at, v) -> Alerts.observe alerts ~at [ ("lat", v) ]) samples
+
+let test_alerts_parse_roundtrip () =
+  let r =
+    mk_alert_rule ~name:"lat_burn" ~budget:0.05 ~for_:3.0 ~keep_firing:7.0 ()
+  in
+  let s = Alerts.rule_to_string r in
+  (match Alerts.parse_rule s with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+    Alcotest.(check string) "round-trips canonically" s
+      (Alerts.rule_to_string r'));
+  (match
+     Alerts.parse_rule
+       "p99:decision_p99_ns<=5e6;budget=0.05;windows=30/120@4@ticket;for=10"
+   with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check string) "named" "p99" r.Alerts.alert_name;
+    check_float "budget" 0.05 r.Alerts.budget;
+    check_float "for" 10.0 r.Alerts.for_;
+    (match r.Alerts.windows with
+    | [ w ] ->
+      check_float "fast" 30.0 w.Alerts.fast;
+      Alcotest.(check bool) "ticket pair" true
+        (w.Alerts.pair_severity = Alerts.Ticket)
+    | _ -> Alcotest.fail "expected one pair"));
+  let bad s =
+    match Alerts.parse_rule s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+  in
+  bad "no_comparison";
+  bad "sig<=1;bogus=3";
+  bad "sig<=1;windows=5/2@1";
+  (* slow < fast *)
+  bad "sig<=1;windows=abc";
+  bad "sig<=1;budget=-1"
+
+let test_alerts_pending_fires_at_exactly_for () =
+  let a =
+    Alerts.create ~rules:[ mk_alert_rule ~name:"lat" ~for_:2.0 () ] ()
+  in
+  drive a [ (1.0, 50.0) ];
+  Alcotest.(check (option string)) "healthy start" (Some "ok")
+    (Option.map
+       (function Alerts.Inactive -> "ok" | _ -> "bad")
+       (Alerts.phase_of a "lat"));
+  (* all-bad samples: burn = (1.0 bad fraction)/0.1 = 10 >= 2 *)
+  drive a [ (2.0, 500.0) ];
+  (match Alerts.phase_of a "lat" with
+  | Some (Alerts.Pending p) -> check_float "pending since" 2.0 p.since
+  | _ -> Alcotest.fail "expected pending");
+  Alcotest.(check bool) "pending does not fire" false (Alerts.any_firing a);
+  drive a [ (3.0, 500.0) ];
+  Alcotest.(check bool) "one tick early still pending" false
+    (Alerts.any_firing a);
+  drive a [ (4.0, 500.0) ];
+  (* at - since = 2.0 = for_: fires on exactly the boundary *)
+  (match Alerts.phase_of a "lat" with
+  | Some (Alerts.Firing f) ->
+    check_float "firing since boundary" 4.0 f.since;
+    Alcotest.(check bool) "page severity" true (f.severity = Alerts.Page)
+  | _ -> Alcotest.fail "expected firing");
+  Alcotest.(check int) "severity code page" 2 (Alerts.severity_code a);
+  Alcotest.(check string) "render_firing line"
+    "firing: lat severity=page\n" (Alerts.render_firing a);
+  let transitions =
+    List.map (fun i -> Alerts.transition_to_string i.Alerts.transition)
+      (Alerts.incidents a)
+  in
+  Alcotest.(check (list string)) "incident trail"
+    [ "pending"; "firing" ] transitions
+
+let test_alerts_cancelled_pending () =
+  let a =
+    Alerts.create
+      ~rules:[ mk_alert_rule ~name:"lat" ~windows:2.0 ~for_:5.0 () ]
+      ()
+  in
+  drive a [ (1.0, 500.0); (2.0, 500.0) ];
+  (match Alerts.phase_of a "lat" with
+  | Some (Alerts.Pending _) -> ()
+  | _ -> Alcotest.fail "expected pending");
+  (* recovery before [for_] elapses cancels without ever firing *)
+  drive a
+    [ (3.0, 10.0); (4.0, 10.0); (5.0, 10.0); (6.0, 10.0); (7.0, 10.0) ];
+  (match Alerts.phase_of a "lat" with
+  | Some Alerts.Inactive -> ()
+  | _ -> Alcotest.fail "expected inactive");
+  let transitions =
+    List.map (fun i -> Alerts.transition_to_string i.Alerts.transition)
+      (Alerts.incidents a)
+  in
+  Alcotest.(check (list string)) "pending then cancelled"
+    [ "pending"; "cancelled" ] transitions;
+  Alcotest.(check bool) "never fired" true
+    (string_contains (Alerts.to_json a) "\"fired_total\":0")
+
+let test_alerts_keep_firing_suppresses_flaps () =
+  let a =
+    Alerts.create
+      ~rules:[ mk_alert_rule ~name:"lat" ~windows:2.0 ~keep_firing:4.0 () ]
+      ()
+  in
+  (* breach: fires immediately (for_ = 0) *)
+  drive a [ (1.0, 500.0); (2.0, 500.0) ];
+  Alcotest.(check bool) "firing" true (Alerts.any_firing a);
+  (* brief recovery flaps within keep_firing: stays firing *)
+  drive a [ (3.0, 10.0); (4.0, 10.0); (5.0, 10.0); (6.0, 500.0) ];
+  Alcotest.(check bool) "flap suppressed" true (Alerts.any_firing a);
+  let transitions () =
+    List.map (fun i -> Alerts.transition_to_string i.Alerts.transition)
+      (Alerts.incidents a)
+  in
+  Alcotest.(check (list string)) "no resolve during flap"
+    [ "pending"; "firing" ] (transitions ());
+  (* a quiet spell of keep_firing resolves *)
+  drive a
+    [ (7.0, 10.0); (8.0, 10.0); (9.0, 10.0); (10.0, 10.0); (11.0, 10.0);
+      (12.0, 10.0) ];
+  Alcotest.(check bool) "resolved after quiet spell" false
+    (Alerts.any_firing a);
+  Alcotest.(check (list string)) "resolve recorded"
+    [ "pending"; "firing"; "resolved" ] (transitions ());
+  (* a fresh breach re-fires *)
+  drive a [ (13.0, 500.0); (14.0, 500.0) ];
+  Alcotest.(check bool) "refires" true (Alerts.any_firing a);
+  Alcotest.(check bool) "fired twice" true
+    (string_contains (Alerts.to_json a) "\"fired_total\":2")
+
+(* The acceptance scenario: one signal stream through two burn-rate
+   rules (a fast page pair and a slow ticket pair), full lifecycle,
+   byte-identical /alerts JSON and incident JSONL at any parallelism
+   degree — evaluation is a pure function of the stream, so pooled
+   work running alongside must not perturb a single byte. *)
+let alerts_lifecycle_run jobs =
+  Mitos_parallel.Pool.with_pool ~jobs (fun pool ->
+      let fast =
+        mk_alert_rule ~name:"lat_page" ~windows:2.0 ~burn:2.0
+          ~sev:Alerts.Page ~for_:1.0 ~keep_firing:2.0 ()
+      in
+      let slow =
+        mk_alert_rule ~name:"lat_ticket" ~windows:6.0 ~burn:1.0
+          ~sev:Alerts.Ticket ~for_:3.0 ~keep_firing:0.0 ()
+      in
+      let a = Alerts.create ~capacity:64 ~rules:[ fast; slow ] () in
+      let stream =
+        List.init 40 (fun i ->
+            let at = float_of_int (i + 1) in
+            (* healthy, breach long enough to fire both, recover *)
+            let v = if i >= 8 && i < 24 then 500.0 else 10.0 in
+            (at, v))
+      in
+      List.iter
+        (fun (at, v) ->
+          (* unrelated pooled work interleaved with evaluation *)
+          ignore
+            (Mitos_parallel.Pool.map pool ~f:(fun x -> x * x) [ 1; 2; 3 ]);
+          Alerts.observe a ~at [ ("lat", v) ])
+        stream;
+      (Alerts.to_json a, Alerts.incidents_to_jsonl a))
+
+let test_alerts_lifecycle_deterministic_across_jobs () =
+  let j1, l1 = alerts_lifecycle_run 1 in
+  let j2, l2 = alerts_lifecycle_run 2 in
+  let j4, l4 = alerts_lifecycle_run 4 in
+  Alcotest.(check string) "/alerts bytes jobs 1=2" j1 j2;
+  Alcotest.(check string) "/alerts bytes jobs 1=4" j1 j4;
+  Alcotest.(check string) "incident jsonl jobs 1=2" l1 l2;
+  Alcotest.(check string) "incident jsonl jobs 1=4" l1 l4;
+  (* the run actually exercised the whole lifecycle *)
+  Alcotest.(check bool) "page fired" true
+    (string_contains l1 "\"alert\":\"lat_page\",")
+    ;
+  Alcotest.(check bool) "ticket fired" true
+    (string_contains l1 "\"alert\":\"lat_ticket\",");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (string_contains l1 needle))
+    [ "\"transition\":\"pending\""; "\"transition\":\"firing\"";
+      "\"transition\":\"resolved\"" ];
+  Alcotest.(check bool) "ends resolved" true
+    (string_contains j1 "\"worst\":\"ok\"")
+
+let alert_route a path pairs =
+  match
+    List.find_opt (fun r -> r.Server.path = path) (Alerts.routes a)
+  with
+  | Some r -> r.Server.payload pairs
+  | None -> Alcotest.fail ("missing alert route " ^ path)
+
+let test_alerts_tracer_and_routes () =
+  let tracer = Tracer.create ~clock:(Obs_clock.logical ()) () in
+  let a =
+    Alerts.create ~rules:[ mk_alert_rule ~name:"lat" ~windows:2.0 () ] ()
+  in
+  Alerts.link_tracer a tracer;
+  drive a [ (1.0, 500.0); (2.0, 500.0) ];
+  let is_instant name = function
+    | Tracer.Instant i -> i.name = name
+    | _ -> false
+  in
+  Alcotest.(check bool) "firing instant traced" true
+    (Array.exists (is_instant "alert_firing") (Tracer.events tracer));
+  Alcotest.(check string) "/alerts is to_json" (Alerts.to_json a)
+    (alert_route a "/alerts" []).Server.body;
+  Alcotest.(check string) "/alertz is the incident ring"
+    (Alerts.incidents_to_jsonl a)
+    (alert_route a "/alertz" []).Server.body
+
+let test_alerts_query_route () =
+  let a = Alerts.create ~rules:[ mk_alert_rule ~name:"lat" () ] () in
+  drive a [ (1.0, 10.0); (2.0, 20.0) ];
+  let q pairs =
+    let p = alert_route a "/query" pairs in
+    (p.Server.status, p.Server.body)
+  in
+  let status, body = q [ ("signal", "lat") ] in
+  Alcotest.(check int) "known signal 200" 200 status;
+  Alcotest.(check string) "raw samples"
+    "{\"from\":0,\"samples\":[[1,10],[2,20]],\"signal\":\"lat\",\"step\":0}"
+    body;
+  let status, body = q [] in
+  Alcotest.(check int) "missing signal 400" 400 status;
+  Alcotest.(check bool) "names known signals" true
+    (string_contains body "\"lat\"");
+  let status, _ = q [ ("signal", "nope") ] in
+  Alcotest.(check int) "unknown signal 404" 404 status
+
+(* -- Fleet alert attribution ----------------------------------------- *)
+
+let test_fleet_alert_attribution () =
+  (* node b's /healthz body carries a firing line (what a node running
+     --burn-slo renders); the fleet must attribute it without any wire
+     change *)
+  let firing_body =
+    "status: breach\nfiring: lat_burn severity=page\nrule lat<=100  value \
+     500  BREACH\n"
+  in
+  let b_fetch () =
+    Ok
+      {
+        Fleet.node = "b";
+        healthy = false;
+        health = firing_body;
+        snapshot = (counting_snapshot 5) ();
+      }
+  in
+  let fleet =
+    Fleet.create
+      ~alerts:
+        (Alerts.create
+           ~rules:
+             [
+               Alerts.rule ~name:"fleet_pages"
+                 ~budget:0.5
+                 ~windows:
+                   [ { Alerts.fast = 2.0; slow = 4.0; burn = 1.0;
+                       pair_severity = Alerts.Page } ]
+                 ~signal:"fleet_nodes_firing" ~cmp:Health.Le ~objective:0.0
+                 ();
+             ]
+           ())
+      [ fleet_member "a" (counting_snapshot 5); ("b", b_fetch) ]
+  in
+  Fleet.scrape fleet ~at:1.0;
+  Fleet.scrape fleet ~at:2.0;
+  (* parse_firing round-trips the body lines *)
+  Alcotest.(check bool) "parse_firing" true
+    (Fleet.parse_firing firing_body = [ ("lat_burn", Alerts.Page) ]);
+  (match Fleet.nodes fleet with
+  | [ va; vb ] ->
+    Alcotest.(check bool) "a clean" true (va.Fleet.node_firing = []);
+    Alcotest.(check bool) "b attributed" true
+      (vb.Fleet.node_firing = [ ("lat_burn", Alerts.Page) ])
+  | _ -> Alcotest.fail "expected two node views");
+  Alcotest.(check bool) "status line attributes the alert" true
+    (string_contains (Fleet.render_health fleet)
+       "status: breach (node b alert lat_burn)");
+  Alcotest.(check bool) "healthz carries per-node firing line" true
+    (string_contains (Fleet.render_health fleet)
+       "firing: lat_burn severity=page node=b");
+  (* federated exposition labels the firing alert with its node *)
+  let fed = Snapshot.to_prometheus (Fleet.federated fleet) in
+  Alcotest.(check bool) "firing gauge node-labelled" true
+    (string_contains fed
+       "mitos_fleet_alert_firing{alert=\"lat_burn\",node=\"b\"} 2");
+  (* the fleet-level burn-rate rule over fleet_nodes_firing fires too *)
+  Alcotest.(check bool) "fleet-level alert fires" true
+    (match Fleet.alerts fleet with
+    | Some a -> Alerts.any_firing a
+    | None -> false);
+  Alcotest.(check bool) "fleet verdict breached" false (Fleet.healthy fleet);
+  Alcotest.(check bool) "fleet_json carries alerts" true
+    (string_contains (Fleet.fleet_json fleet) "\"alerts\":{")
+
 let () =
   Alcotest.run "mitos_obs"
     [
@@ -1577,5 +2019,34 @@ let () =
       ( "runtime",
         [
           Alcotest.test_case "sample gauges" `Quick test_runtime_sample_gauges;
+        ] );
+      ( "tsdb",
+        [
+          Alcotest.test_case "retention + clamp" `Quick
+            test_tsdb_retention_and_clamp;
+          Alcotest.test_case "rate/increase/quantile" `Quick
+            test_tsdb_rate_increase_quantile;
+          Alcotest.test_case "query + json" `Quick test_tsdb_query_json;
+          QCheck_alcotest.to_alcotest qcheck_tsdb_times_monotone;
+          QCheck_alcotest.to_alcotest qcheck_tsdb_counter_rate_non_negative;
+          QCheck_alcotest.to_alcotest qcheck_tsdb_newest_survives;
+        ] );
+      ( "alerts",
+        [
+          Alcotest.test_case "parse round-trip" `Quick
+            test_alerts_parse_roundtrip;
+          Alcotest.test_case "pending fires at exactly for" `Quick
+            test_alerts_pending_fires_at_exactly_for;
+          Alcotest.test_case "cancelled pending" `Quick
+            test_alerts_cancelled_pending;
+          Alcotest.test_case "keep_firing suppresses flaps" `Quick
+            test_alerts_keep_firing_suppresses_flaps;
+          Alcotest.test_case "lifecycle deterministic across jobs" `Quick
+            test_alerts_lifecycle_deterministic_across_jobs;
+          Alcotest.test_case "tracer + routes" `Quick
+            test_alerts_tracer_and_routes;
+          Alcotest.test_case "query route" `Quick test_alerts_query_route;
+          Alcotest.test_case "fleet attribution" `Quick
+            test_fleet_alert_attribution;
         ] );
     ]

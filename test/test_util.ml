@@ -416,6 +416,114 @@ let qcheck_timeseries_window_mean_bounds =
       let m = Timeseries.window_mean ts ~from_time:0.0 in
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
+let test_timeseries_capacity_retention () =
+  let ts = Timeseries.create ~capacity:8 () in
+  for i = 0 to 99 do
+    Timeseries.add ts (float_of_int i) (float_of_int (i * 2))
+  done;
+  Alcotest.(check int) "length capped" 8 (Timeseries.length ts);
+  Alcotest.(check int) "dropped counted" 92 (Timeseries.dropped ts);
+  (* the survivors are exactly the newest 8, in order *)
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "newest kept"
+    (Some (99.0, 198.0)) (Timeseries.last ts);
+  let times = Timeseries.times ts in
+  Array.iteri
+    (fun i t -> check_float "window of newest" (float_of_int (92 + i)) t)
+    times
+
+let test_timeseries_age_retention () =
+  let ts = Timeseries.create ~max_age:10.0 () in
+  for i = 0 to 99 do
+    Timeseries.add ts (float_of_int i) 1.0
+  done;
+  (* retained: times within [99 - 10, 99] *)
+  Alcotest.(check int) "aged out" 11 (Timeseries.length ts);
+  check_float "oldest survivor" 89.0 (fst (Timeseries.get ts 0));
+  Alcotest.(check int) "age drops counted" 89 (Timeseries.dropped ts);
+  (* a huge time jump keeps the newest sample even though everything
+     else (including itself, naively) is out of the age window *)
+  Timeseries.add ts 1e9 7.0;
+  Alcotest.(check int) "jump leaves newest" 1 (Timeseries.length ts);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "newest is jump"
+    (Some (1e9, 7.0)) (Timeseries.last ts)
+
+let test_timeseries_first_at_or_after () =
+  let ts = Timeseries.create ~capacity:16 () in
+  for i = 0 to 9 do
+    Timeseries.add ts (float_of_int (i * 10)) 0.0
+  done;
+  Alcotest.(check int) "before all" 0 (Timeseries.first_at_or_after ts (-5.0));
+  Alcotest.(check int) "exact hit" 3 (Timeseries.first_at_or_after ts 30.0);
+  Alcotest.(check int) "between" 4 (Timeseries.first_at_or_after ts 31.0);
+  Alcotest.(check int) "past the end" 10
+    (Timeseries.first_at_or_after ts 1000.0);
+  (* still correct once the ring has wrapped *)
+  for i = 10 to 24 do
+    Timeseries.add ts (float_of_int (i * 10)) 0.0
+  done;
+  Alcotest.(check int) "wrapped length" 16 (Timeseries.length ts);
+  check_float "wrapped start" 90.0 (fst (Timeseries.get ts 0));
+  Alcotest.(check int) "wrapped search" 1
+    (Timeseries.first_at_or_after ts 95.0)
+
+let test_timeseries_bad_retention_args () =
+  let bad f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "capacity 0" true
+    (bad (fun () -> Timeseries.create ~capacity:0 ()));
+  Alcotest.(check bool) "max_age 0" true
+    (bad (fun () -> Timeseries.create ~max_age:0.0 ()))
+
+let qcheck_timeseries_retention_newest =
+  QCheck.Test.make
+    ~name:"retention never drops the newest sample (ring + age)" ~count:200
+    QCheck.(
+      triple (int_range 1 12)
+        (small_list (pair (float_bound_exclusive 20.0) (float_range (-5.0) 5.0)))
+        (float_range 0.5 50.0))
+    (fun (capacity, samples, max_age) ->
+      QCheck.assume (samples <> []);
+      let ts = Timeseries.create ~capacity ~max_age () in
+      let t = ref 0.0 in
+      let last = ref (0.0, 0.0) in
+      List.iter
+        (fun (dt, v) ->
+          t := !t +. Float.abs dt;
+          Timeseries.add ts !t v;
+          last := (!t, v))
+        samples;
+      Timeseries.length ts >= 1
+      && Timeseries.length ts <= capacity
+      && Timeseries.last ts = Some !last
+      && Timeseries.dropped ts + Timeseries.length ts
+         = List.length samples)
+
+let qcheck_timeseries_times_sorted =
+  QCheck.Test.make ~name:"retained times stay sorted under eviction"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (small_list (pair (float_bound_exclusive 10.0) (float_range 0.0 1.0))))
+    (fun (capacity, samples) ->
+      QCheck.assume (samples <> []);
+      let ts = Timeseries.create ~capacity ~max_age:15.0 () in
+      let t = ref 0.0 in
+      List.iter
+        (fun (dt, v) ->
+          t := !t +. Float.abs dt;
+          Timeseries.add ts !t v)
+        samples;
+      let times = Timeseries.times ts in
+      let sorted = ref true in
+      for i = 1 to Array.length times - 1 do
+        if times.(i - 1) > times.(i) then sorted := false
+      done;
+      !sorted)
+
 let test_timeseries_sparkline () =
   let ts = Timeseries.create () in
   for i = 0 to 20 do
@@ -540,7 +648,17 @@ let () =
             test_timeseries_empty_singleton;
           Alcotest.test_case "sparkline" `Quick test_timeseries_sparkline;
           Alcotest.test_case "iter" `Quick test_timeseries_iter;
+          Alcotest.test_case "capacity retention" `Quick
+            test_timeseries_capacity_retention;
+          Alcotest.test_case "age retention" `Quick
+            test_timeseries_age_retention;
+          Alcotest.test_case "first_at_or_after" `Quick
+            test_timeseries_first_at_or_after;
+          Alcotest.test_case "bad retention args" `Quick
+            test_timeseries_bad_retention_args;
           q qcheck_timeseries_window_mean_bounds;
+          q qcheck_timeseries_retention_newest;
+          q qcheck_timeseries_times_sorted;
         ] );
       ( "minijson",
         [
