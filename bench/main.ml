@@ -626,6 +626,29 @@ let write_bench_json ~jobs ~shards path =
   let alert_wall, alert_final = wall run_alert_bench in
   let alert_eval_ns = alert_wall *. 1e9 /. float_of_int alert_obs_count in
   let alert_incidents = Mitos_obs.Alerts.incidents_total alert_final in
+  (* chaos fleet sustained throughput: the judge's bench preset drives
+     the seeded tenant schedule against 3 real loopback nodes under
+     the standard fault plan (kill+restart, 0.5% frame corruption, a
+     slow window). requests_per_sec is wall-clock; p99_virtual_ns is
+     the virtual latency model and therefore deterministic, so a
+     routing or failover regression moves it at zero noise. *)
+  let chaos_row =
+    match Mitos_chaos.Judge.preset "bench" with
+    | None -> failwith "chaos bench preset missing"
+    | Some scenario -> (
+        match Mitos_chaos.Judge.run scenario with
+        | Ok report -> Mitos_chaos.Judge.bench_row report
+        | Error msg -> failwith ("chaos fleet bench: " ^ msg))
+  in
+  let chaos_num field =
+    match
+      Option.bind
+        (Mitos_util.Minijson.member field chaos_row)
+        Mitos_util.Minijson.to_float
+    with
+    | Some v -> v
+    | None -> 0.0
+  in
   (* instrumented-mutex fast path (one uncontended lock/unlock pair)
      next to a bare mutex pair, plus the run's accumulated contention
      totals — every hot lock in the process is a Contended, so the
@@ -732,6 +755,14 @@ let write_bench_json ~jobs ~shards path =
     "scrapes_per_sec": %.0f,
     "merged_series": %d
   },
+  "fleet": {
+    "nodes": %.0f,
+    "tenants": %.0f,
+    "events": %.0f,
+    "requests_per_sec": %.0f,
+    "p99_virtual_ns": %.0f,
+    "recall": %.3f
+  },
   "alert_eval": {
     "rules": 2,
     "observations": %d,
@@ -772,6 +803,9 @@ let write_bench_json ~jobs ~shards path =
         net_report.Mitos_net.Loadgen.throughput_rps net_par_rps net_speedup_4x
         fleet_node_count fleet_scrape_rounds fleet_mean_ns
         fleet_scrapes_per_sec fleet_merged_series
+        (chaos_num "nodes") (chaos_num "tenants") (chaos_num "events")
+        (chaos_num "requests_per_sec") (chaos_num "p99_virtual_ns")
+        (chaos_num "recall")
         alert_obs_count alert_eval_ns alert_incidents
         uncontended_pair_ns
         raw_mutex_pair_ns lock_acq lock_cont lock_wait_ns lock_hold_ns

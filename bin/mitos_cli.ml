@@ -2050,8 +2050,21 @@ let cluster_cmd =
 
 let loadgen_cmd =
   let run endpoint requests batch candidates space publish_every node seed
-      timeout bench_out propagation =
+      timeout bench_out propagation open_rate pareto_alpha diurnal_amp
+      diurnal_period =
     protected @@ fun () ->
+    let open_loop =
+      match open_rate with
+      | None -> None
+      | Some rate_rps ->
+        Some
+          {
+            Net.Loadgen.rate_rps;
+            pareto_alpha;
+            diurnal_amp;
+            diurnal_period_s = diurnal_period;
+          }
+    in
     let config =
       {
         Net.Loadgen.requests;
@@ -2062,6 +2075,7 @@ let loadgen_cmd =
         node;
         seed;
         propagation;
+        open_loop;
       }
     in
     let obs =
@@ -2146,6 +2160,41 @@ let loadgen_cmd =
              spans stitch to this client in /tracez; the report then \
              prints a sample trace id to query.")
   in
+  let d_ol = Net.Loadgen.default_open_loop in
+  let open_rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"RPS"
+          ~doc:
+            "Issue on a seeded open-loop arrival schedule at a mean of \
+             $(docv) frames/s (heavy-tail Pareto inter-arrivals, optional \
+             diurnal ramp) instead of back-to-back; the report gains \
+             offered-rate and max-lag lines.")
+  in
+  let pareto_alpha_arg =
+    Arg.(
+      value
+      & opt float d_ol.Net.Loadgen.pareto_alpha
+      & info [ "pareto-alpha" ] ~docv:"A"
+          ~doc:"Open-loop inter-arrival tail shape (> 1; smaller = burstier).")
+  in
+  let diurnal_amp_arg =
+    Arg.(
+      value
+      & opt float d_ol.Net.Loadgen.diurnal_amp
+      & info [ "diurnal-amp" ] ~docv:"F"
+          ~doc:
+            "Open-loop diurnal swing: the offered rate ramps between \
+             (1 +/- $(docv)) of the mean over each period.")
+  in
+  let diurnal_period_arg =
+    Arg.(
+      value
+      & opt float d_ol.Net.Loadgen.diurnal_period_s
+      & info [ "diurnal-period" ] ~docv:"SECONDS"
+          ~doc:"Open-loop diurnal cycle length.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -2158,7 +2207,8 @@ let loadgen_cmd =
           ~doc:"Decision-service endpoint to load."
       $ requests_arg $ batch_arg $ candidates_arg $ space_arg
       $ publish_every_arg $ node_arg $ seed_arg $ timeout_arg $ bench_out_arg
-      $ propagate_arg)
+      $ propagate_arg $ open_rate_arg $ pareto_alpha_arg $ diurnal_amp_arg
+      $ diurnal_period_arg)
 
 (* -- profile ------------------------------------------------------------- *)
 
@@ -2378,6 +2428,202 @@ let bench_cmd =
           perf-regression gate).")
     [ bench_compare_cmd ]
 
+(* -- chaos -------------------------------------------------------------- *)
+
+module Chaos = Mitos_chaos
+
+let chaos_cmd =
+  let run preset_name plan_file list seed nodes tenants duration transport
+      rate attack_rate slots report_out bench_out =
+    protected @@ fun () ->
+    if list then begin
+      List.iter
+        (fun (name, doc) -> Printf.printf "%-14s %s\n" name doc)
+        Chaos.Judge.presets;
+      exit 0
+    end;
+    let scenario =
+      match Chaos.Judge.preset preset_name with
+      | Some s -> s
+      | None ->
+        or_die
+          (Error
+             (Printf.sprintf "unknown preset %S (try --list-presets)"
+                preset_name))
+    in
+    let plan, scenario_name =
+      match plan_file with
+      | None -> (scenario.Chaos.Judge.plan, scenario.Chaos.Judge.scenario_name)
+      | Some path ->
+        let ic = open_in_bin path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match Chaos.Plan.parse text with
+         | Ok p -> (p, Filename.remove_extension (Filename.basename path))
+         | Error msg -> or_die (Error (path ^ ": " ^ msg)))
+    in
+    let transport =
+      match transport with
+      | "mem" -> Chaos.Fleetsim.Mem
+      | "tcp" -> Chaos.Fleetsim.Tcp
+      | other ->
+        or_die (Error (Printf.sprintf "unknown transport %S (mem|tcp)" other))
+    in
+    let config = scenario.Chaos.Judge.config in
+    let gen =
+      {
+        config.Chaos.Fleetsim.gen with
+        Chaos.Tenantgen.seed;
+        tenants =
+          Option.value tenants
+            ~default:config.Chaos.Fleetsim.gen.Chaos.Tenantgen.tenants;
+        duration =
+          Option.value duration
+            ~default:config.Chaos.Fleetsim.gen.Chaos.Tenantgen.duration;
+        rate_rps =
+          Option.value rate
+            ~default:config.Chaos.Fleetsim.gen.Chaos.Tenantgen.rate_rps;
+        attack_rate =
+          Option.value attack_rate
+            ~default:config.Chaos.Fleetsim.gen.Chaos.Tenantgen.attack_rate;
+      }
+    in
+    let config =
+      {
+        config with
+        Chaos.Fleetsim.gen;
+        transport;
+        nodes = Option.value nodes ~default:config.Chaos.Fleetsim.nodes;
+        estimator_slots =
+          Option.value slots ~default:config.Chaos.Fleetsim.estimator_slots;
+      }
+    in
+    let scenario =
+      { scenario with Chaos.Judge.scenario_name; config; plan }
+    in
+    let report = or_die (Chaos.Judge.run scenario) in
+    print_string (Chaos.Judge.render report);
+    (match report_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Chaos.Judge.to_json report));
+      Printf.printf "report written to %s\n" path);
+    (match bench_out with
+    | None -> ()
+    | Some path ->
+      Chaos.Judge.merge_into_bench_json ~path report;
+      Printf.printf "merged fleet into %s\n" path);
+    exit (Chaos.Judge.exit_code report)
+  in
+  let preset_arg =
+    Arg.(
+      value
+      & opt string "steady"
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Preset scenario: traffic shape, fault plan and SLO bar \
+             (see --list-presets).")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"PLAN"
+          ~doc:
+            "Fault-plan file in the DESIGN section-16 DSL (e.g. \
+             `kill@t=5s node=2'); replaces the preset's plan.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list-presets" ] ~doc:"List preset scenarios and exit.")
+  in
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nodes" ] ~docv:"N" ~doc:"Fleet size (servers).")
+  in
+  let tenants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenants" ] ~docv:"N" ~doc:"Tenant population.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Virtual scenario length.")
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt string "mem"
+      & info [ "transport" ] ~docv:"mem|tcp"
+          ~doc:
+            "Fleet transport: in-process loopback (deterministic \
+             reports) or real TCP servers on 127.0.0.1.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Mean fleet-wide events per virtual second.")
+  in
+  let attack_rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "attack-rate" ] ~docv:"P"
+          ~doc:"Per-event probability of an injected attack run.")
+  in
+  let slots_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slots" ] ~docv:"N" ~doc:"Estimator slots per node.")
+  in
+  let report_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic JSON report (same seed, same \
+             bytes) to $(docv).")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Merge a `fleet' row (events/s, virtual p99) into the \
+             BENCH_decisions.json at $(docv) for `bench compare'.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a deterministic multi-tenant chaos scenario against a real \
+          fleet — seeded tenants, fault injection per a plan DSL, judged \
+          by SLO (detection recall vs a propagate-all oracle, over-taint, \
+          virtual p99, unexpected retry exhaustions, burn-rate alerts, \
+          estimator re-sync). Exit 0 when every SLO holds, 1 on a \
+          violation, 2 on setup errors.")
+    Term.(
+      const run $ preset_arg $ plan_arg $ list_arg $ seed_arg $ nodes_arg
+      $ tenants_arg $ duration_arg $ transport_arg $ rate_arg
+      $ attack_rate_arg $ slots_arg $ report_out_arg $ bench_out_arg)
+
 (* -- version ------------------------------------------------------------- *)
 
 let version_cmd =
@@ -2405,5 +2651,5 @@ let () =
             audit_cmd; serve_cmd; watch_cmd; alerts_cmd; fleet_cmd;
             serve_decisions_cmd;
             coordinator_cmd; node_cmd; cluster_cmd; loadgen_cmd;
-            profile_cmd; bench_cmd;
+            profile_cmd; bench_cmd; chaos_cmd;
             version_cmd ]))

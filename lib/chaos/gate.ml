@@ -1,0 +1,132 @@
+module Transport = Mitos_net.Transport
+module Rng = Mitos_util.Rng
+
+exception Down of string
+
+type counts = {
+  mutable calls : int;
+  mutable drops : int;
+  mutable corrupt_requests : int;
+  mutable corrupt_replies : int;
+  mutable truncated_replies : int;
+  mutable oversized_replies : int;
+  mutable refusals : int;
+}
+
+type t = {
+  node : int;
+  name : string;
+  plan : Plan.t;
+  rng : Rng.t;
+  now : unit -> float;
+  upstream : unit -> (string -> string) option;
+  client_max_frame : int;
+  counts : counts;
+  mutable delay : float;
+  mutable closed : bool;
+}
+
+let zero_counts () =
+  {
+    calls = 0;
+    drops = 0;
+    corrupt_requests = 0;
+    corrupt_replies = 0;
+    truncated_replies = 0;
+    oversized_replies = 0;
+    refusals = 0;
+  }
+
+(* Forcing the version byte invalid guarantees the node's strict
+   decoder rejects the frame with a typed error; flipping only a later
+   byte could land in a don't-care position and slip through. A second
+   scrambled byte deeper in keeps the fuzzing honest. *)
+let mangle rng body =
+  if String.length body = 0 then "\xff"
+  else begin
+    let b = Bytes.of_string body in
+    Bytes.set b 0 '\xff';
+    if Bytes.length b > 1 then begin
+      let i = 1 + Rng.int rng (Bytes.length b - 1) in
+      Bytes.set b i (Rng.byte rng)
+    end;
+    Bytes.to_string b
+  end
+
+let handle t body =
+  let at = t.now () in
+  t.counts.calls <- t.counts.calls + 1;
+  let d = Plan.slow_delay t.plan ~node:t.node ~at in
+  if d > 0.0 then t.delay <- t.delay +. d;
+  if Plan.partitioned t.plan ~node:t.node ~at then begin
+    t.counts.refusals <- t.counts.refusals + 1;
+    raise (Down "partitioned")
+  end;
+  let active kind = Plan.rate t.plan ~kind ~node:t.node ~at in
+  let draw p = p > 0.0 && Rng.bernoulli t.rng p in
+  if draw (active `Drop) then begin
+    t.counts.drops <- t.counts.drops + 1;
+    raise (Down "injected drop")
+  end;
+  let body =
+    if draw (active `Corrupt) then begin
+      t.counts.corrupt_requests <- t.counts.corrupt_requests + 1;
+      mangle t.rng body
+    end
+    else body
+  in
+  match t.upstream () with
+  | None ->
+      t.counts.refusals <- t.counts.refusals + 1;
+      raise (Down "node down")
+  | Some call ->
+      let reply = call body in
+      (* Reply-side faults are drawn after the upstream call so the
+         node really handled (or rejected) the request first. *)
+      if draw (active `Truncate) && String.length reply > 1 then begin
+        t.counts.truncated_replies <- t.counts.truncated_replies + 1;
+        String.sub reply 0 (String.length reply / 2)
+      end
+      else if draw (active `Oversize) then begin
+        t.counts.oversized_replies <- t.counts.oversized_replies + 1;
+        let pad = t.client_max_frame + 1 - String.length reply in
+        if pad > 0 then reply ^ String.make pad '\x00' else reply
+      end
+      else if draw (active `Corrupt) then begin
+        t.counts.corrupt_replies <- t.counts.corrupt_replies + 1;
+        mangle t.rng reply
+      end
+      else reply
+
+let create ~node ~name ~plan ~seed ~now ~upstream ?(client_max_frame = 65536) ()
+    =
+  let t =
+    {
+      node;
+      name;
+      plan;
+      rng = Rng.create (seed lxor ((node + 1) * 0x67617465));
+      now;
+      upstream;
+      client_max_frame;
+      counts = zero_counts ();
+      delay = 0.0;
+      closed = false;
+    }
+  in
+  Transport.Loopback.register name (handle t);
+  t
+
+let endpoint t = Transport.Memory t.name
+let counts t = t.counts
+
+let take_delay t =
+  let d = t.delay in
+  t.delay <- 0.0;
+  d
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Transport.Loopback.unregister t.name
+  end

@@ -1,0 +1,73 @@
+(** Fault-injecting transport gate.
+
+    Every tenant client in the chaos fleet connects to a {e gate} — a
+    loopback transport endpoint standing in front of one real node —
+    rather than to the node itself. The gate consults the {!Plan} at
+    the fleet's current virtual time and injects faults on the frame
+    path: attempts dropped before reaching the node, request bodies
+    mangled (the version byte is forced invalid, so the strict decoder
+    {e must} answer with a typed error rather than act on garbage),
+    replies cut in half or padded past the client's max-frame bound,
+    whole windows of refusal during a partition, and virtual latency
+    during a slow window.
+
+    Because clients reach the node only through the gate, fault
+    injection is uniform over both fleet transports: in [mem://] mode
+    the upstream is the node's own loopback handler; in [tcp://] mode
+    the gate holds a real socket to the node and reconnects as needed.
+    A raised fault surfaces to the client as a transport error — the
+    same shape as a genuine crash — so the client's retry/failover
+    machinery is exercised for real.
+
+    Fault draws come from the gate's own seeded {!Mitos_util.Rng}
+    stream, so a run's injected-fault sequence is a pure function of
+    (seed, plan, request order). *)
+
+exception Down of string
+(** Raised by the gate handler to sever the attempt (the loopback
+    transport converts it into a send error on the client side). *)
+
+type counts = {
+  mutable calls : int;  (** requests that entered the gate *)
+  mutable drops : int;
+  mutable corrupt_requests : int;
+  mutable corrupt_replies : int;
+  mutable truncated_replies : int;
+  mutable oversized_replies : int;
+  mutable refusals : int;  (** partition window or node down *)
+}
+
+val zero_counts : unit -> counts
+(** All-zero — the accumulator seed for fleet-wide sums. *)
+
+type t
+
+val create :
+  node:int ->
+  name:string ->
+  plan:Plan.t ->
+  seed:int ->
+  now:(unit -> float) ->
+  upstream:(unit -> (string -> string) option) ->
+  ?client_max_frame:int ->
+  unit ->
+  t
+(** Registers the loopback handler under [name] (raising
+    [Invalid_argument] if taken, like {!Transport.Loopback.register}).
+    [now] reads the fleet's virtual clock; [upstream] resolves the
+    node's current frame handler, [None] meaning the node is down.
+    [client_max_frame] (default 65536) sizes oversize padding just past
+    the tenant clients' receive bound. *)
+
+val endpoint : t -> Mitos_net.Transport.endpoint
+(** [Memory name] — what tenant clients connect to. *)
+
+val counts : t -> counts
+
+val take_delay : t -> float
+(** Virtual seconds of slow-window delay accrued since the last take —
+    the driver reads this after each operation and folds it into the
+    virtual latency model. *)
+
+val close : t -> unit
+(** Unregister the handler. Idempotent. *)

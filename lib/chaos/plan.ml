@@ -1,0 +1,392 @@
+type target = All_nodes | Node of int
+
+type event =
+  | Kill of { at : float; node : int }
+  | Restart of { at : float; node : int }
+  | Slow of { from_ : float; until : float; target : target; delay : float }
+  | Partition of { from_ : float; until : float; node : int }
+  | Corrupt of { rate : float; target : target; from_ : float; until : float }
+  | Drop of { rate : float; target : target; from_ : float; until : float }
+  | Truncate of { rate : float; target : target; from_ : float; until : float }
+  | Oversize of { rate : float; target : target; from_ : float; until : float }
+
+type t = event list
+
+let empty = []
+
+(* ---------- rendering ---------- *)
+
+(* Durations render as bare seconds with %g — "0.05s" rather than
+   "50ms" — so the canonical form is unique and the round-trip test is
+   a string equality. *)
+let duration_to_string d =
+  if d = infinity then "inf" else Printf.sprintf "%gs" d
+
+let target_to_string = function
+  | All_nodes -> "all"
+  | Node n -> string_of_int n
+
+let event_to_string = function
+  | Kill { at; node } ->
+      Printf.sprintf "kill@t=%s node=%d" (duration_to_string at) node
+  | Restart { at; node } ->
+      Printf.sprintf "restart@t=%s node=%d" (duration_to_string at) node
+  | Slow { from_; until; target; delay } ->
+      Printf.sprintf "slow@t=%s until=%s node=%s delay=%s"
+        (duration_to_string from_) (duration_to_string until)
+        (target_to_string target) (duration_to_string delay)
+  | Partition { from_; until; node } ->
+      Printf.sprintf "partition@t=%s until=%s node=%d" (duration_to_string from_)
+        (duration_to_string until) node
+  | Corrupt { rate; target; from_; until } ->
+      Printf.sprintf "corrupt@rate=%g node=%s t=%s until=%s" rate
+        (target_to_string target) (duration_to_string from_)
+        (duration_to_string until)
+  | Drop { rate; target; from_; until } ->
+      Printf.sprintf "drop@rate=%g node=%s t=%s until=%s" rate
+        (target_to_string target) (duration_to_string from_)
+        (duration_to_string until)
+  | Truncate { rate; target; from_; until } ->
+      Printf.sprintf "truncate@rate=%g node=%s t=%s until=%s" rate
+        (target_to_string target) (duration_to_string from_)
+        (duration_to_string until)
+  | Oversize { rate; target; from_; until } ->
+      Printf.sprintf "oversize@rate=%g node=%s t=%s until=%s" rate
+        (target_to_string target) (duration_to_string from_)
+        (duration_to_string until)
+
+let to_string plan = String.concat "" (List.map (fun e -> event_to_string e ^ "\n") plan)
+
+(* ---------- parsing ---------- *)
+
+let parse_duration s =
+  let num_of str =
+    match float_of_string_opt (String.trim str) with
+    | Some f when f >= 0.0 -> Ok f
+    | _ -> Error (Printf.sprintf "bad duration %S" s)
+  in
+  let n = String.length s in
+  if s = "inf" then Ok infinity
+  else if n > 2 && String.sub s (n - 2) 2 = "ms" then
+    Result.map (fun f -> f *. 1e-3) (num_of (String.sub s 0 (n - 2)))
+  else if n > 2 && String.sub s (n - 2) 2 = "us" then
+    Result.map (fun f -> f *. 1e-6) (num_of (String.sub s 0 (n - 2)))
+  else if n > 1 && s.[n - 1] = 's' then num_of (String.sub s 0 (n - 1))
+  else num_of s
+
+let parse_target s =
+  if s = "all" then Ok All_nodes
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Node n)
+    | _ -> Error (Printf.sprintf "bad node %S (index or \"all\")" s)
+
+let ( let* ) = Result.bind
+
+(* A tiny keyed-field reader over the [k=v] pairs of one event. *)
+module Fields = struct
+  type t = (string * string) list
+
+  let of_words words : (t, string) result =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | w :: rest -> (
+          match String.index_opt w '=' with
+          | None -> Error (Printf.sprintf "expected key=value, got %S" w)
+          | Some i ->
+              let k = String.sub w 0 i in
+              let v = String.sub w (i + 1) (String.length w - i - 1) in
+              if k = "" || v = "" then
+                Error (Printf.sprintf "expected key=value, got %S" w)
+              else if List.mem_assoc k acc then
+                Error (Printf.sprintf "duplicate key %S" k)
+              else go ((k, v) :: acc) rest)
+    in
+    go [] words
+
+  let find fields keys = List.find_map (fun k -> List.assoc_opt k fields) keys
+
+  let known fields names =
+    match
+      List.find_opt (fun (k, _) -> not (List.mem k names)) fields
+    with
+    | Some (k, _) -> Error (Printf.sprintf "unknown key %S" k)
+    | None -> Ok ()
+
+  let duration fields keys ~default =
+    match find fields keys with
+    | None -> (
+        match default with
+        | Some d -> Ok d
+        | None -> Error (Printf.sprintf "missing %s=" (List.hd keys)))
+    | Some v -> parse_duration v
+
+  let node fields ~default =
+    match find fields [ "node" ] with
+    | None -> (
+        match default with
+        | Some t -> Ok t
+        | None -> Error "missing node=")
+    | Some v -> parse_target v
+
+  let rate fields =
+    match find fields [ "rate" ] with
+    | None -> Error "missing rate="
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+        | _ -> Error (Printf.sprintf "bad rate %S (want 0..1)" v))
+end
+
+let int_node fields =
+  let* t = Fields.node fields ~default:None in
+  match t with
+  | Node n -> Ok n
+  | All_nodes -> Error "node=all not allowed here"
+
+let parse_event line =
+  let line = String.trim line in
+  match String.index_opt line '@' with
+  | None -> Error (Printf.sprintf "expected NAME@key=value..., got %S" line)
+  | Some i ->
+      let name = String.sub line 0 i in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let words =
+        String.split_on_char ' ' rest |> List.filter (fun w -> w <> "")
+      in
+      let* fields = Fields.of_words words in
+      let window () =
+        let* from_ = Fields.duration fields [ "t"; "from" ] ~default:(Some 0.0) in
+        let* until = Fields.duration fields [ "until" ] ~default:(Some infinity) in
+        if until < from_ then Error "until= before t="
+        else Ok (from_, until)
+      in
+      let rate_fault mk =
+        let* () = Fields.known fields [ "rate"; "node"; "t"; "from"; "until" ] in
+        let* rate = Fields.rate fields in
+        let* target = Fields.node fields ~default:(Some All_nodes) in
+        let* from_, until = window () in
+        Ok (mk ~rate ~target ~from_ ~until)
+      in
+      let res =
+        match name with
+        | "kill" ->
+            let* () = Fields.known fields [ "t"; "from"; "node" ] in
+            let* at = Fields.duration fields [ "t"; "from" ] ~default:None in
+            let* node = int_node fields in
+            Ok (Kill { at; node })
+        | "restart" ->
+            let* () = Fields.known fields [ "t"; "from"; "node" ] in
+            let* at = Fields.duration fields [ "t"; "from" ] ~default:None in
+            let* node = int_node fields in
+            Ok (Restart { at; node })
+        | "slow" ->
+            let* () =
+              Fields.known fields [ "t"; "from"; "until"; "node"; "delay" ]
+            in
+            let* from_, until = window () in
+            let* target = Fields.node fields ~default:(Some All_nodes) in
+            let* delay = Fields.duration fields [ "delay" ] ~default:None in
+            if delay = infinity then Error "delay= must be finite"
+            else Ok (Slow { from_; until; target; delay })
+        | "partition" ->
+            let* () = Fields.known fields [ "t"; "from"; "until"; "node" ] in
+            let* from_, until = window () in
+            let* node = int_node fields in
+            Ok (Partition { from_; until; node })
+        | "corrupt" ->
+            rate_fault (fun ~rate ~target ~from_ ~until ->
+                Corrupt { rate; target; from_; until })
+        | "drop" ->
+            rate_fault (fun ~rate ~target ~from_ ~until ->
+                Drop { rate; target; from_; until })
+        | "truncate" ->
+            rate_fault (fun ~rate ~target ~from_ ~until ->
+                Truncate { rate; target; from_; until })
+        | "oversize" ->
+            rate_fault (fun ~rate ~target ~from_ ~until ->
+                Oversize { rate; target; from_; until })
+        | _ -> Error (Printf.sprintf "unknown fault %S" name)
+      in
+      Result.map_error (fun e -> Printf.sprintf "%s: %s" name e) res
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let pieces =
+          String.split_on_char ';' line
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        let rec events acc = function
+          | [] -> Ok acc
+          | piece :: more -> (
+              match parse_event piece with
+              | Ok e -> events (e :: acc) more
+              | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        in
+        let* acc = events acc pieces in
+        go (lineno + 1) acc rest
+  in
+  go 1 [] lines
+
+(* ---------- validation ---------- *)
+
+let node_of_target = function All_nodes -> None | Node n -> Some n
+
+let validate ~nodes ~duration plan =
+  let check_node n =
+    if n < 0 || n >= nodes then
+      Error (Printf.sprintf "node %d out of range (fleet has %d)" n nodes)
+    else Ok ()
+  in
+  let check_target t =
+    match node_of_target t with Some n -> check_node n | None -> Ok ()
+  in
+  let check_at what at =
+    if at > duration then
+      Error (Printf.sprintf "%s at %gs is past the %gs scenario" what at duration)
+    else Ok ()
+  in
+  let rec go alive = function
+    | [] -> Ok ()
+    | Kill { at; node } :: rest ->
+        let* () = check_node node in
+        let* () = check_at "kill" at in
+        if not (List.mem node alive) then
+          Error (Printf.sprintf "node %d killed twice without a restart" node)
+        else go (List.filter (( <> ) node) alive) rest
+    | Restart { at; node } :: rest ->
+        let* () = check_node node in
+        let* () = check_at "restart" at in
+        if List.mem node alive then
+          Error (Printf.sprintf "restart of node %d which is not killed" node)
+        else go (node :: alive) rest
+    | Slow { from_; target; _ } :: rest ->
+        let* () = check_target target in
+        let* () = check_at "slow" from_ in
+        go alive rest
+    | Partition { from_; node; _ } :: rest ->
+        let* () = check_node node in
+        let* () = check_at "partition" from_ in
+        go alive rest
+    | (Corrupt { target; from_; _ } | Drop { target; from_; _ }
+      | Truncate { target; from_; _ } | Oversize { target; from_; _ })
+      :: rest ->
+        let* () = check_target target in
+        let* () = check_at "fault window" from_ in
+        go alive rest
+  in
+  (* kills must come before their restart in file order for the alive
+     tracking above; sort by time first so out-of-order files are fine *)
+  let time_of = function
+    | Kill { at; _ } | Restart { at; _ } -> at
+    | Slow { from_; _ } | Partition { from_; _ } | Corrupt { from_; _ }
+    | Drop { from_; _ } | Truncate { from_; _ } | Oversize { from_; _ } ->
+        from_
+  in
+  let sorted = List.stable_sort (fun a b -> compare (time_of a) (time_of b)) plan in
+  go (List.init nodes Fun.id) sorted
+
+(* ---------- queries ---------- *)
+
+let target_hits target ~node =
+  match target with All_nodes -> true | Node n -> n = node
+
+let in_window ~from_ ~until ~at = at >= from_ && at < until
+
+let slow_delay plan ~node ~at =
+  List.fold_left
+    (fun acc -> function
+      | Slow { from_; until; target; delay }
+        when target_hits target ~node && in_window ~from_ ~until ~at ->
+          acc +. delay
+      | _ -> acc)
+    0.0 plan
+
+let partitioned plan ~node ~at =
+  List.exists
+    (function
+      | Partition { from_; until; node = n } ->
+          n = node && in_window ~from_ ~until ~at
+      | _ -> false)
+    plan
+
+let killed plan ~node ~at =
+  (* inside some kill..restart window of this node *)
+  let kills =
+    List.filter_map
+      (function
+        | Kill { at = t; node = n } when n = node -> Some (`K t)
+        | Restart { at = t; node = n } when n = node -> Some (`R t)
+        | _ -> None)
+      plan
+    |> List.stable_sort
+         (fun a b ->
+           let t = function `K t | `R t -> t in
+           compare (t a) (t b))
+  in
+  let rec go down = function
+    | [] -> down
+    | `K t :: rest -> if at < t then down else go true rest
+    | `R t :: rest -> if at < t then down else go false rest
+  in
+  go false kills
+
+let down plan ~node ~at = killed plan ~node ~at || partitioned plan ~node ~at
+
+let rate plan ~kind ~node ~at =
+  let pick = function
+    | Corrupt { rate; target; from_; until } when kind = `Corrupt ->
+        Some (rate, target, from_, until)
+    | Drop { rate; target; from_; until } when kind = `Drop ->
+        Some (rate, target, from_, until)
+    | Truncate { rate; target; from_; until } when kind = `Truncate ->
+        Some (rate, target, from_, until)
+    | Oversize { rate; target; from_; until } when kind = `Oversize ->
+        Some (rate, target, from_, until)
+    | _ -> None
+  in
+  let total =
+    List.fold_left
+      (fun acc e ->
+        match pick e with
+        | Some (rate, target, from_, until)
+          when target_hits target ~node && in_window ~from_ ~until ~at ->
+            acc +. rate
+        | _ -> acc)
+      0.0 plan
+  in
+  Float.min 1.0 total
+
+let expects_outage_alert plan ~duration =
+  (* The tick-driven burn-rate rule needs the outage to start a couple
+     of ticks in, and heal with enough tail for for_/keep_firing to
+     walk the incident back to resolved. 4s of margin on each side is
+     comfortably beyond the rule's for=2/keep=2 settings. *)
+  let margin = 4.0 in
+  List.exists
+    (function
+      | Kill { at; node } ->
+          at +. margin <= duration
+          &&
+          let healed =
+            List.exists
+              (function
+                | Restart { at = r; node = n } ->
+                    n = node && r > at && r +. margin <= duration
+                | _ -> false)
+              plan
+          in
+          healed
+      | Partition { from_; until; _ } ->
+          from_ +. margin <= duration && until +. margin <= duration
+      | _ -> false)
+    plan

@@ -1,0 +1,105 @@
+(** The chaos fault-plan DSL.
+
+    A plan is a list of fault events against a simulated fleet, written
+    one per line (['#'] comments and blank lines ignored; [';'] also
+    separates events on one line):
+
+    {v
+    kill@t=5s node=2
+    restart@t=9s node=2
+    slow@t=8s until=12s node=1 delay=50ms
+    partition@t=10s until=18s node=2
+    corrupt@rate=0.001
+    drop@rate=0.01 node=0 t=2s until=20s
+    truncate@rate=0.005
+    oversize@rate=0.001
+    v}
+
+    Each event is [NAME@key=value key=value ...]. Durations accept
+    [5s], [50ms], [200us] or a bare number of seconds; [t] and [from]
+    are synonyms for a window start; [until] defaults to the end of the
+    scenario ([inf]); [node] is an index or [all] (the default for the
+    rate faults); [rate] is a per-request probability.
+
+    Semantics (applied by {!Gate} and the {!Fleet} driver):
+    - [kill]/[restart]: the node's real server is stopped (its
+      estimator state is {e lost}) and later recreated; the driver
+      re-syncs the fresh estimator through the ordinary publish path.
+    - [slow]: every request through the node accrues [delay] of
+      {e virtual} latency while the window is open.
+    - [partition]: the node is unreachable — and tenants homed on it
+      do not fail over (a network split, unlike a crash, cuts the
+      whole region); their publishes are deferred and re-synced when
+      the window closes.
+    - [corrupt]/[drop]/[truncate]/[oversize]: per-request frame faults
+      at the given probability — request bodies mangled so the strict
+      decoders must answer with typed errors, attempts dropped before
+      reaching the server, replies cut in half, replies padded past
+      the client's max-frame bound.
+
+    Parsing and rendering round-trip: [to_string] is canonical and
+    [parse (to_string p)] re-reads it, which is how plans are echoed
+    byte-identically into the chaos report. *)
+
+type target = All_nodes | Node of int
+
+type event =
+  | Kill of { at : float; node : int }
+  | Restart of { at : float; node : int }
+  | Slow of { from_ : float; until : float; target : target; delay : float }
+  | Partition of { from_ : float; until : float; node : int }
+  | Corrupt of { rate : float; target : target; from_ : float; until : float }
+  | Drop of { rate : float; target : target; from_ : float; until : float }
+  | Truncate of { rate : float; target : target; from_ : float; until : float }
+  | Oversize of { rate : float; target : target; from_ : float; until : float }
+
+type t = event list
+(** In file order. *)
+
+val empty : t
+
+val parse : string -> (t, string) result
+(** Whole plan text; the error names the offending line. *)
+
+val parse_event : string -> (event, string) result
+
+val to_string : t -> string
+(** Canonical: one event per line, every field explicit, trailing
+    newline when non-empty. *)
+
+val event_to_string : event -> string
+
+val validate : nodes:int -> duration:float -> t -> (unit, string) result
+(** Node indices in range, rates in [0,1], windows ordered, every
+    [restart] preceded by a [kill] of the same node (and vice versa no
+    double kill without restart), event times within the scenario. *)
+
+(** {1 Queries} (what the gate and driver evaluate per request) *)
+
+val slow_delay : t -> node:int -> at:float -> float
+(** Summed [delay] of the slow windows open at [at] for the node. *)
+
+val partitioned : t -> node:int -> at:float -> bool
+
+val killed : t -> node:int -> at:float -> bool
+(** Inside a kill..restart window (a kill with no later restart is an
+    open window). *)
+
+val down : t -> node:int -> at:float -> bool
+(** {!killed} or {!partitioned} — used by the judge to classify a
+    retry exhaustion as expected. *)
+
+val rate :
+  t ->
+  kind:[ `Corrupt | `Drop | `Truncate | `Oversize ] ->
+  node:int ->
+  at:float ->
+  float
+(** Summed active rates of that fault kind for the node, capped at
+    1. *)
+
+val expects_outage_alert : t -> duration:float -> bool
+(** Whether the plan contains a kill or partition window that both
+    starts and heals early enough for the burn-rate outage alert to
+    fire {e and} resolve within the scenario — the judge's default
+    alert expectation. *)

@@ -1,0 +1,58 @@
+(** Seeded multi-tenant traffic generation.
+
+    Thousands of tenants, each with independent split {!Mitos_util.Rng}
+    substreams, emit an open-loop arrival schedule over virtual time:
+    Pareto (heavy-tail) inter-arrivals whose mean tracks a sinusoidal
+    diurnal ramp. Most events are batched decide requests; every
+    [publish_every]-th is a pollution publish toward the tenant's home
+    estimator slot (the first event always publishes, so every slot is
+    seeded early); a configurable per-tenant rate replaces a decide
+    with a full {!Mitos_workload.Attack} run — all six Metasploit
+    variants, round-robin, so a run long enough to inject six attacks
+    covers them all.
+
+    The schedule is a pure function of the config: same seed, same
+    byte-identical event array. *)
+
+type kind =
+  | Decide
+  | Publish of float  (** pollution value for the tenant's home slot *)
+  | Attack of Mitos_workload.Attack.variant * int
+      (** variant and its build seed *)
+
+type event = {
+  at : float;  (** virtual seconds from scenario start *)
+  tenant : int;
+  seq : int;  (** per-tenant event index *)
+  kind : kind;
+}
+
+type config = {
+  tenants : int;
+  duration : float;  (** virtual seconds *)
+  rate_rps : float;  (** mean fleet-wide events per second *)
+  pareto_alpha : float;  (** inter-arrival tail shape, > 1 *)
+  diurnal_amp : float;  (** rate swings between [(1 ± amp) * rate] *)
+  diurnal_period_s : float;
+  attack_rate : float;  (** per-event probability of an attack run *)
+  publish_every : int;  (** 0 = only the seeding publish *)
+  publish_scale : float;  (** publish values uniform in [0, scale) *)
+  seed : int;
+}
+
+val default_config : config
+(** 1000 tenants, 20 virtual seconds, 400 events/s fleet-wide, alpha
+    1.5, 30% diurnal swing over a 10s period, attack rate 0.002, a
+    publish every 40 events per tenant, publish scale 10, seed 7. *)
+
+val validate : config -> (unit, string) result
+
+val schedule : config -> event array
+(** Sorted by [(at, tenant, seq)]. Raises [Invalid_argument] when
+    {!validate} would refuse the config. *)
+
+val mix_rngs : config -> Mitos_util.Rng.t array
+(** Per-tenant request-mix generators (decide payload contents), split
+    from the same master seed as the schedule but disjoint from the
+    arrival and kind streams — so consuming them at service time
+    cannot perturb the schedule. *)

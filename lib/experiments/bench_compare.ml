@@ -44,6 +44,12 @@ let gated_metrics =
     (* burn-rate alert engine: one observe (store append + rule
        evaluation) must stay cheap enough to ride every server tick *)
     ([ "alert_eval"; "ns_per_observation" ], Lower_better);
+    (* chaos fleet: sustained tenant events/s against 3 real nodes
+       under the standard fault plan, and the deterministic virtual
+       p99 of the same run (failover hops and slow windows priced by
+       the latency model, so a routing regression moves it) *)
+    ([ "fleet"; "requests_per_sec" ], Higher_better);
+    ([ "fleet"; "p99_virtual_ns" ], Lower_better);
     (* profiling-layer rows: the instrumented-mutex fast path and GC
        allocation pressure of the replay hot path *)
     ([ "lock_contention"; "uncontended_pair_ns" ], Lower_better);

@@ -17,6 +17,7 @@ let error_to_string = function
 
 module Obs = Mitos_obs.Obs
 module Propagation = Mitos_obs.Propagation
+module Registry = Mitos_obs.Registry
 
 type t = {
   endpoint : Transport.endpoint;
@@ -26,6 +27,8 @@ type t = {
   max_frame : int;
   obs : Obs.t;
   prop : Propagation.t option;
+  retries_ctr : Registry.counter option;
+  exhausted_ctr : Registry.counter option;
   mutable conn : Transport.conn option;
   mutable next_id : int;
   mutable retries_used : int;
@@ -51,8 +54,11 @@ let reconnect t =
 
 let connect ?timeout ?(retries = 3) ?(backoff = 0.05)
     ?(max_frame = Wire.default_max_frame) ?(obs = Obs.disabled) ?propagation
-    endpoint =
+    ?registry endpoint =
   if retries < 0 then invalid_arg "Client.connect: negative retries";
+  let counter name help =
+    Option.map (fun reg -> Registry.counter reg ~help name) registry
+  in
   let t =
     {
       endpoint;
@@ -62,6 +68,12 @@ let connect ?timeout ?(retries = 3) ?(backoff = 0.05)
       max_frame;
       obs;
       prop = propagation;
+      retries_ctr =
+        counter "mitos_net_retries_total"
+          "transport-level client retries (attempts beyond the first)";
+      exhausted_ctr =
+        counter "mitos_net_retries_exhausted_total"
+          "roundtrips that failed every attempt of the retry budget";
       conn = None;
       next_id = 1;
       retries_used = 0;
@@ -134,10 +146,13 @@ let roundtrip t req =
       | Ok (Error _ as protocol_failure) -> protocol_failure
       | Error msg ->
         drop_conn t;
-        if attempt_no > t.retries then
+        if attempt_no > t.retries then begin
+          Option.iter Registry.incr t.exhausted_ctr;
           Error (Retries_exhausted { attempts = attempt_no; last = msg })
+        end
         else begin
           t.retries_used <- t.retries_used + 1;
+          Option.iter Registry.incr t.retries_ctr;
           if not (is_mem t) then
             Unix.sleepf (t.backoff *. (2.0 ** float_of_int (attempt_no - 1)));
           go (attempt_no + 1)

@@ -34,6 +34,7 @@ val connect :
   ?max_frame:int ->
   ?obs:Mitos_obs.Obs.t ->
   ?propagation:Mitos_obs.Propagation.t ->
+  ?registry:Mitos_obs.Registry.t ->
   Transport.endpoint ->
   (t, error) result
 (** [timeout] per the {!Mitos_obs.Netio} convention (default 5s);
@@ -42,7 +43,13 @@ val connect :
     {!Mitos_obs.Obs.disabled}) records one [client.<op>] span per
     roundtrip; [propagation] additionally mints a trace context per
     roundtrip, stamps it on the span and sends it in the v2 request
-    body so the server's span carries the same trace id. *)
+    body so the server's span carries the same trace id. [registry]
+    surfaces retry behavior as counters — one
+    [mitos_net_retries_total] increment per transport-level retry and
+    one [mitos_net_retries_exhausted_total] per roundtrip that burned
+    the whole budget — so the chaos judge (and [watch], through the
+    exposition) can assert on retry pressure instead of scraping
+    logs. Clients sharing a registry share the counters. *)
 
 val last_trace_id : t -> string option
 (** Trace id of the most recent roundtrip, when propagation is on. *)

@@ -6,6 +6,17 @@ module Histogram = Mitos_obs.Histogram
 module Obs = Mitos_obs.Obs
 module Propagation = Mitos_obs.Propagation
 
+type open_loop = {
+  rate_rps : float;
+  pareto_alpha : float;
+  diurnal_amp : float;
+  diurnal_period_s : float;
+}
+
+let default_open_loop =
+  { rate_rps = 500.0; pareto_alpha = 1.5; diurnal_amp = 0.0;
+    diurnal_period_s = 60.0 }
+
 type config = {
   requests : int;
   batch : int;
@@ -15,6 +26,7 @@ type config = {
   node : int;
   seed : int;
   propagation : bool;
+  open_loop : open_loop option;
 }
 
 let default_config =
@@ -27,6 +39,7 @@ let default_config =
     node = 0;
     seed = 7;
     propagation = false;
+    open_loop = None;
   }
 
 type report = {
@@ -41,6 +54,8 @@ type report = {
   p99_ns : float;
   throughput_rps : float;
   trace_id : string option;
+  offered_rps : float option;
+  max_lag_ms : float option;
 }
 
 let gen_tag rng =
@@ -59,18 +74,32 @@ let run ?(config = default_config) ?registry ?client_timeout
     ?(obs = Obs.disabled) endpoint =
   if config.requests < 1 then invalid_arg "Loadgen.run: requests must be >= 1";
   if config.batch < 1 then invalid_arg "Loadgen.run: batch must be >= 1";
+  (match config.open_loop with
+  | Some o when o.rate_rps <= 0.0 ->
+    invalid_arg "Loadgen.run: open-loop rate must be positive"
+  | Some o when o.pareto_alpha <= 1.0 ->
+    invalid_arg "Loadgen.run: open-loop pareto alpha must be > 1"
+  | Some o when o.diurnal_period_s <= 0.0 ->
+    invalid_arg "Loadgen.run: open-loop diurnal period must be positive"
+  | _ -> ());
   let reg = match registry with Some r -> r | None -> Registry.create () in
   let latency =
     Registry.histogram reg ~help:"client-observed round-trip latency"
       ~lo:100.0 ~growth:2.0 ~buckets:32 "mitos_net_client_latency_ns"
   in
   let rng = Rng.create config.seed in
+  (* the arrival process draws from its own stream so the decide mix
+     stays byte-identical to a closed-loop run of the same seed *)
+  let arrival_rng = Rng.create (config.seed lxor 0x4f70656e) in
   let propagation =
     if config.propagation then
       Some (Propagation.create ~seed:config.seed (Obs.clock obs))
     else None
   in
-  match Client.connect ?timeout:client_timeout ~obs ?propagation endpoint with
+  match
+    Client.connect ?timeout:client_timeout ~obs ?propagation ~registry:reg
+      endpoint
+  with
   | Error _ as e -> e
   | Ok client ->
     let decisions = ref 0 and remote_errors = ref 0 in
@@ -83,8 +112,33 @@ let run ?(config = default_config) ?registry ?client_timeout
       | Error err -> fatal := Some err
     in
     let t_start = Unix.gettimeofday () in
+    (* Open-loop pacing: arrivals follow a seeded Pareto/diurnal
+       schedule independent of service completions. When the service
+       falls behind the schedule we issue immediately (never skip) and
+       record the lag — the open-loop tell that a closed loop hides. *)
+    let next_at = ref t_start in
+    let max_lag = ref 0.0 in
+    let pace () =
+      match config.open_loop with
+      | None -> ()
+      | Some o ->
+        let virt = !next_at -. t_start in
+        let shape =
+          Float.max 0.1
+            (1.0
+            +. o.diurnal_amp
+               *. sin (2.0 *. Float.pi *. virt /. o.diurnal_period_s))
+        in
+        let mean = 1.0 /. (o.rate_rps *. shape) in
+        let xm = mean *. (o.pareto_alpha -. 1.0) /. o.pareto_alpha in
+        next_at := !next_at +. Rng.pareto arrival_rng ~alpha:o.pareto_alpha ~xm;
+        let now = Unix.gettimeofday () in
+        if now < !next_at then Unix.sleepf (!next_at -. now)
+        else max_lag := Float.max !max_lag (now -. !next_at)
+    in
     let i = ref 1 in
     while !fatal = None && !i <= config.requests do
+      pace ();
       timed (fun () ->
           let batch = List.init config.batch (fun _ -> gen_decide rng config) in
           match Client.decide client batch with
@@ -127,6 +181,19 @@ let run ?(config = default_config) ?registry ?client_timeout
             (if elapsed > 0.0 then float_of_int config.requests /. elapsed
              else 0.0);
           trace_id;
+          offered_rps =
+            (match config.open_loop with
+            | None -> None
+            | Some _ ->
+              let scheduled = !next_at -. t_start in
+              Some
+                (if scheduled > 0.0 then
+                   float_of_int config.requests /. scheduled
+                 else 0.0));
+          max_lag_ms =
+            (match config.open_loop with
+            | None -> None
+            | Some _ -> Some (!max_lag *. 1e3));
         })
 
 let render r =
@@ -143,6 +210,13 @@ let render r =
       Printf.sprintf "elapsed:           %.3fs" r.elapsed_seconds;
       "";
     ]
+  ^ (match (r.offered_rps, r.max_lag_ms) with
+    (* only present in open-loop mode, so closed-loop output stays
+       byte-identical *)
+    | Some offered, Some lag ->
+      Printf.sprintf "open loop:         offered=%.0f/s max lag=%.1fms\n"
+        offered lag
+    | _ -> "")
   ^
   (* greppable by the CI trace-stitch assertion; only present with
      propagation on, so existing output stays byte-identical *)
@@ -152,35 +226,7 @@ let render r =
 
 (* -- BENCH_decisions.json merge ---------------------------------------- *)
 
-(* Minijson is a reader by design; the bench file is small and ours, so
-   the merge re-renders the whole parsed document. *)
-let rec render_json ~indent v =
-  let pad n = String.make n ' ' in
-  match v with
-  | Minijson.Null -> "null"
-  | Bool b -> string_of_bool b
-  | Num f -> Registry.fmt_value f
-  | Str s -> Registry.json_string s
-  | List items ->
-    if items = [] then "[]"
-    else
-      "[\n"
-      ^ String.concat ",\n"
-          (List.map
-             (fun item -> pad (indent + 2) ^ render_json ~indent:(indent + 2) item)
-             items)
-      ^ "\n" ^ pad indent ^ "]"
-  | Obj fields ->
-    if fields = [] then "{}"
-    else
-      "{\n"
-      ^ String.concat ",\n"
-          (List.map
-             (fun (k, item) ->
-               pad (indent + 2) ^ Registry.json_string k ^ ": "
-               ^ render_json ~indent:(indent + 2) item)
-             fields)
-      ^ "\n" ^ pad indent ^ "}"
+let render_json ~indent v = Minijson.render ~indent v
 
 let bench_row ~batch r =
   Minijson.Obj

@@ -14,6 +14,25 @@
     [mitos-cli bench compare] gates service-path latency like every
     other benchmarked surface. *)
 
+(** Open-loop arrival shaping: request arrival times follow a seeded
+    schedule {e independent of service completions} — Pareto
+    (heavy-tail) inter-arrivals whose mean tracks a sinusoidal diurnal
+    ramp. A service that falls behind the schedule is issued to
+    immediately (arrivals are never skipped) and the accumulated lag
+    is reported — the open-loop tell of saturation that a closed loop
+    hides behind a lower throughput number. *)
+type open_loop = {
+  rate_rps : float;  (** mean offered request frames per second *)
+  pareto_alpha : float;
+      (** inter-arrival tail shape (must be > 1; smaller = burstier) *)
+  diurnal_amp : float;
+      (** rate swings between [(1 ± amp) * rate_rps] over a period *)
+  diurnal_period_s : float;  (** seconds per diurnal cycle *)
+}
+
+val default_open_loop : open_loop
+(** 500 frames/s, alpha 1.5, no diurnal swing over a 60s period. *)
+
 type config = {
   requests : int;  (** request frames to issue *)
   batch : int;  (** decide requests per frame *)
@@ -25,12 +44,16 @@ type config = {
   propagation : bool;
       (** mint a trace context per roundtrip (seeded with [seed]) and
           send it in the v2 request body *)
+  open_loop : open_loop option;
+      (** [None] (the default) issues back-to-back, closed-loop; the
+          arrival schedule draws from its own seeded stream, so the
+          decide mix is byte-identical either way *)
 }
 
 val default_config : config
 (** 5000 requests of batch 10 (50k decisions), up to 6 candidates,
     space up to 4, a publish every 100 frames to node 0, seed 7,
-    propagation off. *)
+    propagation off, closed-loop. *)
 
 type report = {
   requests : int;  (** frames completed *)
@@ -46,6 +69,11 @@ type report = {
   trace_id : string option;
       (** trace id of the final roundtrip, when propagation was on —
           recent enough to still be in a bounded [/tracez] tail *)
+  offered_rps : float option;
+      (** open-loop mode only: the rate the schedule actually offered *)
+  max_lag_ms : float option;
+      (** open-loop mode only: worst observed lag behind the arrival
+          schedule (0 when the service kept up) *)
 }
 
 val run :

@@ -39,6 +39,21 @@ let endpoint_of_string s =
       | Some rest -> host_port rest
       | None -> host_port s))
 
+(* -- connect-failure classification ------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let connect_failure msg =
+  if contains ~sub:"refused connection" msg
+     || contains ~sub:"no loopback server named" msg
+  then `Refused
+  else if contains ~sub:"timed out" msg || contains ~sub:"read timeout" msg
+  then `Timeout
+  else `Unknown
+
 (* -- loopback registry -------------------------------------------------- *)
 
 module Loopback = struct

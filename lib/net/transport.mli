@@ -37,9 +37,19 @@ type conn
 val connect :
   ?timeout:float -> ?max_frame:int -> endpoint -> (conn, string) result
 (** [Error] with a one-line message on refusal/timeout/unknown
-    loopback name. [timeout] defaults to
-    {!Mitos_obs.Netio.default_timeout} and governs every subsequent
+    loopback name. The message distinguishes refusal from timeout
+    (see {!Mitos_obs.Netio.connect_tcp} and {!connect_failure}) so a
+    caller can tell a killed node from a slow one. [timeout] defaults
+    to {!Mitos_obs.Netio.default_timeout} and governs every subsequent
     [send]/[recv] on the connection. *)
+
+val connect_failure : string -> [ `Refused | `Timeout | `Unknown ]
+(** Classify a connect (or retry-exhaustion "last") error message:
+    [`Refused] when the peer actively turned the connection away — a
+    TCP reset, or a loopback name with no registered server, i.e. the
+    node is {e dead}; [`Timeout] when nothing answered within the
+    timeout — the node is {e slow or partitioned}; [`Unknown]
+    otherwise. Total over arbitrary strings. *)
 
 val send : conn -> string -> (unit, string) result
 (** Send one frame body (the transport adds the length prefix). On

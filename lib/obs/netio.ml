@@ -38,6 +38,12 @@ let read_to_eof fd =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* Refusal (nobody listening — the port answered with RST) and
+   timeout (nothing answered at all — host gone, packets dropped) are
+   different diagnoses: a killed node refuses, a slow or partitioned
+   one times out. The chaos judge, and any operator reading the
+   one-line error, needs the distinction, so each failure class gets
+   its own stable verb. *)
 let connect_sock ?timeout ~describe sock addr =
   match
     set_timeouts ?timeout sock;
@@ -46,7 +52,14 @@ let connect_sock ?timeout ~describe sock addr =
   | () -> Ok sock
   | exception Unix.Unix_error (err, _, _) ->
     close_quietly sock;
-    Error (Printf.sprintf "%s unreachable (%s)" describe (Unix.error_message err))
+    let verb =
+      match err with
+      | Unix.ECONNREFUSED -> "refused connection"
+      | Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINPROGRESS ->
+        "timed out"
+      | _ -> "unreachable"
+    in
+    Error (Printf.sprintf "%s %s (%s)" describe verb (Unix.error_message err))
 
 let connect_tcp ?timeout ~host ~port () =
   match resolve host with

@@ -36,7 +36,11 @@ val connect_tcp :
   (Unix.file_descr, string) result
 (** Resolve, create, apply timeouts and connect. [Error] on an
     unresolvable host, refusal or timeout — the descriptor is closed
-    on every failure path. *)
+    on every failure path. The message distinguishes the failure
+    class: ["... refused connection (...)"] when the peer answered
+    with a reset (nobody listening — a killed node), ["... timed out
+    (...)"] when nothing answered within the timeout (a slow or
+    partitioned node), ["... unreachable (...)"] otherwise. *)
 
 val connect_unix :
   ?timeout:float -> string -> (Unix.file_descr, string) result

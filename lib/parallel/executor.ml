@@ -9,7 +9,12 @@ type shard = {
   lock : Contended.t;
   work : Condition.t;
   queue : (unit -> unit) Queue.t;
-  len : int Atomic.t;  (* mirror of [Queue.length queue], read lock-free *)
+  (* queued + running tasks, read lock-free. Counting running work
+     (decrement on completion, not on pop) matters for routing: a
+     worker stuck in a long-lived task — a server connection loop —
+     must not look idle, or every length tie would route new work
+     behind it while a genuinely idle sibling sleeps unsignalled. *)
+  len : int Atomic.t;
 }
 
 type t = {
@@ -27,9 +32,14 @@ let run_task t task =
 let pop shard =
   Contended.lock shard.lock;
   let taken = Queue.take_opt shard.queue in
-  (match taken with Some _ -> Atomic.decr shard.len | None -> ());
   Contended.unlock shard.lock;
   taken
+
+(* run a task popped from [shard]; its slot in [shard.len] is released
+   only once the task finishes *)
+let run_from t shard task =
+  run_task t task;
+  Atomic.decr shard.len
 
 let worker_loop t i =
   let own = t.shards.(i) in
@@ -42,7 +52,7 @@ let worker_loop t i =
       else
         let s = t.shards.((i + k) mod n) in
         if Atomic.get s.len > 0 then
-          match pop s with Some _ as taken -> taken | None -> go (k + 1)
+          match pop s with Some task -> Some (s, task) | None -> go (k + 1)
         else go (k + 1)
     in
     go 1
@@ -50,12 +60,12 @@ let worker_loop t i =
   let rec next () =
     match pop own with
     | Some task ->
-      run_task t task;
+      run_from t own task;
       next ()
     | None -> (
       match steal () with
-      | Some task ->
-        run_task t task;
+      | Some (shard, task) ->
+        run_from t shard task;
         next ()
       | None ->
         (* Exit only once our own queue is verifiably empty under its

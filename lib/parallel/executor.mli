@@ -18,7 +18,9 @@
     [jobs = 1] contract.
 
     {b Sharding.} Each worker owns its own queue (own lock, own
-    condition variable): {!submit} routes to the least-loaded queue,
+    condition variable): {!submit} routes to the least-loaded worker
+    (queued {e plus running} tasks, so a worker held by a long-lived
+    connection loop never shadows an idle sibling),
     {!submit_to} pins by shard index, and a worker whose queue runs
     dry steals from its siblings before sleeping — so submitters and
     workers no longer serialize on a single queue lock, and the pool
@@ -48,7 +50,9 @@ val submit_to : t -> shard:int -> (unit -> unit) -> unit
     placement guarantee. *)
 
 val pending : t -> int
-(** Tasks enqueued but not yet picked up (always 0 when inline). *)
+(** Tasks enqueued or still running (always 0 when inline). Running
+    work counts so that routing — and anyone watching the pool — sees
+    a worker pinned inside a long-lived task as busy, not idle. *)
 
 val failures : t -> int
 (** Tasks that raised. *)

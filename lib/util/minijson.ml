@@ -196,3 +196,60 @@ let path keys j =
 
 let to_float = function Num v -> Some v | _ -> None
 let to_string_opt = function Str s -> Some s | _ -> None
+
+(* -- rendering ---------------------------------------------------------- *)
+
+(* Matches Registry.fmt_value so numbers survive a render -> parse ->
+   render round-trip byte-identically across every writer in the
+   repo. *)
+let render_number v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec render ?(indent = 0) v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> render_number f
+  | Str s -> render_string s
+  | List items ->
+    if items = [] then "[]"
+    else
+      "[\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun item -> pad (indent + 2) ^ render ~indent:(indent + 2) item)
+             items)
+      ^ "\n" ^ pad indent ^ "]"
+  | Obj fields ->
+    if fields = [] then "{}"
+    else
+      "{\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun (k, item) ->
+               pad (indent + 2) ^ render_string k ^ ": "
+               ^ render ~indent:(indent + 2) item)
+             fields)
+      ^ "\n" ^ pad indent ^ "}"

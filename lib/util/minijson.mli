@@ -38,3 +38,23 @@ val to_float : t -> float option
 
 val to_string_opt : t -> string option
 (** [Str]s only. *)
+
+(** {1 Rendering}
+
+    The one canonical writer for consumers that build a document as a
+    {!t} (the bench-JSON merge, the chaos report). Deterministic:
+    2-space indentation, fields in list order, numbers formatted
+    exactly as [Registry.fmt_value] does — so a parse → render
+    round-trip of our own output is byte-identical. *)
+
+val render : ?indent:int -> t -> string
+(** Render without a trailing newline. [indent] is the current left
+    margin (default 0); nested structures indent by 2. *)
+
+val render_number : float -> string
+(** [NaN]/[+Inf]/[-Inf] spelled out, integers with no fraction,
+    everything else [%.9g]. *)
+
+val render_string : string -> string
+(** Quoted and escaped (quote, backslash, newline, tab, [\uXXXX] for
+    other control bytes). *)

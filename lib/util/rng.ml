@@ -84,3 +84,9 @@ let weighted t choices =
       if x < acc then v else go acc rest
   in
   go 0.0 choices
+
+let pareto t ~alpha ~xm =
+  if alpha <= 0.0 then invalid_arg "Rng.pareto: alpha must be positive";
+  if xm <= 0.0 then invalid_arg "Rng.pareto: xm must be positive";
+  let u = 1.0 -. float t 1.0 in
+  xm /. (u ** (1.0 /. alpha))

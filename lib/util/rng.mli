@@ -40,6 +40,13 @@ val bernoulli : t -> float -> bool
 val exponential : t -> float -> float
 (** [exponential t rate] samples an exponential with the given rate. *)
 
+val pareto : t -> alpha:float -> xm:float -> float
+(** [pareto t ~alpha ~xm] samples a Pareto with shape [alpha] and
+    scale (minimum) [xm] by inversion — the heavy-tailed inter-arrival
+    distribution the chaos tenant generator uses for bursty open-loop
+    traffic. Mean is [xm * alpha / (alpha - 1)] for [alpha > 1].
+    Raises [Invalid_argument] unless both are positive. *)
+
 val geometric : t -> float -> int
 (** [geometric t p] is the number of failures before the first success
     of a Bernoulli([p]) sequence; [p] must be in (0, 1]. *)

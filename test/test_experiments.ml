@@ -351,6 +351,7 @@ let bench_json ?(schema = "mitos-bench-decisions/1") ?(fleet_mean = 450000.0)
   "shadow_shards": { "imbalance": 1.05 },
   "net_decide_batch": { "p50_ns": 20000.0, "requests_per_sec": 50000.0, "par_requests_per_sec": 45000.0 },
   "fleet_scrape": { "mean_ns": %f },
+  "fleet": { "requests_per_sec": 30000.0, "p99_virtual_ns": 1000000.0 },
   "alert_eval": { "ns_per_observation": 9000.0 },
   "lock_contention": { "uncontended_pair_ns": 40.0 },
   "gc_pressure": { "minor_words_per_record": 120.0 }
@@ -368,7 +369,7 @@ let test_bench_compare_ok () =
   let new_json = bench_json ~alg1_direct:110.0 ~replay_rps:0.9e6 () in
   let r = compare_exn ~tolerance_pct:25.0 old_json new_json in
   Alcotest.(check bool) "ok" true (E.Bench_compare.ok r);
-  Alcotest.(check int) "all gated metrics compared" 16
+  Alcotest.(check int) "all gated metrics compared" 18
     (List.length r.E.Bench_compare.rows);
   Alcotest.(check (list string)) "nothing skipped" []
     r.E.Bench_compare.skipped;
@@ -442,7 +443,7 @@ let test_bench_compare_skipped_and_errors () =
   Alcotest.(check bool) "partial file still ok" true (E.Bench_compare.ok r);
   Alcotest.(check int) "one row compared" 1
     (List.length r.E.Bench_compare.rows);
-  Alcotest.(check int) "rest skipped" 15
+  Alcotest.(check int) "rest skipped" 17
     (List.length r.E.Bench_compare.skipped);
   let expect_error ~old_json ~new_json ~tolerance_pct =
     match E.Bench_compare.of_json ~tolerance_pct ~old_json ~new_json with

@@ -508,6 +508,136 @@ let test_tcp_service () =
       Client.close c1;
       Client.close c2)
 
+(* -- Adversarial frames mid-stream on an established connection ----------- *)
+
+let raw_conn ep =
+  match Transport.connect ~timeout:2.0 ep with
+  | Ok conn -> conn
+  | Error msg -> Alcotest.fail msg
+
+let raw_send conn body =
+  match Transport.send conn body with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let raw_roundtrip conn request ~id =
+  raw_send conn (Wire.encode_request_body ~id request);
+  match Transport.recv conn with
+  | Error err -> Alcotest.fail (Wire.error_to_string err)
+  | Ok body -> (
+    match Wire.decode_response body with
+    | Ok (got_id, response) ->
+      Alcotest.(check int) "reply id" id got_id;
+      response
+    | Error err -> Alcotest.fail (Wire.error_to_string err))
+
+let test_corrupt_frame_mid_stream () =
+  (* a corrupt body on an established connection must get a typed Err
+     and leave both that connection and its siblings serving *)
+  let config = { Server.default_config with workers = 2; read_timeout = 2.0 } in
+  let service = Server.create ~config ~params () in
+  let listener =
+    Server.start service (Transport.Tcp { host = "127.0.0.1"; port = 0 })
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop listener)
+    (fun () ->
+      let ep = Server.endpoint listener in
+      let sibling = ok_client (Client.connect ~timeout:2.0 ep) in
+      let conn = raw_conn ep in
+      Fun.protect
+        ~finally:(fun () ->
+          Transport.close conn;
+          Client.close sibling)
+        (fun () ->
+          (* healthy first: the connection is established and serving *)
+          (match raw_roundtrip conn Wire.Ping ~id:7 with
+          | Wire.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong");
+          (* mid-stream corruption: well-framed, body version forced
+             invalid — the strict decoder must answer, not act *)
+          let bad = Bytes.of_string (Wire.encode_request_body ~id:8 Wire.Ping) in
+          Bytes.set bad 0 '\xff';
+          raw_send conn (Bytes.to_string bad);
+          (match Transport.recv conn with
+          | Ok body -> (
+            match Wire.decode_response body with
+            | Ok (0, Wire.Err _) -> ()
+            | Ok (id, _) -> Alcotest.failf "want Err with id 0, got id %d" id
+            | Error err -> Alcotest.fail (Wire.error_to_string err))
+          | Error err -> Alcotest.fail (Wire.error_to_string err));
+          (* the poisoned frame must not poison the stream: the SAME
+             connection still serves *)
+          (match raw_roundtrip conn Wire.Ping ~id:9 with
+          | Wire.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong after corrupt frame");
+          (* and the sibling connection never noticed *)
+          ok_client (Client.ping sibling);
+          ignore (ok_client (Client.publish sibling ~node:0 2.0));
+          Alcotest.(check (float 0.0)) "sibling still consistent" 2.0
+            (ok_client (Client.global sibling))))
+
+let test_oversized_frame_hangs_up () =
+  (* an announced frame past the server's bound is unrecoverable at
+     the framing layer: one typed Err, then hangup — siblings
+     unaffected *)
+  let config =
+    { Server.default_config with
+      workers = 2; read_timeout = 2.0; max_frame = 4096 }
+  in
+  let service = Server.create ~config ~params () in
+  let listener =
+    Server.start service (Transport.Tcp { host = "127.0.0.1"; port = 0 })
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop listener)
+    (fun () ->
+      let ep = Server.endpoint listener in
+      let sibling = ok_client (Client.connect ~timeout:2.0 ep) in
+      let conn = raw_conn ep in
+      Fun.protect
+        ~finally:(fun () ->
+          Transport.close conn;
+          Client.close sibling)
+        (fun () ->
+          (match raw_roundtrip conn Wire.Ping ~id:1 with
+          | Wire.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong");
+          raw_send conn (String.make 5000 'x');
+          (match Transport.recv conn with
+          | Ok body -> (
+            match Wire.decode_response body with
+            | Ok (0, Wire.Err _) -> ()
+            | Ok _ -> Alcotest.fail "want a typed Err before hangup"
+            | Error err -> Alcotest.fail (Wire.error_to_string err))
+          | Error err -> Alcotest.fail (Wire.error_to_string err));
+          (* the server hung up: the next read finds a closed stream *)
+          (match Transport.recv conn with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "server must hang up after oversize");
+          (* the sibling's connection survived its neighbour's demise *)
+          ok_client (Client.ping sibling)))
+
+let test_connect_failure_classification () =
+  Alcotest.(check bool) "refused" true
+    (Transport.connect_failure "tcp://127.0.0.1:1: refused connection"
+    = `Refused);
+  Alcotest.(check bool) "loopback refusal" true
+    (Transport.connect_failure "no loopback server named \"gone\"" = `Refused);
+  Alcotest.(check bool) "timeout" true
+    (Transport.connect_failure "connect timed out after 2.0s" = `Timeout);
+  Alcotest.(check bool) "read timeout" true
+    (Transport.connect_failure "read timeout" = `Timeout);
+  Alcotest.(check bool) "unknown" true
+    (Transport.connect_failure "network unreachable" = `Unknown);
+  (* and the classifier agrees with a real refusal's message *)
+  match Client.connect (Transport.Tcp { host = "127.0.0.1"; port = 1 }) with
+  | Error (Client.Connect msg) ->
+    Alcotest.(check bool) "live refusal classified" true
+      (Transport.connect_failure msg = `Refused)
+  | Error err -> Alcotest.fail (Client.error_to_string err)
+  | Ok _ -> Alcotest.fail "connect to port 1 must fail"
+
 let test_sharded_estimator_service_equivalent () =
   (* a 4-shard server must answer byte-for-byte like the unsharded
      one. Publishes are integer-valued, so the per-shard partial sums
@@ -1160,6 +1290,12 @@ let () =
           Alcotest.test_case "malformed body -> Err" `Quick
             test_malformed_body_gets_err_response;
           Alcotest.test_case "tcp service" `Quick test_tcp_service;
+          Alcotest.test_case "corrupt frame mid-stream" `Quick
+            test_corrupt_frame_mid_stream;
+          Alcotest.test_case "oversized frame hangs up" `Quick
+            test_oversized_frame_hangs_up;
+          Alcotest.test_case "connect failure classification" `Quick
+            test_connect_failure_classification;
           Alcotest.test_case "sharded estimator equivalent" `Quick
             test_sharded_estimator_service_equivalent;
           Alcotest.test_case "bad shard count rejected" `Quick

@@ -148,7 +148,10 @@ let test_executor_drains () =
   done;
   Alcotest.(check bool) "all tasks ran" true
     (await (fun () -> Atomic.get hits = 100));
-  checki "nothing pending" 0 (Executor.pending ex);
+  (* pending counts running work too, so the last task's slot clears a
+     beat after its effect is visible *)
+  Alcotest.(check bool) "nothing pending" true
+    (await (fun () -> Executor.pending ex = 0));
   checki "no failures" 0 (Executor.failures ex);
   Executor.shutdown ex;
   Executor.shutdown ex (* idempotent *)
